@@ -1,0 +1,143 @@
+//! Criterion microbenchmarks of the solver's kernels: SpMV, the Galerkin
+//! triple product, MIS, face identification, Delaunay tetrahedralization,
+//! the block-Jacobi application, and one V-cycle/FMG cycle.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pmg_bench::{machine, spheres_first_solve};
+use pmg_geometry::{Delaunay, Vec3};
+use pmg_mesh::{boundary_facets, facet_adjacency};
+use pmg_parallel::{DistVec, Sim};
+use prometheus::{
+    classify_mesh, coarsen_level, greedy_mis, identify_faces, CoarsenOptions, MgHierarchy,
+    MgOptions, MisOrdering,
+};
+use rand::{Rng, SeedableRng};
+
+fn bench_spmv(c: &mut Criterion) {
+    let sys = spheres_first_solve(1);
+    let n = sys.matrix.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+    let mut y = vec![0.0; n];
+    let mut g = c.benchmark_group("spmv");
+    g.bench_function("serial", |b| b.iter(|| sys.matrix.spmv(&x, &mut y)));
+    g.bench_function("rayon", |b| b.iter(|| sys.matrix.spmv_par(&x, &mut y)));
+    g.finish();
+}
+
+fn bench_bsr(c: &mut Criterion) {
+    // CSR vs 3x3-blocked SpMV on the elasticity operator.
+    let sys = spheres_first_solve(1);
+    let bsr = pmg_sparse::Bsr3Matrix::from_csr(&sys.matrix);
+    let n = sys.matrix.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+    let mut y = vec![0.0; n];
+    let mut g = c.benchmark_group("spmv_blocked");
+    g.bench_function("csr", |b| b.iter(|| sys.matrix.spmv(&x, &mut y)));
+    g.bench_function("bsr3", |b| b.iter(|| bsr.spmv(&x, &mut y)));
+    g.bench_function("bsr3_rayon", |b| b.iter(|| bsr.spmv_par(&x, &mut y)));
+    g.finish();
+}
+
+fn bench_rap(c: &mut Criterion) {
+    let sys = spheres_first_solve(1);
+    let mesh = &sys.mesh;
+    let graph = mesh.vertex_graph();
+    let classes = classify_mesh(mesh, 0.7);
+    let lvl = coarsen_level(&mesh.coords, &graph, &classes, &CoarsenOptions::default());
+    let r = prometheus::mg::expand_restriction(&lvl.restriction, 3);
+    c.bench_function("galerkin_rap", |b| b.iter(|| sys.matrix.rap(&r)));
+}
+
+fn bench_mis(c: &mut Criterion) {
+    let mesh = pmg_mesh::generators::cube(20);
+    let g = mesh.vertex_graph();
+    let n = mesh.num_vertices();
+    let rank = vec![0u8; n];
+    let mut grp = c.benchmark_group("mis");
+    for (name, ord) in [
+        ("natural", MisOrdering::Natural),
+        ("random", MisOrdering::Random(5)),
+    ] {
+        let order = ord.order(n, &rank);
+        grp.bench_function(name, |b| b.iter(|| greedy_mis(&g, &order)));
+    }
+    grp.finish();
+}
+
+fn bench_face_identification(c: &mut Criterion) {
+    let mesh = pmg_mesh::sphere_in_cube(&pmg_mesh::SpheresParams::ladder(1));
+    let facets = boundary_facets(&mesh);
+    let adj = facet_adjacency(&facets);
+    c.bench_function("face_identification", |b| {
+        b.iter(|| identify_faces(&facets, &adj, 0.7))
+    });
+}
+
+fn bench_delaunay(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let pts: Vec<Vec3> = (0..2000)
+        .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+        .collect();
+    c.bench_function("delaunay_2k_points", |b| {
+        b.iter_batched(|| pts.clone(), |p| Delaunay::new(&p), BatchSize::SmallInput)
+    });
+}
+
+fn bench_cycles(c: &mut Criterion) {
+    let sys = spheres_first_solve(1);
+    let mesh = &sys.mesh;
+    let graph = mesh.vertex_graph();
+    let classes = classify_mesh(mesh, 0.7);
+    let mut sim = Sim::new(2, machine());
+    let mg = MgHierarchy::build(
+        &mut sim,
+        &sys.matrix,
+        &mesh.coords,
+        &graph,
+        &classes,
+        MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+    );
+    let layout = mg.levels[0].a.row_layout().clone();
+    let r = DistVec::from_global(layout, &sys.rhs);
+    let mut grp = c.benchmark_group("mg_cycle");
+    grp.sample_size(20);
+    grp.bench_function("vcycle", |b| b.iter(|| mg.vcycle(&mut sim, 0, &r)));
+    grp.bench_function("fmg", |b| b.iter(|| mg.fmg(&mut sim, &r)));
+    grp.finish();
+}
+
+fn bench_smoother(c: &mut Criterion) {
+    let sys = spheres_first_solve(1);
+    let mesh = &sys.mesh;
+    let graph = mesh.vertex_graph();
+    let classes = classify_mesh(mesh, 0.7);
+    let mut sim = Sim::new(2, machine());
+    let mg = MgHierarchy::build(
+        &mut sim,
+        &sys.matrix,
+        &mesh.coords,
+        &graph,
+        &classes,
+        MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+    );
+    let level = &mg.levels[0];
+    let layout = level.a.row_layout().clone();
+    let b0 = DistVec::from_global(layout.clone(), &sys.rhs);
+    let mut x = DistVec::zeros(layout);
+    c.bench_function("block_jacobi_sweep", |b| {
+        b.iter(|| level.smoother.smooth(&mut sim, &level.a, &b0, &mut x, 1))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_bsr,
+    bench_rap,
+    bench_mis,
+    bench_face_identification,
+    bench_delaunay,
+    bench_cycles,
+    bench_smoother
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Figure 10: solve times (left) and "end to end" times (right) for one
+//! linear solve across the weak-scaling ladder.
+//!
+//! The paper's phases map to ours as: Partitioning (Athena) -> RCB +
+//! layout construction; Fine grid creation (FEAP) -> element assembly;
+//! Mesh setup (Prometheus) -> MIS + face id + Delaunay + restriction;
+//! Matrix setup (Epimetheus/PETSc) -> Galerkin products + smoother
+//! factorization; Solve for x (PETSc) -> FMG-PCG iterations. Wall times are
+//! from this machine; modeled times come from the BSP machine model
+//! calibrated to the paper's PowerPC cluster.
+//!
+//! Usage: `fig10_times` (ladder depth via PMG_MAX_K, default 2).
+
+use pmg_bench::{env_max_k, machine, ranks_for, spheres_first_solve};
+use pmg_partition::recursive_coordinate_bisection;
+use prometheus::{MgOptions, Prometheus, PrometheusOptions};
+use std::time::Instant;
+
+fn main() {
+    let max_k = env_max_k(2);
+    println!("# Figure 10 reproduction: per-phase times for one linear solve");
+    println!(
+        "{:>2} {:>5} {:>10} | {:>10} {:>10} {:>10} {:>11} {:>9} | {:>11} {:>11}",
+        "k", "P", "dof", "partition", "fine grid", "mesh setup", "matrix set", "solve",
+        "mdl matrix", "mdl solve"
+    );
+
+    for k in 1..=max_k {
+        let p = ranks_for(k);
+
+        // Fine grid creation (mesh generation + assembly), timed separately.
+        let t0 = Instant::now();
+        let sys = spheres_first_solve(k);
+        let t_finegrid = t0.elapsed().as_secs_f64();
+
+        // Partitioning (RCB of the fine vertices over the ranks).
+        let t1 = Instant::now();
+        let part = recursive_coordinate_bisection(&sys.mesh.coords, p);
+        let t_partition = t1.elapsed().as_secs_f64();
+        std::hint::black_box(&part);
+
+        let opts = PrometheusOptions {
+            nranks: p,
+            model: machine(),
+            mg: MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+            max_iters: 400,
+            ..Default::default()
+        };
+        let mut solver = Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
+        let (_, res) = solver.solve(&sys.rhs, None, 1e-4);
+        assert!(res.converged);
+        let phases = solver.finish();
+
+        let wall = |name: &str| phases.get(name).map(|s| s.wall_time).unwrap_or(0.0);
+        let modeled = |name: &str| phases.get(name).map(|s| s.modeled_time).unwrap_or(0.0);
+        println!(
+            "{:>2} {:>5} {:>10} | {:>10.3} {:>10.3} {:>10.3} {:>11.3} {:>9.3} | {:>11.3} {:>11.3}",
+            k,
+            p,
+            sys.mesh.num_dof(),
+            t_partition,
+            t_finegrid,
+            wall("mesh setup"),
+            wall("matrix setup"),
+            wall("solve"),
+            modeled("matrix setup"),
+            modeled("solve"),
+        );
+    }
+    println!("\n(wall seconds on this host; 'mdl' seconds under the PowerPC-cluster machine model.");
+    println!(" paper: solve times ~10-20 s, matrix setup ~20-40 s, all phases flat across P)");
+}

@@ -1,0 +1,43 @@
+//! Figure 9 / §7 problem ladder: the parameterized concentric-spheres
+//! discretization. The paper's ladder runs 80 K .. 39,161 K dof on 2..960
+//! processors at ~40k dof/processor; ours mirrors the refinement rule
+//! ("one more layer of elements through each of the seventeen shell
+//! layers") at laptop scale with ~8.5k dof/rank.
+//!
+//! Usage: `fig9_problem [max_k]` (default 4; mesh generation only, cheap).
+
+use pmg_bench::ranks_for;
+use pmg_mesh::{sphere_in_cube, SpheresParams};
+
+const PAPER_DOF: [usize; 8] = [
+    79_679, 622_815, 2_085_599, 4_924_223, 9_594_879, 16_553_759, 26_257_055, 39_160_959,
+];
+
+fn main() {
+    let max_k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    println!("# Figure 9 / problem ladder reproduction");
+    println!(
+        "{:>2} {:>5} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "k", "P", "vertices", "hexes", "dof", "dof/rank", "hard elems", "paper dof"
+    );
+    for k in 1..=max_k {
+        let params = SpheresParams::ladder(k);
+        let mesh = sphere_in_cube(&params);
+        assert_eq!(mesh.validate_volumes(), Ok(()), "invalid ladder mesh at k={k}");
+        let p = ranks_for(k);
+        let hard = mesh.materials.iter().filter(|&&m| m == pmg_mesh::spheres::HARD).count();
+        println!(
+            "{:>2} {:>5} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            k,
+            p,
+            mesh.num_vertices(),
+            mesh.num_elements(),
+            mesh.num_dof(),
+            mesh.num_dof() / p,
+            hard,
+            PAPER_DOF.get(k - 1).copied().unwrap_or(0),
+        );
+    }
+    println!("\n(geometry: octant of a 12.5-cube; 17 shells alternating hard/soft between");
+    println!(" r=2.5 and r=7.5; paper's base problem is 79,679 dof at ~40k dof/processor)");
+}

@@ -1,0 +1,92 @@
+//! Shared harness for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§7); `DESIGN.md` maps each to its paper artifact and
+//! `EXPERIMENTS.md` records paper-vs-measured. Common setup (the spheres
+//! ladder, its first constrained linear system, the rank schedule matching
+//! the paper's processor counts) lives here.
+
+use pmg_fem::bc::constrain_system;
+use pmg_fem::SpheresProblem;
+use pmg_mesh::{Mesh, SpheresParams};
+use pmg_parallel::MachineModel;
+use pmg_sparse::CsrMatrix;
+
+/// The paper's processor ladder (Table 2): problem `k` ran on `P` CPUs.
+pub const PAPER_RANKS: [usize; 8] = [2, 15, 50, 120, 240, 400, 640, 960];
+
+/// Paper Table 2: MG-preconditioned PCG iterations in the first linear
+/// solve per ladder point.
+pub const PAPER_FIRST_SOLVE_ITERS: [usize; 8] = [29, 27, 22, 20, 20, 20, 20, 21];
+
+/// Virtual ranks for ladder point `k` (1-based).
+pub fn ranks_for(k: usize) -> usize {
+    PAPER_RANKS[(k - 1).min(PAPER_RANKS.len() - 1)]
+}
+
+/// Ladder depth from the environment (`PMG_MAX_K`), with a default chosen
+/// for the binary's runtime.
+pub fn env_max_k(default: usize) -> usize {
+    std::env::var("PMG_MAX_K")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The machine model used throughout (the paper's PowerPC cluster numbers).
+pub fn machine() -> MachineModel {
+    MachineModel::default()
+}
+
+/// The spheres problem with its first-step constrained linear system
+/// (tangent at zero displacement, first crush increment applied).
+pub struct FirstSolveSystem {
+    pub mesh: Mesh,
+    pub matrix: CsrMatrix,
+    pub rhs: Vec<f64>,
+    pub problem: SpheresProblem,
+}
+
+/// Build ladder point `k`'s first-solve system (`k = 0` selects the tiny
+/// test configuration).
+pub fn spheres_first_solve(k: usize) -> FirstSolveSystem {
+    let params = if k == 0 { SpheresParams::tiny() } else { SpheresParams::ladder(k) };
+    let mut problem = pmg_fem::spheres_problem(&params);
+    let mesh = problem.fem.mesh.clone();
+    let ndof = mesh.num_dof();
+    let (kmat, r) = problem.fem.assemble(&vec![0.0; ndof]);
+    let bcs = problem.bcs_for_step(1, 10);
+    let fixed: Vec<(u32, f64)> = bcs.iter().map(|b| (b.dof, b.value)).collect();
+    let (matrix, rhs) = constrain_system(&kmat, &r, &fixed);
+    FirstSolveSystem { mesh, matrix, rhs, problem }
+}
+
+/// Format a floating value in fixed width or `-` for None.
+pub fn fmt_opt(v: Option<f64>, prec: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.prec$}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_solve_system_builds() {
+        let sys = spheres_first_solve(0);
+        assert_eq!(sys.matrix.nrows(), sys.mesh.num_dof());
+        assert_eq!(sys.rhs.len(), sys.mesh.num_dof());
+        assert!(sys.matrix.is_symmetric(1e-10));
+        // The crush increment shows up in the rhs.
+        assert!(sys.rhs.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn rank_ladder() {
+        assert_eq!(ranks_for(1), 2);
+        assert_eq!(ranks_for(5), 240);
+        assert_eq!(ranks_for(99), 960);
+    }
+}

@@ -1,0 +1,378 @@
+//! Smoothed aggregation AMG baseline (Vanek, Mandel & Brezina).
+//!
+//! §8 of the paper names smoothed aggregation as the alternative
+//! unstructured multigrid algorithm to "evaluate (and make publicly
+//! available)"; we implement it as the comparison method for the benches.
+//! Aggregates are built greedily on the strength-of-connection graph of the
+//! vertex blocks, the tentative prolongator injects the rigid translation
+//! modes, and one damped-Jacobi smoothing step is applied to the
+//! prolongator.
+
+use crate::mg::{expand_restriction, MgHierarchy, MgLevel, MgOptions, Smoother};
+use pmg_geometry::Vec3;
+use pmg_parallel::{DistMatrix, Layout, Sim};
+use pmg_partition::recursive_coordinate_bisection;
+use pmg_solver::{BlockJacobi, CoarseDirect};
+#[allow(unused_imports)]
+use pmg_solver::Chebyshev;
+use pmg_sparse::{CooBuilder, CsrMatrix};
+use std::sync::Arc;
+
+/// Smoothed aggregation options.
+#[derive(Clone, Copy, Debug)]
+pub struct SaOptions {
+    /// Strength threshold θ: vertices v, w are strongly coupled when
+    /// `‖A_vw‖_F > θ √(‖A_vv‖_F ‖A_ww‖_F)`.
+    pub theta: f64,
+    /// Prolongator smoothing weight numerator (ω = weight / λ_max).
+    pub omega_scale: f64,
+    pub mg: MgOptions,
+}
+
+impl Default for SaOptions {
+    fn default() -> Self {
+        SaOptions { theta: 0.08, omega_scale: 4.0 / 3.0, mg: MgOptions::default() }
+    }
+}
+
+/// Vertex-block strength matrix: `s[v][w] = ‖A_vw‖_F` condensed from the
+/// dof-level operator.
+fn block_strength(a: &CsrMatrix, dofs: usize) -> CsrMatrix {
+    let nv = a.nrows() / dofs;
+    let mut b = CooBuilder::new(nv, nv);
+    for (i, j, v) in a.iter() {
+        b.push(i / dofs, j / dofs, v * v);
+    }
+    let mut s = b.build();
+    // Frobenius norms.
+    for i in 0..nv {
+        for v in s.row_vals_mut(i) {
+            *v = v.sqrt();
+        }
+    }
+    s
+}
+
+/// Greedy aggregation (Vanek's three passes). Returns the aggregate id per
+/// vertex and the number of aggregates.
+pub fn aggregate(strength: &CsrMatrix, theta: f64) -> (Vec<u32>, usize) {
+    let nv = strength.nrows();
+    let diag = strength.diag();
+    let strong = |v: usize, w: usize, s: f64| -> bool {
+        v != w && s > theta * (diag[v] * diag[w]).sqrt()
+    };
+    let mut agg = vec![u32::MAX; nv];
+    let mut nagg = 0u32;
+
+    // Pass 1: seed aggregates from vertices whose strong neighborhood is
+    // fully unaggregated.
+    for v in 0..nv {
+        if agg[v] != u32::MAX {
+            continue;
+        }
+        let (cols, vals) = strength.row(v);
+        let nbrs: Vec<usize> = cols
+            .iter()
+            .zip(vals)
+            .filter(|&(&w, &s)| strong(v, w, s))
+            .map(|(&w, _)| w)
+            .collect();
+        if nbrs.iter().any(|&w| agg[w] != u32::MAX) {
+            continue;
+        }
+        agg[v] = nagg;
+        for &w in &nbrs {
+            agg[w] = nagg;
+        }
+        nagg += 1;
+    }
+    // Pass 2: attach stragglers to the strongest neighboring aggregate.
+    for v in 0..nv {
+        if agg[v] != u32::MAX {
+            continue;
+        }
+        let (cols, vals) = strength.row(v);
+        let mut best: Option<(u32, f64)> = None;
+        for (&w, &s) in cols.iter().zip(vals) {
+            if strong(v, w, s) && agg[w] != u32::MAX
+                && best.is_none_or(|(_, bs)| s > bs)
+            {
+                best = Some((agg[w], s));
+            }
+        }
+        if let Some((a, _)) = best {
+            agg[v] = a;
+        }
+    }
+    // Pass 3: remaining vertices form their own aggregates (with any still
+    // unaggregated strong neighbors).
+    for v in 0..nv {
+        if agg[v] != u32::MAX {
+            continue;
+        }
+        agg[v] = nagg;
+        let (cols, vals) = strength.row(v);
+        for (&w, &s) in cols.iter().zip(vals) {
+            if strong(v, w, s) && agg[w] == u32::MAX {
+                agg[w] = nagg;
+            }
+        }
+        nagg += 1;
+    }
+    (agg, nagg as usize)
+}
+
+/// Tentative scalar prolongator: aggregate-piecewise-constant columns,
+/// normalized (`P_tent[v][agg] = 1/√|agg|`).
+fn tentative(agg: &[u32], nagg: usize) -> CsrMatrix {
+    let mut counts = vec![0usize; nagg];
+    for &a in agg {
+        counts[a as usize] += 1;
+    }
+    let mut b = CooBuilder::new(agg.len(), nagg);
+    for (v, &a) in agg.iter().enumerate() {
+        b.push(v, a as usize, 1.0 / (counts[a as usize] as f64).sqrt());
+    }
+    b.build()
+}
+
+/// Estimate `λ_max(D⁻¹ A)` with a few power iterations.
+fn lambda_max_dinv_a(a: &CsrMatrix) -> f64 {
+    let n = a.nrows();
+    let dinv: Vec<f64> = a
+        .diag()
+        .iter()
+        .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+        .collect();
+    let mut x: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect();
+    let mut lam = 1.0;
+    let mut y = vec![0.0; n];
+    for _ in 0..10 {
+        a.spmv(&x, &mut y);
+        for (yi, di) in y.iter_mut().zip(&dinv) {
+            *yi *= di;
+        }
+        lam = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if lam <= 0.0 {
+            return 1.0;
+        }
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / lam;
+        }
+    }
+    lam
+}
+
+/// Build one SA level: returns the dof-level restriction `R = Pᵀ` and the
+/// aggregate centroids.
+fn sa_coarsen(
+    a: &CsrMatrix,
+    coords: &[Vec3],
+    dofs: usize,
+    opts: &SaOptions,
+) -> Option<(CsrMatrix, Vec<Vec3>)> {
+    let strength = block_strength(a, dofs);
+    let (mut agg, mut nagg) = aggregate(&strength, opts.theta);
+    if nagg * 2 >= coords.len() && opts.theta > 0.0 {
+        // Threshold filtered out everything (wide stencils dilute the
+        // normalized couplings): retry with pure graph aggregation.
+        (agg, nagg) = aggregate(&strength, 0.0);
+    }
+    if nagg == 0 || nagg * 10 >= coords.len() * 9 {
+        return None; // stalled
+    }
+    let p_tent_scalar = tentative(&agg, nagg);
+    let p_tent = expand_restriction(&p_tent_scalar.transpose(), dofs).transpose();
+    // Smooth: P = (I − ω D⁻¹ A) P_tent.
+    let lam = lambda_max_dinv_a(a);
+    let omega = opts.omega_scale / lam.max(1e-12);
+    let mut ap = a.matmul(&p_tent);
+    let dinv_omega: Vec<f64> = a
+        .diag()
+        .iter()
+        .map(|&d| if d != 0.0 { omega / d } else { 0.0 })
+        .collect();
+    ap.scale_rows(&dinv_omega);
+    let p = p_tent.add_scaled(&ap, -1.0);
+
+    // Aggregate centroids for partitioning the coarse grid.
+    let mut centroid = vec![Vec3::ZERO; nagg];
+    let mut counts = vec![0usize; nagg];
+    for (v, &ag) in agg.iter().enumerate() {
+        centroid[ag as usize] += coords[v];
+        counts[ag as usize] += 1;
+    }
+    for (c, &n) in centroid.iter_mut().zip(&counts) {
+        *c = *c / (n.max(1) as f64);
+    }
+    Some((p.transpose(), centroid))
+}
+
+/// Build a smoothed-aggregation hierarchy compatible with the geometric
+/// one (same level structure, same cycles).
+pub fn build_sa_hierarchy(
+    sim: &mut Sim,
+    a_fine: &CsrMatrix,
+    coords: &[Vec3],
+    opts: SaOptions,
+) -> MgHierarchy {
+    let nranks = sim.num_ranks();
+    let dofs = opts.mg.dofs_per_vertex;
+    assert_eq!(a_fine.nrows(), coords.len() * dofs);
+    let make_layout = |coords: &[Vec3]| -> Arc<Layout> {
+        let part = recursive_coordinate_bisection(coords, nranks);
+        Layout::expand_dofs(&Layout::from_part(part, nranks), dofs)
+    };
+
+    let mut levels = Vec::new();
+    let mut coarsen_info = Vec::new();
+    let mut cur_a = a_fine.clone();
+    let mut cur_coords = coords.to_vec();
+    let mut cur_layout = make_layout(&cur_coords);
+
+    loop {
+        let n = cur_a.nrows();
+        let at_bottom = n <= opts.mg.coarse_dof_threshold
+            || levels.len() + 1 >= opts.mg.max_levels
+            || cur_coords.len() < 8;
+        let next = if at_bottom {
+            None
+        } else {
+            sim.phase("mesh setup");
+            sa_coarsen(&cur_a, &cur_coords, dofs, &opts)
+        };
+        match next {
+            None => {
+                sim.phase("matrix setup");
+                let da = DistMatrix::from_global(&cur_a, cur_layout.clone(), cur_layout.clone());
+                let smoother =
+                    Smoother::BlockJacobi(BlockJacobi::new(&da, opts.mg.blocks_per_1000, opts.mg.omega));
+                let coarse = CoarseDirect::new(&da);
+                levels.push(MgLevel {
+                    a: da,
+                    smoother,
+                    r: None,
+                    p: None,
+                    coarse: Some(coarse),
+                    num_vertices: cur_coords.len(),
+                    r_global: None,
+                });
+                break;
+            }
+            Some((r_dof, c_coords)) => {
+                coarsen_info.push((c_coords.len(), 0));
+                sim.phase("matrix setup");
+                let a_coarse = cur_a.rap(&r_dof);
+                let coarse_layout = make_layout(&c_coords);
+                let da = DistMatrix::from_global(&cur_a, cur_layout.clone(), cur_layout.clone());
+                let dr = DistMatrix::from_global(&r_dof, coarse_layout.clone(), cur_layout.clone());
+                let dp = DistMatrix::from_global(
+                    &r_dof.transpose(),
+                    cur_layout.clone(),
+                    coarse_layout.clone(),
+                );
+                let smoother =
+                    Smoother::BlockJacobi(BlockJacobi::new(&da, opts.mg.blocks_per_1000, opts.mg.omega));
+                levels.push(MgLevel {
+                    a: da,
+                    smoother,
+                    r: Some(dr),
+                    p: Some(dp),
+                    coarse: None,
+                    num_vertices: cur_coords.len(),
+                    r_global: Some(r_dof),
+                });
+                cur_a = a_coarse;
+                cur_coords = c_coords;
+                cur_layout = coarse_layout;
+            }
+        }
+    }
+    MgHierarchy { levels, opts: opts.mg, coarsen_info }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmg_parallel::{DistVec, MachineModel};
+    use pmg_solver::{pcg, PcgOptions};
+
+    fn scalar_laplacian(n: usize) -> (CsrMatrix, Vec<Vec3>) {
+        let m = pmg_mesh::generators::cube(n);
+        let g = m.vertex_graph();
+        let nv = m.num_vertices();
+        let mut b = CooBuilder::new(nv, nv);
+        for v in 0..nv {
+            b.push(v, v, g.degree(v) as f64 + 1.0);
+            for &w in g.neighbors(v) {
+                b.push(v, w as usize, -1.0);
+            }
+        }
+        (b.build(), m.coords.clone())
+    }
+
+    #[test]
+    fn aggregation_covers_all_vertices() {
+        let (a, _) = scalar_laplacian(6);
+        let s = block_strength(&a, 1);
+        // The 26-neighbor stencil dilutes normalized couplings below the
+        // usual 0.08; aggregate on the raw graph.
+        let (agg, nagg) = aggregate(&s, 0.0);
+        assert!(nagg > 0);
+        assert!(agg.iter().all(|&x| (x as usize) < nagg));
+        // Aggregates shrink the grid substantially.
+        assert!(nagg * 4 < agg.len(), "nagg={nagg} of {}", agg.len());
+    }
+
+    #[test]
+    fn tentative_columns_unit_norm() {
+        let agg = vec![0u32, 0, 1, 1, 1];
+        let p = tentative(&agg, 2);
+        let pt = p.transpose();
+        for c in 0..2 {
+            let (_, vals) = pt.row(c);
+            let norm: f64 = vals.iter().map(|v| v * v).sum::<f64>();
+            assert!((norm - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn sa_pcg_converges_fast() {
+        let (a, coords) = scalar_laplacian(9);
+        let mut sim = Sim::new(2, MachineModel::default());
+        let opts = SaOptions {
+            mg: MgOptions {
+                dofs_per_vertex: 1,
+                coarse_dof_threshold: 60,
+                cycle: crate::mg::CycleType::V,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mg = build_sa_hierarchy(&mut sim, &a, &coords, opts);
+        assert!(mg.num_levels() >= 2);
+        let layout = mg.levels[0].a.row_layout().clone();
+        let n = a.nrows();
+        let bg: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin()).collect();
+        let b = DistVec::from_global(layout.clone(), &bg);
+        let mut x = DistVec::zeros(layout);
+        let res = pcg(
+            &mut sim,
+            &mg.levels[0].a,
+            &mg,
+            &b,
+            &mut x,
+            PcgOptions { rtol: 1e-8, max_iters: 80, ..Default::default() },
+        );
+        assert!(res.converged);
+        assert!(res.iterations < 40, "{} iterations", res.iterations);
+    }
+
+    #[test]
+    fn lambda_max_positive() {
+        let (a, _) = scalar_laplacian(4);
+        let lam = lambda_max_dinv_a(&a);
+        // D^{-1}A of a Laplacian-like operator has λ_max in (1, 2].
+        assert!(lam > 0.5 && lam < 3.0, "λ = {lam}");
+    }
+}

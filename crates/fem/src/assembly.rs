@@ -1,0 +1,499 @@
+//! Parallel element assembly of the tangent stiffness and internal force.
+//!
+//! The sparsity pattern is fixed by the mesh (3x3 dof blocks on the vertex
+//! connectivity graph) and reused across Newton iterations; per-element
+//! contributions are computed in parallel (rayon) in bounded chunks and
+//! scattered serially, and Gauss-point history is kept double-buffered
+//! (committed / trial) so Newton can re-evaluate from the committed state
+//! of the last converged step — exactly the structure nonlinear FE codes
+//! like FEAP use.
+
+use crate::material::{Mat3, Material, MAT3_ZERO};
+use crate::shape::{quadrature, shape_grads_phys, QuadPoint};
+use pmg_mesh::Mesh;
+use pmg_sparse::CsrMatrix;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Elements processed per parallel chunk (bounds the memory for the
+/// collected per-element matrices).
+const CHUNK: usize = 2048;
+
+/// A finite element problem: mesh + materials + Gauss-point history.
+pub struct FemProblem {
+    pub mesh: Mesh,
+    materials: Vec<Arc<dyn Material>>,
+    committed: Vec<f64>,
+    trial: Vec<f64>,
+    stride: usize,
+    quad: Vec<QuadPoint>,
+    sparsity: CsrMatrix,
+}
+
+impl FemProblem {
+    /// `materials[id]` is the model for elements with that material id.
+    pub fn new(mesh: Mesh, materials: Vec<Arc<dyn Material>>) -> FemProblem {
+        assert!(
+            mesh.materials.iter().all(|&m| (m as usize) < materials.len()),
+            "element references unknown material"
+        );
+        let quad = quadrature(mesh.kind);
+        let stride = materials.iter().map(|m| m.state_size()).max().unwrap_or(0);
+        let mut committed = vec![0.0; mesh.num_elements() * quad.len() * stride];
+        if stride > 0 {
+            for (e, chunk) in committed.chunks_mut(quad.len() * stride).enumerate() {
+                let mat = &materials[mesh.materials[e] as usize];
+                for gp in chunk.chunks_mut(stride) {
+                    mat.init_state(&mut gp[..mat.state_size()]);
+                }
+            }
+        }
+        let trial = committed.clone();
+        let sparsity = build_sparsity(&mesh);
+        FemProblem { mesh, materials, committed, trial, stride, quad, sparsity }
+    }
+
+    pub fn ndof(&self) -> usize {
+        self.mesh.num_dof()
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.sparsity.nnz()
+    }
+
+    /// Assemble the tangent stiffness and internal force at displacement
+    /// `u`. History enters from the committed state; the trial state is
+    /// updated (call [`FemProblem::commit`] once the step converges).
+    pub fn assemble(&mut self, u: &[f64]) -> (CsrMatrix, Vec<f64>) {
+        assert_eq!(u.len(), self.ndof());
+        let nelems = self.mesh.num_elements();
+        let nv = self.mesh.kind.nodes();
+        let edof = 3 * nv;
+        let esl = self.quad.len() * self.stride;
+        self.trial.copy_from_slice(&self.committed);
+
+        let mut k = self.sparsity.clone();
+        let mut f = vec![0.0f64; self.ndof()];
+
+        let mesh = &self.mesh;
+        let materials = &self.materials;
+        let quad = &self.quad;
+        let stride = self.stride;
+
+        let mut start = 0usize;
+        while start < nelems {
+            let end = (start + CHUNK).min(nelems);
+            let states = if esl > 0 {
+                &mut self.trial[start * esl..end * esl]
+            } else {
+                &mut self.trial[0..0]
+            };
+            let results: Vec<(Vec<f64>, Vec<f64>)> = if esl > 0 {
+                states
+                    .par_chunks_mut(esl)
+                    .enumerate()
+                    .map(|(off, st)| {
+                        element_kernel(mesh, materials, quad, stride, start + off, u, st)
+                    })
+                    .collect()
+            } else {
+                (start..end)
+                    .into_par_iter()
+                    .map(|e| element_kernel(mesh, materials, quad, stride, e, u, &mut []))
+                    .collect()
+            };
+            for (off, (ke, fe)) in results.into_iter().enumerate() {
+                let e = start + off;
+                let verts = mesh.elem(e);
+                for a in 0..nv {
+                    for i in 0..3 {
+                        let gi = 3 * verts[a] as usize + i;
+                        f[gi] += fe[3 * a + i];
+                        for b in 0..nv {
+                            for kk in 0..3 {
+                                let gj = 3 * verts[b] as usize + kk;
+                                let v = ke[(3 * a + i) * edof + (3 * b + kk)];
+                                if v != 0.0 {
+                                    let ok = k.add_to(gi, gj, v);
+                                    debug_assert!(ok, "entry outside sparsity");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+        pmg_sparse::flops::add((nelems * self.quad.len() * edof * edof * 2) as u64);
+        (k, f)
+    }
+
+    /// Promote the trial history to committed (end of a converged step).
+    pub fn commit(&mut self) {
+        self.committed.copy_from_slice(&self.trial);
+    }
+
+    /// Fraction of Gauss points of elements with material `mat_id` whose
+    /// trial state reports yielding (slot 12 of the J2 state).
+    pub fn yielded_fraction(&self, mat_id: u32) -> f64 {
+        if self.stride < 13 {
+            return 0.0;
+        }
+        let esl = self.quad.len() * self.stride;
+        let mut total = 0usize;
+        let mut yielded = 0usize;
+        for e in 0..self.mesh.num_elements() {
+            if self.mesh.materials[e] != mat_id {
+                continue;
+            }
+            for gp in 0..self.quad.len() {
+                total += 1;
+                if self.trial[e * esl + gp * self.stride + 12] != 0.0 {
+                    yielded += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            yielded as f64 / total as f64
+        }
+    }
+}
+
+/// Compute one element's stiffness and internal force; `state` covers all
+/// of the element's Gauss points (may be empty for stateless materials).
+fn element_kernel(
+    mesh: &Mesh,
+    materials: &[Arc<dyn Material>],
+    quad: &[QuadPoint],
+    stride: usize,
+    e: usize,
+    u: &[f64],
+    state: &mut [f64],
+) -> (Vec<f64>, Vec<f64>) {
+    let verts = mesh.elem(e);
+    let nv = verts.len();
+    let edof = 3 * nv;
+    let coords = mesh.elem_coords(e);
+    let mat = &materials[mesh.materials[e] as usize];
+
+    let mut ke = vec![0.0f64; edof * edof];
+    let mut fe = vec![0.0f64; edof];
+
+    for (gp, q) in quad.iter().enumerate() {
+        let Some((grads, det)) = shape_grads_phys(mesh.kind, &coords, q.xi) else {
+            // Inverted element: skip this point; the material fallback plus
+            // the Newton line search context recovers or fails loudly later.
+            continue;
+        };
+        let w = q.weight * det;
+
+        // Displacement gradient H[i][j] = Σ_a u_a,i ∂N_a/∂X_j.
+        let mut h: Mat3 = MAT3_ZERO;
+        for (a, g) in grads.iter().enumerate() {
+            let base = 3 * verts[a] as usize;
+            for i in 0..3 {
+                let ua = u[base + i];
+                for j in 0..3 {
+                    h[i][j] += ua * g[j];
+                }
+            }
+        }
+
+        let gp_state = if stride > 0 {
+            &mut state[gp * stride..gp * stride + mat.state_size()]
+        } else {
+            &mut []
+        };
+        let (p, a4) = mat.respond(&h, gp_state);
+
+        // Internal force and stiffness.
+        for (a, ga) in grads.iter().enumerate() {
+            for i in 0..3 {
+                let mut acc = 0.0;
+                for jj in 0..3 {
+                    acc += p[i][jj] * ga[jj];
+                }
+                fe[3 * a + i] += acc * w;
+            }
+        }
+        for (a, ga) in grads.iter().enumerate() {
+            for i in 0..3 {
+                // temp[k][l] = Σ_J ga[J] A[i][J][k][L].
+                let mut temp = MAT3_ZERO;
+                for jj in 0..3 {
+                    let gaj = ga[jj];
+                    if gaj == 0.0 {
+                        continue;
+                    }
+                    for kk in 0..3 {
+                        for ll in 0..3 {
+                            temp[kk][ll] += gaj * a4.get(i, jj, kk, ll);
+                        }
+                    }
+                }
+                let row = (3 * a + i) * edof;
+                for (b, gb) in grads.iter().enumerate() {
+                    for kk in 0..3 {
+                        let mut acc = 0.0;
+                        for ll in 0..3 {
+                            acc += temp[kk][ll] * gb[ll];
+                        }
+                        ke[row + 3 * b + kk] += acc * w;
+                    }
+                }
+            }
+        }
+    }
+    (ke, fe)
+}
+
+/// CSR sparsity of the assembled operator: 3x3 blocks on the vertex graph
+/// (plus the diagonal block), values zero.
+fn build_sparsity(mesh: &Mesh) -> CsrMatrix {
+    let n = mesh.num_vertices();
+    let g = mesh.vertex_graph();
+    let ndof = 3 * n;
+    let mut row_ptr = Vec::with_capacity(ndof + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<usize> = Vec::new();
+    for v in 0..n {
+        // Sorted neighbor list including self.
+        let nbrs = g.neighbors(v);
+        let mut cols: Vec<usize> = Vec::with_capacity(3 * (nbrs.len() + 1));
+        let mut inserted_self = false;
+        for &w in nbrs {
+            let w = w as usize;
+            if !inserted_self && w > v {
+                for c in 0..3 {
+                    cols.push(3 * v + c);
+                }
+                inserted_self = true;
+            }
+            for c in 0..3 {
+                cols.push(3 * w + c);
+            }
+        }
+        if !inserted_self {
+            for c in 0..3 {
+                cols.push(3 * v + c);
+            }
+        }
+        for _ in 0..3 {
+            col_idx.extend_from_slice(&cols);
+            row_ptr.push(col_idx.len());
+        }
+    }
+    let nnz = col_idx.len();
+    CsrMatrix::from_parts(ndof, ndof, row_ptr, col_idx, vec![0.0; nnz])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::{J2Plasticity, LinearElastic, NeoHookean};
+    use pmg_geometry::Vec3;
+    use pmg_mesh::generators::block;
+
+    fn one_hex_problem(mat: Arc<dyn Material>) -> FemProblem {
+        let mesh = block(1, 1, 1, Vec3::splat(1.0), |_| 0);
+        FemProblem::new(mesh, vec![mat])
+    }
+
+    #[test]
+    fn linear_internal_force_is_k_times_u() {
+        let mut p = one_hex_problem(Arc::new(LinearElastic::from_e_nu(1.0, 0.3)));
+        let (k0, f0) = p.assemble(&[0.0; 24]);
+        assert!(f0.iter().all(|&v| v.abs() < 1e-16));
+        let u: Vec<f64> = (0..24).map(|i| 1e-3 * ((i * 13 % 7) as f64 - 3.0)).collect();
+        let (k1, f1) = p.assemble(&u);
+        // Stiffness of a linear material is displacement independent.
+        let mut ku = vec![0.0; 24];
+        k0.spmv(&u, &mut ku);
+        for (a, b) in f1.iter().zip(&ku) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        assert!(k1.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn rigid_translation_is_stress_free() {
+        let mut p = one_hex_problem(Arc::new(NeoHookean::from_e_nu(1.0, 0.3)));
+        // u = constant translation.
+        let mut u = vec![0.0; 24];
+        for a in 0..8 {
+            u[3 * a] = 0.37;
+            u[3 * a + 1] = -0.12;
+            u[3 * a + 2] = 0.55;
+        }
+        let (_, f) = p.assemble(&u);
+        for v in &f {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn finite_rotation_stress_free_for_neo_hookean() {
+        // A finite rigid rotation produces zero force in a finite-strain
+        // model (but NOT in small-strain elasticity — that is the point of
+        // using Neo-Hookean for the soft material).
+        let mesh = block(1, 1, 1, Vec3::splat(1.0), |_| 0);
+        let angle = 0.3f64;
+        let (c, s) = (angle.cos(), angle.sin());
+        let mut u = vec![0.0; 24];
+        for (a, pt) in mesh.coords.iter().enumerate() {
+            u[3 * a] = c * pt.x - s * pt.y - pt.x;
+            u[3 * a + 1] = s * pt.x + c * pt.y - pt.y;
+        }
+        let mut p = FemProblem::new(mesh, vec![Arc::new(NeoHookean::from_e_nu(1.0, 0.3))]);
+        let (_, f) = p.assemble(&u);
+        let fmax = f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(fmax < 1e-10, "rotation force {fmax}");
+    }
+
+    #[test]
+    fn stiffness_has_rigid_body_nullspace() {
+        let mesh = block(2, 2, 2, Vec3::splat(1.0), |_| 0);
+        let n = mesh.num_dof();
+        let mut p = FemProblem::new(mesh, vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.25))]);
+        let (k, _) = p.assemble(&vec![0.0; n]);
+        // Translation in x is in the null space.
+        let mut tx = vec![0.0; n];
+        for a in 0..n / 3 {
+            tx[3 * a] = 1.0;
+        }
+        let mut ktx = vec![0.0; n];
+        k.spmv(&tx, &mut ktx);
+        let norm: f64 = ktx.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm < 1e-12, "K @ translation = {norm}");
+    }
+
+    #[test]
+    fn tangent_matches_fd_for_neo_hookean() {
+        let mut p = one_hex_problem(Arc::new(NeoHookean::from_e_nu(2.0, 0.3)));
+        let u: Vec<f64> = (0..24).map(|i| 0.02 * ((i * 7 % 11) as f64 / 11.0 - 0.5)).collect();
+        let (k, _) = p.assemble(&u);
+        let eps = 1e-6;
+        for dof in [0, 5, 13, 23] {
+            let mut up = u.clone();
+            up[dof] += eps;
+            let (_, fp) = p.assemble(&up);
+            let mut um = u.clone();
+            um[dof] -= eps;
+            let (_, fm) = p.assemble(&um);
+            for i in 0..24 {
+                let fd = (fp[i] - fm[i]) / (2.0 * eps);
+                assert!(
+                    (k.get(i, dof) - fd).abs() < 1e-5,
+                    "K[{i},{dof}]={} vs fd {}",
+                    k.get(i, dof),
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparsity_matches_vertex_graph() {
+        let mesh = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |_| 0);
+        let p = FemProblem::new(mesh, vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))]);
+        // 12 vertices; the 4 shared-face vertices see all 12, the 4+4 outer
+        // ones see the 8 of their element. nnz = 3*3 * sum(deg+1).
+        let expect = 9 * (4 * 12 + 8 * 8);
+        assert_eq!(p.nnz(), expect);
+    }
+
+    #[test]
+    fn plastic_state_commit_cycle() {
+        let mat = Arc::new(J2Plasticity::from_e_nu(1.0, 0.3, 1e-3, 2e-3));
+        let mut p = one_hex_problem(mat);
+        assert_eq!(p.yielded_fraction(0), 0.0);
+        // Stretch far past yield.
+        let mesh_coords: Vec<Vec3> = p.mesh.coords.clone();
+        let mut u = vec![0.0; 24];
+        for (a, pt) in mesh_coords.iter().enumerate() {
+            u[3 * a + 2] = 0.01 * pt.z; // 1% uniaxial strain
+        }
+        let _ = p.assemble(&u);
+        assert!(p.yielded_fraction(0) > 0.99);
+        p.commit();
+        // A small unload from the converged surface state is elastic (a
+        // full reversal would re-yield via the Bauschinger effect).
+        let u_small: Vec<f64> = u.iter().map(|v| 0.95 * v).collect();
+        let _ = p.assemble(&u_small);
+        assert_eq!(p.yielded_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn patch_test_constant_strain() {
+        // The classic FEM patch test: on an arbitrarily distorted mesh, an
+        // affine displacement field produces constant stress, and the
+        // residual at every interior node must vanish exactly.
+        let mut mesh = block(3, 3, 3, Vec3::splat(1.0), |_| 0);
+        // Distort all interior nodes deterministically.
+        for (v, p) in mesh.coords.iter_mut().enumerate() {
+            let interior =
+                p.x > 0.0 && p.x < 1.0 && p.y > 0.0 && p.y < 1.0 && p.z > 0.0 && p.z < 1.0;
+            if interior {
+                let s = (v as f64 * 0.7).sin() * 0.06;
+                *p += Vec3::new(s, -s * 0.5, s * 0.25);
+            }
+        }
+        assert!(mesh.validate_volumes().is_ok());
+        let interior: Vec<usize> = mesh
+            .coords
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.x > 0.0 && p.x < 1.0 && p.y > 0.0 && p.y < 1.0 && p.z > 0.0 && p.z < 1.0)
+            .map(|(v, _)| v)
+            .collect();
+        assert!(!interior.is_empty());
+        let affine = |p: Vec3| {
+            [
+                1e-3 * p.x + 2e-3 * p.y - 1e-3 * p.z,
+                -2e-3 * p.x + 0.5e-3 * p.y,
+                1.5e-3 * p.z + 1e-3 * p.x,
+            ]
+        };
+        let mut u = vec![0.0; mesh.num_dof()];
+        for (v, &p) in mesh.coords.iter().enumerate() {
+            let a = affine(p);
+            u[3 * v] = a[0];
+            u[3 * v + 1] = a[1];
+            u[3 * v + 2] = a[2];
+        }
+        let mut prob =
+            FemProblem::new(mesh, vec![Arc::new(LinearElastic::from_e_nu(7.0, 0.3))]);
+        let (_, f) = prob.assemble(&u);
+        for &v in &interior {
+            for c in 0..3 {
+                assert!(
+                    f[3 * v + c].abs() < 1e-12,
+                    "patch test failed at node {v} component {c}: {}",
+                    f[3 * v + c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_materials_assemble() {
+        let mesh = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |c| if c.x < 1.0 { 0 } else { 1 });
+        let n = mesh.num_dof();
+        let mut p = FemProblem::new(
+            mesh,
+            vec![
+                Arc::new(LinearElastic::from_e_nu(1.0, 0.3)) as Arc<dyn Material>,
+                Arc::new(LinearElastic::from_e_nu(1e-4, 0.49)) as Arc<dyn Material>,
+            ],
+        );
+        let (k, _) = p.assemble(&vec![0.0; n]);
+        assert!(k.is_symmetric(1e-12));
+        // Stiff side has much larger diagonal entries than the soft side.
+        let d = k.diag();
+        let stiff = d[0];
+        let soft = d[d.len() - 1];
+        assert!(stiff > 100.0 * soft);
+    }
+}

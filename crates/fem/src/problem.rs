@@ -1,0 +1,145 @@
+//! The paper's §7 model problem, assembled end to end: the concentric
+//! spheres octant with Table 1 materials and the crushing load program.
+
+use crate::assembly::FemProblem;
+use crate::bc::DirichletBc;
+use crate::material::{J2Plasticity, Material, NeoHookean};
+use pmg_mesh::spheres::{sphere_in_cube, SpheresParams, HARD, SOFT};
+use std::sync::Arc;
+
+/// The assembled spheres problem plus its boundary condition program.
+pub struct SpheresProblem {
+    pub fem: FemProblem,
+    /// Symmetry-plane constraints (zero normal displacement).
+    pub symmetry_bcs: Vec<DirichletBc>,
+    /// z-dofs of the crushed top surface.
+    pub top_dofs: Vec<u32>,
+    /// Total downward crush over the whole load program (the paper crushes
+    /// 3.6 of 12.5 inches over ten steps; the hard shells start yielding
+    /// about halfway through the program).
+    pub total_crush: f64,
+    pub params: SpheresParams,
+}
+
+impl SpheresProblem {
+    /// BCs of load step `step` of `nsteps` (1-based): symmetry planes plus
+    /// the accumulated crush displacement on the top surface.
+    pub fn bcs_for_step(&self, step: usize, nsteps: usize) -> Vec<DirichletBc> {
+        let mut bcs = self.symmetry_bcs.clone();
+        let value = -self.total_crush * step as f64 / nsteps as f64;
+        bcs.extend(self.top_dofs.iter().map(|&d| DirichletBc { dof: d, value }));
+        bcs
+    }
+
+    /// Fraction of hard-material Gauss points currently yielded.
+    pub fn hard_yielded_fraction(&self) -> f64 {
+        self.fem.yielded_fraction(HARD)
+    }
+}
+
+/// Table 1 materials: soft = Neo-Hookean (E = 1e-4, ν = 0.49, large
+/// deformation), hard = J2 plasticity (E = 1, ν = 0.3, σ_y = 0.001,
+/// H = 0.002 E, kinematic hardening).
+pub fn table1_materials() -> Vec<Arc<dyn Material>> {
+    let soft = Arc::new(NeoHookean::from_e_nu(1e-4, 0.49));
+    let hard = Arc::new(J2Plasticity::from_e_nu(1.0, 0.3, 1e-3, 2e-3));
+    let mut mats: Vec<Arc<dyn Material>> = vec![soft.clone(), soft];
+    mats[SOFT as usize] = mats[0].clone();
+    mats[HARD as usize] = hard;
+    mats
+}
+
+/// Build the spheres problem for the given mesh parameters.
+pub fn spheres_problem(params: &SpheresParams) -> SpheresProblem {
+    let mesh = sphere_in_cube(params);
+    let tol = 1e-9 * params.cube_side;
+
+    let mut symmetry_bcs = Vec::new();
+    let mut top_dofs = Vec::new();
+    for (v, p) in mesh.coords.iter().enumerate() {
+        if p.x.abs() < tol {
+            symmetry_bcs.push(DirichletBc { dof: 3 * v as u32, value: 0.0 });
+        }
+        if p.y.abs() < tol {
+            symmetry_bcs.push(DirichletBc { dof: 3 * v as u32 + 1, value: 0.0 });
+        }
+        if p.z.abs() < tol {
+            symmetry_bcs.push(DirichletBc { dof: 3 * v as u32 + 2, value: 0.0 });
+        }
+        if (p.z - params.cube_side).abs() < tol {
+            top_dofs.push(3 * v as u32 + 2);
+        }
+    }
+    let fem = FemProblem::new(mesh, table1_materials());
+    SpheresProblem {
+        fem,
+        symmetry_bcs,
+        top_dofs,
+        total_crush: 3.6,
+        params: *params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_params() -> SpheresParams {
+        SpheresParams {
+            n_surf: 2,
+            core_radius: 2.5,
+            sphere_radius: 7.5,
+            cube_side: 12.5,
+            n_layers: 3,
+            elems_per_layer: 1,
+            n_core_zone: 1,
+            n_outer_zone: 1,
+        }
+    }
+
+    #[test]
+    fn problem_builds_with_bcs() {
+        let p = spheres_problem(&mini_params());
+        assert!(p.fem.ndof() > 100);
+        assert!(!p.symmetry_bcs.is_empty());
+        // Top face of an n_surf=2 patch grid has (2+1)^2 = 9 nodes.
+        assert_eq!(p.top_dofs.len(), 9);
+        // No duplicated constraint dofs among symmetry bcs.
+        let mut dofs: Vec<u32> = p.symmetry_bcs.iter().map(|b| b.dof).collect();
+        dofs.sort_unstable();
+        let before = dofs.len();
+        dofs.dedup();
+        assert_eq!(before, dofs.len());
+    }
+
+    #[test]
+    fn step_bcs_accumulate() {
+        let p = spheres_problem(&mini_params());
+        let b1 = p.bcs_for_step(1, 10);
+        let b10 = p.bcs_for_step(10, 10);
+        let v1 = b1.last().unwrap().value;
+        let v10 = b10.last().unwrap().value;
+        assert!((v1 * 10.0 - v10).abs() < 1e-12);
+        assert!((v10 + p.total_crush).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assembled_operator_is_symmetric_with_jumps() {
+        let mut p = spheres_problem(&mini_params());
+        let n = p.fem.ndof();
+        let (k, f) = p.fem.assemble(&vec![0.0; n]);
+        assert!(k.is_symmetric(1e-10));
+        assert!(f.iter().all(|&v| v.abs() < 1e-14)); // reference is stress free
+        // Material jump of 1e4 visible in the diagonal spread.
+        let d = k.diag();
+        let dmax = d.iter().cloned().fold(0.0f64, f64::max);
+        let dmin = d.iter().cloned().filter(|&x| x > 0.0).fold(f64::INFINITY, f64::min);
+        assert!(dmax / dmin > 1e2, "jump {}", dmax / dmin);
+    }
+
+    #[test]
+    fn yielded_fraction_starts_zero() {
+        let p = spheres_problem(&mini_params());
+        assert_eq!(p.hard_yielded_fraction(), 0.0);
+    }
+}

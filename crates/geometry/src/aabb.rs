@@ -1,0 +1,135 @@
+//! Axis-aligned bounding boxes.
+
+use crate::vec3::Vec3;
+
+/// An axis-aligned box, possibly empty.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// An empty box (min = +inf, max = -inf); grows to fit on `expand`.
+    pub fn empty() -> Self {
+        Aabb {
+            min: Vec3::splat(f64::INFINITY),
+            max: Vec3::splat(f64::NEG_INFINITY),
+        }
+    }
+
+    /// Smallest box containing all `points` (empty box for no points).
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Self {
+        let mut b = Self::empty();
+        for p in points {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Grow to include `p`.
+    pub fn expand(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Grow to include another box.
+    pub fn union(&self, o: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Edge lengths (zero vector for an empty box).
+    pub fn extent(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::ZERO
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Length of the space diagonal.
+    pub fn diagonal(&self) -> f64 {
+        self.extent().norm()
+    }
+
+    /// Closed containment test.
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Box inflated by `pad` on every side.
+    pub fn inflated(&self, pad: f64) -> Aabb {
+        Aabb {
+            min: self.min - Vec3::splat(pad),
+            max: self.max + Vec3::splat(pad),
+        }
+    }
+
+    /// Index (0..3) of the longest axis.
+    pub fn longest_axis(&self) -> usize {
+        let e = self.extent();
+        if e.x >= e.y && e.x >= e.z {
+            0
+        } else if e.y >= e.z {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let b = Aabb::from_points([
+            Vec3::new(0.0, 1.0, 2.0),
+            Vec3::new(3.0, -1.0, 0.0),
+            Vec3::new(1.0, 0.5, 5.0),
+        ]);
+        assert_eq!(b.min, Vec3::new(0.0, -1.0, 0.0));
+        assert_eq!(b.max, Vec3::new(3.0, 1.0, 5.0));
+        assert!(b.contains(Vec3::new(1.0, 0.0, 1.0)));
+        assert!(!b.contains(Vec3::new(4.0, 0.0, 1.0)));
+        assert_eq!(b.longest_axis(), 2);
+        assert_eq!(b.center(), Vec3::new(1.5, 0.0, 2.5));
+    }
+
+    #[test]
+    fn empty_box() {
+        let b = Aabb::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.extent(), Vec3::ZERO);
+        assert!(!b.contains(Vec3::ZERO));
+        let mut b2 = b;
+        b2.expand(Vec3::ZERO);
+        assert!(!b2.is_empty());
+        assert!(b2.contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn inflate_union() {
+        let a = Aabb::from_points([Vec3::ZERO, Vec3::splat(1.0)]);
+        let b = Aabb::from_points([Vec3::splat(2.0), Vec3::splat(3.0)]);
+        let u = a.union(&b);
+        assert!(u.contains(Vec3::splat(1.5)));
+        let i = a.inflated(0.5);
+        assert!(i.contains(Vec3::splat(-0.25)));
+        assert_eq!(i.diagonal(), (3.0f64 * 4.0).sqrt());
+    }
+}

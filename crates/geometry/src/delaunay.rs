@@ -1,0 +1,514 @@
+//! Incremental 3D Delaunay tetrahedralization (Bowyer–Watson / "Watson's
+//! algorithm", the method cited in §4.8 of the paper).
+//!
+//! Points are inserted one at a time into a triangulation seeded with a
+//! large bounding tetrahedron. For each insertion we locate the containing
+//! tetrahedron by a remembering walk, grow the *cavity* of tetrahedra whose
+//! circumsphere contains the point (exact [`insphere`] tests), and retile
+//! the cavity boundary with new tetrahedra incident to the point.
+//!
+//! The multigrid coarsener uses the result to evaluate linear tetrahedral
+//! shape functions of the coarse vertex set at fine-grid vertex positions;
+//! helpers for barycentric coordinates and point location are provided.
+
+use crate::aabb::Aabb;
+use crate::predicates::{insphere, orient3d, orient3d_fast, Orientation};
+use crate::vec3::Vec3;
+use std::collections::HashMap;
+
+/// A tetrahedron in the triangulation.
+///
+/// Vertices are indices into [`Delaunay::points`]; the four synthetic
+/// bounding-tetrahedron vertices occupy the last four slots. Vertex order is
+/// always positively oriented (`orient3d(v0,v1,v2,v3) > 0`).
+#[derive(Clone, Copy, Debug)]
+pub struct Tet {
+    /// Vertex indices, positively oriented.
+    pub verts: [usize; 4],
+    /// `neighbors[i]` is the tet sharing the face opposite `verts[i]`.
+    pub neighbors: [Option<usize>; 4],
+    pub(crate) alive: bool,
+}
+
+/// Face `FACES[i]` of a tet lists the local vertex indices of the face
+/// opposite local vertex `i`, ordered so that for a positively oriented tet
+/// `orient3d(face, verts[i]) > 0` (the opposite vertex is "inside").
+const FACES: [[usize; 3]; 4] = [[1, 3, 2], [0, 2, 3], [0, 3, 1], [0, 1, 2]];
+
+/// A 3D Delaunay tetrahedralization.
+///
+/// ```
+/// use pmg_geometry::{Delaunay, Vec3};
+/// let pts = vec![
+///     Vec3::new(0.0, 0.0, 0.0),
+///     Vec3::new(1.0, 0.0, 0.0),
+///     Vec3::new(0.0, 1.0, 0.0),
+///     Vec3::new(0.0, 0.0, 1.0),
+///     Vec3::new(0.4, 0.4, 0.4),
+/// ];
+/// let dt = Delaunay::new(&pts).unwrap();
+/// assert!(dt.verify_delaunay());
+/// let t = dt.locate(Vec3::new(0.2, 0.2, 0.2), 0).unwrap();
+/// let w = dt.barycentric(t, Vec3::new(0.2, 0.2, 0.2));
+/// assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+pub struct Delaunay {
+    points: Vec<Vec3>,
+    tets: Vec<Tet>,
+    /// Index of the first synthetic bounding vertex.
+    bound_start: usize,
+    /// Hint for the next point-location walk.
+    last_tet: usize,
+    /// For each input point, the index it was stored under (deduplicated
+    /// points map to their first occurrence).
+    canonical: Vec<usize>,
+}
+
+impl Delaunay {
+    /// Triangulate `input` points. Duplicate points are tolerated and mapped
+    /// to their first occurrence (see [`Delaunay::canonical_index`]).
+    ///
+    /// Returns `None` when the input is degenerate in a way that prevents
+    /// triangulation (fewer than one point or non-finite coordinates).
+    pub fn new(input: &[Vec3]) -> Option<Delaunay> {
+        if input.is_empty() || input.iter().any(|p| !p.to_array().iter().all(|c| c.is_finite())) {
+            return None;
+        }
+        let bbox = Aabb::from_points(input.iter().copied());
+        let center = bbox.center();
+        let size = bbox.diagonal().max(1.0);
+        // A bounding tetrahedron comfortably containing the inflated box.
+        let s = 20.0 * size;
+        let b0 = center + Vec3::new(0.0, 0.0, 3.0 * s);
+        let b1 = center + Vec3::new(-2.0 * s, -s, -s);
+        let b2 = center + Vec3::new(2.0 * s, -s, -s);
+        let b3 = center + Vec3::new(0.0, 2.0 * s, -s);
+
+        let n = input.len();
+        let mut points = Vec::with_capacity(n + 4);
+        points.extend_from_slice(input);
+        // Fix orientation of the bounding tet.
+        let (b1, b2) = match orient3d(b0, b1, b2, b3) {
+            Orientation::Positive => (b1, b2),
+            _ => (b2, b1),
+        };
+        debug_assert_eq!(orient3d(b0, b1, b2, b3), Orientation::Positive);
+        points.push(b0);
+        points.push(b1);
+        points.push(b2);
+        points.push(b3);
+
+        let root = Tet {
+            verts: [n, n + 1, n + 2, n + 3],
+            neighbors: [None; 4],
+            alive: true,
+        };
+        let mut dt = Delaunay {
+            points,
+            tets: vec![root],
+            bound_start: n,
+            last_tet: 0,
+            canonical: Vec::with_capacity(n),
+        };
+
+        let mut seen: HashMap<[u64; 3], usize> = HashMap::with_capacity(n);
+        for i in 0..n {
+            let p = dt.points[i];
+            let key = [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()];
+            match seen.get(&key) {
+                Some(&first) => dt.canonical.push(first),
+                None => {
+                    seen.insert(key, i);
+                    dt.canonical.push(i);
+                    dt.insert(i)?;
+                }
+            }
+        }
+        Some(dt)
+    }
+
+    /// All points, including the 4 synthetic bounding vertices at the end.
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    /// True if `v` is one of the synthetic bounding-tetrahedron vertices.
+    pub fn is_bounding_vertex(&self, v: usize) -> bool {
+        v >= self.bound_start
+    }
+
+    /// Index under which input point `i` was actually triangulated
+    /// (different from `i` only for duplicate points).
+    pub fn canonical_index(&self, i: usize) -> usize {
+        self.canonical[i]
+    }
+
+    /// Iterate over alive tetrahedra as `(tet_id, &Tet)`.
+    pub fn tets(&self) -> impl Iterator<Item = (usize, &Tet)> {
+        self.tets.iter().enumerate().filter(|(_, t)| t.alive)
+    }
+
+    /// Alive tetrahedra that do not touch a bounding vertex ("real" tets).
+    pub fn real_tets(&self) -> impl Iterator<Item = (usize, &Tet)> {
+        self.tets()
+            .filter(move |(_, t)| t.verts.iter().all(|&v| !self.is_bounding_vertex(v)))
+    }
+
+    pub fn tet(&self, id: usize) -> &Tet {
+        &self.tets[id]
+    }
+
+    pub fn num_alive_tets(&self) -> usize {
+        self.tets.iter().filter(|t| t.alive).count()
+    }
+
+    fn vpos(&self, v: usize) -> Vec3 {
+        self.points[v]
+    }
+
+    /// Signed test: is `p` inside (closed) tet `t`? Returns the local face
+    /// index through which `p` is outside, if any.
+    fn outside_face(&self, t: usize, p: Vec3) -> Option<usize> {
+        let tet = &self.tets[t];
+        for (i, f) in FACES.iter().enumerate() {
+            let a = self.vpos(tet.verts[f[0]]);
+            let b = self.vpos(tet.verts[f[1]]);
+            let c = self.vpos(tet.verts[f[2]]);
+            if orient3d(a, b, c, p) == Orientation::Negative {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Locate a tetrahedron whose closed hull contains `p`, walking from
+    /// `hint` (falls back to exhaustive scan if the walk stalls).
+    pub fn locate(&self, p: Vec3, hint: usize) -> Option<usize> {
+        let mut cur = if self.tets.get(hint).is_some_and(|t| t.alive) {
+            hint
+        } else {
+            self.tets.iter().position(|t| t.alive)?
+        };
+        let max_steps = 4 * self.tets.len() + 16;
+        for _ in 0..max_steps {
+            match self.outside_face(cur, p) {
+                None => return Some(cur),
+                Some(i) => match self.tets[cur].neighbors[i] {
+                    Some(nb) => cur = nb,
+                    // Outside the current hull: cannot happen for points in
+                    // the bounding tet; treat as not found.
+                    None => return None,
+                },
+            }
+        }
+        // Walk failed to terminate (possible on degenerate inputs): scan.
+        self.tets()
+            .find(|&(id, _)| self.outside_face(id, p).is_none())
+            .map(|(id, _)| id)
+    }
+
+    /// Insert point index `pi` (must be a stored point). Returns `None` on
+    /// unrecoverable degeneracy.
+    fn insert(&mut self, pi: usize) -> Option<()> {
+        let p = self.points[pi];
+        let start = self.locate(p, self.last_tet)?;
+
+        // Grow the cavity of tets whose circumsphere strictly contains p.
+        let mut cavity = vec![start];
+        let mut in_cavity = HashMap::new();
+        in_cavity.insert(start, true);
+        let mut stack = vec![start];
+        while let Some(t) = stack.pop() {
+            for i in 0..4 {
+                if let Some(nb) = self.tets[t].neighbors[i] {
+                    if in_cavity.contains_key(&nb) {
+                        continue;
+                    }
+                    let bad = self.point_in_circumsphere(nb, p);
+                    in_cavity.insert(nb, bad);
+                    if bad {
+                        cavity.push(nb);
+                        stack.push(nb);
+                    }
+                }
+            }
+        }
+
+        // Collect boundary faces: faces of cavity tets whose neighbor is
+        // outside the cavity (or absent).
+        struct BFace {
+            verts: [usize; 3],
+            outer: Option<usize>,
+            outer_face: usize,
+        }
+        let mut boundary = Vec::new();
+        for &t in &cavity {
+            let tet = self.tets[t];
+            for (i, f) in FACES.iter().enumerate() {
+                let nb = tet.neighbors[i];
+                let nb_in = nb.is_some_and(|n| in_cavity.get(&n).copied().unwrap_or(false));
+                if !nb_in {
+                    let verts = [tet.verts[f[0]], tet.verts[f[1]], tet.verts[f[2]]];
+                    let outer_face = nb.map(|n| self.face_index_of(n, t)).unwrap_or(0);
+                    boundary.push(BFace { verts, outer: nb, outer_face });
+                }
+            }
+        }
+
+        // Kill cavity tets.
+        for &t in &cavity {
+            self.tets[t].alive = false;
+        }
+
+        // Create one new tet per boundary face: (face, p).
+        let first_new = self.tets.len();
+        let mut face_map: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+        for bf in &boundary {
+            let [a, b, c] = bf.verts;
+            debug_assert_ne!(
+                orient3d(self.vpos(a), self.vpos(b), self.vpos(c), p),
+                Orientation::Negative,
+                "cavity boundary face not visible from inserted point"
+            );
+            let id = self.tets.len();
+            self.tets.push(Tet {
+                verts: [a, b, c, pi],
+                neighbors: [None, None, None, bf.outer],
+                alive: true,
+            });
+            // Re-link the outer neighbor to the new tet.
+            if let Some(out) = bf.outer {
+                self.tets[out].neighbors[bf.outer_face] = Some(id);
+            }
+            // Wire new-tet-to-new-tet adjacency through shared edges of the
+            // boundary faces. New tet face opposite local vertex k (k<3) is
+            // the face containing p and the edge (other two of a,b,c).
+            for k in 0..3 {
+                let e0 = bf.verts[(k + 1) % 3];
+                let e1 = bf.verts[(k + 2) % 3];
+                let key = (e0.min(e1), e0.max(e1));
+                match face_map.remove(&key) {
+                    Some((other_id, other_face)) => {
+                        // `verts[k]`'s opposite face in the new tet contains
+                        // edge (e0,e1) and p; the local face index is k.
+                        self.tets[id].neighbors[k] = Some(other_id);
+                        self.tets[other_id].neighbors[other_face] = Some(id);
+                    }
+                    None => {
+                        face_map.insert(key, (id, k));
+                    }
+                }
+            }
+        }
+        debug_assert!(face_map.is_empty(), "unmatched cavity faces");
+        self.last_tet = first_new;
+        Some(())
+    }
+
+    /// Face index of `t` that is shared with neighbor `nb`.
+    fn face_index_of(&self, t: usize, nb: usize) -> usize {
+        self.tets[t]
+            .neighbors
+            .iter()
+            .position(|&n| n == Some(nb))
+            .expect("neighbor link missing")
+    }
+
+    /// Exact test: does the circumsphere of tet `t` strictly contain `p`?
+    fn point_in_circumsphere(&self, t: usize, p: Vec3) -> bool {
+        let v = self.tets[t].verts;
+        insphere(
+            self.vpos(v[0]),
+            self.vpos(v[1]),
+            self.vpos(v[2]),
+            self.vpos(v[3]),
+            p,
+        ) == Orientation::Positive
+    }
+
+    /// Barycentric coordinates of `p` in tet `t` (f64 arithmetic). The four
+    /// weights sum to 1; all weights in `[0,1]` means `p` is inside.
+    pub fn barycentric(&self, t: usize, p: Vec3) -> [f64; 4] {
+        let v = self.tets[t].verts;
+        barycentric(
+            [self.vpos(v[0]), self.vpos(v[1]), self.vpos(v[2]), self.vpos(v[3])],
+            p,
+        )
+    }
+
+    /// Verify the empty-circumsphere property against all points (O(n·m),
+    /// intended for tests).
+    pub fn verify_delaunay(&self) -> bool {
+        for (_, t) in self.tets() {
+            for v in 0..self.bound_start {
+                if t.verts.contains(&v) {
+                    continue;
+                }
+                if self.point_in_circumsphere_id(t, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn point_in_circumsphere_id(&self, t: &Tet, v: usize) -> bool {
+        insphere(
+            self.vpos(t.verts[0]),
+            self.vpos(t.verts[1]),
+            self.vpos(t.verts[2]),
+            self.vpos(t.verts[3]),
+            self.vpos(v),
+        ) == Orientation::Positive
+    }
+}
+
+/// Barycentric coordinates of `p` with respect to tet corners `v` (plain f64
+/// volume ratios; not robust near degeneracy).
+pub fn barycentric(v: [Vec3; 4], p: Vec3) -> [f64; 4] {
+    let total = orient3d_fast(v[0], v[1], v[2], v[3]);
+    if total == 0.0 {
+        return [f64::NAN; 4];
+    }
+    // Weight of corner i is the volume of the tet with corner i replaced by p.
+    let w0 = orient3d_fast(p, v[1], v[2], v[3]) / total;
+    let w1 = orient3d_fast(v[0], p, v[2], v[3]) / total;
+    let w2 = orient3d_fast(v[0], v[1], p, v[3]) / total;
+    let w3 = orient3d_fast(v[0], v[1], v[2], p) / total;
+    [w0, w1, w2, w3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn cube_corners() -> Vec<Vec3> {
+        let mut v = Vec::new();
+        for i in 0..8 {
+            v.push(Vec3::new(
+                (i & 1) as f64,
+                ((i >> 1) & 1) as f64,
+                ((i >> 2) & 1) as f64,
+            ));
+        }
+        v
+    }
+
+    #[test]
+    fn single_point() {
+        let dt = Delaunay::new(&[Vec3::ZERO]).unwrap();
+        assert_eq!(dt.real_tets().count(), 0);
+        assert!(dt.num_alive_tets() >= 4);
+    }
+
+    #[test]
+    fn cube_triangulation() {
+        let dt = Delaunay::new(&cube_corners()).unwrap();
+        // A cube triangulates into 5 or 6 tets; total real volume must be 1.
+        let mut vol = 0.0;
+        for (_, t) in dt.real_tets() {
+            let v = t.verts.map(|i| dt.points()[i]);
+            vol += orient3d_fast(v[0], v[1], v[2], v[3]) / 6.0;
+        }
+        assert!((vol - 1.0).abs() < 1e-12, "volume = {vol}");
+        assert!(dt.verify_delaunay());
+    }
+
+    #[test]
+    fn random_points_delaunay_property() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let pts: Vec<Vec3> = (0..80)
+            .map(|_| Vec3::new(rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let dt = Delaunay::new(&pts).unwrap();
+        assert!(dt.verify_delaunay());
+        // Hull volume equals the sum of tet volumes and every tet positively
+        // oriented.
+        for (_, t) in dt.real_tets() {
+            let v = t.verts.map(|i| dt.points()[i]);
+            assert!(orient3d_fast(v[0], v[1], v[2], v[3]) > 0.0);
+        }
+    }
+
+    #[test]
+    fn grid_points_cospherical() {
+        // Regular grids are maximally degenerate (many cospherical point
+        // sets); the exact predicates must still produce a valid result.
+        let mut pts = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    pts.push(Vec3::new(i as f64, j as f64, k as f64));
+                }
+            }
+        }
+        let dt = Delaunay::new(&pts).unwrap();
+        let mut vol = 0.0;
+        for (_, t) in dt.real_tets() {
+            let v = t.verts.map(|i| dt.points()[i]);
+            let o = orient3d_fast(v[0], v[1], v[2], v[3]);
+            assert!(o > 0.0);
+            vol += o / 6.0;
+        }
+        assert!((vol - 27.0).abs() < 1e-9, "volume = {vol}");
+    }
+
+    #[test]
+    fn duplicates_are_canonicalized() {
+        let mut pts = cube_corners();
+        pts.push(pts[3]);
+        pts.push(pts[0]);
+        let dt = Delaunay::new(&pts).unwrap();
+        assert_eq!(dt.canonical_index(8), 3);
+        assert_eq!(dt.canonical_index(9), 0);
+        assert_eq!(dt.canonical_index(2), 2);
+        assert!(dt.verify_delaunay());
+    }
+
+    #[test]
+    fn locate_and_barycentric() {
+        let pts = cube_corners();
+        let dt = Delaunay::new(&pts).unwrap();
+        let q = Vec3::new(0.3, 0.4, 0.5);
+        let t = dt.locate(q, 0).unwrap();
+        let w = dt.barycentric(t, q);
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| x >= -1e-12));
+        // Reconstruct q from the weights.
+        let verts = dt.tet(t).verts;
+        let mut rec = Vec3::ZERO;
+        for (wi, vi) in w.iter().zip(verts.iter()) {
+            rec += *wi * dt.points()[*vi];
+        }
+        assert!(rec.dist(q) < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let pts: Vec<Vec3> = (0..40)
+            .map(|_| Vec3::new(rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let dt = Delaunay::new(&pts).unwrap();
+        for (id, t) in dt.tets() {
+            for (i, nb) in t.neighbors.iter().enumerate() {
+                if let Some(nb) = *nb {
+                    assert!(dt.tet(nb).alive, "dead neighbor");
+                    assert!(
+                        dt.tet(nb).neighbors.contains(&Some(id)),
+                        "asymmetric adjacency"
+                    );
+                    // Shared face vertices must match.
+                    let mut face: Vec<usize> =
+                        FACES[i].iter().map(|&k| t.verts[k]).collect();
+                    face.sort_unstable();
+                    let mut other: Vec<usize> = dt.tet(nb).verts.to_vec();
+                    other.sort_unstable();
+                    assert!(face.iter().all(|v| other.contains(v)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Floating-point expansion arithmetic after Shewchuk.
+//!
+//! An *expansion* represents a real number exactly as a sum of f64
+//! components, ordered by increasing magnitude and pairwise nonoverlapping.
+//! All operations here are exact: no information is lost, so determinant
+//! signs computed through expansions are the true signs. This is the same
+//! machinery that backs the "geometric predicates (4,000 lines of C)"
+//! dependency cited by the paper [Shewchuk 1997].
+//!
+//! The primitives (`two_sum`, `two_product`, `fast_expansion_sum_zeroelim`,
+//! `scale_expansion_zeroelim`) follow the classical algorithms; the
+//! [`Expansion`] type composes them into a small exact-arithmetic calculator
+//! used by the exact fallbacks in [`crate::predicates`].
+
+/// Error-free transform: returns `(x, y)` with `x = fl(a+b)` and `a+b = x+y`.
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bvirt = x - a;
+    let avirt = x - bvirt;
+    let bround = b - bvirt;
+    let around = a - avirt;
+    (x, around + bround)
+}
+
+/// `two_sum` specialization valid when `|a| >= |b|`.
+#[inline]
+pub fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bvirt = x - a;
+    (x, b - bvirt)
+}
+
+/// Error-free transform for subtraction: `a - b = x + y` exactly.
+#[inline]
+pub fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let x = a - b;
+    let bvirt = a - x;
+    let avirt = x + bvirt;
+    let bround = bvirt - b;
+    let around = a - avirt;
+    (x, around + bround)
+}
+
+/// Veltkamp splitter for dekker-style products: 2^27 + 1.
+const SPLITTER: f64 = 134_217_729.0;
+
+/// Split `a` into high and low halves whose product terms are exact.
+#[inline]
+pub fn split(a: f64) -> (f64, f64) {
+    let c = SPLITTER * a;
+    let abig = c - a;
+    let ahi = c - abig;
+    let alo = a - ahi;
+    (ahi, alo)
+}
+
+/// Error-free transform for multiplication: `a * b = x + y` exactly.
+#[inline]
+pub fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let x = a * b;
+    let (ahi, alo) = split(a);
+    let (bhi, blo) = split(b);
+    let err1 = x - ahi * bhi;
+    let err2 = err1 - alo * bhi;
+    let err3 = err2 - ahi * blo;
+    (x, alo * blo - err3)
+}
+
+/// Sum two expansions (given as slices of nonoverlapping components in
+/// increasing-magnitude order), eliminating zero components.
+pub fn fast_expansion_sum_zeroelim(e: &[f64], f: &[f64], h: &mut Vec<f64>) {
+    h.clear();
+    if e.is_empty() {
+        h.extend_from_slice(f);
+        h.retain(|&c| c != 0.0);
+        return;
+    }
+    if f.is_empty() {
+        h.extend_from_slice(e);
+        h.retain(|&c| c != 0.0);
+        return;
+    }
+
+    let mut eindex = 0usize;
+    let mut findex = 0usize;
+    let mut enow = e[0];
+    let mut fnow = f[0];
+
+    let mut q;
+    if (fnow > enow) == (fnow > -enow) {
+        q = enow;
+        eindex += 1;
+    } else {
+        q = fnow;
+        findex += 1;
+    }
+
+    let mut hh;
+    if eindex < e.len() && findex < f.len() {
+        enow = e[eindex];
+        fnow = f[findex];
+        loop {
+            let qnew;
+            if (fnow > enow) == (fnow > -enow) {
+                let (s, e_) = fast_two_sum(enow, q);
+                qnew = s;
+                hh = e_;
+                eindex += 1;
+            } else {
+                let (s, e_) = fast_two_sum(fnow, q);
+                qnew = s;
+                hh = e_;
+                findex += 1;
+            }
+            q = qnew;
+            if hh != 0.0 {
+                h.push(hh);
+            }
+            if eindex >= e.len() || findex >= f.len() {
+                break;
+            }
+            enow = e[eindex];
+            fnow = f[findex];
+        }
+    }
+    while eindex < e.len() {
+        let (s, e_) = two_sum(q, e[eindex]);
+        q = s;
+        hh = e_;
+        eindex += 1;
+        if hh != 0.0 {
+            h.push(hh);
+        }
+    }
+    while findex < f.len() {
+        let (s, e_) = two_sum(q, f[findex]);
+        q = s;
+        hh = e_;
+        findex += 1;
+        if hh != 0.0 {
+            h.push(hh);
+        }
+    }
+    if q != 0.0 || h.is_empty() {
+        h.push(q);
+    }
+}
+
+/// Multiply expansion `e` by scalar `b`, eliminating zero components.
+pub fn scale_expansion_zeroelim(e: &[f64], b: f64, h: &mut Vec<f64>) {
+    h.clear();
+    if e.is_empty() || b == 0.0 {
+        h.push(0.0);
+        return;
+    }
+    let (bhi, blo) = split(b);
+
+    let (mut q, hh0) = {
+        let x = e[0] * b;
+        let (ehi, elo) = split(e[0]);
+        let err1 = x - ehi * bhi;
+        let err2 = err1 - elo * bhi;
+        let err3 = err2 - ehi * blo;
+        (x, elo * blo - err3)
+    };
+    if hh0 != 0.0 {
+        h.push(hh0);
+    }
+    for &enow in &e[1..] {
+        let (product1, product0) = {
+            let x = enow * b;
+            let (ehi, elo) = split(enow);
+            let err1 = x - ehi * bhi;
+            let err2 = err1 - elo * bhi;
+            let err3 = err2 - ehi * blo;
+            (x, elo * blo - err3)
+        };
+        let (sum, hh) = two_sum(q, product0);
+        if hh != 0.0 {
+            h.push(hh);
+        }
+        let (qnew, hh) = fast_two_sum(product1, sum);
+        q = qnew;
+        if hh != 0.0 {
+            h.push(hh);
+        }
+    }
+    if q != 0.0 || h.is_empty() {
+        h.push(q);
+    }
+}
+
+/// An exact multi-component floating-point number.
+///
+/// Components are stored in increasing-magnitude order and are pairwise
+/// nonoverlapping, so `self.components.iter().sum()` loses precision but
+/// the *sign* of the expansion is the sign of its largest (last) component.
+#[derive(Clone, Debug, Default)]
+pub struct Expansion {
+    components: Vec<f64>,
+}
+
+impl Expansion {
+    /// The exact zero.
+    pub fn zero() -> Self {
+        Expansion { components: Vec::new() }
+    }
+
+    /// An expansion holding the single component `v`.
+    pub fn from_f64(v: f64) -> Self {
+        if v == 0.0 {
+            Self::zero()
+        } else {
+            Expansion { components: vec![v] }
+        }
+    }
+
+    /// Exact product of two f64 values.
+    pub fn from_product(a: f64, b: f64) -> Self {
+        let (x, y) = two_product(a, b);
+        let mut components = Vec::with_capacity(2);
+        if y != 0.0 {
+            components.push(y);
+        }
+        if x != 0.0 {
+            components.push(x);
+        }
+        Expansion { components }
+    }
+
+    /// Exact difference of two f64 values.
+    pub fn from_diff(a: f64, b: f64) -> Self {
+        let (x, y) = two_diff(a, b);
+        let mut components = Vec::with_capacity(2);
+        if y != 0.0 {
+            components.push(y);
+        }
+        if x != 0.0 {
+            components.push(x);
+        }
+        Expansion { components }
+    }
+
+    pub fn components(&self) -> &[f64] {
+        &self.components
+    }
+
+    /// Exact sum.
+    pub fn add(&self, other: &Expansion) -> Expansion {
+        let mut h = Vec::with_capacity(self.components.len() + other.components.len());
+        fast_expansion_sum_zeroelim(&self.components, &other.components, &mut h);
+        if h.len() == 1 && h[0] == 0.0 {
+            h.clear();
+        }
+        Expansion { components: h }
+    }
+
+    /// Exact difference.
+    pub fn sub(&self, other: &Expansion) -> Expansion {
+        self.add(&other.neg())
+    }
+
+    /// Exact negation.
+    pub fn neg(&self) -> Expansion {
+        Expansion { components: self.components.iter().map(|c| -c).collect() }
+    }
+
+    /// Exact product with a scalar.
+    pub fn scale(&self, b: f64) -> Expansion {
+        if b == 0.0 || self.components.is_empty() {
+            return Self::zero();
+        }
+        let mut h = Vec::with_capacity(2 * self.components.len());
+        scale_expansion_zeroelim(&self.components, b, &mut h);
+        if h.len() == 1 && h[0] == 0.0 {
+            h.clear();
+        }
+        Expansion { components: h }
+    }
+
+    /// Exact product of two expansions (distributes `scale` over the
+    /// components of the shorter operand and sums the partial products).
+    pub fn mul(&self, other: &Expansion) -> Expansion {
+        let (small, big) = if self.components.len() <= other.components.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut acc = Expansion::zero();
+        for &c in &small.components {
+            acc = acc.add(&big.scale(c));
+        }
+        acc
+    }
+
+    /// Approximate value (correct to within one ulp of the exact value).
+    pub fn estimate(&self) -> f64 {
+        self.components.iter().sum()
+    }
+
+    /// The exact sign: -1, 0, or +1.
+    pub fn sign(&self) -> i32 {
+        match self.components.last() {
+            None => 0,
+            Some(&c) if c > 0.0 => 1,
+            Some(&c) if c < 0.0 => -1,
+            _ => 0,
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.sign() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sum_exact() {
+        let (x, y) = two_sum(1e16, 1.0);
+        // x + y must equal the true sum exactly.
+        assert_eq!(x, 1e16); // 1.0 is below the ulp of 1e16 at this magnitude? No: ulp(1e16)=2. Round to even keeps 1e16.
+        assert_eq!(y, 1.0);
+    }
+
+    #[test]
+    fn two_product_exact() {
+        let a = 1.0 + 2f64.powi(-30);
+        let b = 1.0 + 2f64.powi(-30);
+        let (x, y) = two_product(a, b);
+        // a*b = 1 + 2^-29 + 2^-60; x misses the 2^-60 tail.
+        assert_eq!(y, 2f64.powi(-60));
+        assert_eq!(x, 1.0 + 2f64.powi(-29));
+    }
+
+    #[test]
+    fn expansion_add_sub() {
+        let a = Expansion::from_f64(1e16);
+        let b = Expansion::from_f64(1.0);
+        let s = a.add(&b);
+        assert_eq!(s.estimate(), 1e16 + 1.0);
+        let d = s.sub(&a);
+        assert_eq!(d.estimate(), 1.0);
+        assert_eq!(d.sign(), 1);
+        let z = d.sub(&b);
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn expansion_mul() {
+        let a = Expansion::from_f64(1.0 + 2f64.powi(-40));
+        let sq = a.mul(&a);
+        // (1+e)^2 = 1 + 2e + e^2 exactly.
+        let expect = Expansion::from_f64(1.0)
+            .add(&Expansion::from_f64(2f64.powi(-39)))
+            .add(&Expansion::from_f64(2f64.powi(-80)));
+        assert!(sq.sub(&expect).is_zero());
+    }
+
+    #[test]
+    fn sign_of_tiny_difference() {
+        // (a*b - c*d) where the difference is far below f64 rounding of
+        // the naive computation.
+        let a = 1.0 + 2f64.powi(-52);
+        let naive = a * a - (1.0 + 2f64.powi(-51));
+        // naive is 0 in f64 arithmetic (a*a rounds to 1+2^-51)...
+        assert_eq!(naive, 0.0);
+        // ...but the exact value is +2^-104.
+        let exact = Expansion::from_product(a, a).sub(&Expansion::from_f64(1.0 + 2f64.powi(-51)));
+        assert_eq!(exact.sign(), 1);
+        assert_eq!(exact.estimate(), 2f64.powi(-104));
+    }
+
+    #[test]
+    fn from_product_zero() {
+        assert!(Expansion::from_product(0.0, 5.0).is_zero());
+        assert!(Expansion::from_f64(0.0).is_zero());
+        assert_eq!(Expansion::zero().estimate(), 0.0);
+    }
+}

@@ -1,0 +1,452 @@
+//! Adaptive robust predicates `orient3d` and `insphere`.
+//!
+//! Each predicate first evaluates the determinant in plain f64 alongside a
+//! *permanent* (the same computation with every subtraction replaced by an
+//! addition of absolute values). If the magnitude of the determinant exceeds
+//! a forward-error bound proportional to the permanent, the f64 sign is
+//! provably correct and is returned; otherwise we fall back to an exact
+//! evaluation with expansion arithmetic ([`crate::expansion`]).
+//!
+//! Sign conventions follow Shewchuk:
+//!
+//! * `orient3d(a, b, c, d) > 0` iff `d` lies *below* the plane through
+//!   `a, b, c`, where below means the side from which `a, b, c` appear in
+//!   counterclockwise order.
+//! * `insphere(a, b, c, d, e) > 0` iff `e` lies inside the circumsphere of
+//!   the tetrahedron `(a, b, c, d)`, **assuming** `orient3d(a,b,c,d) > 0`.
+//!   (For negatively oriented tetrahedra the sign flips.)
+
+use crate::expansion::{two_diff, Expansion};
+use crate::vec3::Vec3;
+
+/// Counters for the adaptive-stage dispatch (how often each precision
+/// level resolved a predicate). Useful for tests and tuning; counting is
+/// relaxed-atomic and effectively free.
+pub mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static FILTER: AtomicU64 = AtomicU64::new(0);
+    pub static EXACT_DIFF: AtomicU64 = AtomicU64::new(0);
+    pub static FULL_EXACT: AtomicU64 = AtomicU64::new(0);
+
+    pub fn reset() {
+        FILTER.store(0, Ordering::Relaxed);
+        EXACT_DIFF.store(0, Ordering::Relaxed);
+        FULL_EXACT.store(0, Ordering::Relaxed);
+    }
+
+    /// `(filter, exact-diff shortcut, full exact)` counts.
+    pub fn snapshot() -> (u64, u64, u64) {
+        (
+            FILTER.load(Ordering::Relaxed),
+            EXACT_DIFF.load(Ordering::Relaxed),
+            FULL_EXACT.load(Ordering::Relaxed),
+        )
+    }
+
+    #[inline]
+    pub(super) fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// True when `x = fl(a - b)` is the exact difference (two_diff tail is
+/// zero) — common for mesh coordinates on structured or rational grids.
+#[inline]
+fn diff_is_exact(a: f64, b: f64) -> bool {
+    two_diff(a, b).1 == 0.0
+}
+
+/// Machine epsilon for the error bounds: 2^-53 (half an ulp at 1.0).
+const EPS: f64 = 1.1102230246251565e-16;
+
+/// Forward-error coefficient for the 3x3 orientation determinant.
+const O3D_ERRBOUND: f64 = (7.0 + 56.0 * EPS) * EPS;
+
+/// Forward-error coefficient for the 4x4 insphere determinant.
+const ISP_ERRBOUND: f64 = (16.0 + 224.0 * EPS) * EPS;
+
+/// Qualitative result of an orientation test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    Negative,
+    Zero,
+    Positive,
+}
+
+impl Orientation {
+    fn from_sign(s: i32) -> Self {
+        match s.cmp(&0) {
+            std::cmp::Ordering::Less => Orientation::Negative,
+            std::cmp::Ordering::Equal => Orientation::Zero,
+            std::cmp::Ordering::Greater => Orientation::Positive,
+        }
+    }
+}
+
+/// Non-robust f64 orientation determinant (used where speed matters and the
+/// caller tolerates sign errors near degeneracy, e.g. quality metrics).
+#[inline]
+pub fn orient3d_fast(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> f64 {
+    let adx = a.x - d.x;
+    let ady = a.y - d.y;
+    let adz = a.z - d.z;
+    let bdx = b.x - d.x;
+    let bdy = b.y - d.y;
+    let bdz = b.z - d.z;
+    let cdx = c.x - d.x;
+    let cdy = c.y - d.y;
+    let cdz = c.z - d.z;
+    adx * (bdy * cdz - bdz * cdy) + ady * (bdz * cdx - bdx * cdz) + adz * (bdx * cdy - bdy * cdx)
+}
+
+/// Robust orientation test; the returned sign is exact.
+pub fn orient3d(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> Orientation {
+    let adx = a.x - d.x;
+    let ady = a.y - d.y;
+    let adz = a.z - d.z;
+    let bdx = b.x - d.x;
+    let bdy = b.y - d.y;
+    let bdz = b.z - d.z;
+    let cdx = c.x - d.x;
+    let cdy = c.y - d.y;
+    let cdz = c.z - d.z;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+
+    let det = adz * (bdxcdy - cdxbdy) + bdz * (cdxady - adxcdy) + cdz * (adxbdy - bdxady);
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * adz.abs()
+        + (cdxady.abs() + adxcdy.abs()) * bdz.abs()
+        + (adxbdy.abs() + bdxady.abs()) * cdz.abs();
+    let errbound = O3D_ERRBOUND * permanent;
+    if det > errbound || -det > errbound {
+        stats::bump(&stats::FILTER);
+        return Orientation::from_sign(if det > 0.0 { 1 } else { -1 });
+    }
+    // Adaptive stage (Shewchuk's structure): when every coordinate
+    // difference is exactly representable — the common case for mesh
+    // coordinates — the determinant of the *differences* is the true
+    // determinant, and single-component expansions evaluate it exactly at
+    // a fraction of the full-precision cost.
+    let diffs_exact = diff_is_exact(a.x, d.x)
+        && diff_is_exact(a.y, d.y)
+        && diff_is_exact(a.z, d.z)
+        && diff_is_exact(b.x, d.x)
+        && diff_is_exact(b.y, d.y)
+        && diff_is_exact(b.z, d.z)
+        && diff_is_exact(c.x, d.x)
+        && diff_is_exact(c.y, d.y)
+        && diff_is_exact(c.z, d.z);
+    if diffs_exact {
+        stats::bump(&stats::EXACT_DIFF);
+        let e = Expansion::from_f64;
+        let m1 = e(bdy).mul(&e(cdz)).sub(&e(bdz).mul(&e(cdy)));
+        let m2 = e(bdz).mul(&e(cdx)).sub(&e(bdx).mul(&e(cdz)));
+        let m3 = e(bdx).mul(&e(cdy)).sub(&e(bdy).mul(&e(cdx)));
+        let sign = e(adx).mul(&m1).add(&e(ady).mul(&m2)).add(&e(adz).mul(&m3)).sign();
+        return Orientation::from_sign(sign);
+    }
+    stats::bump(&stats::FULL_EXACT);
+    Orientation::from_sign(orient3d_exact_sign(a, b, c, d))
+}
+
+fn orient3d_exact_sign(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> i32 {
+    let adx = Expansion::from_diff(a.x, d.x);
+    let ady = Expansion::from_diff(a.y, d.y);
+    let adz = Expansion::from_diff(a.z, d.z);
+    let bdx = Expansion::from_diff(b.x, d.x);
+    let bdy = Expansion::from_diff(b.y, d.y);
+    let bdz = Expansion::from_diff(b.z, d.z);
+    let cdx = Expansion::from_diff(c.x, d.x);
+    let cdy = Expansion::from_diff(c.y, d.y);
+    let cdz = Expansion::from_diff(c.z, d.z);
+
+    let m1 = bdy.mul(&cdz).sub(&bdz.mul(&cdy));
+    let m2 = bdz.mul(&cdx).sub(&bdx.mul(&cdz));
+    let m3 = bdx.mul(&cdy).sub(&bdy.mul(&cdx));
+    adx.mul(&m1).add(&ady.mul(&m2)).add(&adz.mul(&m3)).sign()
+}
+
+/// Robust insphere test; the returned sign is exact.
+///
+/// Positive means `e` is strictly inside the circumsphere of the positively
+/// oriented tetrahedron `(a, b, c, d)`.
+pub fn insphere(a: Vec3, b: Vec3, c: Vec3, d: Vec3, e: Vec3) -> Orientation {
+    let aex = a.x - e.x;
+    let aey = a.y - e.y;
+    let aez = a.z - e.z;
+    let bex = b.x - e.x;
+    let bey = b.y - e.y;
+    let bez = b.z - e.z;
+    let cex = c.x - e.x;
+    let cey = c.y - e.y;
+    let cez = c.z - e.z;
+    let dex = d.x - e.x;
+    let dey = d.y - e.y;
+    let dez = d.z - e.z;
+
+    // Pairwise 2x2 minors in the (x, y) coordinates, with their permanents.
+    let ab = aex * bey - bex * aey;
+    let ab_p = (aex * bey).abs() + (bex * aey).abs();
+    let bc = bex * cey - cex * bey;
+    let bc_p = (bex * cey).abs() + (cex * bey).abs();
+    let cd = cex * dey - dex * cey;
+    let cd_p = (cex * dey).abs() + (dex * cey).abs();
+    let da = dex * aey - aex * dey;
+    let da_p = (dex * aey).abs() + (aex * dey).abs();
+    let ac = aex * cey - cex * aey;
+    let ac_p = (aex * cey).abs() + (cex * aey).abs();
+    let bd = bex * dey - dex * bey;
+    let bd_p = (bex * dey).abs() + (dex * bey).abs();
+
+    // 3x3 minors (xyz) and their permanents.
+    let abc = aez * bc - bez * ac + cez * ab;
+    let abc_p = aez.abs() * bc_p + bez.abs() * ac_p + cez.abs() * ab_p;
+    let bcd = bez * cd - cez * bd + dez * bc;
+    let bcd_p = bez.abs() * cd_p + cez.abs() * bd_p + dez.abs() * bc_p;
+    let cda = cez * da + dez * ac + aez * cd;
+    let cda_p = cez.abs() * da_p + dez.abs() * ac_p + aez.abs() * cd_p;
+    let dab = dez * ab + aez * bd + bez * da;
+    let dab_p = dez.abs() * ab_p + aez.abs() * bd_p + bez.abs() * da_p;
+
+    let alift = aex * aex + aey * aey + aez * aez;
+    let blift = bex * bex + bey * bey + bez * bez;
+    let clift = cex * cex + cey * cey + cez * cez;
+    let dlift = dex * dex + dey * dey + dez * dez;
+
+    let det = (dlift * abc - clift * dab) + (blift * cda - alift * bcd);
+    let permanent = dlift * abc_p + clift * dab_p + blift * cda_p + alift * bcd_p;
+    let errbound = ISP_ERRBOUND * permanent;
+    if det > errbound || -det > errbound {
+        stats::bump(&stats::FILTER);
+        return Orientation::from_sign(if det > 0.0 { 1 } else { -1 });
+    }
+    let diffs_exact = [a, b, c, d].iter().all(|p| {
+        diff_is_exact(p.x, e.x) && diff_is_exact(p.y, e.y) && diff_is_exact(p.z, e.z)
+    });
+    if diffs_exact {
+        stats::bump(&stats::EXACT_DIFF);
+        return Orientation::from_sign(insphere_from_diffs(
+            [aex, aey, aez],
+            [bex, bey, bez],
+            [cex, cey, cez],
+            [dex, dey, dez],
+        ));
+    }
+    stats::bump(&stats::FULL_EXACT);
+    Orientation::from_sign(insphere_exact_sign(a, b, c, d, e))
+}
+
+/// Exact insphere determinant from already-exact coordinate differences
+/// (single-component expansion inputs: much shorter intermediate
+/// expansions than the general exact path).
+fn insphere_from_diffs(ad: [f64; 3], bd: [f64; 3], cd: [f64; 3], dd: [f64; 3]) -> i32 {
+    let e = Expansion::from_f64;
+    let (aex, aey, aez) = (e(ad[0]), e(ad[1]), e(ad[2]));
+    let (bex, bey, bez) = (e(bd[0]), e(bd[1]), e(bd[2]));
+    let (cex, cey, cez) = (e(cd[0]), e(cd[1]), e(cd[2]));
+    let (dex, dey, dez) = (e(dd[0]), e(dd[1]), e(dd[2]));
+
+    let xy2 = |px: &Expansion, py: &Expansion, qx: &Expansion, qy: &Expansion| {
+        px.mul(qy).sub(&qx.mul(py))
+    };
+    let ab = xy2(&aex, &aey, &bex, &bey);
+    let bc = xy2(&bex, &bey, &cex, &cey);
+    let cd_ = xy2(&cex, &cey, &dex, &dey);
+    let da = xy2(&dex, &dey, &aex, &aey);
+    let ac = xy2(&aex, &aey, &cex, &cey);
+    let bd_ = xy2(&bex, &bey, &dex, &dey);
+
+    let abc = aez.mul(&bc).sub(&bez.mul(&ac)).add(&cez.mul(&ab));
+    let bcd = bez.mul(&cd_).sub(&cez.mul(&bd_)).add(&dez.mul(&bc));
+    let cda = cez.mul(&da).add(&dez.mul(&ac)).add(&aez.mul(&cd_));
+    let dab = dez.mul(&ab).add(&aez.mul(&bd_)).add(&bez.mul(&da));
+
+    let lift = |x: &Expansion, y: &Expansion, z: &Expansion| {
+        x.mul(x).add(&y.mul(y)).add(&z.mul(z))
+    };
+    let alift = lift(&aex, &aey, &aez);
+    let blift = lift(&bex, &bey, &bez);
+    let clift = lift(&cex, &cey, &cez);
+    let dlift = lift(&dex, &dey, &dez);
+
+    dlift
+        .mul(&abc)
+        .sub(&clift.mul(&dab))
+        .add(&blift.mul(&cda))
+        .sub(&alift.mul(&bcd))
+        .sign()
+}
+
+fn insphere_exact_sign(a: Vec3, b: Vec3, c: Vec3, d: Vec3, e: Vec3) -> i32 {
+    let ex = |p: Vec3| {
+        (
+            Expansion::from_diff(p.x, e.x),
+            Expansion::from_diff(p.y, e.y),
+            Expansion::from_diff(p.z, e.z),
+        )
+    };
+    let (aex, aey, aez) = ex(a);
+    let (bex, bey, bez) = ex(b);
+    let (cex, cey, cez) = ex(c);
+    let (dex, dey, dez) = ex(d);
+
+    let xy2 = |px: &Expansion, py: &Expansion, qx: &Expansion, qy: &Expansion| {
+        px.mul(qy).sub(&qx.mul(py))
+    };
+    let ab = xy2(&aex, &aey, &bex, &bey);
+    let bc = xy2(&bex, &bey, &cex, &cey);
+    let cd = xy2(&cex, &cey, &dex, &dey);
+    let da = xy2(&dex, &dey, &aex, &aey);
+    let ac = xy2(&aex, &aey, &cex, &cey);
+    let bd = xy2(&bex, &bey, &dex, &dey);
+
+    let abc = aez.mul(&bc).sub(&bez.mul(&ac)).add(&cez.mul(&ab));
+    let bcd = bez.mul(&cd).sub(&cez.mul(&bd)).add(&dez.mul(&bc));
+    let cda = cez.mul(&da).add(&dez.mul(&ac)).add(&aez.mul(&cd));
+    let dab = dez.mul(&ab).add(&aez.mul(&bd)).add(&bez.mul(&da));
+
+    let lift = |x: &Expansion, y: &Expansion, z: &Expansion| {
+        x.mul(x).add(&y.mul(y)).add(&z.mul(z))
+    };
+    let alift = lift(&aex, &aey, &aez);
+    let blift = lift(&bex, &bey, &bez);
+    let clift = lift(&cex, &cey, &cez);
+    let dlift = lift(&dex, &dey, &dez);
+
+    dlift
+        .mul(&abc)
+        .sub(&clift.mul(&dab))
+        .add(&blift.mul(&cda))
+        .sub(&alift.mul(&bcd))
+        .sign()
+}
+
+/// Circumcenter and squared circumradius of a tetrahedron (f64 arithmetic;
+/// returns `None` for (near-)degenerate tetrahedra).
+pub fn circumsphere(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> Option<(Vec3, f64)> {
+    let ba = b - a;
+    let ca = c - a;
+    let da = d - a;
+    let denom = 2.0 * ba.dot(ca.cross(da));
+    if denom.abs() < 1e-30 {
+        return None;
+    }
+    let num = ba.norm2() * ca.cross(da) + ca.norm2() * da.cross(ba) + da.norm2() * ba.cross(ca);
+    let center = a + num / denom;
+    let r2 = center.dist2(a);
+    if r2.is_finite() {
+        Some((center, r2))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    const B: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    const C: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+
+    #[test]
+    fn orient3d_basic() {
+        // With d *below* the plane z=0 (i.e. z < 0), a,b,c are CCW seen from
+        // below... verify both sides are consistent and opposite.
+        let up = Vec3::new(0.0, 0.0, 1.0);
+        let dn = Vec3::new(0.0, 0.0, -1.0);
+        let s_up = orient3d(A, B, C, up);
+        let s_dn = orient3d(A, B, C, dn);
+        assert_ne!(s_up, s_dn);
+        assert_ne!(s_up, Orientation::Zero);
+        // Shewchuk convention: (0,0,1) is *above* the CCW plane abc, so the
+        // determinant for d above is negative.
+        assert_eq!(s_up, Orientation::Negative);
+        assert_eq!(s_dn, Orientation::Positive);
+    }
+
+    #[test]
+    fn orient3d_coplanar() {
+        let d = Vec3::new(0.3, 0.4, 0.0);
+        assert_eq!(orient3d(A, B, C, d), Orientation::Zero);
+    }
+
+    #[test]
+    fn orient3d_near_degenerate_exact() {
+        // d is displaced off the plane by far less than f64 evaluation noise
+        // would resolve at this scale.
+        let scale = 1e10;
+        let a = Vec3::new(scale, scale, 0.0);
+        let b = Vec3::new(scale + 1.0, scale, 0.0);
+        let c = Vec3::new(scale, scale + 1.0, 0.0);
+        let d_above = Vec3::new(scale + 0.3, scale + 0.3, 1e-12);
+        let d_on = Vec3::new(scale + 0.3, scale + 0.3, 0.0);
+        assert_eq!(orient3d(a, b, c, d_above), Orientation::Negative);
+        assert_eq!(orient3d(a, b, c, d_on), Orientation::Zero);
+    }
+
+    #[test]
+    fn insphere_basic() {
+        let d = Vec3::new(0.0, 0.0, -1.0); // positively oriented (a,b,c,d)
+        assert_eq!(orient3d(A, B, C, d), Orientation::Positive);
+        // Circumsphere of this tet contains the origin-ish interior point.
+        let inside = Vec3::new(0.25, 0.25, -0.25);
+        let outside = Vec3::new(10.0, 10.0, 10.0);
+        assert_eq!(insphere(A, B, C, d, inside), Orientation::Positive);
+        assert_eq!(insphere(A, B, C, d, outside), Orientation::Negative);
+    }
+
+    #[test]
+    fn insphere_cospherical() {
+        // Unit sphere through 4 points; 5th point also on the sphere.
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(-1.0, 0.0, 0.0);
+        let c = Vec3::new(0.0, 1.0, 0.0);
+        let d = Vec3::new(0.0, 0.0, 1.0);
+        let e = Vec3::new(0.0, -1.0, 0.0);
+        assert_eq!(insphere(a, b, c, d, e), Orientation::Zero);
+    }
+
+    #[test]
+    fn insphere_sign_flips_with_orientation() {
+        let d = Vec3::new(0.0, 0.0, -1.0);
+        let p = Vec3::new(0.25, 0.25, -0.25);
+        let s1 = insphere(A, B, C, d, p);
+        // Swapping two vertices flips the tetrahedron orientation and must
+        // flip the insphere sign.
+        let s2 = insphere(B, A, C, d, p);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn circumsphere_regular() {
+        let d = Vec3::new(0.0, 0.0, 1.0);
+        let (ctr, r2) = circumsphere(A, B, C, d).unwrap();
+        for p in [A, B, C, d] {
+            assert!((ctr.dist2(p) - r2).abs() < 1e-12);
+        }
+        // Degenerate: coplanar points have no circumsphere.
+        assert!(circumsphere(A, B, C, Vec3::new(0.5, 0.5, 0.0)).is_none());
+    }
+
+    #[test]
+    fn consistency_fast_vs_robust() {
+        // On well-separated points the fast determinant agrees with the
+        // robust sign.
+        let pts = [
+            Vec3::new(0.1, 0.2, 0.3),
+            Vec3::new(1.5, -0.2, 0.4),
+            Vec3::new(-0.3, 1.1, 0.9),
+            Vec3::new(0.6, 0.7, -1.2),
+        ];
+        let f = orient3d_fast(pts[0], pts[1], pts[2], pts[3]);
+        let r = orient3d(pts[0], pts[1], pts[2], pts[3]);
+        assert_eq!(r, Orientation::from_sign(if f > 0.0 { 1 } else { -1 }));
+    }
+}

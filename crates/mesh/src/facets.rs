@@ -1,0 +1,230 @@
+//! Boundary facet extraction and facet adjacency.
+//!
+//! §4.4 of the paper: "Assume that a list of facets has been created from
+//! all of the element facets that are on a boundary of the problem (these
+//! include boundaries between material types)". A facet is an element face
+//! that either has no neighboring element or whose neighbor has a different
+//! material. Each such (element, face) pair yields one facet, so a material
+//! interface produces a facet on *each* side (with opposite normals).
+
+use crate::mesh::Mesh;
+use pmg_geometry::Vec3;
+use pmg_partition::Graph;
+use std::collections::HashMap;
+
+/// A boundary facet (triangle or quadrilateral element face).
+#[derive(Clone, Debug)]
+pub struct Facet {
+    /// Vertex ids, ordered so the normal points out of the owning element.
+    pub verts: Vec<u32>,
+    /// Owning element.
+    pub elem: u32,
+    /// Material of the owning element.
+    pub material: u32,
+    /// Unit outward normal (`f.norm` in the paper's algorithm).
+    pub normal: Vec3,
+}
+
+impl Facet {
+    /// Area-weighted normal of a (possibly warped) polygonal face, fanned
+    /// about its centroid.
+    fn area_normal(pts: &[Vec3]) -> Vec3 {
+        let c = pts.iter().fold(Vec3::ZERO, |a, &p| a + p) / pts.len() as f64;
+        let mut n = Vec3::ZERO;
+        for k in 0..pts.len() {
+            let a = pts[k] - c;
+            let b = pts[(k + 1) % pts.len()] - c;
+            n += a.cross(b) * 0.5;
+        }
+        n
+    }
+}
+
+fn face_key(verts: &[u32]) -> [u32; 8] {
+    let mut k = [u32::MAX; 8];
+    for (slot, &v) in k.iter_mut().zip(verts.iter()) {
+        *slot = v;
+    }
+    k.sort_unstable();
+    k
+}
+
+/// Extract the boundary facets of `mesh` (exterior faces and material
+/// interfaces).
+pub fn boundary_facets(mesh: &Mesh) -> Vec<Facet> {
+    // Map face key -> (element, face) occurrences.
+    let faces = mesh.kind.faces();
+    let mut occurrences: HashMap<[u32; 8], Vec<(u32, u8)>> =
+        HashMap::with_capacity(mesh.num_elements() * faces.len() / 2);
+    for e in 0..mesh.num_elements() {
+        let ev = mesh.elem(e);
+        for (fi, face) in faces.iter().enumerate() {
+            let verts: Vec<u32> = face.iter().map(|&l| ev[l]).collect();
+            occurrences
+                .entry(face_key(&verts))
+                .or_default()
+                .push((e as u32, fi as u8));
+        }
+    }
+
+    let mut out = Vec::new();
+    for occ in occurrences.values() {
+        debug_assert!(occ.len() <= 2, "non-manifold face");
+        let on_boundary = match occ.as_slice() {
+            [_] => true,
+            [(e1, _), (e2, _)] => mesh.materials[*e1 as usize] != mesh.materials[*e2 as usize],
+            _ => false,
+        };
+        if !on_boundary {
+            continue;
+        }
+        let ring = mesh.kind.face_ring();
+        for &(e, fi) in occ {
+            let ev = mesh.elem(e as usize);
+            let verts: Vec<u32> = faces[fi as usize].iter().map(|&l| ev[l]).collect();
+            // Geometry from the corner ring (mid-edge nodes, if any, sit on
+            // the ring edges).
+            let pts: Vec<Vec3> =
+                verts[..ring].iter().map(|&v| mesh.coords[v as usize]).collect();
+            let an = Facet::area_normal(&pts);
+            let normal = an.normalized().unwrap_or(Vec3::new(0.0, 0.0, 1.0));
+            out.push(Facet { verts, elem: e, material: mesh.materials[e as usize], normal });
+        }
+    }
+    // Deterministic order regardless of hash iteration.
+    out.sort_by_key(|a| (a.elem, face_key(&a.verts)));
+    out
+}
+
+/// Facet adjacency graph: facets are adjacent iff they share an edge
+/// (`f.adjac` in the paper's face-identification algorithm). Edges are
+/// detected from the corner ring of each facet (the first
+/// [`crate::mesh::ElementKind::face_ring`] vertices), which is correct for
+/// linear and serendipity faces alike.
+pub fn facet_adjacency(facets: &[Facet]) -> Graph {
+    let mut edge_map: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+    for (fi, f) in facets.iter().enumerate() {
+        let n = if f.verts.len() == 8 { 4 } else { f.verts.len().min(4) };
+        for k in 0..n {
+            let a = f.verts[k];
+            let b = f.verts[(k + 1) % n];
+            let key = (a.min(b), a.max(b));
+            edge_map.entry(key).or_default().push(fi as u32);
+        }
+    }
+    let mut edges = Vec::new();
+    for group in edge_map.values() {
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                edges.push((group[i], group[j]));
+            }
+        }
+    }
+    Graph::from_edges(facets.len(), edges)
+}
+
+/// For each vertex, the list of facet ids touching it.
+pub fn vertex_to_facets(num_vertices: usize, facets: &[Facet]) -> Vec<Vec<u32>> {
+    let mut v2f = vec![Vec::new(); num_vertices];
+    for (fi, f) in facets.iter().enumerate() {
+        for &v in &f.verts {
+            v2f[v as usize].push(fi as u32);
+        }
+    }
+    v2f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::block;
+    use crate::mesh::ElementKind;
+
+    #[test]
+    fn single_hex_has_six_facets() {
+        let m = block(1, 1, 1, Vec3::splat(1.0), |_| 0);
+        let f = boundary_facets(&m);
+        assert_eq!(f.len(), 6);
+        // Outward normals: sum to zero, each axis-aligned unit.
+        let sum = f.iter().fold(Vec3::ZERO, |a, f| a + f.normal);
+        assert!(sum.norm() < 1e-14);
+        for facet in &f {
+            let n = facet.normal;
+            assert!((n.norm() - 1.0).abs() < 1e-14);
+            assert!(
+                n.x.abs() > 0.99 || n.y.abs() > 0.99 || n.z.abs() > 0.99,
+                "normal {n:?} not axis aligned"
+            );
+        }
+    }
+
+    #[test]
+    fn block_boundary_count() {
+        // 3x2x1 block: boundary quads = 2*(3*2) + 2*(3*1) + 2*(2*1) = 22.
+        let m = block(3, 2, 1, Vec3::new(3.0, 2.0, 1.0), |_| 0);
+        let f = boundary_facets(&m);
+        assert_eq!(f.len(), 22);
+    }
+
+    #[test]
+    fn material_interface_facets() {
+        // 2x1x1 block split into two materials: interface produces one
+        // facet per side -> 10 exterior + 2 interface.
+        let m = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |c| if c.x < 1.0 { 0 } else { 1 });
+        let f = boundary_facets(&m);
+        assert_eq!(f.len(), 12);
+        let interface: Vec<_> = f
+            .iter()
+            .filter(|f| f.verts.iter().all(|&v| (m.coords[v as usize].x - 1.0).abs() < 1e-12))
+            .collect();
+        assert_eq!(interface.len(), 2);
+        assert_ne!(interface[0].material, interface[1].material);
+        // Opposite normals.
+        assert!((interface[0].normal + interface[1].normal).norm() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_shares_edges() {
+        let m = block(1, 1, 1, Vec3::splat(1.0), |_| 0);
+        let f = boundary_facets(&m);
+        let g = facet_adjacency(&f);
+        // On a cube, every face is adjacent to 4 others.
+        for i in 0..6 {
+            assert_eq!(g.degree(i), 4);
+        }
+    }
+
+    #[test]
+    fn vertex_facet_incidence() {
+        let m = block(1, 1, 1, Vec3::splat(1.0), |_| 0);
+        let f = boundary_facets(&m);
+        let v2f = vertex_to_facets(m.num_vertices(), &f);
+        // Every cube corner touches exactly 3 faces.
+        for lists in &v2f {
+            assert_eq!(lists.len(), 3);
+        }
+    }
+
+    #[test]
+    fn tet_mesh_facets() {
+        let coords = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        let m = Mesh::new(coords, ElementKind::Tet4, vec![0, 1, 2, 3], vec![0]);
+        let f = boundary_facets(&m);
+        assert_eq!(f.len(), 4);
+        let sum = f.iter().fold(Vec3::ZERO, |a, f| a + f.normal * 1.0);
+        // Normals don't cancel exactly (different areas) but the
+        // area-weighted sum must.
+        let mut area_sum = Vec3::ZERO;
+        for facet in &f {
+            let pts: Vec<Vec3> = facet.verts.iter().map(|&v| m.coords[v as usize]).collect();
+            area_sum += Facet::area_normal(&pts);
+        }
+        assert!(area_sum.norm() < 1e-14);
+        assert!(sum.norm() > 0.0); // sanity: normals exist
+    }
+}

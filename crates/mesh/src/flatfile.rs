@@ -1,0 +1,279 @@
+//! The "flat" finite element input file and its parallel reader (§5).
+//!
+//! "Athena reads a large 'flat' finite element mesh input file in parallel
+//! (ie, each processor seeks and reads only the part of the input file
+//! that it, and it alone, is responsible for)". The format here is a
+//! simple self-describing text format with a byte-offset directory, so a
+//! rank can seek directly to its contiguous share of the vertex and
+//! element sections without touching the rest of the file.
+//!
+//! Layout:
+//! ```text
+//! pmgmesh 1
+//! kind <hex8|tet4|hex20>
+//! counts <num_vertices> <num_elements>
+//! offsets <vertex_section_byte> <element_section_byte>
+//! <one vertex per line: x y z>
+//! <one element per line: material v0 v1 ...>
+//! ```
+//! Every vertex and element line is padded to a fixed width so the i-th
+//! record sits at a computable byte offset.
+
+use crate::mesh::{ElementKind, Mesh};
+use pmg_geometry::Vec3;
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Fixed record widths (bytes, including the newline).
+const VERTEX_RECORD: usize = 72;
+const ELEM_RECORD_PER_NODE: usize = 10;
+const ELEM_RECORD_BASE: usize = 12;
+
+fn elem_record_len(kind: ElementKind) -> usize {
+    ELEM_RECORD_BASE + ELEM_RECORD_PER_NODE * kind.nodes()
+}
+
+fn kind_name(kind: ElementKind) -> &'static str {
+    match kind {
+        ElementKind::Hex8 => "hex8",
+        ElementKind::Tet4 => "tet4",
+        ElementKind::Hex20 => "hex20",
+    }
+}
+
+fn kind_from_name(s: &str) -> Option<ElementKind> {
+    match s {
+        "hex8" => Some(ElementKind::Hex8),
+        "tet4" => Some(ElementKind::Tet4),
+        "hex20" => Some(ElementKind::Hex20),
+        _ => None,
+    }
+}
+
+/// Write `mesh` as a flat file.
+pub fn write_flat(mesh: &Mesh, path: &Path) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    // Header with a placeholder offsets line of fixed width.
+    let header = format!(
+        "pmgmesh 1\nkind {}\ncounts {} {}\n",
+        kind_name(mesh.kind),
+        mesh.num_vertices(),
+        mesh.num_elements()
+    );
+    let offsets_line_len = "offsets ".len() + 20 + 1 + 20 + 1;
+    let vertex_off = header.len() + offsets_line_len;
+    let elem_off = vertex_off + VERTEX_RECORD * mesh.num_vertices();
+    f.write_all(header.as_bytes())?;
+    f.write_all(format!("offsets {vertex_off:020} {elem_off:020}\n").as_bytes())?;
+
+    for p in &mesh.coords {
+        let line = format!("{:.17e} {:.17e} {:.17e}", p.x, p.y, p.z);
+        let mut rec = vec![b' '; VERTEX_RECORD];
+        rec[..line.len()].copy_from_slice(line.as_bytes());
+        rec[VERTEX_RECORD - 1] = b'\n';
+        f.write_all(&rec)?;
+    }
+    let erl = elem_record_len(mesh.kind);
+    for e in 0..mesh.num_elements() {
+        let mut line = format!("{:>10}", mesh.materials[e]);
+        for &v in mesh.elem(e) {
+            line.push_str(&format!(" {v:>9}"));
+        }
+        let mut rec = vec![b' '; erl];
+        assert!(line.len() < erl, "element record overflow");
+        rec[..line.len()].copy_from_slice(line.as_bytes());
+        rec[erl - 1] = b'\n';
+        f.write_all(&rec)?;
+    }
+    f.flush()
+}
+
+/// Parsed header of a flat file.
+#[derive(Clone, Copy, Debug)]
+pub struct FlatHeader {
+    pub kind: ElementKind,
+    pub num_vertices: usize,
+    pub num_elements: usize,
+    vertex_off: u64,
+    elem_off: u64,
+}
+
+/// Read only the header (cheap).
+pub fn read_header(path: &Path) -> std::io::Result<FlatHeader> {
+    let f = std::fs::File::open(path)?;
+    let mut r = BufReader::new(f);
+    let mut line = String::new();
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    r.read_line(&mut line)?;
+    if line.trim() != "pmgmesh 1" {
+        return Err(bad("not a pmgmesh file"));
+    }
+    line.clear();
+    r.read_line(&mut line)?;
+    let kind = kind_from_name(line.trim().strip_prefix("kind ").ok_or_else(|| bad("kind"))?)
+        .ok_or_else(|| bad("unknown element kind"))?;
+    line.clear();
+    r.read_line(&mut line)?;
+    let rest = line.trim().strip_prefix("counts ").ok_or_else(|| bad("counts"))?;
+    let mut it = rest.split_whitespace();
+    let num_vertices: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("nv"))?;
+    let num_elements: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("ne"))?;
+    line.clear();
+    r.read_line(&mut line)?;
+    let rest = line.trim().strip_prefix("offsets ").ok_or_else(|| bad("offsets"))?;
+    let mut it = rest.split_whitespace();
+    let vertex_off: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("voff"))?;
+    let elem_off: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("eoff"))?;
+    Ok(FlatHeader { kind, num_vertices, num_elements, vertex_off, elem_off })
+}
+
+/// A rank's contiguous share of the file (block distribution, the form in
+/// which Athena ingests the mesh before repartitioning with ParMetis).
+#[derive(Clone, Debug)]
+pub struct FlatSlice {
+    pub header: FlatHeader,
+    /// Global index of the first vertex in this slice.
+    pub vertex_start: usize,
+    pub coords: Vec<Vec3>,
+    /// Global index of the first element in this slice.
+    pub elem_start: usize,
+    /// Flattened global vertex ids of the slice's elements.
+    pub elem_verts: Vec<u32>,
+    pub materials: Vec<u32>,
+}
+
+fn block_range(n: usize, rank: usize, nranks: usize) -> (usize, usize) {
+    let lo = n * rank / nranks;
+    let hi = n * (rank + 1) / nranks;
+    (lo, hi)
+}
+
+/// Read only rank `rank`'s share of the file: seeks straight to its vertex
+/// and element byte ranges (no other bytes are read).
+pub fn read_flat_slice(path: &Path, rank: usize, nranks: usize) -> std::io::Result<FlatSlice> {
+    let header = read_header(path)?;
+    let mut f = std::fs::File::open(path)?;
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+
+    let (v_lo, v_hi) = block_range(header.num_vertices, rank, nranks);
+    f.seek(SeekFrom::Start(header.vertex_off + (VERTEX_RECORD * v_lo) as u64))?;
+    let mut buf = vec![0u8; VERTEX_RECORD * (v_hi - v_lo)];
+    f.read_exact(&mut buf)?;
+    let mut coords = Vec::with_capacity(v_hi - v_lo);
+    for rec in buf.chunks(VERTEX_RECORD) {
+        let s = std::str::from_utf8(rec).map_err(|_| bad("utf8"))?;
+        let mut it = s.split_whitespace();
+        let x: f64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| bad("x"))?;
+        let y: f64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| bad("y"))?;
+        let z: f64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| bad("z"))?;
+        coords.push(Vec3::new(x, y, z));
+    }
+
+    let erl = elem_record_len(header.kind);
+    let (e_lo, e_hi) = block_range(header.num_elements, rank, nranks);
+    f.seek(SeekFrom::Start(header.elem_off + (erl * e_lo) as u64))?;
+    let mut buf = vec![0u8; erl * (e_hi - e_lo)];
+    f.read_exact(&mut buf)?;
+    let mut elem_verts = Vec::with_capacity((e_hi - e_lo) * header.kind.nodes());
+    let mut materials = Vec::with_capacity(e_hi - e_lo);
+    for rec in buf.chunks(erl) {
+        let s = std::str::from_utf8(rec).map_err(|_| bad("utf8"))?;
+        let mut it = s.split_whitespace();
+        materials.push(it.next().and_then(|t| t.parse().ok()).ok_or_else(|| bad("mat"))?);
+        for _ in 0..header.kind.nodes() {
+            elem_verts.push(it.next().and_then(|t| t.parse().ok()).ok_or_else(|| bad("v"))?);
+        }
+    }
+    Ok(FlatSlice { header, vertex_start: v_lo, coords, elem_start: e_lo, elem_verts, materials })
+}
+
+/// Read the whole mesh (assembles the slices of a 1-rank read).
+pub fn read_flat(path: &Path) -> std::io::Result<Mesh> {
+    let s = read_flat_slice(path, 0, 1)?;
+    Ok(Mesh::new(s.coords, s.header.kind, s.elem_verts, s.materials))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{block, block20};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pmg_flatfile_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_hex8() {
+        let m = block(3, 2, 2, Vec3::new(3.0, 2.0, 2.0), |c| u32::from(c.x > 1.5));
+        let path = tmp("hex8");
+        write_flat(&m, &path).unwrap();
+        let back = read_flat(&path).unwrap();
+        assert_eq!(back.kind, m.kind);
+        assert_eq!(back.elem_verts, m.elem_verts);
+        assert_eq!(back.materials, m.materials);
+        for (a, b) in back.coords.iter().zip(&m.coords) {
+            assert_eq!(a, b, "coordinates must roundtrip exactly");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn roundtrip_hex20() {
+        let m = block20(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |_| 0);
+        let path = tmp("hex20");
+        write_flat(&m, &path).unwrap();
+        let back = read_flat(&path).unwrap();
+        assert_eq!(back.kind, ElementKind::Hex20);
+        assert_eq!(back.elem_verts, m.elem_verts);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parallel_slices_tile_the_mesh() {
+        let m = block(4, 3, 2, Vec3::new(4.0, 3.0, 2.0), |_| 0);
+        let path = tmp("slices");
+        write_flat(&m, &path).unwrap();
+        for nranks in [1, 2, 3, 5] {
+            let mut nv = 0;
+            let mut ne = 0;
+            let mut coords = Vec::new();
+            let mut elems = Vec::new();
+            for r in 0..nranks {
+                let s = read_flat_slice(&path, r, nranks).unwrap();
+                assert_eq!(s.vertex_start, nv);
+                assert_eq!(s.elem_start, ne);
+                nv += s.coords.len();
+                ne += s.materials.len();
+                coords.extend(s.coords);
+                elems.extend(s.elem_verts);
+            }
+            assert_eq!(nv, m.num_vertices(), "nranks={nranks}");
+            assert_eq!(ne, m.num_elements());
+            assert_eq!(coords, m.coords);
+            assert_eq!(elems, m.elem_verts);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn header_only_read() {
+        let m = block(2, 2, 2, Vec3::splat(1.0), |_| 0);
+        let path = tmp("header");
+        write_flat(&m, &path).unwrap();
+        let h = read_header(&path).unwrap();
+        assert_eq!(h.num_vertices, 27);
+        assert_eq!(h.num_elements, 8);
+        assert_eq!(h.kind, ElementKind::Hex8);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not a mesh\n").unwrap();
+        assert!(read_header(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,94 @@
+//! Legacy-VTK export of meshes and nodal fields (for visualizing grids,
+//! displacements, and material layouts in ParaView and friends).
+
+use crate::mesh::{ElementKind, Mesh};
+use std::fmt::Write as _;
+
+/// VTK cell type ids.
+fn vtk_cell_type(kind: ElementKind) -> u8 {
+    match kind {
+        ElementKind::Hex8 => 12,           // VTK_HEXAHEDRON
+        ElementKind::Tet4 => 10,           // VTK_TETRA
+        ElementKind::Hex20 => 25,          // VTK_QUADRATIC_HEXAHEDRON
+    }
+}
+
+/// Serialize `mesh` as an ASCII legacy VTK unstructured grid. Optional
+/// per-vertex vector field (`point_data`, 3 components per vertex, e.g. a
+/// displacement) and the per-element material id are included.
+pub fn to_vtk(mesh: &Mesh, point_data: Option<(&str, &[f64])>) -> String {
+    let nv = mesh.num_vertices();
+    let ne = mesh.num_elements();
+    let npe = mesh.kind.nodes();
+    let mut s = String::new();
+    s.push_str("# vtk DataFile Version 3.0\nprometheus-rs mesh\nASCII\nDATASET UNSTRUCTURED_GRID\n");
+    let _ = writeln!(s, "POINTS {nv} double");
+    for p in &mesh.coords {
+        let _ = writeln!(s, "{} {} {}", p.x, p.y, p.z);
+    }
+    let _ = writeln!(s, "CELLS {ne} {}", ne * (npe + 1));
+    for e in 0..ne {
+        let _ = write!(s, "{npe}");
+        for &v in mesh.elem(e) {
+            let _ = write!(s, " {v}");
+        }
+        s.push('\n');
+    }
+    let _ = writeln!(s, "CELL_TYPES {ne}");
+    let ct = vtk_cell_type(mesh.kind);
+    for _ in 0..ne {
+        let _ = writeln!(s, "{ct}");
+    }
+    let _ = writeln!(s, "CELL_DATA {ne}");
+    s.push_str("SCALARS material int 1\nLOOKUP_TABLE default\n");
+    for &m in &mesh.materials {
+        let _ = writeln!(s, "{m}");
+    }
+    if let Some((name, data)) = point_data {
+        assert_eq!(data.len(), 3 * nv, "vector point data must be 3 per vertex");
+        let _ = writeln!(s, "POINT_DATA {nv}");
+        let _ = writeln!(s, "VECTORS {name} double");
+        for v in 0..nv {
+            let _ = writeln!(s, "{} {} {}", data[3 * v], data[3 * v + 1], data[3 * v + 2]);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::block;
+    use pmg_geometry::Vec3;
+
+    #[test]
+    fn vtk_structure() {
+        let m = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |c| if c.x < 1.0 { 0 } else { 1 });
+        let u = vec![0.5; 3 * m.num_vertices()];
+        let vtk = to_vtk(&m, Some(("displacement", &u)));
+        assert!(vtk.starts_with("# vtk DataFile"));
+        assert!(vtk.contains("POINTS 12 double"));
+        assert!(vtk.contains("CELLS 2 18"));
+        assert!(vtk.contains("CELL_TYPES 2"));
+        assert!(vtk.contains("SCALARS material int 1"));
+        assert!(vtk.contains("VECTORS displacement double"));
+        // Hex cell type.
+        assert!(vtk.lines().filter(|l| *l == "12").count() >= 2);
+    }
+
+    #[test]
+    fn vtk_without_point_data() {
+        let m = block(1, 1, 1, Vec3::splat(1.0), |_| 0);
+        let vtk = to_vtk(&m, None);
+        assert!(!vtk.contains("POINT_DATA"));
+        assert!(vtk.contains("CELL_DATA 1"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn vtk_rejects_bad_field_length() {
+        let m = block(1, 1, 1, Vec3::splat(1.0), |_| 0);
+        let u = vec![0.0; 5];
+        let _ = to_vtk(&m, Some(("u", &u)));
+    }
+}

@@ -1,0 +1,382 @@
+//! The paper's scalability workload (§7): a sphere of seventeen alternating
+//! "hard" and "soft" spherical shells embedded in a soft cube — "a spherical
+//! steel-belted radial inside a rubber cube" — modeled as one octant with
+//! symmetry boundary conditions and crushed from the top.
+//!
+//! The hexahedral mesh is an o-grid: a structured core cube at the center,
+//! blended through a transition zone to the innermost shell radius; then
+//! spherical shell layers (cubed-sphere surface grid of three patches per
+//! octant); then an outer zone blending from the sphere surface to the cube
+//! boundary. The discretization is parameterized exactly as in the paper:
+//! "each successive problem has one more layer of elements through each of
+//! the seventeen shell layers, with an appropriate (ie, similar) refinement
+//! in the other two directions".
+
+use crate::mesh::{ElementKind, Mesh};
+use pmg_geometry::Vec3;
+use std::collections::HashMap;
+
+/// Material id of the soft (Neo-Hookean rubber) regions.
+pub const SOFT: u32 = 0;
+/// Material id of the hard (J2 plasticity steel) shells.
+pub const HARD: u32 = 1;
+
+/// Geometry and refinement parameters for [`sphere_in_cube`].
+#[derive(Clone, Copy, Debug)]
+pub struct SpheresParams {
+    /// Surface quads per cubed-sphere patch edge (also the core cube grid).
+    pub n_surf: usize,
+    /// Inner radius of the layered sphere.
+    pub core_radius: f64,
+    /// Outer radius of the layered sphere.
+    pub sphere_radius: f64,
+    /// Octant cube side (12.5 in the paper).
+    pub cube_side: f64,
+    /// Number of alternating shell layers (17 in the paper).
+    pub n_layers: usize,
+    /// Radial element layers per shell layer (the paper's refinement knob).
+    pub elems_per_layer: usize,
+    /// Radial element layers between the core cube and `core_radius`.
+    pub n_core_zone: usize,
+    /// Radial element layers between `sphere_radius` and the cube boundary.
+    pub n_outer_zone: usize,
+}
+
+impl SpheresParams {
+    /// The weak-scaling ladder: refinement `k` adds one element layer per
+    /// shell and refines the other directions proportionally (mirrors the
+    /// paper's 80 K .. 39,161 K dof ladder at reduced absolute size).
+    pub fn ladder(k: usize) -> SpheresParams {
+        assert!(k >= 1);
+        SpheresParams {
+            n_surf: 8 * k,
+            core_radius: 2.5,
+            sphere_radius: 7.5,
+            cube_side: 12.5,
+            n_layers: 17,
+            elems_per_layer: k,
+            n_core_zone: 2 * k,
+            n_outer_zone: 4 * k,
+        }
+    }
+
+    /// A small variant for unit tests (few layers, coarse surface).
+    pub fn tiny() -> SpheresParams {
+        SpheresParams {
+            n_surf: 4,
+            core_radius: 2.5,
+            sphere_radius: 7.5,
+            cube_side: 12.5,
+            n_layers: 5,
+            elems_per_layer: 1,
+            n_core_zone: 1,
+            n_outer_zone: 2,
+        }
+    }
+
+    /// Total radial element layers outside the core cube.
+    pub fn radial_layers(&self) -> usize {
+        self.n_core_zone + self.n_layers * self.elems_per_layer + self.n_outer_zone
+    }
+
+    /// Half-size of the central core cube (kept well inside `core_radius`).
+    pub fn core_half(&self) -> f64 {
+        0.55 * self.core_radius
+    }
+}
+
+/// Unique integer points on the three outer faces of the `[0, n]^3`
+/// parameter cube (the cubed-sphere octant surface grid).
+struct SurfaceGrid {
+    n: usize,
+    ids: HashMap<(u16, u16, u16), u32>,
+    points: Vec<(u16, u16, u16)>,
+}
+
+impl SurfaceGrid {
+    fn new(n: usize) -> SurfaceGrid {
+        let mut g = SurfaceGrid { n, ids: HashMap::new(), points: Vec::new() };
+        for i in 0..=n as u16 {
+            for j in 0..=n as u16 {
+                g.intern((n as u16, i, j));
+                g.intern((i, n as u16, j));
+                g.intern((i, j, n as u16));
+            }
+        }
+        g
+    }
+
+    fn intern(&mut self, p: (u16, u16, u16)) -> u32 {
+        let next = self.points.len() as u32;
+        *self.ids.entry(p).or_insert_with(|| {
+            self.points.push(p);
+            next
+        })
+    }
+
+    fn id(&self, p: (u16, u16, u16)) -> u32 {
+        self.ids[&p]
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Surface quads of all three patches, each ordered counterclockwise
+    /// viewed from outside the octant.
+    fn quads(&self) -> Vec<[u32; 4]> {
+        let n = self.n as u16;
+        let mut quads = Vec::with_capacity(3 * self.n * self.n);
+        for i in 0..n {
+            for j in 0..n {
+                // Patch x = n: +y then +z is CCW from +x.
+                quads.push([
+                    self.id((n, i, j)),
+                    self.id((n, i + 1, j)),
+                    self.id((n, i + 1, j + 1)),
+                    self.id((n, i, j + 1)),
+                ]);
+                // Patch y = n: +z then +x is CCW from +y.
+                quads.push([
+                    self.id((i, n, j)),
+                    self.id((i, n, j + 1)),
+                    self.id((i + 1, n, j + 1)),
+                    self.id((i + 1, n, j)),
+                ]);
+                // Patch z = n: +x then +y is CCW from +z.
+                quads.push([
+                    self.id((i, j, n)),
+                    self.id((i + 1, j, n)),
+                    self.id((i + 1, j + 1, n)),
+                    self.id((i, j + 1, n)),
+                ]);
+            }
+        }
+        quads
+    }
+}
+
+/// Generate the octant sphere-in-cube mesh.
+pub fn sphere_in_cube(p: &SpheresParams) -> Mesh {
+    let n = p.n_surf;
+    let c = p.core_half();
+    let surf = SurfaceGrid::new(n);
+    let nsurf = surf.len();
+    let ncore = (n + 1) * (n + 1) * (n + 1);
+    let stations = p.radial_layers(); // hex layers; node stations 0..=stations
+    let core_id = |i: usize, j: usize, k: usize| (i * (n + 1) * (n + 1) + j * (n + 1) + k) as u32;
+
+    let mut coords = Vec::with_capacity(ncore + stations * nsurf);
+    // Core cube grid.
+    for i in 0..=n {
+        for j in 0..=n {
+            for k in 0..=n {
+                coords.push(Vec3::new(
+                    c * i as f64 / n as f64,
+                    c * j as f64 / n as f64,
+                    c * k as f64 / n as f64,
+                ));
+            }
+        }
+    }
+    // Radial stations 1..=stations for each surface point.
+    let station_pos = |q: (u16, u16, u16), t: usize| -> Vec3 {
+        let s = Vec3::new(
+            q.0 as f64 / n as f64,
+            q.1 as f64 / n as f64,
+            q.2 as f64 / n as f64,
+        );
+        let d = s.normalized().expect("surface point at origin");
+        let ncz = p.n_core_zone;
+        let nsh = p.n_layers * p.elems_per_layer;
+        if t <= ncz {
+            let f = t as f64 / ncz as f64;
+            (1.0 - f) * (s * c) + f * (d * p.core_radius)
+        } else if t <= ncz + nsh {
+            let rho = p.core_radius
+                + (t - ncz) as f64 / nsh as f64 * (p.sphere_radius - p.core_radius);
+            d * rho
+        } else {
+            let f = (t - ncz - nsh) as f64 / p.n_outer_zone as f64;
+            (1.0 - f) * (d * p.sphere_radius) + f * (s * p.cube_side)
+        }
+    };
+    for t in 1..=stations {
+        for &q in &surf.points {
+            coords.push(station_pos(q, t));
+        }
+    }
+
+    // Node id at station t (0 = core surface) for surface point q.
+    let node_at = |q: (u16, u16, u16), t: usize| -> u32 {
+        if t == 0 {
+            core_id(q.0 as usize, q.1 as usize, q.2 as usize)
+        } else {
+            (ncore + (t - 1) * nsurf) as u32 + surf.id(q)
+        }
+    };
+
+    let mut elem_verts: Vec<u32> = Vec::new();
+    let mut materials: Vec<u32> = Vec::new();
+
+    // Core interior hexes (soft).
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                elem_verts.extend_from_slice(&[
+                    core_id(i, j, k),
+                    core_id(i + 1, j, k),
+                    core_id(i + 1, j + 1, k),
+                    core_id(i, j + 1, k),
+                    core_id(i, j, k + 1),
+                    core_id(i + 1, j, k + 1),
+                    core_id(i + 1, j + 1, k + 1),
+                    core_id(i, j + 1, k + 1),
+                ]);
+                materials.push(SOFT);
+            }
+        }
+    }
+
+    // Radial hexes between consecutive stations.
+    let layer_material = |t: usize| -> u32 {
+        let ncz = p.n_core_zone;
+        let nsh = p.n_layers * p.elems_per_layer;
+        if t < ncz || t >= ncz + nsh {
+            SOFT
+        } else {
+            let layer = (t - ncz) / p.elems_per_layer;
+            if layer.is_multiple_of(2) {
+                HARD
+            } else {
+                SOFT
+            }
+        }
+    };
+    let quad_points: Vec<[(u16, u16, u16); 4]> = {
+        // Rebuild quads as raw surface points so node_at can address any
+        // station.
+        let id_to_point = &surf.points;
+        surf.quads()
+            .into_iter()
+            .map(|q| {
+                [
+                    id_to_point[q[0] as usize],
+                    id_to_point[q[1] as usize],
+                    id_to_point[q[2] as usize],
+                    id_to_point[q[3] as usize],
+                ]
+            })
+            .collect()
+    };
+    for t in 0..stations {
+        let mat = layer_material(t);
+        for quad in &quad_points {
+            // Bottom (station t) is the CCW-from-outside quad, top is the
+            // same quad one station out: positive Jacobian.
+            for &q in quad {
+                elem_verts.push(node_at(q, t));
+            }
+            for &q in quad {
+                elem_verts.push(node_at(q, t + 1));
+            }
+            materials.push(mat);
+        }
+    }
+
+    Mesh::new(coords, ElementKind::Hex8, elem_verts, materials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_mesh_is_valid() {
+        let p = SpheresParams::tiny();
+        let m = sphere_in_cube(&p);
+        assert!(m.num_vertices() > 0);
+        // All hexes positively oriented.
+        assert_eq!(m.validate_volumes(), Ok(()));
+        // Volume equals the octant cube: (L^3)/?? — the octant is the full
+        // [0,L]^3 box here (one octant of the symmetric problem).
+        let l = p.cube_side;
+        assert!(
+            (m.total_volume() - l * l * l).abs() < 1e-6 * l * l * l,
+            "volume {} vs {}",
+            m.total_volume(),
+            l * l * l
+        );
+    }
+
+    #[test]
+    fn node_and_element_counts() {
+        let p = SpheresParams::tiny();
+        let m = sphere_in_cube(&p);
+        let n = p.n_surf;
+        let nsurf = 3 * n * n + 3 * n + 1;
+        let expect_nodes = (n + 1).pow(3) + p.radial_layers() * nsurf;
+        let expect_elems = n.pow(3) + p.radial_layers() * 3 * n * n;
+        assert_eq!(m.num_vertices(), expect_nodes);
+        assert_eq!(m.num_elements(), expect_elems);
+    }
+
+    #[test]
+    fn materials_alternate() {
+        let p = SpheresParams::tiny();
+        let m = sphere_in_cube(&p);
+        // Some hard and some soft elements exist; hard fraction is
+        // consistent with ceil(5/2)=3 of 5 shell layers.
+        let hard = m.materials.iter().filter(|&&x| x == HARD).count();
+        assert!(hard > 0);
+        let shell_elems = p.n_layers * p.elems_per_layer * 3 * p.n_surf * p.n_surf;
+        assert_eq!(hard, shell_elems / 5 * 3);
+        // Hard elements sit between core_radius and sphere_radius.
+        for e in 0..m.num_elements() {
+            if m.materials[e] == HARD {
+                let r = m.elem_centroid(e).norm();
+                assert!(r > p.core_radius * 0.99 && r < p.sphere_radius * 1.01);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_plane_nodes_stay_on_planes() {
+        let p = SpheresParams::tiny();
+        let m = sphere_in_cube(&p);
+        // The mesh fills [0,L]^3: nodes with min coordinate 0 exist on all
+        // three symmetry planes, and the top face z=L is populated.
+        let l = p.cube_side;
+        for axis in 0..3 {
+            let on_plane = m.vertices_where(|pt| pt[axis].abs() < 1e-12);
+            assert!(
+                on_plane.len() > 10,
+                "too few nodes on symmetry plane {axis}"
+            );
+        }
+        let top = m.vertices_where(|pt| (pt.z - l).abs() < 1e-9);
+        assert!(top.len() >= (p.n_surf + 1) * (p.n_surf + 1));
+    }
+
+    #[test]
+    fn ladder_scales() {
+        let m1 = sphere_in_cube(&SpheresParams::ladder(1));
+        assert!(m1.num_dof() > 10_000 && m1.num_dof() < 25_000, "{}", m1.num_dof());
+        assert_eq!(m1.validate_volumes(), Ok(()));
+        // Ladder refinement multiplies dof by roughly 8.
+        let p2 = SpheresParams::ladder(2);
+        let n2_estimate = (p2.n_surf + 1).pow(3)
+            + p2.radial_layers() * (3 * p2.n_surf * p2.n_surf + 3 * p2.n_surf + 1);
+        assert!(n2_estimate > 5 * m1.num_vertices());
+    }
+
+    #[test]
+    fn shells_are_spherical() {
+        let p = SpheresParams::tiny();
+        let m = sphere_in_cube(&p);
+        // Nodes at the sphere surface station have |x| = sphere_radius.
+        let on_sphere = m.vertices_where(|pt| (pt.norm() - p.sphere_radius).abs() < 1e-9);
+        let nsurf = 3 * p.n_surf * p.n_surf + 3 * p.n_surf + 1;
+        assert_eq!(on_sphere.len(), nsurf);
+    }
+}

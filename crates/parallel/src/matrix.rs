@@ -1,0 +1,318 @@
+//! Rank-partitioned sparse matrices with ghost-column exchange plans.
+//!
+//! Each rank owns the matrix rows of its owned indices (the paper's Athena
+//! builds processor sub-domains so that "each processor can compute all
+//! rows of the stiffness matrix associated with vertices that have been
+//! partitioned to the processor"). Columns referencing other ranks' indices
+//! are *ghosts*: before a product, ghost values are fetched from their
+//! owners — one message per neighbor rank, 8 bytes per ghost value — which
+//! is exactly what the BSP machine model charges.
+
+use crate::layout::Layout;
+use crate::sim::Sim;
+use crate::vec::DistVec;
+use pmg_sparse::{CooBuilder, CsrMatrix};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// One rank's share of a distributed matrix.
+#[derive(Clone, Debug)]
+struct RankMat {
+    /// Local rows × owned columns.
+    diag: CsrMatrix,
+    /// Local rows × ghost columns.
+    off: CsrMatrix,
+    /// Global ids of ghost columns, ascending.
+    ghosts: Vec<u32>,
+    /// Distinct ranks that own our ghosts (message count per exchange).
+    neighbors: u64,
+}
+
+/// A sparse matrix distributed by rows over `row_layout`, whose columns are
+/// distributed by `col_layout` (square operators share one layout;
+/// restriction operators use coarse rows × fine columns).
+#[derive(Clone, Debug)]
+pub struct DistMatrix {
+    row_layout: Arc<Layout>,
+    col_layout: Arc<Layout>,
+    ranks: Vec<RankMat>,
+    spmv_flops: Vec<u64>,
+    spmv_traffic: Vec<(u64, u64)>,
+}
+
+impl DistMatrix {
+    /// Distribute a global CSR matrix.
+    pub fn from_global(a: &CsrMatrix, row_layout: Arc<Layout>, col_layout: Arc<Layout>) -> DistMatrix {
+        assert_eq!(a.nrows(), row_layout.num_global());
+        assert_eq!(a.ncols(), col_layout.num_global());
+        let nranks = row_layout.num_ranks();
+        assert_eq!(nranks, col_layout.num_ranks());
+
+        let ranks: Vec<RankMat> = (0..nranks)
+            .into_par_iter()
+            .map(|r| {
+                let rows = row_layout.owned(r);
+                // Collect ghost columns.
+                let mut ghosts: Vec<u32> = Vec::new();
+                for &g in rows {
+                    let (cols, _) = a.row(g as usize);
+                    for &j in cols {
+                        if col_layout.owner(j) as usize != r {
+                            ghosts.push(j as u32);
+                        }
+                    }
+                }
+                ghosts.sort_unstable();
+                ghosts.dedup();
+                let ghost_local: std::collections::HashMap<u32, usize> =
+                    ghosts.iter().enumerate().map(|(l, &g)| (g, l)).collect();
+
+                let nlocal = rows.len();
+                let mut diag = CooBuilder::new(nlocal, col_layout.local_len(r));
+                let mut off = CooBuilder::new(nlocal, ghosts.len());
+                for (li, &g) in rows.iter().enumerate() {
+                    let (cols, vals) = a.row(g as usize);
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        if col_layout.owner(j) as usize == r {
+                            diag.push(li, col_layout.local_index(j) as usize, v);
+                        } else {
+                            off.push(li, ghost_local[&(j as u32)], v);
+                        }
+                    }
+                }
+                let mut owners: Vec<u32> =
+                    ghosts.iter().map(|&g| col_layout.owner(g as usize)).collect();
+                owners.sort_unstable();
+                owners.dedup();
+                RankMat {
+                    diag: diag.build(),
+                    off: off.build(),
+                    ghosts,
+                    neighbors: owners.len() as u64,
+                }
+            })
+            .collect();
+
+        let spmv_flops = ranks
+            .iter()
+            .map(|m| 2 * (m.diag.nnz() + m.off.nnz()) as u64)
+            .collect();
+        let spmv_traffic = ranks
+            .iter()
+            .map(|m| (m.neighbors, 8 * m.ghosts.len() as u64))
+            .collect();
+        DistMatrix { row_layout, col_layout, ranks, spmv_flops, spmv_traffic }
+    }
+
+    pub fn row_layout(&self) -> &Arc<Layout> {
+        &self.row_layout
+    }
+
+    pub fn col_layout(&self) -> &Arc<Layout> {
+        &self.col_layout
+    }
+
+    pub fn num_global_rows(&self) -> usize {
+        self.row_layout.num_global()
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.ranks.iter().map(|m| m.diag.nnz() + m.off.nnz()).sum()
+    }
+
+    /// The local (owned-rows × owned-columns) block of rank `r` — the
+    /// sub-domain matrix the block-Jacobi smoother factors.
+    pub fn local_block(&self, r: usize) -> &CsrMatrix {
+        &self.ranks[r].diag
+    }
+
+    /// Per-rank ghost counts (diagnostics).
+    pub fn ghost_counts(&self) -> Vec<usize> {
+        self.ranks.iter().map(|m| m.ghosts.len()).collect()
+    }
+
+    /// `y = A x`, charging one ghost exchange plus one compute superstep.
+    pub fn spmv(&self, sim: &mut Sim, x: &DistVec, y: &mut DistVec) {
+        assert!(Arc::ptr_eq(x.layout(), &self.col_layout), "x layout mismatch");
+        assert!(Arc::ptr_eq(y.layout(), &self.row_layout), "y layout mismatch");
+        sim.exchange(&self.spmv_traffic);
+
+        // Gather all ghost values (reads other ranks' parts — the simulated
+        // message payloads), then compute rank-locally in parallel.
+        let ghost_vals: Vec<Vec<f64>> = self
+            .ranks
+            .par_iter()
+            .map(|m| {
+                m.ghosts
+                    .iter()
+                    .map(|&g| {
+                        let owner = self.col_layout.owner(g as usize) as usize;
+                        x.part(owner)[self.col_layout.local_index(g as usize) as usize]
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let parts: Vec<Vec<f64>> = self
+            .ranks
+            .par_iter()
+            .enumerate()
+            .map(|(r, m)| {
+                let xl = x.part(r);
+                let mut yl = vec![0.0; m.diag.nrows()];
+                m.diag.spmv(xl, &mut yl);
+                if m.off.nnz() > 0 {
+                    let mut tmp = vec![0.0; m.off.nrows()];
+                    m.off.spmv(&ghost_vals[r], &mut tmp);
+                    for (a, b) in yl.iter_mut().zip(&tmp) {
+                        *a += b;
+                    }
+                }
+                yl
+            })
+            .collect();
+        for (r, p) in parts.into_iter().enumerate() {
+            y.part_mut(r).copy_from_slice(&p);
+        }
+        sim.compute(&self.spmv_flops);
+    }
+
+    /// Reassemble the global matrix (testing / coarse-grid gather).
+    pub fn to_global(&self) -> CsrMatrix {
+        let n = self.row_layout.num_global();
+        let m = self.col_layout.num_global();
+        let mut b = CooBuilder::new(n, m);
+        for (r, mat) in self.ranks.iter().enumerate() {
+            let rows = self.row_layout.owned(r);
+            let cols_owned = self.col_layout.owned(r);
+            for (li, &g) in rows.iter().enumerate() {
+                let (cols, vals) = mat.diag.row(li);
+                for (&lj, &v) in cols.iter().zip(vals) {
+                    b.push(g as usize, cols_owned[lj] as usize, v);
+                }
+                let (gcols, gvals) = mat.off.row(li);
+                for (&lj, &v) in gcols.iter().zip(gvals) {
+                    b.push(g as usize, mat.ghosts[lj] as usize, v);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::MachineModel;
+    use rand::{Rng, SeedableRng};
+
+    /// 1D Laplacian.
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn distributed_spmv_matches_serial() {
+        let n = 23;
+        let a = laplacian(n);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut y_serial = vec![0.0; n];
+        a.spmv(&x, &mut y_serial);
+
+        for p in [1, 2, 3, 5, 8] {
+            let l = Layout::block(n, p);
+            let mut sim = Sim::new(p, MachineModel::default());
+            let da = DistMatrix::from_global(&a, l.clone(), l.clone());
+            let dx = DistVec::from_global(l.clone(), &x);
+            let mut dy = DistVec::zeros(l);
+            da.spmv(&mut sim, &dx, &mut dy);
+            let yg = dy.to_global();
+            for (u, v) in yg.iter().zip(&y_serial) {
+                assert!((u - v).abs() < 1e-13, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_with_scattered_layout() {
+        // Round-robin ownership maximizes ghosts; result must not change.
+        let n = 17;
+        let a = laplacian(n);
+        let owner: Vec<u32> = (0..n).map(|i| (i % 4) as u32).collect();
+        let l = Layout::from_part(owner, 4);
+        let mut sim = Sim::new(4, MachineModel::default());
+        let da = DistMatrix::from_global(&a, l.clone(), l.clone());
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let dx = DistVec::from_global(l.clone(), &x);
+        let mut dy = DistVec::zeros(l);
+        da.spmv(&mut sim, &dx, &mut dy);
+        let mut expect = vec![0.0; n];
+        a.spmv(&x, &mut expect);
+        assert_eq!(dy.to_global(), expect);
+    }
+
+    #[test]
+    fn to_global_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut b = CooBuilder::new(12, 12);
+        for _ in 0..40 {
+            b.push(rng.gen_range(0..12), rng.gen_range(0..12), rng.gen_range(-5.0..5.0));
+        }
+        let a = b.build();
+        let l = Layout::block(12, 3);
+        let da = DistMatrix::from_global(&a, l.clone(), l);
+        assert_eq!(da.to_global(), a);
+    }
+
+    #[test]
+    fn rectangular_restriction() {
+        // R: 3x6, coarse rows on 2 ranks, fine cols on 2 ranks.
+        let mut b = CooBuilder::new(3, 6);
+        for c in 0..3 {
+            b.push(c, 2 * c, 1.0);
+            b.push(c, 2 * c + 1, 0.5);
+        }
+        let r = b.build();
+        let lc = Layout::block(3, 2);
+        let lf = Layout::block(6, 2);
+        let mut sim = Sim::new(2, MachineModel::default());
+        let dr = DistMatrix::from_global(&r, lc.clone(), lf.clone());
+        let x: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let dx = DistVec::from_global(lf, &x);
+        let mut dy = DistVec::zeros(lc);
+        dr.spmv(&mut sim, &dx, &mut dy);
+        let mut expect = vec![0.0; 3];
+        r.spmv(&x, &mut expect);
+        assert_eq!(dy.to_global(), expect);
+    }
+
+    #[test]
+    fn ghosts_and_traffic_counted() {
+        let n = 16;
+        let a = laplacian(n);
+        let l = Layout::block(n, 4);
+        let mut sim = Sim::new(4, MachineModel::default());
+        let da = DistMatrix::from_global(&a, l.clone(), l.clone());
+        // Interior ranks of a block-partitioned 1D Laplacian have 2 ghosts.
+        let ghosts = da.ghost_counts();
+        assert_eq!(ghosts, vec![1, 2, 2, 1]);
+        let dx = DistVec::zeros(l.clone());
+        let mut dy = DistVec::zeros(l);
+        da.spmv(&mut sim, &dx, &mut dy);
+        let phases = sim.finish();
+        let p = &phases["default"];
+        assert_eq!(p.ranks[1].msgs, 2);
+        assert_eq!(p.ranks[1].bytes, 16);
+        assert!(p.modeled_comm_time > 0.0);
+    }
+}

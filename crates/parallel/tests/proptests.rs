@@ -1,0 +1,92 @@
+//! Property tests of the virtual-rank runtime: layouts, distributed
+//! vectors, and the ghost-exchange SpMV against arbitrary ownership maps.
+
+use pmg_parallel::{DistMatrix, DistVec, Layout, MachineModel, Sim};
+use pmg_sparse::CooBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn layout_roundtrip(owner in proptest::collection::vec(0u32..5, 1..60)) {
+        let n = owner.len();
+        let l = Layout::from_part(owner.clone(), 5);
+        prop_assert_eq!(l.num_global(), n);
+        // Every global index appears exactly once across ranks.
+        let mut seen = vec![false; n];
+        for r in 0..5 {
+            for &g in l.owned(r) {
+                prop_assert!(!seen[g as usize]);
+                seen[g as usize] = true;
+                prop_assert_eq!(l.owner(g as usize), r as u32);
+                prop_assert_eq!(l.owned(r)[l.local_index(g as usize) as usize], g);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn scatter_gather_identity(
+        owner in proptest::collection::vec(0u32..4, 1..50),
+        vals in proptest::collection::vec(-100.0f64..100.0, 50),
+    ) {
+        let n = owner.len();
+        let l = Layout::from_part(owner, 4);
+        let g: Vec<f64> = vals[..n].to_vec();
+        let d = DistVec::from_global(l, &g);
+        prop_assert_eq!(d.to_global(), g);
+    }
+
+    #[test]
+    fn spmv_any_ownership_matches_serial(
+        owner in proptest::collection::vec(0u32..4, 10..40),
+        entries in proptest::collection::vec((0usize..10, 0usize..10, -5.0f64..5.0), 0..80),
+    ) {
+        let n = owner.len();
+        let mut b = CooBuilder::new(n, n);
+        for (i, j, v) in entries {
+            if i < n && j < n {
+                b.push(i, j, v);
+            }
+        }
+        let a = b.build();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y_serial = vec![0.0; n];
+        a.spmv(&x, &mut y_serial);
+
+        let l = Layout::from_part(owner, 4);
+        let mut sim = Sim::new(4, MachineModel::default());
+        let da = DistMatrix::from_global(&a, l.clone(), l.clone());
+        let dx = DistVec::from_global(l.clone(), &x);
+        let mut dy = DistVec::zeros(l);
+        da.spmv(&mut sim, &dx, &mut dy);
+        let yg = dy.to_global();
+        for (u, v) in yg.iter().zip(&y_serial) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+        // Reassembly fidelity.
+        prop_assert_eq!(da.to_global(), a);
+    }
+
+    #[test]
+    fn dot_and_axpy_match_serial(
+        owner in proptest::collection::vec(0u32..3, 1..40),
+        alpha in -3.0f64..3.0,
+    ) {
+        let n = owner.len();
+        let xg: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let yg: Vec<f64> = (0..n).map(|i| (i as f64 * 0.5).sin()).collect();
+        let l = Layout::from_part(owner, 3);
+        let mut sim = Sim::new(3, MachineModel::default());
+        let x = DistVec::from_global(l.clone(), &xg);
+        let mut y = DistVec::from_global(l, &yg);
+        y.axpy(&mut sim, alpha, &x);
+        let expect: Vec<f64> = xg.iter().zip(&yg).map(|(a, b)| b + alpha * a).collect();
+        let got = y.to_global();
+        for (u, v) in got.iter().zip(&expect) {
+            prop_assert!((u - v).abs() < 1e-12);
+        }
+        let d = y.dot(&mut sim, &x);
+        let expect_dot: f64 = expect.iter().zip(&xg).map(|(a, b)| a * b).sum();
+        prop_assert!((d - expect_dot).abs() < 1e-9 * (1.0 + expect_dot.abs()));
+    }
+}

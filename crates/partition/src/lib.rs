@@ -1,0 +1,22 @@
+//! Graph partitioning and ordering substrate ("METIS / ParMetis" stand-in).
+//!
+//! The paper uses ParMetis to partition the finite element graph onto
+//! processors (and METIS again to build the block-Jacobi smoother blocks —
+//! 6 blocks per 1000 unknowns). This crate provides the same services:
+//!
+//! * [`graph::Graph`] — CSR adjacency structure shared across the workspace,
+//! * [`rcb`] — recursive coordinate bisection for geometric partitioning,
+//! * [`greedy`] — graph-growing partitioner with Kernighan–Lin style
+//!   boundary refinement (the METIS replacement used for smoother blocks),
+//! * [`order`] — Cuthill–McKee ("natural", cache-friendly) and random
+//!   orderings, the two MIS vertex-ordering heuristics of §4.7.
+
+pub mod graph;
+pub mod greedy;
+pub mod order;
+pub mod rcb;
+
+pub use graph::Graph;
+pub use greedy::{partition_graph, refine_kl};
+pub use order::{cuthill_mckee, random_permutation, reverse_cuthill_mckee};
+pub use rcb::recursive_coordinate_bisection;

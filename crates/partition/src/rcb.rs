@@ -1,0 +1,132 @@
+//! Recursive coordinate bisection (geometric partitioning).
+//!
+//! The paper partitions first onto SMP nodes and then within each node (§5);
+//! RCB is the classic geometric method for meshes with coordinates and is
+//! what we use to map vertices to virtual ranks.
+
+use pmg_geometry::{Aabb, Vec3};
+
+/// Partition `coords` into `nparts` balanced parts by recursive coordinate
+/// bisection. Returns a part id in `0..nparts` per point. Parts differ in
+/// size by at most one point per recursion level.
+///
+/// ```
+/// use pmg_geometry::Vec3;
+/// use pmg_partition::recursive_coordinate_bisection;
+/// let pts: Vec<Vec3> = (0..10).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+/// let part = recursive_coordinate_bisection(&pts, 2);
+/// assert_eq!(part.iter().filter(|&&p| p == 0).count(), 5);
+/// ```
+pub fn recursive_coordinate_bisection(coords: &[Vec3], nparts: usize) -> Vec<u32> {
+    assert!(nparts >= 1);
+    let mut part = vec![0u32; coords.len()];
+    let mut idx: Vec<u32> = (0..coords.len() as u32).collect();
+    bisect(coords, &mut idx, 0, nparts as u32, &mut part);
+    part
+}
+
+fn bisect(coords: &[Vec3], idx: &mut [u32], first_part: u32, nparts: u32, out: &mut [u32]) {
+    if nparts == 1 || idx.is_empty() {
+        for &i in idx.iter() {
+            out[i as usize] = first_part;
+        }
+        return;
+    }
+    // Split proportionally: left gets floor(nparts/2) of the parts and the
+    // matching share of the points.
+    let left_parts = nparts / 2;
+    let right_parts = nparts - left_parts;
+    let split = (idx.len() as u64 * left_parts as u64 / nparts as u64) as usize;
+
+    // Cut along the longest axis of the current bounding box.
+    let bbox = Aabb::from_points(idx.iter().map(|&i| coords[i as usize]));
+    let axis = bbox.longest_axis();
+    idx.select_nth_unstable_by(split.min(idx.len().saturating_sub(1)), |&a, &b| {
+        let ca = coords[a as usize][axis];
+        let cb = coords[b as usize][axis];
+        ca.partial_cmp(&cb)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let (lo, hi) = idx.split_at_mut(split);
+    bisect(coords, lo, first_part, left_parts, out);
+    bisect(coords, hi, first_part + left_parts, right_parts, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid(n: usize) -> Vec<Vec3> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    v.push(Vec3::new(i as f64, j as f64, k as f64));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn balanced_two_way() {
+        let pts = grid(4); // 64 points
+        let part = recursive_coordinate_bisection(&pts, 2);
+        let c0 = part.iter().filter(|&&p| p == 0).count();
+        assert_eq!(c0, 32);
+    }
+
+    #[test]
+    fn non_power_of_two() {
+        let pts = grid(4);
+        let part = recursive_coordinate_bisection(&pts, 3);
+        let mut counts = [0usize; 3];
+        for &p in &part {
+            counts[p as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| (20..=24).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    fn geometric_locality() {
+        // A 2-part split of a long bar must cut along its length.
+        let pts: Vec<Vec3> = (0..100).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        let part = recursive_coordinate_bisection(&pts, 2);
+        assert!(part[..50].iter().all(|&p| p == part[0]));
+        assert!(part[50..].iter().all(|&p| p == part[99]));
+        assert_ne!(part[0], part[99]);
+    }
+
+    #[test]
+    fn single_part() {
+        let pts = grid(2);
+        let part = recursive_coordinate_bisection(&pts, 1);
+        assert!(part.iter().all(|&p| p == 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_balance_and_range(
+            pts in proptest::collection::vec(
+                (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0), 1..200),
+            nparts in 1usize..9,
+        ) {
+            let coords: Vec<Vec3> = pts.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+            let part = recursive_coordinate_bisection(&coords, nparts);
+            prop_assert!(part.iter().all(|&p| (p as usize) < nparts));
+            let mut counts = vec![0usize; nparts];
+            for &p in &part {
+                counts[p as usize] += 1;
+            }
+            let ideal = coords.len() as f64 / nparts as f64;
+            for &c in &counts {
+                // Each part within one of the ideal share per recursion
+                // level (log2(nparts) levels).
+                let slack = (nparts as f64).log2().ceil() + 1.0;
+                prop_assert!((c as f64 - ideal).abs() <= slack, "counts={counts:?}");
+            }
+        }
+    }
+}

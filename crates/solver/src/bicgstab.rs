@@ -1,0 +1,213 @@
+//! BiCGStab — the short-recurrence Krylov method for unsymmetric systems
+//! (no restart memory like GMRES, no symmetry requirement like CG).
+//! Right-preconditioned, so any of the workspace preconditioners (block
+//! Jacobi, the multigrid hierarchy) drop in.
+
+use crate::precond::Precond;
+use pmg_parallel::{DistMatrix, DistVec, Sim};
+
+/// Options for [`bicgstab`].
+#[derive(Clone, Copy, Debug)]
+pub struct BiCgStabOptions {
+    pub rtol: f64,
+    pub max_iters: usize,
+}
+
+impl Default for BiCgStabOptions {
+    fn default() -> Self {
+        BiCgStabOptions { rtol: 1e-8, max_iters: 500 }
+    }
+}
+
+/// Outcome of a BiCGStab solve.
+#[derive(Clone, Debug)]
+pub struct BiCgStabResult {
+    pub iterations: usize,
+    pub converged: bool,
+    pub rel_residual: f64,
+}
+
+/// Solve `A x = b` by right-preconditioned BiCGStab from the initial guess
+/// in `x`.
+pub fn bicgstab(
+    sim: &mut Sim,
+    a: &DistMatrix,
+    m: &dyn Precond,
+    b: &DistVec,
+    x: &mut DistVec,
+    opts: BiCgStabOptions,
+) -> BiCgStabResult {
+    let layout = b.layout().clone();
+    let bnorm = b.clone().norm2(sim).max(1e-300);
+
+    let mut r = DistVec::zeros(layout.clone());
+    a.spmv(sim, x, &mut r);
+    r.aypx(sim, -1.0, b); // r = b - A x
+    let rhat = r.clone();
+    let mut rnorm = r.norm2(sim);
+    if rnorm <= opts.rtol * bnorm {
+        return BiCgStabResult { iterations: 0, converged: true, rel_residual: rnorm / bnorm };
+    }
+
+    let mut rho = 1.0f64;
+    let mut alpha = 1.0f64;
+    let mut omega = 1.0f64;
+    let mut v = DistVec::zeros(layout.clone());
+    let mut p = DistVec::zeros(layout.clone());
+    let mut phat = DistVec::zeros(layout.clone());
+    let mut shat = DistVec::zeros(layout.clone());
+    let mut t = DistVec::zeros(layout.clone());
+
+    for it in 1..=opts.max_iters {
+        let rho_new = rhat.dot(sim, &r);
+        if rho_new.abs() < 1e-300 {
+            return BiCgStabResult { iterations: it, converged: false, rel_residual: rnorm / bnorm };
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        // p = r + beta (p - omega v).
+        p.axpy(sim, -omega, &v);
+        p.aypx(sim, beta, &r);
+        m.apply(sim, &p, &mut phat);
+        a.spmv(sim, &phat, &mut v);
+        let rhat_v = rhat.dot(sim, &v);
+        if rhat_v.abs() < 1e-300 {
+            return BiCgStabResult { iterations: it, converged: false, rel_residual: rnorm / bnorm };
+        }
+        alpha = rho_new / rhat_v;
+        // s = r - alpha v (reuse r as s).
+        r.axpy(sim, -alpha, &v);
+        let snorm = r.norm2(sim);
+        if snorm <= opts.rtol * bnorm {
+            x.axpy(sim, alpha, &phat);
+            return BiCgStabResult { iterations: it, converged: true, rel_residual: snorm / bnorm };
+        }
+        m.apply(sim, &r, &mut shat);
+        a.spmv(sim, &shat, &mut t);
+        let tt = t.dot(sim, &t.clone());
+        if tt <= 0.0 {
+            return BiCgStabResult { iterations: it, converged: false, rel_residual: snorm / bnorm };
+        }
+        omega = t.dot(sim, &r) / tt;
+        x.axpy(sim, alpha, &phat);
+        x.axpy(sim, omega, &shat);
+        // r = s - omega t.
+        r.axpy(sim, -omega, &t);
+        rnorm = r.norm2(sim);
+        if rnorm <= opts.rtol * bnorm {
+            return BiCgStabResult { iterations: it, converged: true, rel_residual: rnorm / bnorm };
+        }
+        rho = rho_new;
+        if omega.abs() < 1e-300 {
+            return BiCgStabResult { iterations: it, converged: false, rel_residual: rnorm / bnorm };
+        }
+    }
+    BiCgStabResult { iterations: opts.max_iters, converged: false, rel_residual: rnorm / bnorm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{IdentityPrecond, JacobiPrecond};
+    use pmg_parallel::{Layout, MachineModel};
+    use pmg_sparse::{CooBuilder, CsrMatrix};
+
+    fn convection_diffusion(n: usize, wind: f64) -> CsrMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0 - wind);
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0 + wind);
+            }
+        }
+        b.build()
+    }
+
+    fn check(a: &CsrMatrix, x: &[f64], b: &[f64], tol: f64) {
+        let mut ax = vec![0.0; b.len()];
+        a.spmv(x, &mut ax);
+        let err: f64 = ax.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err <= tol * bn, "residual {err:.2e}");
+    }
+
+    #[test]
+    fn solves_unsymmetric_system() {
+        let n = 64;
+        let a = convection_diffusion(n, 0.35);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+        for p in [1, 3] {
+            let l = Layout::block(n, p);
+            let mut sim = Sim::new(p, MachineModel::default());
+            let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+            let db = DistVec::from_global(l.clone(), &b);
+            let mut x = DistVec::zeros(l);
+            let res = bicgstab(
+                &mut sim,
+                &da,
+                &IdentityPrecond,
+                &db,
+                &mut x,
+                BiCgStabOptions { rtol: 1e-10, max_iters: 500 },
+            );
+            assert!(res.converged, "p={p}: {res:?}");
+            check(&a, &x.to_global(), &b, 1e-8);
+        }
+    }
+
+    #[test]
+    fn preconditioning_reduces_iterations() {
+        let n = 80;
+        // Symmetric bad scaling + wind.
+        let scale = |i: usize| if i.is_multiple_of(4) { 20.0 } else { 1.0 };
+        let mut bld = CooBuilder::new(n, n);
+        for i in 0..n {
+            bld.push(i, i, 2.0 * scale(i) * scale(i));
+            if i > 0 {
+                bld.push(i, i - 1, -1.2 * scale(i) * scale(i - 1));
+            }
+            if i + 1 < n {
+                bld.push(i, i + 1, -0.8 * scale(i) * scale(i + 1));
+            }
+        }
+        let a = bld.build();
+        let b = vec![1.0; n];
+        let l = Layout::block(n, 2);
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let opts = BiCgStabOptions { rtol: 1e-9, max_iters: 1000 };
+
+        let mut sim1 = Sim::new(2, MachineModel::default());
+        let db = DistVec::from_global(l.clone(), &b);
+        let mut x1 = DistVec::zeros(l.clone());
+        let plain = bicgstab(&mut sim1, &da, &IdentityPrecond, &db, &mut x1, opts);
+
+        let jac = JacobiPrecond::new(&da);
+        let mut sim2 = Sim::new(2, MachineModel::default());
+        let mut x2 = DistVec::zeros(l);
+        let pre = bicgstab(&mut sim2, &da, &jac, &db, &mut x2, opts);
+        assert!(pre.converged);
+        assert!(
+            pre.iterations <= plain.iterations,
+            "preconditioned {} vs plain {}",
+            pre.iterations,
+            plain.iterations
+        );
+        check(&a, &x2.to_global(), &b, 1e-7);
+    }
+
+    #[test]
+    fn zero_rhs_immediate() {
+        let n = 12;
+        let a = convection_diffusion(n, 0.1);
+        let l = Layout::block(n, 1);
+        let mut sim = Sim::new(1, MachineModel::default());
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let db = DistVec::zeros(l.clone());
+        let mut x = DistVec::zeros(l);
+        let res = bicgstab(&mut sim, &da, &IdentityPrecond, &db, &mut x, Default::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Coarsest-grid direct solver.
+//!
+//! "else x_i ← A_i⁻¹ r_i — solve coarsest problem directly" (Figure 1 of the
+//! paper). The coarsest operator is gathered to a root rank, factored
+//! densely once per matrix setup, and each application gathers the
+//! right-hand side, solves at the root, and scatters the result. Its size
+//! stays constant as the problem scales, so this is not a scalability
+//! bottleneck (§5).
+
+use crate::precond::Precond;
+use pmg_parallel::{DistMatrix, DistVec, Sim};
+use pmg_sparse::dense::{Cholesky, Lu};
+
+enum Factor {
+    Chol(Cholesky),
+    Lu(Lu),
+}
+
+/// Gather-to-root dense direct solver.
+pub struct CoarseDirect {
+    factor: Factor,
+    n: usize,
+    nranks: usize,
+    gather_traffic: Vec<(u64, u64)>,
+}
+
+impl CoarseDirect {
+    /// Factor the (global) matrix of `a`. Panics if the matrix is singular.
+    pub fn new(a: &DistMatrix) -> CoarseDirect {
+        let global_csr = a.to_global();
+        let symmetric = global_csr.is_symmetric(1e-12);
+        let global = global_csr.to_dense();
+        let n = global.nrows();
+        // Cholesky only reads the lower triangle, so guard it behind a
+        // symmetry check; fall back to pivoted LU otherwise.
+        let factor = match Some(()).filter(|_| symmetric).and_then(|_| Cholesky::factor(&global)) {
+            Some(c) => Factor::Chol(c),
+            None => Factor::Lu(
+                Lu::factor(&global).expect("coarse operator is singular"),
+            ),
+        };
+        let layout = a.row_layout();
+        let nranks = layout.num_ranks();
+        // Gather: every non-root rank sends its local values to rank 0.
+        let gather_traffic = (0..nranks)
+            .map(|r| {
+                if r == 0 {
+                    (0, 0)
+                } else {
+                    (1u64, 8 * layout.local_len(r) as u64)
+                }
+            })
+            .collect();
+        CoarseDirect { factor, n, nranks, gather_traffic }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+impl Precond for CoarseDirect {
+    fn apply(&self, sim: &mut Sim, r: &DistVec, z: &mut DistVec) {
+        // Gather r to root, solve, scatter (charged as two exchanges plus a
+        // root-only compute).
+        sim.exchange(&self.gather_traffic);
+        let global = r.to_global();
+        let x = match &self.factor {
+            Factor::Chol(c) => c.solve(&global),
+            Factor::Lu(l) => l.solve(&global),
+        };
+        let mut flops = vec![0u64; self.nranks];
+        flops[0] = 2 * (self.n * self.n) as u64;
+        sim.compute(&flops);
+        sim.exchange(&self.gather_traffic); // scatter (mirror traffic)
+        let solved = DistVec::from_global(r.layout().clone(), &x);
+        z.copy_from(&solved);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmg_parallel::{Layout, MachineModel};
+    use pmg_sparse::CooBuilder;
+
+    #[test]
+    fn direct_solve_is_exact() {
+        let n = 15;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 3.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+                b.push(i - 1, i, -1.0);
+            }
+        }
+        let a = b.build();
+        for p in [1, 4] {
+            let l = Layout::block(n, p);
+            let mut sim = Sim::new(p, MachineModel::default());
+            let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+            let solver = CoarseDirect::new(&da);
+            assert_eq!(solver.dim(), n);
+            let rhs: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            let dr = DistVec::from_global(l.clone(), &rhs);
+            let mut dz = DistVec::zeros(l);
+            solver.apply(&mut sim, &dr, &mut dz);
+            let mut ax = vec![0.0; n];
+            a.spmv(&dz.to_global(), &mut ax);
+            for (u, v) in ax.iter().zip(&rhs) {
+                assert!((u - v).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn unsymmetric_falls_back_to_lu() {
+        let n = 6;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            if i + 1 < n {
+                b.push(i, i + 1, -1.5); // unsymmetric coupling
+            }
+        }
+        let a = b.build();
+        let l = Layout::block(n, 2);
+        let mut sim = Sim::new(2, MachineModel::default());
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let solver = CoarseDirect::new(&da);
+        let rhs = vec![1.0; n];
+        let dr = DistVec::from_global(l.clone(), &rhs);
+        let mut dz = DistVec::zeros(l);
+        solver.apply(&mut sim, &dr, &mut dz);
+        let mut ax = vec![0.0; n];
+        a.spmv(&dz.to_global(), &mut ax);
+        for (u, v) in ax.iter().zip(&rhs) {
+            assert!((u - v).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn comm_is_charged() {
+        let n = 8;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 1.0);
+        }
+        let a = b.build();
+        let l = Layout::block(n, 4);
+        let mut sim = Sim::new(4, MachineModel::default());
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let solver = CoarseDirect::new(&da);
+        let dr = DistVec::from_global(l.clone(), &vec![1.0; n]);
+        let mut dz = DistVec::zeros(l);
+        solver.apply(&mut sim, &dr, &mut dz);
+        let phases = sim.finish();
+        let p = &phases["default"];
+        assert!(p.ranks[1].msgs >= 2); // gather + scatter
+        assert_eq!(p.ranks[1].flops, 0); // root does the solve
+        assert!(p.ranks[0].flops > 0);
+    }
+}

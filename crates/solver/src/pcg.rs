@@ -1,0 +1,269 @@
+//! Preconditioned conjugate gradients on distributed vectors.
+//!
+//! The paper's outer Krylov method: PCG with a relative 2-norm residual
+//! tolerance (`‖A x̂ − b‖ / ‖b‖ ≤ rtol`, §6), preconditioned by one full
+//! multigrid cycle (or, for the baselines, by block Jacobi / point Jacobi).
+
+use crate::precond::Precond;
+use pmg_parallel::{DistMatrix, DistVec, Sim};
+
+/// Options for [`pcg`].
+#[derive(Clone, Copy, Debug)]
+pub struct PcgOptions {
+    /// Relative residual tolerance (paper's first linear solve: 1e-4).
+    pub rtol: f64,
+    /// Absolute residual tolerance (safety net for zero right-hand sides).
+    pub atol: f64,
+    pub max_iters: usize,
+}
+
+impl Default for PcgOptions {
+    fn default() -> Self {
+        PcgOptions { rtol: 1e-4, atol: 1e-30, max_iters: 500 }
+    }
+}
+
+/// Outcome of a PCG solve.
+#[derive(Clone, Debug)]
+pub struct PcgResult {
+    pub iterations: usize,
+    pub converged: bool,
+    /// `‖r‖ / ‖b‖` at exit.
+    pub rel_residual: f64,
+    /// `‖r‖` after every iteration (index 0 is the initial residual).
+    pub residuals: Vec<f64>,
+}
+
+/// Solve `A x = b` by preconditioned CG, starting from the initial guess in
+/// `x`. Every flop and message is charged to `sim`.
+pub fn pcg(
+    sim: &mut Sim,
+    a: &DistMatrix,
+    m: &dyn Precond,
+    b: &DistVec,
+    x: &mut DistVec,
+    opts: PcgOptions,
+) -> PcgResult {
+    let layout = b.layout().clone();
+    let mut r = DistVec::zeros(layout.clone());
+    let mut z = DistVec::zeros(layout.clone());
+    let mut p = DistVec::zeros(layout.clone());
+    let mut w = DistVec::zeros(layout);
+
+    // r = b - A x.
+    a.spmv(sim, x, &mut r);
+    r.aypx(sim, -1.0, b);
+
+    let bnorm = b.clone().norm2(sim).max(1e-300);
+    let mut rnorm = r.norm2(sim);
+    let mut residuals = vec![rnorm];
+    if rnorm <= opts.rtol * bnorm || rnorm <= opts.atol {
+        return PcgResult { iterations: 0, converged: true, rel_residual: rnorm / bnorm, residuals };
+    }
+
+    m.apply(sim, &r, &mut z);
+    p.copy_from(&z);
+    let mut rz = r.dot(sim, &z);
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for it in 1..=opts.max_iters {
+        iterations = it;
+        a.spmv(sim, &p, &mut w);
+        let pw = p.dot(sim, &w);
+        if pw <= 0.0 || !pw.is_finite() {
+            // Loss of positive definiteness (or breakdown): stop.
+            break;
+        }
+        let alpha = rz / pw;
+        x.axpy(sim, alpha, &p);
+        r.axpy(sim, -alpha, &w);
+        rnorm = r.norm2(sim);
+        residuals.push(rnorm);
+        if rnorm <= opts.rtol * bnorm || rnorm <= opts.atol {
+            converged = true;
+            break;
+        }
+        m.apply(sim, &r, &mut z);
+        let rz_new = r.dot(sim, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        p.aypx(sim, beta, &z);
+    }
+    PcgResult { iterations, converged, rel_residual: rnorm / bnorm, residuals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{IdentityPrecond, JacobiPrecond};
+    use crate::smoother::BlockJacobi;
+    use pmg_parallel::{Layout, MachineModel};
+    use pmg_sparse::{CooBuilder, CsrMatrix};
+
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    fn check_solution(a: &CsrMatrix, x: &[f64], b: &[f64], tol: f64) {
+        let mut ax = vec![0.0; b.len()];
+        a.spmv(x, &mut ax);
+        let err: f64 = ax.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err <= tol * bn, "residual {err} vs {}", tol * bn);
+    }
+
+    #[test]
+    fn cg_identity_precond_converges() {
+        let n = 50;
+        let a = laplacian(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        for p in [1, 4] {
+            let l = Layout::block(n, p);
+            let mut sim = Sim::new(p, MachineModel::default());
+            let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+            let db = DistVec::from_global(l.clone(), &b);
+            let mut x = DistVec::zeros(l);
+            let res = pcg(
+                &mut sim,
+                &da,
+                &IdentityPrecond,
+                &db,
+                &mut x,
+                PcgOptions { rtol: 1e-10, max_iters: 200, ..Default::default() },
+            );
+            assert!(res.converged, "p={p}");
+            check_solution(&a, &x.to_global(), &b, 1e-9);
+            // Residual history is monotone-ish in the 2-norm? CG guarantees
+            // A-norm monotonicity; just check it ends far below the start.
+            assert!(res.residuals.last().unwrap() < &(1e-8 * res.residuals[0]));
+        }
+    }
+
+    #[test]
+    fn cg_exact_in_n_iterations() {
+        // CG converges in at most n iterations in exact arithmetic.
+        let n = 20;
+        let a = laplacian(n);
+        let l = Layout::block(n, 1);
+        let mut sim = Sim::new(1, MachineModel::default());
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let db = DistVec::from_global(l.clone(), &vec![1.0; n]);
+        let mut x = DistVec::zeros(l);
+        let res = pcg(
+            &mut sim,
+            &da,
+            &IdentityPrecond,
+            &db,
+            &mut x,
+            PcgOptions { rtol: 1e-12, max_iters: n + 2, ..Default::default() },
+        );
+        assert!(res.converged);
+        assert!(res.iterations <= n + 1);
+    }
+
+    #[test]
+    fn preconditioning_reduces_iterations() {
+        let n = 200;
+        let a = laplacian(n);
+        let l = Layout::block(n, 2);
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let db = DistVec::from_global(l.clone(), &b);
+        let opts = PcgOptions { rtol: 1e-8, max_iters: 400, ..Default::default() };
+
+        let mut sim1 = Sim::new(2, MachineModel::default());
+        let mut x1 = DistVec::zeros(l.clone());
+        let plain = pcg(&mut sim1, &da, &IdentityPrecond, &db, &mut x1, opts);
+
+        let bj = BlockJacobi::new(&da, 40.0, 1.0); // 25-unknown blocks
+        let mut sim2 = Sim::new(2, MachineModel::default());
+        let mut x2 = DistVec::zeros(l.clone());
+        let pre = pcg(&mut sim2, &da, &bj, &db, &mut x2, opts);
+
+        assert!(plain.converged && pre.converged);
+        assert!(
+            pre.iterations < plain.iterations,
+            "block Jacobi {} vs identity {}",
+            pre.iterations,
+            plain.iterations
+        );
+        check_solution(&a, &x2.to_global(), &b, 1e-7);
+    }
+
+    #[test]
+    fn jacobi_precond_on_scaled_system() {
+        // Badly scaled diagonal: Jacobi fixes it.
+        let n = 60;
+        let mut bld = CooBuilder::new(n, n);
+        for i in 0..n {
+            let s = if i % 2 == 0 { 1.0 } else { 1e4 };
+            bld.push(i, i, 2.0 * s);
+            if i > 0 {
+                bld.push(i, i - 1, -0.5);
+            }
+            if i + 1 < n {
+                bld.push(i, i + 1, -0.5);
+            }
+        }
+        let a = bld.build();
+        let l = Layout::block(n, 3);
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let b = vec![1.0; n];
+        let db = DistVec::from_global(l.clone(), &b);
+        let opts = PcgOptions { rtol: 1e-9, max_iters: 300, ..Default::default() };
+
+        let mut sim1 = Sim::new(3, MachineModel::default());
+        let mut x1 = DistVec::zeros(l.clone());
+        let plain = pcg(&mut sim1, &da, &IdentityPrecond, &db, &mut x1, opts);
+        let jac = JacobiPrecond::new(&da);
+        let mut sim2 = Sim::new(3, MachineModel::default());
+        let mut x2 = DistVec::zeros(l.clone());
+        let pre = pcg(&mut sim2, &da, &jac, &db, &mut x2, opts);
+        assert!(pre.converged);
+        assert!(pre.iterations <= plain.iterations);
+        check_solution(&a, &x2.to_global(), &b, 1e-8);
+    }
+
+    #[test]
+    fn zero_rhs_is_immediate() {
+        let n = 10;
+        let a = laplacian(n);
+        let l = Layout::block(n, 1);
+        let mut sim = Sim::new(1, MachineModel::default());
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let db = DistVec::zeros(l.clone());
+        let mut x = DistVec::zeros(l);
+        let res = pcg(&mut sim, &da, &IdentityPrecond, &db, &mut x, PcgOptions::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn warm_start_uses_initial_guess() {
+        let n = 30;
+        let a = laplacian(n);
+        let l = Layout::block(n, 1);
+        let mut sim = Sim::new(1, MachineModel::default());
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        // b = A * ones, start from x = ones: converged at iteration 0.
+        let ones = vec![1.0; n];
+        let mut bg = vec![0.0; n];
+        a.spmv(&ones, &mut bg);
+        let db = DistVec::from_global(l.clone(), &bg);
+        let mut x = DistVec::from_global(l, &ones);
+        let res = pcg(&mut sim, &da, &IdentityPrecond, &db, &mut x, PcgOptions::default());
+        assert_eq!(res.iterations, 0);
+        assert!(res.converged);
+    }
+}

@@ -1,0 +1,91 @@
+//! Preconditioner interface and the trivial preconditioners.
+
+use pmg_parallel::{DistMatrix, DistVec, Sim};
+
+/// A (symmetric positive definite) preconditioner application `z = M⁻¹ r`.
+pub trait Precond {
+    fn apply(&self, sim: &mut Sim, r: &DistVec, z: &mut DistVec);
+}
+
+/// `M = I`.
+pub struct IdentityPrecond;
+
+impl Precond for IdentityPrecond {
+    fn apply(&self, _sim: &mut Sim, r: &DistVec, z: &mut DistVec) {
+        z.copy_from(r);
+    }
+}
+
+/// Diagonal (point Jacobi) preconditioner.
+pub struct JacobiPrecond {
+    /// Per-rank inverse diagonal.
+    inv_diag: Vec<Vec<f64>>,
+    flops: Vec<u64>,
+}
+
+impl JacobiPrecond {
+    pub fn new(a: &DistMatrix) -> JacobiPrecond {
+        let nranks = a.row_layout().num_ranks();
+        let mut inv_diag = Vec::with_capacity(nranks);
+        for r in 0..nranks {
+            let local = a.local_block(r);
+            let d: Vec<f64> = local
+                .diag()
+                .iter()
+                .map(|&v| if v != 0.0 { 1.0 / v } else { 1.0 })
+                .collect();
+            inv_diag.push(d);
+        }
+        let flops = inv_diag.iter().map(|d| d.len() as u64).collect();
+        JacobiPrecond { inv_diag, flops }
+    }
+}
+
+impl Precond for JacobiPrecond {
+    fn apply(&self, sim: &mut Sim, r: &DistVec, z: &mut DistVec) {
+        for (rank, d) in self.inv_diag.iter().enumerate() {
+            let rp = r.part(rank).to_vec();
+            let zp = z.part_mut(rank);
+            for ((zi, ri), di) in zp.iter_mut().zip(&rp).zip(d) {
+                *zi = ri * di;
+            }
+        }
+        sim.compute(&self.flops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmg_parallel::{Layout, MachineModel};
+    use pmg_sparse::CooBuilder;
+
+    #[test]
+    fn jacobi_inverts_diagonal() {
+        let mut b = CooBuilder::new(4, 4);
+        for i in 0..4 {
+            b.push(i, i, (i + 1) as f64);
+        }
+        b.push(0, 1, 0.5);
+        b.push(1, 0, 0.5);
+        let a = b.build();
+        let l = Layout::block(4, 2);
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let p = JacobiPrecond::new(&da);
+        let mut sim = Sim::new(2, MachineModel::default());
+        let r = DistVec::from_global(l.clone(), &[2.0, 4.0, 9.0, 16.0]);
+        let mut z = DistVec::zeros(l);
+        p.apply(&mut sim, &r, &mut z);
+        assert_eq!(z.to_global(), vec![2.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn identity_copies() {
+        let l = Layout::block(3, 1);
+        let mut sim = Sim::new(1, MachineModel::default());
+        let r = DistVec::from_global(l.clone(), &[1.0, 2.0, 3.0]);
+        let mut z = DistVec::zeros(l);
+        IdentityPrecond.apply(&mut sim, &r, &mut z);
+        assert_eq!(z.to_global(), vec![1.0, 2.0, 3.0]);
+    }
+}

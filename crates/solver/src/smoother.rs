@@ -1,0 +1,287 @@
+//! Damped block-Jacobi smoother.
+//!
+//! The paper's multigrid smoother: "block Jacobi with 6 blocks for every
+//! 1,000 unknowns (these block Jacobi sub-domains are constructed with
+//! METIS)". Blocks are built *within* each rank's sub-domain (block Jacobi
+//! needs no communication beyond the residual's matrix product), factored
+//! densely once per matrix setup, and applied with damping `ω` so the
+//! smoothing iteration contracts the high-frequency error.
+
+use crate::precond::Precond;
+use pmg_parallel::{DistMatrix, DistVec, Sim};
+use pmg_partition::{partition_graph, Graph};
+use pmg_sparse::dense::{Cholesky, Lu};
+use pmg_sparse::CsrMatrix;
+use rayon::prelude::*;
+
+enum BlockFactor {
+    Chol(Cholesky),
+    Lu(Lu),
+    /// Last-resort inverse diagonal (singular block).
+    Diag(Vec<f64>),
+}
+
+impl BlockFactor {
+    fn solve(&self, b: &[f64]) -> Vec<f64> {
+        match self {
+            BlockFactor::Chol(c) => c.solve(b),
+            BlockFactor::Lu(l) => l.solve(b),
+            BlockFactor::Diag(d) => b.iter().zip(d).map(|(x, di)| x * di).collect(),
+        }
+    }
+
+    fn solve_flops(&self) -> u64 {
+        match self {
+            BlockFactor::Chol(c) => 2 * (c.dim() * c.dim()) as u64,
+            BlockFactor::Lu(l) => 2 * (l.dim() * l.dim()) as u64,
+            BlockFactor::Diag(d) => d.len() as u64,
+        }
+    }
+}
+
+struct RankBlocks {
+    /// Local dof indices per block.
+    blocks: Vec<Vec<u32>>,
+    factors: Vec<BlockFactor>,
+    apply_flops: u64,
+}
+
+/// The block-Jacobi smoother / one-level preconditioner.
+pub struct BlockJacobi {
+    ranks: Vec<RankBlocks>,
+    omega: f64,
+    apply_flops: Vec<u64>,
+}
+
+/// Adjacency graph of a CSR matrix's off-diagonal sparsity.
+fn csr_graph(a: &CsrMatrix) -> Graph {
+    let mut edges = Vec::new();
+    for i in 0..a.nrows() {
+        let (cols, _) = a.row(i);
+        for &j in cols {
+            if j != i {
+                edges.push((i as u32, j as u32));
+            }
+        }
+    }
+    Graph::from_edges(a.nrows(), edges)
+}
+
+impl BlockJacobi {
+    /// Build with the paper's density of `blocks_per_1000` blocks per 1000
+    /// local unknowns and damping `omega`.
+    pub fn new(a: &DistMatrix, blocks_per_1000: f64, omega: f64) -> BlockJacobi {
+        let nranks = a.row_layout().num_ranks();
+        let ranks: Vec<RankBlocks> = (0..nranks)
+            .into_par_iter()
+            .map(|r| {
+                let local = a.local_block(r);
+                let n = local.nrows();
+                if n == 0 {
+                    return RankBlocks { blocks: Vec::new(), factors: Vec::new(), apply_flops: 0 };
+                }
+                let nblocks = ((blocks_per_1000 * n as f64 / 1000.0).round() as usize)
+                    .clamp(1, n);
+                let g = csr_graph(local);
+                let part = partition_graph(&g, nblocks);
+                let mut blocks = vec![Vec::new(); nblocks];
+                for (v, &p) in part.iter().enumerate() {
+                    blocks[p as usize].push(v as u32);
+                }
+                blocks.retain(|b| !b.is_empty());
+                let factors: Vec<BlockFactor> = blocks
+                    .iter()
+                    .map(|blk| {
+                        let idx: Vec<usize> = blk.iter().map(|&v| v as usize).collect();
+                        let sub = local.principal_submatrix(&idx).to_dense();
+                        if let Some(c) = Cholesky::factor(&sub) {
+                            BlockFactor::Chol(c)
+                        } else if let Some(l) = Lu::factor(&sub) {
+                            BlockFactor::Lu(l)
+                        } else {
+                            let d: Vec<f64> = (0..sub.nrows())
+                                .map(|i| {
+                                    let v = sub[(i, i)];
+                                    if v != 0.0 {
+                                        1.0 / v
+                                    } else {
+                                        1.0
+                                    }
+                                })
+                                .collect();
+                            BlockFactor::Diag(d)
+                        }
+                    })
+                    .collect();
+                let apply_flops = factors.iter().map(|f| f.solve_flops()).sum();
+                RankBlocks { blocks, factors, apply_flops }
+            })
+            .collect();
+        let apply_flops = ranks.iter().map(|r| r.apply_flops).collect();
+        BlockJacobi { ranks, omega, apply_flops }
+    }
+
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// Number of blocks on rank `r` (diagnostics).
+    pub fn num_blocks(&self, r: usize) -> usize {
+        self.ranks[r].blocks.len()
+    }
+
+    /// `z = ω · B⁻¹ r` where `B` is the block diagonal.
+    fn apply_inner(&self, sim: &mut Sim, r: &DistVec, z: &mut DistVec) {
+        let omega = self.omega;
+        let parts: Vec<Vec<f64>> = self
+            .ranks
+            .par_iter()
+            .enumerate()
+            .map(|(rank, rb)| {
+                let rp = r.part(rank);
+                let mut zp = vec![0.0; rp.len()];
+                for (blk, fac) in rb.blocks.iter().zip(&rb.factors) {
+                    let rb_vals: Vec<f64> = blk.iter().map(|&v| rp[v as usize]).collect();
+                    let sol = fac.solve(&rb_vals);
+                    for (&v, &s) in blk.iter().zip(&sol) {
+                        zp[v as usize] = omega * s;
+                    }
+                }
+                zp
+            })
+            .collect();
+        for (rank, p) in parts.into_iter().enumerate() {
+            z.part_mut(rank).copy_from_slice(&p);
+        }
+        sim.compute(&self.apply_flops);
+    }
+
+    /// One (or more) stationary smoothing sweeps
+    /// `x ← x + ω B⁻¹ (b − A x)`.
+    pub fn smooth(&self, sim: &mut Sim, a: &DistMatrix, b: &DistVec, x: &mut DistVec, sweeps: usize) {
+        let mut r = DistVec::zeros(b.layout().clone());
+        let mut z = DistVec::zeros(b.layout().clone());
+        for _ in 0..sweeps {
+            a.spmv(sim, x, &mut r); // r = A x
+            r.aypx(sim, -1.0, b); // r = b - A x
+            self.apply_inner(sim, &r, &mut z);
+            x.axpy(sim, 1.0, &z);
+        }
+    }
+}
+
+impl Precond for BlockJacobi {
+    fn apply(&self, sim: &mut Sim, r: &DistVec, z: &mut DistVec) {
+        self.apply_inner(sim, r, z);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmg_parallel::{Layout, MachineModel};
+    use pmg_sparse::CooBuilder;
+
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            if i > 0 {
+                b.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_block_is_direct() {
+        // With one block covering the rank, one sweep with ω=1 solves the
+        // system exactly.
+        let n = 12;
+        let a = laplacian(n);
+        let l = Layout::block(n, 1);
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let bj = BlockJacobi::new(&da, 0.1, 1.0); // 0.1 blocks/1000 -> 1 block
+        assert_eq!(bj.num_blocks(0), 1);
+        let mut sim = Sim::new(1, MachineModel::default());
+        let b = DistVec::from_global(l.clone(), &vec![1.0; n]);
+        let mut x = DistVec::zeros(l);
+        bj.smooth(&mut sim, &da, &b, &mut x, 1);
+        let mut ax = vec![0.0; n];
+        a.spmv(&x.to_global(), &mut ax);
+        for (u, v) in ax.iter().zip(b.to_global().iter()) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_residual() {
+        // A smoother kills high-frequency residual components fast but
+        // barely touches the smoothest modes: test with a frequency-rich
+        // right-hand side and expect a solid (not dramatic) reduction.
+        let n = 60;
+        let a = laplacian(n);
+        for p in [1, 3] {
+            let l = Layout::block(n, p);
+            let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+            let bj = BlockJacobi::new(&da, 100.0, 0.66); // ~6 unknowns/block
+            let mut sim = Sim::new(p, MachineModel::default());
+            let bg: Vec<f64> = (0..n)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -0.5 } + (i as f64 * 0.4).sin())
+                .collect();
+            let b = DistVec::from_global(l.clone(), &bg);
+            let mut x = DistVec::zeros(l.clone());
+            let norm0 = {
+                let mut r = DistVec::zeros(l.clone());
+                da.spmv(&mut sim, &x, &mut r);
+                r.aypx(&mut sim, -1.0, &b);
+                r.norm2(&mut sim)
+            };
+            bj.smooth(&mut sim, &da, &b, &mut x, 10);
+            let norm1 = {
+                let mut r = DistVec::zeros(l.clone());
+                da.spmv(&mut sim, &x, &mut r);
+                r.aypx(&mut sim, -1.0, &b);
+                r.norm2(&mut sim)
+            };
+            assert!(norm1 < 0.5 * norm0, "p={p}: {norm0} -> {norm1}");
+        }
+    }
+
+    #[test]
+    fn block_count_follows_density() {
+        let n = 1000;
+        let a = laplacian(n);
+        let l = Layout::block(n, 2);
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l);
+        let bj = BlockJacobi::new(&da, 6.0, 0.66);
+        // 500 unknowns per rank -> 3 blocks per rank.
+        assert_eq!(bj.num_blocks(0), 3);
+        assert_eq!(bj.num_blocks(1), 3);
+    }
+
+    #[test]
+    fn apply_is_symmetric() {
+        // <B z, w> == <z, B w> for the preconditioner application.
+        let n = 20;
+        let a = laplacian(n);
+        let l = Layout::block(n, 2);
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let bj = BlockJacobi::new(&da, 200.0, 0.66);
+        let mut sim = Sim::new(2, MachineModel::default());
+        let z: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let w: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let dz = DistVec::from_global(l.clone(), &z);
+        let dw = DistVec::from_global(l.clone(), &w);
+        let mut bz = DistVec::zeros(l.clone());
+        let mut bw = DistVec::zeros(l);
+        bj.apply(&mut sim, &dz, &mut bz);
+        bj.apply(&mut sim, &dw, &mut bw);
+        let s1: f64 = bz.to_global().iter().zip(&w).map(|(a, b)| a * b).sum();
+        let s2: f64 = bw.to_global().iter().zip(&z).map(|(a, b)| a * b).sum();
+        assert!((s1 - s2).abs() < 1e-10 * s1.abs().max(1.0));
+    }
+}

@@ -1,0 +1,330 @@
+//! Small dense matrices and factorizations.
+//!
+//! Used for the coarsest-grid direct solve and for the block-Jacobi
+//! smoother's per-block factorizations (the paper factors each METIS block
+//! once per matrix setup).
+
+use crate::flops;
+use std::ops::{Index, IndexMut};
+
+/// Row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    pub fn from_fn(nrows: usize, ncols: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `y = A x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        for i in 0..self.nrows {
+            let row = &self.data[i * self.ncols..(i + 1) * self.ncols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        flops::add((2 * self.nrows * self.ncols) as u64);
+    }
+
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive definite matrix.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: DenseMatrix,
+}
+
+impl Cholesky {
+    /// Factor `a`; returns `None` if the matrix is not (numerically) SPD.
+    pub fn factor(a: &DenseMatrix) -> Option<Cholesky> {
+        assert_eq!(a.nrows, a.ncols);
+        let n = a.nrows;
+        let mut l = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        flops::add((n * n * n / 3).max(1) as u64);
+        Some(Cholesky { l })
+    }
+
+    pub fn dim(&self) -> usize {
+        self.l.nrows
+    }
+
+    /// Solve `A x = b` in place.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let n = self.l.nrows;
+        assert_eq!(b.len(), n);
+        // Forward: L y = b.
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * b[k];
+            }
+            b[i] = sum / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * b[k];
+            }
+            b[i] = sum / self.l[(i, i)];
+        }
+        flops::add((2 * n * n) as u64);
+    }
+
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+}
+
+/// LU factorization with partial pivoting (for indefinite or unsymmetric
+/// systems, e.g. coarse operators that lost definiteness to roundoff).
+#[derive(Clone, Debug)]
+pub struct Lu {
+    lu: DenseMatrix,
+    piv: Vec<usize>,
+}
+
+impl Lu {
+    /// Factor `a`; returns `None` for (numerically) singular matrices.
+    pub fn factor(a: &DenseMatrix) -> Option<Lu> {
+        assert_eq!(a.nrows, a.ncols);
+        let n = a.nrows;
+        let mut lu = a.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Pivot search.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 || !pmax.is_finite() {
+                return None;
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                piv.swap(k, p);
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in (k + 1)..n {
+                    let v = m * lu[(k, j)];
+                    lu[(i, j)] -= v;
+                }
+            }
+        }
+        flops::add((2 * n * n * n / 3).max(1) as u64);
+        Some(Lu { lu, piv })
+    }
+
+    pub fn dim(&self) -> usize {
+        self.lu.nrows
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.nrows;
+        assert_eq!(b.len(), n);
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // Forward: L y = P b (unit diagonal).
+        for i in 0..n {
+            let mut sum = x[i];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum;
+        }
+        // Backward: U x = y.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for k in (i + 1)..n {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        flops::add((2 * n * n) as u64);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd3() -> DenseMatrix {
+        // Diagonally dominant symmetric => SPD.
+        DenseMatrix::from_fn(3, 3, |i, j| if i == j { 4.0 } else { -1.0 })
+    }
+
+    #[test]
+    fn cholesky_solves() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = ch.solve(&b);
+        let mut ax = vec![0.0; 3];
+        a.matvec(&x, &mut ax);
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = spd3();
+        a[(1, 1)] = -5.0;
+        assert!(Cholesky::factor(&a).is_none());
+    }
+
+    #[test]
+    fn lu_solves_unsymmetric() {
+        let a = DenseMatrix::from_fn(3, 3, |i, j| (1 + i * 3 + j) as f64 + if i == j { 10.0 } else { 0.0 });
+        let lu = Lu::factor(&a).unwrap();
+        let b = vec![3.0, -1.0, 4.0];
+        let x = lu.solve(&b);
+        let mut ax = vec![0.0; 3];
+        a.matvec(&x, &mut ax);
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let mut a = DenseMatrix::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-15);
+        assert!((x[1] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = DenseMatrix::from_fn(2, 2, |i, _| (i + 1) as f64);
+        assert!(Lu::factor(&a).is_none());
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let i = DenseMatrix::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![0.0; 4];
+        i.matvec(&x, &mut y);
+        assert_eq!(x, y);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cholesky_random_spd(
+            vals in proptest::collection::vec(-1.0f64..1.0, 16),
+            b in proptest::collection::vec(-5.0f64..5.0, 4),
+        ) {
+            // Build A = M Mᵀ + n·I which is SPD.
+            let m = DenseMatrix::from_fn(4, 4, |i, j| vals[i * 4 + j]);
+            let mut a = DenseMatrix::zeros(4, 4);
+            for i in 0..4 {
+                for j in 0..4 {
+                    let mut acc = if i == j { 4.0 } else { 0.0 };
+                    for k in 0..4 {
+                        acc += m[(i, k)] * m[(j, k)];
+                    }
+                    a[(i, j)] = acc;
+                }
+            }
+            let ch = Cholesky::factor(&a).unwrap();
+            let x = ch.solve(&b);
+            let mut ax = vec![0.0; 4];
+            a.matvec(&x, &mut ax);
+            for (u, v) in ax.iter().zip(&b) {
+                prop_assert!((u - v).abs() < 1e-8);
+            }
+            // LU must agree with Cholesky.
+            let lu = Lu::factor(&a).unwrap();
+            let x2 = lu.solve(&b);
+            for (u, v) in x.iter().zip(&x2) {
+                prop_assert!((u - v).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Global floating-point operation accounting.
+//!
+//! The paper's performance study (§6) decomposes efficiency in terms of
+//! flops: flops per unknown per iteration (flop scale efficiency `e_s^F`),
+//! flop rate (communication efficiency `e_c`), and load balance (max vs
+//! average flops per processor). To regenerate those figures we count flops
+//! in every kernel. Counting uses a relaxed atomic and is always on: a
+//! single `fetch_add` per kernel call (not per scalar op) keeps the overhead
+//! unmeasurable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Record `n` floating-point operations.
+#[inline]
+pub fn add(n: u64) {
+    FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total flops recorded since the last [`reset`].
+pub fn total() -> u64 {
+    FLOPS.load(Ordering::Relaxed)
+}
+
+/// Zero the counter.
+pub fn reset() {
+    FLOPS.store(0, Ordering::Relaxed);
+}
+
+/// Scope helper: returns flops spent while running `f`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = total();
+    let out = f();
+    (out, total().wrapping_sub(before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_measure() {
+        // Note: tests run concurrently; only check relative behaviour.
+        let (_, spent) = measure(|| add(123));
+        assert!(spent >= 123);
+        let before = total();
+        add(7);
+        assert!(total() - before >= 7);
+    }
+}

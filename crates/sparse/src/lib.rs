@@ -1,0 +1,21 @@
+#![allow(clippy::needless_range_loop)] // indexed loops are the clearer idiom in the numeric kernels
+
+//! Sparse and small-dense linear algebra substrate ("PETSc" stand-in).
+//!
+//! The paper's solver is built on PETSc's distributed CSR matrices; this
+//! crate provides the serial kernels — CSR storage ([`csr::CsrMatrix`]),
+//! sparse matrix-vector products, sparse matrix-matrix products and the
+//! Galerkin triple product `R A Rᵀ` ([`csr`]), dense Cholesky/LU for coarse
+//! and block solves ([`dense`]), vector kernels ([`vector`]) — plus the flop
+//! accounting ([`flops`]) that the paper's efficiency metrics (§6) are
+//! defined in terms of. The distributed layer lives in `pmg-parallel`.
+
+pub mod bsr;
+pub mod csr;
+pub mod dense;
+pub mod flops;
+pub mod vector;
+
+pub use bsr::Bsr3Matrix;
+pub use csr::{CooBuilder, CsrMatrix};
+pub use dense::DenseMatrix;

@@ -1,0 +1,103 @@
+//! Dense vector kernels (the BLAS-1 layer of the solver).
+
+use crate::flops;
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    flops::add(2 * x.len() as u64);
+}
+
+/// `y = x + beta * y` (the CG update for the search direction).
+pub fn aypx(beta: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + beta * *yi;
+    }
+    flops::add(2 * x.len() as u64);
+}
+
+/// Euclidean inner product.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    flops::add(2 * x.len() as u64);
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// 2-norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    flops::add(2 * x.len() as u64);
+    x.iter().map(|a| a * a).sum::<f64>().sqrt()
+}
+
+/// Infinity norm.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &a| m.max(a.abs()))
+}
+
+/// `z = x - y`.
+pub fn sub_into(x: &[f64], y: &[f64], z: &mut [f64]) {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), z.len());
+    for ((zi, xi), yi) in z.iter_mut().zip(x).zip(y) {
+        *zi = xi - yi;
+    }
+    flops::add(x.len() as u64);
+}
+
+/// `x *= s`.
+pub fn scale(x: &mut [f64], s: f64) {
+    for xi in x.iter_mut() {
+        *xi *= s;
+    }
+    flops::add(x.len() as u64);
+}
+
+/// Copy `src` into `dst`.
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    dst.copy_from_slice(src);
+}
+
+/// Set all entries to zero.
+pub fn zero(x: &mut [f64]) {
+    x.iter_mut().for_each(|v| *v = 0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blas1_kernels() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        aypx(0.5, &x, &mut y);
+        assert_eq!(y, vec![7.0, 14.0, 21.0]);
+        assert_eq!(dot(&x, &x), 14.0);
+        assert!((norm2(&x) - 14.0f64.sqrt()).abs() < 1e-15);
+        assert_eq!(norm_inf(&[-5.0, 2.0]), 5.0);
+        let mut z = vec![0.0; 3];
+        sub_into(&y, &x, &mut z);
+        assert_eq!(z, vec![6.0, 12.0, 18.0]);
+        scale(&mut z, 1.0 / 6.0);
+        assert_eq!(z, vec![1.0, 2.0, 3.0]);
+        let mut w = vec![0.0; 3];
+        copy(&z, &mut w);
+        assert_eq!(w, z);
+        zero(&mut w);
+        assert_eq!(w, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let x = vec![1.0];
+        let mut y = vec![1.0, 2.0];
+        axpy(1.0, &x, &mut y);
+    }
+}

@@ -1,0 +1,57 @@
+//! Run the spheres crush and export a VTK time series (mesh, materials,
+//! displacement field) for ParaView — the deformed configurations behind
+//! the paper's Figure 9 (right).
+//!
+//! Run with: `cargo run --release --example crush_visualization [steps]`
+//! Output: `target/crush_step_<k>.vtk`.
+
+use prometheus_repro::fem::{NewtonDriver, NewtonOptions};
+use prometheus_repro::mesh::{to_vtk, SpheresParams};
+use prometheus_repro::solver::{MgOptions, Prometheus, PrometheusOptions};
+
+fn main() {
+    let nsteps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let params = SpheresParams::tiny();
+    let mut problem = prometheus_repro::fem::spheres_problem(&params);
+    let mesh = problem.fem.mesh.clone();
+    let ndof = mesh.num_dof();
+    println!("crushing {} dof octant over {nsteps} steps...", ndof);
+
+    let opts = PrometheusOptions {
+        nranks: 2,
+        mg: MgOptions { coarse_dof_threshold: 400, ..Default::default() },
+        max_iters: 300,
+        ..Default::default()
+    };
+    let mut u = vec![0.0; ndof];
+    let driver = NewtonDriver::new(NewtonOptions::default());
+    let mut solver: Option<Prometheus> = None;
+
+    std::fs::create_dir_all("target").ok();
+    let path0 = "target/crush_step_0.vtk";
+    std::fs::write(path0, to_vtk(&mesh, Some(("displacement", &u)))).expect("write vtk");
+    println!("  wrote {path0}");
+
+    for step in 1..=nsteps {
+        let bcs = problem.bcs_for_step(step, nsteps);
+        let stats = {
+            let mut solve = |k: &pmg_sparse::CsrMatrix, rhs: &[f64], rtol: f64| {
+                match solver.as_mut() {
+                    None => solver = Some(Prometheus::from_mesh(&mesh, k, opts)),
+                    Some(s) => s.update_matrix(k),
+                }
+                let (x, r) = solver.as_mut().unwrap().solve(rhs, None, rtol);
+                (x, r.iterations)
+            };
+            driver.solve_step(&mut problem.fem, &mut u, &bcs, &mut solve)
+        };
+        let path = format!("target/crush_step_{step}.vtk");
+        std::fs::write(&path, to_vtk(&mesh, Some(("displacement", &u)))).expect("write vtk");
+        println!(
+            "  step {step}: {} Newton iters, {:.1}% plastic -> {path}",
+            stats.newton_iters,
+            100.0 * problem.hard_yielded_fraction()
+        );
+    }
+    println!("open the series in ParaView and apply 'Warp By Vector' on displacement");
+}

@@ -1,0 +1,86 @@
+//! Quickstart: solve a 3D elasticity problem with the automatic
+//! unstructured multigrid solver.
+//!
+//! The user-side contract matches the paper's design goal: provide only
+//! the fine grid (mesh + assembled operator); the solver builds every
+//! coarse grid itself (MIS coarsening -> Delaunay remesh -> Galerkin
+//! operators) and solves with FMG-preconditioned CG.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use prometheus_repro::fem::{bc::constrain_system, FemProblem, LinearElastic};
+use prometheus_repro::geometry::Vec3;
+use prometheus_repro::mesh::generators::block;
+use prometheus_repro::solver::{MgOptions, Prometheus, PrometheusOptions};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A finite element problem: a 10x10x10 hex block of steel-ish
+    //    material, clamped at the bottom, sheared at the top.
+    let n = 10;
+    let mesh = block(n, n, n, Vec3::splat(1.0), |_| 0);
+    println!(
+        "fine grid: {} vertices, {} hex elements, {} dof",
+        mesh.num_vertices(),
+        mesh.num_elements(),
+        mesh.num_dof()
+    );
+
+    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(200.0, 0.3))]);
+    let (k, _) = fem.assemble(&vec![0.0; mesh.num_dof()]);
+
+    // 2. Boundary conditions: clamp z=0, apply a surface load at z=1.
+    let mut fixed = Vec::new();
+    let mut f = vec![0.0; mesh.num_dof()];
+    for (v, p) in mesh.coords.iter().enumerate() {
+        if p.z == 0.0 {
+            for c in 0..3 {
+                fixed.push((3 * v as u32 + c, 0.0));
+            }
+        }
+        if p.z == 1.0 {
+            f[3 * v] = 1.0; // shear in x
+        }
+    }
+    let (kc, rhs) = constrain_system(&k, &f, &fixed);
+    let b: Vec<f64> = rhs.iter().map(|v| -v).collect();
+
+    // 3. Hand the mesh and operator to the solver; it does the rest.
+    let opts = PrometheusOptions {
+        nranks: 4, // simulated parallel machine
+        mg: MgOptions { coarse_dof_threshold: 400, ..Default::default() },
+        ..Default::default()
+    };
+    let mut solver = Prometheus::from_mesh(&mesh, &kc, opts);
+    println!("multigrid hierarchy (vertices per level): {:?}", solver.level_sizes());
+
+    let (x, res) = solver.solve(&b, None, 1e-8);
+    println!(
+        "solved in {} FMG-PCG iterations (relative residual {:.2e})",
+        res.iterations, res.rel_residual
+    );
+
+    // 4. Verify and report.
+    let mut ax = vec![0.0; b.len()];
+    kc.spmv(&x, &mut ax);
+    let err: f64 = ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+    let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    println!("true residual check: {:.2e}", err / bn);
+
+    let tip = mesh.vertices_where(|p| p.z == 1.0 && p.x == 1.0 && p.y == 1.0)[0] as usize;
+    println!("tip displacement: ux = {:.4e}", x[3 * tip]);
+
+    let phases = solver.finish();
+    for (name, stats) in &phases {
+        if stats.total_flops() == 0 {
+            continue;
+        }
+        println!(
+            "phase {:<14} flops {:>12}  modeled {:>8.4}s  load balance {:.2}",
+            name,
+            stats.total_flops(),
+            stats.modeled_time,
+            stats.load_balance()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! A miniature of the paper's weak-scaling study (§7.1): solve the first
+//! linear system of the spheres problem on the refinement ladder, with the
+//! virtual-rank count growing with the problem, and report the quantities
+//! of Table 2 / Figures 10-11: iteration counts, per-phase times, flop
+//! rates and efficiencies.
+//!
+//! Run with: `cargo run --release --example weak_scaling [max_k]`
+//! (`max_k` = 2 by default; 3 adds a ~420k dof point and a few minutes).
+//! The full study with all series lives in `crates/bench/src/bin/`.
+
+use prometheus_repro::fem::bc::constrain_system;
+use prometheus_repro::mesh::SpheresParams;
+use prometheus_repro::solver::{MgOptions, Prometheus, PrometheusOptions};
+use std::time::Instant;
+
+/// Rank ladder mirroring the paper's processor counts at ~8.5k dof/rank.
+fn ranks_for(k: usize) -> usize {
+    [2, 15, 50, 120, 240, 400, 640, 960][k - 1]
+}
+
+fn main() {
+    let max_k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    println!(
+        "{:>2} {:>5} {:>10} {:>6} {:>8} {:>10} {:>12} {:>10} {:>8}",
+        "k", "P", "dof", "iters", "levels", "wall(s)", "Mflop/s(mdl)", "e_c", "balance"
+    );
+
+    let mut base_rate_per_rank: Option<f64> = None;
+    for k in 1..=max_k {
+        let p = ranks_for(k);
+        let params = SpheresParams::ladder(k);
+        let mut problem = prometheus_repro::fem::spheres_problem(&params);
+        let mesh = problem.fem.mesh.clone();
+        let ndof = mesh.num_dof();
+
+        let u = vec![0.0; ndof];
+        let (kmat, r) = problem.fem.assemble(&u);
+        let bcs = problem.bcs_for_step(1, 10);
+        let fixed: Vec<(u32, f64)> = bcs.iter().map(|b| (b.dof, b.value)).collect();
+        let (kc, rhs) = constrain_system(&kmat, &r, &fixed);
+
+        let wall = Instant::now();
+        let opts = PrometheusOptions {
+            nranks: p,
+            mg: MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+            max_iters: 300,
+            ..Default::default()
+        };
+        let mut solver = Prometheus::from_mesh(&mesh, &kc, opts);
+        let levels = solver.level_sizes().len();
+        // The paper's first linear solve: rtol = 1e-4.
+        let (_x, res) = solver.solve(&rhs, None, 1e-4);
+        let wall = wall.elapsed().as_secs_f64();
+
+        let phases = solver.finish();
+        let solve = &phases["solve"];
+        let rate = solve.modeled_flop_rate();
+        let per_rank = rate / p as f64;
+        let e_c = match base_rate_per_rank {
+            None => {
+                base_rate_per_rank = Some(per_rank);
+                1.0
+            }
+            Some(base) => per_rank / base,
+        };
+        println!(
+            "{:>2} {:>5} {:>10} {:>6} {:>8} {:>10.2} {:>12.1} {:>10.2} {:>8.2}",
+            k,
+            p,
+            ndof,
+            res.iterations,
+            levels,
+            wall,
+            rate / 1e6,
+            e_c,
+            solve.load_balance()
+        );
+    }
+    println!("\n(e_c = modeled per-rank flop rate relative to the first ladder point;");
+    println!(" compare with the paper's ~29 -> 21 iterations and ~60% solve efficiency at P=960)");
+}

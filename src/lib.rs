@@ -1,0 +1,15 @@
+//! Umbrella crate for the SC'99 Prometheus reproduction: re-exports every
+//! workspace member under one roof, so examples and downstream users can
+//! depend on a single crate.
+//!
+//! See the [`prometheus`] crate for the solver itself and `DESIGN.md` at
+//! the repository root for the system inventory.
+
+pub use pmg_fem as fem;
+pub use pmg_geometry as geometry;
+pub use pmg_mesh as mesh;
+pub use pmg_parallel as parallel;
+pub use pmg_partition as partition;
+pub use pmg_solver as krylov;
+pub use pmg_sparse as sparse;
+pub use prometheus as solver;

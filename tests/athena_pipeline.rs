@@ -1,0 +1,107 @@
+//! Figure 8 of the paper, end to end: flat input file → parallel read
+//! (each rank seeks only its share) → partition (RCB standing in for
+//! ParMetis) → per-rank sub-domain construction with ghosts → per-rank
+//! assembly of owned rows → Prometheus multigrid solve. The distributed
+//! pipeline must reproduce the serial answer.
+
+use pmg_fem::athena::{assemble_distributed, partition_mesh, redundancy_factor};
+use pmg_fem::table1_materials;
+use pmg_mesh::flatfile::{read_flat_slice, write_flat};
+use pmg_mesh::{sphere_in_cube, Mesh, SpheresParams};
+use pmg_partition::recursive_coordinate_bisection;
+use prometheus::{MgOptions, Prometheus, PrometheusOptions};
+
+#[test]
+fn flat_file_to_solution() {
+    let nranks = 4;
+    let params = SpheresParams::tiny();
+    let mesh = sphere_in_cube(&params);
+
+    // 1. Write the flat input file; read it back in rank-sized slices.
+    let path = {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pmg_athena_{}.mesh", std::process::id()));
+        p
+    };
+    write_flat(&mesh, &path).unwrap();
+    let mut coords = Vec::new();
+    let mut elem_verts = Vec::new();
+    let mut materials = Vec::new();
+    let mut kind = None;
+    for r in 0..nranks {
+        let s = read_flat_slice(&path, r, nranks).unwrap();
+        kind = Some(s.header.kind);
+        coords.extend(s.coords);
+        elem_verts.extend(s.elem_verts);
+        materials.extend(s.materials);
+    }
+    std::fs::remove_file(&path).ok();
+    let mesh_read = Mesh::new(coords, kind.unwrap(), elem_verts, materials);
+    assert_eq!(mesh_read.num_vertices(), mesh.num_vertices());
+
+    // 2. Partition and build the per-rank sub-domains.
+    let part = recursive_coordinate_bisection(&mesh_read.coords, nranks);
+    let subs = partition_mesh(&mesh_read, &part, nranks);
+    let rf = redundancy_factor(&subs);
+    assert!(rf > 1.0 && rf < 2.0, "redundancy {rf}");
+
+    // 3. Distributed assembly of the tangent at zero displacement.
+    let ndof = mesh_read.num_dof();
+    let u = vec![0.0; ndof];
+    let (k, r) = assemble_distributed(&subs, &table1_materials(), &u, mesh_read.num_vertices());
+    assert!(k.is_symmetric(1e-10));
+
+    // 4. Constrain and solve with the automatic multigrid.
+    let mut problem = pmg_fem::spheres_problem(&params);
+    let bcs = problem.bcs_for_step(1, 10);
+    let fixed: Vec<(u32, f64)> = bcs.iter().map(|b| (b.dof, b.value)).collect();
+    let (kc, rhs) = pmg_fem::bc::constrain_system(&k, &r, &fixed);
+    let opts = PrometheusOptions {
+        nranks,
+        mg: MgOptions { coarse_dof_threshold: 400, ..Default::default() },
+        max_iters: 300,
+        ..Default::default()
+    };
+    let mut solver = Prometheus::from_mesh(&mesh_read, &kc, opts);
+    let (x, res) = solver.solve(&rhs, None, 1e-6);
+    assert!(res.converged, "{res:?}");
+
+    // 5. Cross-check against the fully serial pipeline.
+    let (k_serial, r_serial) = problem.fem.assemble(&u);
+    let (kc_serial, rhs_serial) = pmg_fem::bc::constrain_system(&k_serial, &r_serial, &fixed);
+    // Identical operators...
+    for i in (0..ndof).step_by(97) {
+        let (c1, v1) = kc.row(i);
+        let (c2, v2) = kc_serial.row(i);
+        assert_eq!(c1, c2, "row {i}");
+        for (a, b) in v1.iter().zip(v2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((rhs[i] - rhs_serial[i]).abs() < 1e-12);
+    }
+    // ...and a solution that satisfies the serial system.
+    let mut ax = vec![0.0; ndof];
+    kc_serial.spmv(&x, &mut ax);
+    let err: f64 = ax
+        .iter()
+        .zip(&rhs_serial)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let bn: f64 = rhs_serial.iter().map(|v| v * v).sum::<f64>().sqrt();
+    assert!(err < 2e-6 * bn, "residual {err:.3e} vs {bn:.3e}");
+}
+
+#[test]
+fn athena_redundancy_grows_with_ranks_but_stays_bounded() {
+    let mesh = sphere_in_cube(&SpheresParams::tiny());
+    let mut prev = 1.0;
+    for nranks in [1usize, 2, 4, 8, 16] {
+        let part = recursive_coordinate_bisection(&mesh.coords, nranks);
+        let subs = partition_mesh(&mesh, &part, nranks);
+        let rf = redundancy_factor(&subs);
+        assert!(rf >= prev - 1e-9, "redundancy should not shrink: {prev} -> {rf}");
+        assert!(rf < 2.5, "redundancy exploded at P={nranks}: {rf}");
+        prev = rf;
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate invariants of the automatic coarsening pipeline on real
+//! finite element meshes (mesh crate -> classify -> MIS -> Delaunay ->
+//! restriction -> Galerkin).
+
+use pmg_geometry::Vec3;
+use pmg_mesh::{sphere_in_cube, SpheresParams};
+use prometheus::{classify_mesh, coarsen_level, CoarsenOptions, VertexClass};
+
+#[test]
+fn spheres_restriction_partition_of_unity() {
+    let mesh = sphere_in_cube(&SpheresParams::tiny());
+    let g = mesh.vertex_graph();
+    let classes = classify_mesh(&mesh, 0.7);
+    let lvl = coarsen_level(&mesh.coords, &g, &classes, &CoarsenOptions::default());
+    let rt = lvl.restriction.transpose();
+    for f in 0..mesh.num_vertices() {
+        let (_, vals) = rt.row(f);
+        let sum: f64 = vals.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-8, "column {f} sums to {sum}");
+    }
+}
+
+#[test]
+fn spheres_interfaces_survive_coarsening() {
+    // The material-interface vertices are the articulation the paper's
+    // heuristics protect: the coarse grid must keep vertices on (or very
+    // near) every shell interface radius.
+    let params = SpheresParams::tiny();
+    let mesh = sphere_in_cube(&params);
+    let g = mesh.vertex_graph();
+    let classes = classify_mesh(&mesh, 0.7);
+    let lvl = coarsen_level(&mesh.coords, &g, &classes, &CoarsenOptions::default());
+    let nsh = params.n_layers * params.elems_per_layer;
+    for li in 0..=nsh {
+        let r = params.core_radius
+            + li as f64 / nsh as f64 * (params.sphere_radius - params.core_radius);
+        let on_interface = lvl
+            .coords
+            .iter()
+            .filter(|p| (p.norm() - r).abs() < 1e-6)
+            .count();
+        assert!(
+            on_interface >= 3,
+            "interface at radius {r} lost its vertices (kept {on_interface})"
+        );
+    }
+}
+
+#[test]
+fn galerkin_coarse_operator_is_spd_on_elasticity() {
+    use pmg_fem::{FemProblem, LinearElastic};
+    use pmg_sparse::dense::Cholesky;
+    use std::sync::Arc;
+
+    let mesh = pmg_mesh::generators::cube(4);
+    let ndof = mesh.num_dof();
+    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))]);
+    let (k, _) = fem.assemble(&vec![0.0; ndof]);
+    // Clamp one face to make K SPD.
+    let mut fixed = Vec::new();
+    for (v, p) in mesh.coords.iter().enumerate() {
+        if p.z == 0.0 {
+            for c in 0..3 {
+                fixed.push((3 * v as u32 + c, 0.0));
+            }
+        }
+    }
+    let (kc, _) = pmg_fem::bc::constrain_system(&k, &vec![0.0; ndof], &fixed);
+    assert!(kc.is_symmetric(1e-12));
+
+    let g = mesh.vertex_graph();
+    let classes = classify_mesh(&mesh, 0.7);
+    let lvl = coarsen_level(&mesh.coords, &g, &classes, &CoarsenOptions::default());
+    let r = prometheus::mg::expand_restriction(&lvl.restriction, 3);
+    let ac = kc.rap(&r);
+    assert!(ac.is_symmetric(1e-9));
+    // SPD: dense Cholesky succeeds.
+    assert!(
+        Cholesky::factor(&ac.to_dense()).is_some(),
+        "Galerkin coarse operator lost definiteness"
+    );
+}
+
+#[test]
+fn classification_is_stable_under_relabeling() {
+    // Splitting one material id into two along an existing interface must
+    // not change the classification (the facets are the same).
+    let mesh1 = pmg_mesh::generators::block(4, 2, 2, Vec3::new(4.0, 2.0, 2.0), |c| {
+        if c.x < 2.0 {
+            0
+        } else {
+            1
+        }
+    });
+    let mesh2 = pmg_mesh::generators::block(4, 2, 2, Vec3::new(4.0, 2.0, 2.0), |c| {
+        if c.x < 2.0 {
+            5
+        } else {
+            9
+        }
+    });
+    let c1 = classify_mesh(&mesh1, 0.7);
+    let c2 = classify_mesh(&mesh2, 0.7);
+    assert_eq!(c1.class, c2.class);
+}
+
+#[test]
+fn deep_hierarchy_terminates() {
+    let mesh = pmg_mesh::generators::cube(8);
+    let mut coords = mesh.coords.clone();
+    let mut g = mesh.vertex_graph();
+    let mut cls = classify_mesh(&mesh, 0.7);
+    let mut sizes = vec![coords.len()];
+    for depth in 1..12 {
+        if coords.len() < 20 {
+            break;
+        }
+        let opts = CoarsenOptions { reclassify: depth >= 2, ..Default::default() };
+        let lvl = coarsen_level(&coords, &g, &cls, &opts);
+        assert!(lvl.selected.len() < coords.len());
+        sizes.push(lvl.selected.len());
+        coords = lvl.coords;
+        g = lvl.graph;
+        cls = lvl.classes;
+    }
+    assert!(sizes.len() >= 3, "hierarchy too shallow: {sizes:?}");
+    assert!(*sizes.last().unwrap() < 100, "coarsening stalled: {sizes:?}");
+    // The 8 cube corners survive every level (corners are never deleted,
+    // and reclassification keeps the true geometric corners).
+    let corners = cls
+        .class
+        .iter()
+        .filter(|&&c| c == VertexClass::Corner)
+        .count();
+    assert!(corners >= 1, "all corners vanished");
+}

@@ -1,0 +1,135 @@
+//! The virtual-rank runtime must be numerically transparent: every
+//! distributed operation reproduces its serial counterpart bit-for-bit or
+//! to rounding, for any rank count and any ownership pattern.
+
+use pmg_fem::{FemProblem, LinearElastic};
+use pmg_geometry::Vec3;
+use pmg_mesh::generators::block;
+use pmg_parallel::{DistMatrix, DistVec, Layout, MachineModel, Sim};
+use pmg_partition::recursive_coordinate_bisection;
+use pmg_solver::{pcg, BlockJacobi, IdentityPrecond, PcgOptions};
+use std::sync::Arc;
+
+fn elasticity_matrix() -> (pmg_sparse::CsrMatrix, Vec<Vec3>) {
+    let mesh = block(4, 4, 4, Vec3::splat(1.0), |_| 0);
+    let ndof = mesh.num_dof();
+    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))]);
+    let (k, _) = fem.assemble(&vec![0.0; ndof]);
+    let mut fixed = Vec::new();
+    for (v, p) in mesh.coords.iter().enumerate() {
+        if p.z == 0.0 {
+            for c in 0..3 {
+                fixed.push((3 * v as u32 + c, 0.0));
+            }
+        }
+    }
+    let (kc, _) = pmg_fem::bc::constrain_system(&k, &vec![0.0; ndof], &fixed);
+    (kc, mesh.coords.clone())
+}
+
+#[test]
+fn distributed_spmv_exact_for_rcb_layouts() {
+    let (a, coords) = elasticity_matrix();
+    let n = a.nrows();
+    let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+    let mut y_serial = vec![0.0; n];
+    a.spmv(&x, &mut y_serial);
+    for p in [1, 2, 5, 16] {
+        let part = recursive_coordinate_bisection(&coords, p);
+        let layout = Layout::expand_dofs(&Layout::from_part(part, p), 3);
+        let mut sim = Sim::new(p, MachineModel::default());
+        let da = DistMatrix::from_global(&a, layout.clone(), layout.clone());
+        let dx = DistVec::from_global(layout.clone(), &x);
+        let mut dy = DistVec::zeros(layout);
+        da.spmv(&mut sim, &dx, &mut dy);
+        let yg = dy.to_global();
+        for (u, v) in yg.iter().zip(&y_serial) {
+            assert!((u - v).abs() <= 1e-12 * v.abs().max(1.0), "p={p}");
+        }
+    }
+}
+
+#[test]
+fn pcg_iteration_counts_independent_of_ranks_with_identity_precond() {
+    // With M = I the PCG recurrence is rank-count independent up to
+    // rounding, so iteration counts must match exactly across P.
+    let (a, _) = elasticity_matrix();
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.03).sin()).collect();
+    let mut iters = Vec::new();
+    for p in [1, 3, 8] {
+        let layout = Layout::block(n, p);
+        let mut sim = Sim::new(p, MachineModel::default());
+        let da = DistMatrix::from_global(&a, layout.clone(), layout.clone());
+        let db = DistVec::from_global(layout.clone(), &b);
+        let mut x = DistVec::zeros(layout);
+        let res = pcg(
+            &mut sim,
+            &da,
+            &IdentityPrecond,
+            &db,
+            &mut x,
+            PcgOptions { rtol: 1e-6, max_iters: 2000, ..Default::default() },
+        );
+        assert!(res.converged, "p={p}");
+        iters.push(res.iterations);
+    }
+    assert!(
+        iters.iter().all(|&i| (i as i64 - iters[0] as i64).abs() <= 1),
+        "iteration counts diverged across ranks: {iters:?}"
+    );
+}
+
+#[test]
+fn total_flops_are_rank_invariant_for_spmv() {
+    // Work efficiency e_w = 1 (§6): the distributed SpMV performs exactly
+    // the serial flops, just partitioned.
+    let (a, coords) = elasticity_matrix();
+    let n = a.nrows();
+    let x = vec![1.0; n];
+    let mut totals = Vec::new();
+    for p in [1, 4, 9] {
+        let part = recursive_coordinate_bisection(&coords, p);
+        let layout = Layout::expand_dofs(&Layout::from_part(part, p), 3);
+        let mut sim = Sim::new(p, MachineModel::default());
+        let da = DistMatrix::from_global(&a, layout.clone(), layout.clone());
+        let dx = DistVec::from_global(layout.clone(), &x);
+        let mut dy = DistVec::zeros(layout);
+        da.spmv(&mut sim, &dx, &mut dy);
+        let phases = sim.finish();
+        totals.push(phases["default"].total_flops());
+    }
+    assert!(totals.windows(2).all(|w| w[0] == w[1]), "{totals:?}");
+}
+
+#[test]
+fn block_jacobi_blocks_scale_with_local_size() {
+    // 6 blocks per 1000 local unknowns (§7.2): rank-local block counts
+    // follow the layout.
+    let (a, coords) = elasticity_matrix();
+    let p = 3;
+    let part = recursive_coordinate_bisection(&coords, p);
+    let layout = Layout::expand_dofs(&Layout::from_part(part, p), 3);
+    let da = DistMatrix::from_global(&a, layout.clone(), layout);
+    let bj = BlockJacobi::new(&da, 6.0, 0.6);
+    for r in 0..p {
+        let local = da.local_block(r).nrows();
+        let expect = ((6.0 * local as f64 / 1000.0).round() as usize).clamp(1, local);
+        assert_eq!(bj.num_blocks(r), expect, "rank {r} with {local} dofs");
+    }
+}
+
+#[test]
+fn machine_model_latency_dominates_small_messages() {
+    // Sanity of the BSP model: for tiny payloads the modeled comm time is
+    // ~latency * messages; for large payloads bandwidth dominates.
+    let model = MachineModel { latency: 1e-3, inv_bandwidth: 1e-9, flop_rate: 1e9 };
+    let mut sim = Sim::new(2, model);
+    sim.exchange(&[(1, 8), (1, 8)]);
+    let small = sim.finish()["default"].modeled_comm_time;
+    assert!((small - (1e-3 + 8e-9)).abs() < 1e-12);
+    let mut sim = Sim::new(2, model);
+    sim.exchange(&[(1, 100_000_000), (0, 0)]);
+    let big = sim.finish()["default"].modeled_comm_time;
+    assert!(big > 0.1);
+}

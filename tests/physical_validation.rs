@@ -1,0 +1,123 @@
+//! Physical validation of the finite element substrate against closed-form
+//! mechanics: a slender cantilever against Euler-Bernoulli beam theory, and
+//! uniaxial stress against Hooke's law. The solver is only as credible as
+//! the matrices it is fed.
+
+use pmg_fem::{FemProblem, LinearElastic};
+use pmg_geometry::Vec3;
+use pmg_mesh::generators::block;
+use prometheus::{MgOptions, Prometheus, PrometheusOptions};
+use std::sync::Arc;
+
+#[test]
+fn cantilever_tip_deflection_matches_beam_theory() {
+    // Beam: L=8, b=h=1, clamped at x=0, end load P in z.
+    // Euler-Bernoulli: w = P L^3 / (3 E I), I = b h^3 / 12.
+    let (l, e) = (8.0, 100.0);
+    let nx = 16;
+    let mesh = block(nx, 2, 2, Vec3::new(l, 1.0, 1.0), |_| 0);
+    let ndof = mesh.num_dof();
+    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(e, 0.0))]);
+    let (k, _) = fem.assemble(&vec![0.0; ndof]);
+
+    let mut fixed = Vec::new();
+    let mut f = vec![0.0; ndof];
+    let tip_nodes = mesh.vertices_where(|p| (p.x - l).abs() < 1e-12);
+    let p_total = 1e-3;
+    for (v, pt) in mesh.coords.iter().enumerate() {
+        if pt.x == 0.0 {
+            for c in 0..3 {
+                fixed.push((3 * v as u32 + c, 0.0));
+            }
+        }
+    }
+    for &v in &tip_nodes {
+        f[3 * v as usize + 2] = p_total / tip_nodes.len() as f64;
+    }
+    let (kc, rhs) = pmg_fem::bc::constrain_system(&k, &f, &fixed);
+    let b: Vec<f64> = rhs.iter().map(|v| -v).collect();
+
+    let opts = PrometheusOptions {
+        nranks: 2,
+        mg: MgOptions { coarse_dof_threshold: 300, ..Default::default() },
+        max_iters: 600,
+        ..Default::default()
+    };
+    let mut solver = Prometheus::from_mesh(&mesh, &kc, opts);
+    let (x, res) = solver.solve(&b, None, 1e-9);
+    assert!(res.converged);
+
+    let i_beam = 1.0 / 12.0;
+    let w_theory = p_total * l.powi(3) / (3.0 * e * i_beam);
+    // Average tip deflection.
+    let w_fem: f64 = tip_nodes
+        .iter()
+        .map(|&v| x[3 * v as usize + 2])
+        .sum::<f64>()
+        / tip_nodes.len() as f64;
+    // Coarse hex discretizations of slender beams are stiff (and shear
+    // deformation softens); expect agreement within ~25%.
+    let rel = (w_fem - w_theory).abs() / w_theory;
+    assert!(
+        rel < 0.25,
+        "tip deflection {w_fem:.4e} vs theory {w_theory:.4e} (rel {rel:.2})"
+    );
+    // And the sign/monotonicity: deflection grows along the beam.
+    let mid_nodes = mesh.vertices_where(|p| (p.x - l / 2.0).abs() < 1e-9);
+    let w_mid: f64 = mid_nodes.iter().map(|&v| x[3 * v as usize + 2]).sum::<f64>()
+        / mid_nodes.len() as f64;
+    assert!(w_fem > w_mid && w_mid > 0.0);
+}
+
+#[test]
+fn uniaxial_stress_matches_hookes_law() {
+    // A bar stretched by a prescribed end displacement with free lateral
+    // faces: uniform strain, lateral contraction ν.
+    let (e, nu) = (10.0, 0.3);
+    let mesh = block(6, 2, 2, Vec3::new(3.0, 1.0, 1.0), |_| 0);
+    let ndof = mesh.num_dof();
+    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(e, nu))]);
+    let (k, r0) = fem.assemble(&vec![0.0; ndof]);
+
+    let stretch = 0.003; // 0.1% axial strain
+    let mut fixed = Vec::new();
+    for (v, p) in mesh.coords.iter().enumerate() {
+        if p.x == 0.0 {
+            fixed.push((3 * v as u32, 0.0));
+        }
+        if (p.x - 3.0).abs() < 1e-12 {
+            fixed.push((3 * v as u32, stretch));
+        }
+    }
+    // Pin rigid modes: one node fully fixed, one more in z.
+    let origin = mesh.vertices_where(|p| p == Vec3::ZERO)[0];
+    fixed.push((3 * origin + 1, 0.0));
+    fixed.push((3 * origin + 2, 0.0));
+    let witness = mesh.vertices_where(|p| p == Vec3::new(0.0, 1.0, 0.0))[0];
+    fixed.push((3 * witness + 2, 0.0));
+
+    let (kc, rhs) = pmg_fem::bc::constrain_system(&k, &r0, &fixed);
+    let mut solver = Prometheus::from_mesh(&mesh, &kc, PrometheusOptions::default());
+    let (x, res) = solver.solve(&rhs, None, 1e-10);
+    assert!(res.converged);
+
+    // Axial strain uniform: u_x = stretch * x / 3.
+    for (v, p) in mesh.coords.iter().enumerate() {
+        let expect = stretch * p.x / 3.0;
+        assert!(
+            (x[3 * v] - expect).abs() < 1e-7,
+            "u_x at {p:?}: {} vs {expect}",
+            x[3 * v]
+        );
+    }
+    // Lateral contraction: eps_y = -nu * eps_x.
+    let eps_x = stretch / 3.0;
+    let top = mesh.vertices_where(|p| p == Vec3::new(3.0, 1.0, 0.0))[0] as usize;
+    let bottom = mesh.vertices_where(|p| p == Vec3::new(3.0, 0.0, 0.0))[0] as usize;
+    let eps_y = x[3 * top + 1] - x[3 * bottom + 1];
+    assert!(
+        (eps_y + nu * eps_x).abs() < 1e-7,
+        "lateral strain {eps_y:.3e} vs {:.3e}",
+        -nu * eps_x
+    );
+}
