@@ -95,7 +95,10 @@ fn bench_cycles(c: &mut Criterion) {
         &mesh.coords,
         &graph,
         &classes,
-        MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+        MgOptions {
+            coarse_dof_threshold: 600,
+            ..Default::default()
+        },
     );
     let layout = mg.levels[0].a.row_layout().clone();
     let r = DistVec::from_global(layout, &sys.rhs);
@@ -118,7 +121,10 @@ fn bench_smoother(c: &mut Criterion) {
         &mesh.coords,
         &graph,
         &classes,
-        MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+        MgOptions {
+            coarse_dof_threshold: 600,
+            ..Default::default()
+        },
     );
     let level = &mg.levels[0];
     let layout = level.a.row_layout().clone();

@@ -10,7 +10,10 @@ fn opts(p: usize) -> PrometheusOptions {
     PrometheusOptions {
         nranks: p,
         model: machine(),
-        mg: MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 600,
+            ..Default::default()
+        },
         max_iters: 400,
         ..Default::default()
     }

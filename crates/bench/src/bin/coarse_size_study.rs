@@ -13,7 +13,10 @@ use pmg_bench::{machine, ranks_for, spheres_first_solve};
 use prometheus::{MgOptions, Prometheus, PrometheusOptions};
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let p = if k == 0 { 2 } else { ranks_for(k) };
     let sys = spheres_first_solve(k);
     println!(
@@ -28,7 +31,10 @@ fn main() {
         let opts = PrometheusOptions {
             nranks: p,
             model: machine(),
-            mg: MgOptions { coarse_dof_threshold: threshold, ..Default::default() },
+            mg: MgOptions {
+                coarse_dof_threshold: threshold,
+                ..Default::default()
+            },
             max_iters: 400,
             ..Default::default()
         };
@@ -40,7 +46,11 @@ fn main() {
             "{:>10} {:>7} {:>6} {:>13.3} {:>13.3} | {:?}",
             threshold,
             sizes.len(),
-            if res.converged { res.iterations.to_string() } else { format!(">{}", res.iterations) },
+            if res.converged {
+                res.iterations.to_string()
+            } else {
+                format!(">{}", res.iterations)
+            },
             phases["matrix setup"].modeled_time,
             phases["solve"].modeled_time,
             sizes,

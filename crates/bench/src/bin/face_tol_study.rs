@@ -13,7 +13,10 @@ use prometheus::{
 };
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let sys = spheres_first_solve(k);
     let facets = boundary_facets(&sys.mesh);
     let adj = facet_adjacency(&facets);
@@ -38,7 +41,10 @@ fn main() {
         let opts = PrometheusOptions {
             mg: MgOptions {
                 coarse_dof_threshold: 600,
-                coarsen: CoarsenOptions { face_tol: tol, ..CoarsenOptions::default() },
+                coarsen: CoarsenOptions {
+                    face_tol: tol,
+                    ..CoarsenOptions::default()
+                },
                 ..MgOptions::default()
             },
             max_iters: 400,
@@ -57,7 +63,11 @@ fn main() {
             classes.count(VertexClass::Surface),
             classes.count(VertexClass::Edge),
             classes.count(VertexClass::Corner),
-            if res.converged { res.iterations.to_string() } else { format!(">{}", res.iterations) },
+            if res.converged {
+                res.iterations.to_string()
+            } else {
+                format!(">{}", res.iterations)
+            },
             levels,
         );
     }

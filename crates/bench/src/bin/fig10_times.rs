@@ -21,8 +21,16 @@ fn main() {
     println!("# Figure 10 reproduction: per-phase times for one linear solve");
     println!(
         "{:>2} {:>5} {:>10} | {:>10} {:>10} {:>10} {:>11} {:>9} | {:>11} {:>11}",
-        "k", "P", "dof", "partition", "fine grid", "mesh setup", "matrix set", "solve",
-        "mdl matrix", "mdl solve"
+        "k",
+        "P",
+        "dof",
+        "partition",
+        "fine grid",
+        "mesh setup",
+        "matrix set",
+        "solve",
+        "mdl matrix",
+        "mdl solve"
     );
 
     for k in 1..=max_k {
@@ -42,7 +50,10 @@ fn main() {
         let opts = PrometheusOptions {
             nranks: p,
             model: machine(),
-            mg: MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+            mg: MgOptions {
+                coarse_dof_threshold: 600,
+                ..Default::default()
+            },
             max_iters: 400,
             ..Default::default()
         };
@@ -67,6 +78,8 @@ fn main() {
             modeled("solve"),
         );
     }
-    println!("\n(wall seconds on this host; 'mdl' seconds under the PowerPC-cluster machine model.");
+    println!(
+        "\n(wall seconds on this host; 'mdl' seconds under the PowerPC-cluster machine model."
+    );
     println!(" paper: solve times ~10-20 s, matrix setup ~20-40 s, all phases flat across P)");
 }

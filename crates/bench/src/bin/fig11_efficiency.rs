@@ -29,7 +29,10 @@ fn main() {
         let opts = PrometheusOptions {
             nranks: p,
             model: machine(),
-            mg: MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+            mg: MgOptions {
+                coarse_dof_threshold: 600,
+                ..Default::default()
+            },
             max_iters: 400,
             ..Default::default()
         };

@@ -3,9 +3,17 @@
 //! smoother factorization), mesh setup (coarsening), fine grid creation
 //! (assembly) — across the weak-scaling ladder.
 //!
+//! All numbers come from the telemetry report ([`Prometheus::report`]
+//! bridges the BSP machine-model phases into it). Set `PMG_TELEMETRY=json`
+//! (plus `PMG_TELEMETRY_FILE=...`) or `PMG_TELEMETRY=table` to also emit
+//! one full per-ladder-point report — nested wall-clock phase timings,
+//! counters, residual series, and the modeled sim phases — through the
+//! configured sink.
+//!
 //! Usage: `fig12_components` (ladder depth via PMG_MAX_K, default 2).
 
-use pmg_bench::{env_max_k, machine, ranks_for, spheres_first_solve};
+use pmg_bench::{env_max_k, machine, ranks_for, spheres_first_solve, telemetry_from_env};
+use pmg_telemetry::SimPhaseRecord;
 use prometheus::{MgOptions, Prometheus, PrometheusOptions};
 use std::time::Instant;
 
@@ -20,38 +28,57 @@ struct Point {
 }
 
 fn main() {
+    let mut sink = telemetry_from_env();
     let max_k = env_max_k(2);
     let mut points: Vec<Point> = Vec::new();
     for k in 1..=max_k {
+        pmg_telemetry::reset();
+        pmg_telemetry::label("bench", "fig12_components");
+        pmg_telemetry::label("ladder_k", &k.to_string());
         let p = ranks_for(k);
         let t0 = Instant::now();
         let sys = spheres_first_solve(k);
         let fine_grid = t0.elapsed().as_secs_f64();
+        pmg_telemetry::gauge_set("fine_grid_wall_s", fine_grid);
         let opts = PrometheusOptions {
             nranks: p,
             model: machine(),
-            mg: MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+            mg: MgOptions {
+                coarse_dof_threshold: 600,
+                ..Default::default()
+            },
             max_iters: 400,
             ..Default::default()
         };
         let mut solver = Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
         let (_, _res) = solver.solve(&sys.rhs, None, 1e-4);
-        let phases = solver.finish();
+        let report = solver.report();
+        let sim = |name: &str| -> SimPhaseRecord {
+            report
+                .sim_phases
+                .iter()
+                .find(|s| s.name == name)
+                .cloned()
+                .unwrap_or_default()
+        };
         points.push(Point {
             p,
             ndof: sys.mesh.num_dof(),
-            solve: phases["solve"].modeled_time,
-            matrix_setup: phases["matrix setup"].modeled_time,
-            mesh_setup: phases["mesh setup"].wall_time,
+            solve: sim("solve").modeled_s,
+            matrix_setup: sim("matrix setup").modeled_s,
+            mesh_setup: sim("mesh setup").wall_s,
             fine_grid,
         });
+        sink.emit(&report).expect("emit telemetry report");
     }
 
     let base = points[0].clone();
     // Modeled phases: the paper's scaled efficiency
     // (P_base/P)·(T_base/T)·(N/N_base).
     let eff = |t_base: f64, t: f64, pt: &Point| {
-        (base.p as f64 / pt.p as f64) * (t_base / t.max(1e-12)) * (pt.ndof as f64 / base.ndof as f64)
+        (base.p as f64 / pt.p as f64)
+            * (t_base / t.max(1e-12))
+            * (pt.ndof as f64 / base.ndof as f64)
     };
     // Wall-measured phases execute serially on this host: their flat
     // quantity is time per unknown, so normalize without the rank ratio.

@@ -10,7 +10,10 @@ use pmg_fem::{NewtonDriver, NewtonOptions};
 use prometheus::{MgOptions, Prometheus, PrometheusOptions};
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let nsteps = 10;
     let p = if k == 0 { 2 } else { ranks_for(k) };
 
@@ -18,12 +21,18 @@ fn main() {
     let mut problem = sys.problem;
     let mesh = sys.mesh;
     let ndof = mesh.num_dof();
-    println!("# Figure 13 reproduction: {} dof, {} ranks, 10 steps, crush 3.6/12.5", ndof, p);
+    println!(
+        "# Figure 13 reproduction: {} dof, {} ranks, 10 steps, crush 3.6/12.5",
+        ndof, p
+    );
 
     let opts = PrometheusOptions {
         nranks: p,
         model: machine(),
-        mg: MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 600,
+            ..Default::default()
+        },
         max_iters: 400,
         ..Default::default()
     };

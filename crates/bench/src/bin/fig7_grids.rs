@@ -10,7 +10,10 @@ use pmg_bench::spheres_first_solve;
 use prometheus::{classify_mesh_levels, CoarsenOptions};
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let sys = spheres_first_solve(k);
     let mesh = sys.mesh;
     println!(
@@ -28,7 +31,11 @@ fn main() {
             i,
             info.vertices,
             info.elements,
-            if i == 0 { "-".to_string() } else { info.lost.to_string() },
+            if i == 0 {
+                "-".to_string()
+            } else {
+                info.lost.to_string()
+            },
             info.interior,
             info.surface,
             info.edge,

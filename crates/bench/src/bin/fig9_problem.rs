@@ -14,7 +14,10 @@ const PAPER_DOF: [usize; 8] = [
 ];
 
 fn main() {
-    let max_k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let max_k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     println!("# Figure 9 / problem ladder reproduction");
     println!(
         "{:>2} {:>5} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
@@ -23,9 +26,17 @@ fn main() {
     for k in 1..=max_k {
         let params = SpheresParams::ladder(k);
         let mesh = sphere_in_cube(&params);
-        assert_eq!(mesh.validate_volumes(), Ok(()), "invalid ladder mesh at k={k}");
+        assert_eq!(
+            mesh.validate_volumes(),
+            Ok(()),
+            "invalid ladder mesh at k={k}"
+        );
         let p = ranks_for(k);
-        let hard = mesh.materials.iter().filter(|&&m| m == pmg_mesh::spheres::HARD).count();
+        let hard = mesh
+            .materials
+            .iter()
+            .filter(|&&m| m == pmg_mesh::spheres::HARD)
+            .count();
         println!(
             "{:>2} {:>5} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
             k,

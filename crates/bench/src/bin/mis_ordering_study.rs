@@ -13,7 +13,10 @@ use prometheus::{greedy_mis, MisOrdering};
 
 fn main() {
     let sizes: Vec<usize> = {
-        let args: Vec<usize> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|s| s.parse().ok())
+            .collect();
         if args.is_empty() {
             vec![8, 12, 16, 20]
         } else {

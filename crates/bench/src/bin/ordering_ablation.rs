@@ -15,7 +15,10 @@ use pmg_bench::{machine, ranks_for, spheres_first_solve};
 use prometheus::{CoarsenOptions, MgOptions, MisOrdering, Prometheus, PrometheusOptions};
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let p = if k == 0 { 2 } else { ranks_for(k) };
     let sys = spheres_first_solve(k);
     println!(
@@ -39,7 +42,10 @@ fn main() {
             model: machine(),
             mg: MgOptions {
                 coarse_dof_threshold: 600,
-                coarsen: CoarsenOptions { ordering, ..Default::default() },
+                coarsen: CoarsenOptions {
+                    ordering,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             max_iters: 400,

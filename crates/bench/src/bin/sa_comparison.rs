@@ -11,7 +11,9 @@
 use pmg_bench::{env_max_k, machine, ranks_for, spheres_first_solve};
 use pmg_parallel::{DistMatrix, DistVec, Layout, Sim};
 use pmg_solver::{pcg, BlockJacobi, JacobiPrecond, PcgOptions, Precond};
-use prometheus::{build_sa_hierarchy, CycleType, MgOptions, Prometheus, PrometheusOptions, SaOptions};
+use prometheus::{
+    build_sa_hierarchy, CycleType, MgOptions, Prometheus, PrometheusOptions, SaOptions,
+};
 
 fn one_level(
     sys: &pmg_bench::FirstSolveSystem,
@@ -34,7 +36,11 @@ fn one_level(
         pre.as_ref(),
         &b,
         &mut x,
-        PcgOptions { rtol: 1e-4, max_iters, ..Default::default() },
+        PcgOptions {
+            rtol: 1e-4,
+            max_iters,
+            ..Default::default()
+        },
     );
     (res.iterations, res.converged)
 }
@@ -54,7 +60,10 @@ fn main() {
         let opts = PrometheusOptions {
             nranks: p,
             model: machine(),
-            mg: MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+            mg: MgOptions {
+                coarse_dof_threshold: 600,
+                ..Default::default()
+            },
             max_iters: 400,
             ..Default::default()
         };
@@ -85,7 +94,11 @@ fn main() {
             &sa,
             &b,
             &mut x,
-            PcgOptions { rtol: 1e-4, max_iters: 400, ..Default::default() },
+            PcgOptions {
+                rtol: 1e-4,
+                max_iters: 400,
+                ..Default::default()
+            },
         );
 
         // One-level baselines.

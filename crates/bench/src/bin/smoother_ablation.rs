@@ -10,7 +10,10 @@ use pmg_bench::{machine, ranks_for, spheres_first_solve};
 use prometheus::{mg::SmootherType, MgOptions, Prometheus, PrometheusOptions};
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let p = if k == 0 { 2 } else { ranks_for(k) };
     let sys = spheres_first_solve(k);
     println!(
@@ -29,7 +32,11 @@ fn main() {
         let opts = PrometheusOptions {
             nranks: p,
             model: machine(),
-            mg: MgOptions { coarse_dof_threshold: 600, smoother, ..Default::default() },
+            mg: MgOptions {
+                coarse_dof_threshold: 600,
+                smoother,
+                ..Default::default()
+            },
             max_iters: 400,
             ..Default::default()
         };

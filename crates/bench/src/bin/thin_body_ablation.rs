@@ -18,7 +18,10 @@ use prometheus::{
 use std::sync::Arc;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(14);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(14);
     let mesh = thin_plate(n, n as f64, 0.35);
     println!(
         "# §4.6 thin-body ablation: {}x{}x1 plate, {} vertices",
@@ -30,8 +33,14 @@ fn main() {
     // Coarse-grid cover comparison.
     let g = mesh.vertex_graph();
     let classes = classify_mesh(&mesh, 0.7);
-    for (label, modify) in [("modified graph (paper §4.6)", true), ("unmodified graph", false)] {
-        let opts = CoarsenOptions { modify_graph: modify, ..Default::default() };
+    for (label, modify) in [
+        ("modified graph (paper §4.6)", true),
+        ("unmodified graph", false),
+    ] {
+        let opts = CoarsenOptions {
+            modify_graph: modify,
+            ..Default::default()
+        };
         let lvl = coarsen_level(&mesh.coords, &g, &classes, &opts);
         let top = lvl.coords.iter().filter(|p| p.z > 0.2).count();
         let bottom = lvl.coords.iter().filter(|p| p.z <= 0.2).count();
@@ -46,7 +55,10 @@ fn main() {
 
     // Solver comparison on a clamped plate under surface load.
     let ndof = mesh.num_dof();
-    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))]);
+    let mut fem = FemProblem::new(
+        mesh.clone(),
+        vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))],
+    );
     let (k, _) = fem.assemble(&vec![0.0; ndof]);
     let mut fixed = Vec::new();
     let mut f = vec![0.0; ndof];
@@ -69,7 +81,10 @@ fn main() {
             nranks: 2,
             mg: MgOptions {
                 coarse_dof_threshold: 300,
-                coarsen: CoarsenOptions { modify_graph: modify, ..Default::default() },
+                coarsen: CoarsenOptions {
+                    modify_graph: modify,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             max_iters: 400,

@@ -38,6 +38,20 @@ pub fn machine() -> MachineModel {
     MachineModel::default()
 }
 
+/// Configure process-global telemetry for a bench binary from the
+/// environment: collection is switched on exactly when `PMG_TELEMETRY`
+/// selects a real sink (`table` or `json`; see
+/// [`pmg_telemetry::sink_from_env`]), and the matching sink is returned
+/// ([`pmg_telemetry::NoopSink`] otherwise, keeping the hot paths free).
+pub fn telemetry_from_env() -> Box<dyn pmg_telemetry::Sink> {
+    let on = matches!(
+        std::env::var("PMG_TELEMETRY").as_deref(),
+        Ok("table") | Ok("json")
+    );
+    pmg_telemetry::set_enabled(on);
+    pmg_telemetry::sink_from_env().expect("telemetry sink from PMG_TELEMETRY/PMG_TELEMETRY_FILE")
+}
+
 /// The spheres problem with its first-step constrained linear system
 /// (tangent at zero displacement, first crush increment applied).
 pub struct FirstSolveSystem {
@@ -50,7 +64,11 @@ pub struct FirstSolveSystem {
 /// Build ladder point `k`'s first-solve system (`k = 0` selects the tiny
 /// test configuration).
 pub fn spheres_first_solve(k: usize) -> FirstSolveSystem {
-    let params = if k == 0 { SpheresParams::tiny() } else { SpheresParams::ladder(k) };
+    let params = if k == 0 {
+        SpheresParams::tiny()
+    } else {
+        SpheresParams::ladder(k)
+    };
     let mut problem = pmg_fem::spheres_problem(&params);
     let mesh = problem.fem.mesh.clone();
     let ndof = mesh.num_dof();
@@ -58,7 +76,12 @@ pub fn spheres_first_solve(k: usize) -> FirstSolveSystem {
     let bcs = problem.bcs_for_step(1, 10);
     let fixed: Vec<(u32, f64)> = bcs.iter().map(|b| (b.dof, b.value)).collect();
     let (matrix, rhs) = constrain_system(&kmat, &r, &fixed);
-    FirstSolveSystem { mesh, matrix, rhs, problem }
+    FirstSolveSystem {
+        mesh,
+        matrix,
+        rhs,
+        problem,
+    }
 }
 
 /// Format a floating value in fixed width or `-` for None.

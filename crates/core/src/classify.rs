@@ -40,7 +40,10 @@ pub struct VertexClasses {
 impl VertexClasses {
     /// All-interior classification (used when no boundary data exists).
     pub fn all_interior(n: usize) -> VertexClasses {
-        VertexClasses { class: vec![VertexClass::Interior; n], faces: vec![Vec::new(); n] }
+        VertexClasses {
+            class: vec![VertexClass::Interior; n],
+            faces: vec![Vec::new(); n],
+        }
     }
 
     pub fn ranks(&self) -> Vec<u8> {
@@ -170,7 +173,10 @@ pub fn identify_faces_parallel(
         root
     }
     for &(a, b) in &fid_edges {
-        let (ra, rb) = (find(&mut parent, index_of(a)), find(&mut parent, index_of(b)));
+        let (ra, rb) = (
+            find(&mut parent, index_of(a)),
+            find(&mut parent, index_of(b)),
+        );
         if ra != rb {
             parent[ra] = rb;
         }
@@ -191,11 +197,7 @@ pub fn identify_faces_parallel(
 }
 
 /// Classify vertices from facet face-ids (§4.4 item 1).
-pub fn classify_vertices(
-    num_vertices: usize,
-    facets: &[Facet],
-    face_ids: &[u32],
-) -> VertexClasses {
+pub fn classify_vertices(num_vertices: usize, facets: &[Facet], face_ids: &[u32]) -> VertexClasses {
     let v2f = vertex_to_facets(num_vertices, facets);
     let mut class = Vec::with_capacity(num_vertices);
     let mut faces = Vec::with_capacity(num_vertices);
@@ -218,6 +220,7 @@ pub fn classify_vertices(
 /// Convenience: extract facets, identify faces, classify (the full §4.3/4.4
 /// pipeline on a mesh).
 pub fn classify_mesh(mesh: &pmg_mesh::Mesh, tol: f64) -> VertexClasses {
+    let _t = pmg_telemetry::scope("classify");
     let facets = pmg_mesh::boundary_facets(mesh);
     let adj = facet_adjacency(&facets);
     let ids = identify_faces(&facets, &adj, tol);
@@ -229,6 +232,7 @@ pub fn classify_mesh(mesh: &pmg_mesh::Mesh, tol: f64) -> VertexClasses {
 /// the vertex-partition-induced distribution) and the per-processor face
 /// ids merged through the face-id graph.
 pub fn classify_mesh_parallel(mesh: &pmg_mesh::Mesh, tol: f64, nproc: usize) -> VertexClasses {
+    let _t = pmg_telemetry::scope("classify");
     let facets = pmg_mesh::boundary_facets(mesh);
     let adj = facet_adjacency(&facets);
     if nproc <= 1 || facets.is_empty() {
@@ -319,7 +323,13 @@ mod tests {
     fn interface_creates_faces() {
         // Two materials split a 2x1x1 bar: the interface plane is a face on
         // each side; every vertex is exterior.
-        let m = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |c| if c.x < 1.0 { 0 } else { 1 });
+        let m = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |c| {
+            if c.x < 1.0 {
+                0
+            } else {
+                1
+            }
+        });
         let c = classify_mesh(&m, 0.7);
         assert_eq!(c.count(VertexClass::Interior), 0);
         // The 4 interface vertices touch many faces -> corners.

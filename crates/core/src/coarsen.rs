@@ -73,19 +73,22 @@ pub fn coarsen_level(
     assert_eq!(classes.class.len(), n);
 
     // 1. MIS on the modified graph, rank = topological class.
-    let mgraph = if opts.modify_graph {
-        modified_mis_graph(graph, classes)
-    } else {
-        graph.clone()
+    let sel_mask = {
+        let _t = pmg_telemetry::scope("mis");
+        let mgraph = if opts.modify_graph {
+            modified_mis_graph(graph, classes)
+        } else {
+            graph.clone()
+        };
+        let ranks = classes.ranks();
+        let order = opts.ordering.order_with_graph(&mgraph, &ranks);
+        let proc = if opts.nproc > 1 {
+            recursive_coordinate_bisection(coords, opts.nproc)
+        } else {
+            vec![0u32; n]
+        };
+        parallel_mis(&mgraph, &ranks, &proc, &order)
     };
-    let ranks = classes.ranks();
-    let order = opts.ordering.order_with_graph(&mgraph, &ranks);
-    let proc = if opts.nproc > 1 {
-        recursive_coordinate_bisection(coords, opts.nproc)
-    } else {
-        vec![0u32; n]
-    };
-    let sel_mask = parallel_mis(&mgraph, &ranks, &proc, &order);
     let selected: Vec<u32> = (0..n as u32).filter(|&v| sel_mask[v as usize]).collect();
     let nc = selected.len();
     let mut coarse_of = vec![u32::MAX; n];
@@ -95,7 +98,12 @@ pub fn coarsen_level(
     let coarse_coords: Vec<Vec3> = selected.iter().map(|&f| coords[f as usize]).collect();
 
     // 2. Delaunay remesh of the coarse vertex set.
-    let dt = if nc >= 5 { Delaunay::new(&coarse_coords) } else { None };
+    let _delaunay_scope = pmg_telemetry::scope("delaunay");
+    let dt = if nc >= 5 {
+        Delaunay::new(&coarse_coords)
+    } else {
+        None
+    };
     let mut tets: Vec<[u32; 4]> = Vec::new();
     if let Some(dt) = &dt {
         for (_, t) in dt.real_tets() {
@@ -110,8 +118,10 @@ pub fn coarsen_level(
             ]);
         }
     }
+    drop(_delaunay_scope);
 
     // 3. Restriction operator.
+    let _restriction_scope = pmg_telemetry::scope("restriction");
     let mut b = CooBuilder::new(nc, n);
     let mut lost = 0usize;
     let mut hint = 0usize;
@@ -125,9 +135,7 @@ pub fn coarsen_level(
         if let Some(dt) = &dt {
             if let Some(t0) = dt.locate(p, hint) {
                 hint = t0;
-                if let Some((verts, w)) =
-                    best_interpolant(dt, t0, p, opts.extrapolation_tol)
-                {
+                if let Some((verts, w)) = best_interpolant(dt, t0, p, opts.extrapolation_tol) {
                     for (vi, wi) in verts.iter().zip(w.iter()) {
                         if wi.abs() > 1e-14 {
                             b.push(dt.canonical_index(*vi), f, *wi);
@@ -164,6 +172,8 @@ pub fn coarsen_level(
         }
     }
     let restriction = b.build();
+    drop(_restriction_scope);
+    pmg_telemetry::counter_add("coarsen/lost_vertices", lost as u64);
 
     // 4. Coarse vertex graph from the remesh (fallback: contracted fine
     // graph when no triangulation exists).
@@ -185,12 +195,23 @@ pub fn coarsen_level(
     // mesh geometry.
     let classes_out = if opts.reclassify && !tets.is_empty() {
         let flat: Vec<u32> = tets.iter().flatten().copied().collect();
-        let mesh = Mesh::new(coarse_coords.clone(), ElementKind::Tet4, flat, vec![0; tets.len()]);
+        let mesh = Mesh::new(
+            coarse_coords.clone(),
+            ElementKind::Tet4,
+            flat,
+            vec![0; tets.len()],
+        );
         classify_mesh(&mesh, opts.face_tol)
     } else {
         VertexClasses {
-            class: selected.iter().map(|&f| classes.class[f as usize]).collect(),
-            faces: selected.iter().map(|&f| classes.faces[f as usize].clone()).collect(),
+            class: selected
+                .iter()
+                .map(|&f| classes.class[f as usize])
+                .collect(),
+            faces: selected
+                .iter()
+                .map(|&f| classes.faces[f as usize].clone())
+                .collect(),
         }
     };
 
@@ -209,12 +230,7 @@ pub fn coarsen_level(
 /// breadth-first over neighbors, keeping real tets only, scored by their
 /// minimum barycentric weight. Accepts the best candidate whose minimum
 /// weight exceeds `-tol` (the paper's −ε extrapolation allowance).
-fn best_interpolant(
-    dt: &Delaunay,
-    t0: usize,
-    p: Vec3,
-    tol: f64,
-) -> Option<([usize; 4], [f64; 4])> {
+fn best_interpolant(dt: &Delaunay, t0: usize, p: Vec3, tol: f64) -> Option<([usize; 4], [f64; 4])> {
     const MAX_VISIT: usize = 64;
     let mut best: Option<([usize; 4], [f64; 4], f64)> = None;
     let mut visited = std::collections::HashSet::new();
@@ -354,9 +370,17 @@ mod tests {
             }
         }
         // Only lost vertices (nearest-vertex fallback) may deviate.
-        assert!(bad <= lvl.lost_vertices, "bad={bad} lost={}", lvl.lost_vertices);
+        assert!(
+            bad <= lvl.lost_vertices,
+            "bad={bad} lost={}",
+            lvl.lost_vertices
+        );
         // On a convex cube, losses should be rare.
-        assert!(lvl.lost_vertices * 20 <= coords.len(), "lost={}", lvl.lost_vertices);
+        assert!(
+            lvl.lost_vertices * 20 <= coords.len(),
+            "lost={}",
+            lvl.lost_vertices
+        );
     }
 
     #[test]
@@ -365,7 +389,10 @@ mod tests {
         let mut cur = (coords, g, c);
         let mut sizes = vec![cur.0.len()];
         for depth in 0..4 {
-            let opts = CoarsenOptions { reclassify: depth >= 1, ..Default::default() };
+            let opts = CoarsenOptions {
+                reclassify: depth >= 1,
+                ..Default::default()
+            };
             let lvl = coarsen_level(&cur.0, &cur.1, &cur.2, &opts);
             if lvl.selected.len() < 10 {
                 break;
@@ -430,7 +457,10 @@ mod tests {
     fn nproc_variants_cover_domain() {
         let (coords, g, c) = setup(5);
         for nproc in [1, 4, 9] {
-            let opts = CoarsenOptions { nproc, ..Default::default() };
+            let opts = CoarsenOptions {
+                nproc,
+                ..Default::default()
+            };
             let lvl = coarsen_level(&coords, &g, &c, &opts);
             assert!(!lvl.selected.is_empty());
             // MIS invariants on the modified graph.

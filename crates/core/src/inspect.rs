@@ -120,7 +120,10 @@ mod tests {
             Vec3::new(0.0, 0.0, 1.0),
         ];
         let obj = tets_to_obj(&coords, &[[0, 1, 2, 3]]);
-        assert_eq!(obj.matches("\nf ").count() + usize::from(obj.starts_with("f ")), 4);
+        assert_eq!(
+            obj.matches("\nf ").count() + usize::from(obj.starts_with("f ")),
+            4
+        );
         assert_eq!(obj.matches("v ").count(), 4);
         assert!(obj.contains("f 1 3 2"));
     }

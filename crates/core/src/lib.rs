@@ -38,10 +38,10 @@ pub mod sa;
 pub mod solver;
 
 pub use classify::{
-    classify_mesh, classify_mesh_parallel, classify_vertices, identify_faces, identify_faces_parallel,
-    modified_mis_graph, VertexClass, VertexClasses,
+    classify_mesh, classify_mesh_parallel, classify_vertices, identify_faces,
+    identify_faces_parallel, modified_mis_graph, VertexClass, VertexClasses,
 };
-pub use coarsen::{coarsen_level, CoarsenOptions, CoarseLevel};
+pub use coarsen::{coarsen_level, CoarseLevel, CoarsenOptions};
 pub use inspect::{classify_mesh_levels, tets_to_obj, LevelInfo};
 pub use mg::{CycleType, MgHierarchy, MgOptions};
 pub use mis::{greedy_mis, parallel_mis, MisOrdering};

@@ -2,7 +2,7 @@
 //! multigrid (the "Epimetheus" layer plus Figure 1 of the paper).
 
 use crate::classify::VertexClasses;
-use crate::coarsen::{coarsen_level, CoarsenOptions, CoarseLevel};
+use crate::coarsen::{coarsen_level, CoarseLevel, CoarsenOptions};
 use pmg_geometry::Vec3;
 use pmg_parallel::{DistMatrix, DistVec, Layout, Sim};
 use pmg_partition::{recursive_coordinate_bisection, Graph};
@@ -41,11 +41,7 @@ pub enum Smoother {
 }
 
 impl Smoother {
-    fn build(
-        sim: &mut Sim,
-        a: &DistMatrix,
-        opts: &MgOptions,
-    ) -> Smoother {
+    fn build(sim: &mut Sim, a: &DistMatrix, opts: &MgOptions) -> Smoother {
         match opts.smoother {
             SmootherType::BlockJacobi => {
                 Smoother::BlockJacobi(BlockJacobi::new(a, opts.blocks_per_1000, opts.omega))
@@ -154,6 +150,12 @@ impl MgHierarchy {
     /// All grid and matrix setup work is charged to the sim phases
     /// `"mesh setup"` (coarsening: MIS, Delaunay, restriction) and
     /// `"matrix setup"` (Galerkin products, smoother factorizations).
+    ///
+    /// Telemetry: records the scopes `coarsen` (with `mis` / `delaunay` /
+    /// `restriction` / `classify` children from [`coarsen_level`]), `rap`,
+    /// `smoother`, and `coarse_direct` under the caller's current path
+    /// (`setup/...` when driven by `Prometheus`), plus per-level
+    /// `mg/level{i}/rows|nnz` gauges and `mg/operator_complexity`.
     #[allow(clippy::too_many_arguments)]
     pub fn build(
         sim: &mut Sim,
@@ -175,6 +177,8 @@ impl MgHierarchy {
 
         let mut levels: Vec<MgLevel> = Vec::new();
         let mut coarsen_info = Vec::new();
+        let fine_nnz = a_fine.nnz();
+        let mut total_nnz = 0usize;
 
         let mut cur_a = a_fine.clone();
         let mut cur_coords = coords.to_vec();
@@ -185,6 +189,11 @@ impl MgHierarchy {
         loop {
             let n = cur_a.nrows();
             let lvl_index = levels.len();
+            total_nnz += cur_a.nnz();
+            if pmg_telemetry::enabled() {
+                pmg_telemetry::gauge_set(&format!("mg/level{lvl_index}/rows"), n as f64);
+                pmg_telemetry::gauge_set(&format!("mg/level{lvl_index}/nnz"), cur_a.nnz() as f64);
+            }
             let at_bottom = n <= opts.coarse_dof_threshold
                 || lvl_index + 1 >= opts.max_levels
                 || cur_coords.len() < 24;
@@ -192,8 +201,14 @@ impl MgHierarchy {
             if at_bottom {
                 sim.phase("matrix setup");
                 let da = DistMatrix::from_global(&cur_a, cur_layout.clone(), cur_layout.clone());
-                let smoother = Smoother::build(sim, &da, &opts);
-                let coarse = CoarseDirect::new(&da);
+                let smoother = {
+                    let _t = pmg_telemetry::scope("smoother");
+                    Smoother::build(sim, &da, &opts)
+                };
+                let coarse = {
+                    let _t = pmg_telemetry::scope("coarse_direct");
+                    CoarseDirect::new(&da)
+                };
                 charge_setup_flops(sim);
                 levels.push(MgLevel {
                     a: da,
@@ -213,7 +228,10 @@ impl MgHierarchy {
             copts.nproc = nranks;
             // Paper: reclassify the third and subsequent grids.
             copts.reclassify = lvl_index >= 1;
-            let cl: CoarseLevel = coarsen_level(&cur_coords, &cur_graph, &cur_classes, &copts);
+            let cl: CoarseLevel = {
+                let _t = pmg_telemetry::scope("coarsen");
+                coarsen_level(&cur_coords, &cur_graph, &cur_classes, &copts)
+            };
             let nc = cl.selected.len();
             coarsen_info.push((nc, cl.lost_vertices));
             charge_setup_flops(sim);
@@ -222,8 +240,14 @@ impl MgHierarchy {
                 // Coarsening stalled: finish with a direct solve here.
                 sim.phase("matrix setup");
                 let da = DistMatrix::from_global(&cur_a, cur_layout.clone(), cur_layout.clone());
-                let smoother = Smoother::build(sim, &da, &opts);
-                let coarse = CoarseDirect::new(&da);
+                let smoother = {
+                    let _t = pmg_telemetry::scope("smoother");
+                    Smoother::build(sim, &da, &opts)
+                };
+                let coarse = {
+                    let _t = pmg_telemetry::scope("coarse_direct");
+                    CoarseDirect::new(&da)
+                };
                 charge_setup_flops(sim);
                 levels.push(MgLevel {
                     a: da,
@@ -241,12 +265,22 @@ impl MgHierarchy {
             // setup).
             sim.phase("matrix setup");
             let r_dof = expand_restriction(&cl.restriction, dofs);
-            let (a_coarse, _) = pmg_sparse::flops::measure(|| cur_a.rap(&r_dof));
+            let (a_coarse, _) = {
+                let _t = pmg_telemetry::scope("rap");
+                pmg_sparse::flops::measure(|| cur_a.rap(&r_dof))
+            };
             let coarse_layout = make_layout(&cl.coords);
             let da = DistMatrix::from_global(&cur_a, cur_layout.clone(), cur_layout.clone());
             let dr = DistMatrix::from_global(&r_dof, coarse_layout.clone(), cur_layout.clone());
-            let dp = DistMatrix::from_global(&r_dof.transpose(), cur_layout.clone(), coarse_layout.clone());
-            let smoother = Smoother::build(sim, &da, &opts);
+            let dp = DistMatrix::from_global(
+                &r_dof.transpose(),
+                cur_layout.clone(),
+                coarse_layout.clone(),
+            );
+            let smoother = {
+                let _t = pmg_telemetry::scope("smoother");
+                Smoother::build(sim, &da, &opts)
+            };
             charge_setup_flops(sim);
 
             levels.push(MgLevel {
@@ -266,7 +300,20 @@ impl MgHierarchy {
             cur_layout = coarse_layout;
         }
 
-        MgHierarchy { levels, opts, coarsen_info }
+        if pmg_telemetry::enabled() {
+            pmg_telemetry::gauge_set("mg/levels", levels.len() as f64);
+            // Σ nnz(A_l) / nnz(A_0): the grid-complexity measure the AMG
+            // literature reports alongside iteration counts.
+            pmg_telemetry::gauge_set(
+                "mg/operator_complexity",
+                total_nnz as f64 / fine_nnz.max(1) as f64,
+            );
+        }
+        MgHierarchy {
+            levels,
+            opts,
+            coarsen_info,
+        }
     }
 
     /// Re-run the *matrix setup* phase only: push a new fine operator
@@ -279,16 +326,25 @@ impl MgHierarchy {
         let mut cur = a_fine.clone();
         for lvl in 0..self.levels.len() {
             let row_layout = self.levels[lvl].a.row_layout().clone();
-            assert_eq!(cur.nrows(), row_layout.num_global(), "operator size changed");
+            assert_eq!(
+                cur.nrows(),
+                row_layout.num_global(),
+                "operator size changed"
+            );
             let da = DistMatrix::from_global(&cur, row_layout.clone(), row_layout);
             let opts = self.opts;
-            let smoother = Smoother::build(sim, &da, &opts);
+            let smoother = {
+                let _t = pmg_telemetry::scope("smoother");
+                Smoother::build(sim, &da, &opts)
+            };
             let next = self.levels[lvl].r_global.as_ref().map(|r| {
+                let _t = pmg_telemetry::scope("rap");
                 let (ac, _) = pmg_sparse::flops::measure(|| cur.rap(r));
                 ac
             });
             let level = &mut self.levels[lvl];
             if level.coarse.is_some() {
+                let _t = pmg_telemetry::scope("coarse_direct");
                 level.coarse = Some(CoarseDirect::new(&da));
             }
             level.a = da;
@@ -321,33 +377,56 @@ impl MgHierarchy {
     }
 
     /// The µ-cycle: `mu` = 1 gives the V-cycle, `mu` = 2 the W-cycle.
+    ///
+    /// Telemetry: each level records `level{lvl}/smooth`, `level{lvl}/
+    /// restrict`, `level{lvl}/prolong` and (on the coarsest) `level{lvl}/
+    /// coarse` under the caller's current path. The scopes are opened
+    /// around individual kernels — not the recursion — so every level's
+    /// records are siblings, ready for flat per-level aggregation.
     fn cycle(&self, sim: &mut Sim, lvl: usize, r: &DistVec, mu: usize) -> DistVec {
         let level = &self.levels[lvl];
         let mut x = DistVec::zeros(r.layout().clone());
         if let Some(direct) = &level.coarse {
+            let _t = pmg_telemetry::scoped!("level{lvl}/coarse");
             direct.apply(sim, r, &mut x);
             return x;
         }
-        level.smoother.smooth(sim, &level.a, r, &mut x, self.opts.pre_smooth);
+        {
+            let _t = pmg_telemetry::scoped!("level{lvl}/smooth");
+            level
+                .smoother
+                .smooth(sim, &level.a, r, &mut x, self.opts.pre_smooth);
+        }
 
         let rmat = level.r.as_ref().expect("non-coarsest level has R");
         let pmat = level.p.as_ref().expect("non-coarsest level has P");
         for _ in 0..mu {
-            let mut res = DistVec::zeros(r.layout().clone());
-            level.a.spmv(sim, &x, &mut res);
-            res.aypx(sim, -1.0, r); // res = r - A x
             let mut rc = DistVec::zeros(rmat.row_layout().clone());
-            rmat.spmv(sim, &res, &mut rc);
+            {
+                let _t = pmg_telemetry::scoped!("level{lvl}/restrict");
+                let mut res = DistVec::zeros(r.layout().clone());
+                level.a.spmv(sim, &x, &mut res);
+                res.aypx(sim, -1.0, r); // res = r - A x
+                rmat.spmv(sim, &res, &mut rc);
+            }
             let xc = self.cycle(sim, lvl + 1, &rc, mu);
-            let mut corr = DistVec::zeros(r.layout().clone());
-            pmat.spmv(sim, &xc, &mut corr);
-            x.axpy(sim, 1.0, &corr);
+            {
+                let _t = pmg_telemetry::scoped!("level{lvl}/prolong");
+                let mut corr = DistVec::zeros(r.layout().clone());
+                pmat.spmv(sim, &xc, &mut corr);
+                x.axpy(sim, 1.0, &corr);
+            }
             if self.levels[lvl + 1].coarse.is_some() {
                 break; // next level is a direct solve: revisiting is a no-op
             }
         }
 
-        level.smoother.smooth(sim, &level.a, r, &mut x, self.opts.post_smooth);
+        {
+            let _t = pmg_telemetry::scoped!("level{lvl}/smooth");
+            level
+                .smoother
+                .smooth(sim, &level.a, r, &mut x, self.opts.post_smooth);
+        }
         x
     }
 
@@ -360,6 +439,7 @@ impl MgHierarchy {
         let mut rs: Vec<DistVec> = Vec::with_capacity(nl);
         rs.push(r.clone());
         for lvl in 0..nl - 1 {
+            let _t = pmg_telemetry::scoped!("level{lvl}/restrict");
             let rmat = self.levels[lvl].r.as_ref().unwrap();
             let mut rc = DistVec::zeros(rmat.row_layout().clone());
             rmat.spmv(sim, &rs[lvl], &mut rc);
@@ -367,16 +447,24 @@ impl MgHierarchy {
         }
         // Coarsest: direct solve.
         let mut x = {
+            let _t = pmg_telemetry::scoped!("level{}/coarse", nl - 1);
             let level = &self.levels[nl - 1];
             let mut z = DistVec::zeros(rs[nl - 1].layout().clone());
-            level.coarse.as_ref().unwrap().apply(sim, &rs[nl - 1], &mut z);
+            level
+                .coarse
+                .as_ref()
+                .unwrap()
+                .apply(sim, &rs[nl - 1], &mut z);
             z
         };
         // Work up: prolongate, V-cycle-correct.
         for lvl in (0..nl - 1).rev() {
             let pmat = self.levels[lvl].p.as_ref().unwrap();
             let mut xf = DistVec::zeros(pmat.row_layout().clone());
-            pmat.spmv(sim, &x, &mut xf);
+            {
+                let _t = pmg_telemetry::scoped!("level{lvl}/prolong");
+                pmat.spmv(sim, &x, &mut xf);
+            }
             // Residual on this grid, then V-cycle correction.
             let mut res = DistVec::zeros(xf.layout().clone());
             self.levels[lvl].a.spmv(sim, &xf, &mut res);
@@ -391,6 +479,7 @@ impl MgHierarchy {
 
 impl Precond for MgHierarchy {
     fn apply(&self, sim: &mut Sim, r: &DistVec, z: &mut DistVec) {
+        let _t = pmg_telemetry::scope("precond");
         let x = match self.opts.cycle {
             CycleType::V => self.vcycle(sim, 0, r),
             CycleType::W => self.wcycle(sim, 0, r),
@@ -500,7 +589,11 @@ mod tests {
                 &mg,
                 &b,
                 &mut x,
-                PcgOptions { rtol: 1e-8, max_iters: 60, ..Default::default() },
+                PcgOptions {
+                    rtol: 1e-8,
+                    max_iters: 60,
+                    ..Default::default()
+                },
             );
             assert!(res.converged, "p={p}: {res:?}");
             assert!(res.iterations < 25, "p={p}: {} iters", res.iterations);
@@ -564,14 +657,23 @@ mod tests {
             &mg,
             &b,
             &mut x,
-            PcgOptions { rtol: 1e-8, max_iters: 60, ..Default::default() },
+            PcgOptions {
+                rtol: 1e-8,
+                max_iters: 60,
+                ..Default::default()
+            },
         );
         assert!(res.converged);
         assert!(res.iterations < 25, "{} iters after update", res.iterations);
         let xg = x.to_global();
         let mut ax = vec![0.0; n];
         a2.spmv(&xg, &mut ax);
-        let err: f64 = ax.iter().zip(&bg).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let err: f64 = ax
+            .iter()
+            .zip(&bg)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = bg.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err < 1e-6 * bn);
     }
@@ -602,7 +704,11 @@ mod tests {
         let r2g: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
         let r1 = DistVec::from_global(layout.clone(), &r1g);
         let r2 = DistVec::from_global(layout.clone(), &r2g);
-        let combo_g: Vec<f64> = r1g.iter().zip(&r2g).map(|(a, b)| 2.0 * a - 3.0 * b).collect();
+        let combo_g: Vec<f64> = r1g
+            .iter()
+            .zip(&r2g)
+            .map(|(a, b)| 2.0 * a - 3.0 * b)
+            .collect();
         let combo = DistVec::from_global(layout.clone(), &combo_g);
         let mut z1 = DistVec::zeros(layout.clone());
         let mut z2 = DistVec::zeros(layout.clone());

@@ -156,8 +156,7 @@ pub fn parallel_mis(g: &Graph, rank: &[u8], proc: &[u32], order: &[u32]) -> Vec<
                     let w = w as usize;
                     state[w] == S::Deleted
                         || (state[w] == S::Undone
-                            && (rank[v] > rank[w]
-                                || (rank[v] == rank[w] && proc[v] >= proc[w])))
+                            && (rank[v] > rank[w] || (rank[v] == rank[w] && proc[v] >= proc[w])))
                 });
                 if selectable {
                     state[v] = S::Selected;
@@ -173,7 +172,10 @@ pub fn parallel_mis(g: &Graph, rank: &[u8], proc: &[u32], order: &[u32]) -> Vec<
             break;
         }
     }
-    debug_assert!(state.iter().all(|&s| s != S::Undone), "MIS did not cover the graph");
+    debug_assert!(
+        state.iter().all(|&s| s != S::Undone),
+        "MIS did not cover the graph"
+    );
     state.iter().map(|&s| s == S::Selected).collect()
 }
 

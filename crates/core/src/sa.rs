@@ -12,9 +12,9 @@ use crate::mg::{expand_restriction, MgHierarchy, MgLevel, MgOptions, Smoother};
 use pmg_geometry::Vec3;
 use pmg_parallel::{DistMatrix, Layout, Sim};
 use pmg_partition::recursive_coordinate_bisection;
-use pmg_solver::{BlockJacobi, CoarseDirect};
 #[allow(unused_imports)]
 use pmg_solver::Chebyshev;
+use pmg_solver::{BlockJacobi, CoarseDirect};
 use pmg_sparse::{CooBuilder, CsrMatrix};
 use std::sync::Arc;
 
@@ -31,7 +31,11 @@ pub struct SaOptions {
 
 impl Default for SaOptions {
     fn default() -> Self {
-        SaOptions { theta: 0.08, omega_scale: 4.0 / 3.0, mg: MgOptions::default() }
+        SaOptions {
+            theta: 0.08,
+            omega_scale: 4.0 / 3.0,
+            mg: MgOptions::default(),
+        }
     }
 }
 
@@ -58,9 +62,8 @@ fn block_strength(a: &CsrMatrix, dofs: usize) -> CsrMatrix {
 pub fn aggregate(strength: &CsrMatrix, theta: f64) -> (Vec<u32>, usize) {
     let nv = strength.nrows();
     let diag = strength.diag();
-    let strong = |v: usize, w: usize, s: f64| -> bool {
-        v != w && s > theta * (diag[v] * diag[w]).sqrt()
-    };
+    let strong =
+        |v: usize, w: usize, s: f64| -> bool { v != w && s > theta * (diag[v] * diag[w]).sqrt() };
     let mut agg = vec![u32::MAX; nv];
     let mut nagg = 0u32;
 
@@ -94,9 +97,7 @@ pub fn aggregate(strength: &CsrMatrix, theta: f64) -> (Vec<u32>, usize) {
         let (cols, vals) = strength.row(v);
         let mut best: Option<(u32, f64)> = None;
         for (&w, &s) in cols.iter().zip(vals) {
-            if strong(v, w, s) && agg[w] != u32::MAX
-                && best.is_none_or(|(_, bs)| s > bs)
-            {
+            if strong(v, w, s) && agg[w] != u32::MAX && best.is_none_or(|(_, bs)| s > bs) {
                 best = Some((agg[w], s));
             }
         }
@@ -144,7 +145,9 @@ fn lambda_max_dinv_a(a: &CsrMatrix) -> f64 {
         .iter()
         .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
         .collect();
-    let mut x: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0)
+        .collect();
     let mut lam = 1.0;
     let mut y = vec![0.0; n];
     for _ in 0..10 {
@@ -245,8 +248,11 @@ pub fn build_sa_hierarchy(
             None => {
                 sim.phase("matrix setup");
                 let da = DistMatrix::from_global(&cur_a, cur_layout.clone(), cur_layout.clone());
-                let smoother =
-                    Smoother::BlockJacobi(BlockJacobi::new(&da, opts.mg.blocks_per_1000, opts.mg.omega));
+                let smoother = Smoother::BlockJacobi(BlockJacobi::new(
+                    &da,
+                    opts.mg.blocks_per_1000,
+                    opts.mg.omega,
+                ));
                 let coarse = CoarseDirect::new(&da);
                 levels.push(MgLevel {
                     a: da,
@@ -271,8 +277,11 @@ pub fn build_sa_hierarchy(
                     cur_layout.clone(),
                     coarse_layout.clone(),
                 );
-                let smoother =
-                    Smoother::BlockJacobi(BlockJacobi::new(&da, opts.mg.blocks_per_1000, opts.mg.omega));
+                let smoother = Smoother::BlockJacobi(BlockJacobi::new(
+                    &da,
+                    opts.mg.blocks_per_1000,
+                    opts.mg.omega,
+                ));
                 levels.push(MgLevel {
                     a: da,
                     smoother,
@@ -288,7 +297,11 @@ pub fn build_sa_hierarchy(
             }
         }
     }
-    MgHierarchy { levels, opts: opts.mg, coarsen_info }
+    MgHierarchy {
+        levels,
+        opts: opts.mg,
+        coarsen_info,
+    }
 }
 
 #[cfg(test)]
@@ -362,7 +375,11 @@ mod tests {
             &mg,
             &b,
             &mut x,
-            PcgOptions { rtol: 1e-8, max_iters: 80, ..Default::default() },
+            PcgOptions {
+                rtol: 1e-8,
+                max_iters: 80,
+                ..Default::default()
+            },
         );
         assert!(res.converged);
         assert!(res.iterations < 40, "{} iterations", res.iterations);

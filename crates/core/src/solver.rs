@@ -56,6 +56,7 @@ impl Prometheus {
     /// per vertex). This is the paper's usage: the solver needs only data
     /// "easily available in most finite element codes".
     pub fn from_mesh(mesh: &Mesh, a: &CsrMatrix, opts: PrometheusOptions) -> Prometheus {
+        let _t = pmg_telemetry::scope("setup");
         let mut sim = Sim::new(opts.nranks, opts.model);
         sim.phase("mesh setup");
         let graph = mesh.vertex_graph();
@@ -72,6 +73,7 @@ impl Prometheus {
         classes: &VertexClasses,
         opts: PrometheusOptions,
     ) -> Prometheus {
+        let _t = pmg_telemetry::scope("setup");
         let mut sim = Sim::new(opts.nranks, opts.model);
         let mg = MgHierarchy::build(&mut sim, a, coords, graph, classes, opts.mg);
         Prometheus { sim, mg, opts }
@@ -81,6 +83,7 @@ impl Prometheus {
     /// CG, starting from `x0` (zeros if `None`). Returns the solution and
     /// the Krylov statistics; work is charged to the sim phase `"solve"`.
     pub fn solve(&mut self, b: &[f64], x0: Option<&[f64]>, rtol: f64) -> (Vec<f64>, PcgResult) {
+        let _t = pmg_telemetry::scope("solve");
         let layout = self.mg.levels[0].a.row_layout().clone();
         assert_eq!(b.len(), layout.num_global());
         self.sim.phase("solve");
@@ -95,7 +98,11 @@ impl Prometheus {
             &self.mg,
             &db,
             &mut dx,
-            PcgOptions { rtol, max_iters: self.opts.max_iters, ..Default::default() },
+            PcgOptions {
+                rtol,
+                max_iters: self.opts.max_iters,
+                ..Default::default()
+            },
         );
         (dx.to_global(), res)
     }
@@ -103,6 +110,7 @@ impl Prometheus {
     /// Replace the operator (new Newton tangent on the same mesh): re-runs
     /// only the matrix-setup phase, keeping the grid hierarchy.
     pub fn update_matrix(&mut self, a: &CsrMatrix) {
+        let _t = pmg_telemetry::scope("setup");
         self.mg.update_operator(&mut self.sim, a);
     }
 
@@ -114,6 +122,38 @@ impl Prometheus {
     /// Consume the solver and return the per-phase machine statistics.
     pub fn finish(self) -> BTreeMap<String, PhaseStats> {
         self.sim.finish()
+    }
+
+    /// Snapshot the process-global telemetry and bridge this solver's BSP
+    /// machine-model phases (`"mesh setup"`, `"matrix setup"`, `"solve"`)
+    /// into the same [`pmg_telemetry::Report`], so wall-clock scopes and
+    /// modeled times land in one artifact. Unlike [`Prometheus::finish`]
+    /// this does not consume the solver (the in-progress sim phase's wall
+    /// time is not yet closed out).
+    pub fn report(&self) -> pmg_telemetry::Report {
+        let mut report = pmg_telemetry::snapshot();
+        let names: Vec<String> = self.sim.phase_names().map(str::to_string).collect();
+        for name in names {
+            let stats = self.sim.stats(&name).expect("listed phase exists");
+            report.add_sim_phase(sim_phase_record(&name, stats));
+        }
+        report
+    }
+}
+
+/// Convert one BSP-sim phase into the telemetry report's bridged form.
+pub fn sim_phase_record(name: &str, stats: &PhaseStats) -> pmg_telemetry::SimPhaseRecord {
+    pmg_telemetry::SimPhaseRecord {
+        name: name.to_string(),
+        modeled_s: stats.modeled_time,
+        modeled_comm_s: stats.modeled_comm_time,
+        wall_s: stats.wall_time,
+        total_flops: stats.total_flops(),
+        max_flops: stats.max_flops(),
+        total_msgs: stats.ranks.iter().map(|r| r.msgs).sum(),
+        total_bytes: stats.ranks.iter().map(|r| r.bytes).sum(),
+        supersteps: stats.supersteps,
+        load_balance: stats.load_balance(),
     }
 }
 
@@ -128,7 +168,10 @@ mod tests {
     fn elasticity_system(n: usize) -> (Mesh, CsrMatrix, Vec<f64>) {
         let mesh = block(n, n, n, Vec3::splat(1.0), |_| 0);
         let ndof = mesh.num_dof();
-        let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))]);
+        let mut fem = FemProblem::new(
+            mesh.clone(),
+            vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))],
+        );
         let (k, _) = fem.assemble(&vec![0.0; ndof]);
         // Clamp the z=0 face, pull the top face in z.
         let mut fixed = Vec::new();
@@ -156,7 +199,10 @@ mod tests {
         let (mesh, k, b) = elasticity_system(6); // 1029 dof
         let opts = PrometheusOptions {
             nranks: 2,
-            mg: MgOptions { coarse_dof_threshold: 200, ..Default::default() },
+            mg: MgOptions {
+                coarse_dof_threshold: 200,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mut solver = Prometheus::from_mesh(&mesh, &k, opts);
@@ -166,7 +212,12 @@ mod tests {
         assert!(res.iterations < 60, "{} iterations", res.iterations);
         let mut ax = vec![0.0; b.len()];
         k.spmv(&x, &mut ax);
-        let err: f64 = ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let err: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err < 1e-6 * bn);
         // Phase stats exist.
@@ -180,7 +231,10 @@ mod tests {
     fn warm_start_reduces_iterations() {
         let (mesh, k, b) = elasticity_system(5);
         let opts = PrometheusOptions {
-            mg: MgOptions { coarse_dof_threshold: 150, ..Default::default() },
+            mg: MgOptions {
+                coarse_dof_threshold: 150,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mut solver = Prometheus::from_mesh(&mesh, &k, opts);

@@ -34,7 +34,9 @@ impl FemProblem {
     /// `materials[id]` is the model for elements with that material id.
     pub fn new(mesh: Mesh, materials: Vec<Arc<dyn Material>>) -> FemProblem {
         assert!(
-            mesh.materials.iter().all(|&m| (m as usize) < materials.len()),
+            mesh.materials
+                .iter()
+                .all(|&m| (m as usize) < materials.len()),
             "element references unknown material"
         );
         let quad = quadrature(mesh.kind);
@@ -49,8 +51,21 @@ impl FemProblem {
             }
         }
         let trial = committed.clone();
-        let sparsity = build_sparsity(&mesh);
-        FemProblem { mesh, materials, committed, trial, stride, quad, sparsity }
+        let sparsity = {
+            let _t = pmg_telemetry::scope("sparsity");
+            build_sparsity(&mesh)
+        };
+        pmg_telemetry::gauge_set("fem/ndof", mesh.num_dof() as f64);
+        pmg_telemetry::gauge_set("fem/nnz", sparsity.nnz() as f64);
+        FemProblem {
+            mesh,
+            materials,
+            committed,
+            trial,
+            stride,
+            quad,
+            sparsity,
+        }
     }
 
     pub fn ndof(&self) -> usize {
@@ -65,8 +80,10 @@ impl FemProblem {
     /// `u`. History enters from the committed state; the trial state is
     /// updated (call [`FemProblem::commit`] once the step converges).
     pub fn assemble(&mut self, u: &[f64]) -> (CsrMatrix, Vec<f64>) {
+        let _t = pmg_telemetry::scope("assemble");
         assert_eq!(u.len(), self.ndof());
         let nelems = self.mesh.num_elements();
+        pmg_telemetry::counter_add("fem/elements_assembled", nelems as u64);
         let nv = self.mesh.kind.nodes();
         let edof = 3 * nv;
         let esl = self.quad.len() * self.stride;
@@ -306,7 +323,9 @@ mod tests {
         let mut p = one_hex_problem(Arc::new(LinearElastic::from_e_nu(1.0, 0.3)));
         let (k0, f0) = p.assemble(&[0.0; 24]);
         assert!(f0.iter().all(|&v| v.abs() < 1e-16));
-        let u: Vec<f64> = (0..24).map(|i| 1e-3 * ((i * 13 % 7) as f64 - 3.0)).collect();
+        let u: Vec<f64> = (0..24)
+            .map(|i| 1e-3 * ((i * 13 % 7) as f64 - 3.0))
+            .collect();
         let (k1, f1) = p.assemble(&u);
         // Stiffness of a linear material is displacement independent.
         let mut ku = vec![0.0; 24];
@@ -372,7 +391,9 @@ mod tests {
     #[test]
     fn tangent_matches_fd_for_neo_hookean() {
         let mut p = one_hex_problem(Arc::new(NeoHookean::from_e_nu(2.0, 0.3)));
-        let u: Vec<f64> = (0..24).map(|i| 0.02 * ((i * 7 % 11) as f64 / 11.0 - 0.5)).collect();
+        let u: Vec<f64> = (0..24)
+            .map(|i| 0.02 * ((i * 7 % 11) as f64 / 11.0 - 0.5))
+            .collect();
         let (k, _) = p.assemble(&u);
         let eps = 1e-6;
         for dof in [0, 5, 13, 23] {
@@ -445,7 +466,9 @@ mod tests {
             .coords
             .iter()
             .enumerate()
-            .filter(|(_, p)| p.x > 0.0 && p.x < 1.0 && p.y > 0.0 && p.y < 1.0 && p.z > 0.0 && p.z < 1.0)
+            .filter(|(_, p)| {
+                p.x > 0.0 && p.x < 1.0 && p.y > 0.0 && p.y < 1.0 && p.z > 0.0 && p.z < 1.0
+            })
             .map(|(v, _)| v)
             .collect();
         assert!(!interior.is_empty());
@@ -463,8 +486,7 @@ mod tests {
             u[3 * v + 1] = a[1];
             u[3 * v + 2] = a[2];
         }
-        let mut prob =
-            FemProblem::new(mesh, vec![Arc::new(LinearElastic::from_e_nu(7.0, 0.3))]);
+        let mut prob = FemProblem::new(mesh, vec![Arc::new(LinearElastic::from_e_nu(7.0, 0.3))]);
         let (_, f) = prob.assemble(&u);
         for &v in &interior {
             for c in 0..3 {
@@ -479,7 +501,13 @@ mod tests {
 
     #[test]
     fn two_materials_assemble() {
-        let mesh = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |c| if c.x < 1.0 { 0 } else { 1 });
+        let mesh = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |c| {
+            if c.x < 1.0 {
+                0
+            } else {
+                1
+            }
+        });
         let n = mesh.num_dof();
         let mut p = FemProblem::new(
             mesh,

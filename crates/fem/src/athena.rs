@@ -71,10 +71,10 @@ pub fn partition_mesh(mesh: &Mesh, part: &[u32], nranks: usize) -> Vec<SubMesh> 
                 .collect();
             vset.sort_unstable();
             vset.dedup();
-            let (owned_v, ghost_v): (Vec<u32>, Vec<u32>) =
-                vset.into_iter().partition(|&v| part[v as usize] == r as u32);
-            let global_vertices: Vec<u32> =
-                owned_v.iter().chain(ghost_v.iter()).copied().collect();
+            let (owned_v, ghost_v): (Vec<u32>, Vec<u32>) = vset
+                .into_iter()
+                .partition(|&v| part[v as usize] == r as u32);
+            let global_vertices: Vec<u32> = owned_v.iter().chain(ghost_v.iter()).copied().collect();
             let mut local_of = std::collections::HashMap::with_capacity(global_vertices.len());
             for (l, &g) in global_vertices.iter().enumerate() {
                 local_of.insert(g, l as u32);
@@ -113,15 +113,14 @@ pub fn redundancy_factor(subs: &[SubMesh]) -> f64 {
     let distinct: std::collections::HashSet<Vec<u32>> = subs
         .iter()
         .flat_map(|s| {
-            s.mesh
-                .elem_verts
-                .chunks(s.mesh.kind.nodes())
-                .map(|ev| {
-                    let mut g: Vec<u32> =
-                        ev.iter().map(|&lv| s.global_vertices[lv as usize]).collect();
-                    g.sort_unstable();
-                    g
-                })
+            s.mesh.elem_verts.chunks(s.mesh.kind.nodes()).map(|ev| {
+                let mut g: Vec<u32> = ev
+                    .iter()
+                    .map(|&lv| s.global_vertices[lv as usize])
+                    .collect();
+                g.sort_unstable();
+                g
+            })
         })
         .collect();
     total as f64 / distinct.len().max(1) as f64
@@ -147,9 +146,7 @@ pub fn assemble_distributed(
             let u_local: Vec<f64> = sub
                 .global_vertices
                 .iter()
-                .flat_map(|&g| {
-                    (0..3).map(move |c| u_global[3 * g as usize + c])
-                })
+                .flat_map(|&g| (0..3).map(move |c| u_global[3 * g as usize + c]))
                 .collect();
             let (k, f) = fem.assemble(&u_local);
             (k, f, sub)
@@ -195,7 +192,13 @@ mod tests {
     }
 
     fn two_material_mesh() -> Mesh {
-        block(4, 3, 3, Vec3::new(4.0, 3.0, 3.0), |c| if c.x < 2.0 { 0 } else { 1 })
+        block(4, 3, 3, Vec3::new(4.0, 3.0, 3.0), |c| {
+            if c.x < 2.0 {
+                0
+            } else {
+                1
+            }
+        })
     }
 
     #[test]
@@ -231,7 +234,9 @@ mod tests {
     fn distributed_assembly_equals_serial() {
         let mesh = two_material_mesh();
         let ndof = mesh.num_dof();
-        let u: Vec<f64> = (0..ndof).map(|i| 1e-3 * ((i * 31 % 17) as f64 - 8.0)).collect();
+        let u: Vec<f64> = (0..ndof)
+            .map(|i| 1e-3 * ((i * 31 % 17) as f64 - 8.0))
+            .collect();
         let mut serial = FemProblem::new(mesh.clone(), mats());
         let (k_serial, f_serial) = serial.assemble(&u);
 

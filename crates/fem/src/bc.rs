@@ -20,11 +20,7 @@ pub struct DirichletBc {
 /// force `r`, and per-constrained-dof *increments* `delta` for this solve,
 /// returns `(K̂, rhs)` such that `K̂ Δu = rhs` yields `Δu[dof] = delta` on
 /// constrained dofs and the correct free-dof equations elsewhere.
-pub fn constrain_system(
-    k: &CsrMatrix,
-    r: &[f64],
-    fixed: &[(u32, f64)],
-) -> (CsrMatrix, Vec<f64>) {
+pub fn constrain_system(k: &CsrMatrix, r: &[f64], fixed: &[(u32, f64)]) -> (CsrMatrix, Vec<f64>) {
     let n = k.nrows();
     assert_eq!(r.len(), n);
     let mut is_fixed = vec![false; n];

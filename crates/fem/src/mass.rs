@@ -39,11 +39,7 @@ pub fn consistent_mass(mesh: &Mesh, density: &[f64]) -> CsrMatrix {
                 let v = me[a * nv + c];
                 if v != 0.0 {
                     for d in 0..3 {
-                        b.push(
-                            3 * verts[a] as usize + d,
-                            3 * verts[c] as usize + d,
-                            v,
-                        );
+                        b.push(3 * verts[a] as usize + d, 3 * verts[c] as usize + d, v);
                     }
                 }
             }

@@ -174,7 +174,10 @@ pub struct NeoHookean {
 impl NeoHookean {
     pub fn from_e_nu(e: f64, nu: f64) -> NeoHookean {
         let le = LinearElastic::from_e_nu(e, nu);
-        NeoHookean { lambda: le.lambda, mu: le.mu }
+        NeoHookean {
+            lambda: le.lambda,
+            mu: le.mu,
+        }
     }
 }
 
@@ -188,7 +191,11 @@ impl Material for NeoHookean {
         if j <= 1e-8 || !j.is_finite() {
             // Element inverted mid-Newton: fall back to the linearized
             // response so the iteration can recover.
-            return LinearElastic { lambda: self.lambda, mu: self.mu }.respond(h, _state);
+            return LinearElastic {
+                lambda: self.lambda,
+                mu: self.mu,
+            }
+            .respond(h, _state);
         }
         let finv = inv3(&f, j);
         let lnj = j.ln();
@@ -206,8 +213,8 @@ impl Material for NeoHookean {
             for jj in 0..3 {
                 for k in 0..3 {
                     for l in 0..3 {
-                        let mut v = c1 * finv[jj][k] * finv[l][i]
-                            + self.lambda * finv[jj][i] * finv[l][k];
+                        let mut v =
+                            c1 * finv[jj][k] * finv[l][i] + self.lambda * finv[jj][i] * finv[l][k];
                         if i == k && jj == l {
                             v += self.mu;
                         }
@@ -261,7 +268,13 @@ fn mat_to_sym(m: &Mat3, v: &mut [f64]) {
 impl J2Plasticity {
     pub fn from_e_nu(e: f64, nu: f64, sigma_y: f64, h_kin: f64) -> J2Plasticity {
         let le = LinearElastic::from_e_nu(e, nu);
-        J2Plasticity { lambda: le.lambda, mu: le.mu, sigma_y, h_kin, h_iso: 0.0 }
+        J2Plasticity {
+            lambda: le.lambda,
+            mu: le.mu,
+            sigma_y,
+            h_kin,
+            h_iso: 0.0,
+        }
     }
 
     /// Combined hardening: kinematic modulus `h_kin` plus isotropic
@@ -502,7 +515,10 @@ mod tests {
         h[0][0] = 1e-4; // well below yield strain ~1e-3
         let (s, a) = m.respond(&h, &mut state);
         assert!(!J2Plasticity::is_yielded(&state));
-        let le = LinearElastic { lambda: m.lambda, mu: m.mu };
+        let le = LinearElastic {
+            lambda: m.lambda,
+            mu: m.mu,
+        };
         let (se, _) = le.respond(&h, &mut []);
         for i in 0..3 {
             for j in 0..3 {
@@ -570,7 +586,10 @@ mod tests {
         }
         let norm: f64 = dev.iter().flatten().map(|v| v * v).sum::<f64>().sqrt();
         let virgin = (2.0f64 / 3.0).sqrt() * m.sigma_y;
-        assert!(norm > virgin * 1.05, "surface did not grow: {norm} vs {virgin}");
+        assert!(
+            norm > virgin * 1.05,
+            "surface did not grow: {norm} vs {virgin}"
+        );
         // Consistent tangent still matches finite differences.
         let committed = state.clone();
         let mut h2 = h;
@@ -620,7 +639,10 @@ mod tests {
         let committed = state.clone();
         let mut state2 = committed.clone();
         let (_, _) = m.respond(&h, &mut state2); // same strain again
-        assert!(!J2Plasticity::is_yielded(&state2), "reload should be elastic");
+        assert!(
+            !J2Plasticity::is_yielded(&state2),
+            "reload should be elastic"
+        );
         // A small partial unload stays inside the (shifted) elastic range.
         let mut h_small = h;
         h_small[0][0] *= 0.95;

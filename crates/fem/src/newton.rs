@@ -77,10 +77,7 @@ impl NewtonStats {
     }
 
     pub fn total_linear_iters(&self) -> usize {
-        self.steps
-            .iter()
-            .flat_map(|s| s.linear_iters.iter())
-            .sum()
+        self.steps.iter().flat_map(|s| s.linear_iters.iter()).sum()
     }
 }
 
@@ -154,8 +151,7 @@ impl NewtonDriver {
                         .map(|bc| (bc.dof, bc.value - u[bc.dof as usize]))
                         .collect();
                     let (_, rhs_try) = constrain_system(&k, &r_try, &fixed_try);
-                    let rnorm_try =
-                        rhs_try.iter().map(|v| v * v).sum::<f64>().sqrt();
+                    let rnorm_try = rhs_try.iter().map(|v| v * v).sum::<f64>().sqrt();
                     if rnorm_try <= rnorm || rnorm_try <= 1e-14 * rnorm.max(1.0) {
                         break;
                     }
@@ -221,16 +217,28 @@ mod tests {
         let mut bcs = Vec::new();
         for (v, p) in mesh.coords.iter().enumerate() {
             if p.x == 0.0 {
-                bcs.push(DirichletBc { dof: 3 * v as u32, value: 0.0 });
+                bcs.push(DirichletBc {
+                    dof: 3 * v as u32,
+                    value: 0.0,
+                });
             }
             if p.y == 0.0 {
-                bcs.push(DirichletBc { dof: 3 * v as u32 + 1, value: 0.0 });
+                bcs.push(DirichletBc {
+                    dof: 3 * v as u32 + 1,
+                    value: 0.0,
+                });
             }
             if p.z == 0.0 {
-                bcs.push(DirichletBc { dof: 3 * v as u32 + 2, value: 0.0 });
+                bcs.push(DirichletBc {
+                    dof: 3 * v as u32 + 2,
+                    value: 0.0,
+                });
             }
             if p.z == 1.0 {
-                bcs.push(DirichletBc { dof: 3 * v as u32 + 2, value: -0.1 });
+                bcs.push(DirichletBc {
+                    dof: 3 * v as u32 + 2,
+                    value: -0.1,
+                });
             }
         }
         let driver = NewtonDriver::new(NewtonOptions::default());
@@ -262,16 +270,28 @@ mod tests {
             let mut bcs = Vec::new();
             for (v, p) in mesh.coords.iter().enumerate() {
                 if p.x == 0.0 {
-                    bcs.push(DirichletBc { dof: 3 * v as u32, value: 0.0 });
+                    bcs.push(DirichletBc {
+                        dof: 3 * v as u32,
+                        value: 0.0,
+                    });
                 }
                 if p.y == 0.0 {
-                    bcs.push(DirichletBc { dof: 3 * v as u32 + 1, value: 0.0 });
+                    bcs.push(DirichletBc {
+                        dof: 3 * v as u32 + 1,
+                        value: 0.0,
+                    });
                 }
                 if p.z == 0.0 {
-                    bcs.push(DirichletBc { dof: 3 * v as u32 + 2, value: 0.0 });
+                    bcs.push(DirichletBc {
+                        dof: 3 * v as u32 + 2,
+                        value: 0.0,
+                    });
                 }
                 if p.z == 1.0 {
-                    bcs.push(DirichletBc { dof: 3 * v as u32 + 2, value: -crush });
+                    bcs.push(DirichletBc {
+                        dof: 3 * v as u32 + 2,
+                        value: -crush,
+                    });
                 }
             }
             bcs
@@ -300,11 +320,17 @@ mod tests {
         for (v, p) in mesh.coords.iter().enumerate() {
             if p.z == 0.0 {
                 for c in 0..3 {
-                    bcs.push(DirichletBc { dof: 3 * v as u32 + c, value: 0.0 });
+                    bcs.push(DirichletBc {
+                        dof: 3 * v as u32 + c,
+                        value: 0.0,
+                    });
                 }
             }
             if p.z == 1.0 {
-                bcs.push(DirichletBc { dof: 3 * v as u32 + 2, value: -0.35 });
+                bcs.push(DirichletBc {
+                    dof: 3 * v as u32 + 2,
+                    value: -0.35,
+                });
             }
         }
         let run = |max_backtracks: usize| {
@@ -343,11 +369,17 @@ mod tests {
         for (v, p) in mesh.coords.iter().enumerate() {
             if p.z == 0.0 {
                 for c in 0..3 {
-                    bcs.push(DirichletBc { dof: 3 * v as u32 + c, value: 0.0 });
+                    bcs.push(DirichletBc {
+                        dof: 3 * v as u32 + c,
+                        value: 0.0,
+                    });
                 }
             }
             if p.z == 1.0 {
-                bcs.push(DirichletBc { dof: 3 * v as u32 + 2, value: -0.15 });
+                bcs.push(DirichletBc {
+                    dof: 3 * v as u32 + 2,
+                    value: -0.15,
+                });
             }
         }
         let mut rtols = Vec::new();

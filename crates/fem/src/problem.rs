@@ -58,13 +58,22 @@ pub fn spheres_problem(params: &SpheresParams) -> SpheresProblem {
     let mut top_dofs = Vec::new();
     for (v, p) in mesh.coords.iter().enumerate() {
         if p.x.abs() < tol {
-            symmetry_bcs.push(DirichletBc { dof: 3 * v as u32, value: 0.0 });
+            symmetry_bcs.push(DirichletBc {
+                dof: 3 * v as u32,
+                value: 0.0,
+            });
         }
         if p.y.abs() < tol {
-            symmetry_bcs.push(DirichletBc { dof: 3 * v as u32 + 1, value: 0.0 });
+            symmetry_bcs.push(DirichletBc {
+                dof: 3 * v as u32 + 1,
+                value: 0.0,
+            });
         }
         if p.z.abs() < tol {
-            symmetry_bcs.push(DirichletBc { dof: 3 * v as u32 + 2, value: 0.0 });
+            symmetry_bcs.push(DirichletBc {
+                dof: 3 * v as u32 + 2,
+                value: 0.0,
+            });
         }
         if (p.z - params.cube_side).abs() < tol {
             top_dofs.push(3 * v as u32 + 2);
@@ -130,10 +139,14 @@ mod tests {
         let (k, f) = p.fem.assemble(&vec![0.0; n]);
         assert!(k.is_symmetric(1e-10));
         assert!(f.iter().all(|&v| v.abs() < 1e-14)); // reference is stress free
-        // Material jump of 1e4 visible in the diagonal spread.
+                                                     // Material jump of 1e4 visible in the diagonal spread.
         let d = k.diag();
         let dmax = d.iter().cloned().fold(0.0f64, f64::max);
-        let dmin = d.iter().cloned().filter(|&x| x > 0.0).fold(f64::INFINITY, f64::min);
+        let dmin = d
+            .iter()
+            .cloned()
+            .filter(|&x| x > 0.0)
+            .fold(f64::INFINITY, f64::min);
         assert!(dmax / dmin > 1e2, "jump {}", dmax / dmin);
     }
 

@@ -24,7 +24,12 @@ pub fn assemble_tet_operator(
     material: Arc<dyn Material>,
 ) -> CsrMatrix {
     let flat: Vec<u32> = tets.iter().flatten().copied().collect();
-    let mesh = Mesh::new(coords.to_vec(), ElementKind::Tet4, flat, vec![0; tets.len()]);
+    let mesh = Mesh::new(
+        coords.to_vec(),
+        ElementKind::Tet4,
+        flat,
+        vec![0; tets.len()],
+    );
     let ndof = mesh.num_dof();
     let mut fem = FemProblem::new(mesh, vec![material]);
     let (k, _) = fem.assemble(&vec![0.0; ndof]);
@@ -44,7 +49,11 @@ mod tests {
             Vec3::new(0.0, 1.0, 0.0),
             Vec3::new(0.0, 0.0, 1.0),
         ];
-        let k = assemble_tet_operator(&coords, &[[0, 1, 2, 3]], Arc::new(LinearElastic::from_e_nu(1.0, 0.3)));
+        let k = assemble_tet_operator(
+            &coords,
+            &[[0, 1, 2, 3]],
+            Arc::new(LinearElastic::from_e_nu(1.0, 0.3)),
+        );
         assert_eq!(k.nrows(), 12);
         assert!(k.is_symmetric(1e-12));
         // Rigid translation in the null space.
@@ -75,10 +84,18 @@ mod tests {
         };
         let tets: Vec<[u32; 4]> = tets
             .iter()
-            .map(|t| if v(t) > 0.0 { *t } else { [t[1], t[0], t[2], t[3]] })
+            .map(|t| {
+                if v(t) > 0.0 {
+                    *t
+                } else {
+                    [t[1], t[0], t[2], t[3]]
+                }
+            })
             .collect();
-        let k1 = assemble_tet_operator(&coords, &tets, Arc::new(LinearElastic::from_e_nu(1.0, 0.3)));
-        let k2 = assemble_tet_operator(&coords, &tets, Arc::new(LinearElastic::from_e_nu(2.0, 0.3)));
+        let k1 =
+            assemble_tet_operator(&coords, &tets, Arc::new(LinearElastic::from_e_nu(1.0, 0.3)));
+        let k2 =
+            assemble_tet_operator(&coords, &tets, Arc::new(LinearElastic::from_e_nu(2.0, 0.3)));
         for (a, b) in k1.iter().zip(k2.iter()) {
             assert!((2.0 * a.2 - b.2).abs() < 1e-12);
         }

@@ -59,13 +59,19 @@ pub fn quadrature(kind: ElementKind) -> Vec<QuadPoint> {
             for &x in &[-g, g] {
                 for &y in &[-g, g] {
                     for &z in &[-g, g] {
-                        pts.push(QuadPoint { xi: [x, y, z], weight: 1.0 });
+                        pts.push(QuadPoint {
+                            xi: [x, y, z],
+                            weight: 1.0,
+                        });
                     }
                 }
             }
             pts
         }
-        ElementKind::Tet4 => vec![QuadPoint { xi: [0.25, 0.25, 0.25], weight: 1.0 / 6.0 }],
+        ElementKind::Tet4 => vec![QuadPoint {
+            xi: [0.25, 0.25, 0.25],
+            weight: 1.0 / 6.0,
+        }],
         ElementKind::Hex20 => {
             // 3x3x3 Gauss (exact for the serendipity stiffness).
             let g = (3.0f64 / 5.0).sqrt();
@@ -74,7 +80,10 @@ pub fn quadrature(kind: ElementKind) -> Vec<QuadPoint> {
             for &(x, wx) in &pts1 {
                 for &(y, wy) in &pts1 {
                     for &(z, wz) in &pts1 {
-                        pts.push(QuadPoint { xi: [x, y, z], weight: wx * wy * wz });
+                        pts.push(QuadPoint {
+                            xi: [x, y, z],
+                            weight: wx * wy * wz,
+                        });
                     }
                 }
             }
@@ -88,9 +97,7 @@ pub fn shape_values(kind: ElementKind, xi: [f64; 3]) -> Vec<f64> {
     match kind {
         ElementKind::Hex8 => HEX_CORNERS
             .iter()
-            .map(|c| {
-                0.125 * (1.0 + c[0] * xi[0]) * (1.0 + c[1] * xi[1]) * (1.0 + c[2] * xi[2])
-            })
+            .map(|c| 0.125 * (1.0 + c[0] * xi[0]) * (1.0 + c[1] * xi[1]) * (1.0 + c[2] * xi[2]))
             .collect(),
         ElementKind::Tet4 => {
             vec![1.0 - xi[0] - xi[1] - xi[2], xi[0], xi[1], xi[2]]
@@ -366,7 +373,11 @@ mod tests {
         for xi in [[0.3, -0.2, 0.7], [0.0, 0.0, 0.0], [-0.9, 0.5, 0.1]] {
             let n = shape_values(ElementKind::Hex20, xi);
             let interp: f64 = n.iter().zip(&nodal).map(|(a, b)| a * b).sum();
-            assert!((interp - f(xi)).abs() < 1e-12, "at {xi:?}: {interp} vs {}", f(xi));
+            assert!(
+                (interp - f(xi)).abs() < 1e-12,
+                "at {xi:?}: {interp} vs {}",
+                f(xi)
+            );
         }
     }
 

@@ -35,7 +35,10 @@ impl Aabb {
 
     /// Grow to include another box.
     pub fn union(&self, o: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+        Aabb {
+            min: self.min.min(o.min),
+            max: self.max.max(o.max),
+        }
     }
 
     pub fn is_empty(&self) -> bool {

@@ -71,7 +71,12 @@ impl Delaunay {
     /// Returns `None` when the input is degenerate in a way that prevents
     /// triangulation (fewer than one point or non-finite coordinates).
     pub fn new(input: &[Vec3]) -> Option<Delaunay> {
-        if input.is_empty() || input.iter().any(|p| !p.to_array().iter().all(|c| c.is_finite())) {
+        let _t = pmg_telemetry::scope("triangulate");
+        if input.is_empty()
+            || input
+                .iter()
+                .any(|p| !p.to_array().iter().all(|c| c.is_finite()))
+        {
             return None;
         }
         let bbox = Aabb::from_points(input.iter().copied());
@@ -250,7 +255,11 @@ impl Delaunay {
                 if !nb_in {
                     let verts = [tet.verts[f[0]], tet.verts[f[1]], tet.verts[f[2]]];
                     let outer_face = nb.map(|n| self.face_index_of(n, t)).unwrap_or(0);
-                    boundary.push(BFace { verts, outer: nb, outer_face });
+                    boundary.push(BFace {
+                        verts,
+                        outer: nb,
+                        outer_face,
+                    });
                 }
             }
         }
@@ -331,7 +340,12 @@ impl Delaunay {
     pub fn barycentric(&self, t: usize, p: Vec3) -> [f64; 4] {
         let v = self.tets[t].verts;
         barycentric(
-            [self.vpos(v[0]), self.vpos(v[1]), self.vpos(v[2]), self.vpos(v[3])],
+            [
+                self.vpos(v[0]),
+                self.vpos(v[1]),
+                self.vpos(v[2]),
+                self.vpos(v[3]),
+            ],
             p,
         )
     }
@@ -501,8 +515,7 @@ mod tests {
                         "asymmetric adjacency"
                     );
                     // Shared face vertices must match.
-                    let mut face: Vec<usize> =
-                        FACES[i].iter().map(|&k| t.verts[k]).collect();
+                    let mut face: Vec<usize> = FACES[i].iter().map(|&k| t.verts[k]).collect();
                     face.sort_unstable();
                     let mut other: Vec<usize> = dt.tet(nb).verts.to_vec();
                     other.sort_unstable();

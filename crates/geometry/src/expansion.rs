@@ -204,7 +204,9 @@ pub struct Expansion {
 impl Expansion {
     /// The exact zero.
     pub fn zero() -> Self {
-        Expansion { components: Vec::new() }
+        Expansion {
+            components: Vec::new(),
+        }
     }
 
     /// An expansion holding the single component `v`.
@@ -212,7 +214,9 @@ impl Expansion {
         if v == 0.0 {
             Self::zero()
         } else {
-            Expansion { components: vec![v] }
+            Expansion {
+                components: vec![v],
+            }
         }
     }
 
@@ -263,7 +267,9 @@ impl Expansion {
 
     /// Exact negation.
     pub fn neg(&self) -> Expansion {
-        Expansion { components: self.components.iter().map(|c| -c).collect() }
+        Expansion {
+            components: self.components.iter().map(|c| -c).collect(),
+        }
     }
 
     /// Exact product with a scalar.

@@ -148,7 +148,11 @@ pub fn orient3d(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> Orientation {
         let m1 = e(bdy).mul(&e(cdz)).sub(&e(bdz).mul(&e(cdy)));
         let m2 = e(bdz).mul(&e(cdx)).sub(&e(bdx).mul(&e(cdz)));
         let m3 = e(bdx).mul(&e(cdy)).sub(&e(bdy).mul(&e(cdx)));
-        let sign = e(adx).mul(&m1).add(&e(ady).mul(&m2)).add(&e(adz).mul(&m3)).sign();
+        let sign = e(adx)
+            .mul(&m1)
+            .add(&e(ady).mul(&m2))
+            .add(&e(adz).mul(&m3))
+            .sign();
         return Orientation::from_sign(sign);
     }
     stats::bump(&stats::FULL_EXACT);
@@ -226,9 +230,9 @@ pub fn insphere(a: Vec3, b: Vec3, c: Vec3, d: Vec3, e: Vec3) -> Orientation {
         stats::bump(&stats::FILTER);
         return Orientation::from_sign(if det > 0.0 { 1 } else { -1 });
     }
-    let diffs_exact = [a, b, c, d].iter().all(|p| {
-        diff_is_exact(p.x, e.x) && diff_is_exact(p.y, e.y) && diff_is_exact(p.z, e.z)
-    });
+    let diffs_exact = [a, b, c, d]
+        .iter()
+        .all(|p| diff_is_exact(p.x, e.x) && diff_is_exact(p.y, e.y) && diff_is_exact(p.z, e.z));
     if diffs_exact {
         stats::bump(&stats::EXACT_DIFF);
         return Orientation::from_sign(insphere_from_diffs(
@@ -267,9 +271,7 @@ fn insphere_from_diffs(ad: [f64; 3], bd: [f64; 3], cd: [f64; 3], dd: [f64; 3]) -
     let cda = cez.mul(&da).add(&dez.mul(&ac)).add(&aez.mul(&cd_));
     let dab = dez.mul(&ab).add(&aez.mul(&bd_)).add(&bez.mul(&da));
 
-    let lift = |x: &Expansion, y: &Expansion, z: &Expansion| {
-        x.mul(x).add(&y.mul(y)).add(&z.mul(z))
-    };
+    let lift = |x: &Expansion, y: &Expansion, z: &Expansion| x.mul(x).add(&y.mul(y)).add(&z.mul(z));
     let alift = lift(&aex, &aey, &aez);
     let blift = lift(&bex, &bey, &bez);
     let clift = lift(&cex, &cey, &cez);
@@ -311,9 +313,7 @@ fn insphere_exact_sign(a: Vec3, b: Vec3, c: Vec3, d: Vec3, e: Vec3) -> i32 {
     let cda = cez.mul(&da).add(&dez.mul(&ac)).add(&aez.mul(&cd));
     let dab = dez.mul(&ab).add(&aez.mul(&bd)).add(&bez.mul(&da));
 
-    let lift = |x: &Expansion, y: &Expansion, z: &Expansion| {
-        x.mul(x).add(&y.mul(y)).add(&z.mul(z))
-    };
+    let lift = |x: &Expansion, y: &Expansion, z: &Expansion| x.mul(x).add(&y.mul(y)).add(&z.mul(z));
     let alift = lift(&aex, &aey, &aez);
     let blift = lift(&bex, &bey, &bez);
     let clift = lift(&cex, &cey, &cez);
@@ -351,9 +351,21 @@ pub fn circumsphere(a: Vec3, b: Vec3, c: Vec3, d: Vec3) -> Option<(Vec3, f64)> {
 mod tests {
     use super::*;
 
-    const A: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
-    const B: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
-    const C: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    const A: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    const B: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    const C: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
 
     #[test]
     fn orient3d_basic() {

@@ -5,8 +5,7 @@ use pmg_geometry::{insphere, orient3d, Delaunay, Orientation, Vec3};
 use proptest::prelude::*;
 
 fn vec3_strategy() -> impl Strategy<Value = Vec3> {
-    (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0)
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn flip(o: Orientation) -> Orientation {
@@ -117,7 +116,6 @@ proptest! {
     }
 }
 
-
 #[test]
 fn adaptive_stage_resolves_grid_degeneracies_without_full_exact() {
     // Structured-grid coordinates have exactly representable differences,
@@ -137,7 +135,10 @@ fn adaptive_stage_resolves_grid_degeneracies_without_full_exact() {
     let (filter, exact_diff, full_exact) = pmg_geometry::predicates::stats::snapshot();
     assert!(filter > 0);
     assert!(exact_diff > 0, "grid ties must hit the exact-diff shortcut");
-    assert_eq!(full_exact, 0, "grid coordinates never need the full exact path");
+    assert_eq!(
+        full_exact, 0,
+        "grid coordinates never need the full exact path"
+    );
 }
 
 #[test]

@@ -84,11 +84,18 @@ pub fn boundary_facets(mesh: &Mesh) -> Vec<Facet> {
             let verts: Vec<u32> = faces[fi as usize].iter().map(|&l| ev[l]).collect();
             // Geometry from the corner ring (mid-edge nodes, if any, sit on
             // the ring edges).
-            let pts: Vec<Vec3> =
-                verts[..ring].iter().map(|&v| mesh.coords[v as usize]).collect();
+            let pts: Vec<Vec3> = verts[..ring]
+                .iter()
+                .map(|&v| mesh.coords[v as usize])
+                .collect();
             let an = Facet::area_normal(&pts);
             let normal = an.normalized().unwrap_or(Vec3::new(0.0, 0.0, 1.0));
-            out.push(Facet { verts, elem: e, material: mesh.materials[e as usize], normal });
+            out.push(Facet {
+                verts,
+                elem: e,
+                material: mesh.materials[e as usize],
+                normal,
+            });
         }
     }
     // Deterministic order regardless of hash iteration.
@@ -104,7 +111,11 @@ pub fn boundary_facets(mesh: &Mesh) -> Vec<Facet> {
 pub fn facet_adjacency(facets: &[Facet]) -> Graph {
     let mut edge_map: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
     for (fi, f) in facets.iter().enumerate() {
-        let n = if f.verts.len() == 8 { 4 } else { f.verts.len().min(4) };
+        let n = if f.verts.len() == 8 {
+            4
+        } else {
+            f.verts.len().min(4)
+        };
         for k in 0..n {
             let a = f.verts[k];
             let b = f.verts[(k + 1) % n];
@@ -170,12 +181,22 @@ mod tests {
     fn material_interface_facets() {
         // 2x1x1 block split into two materials: interface produces one
         // facet per side -> 10 exterior + 2 interface.
-        let m = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |c| if c.x < 1.0 { 0 } else { 1 });
+        let m = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |c| {
+            if c.x < 1.0 {
+                0
+            } else {
+                1
+            }
+        });
         let f = boundary_facets(&m);
         assert_eq!(f.len(), 12);
         let interface: Vec<_> = f
             .iter()
-            .filter(|f| f.verts.iter().all(|&v| (m.coords[v as usize].x - 1.0).abs() < 1e-12))
+            .filter(|f| {
+                f.verts
+                    .iter()
+                    .all(|&v| (m.coords[v as usize].x - 1.0).abs() < 1e-12)
+            })
             .collect();
         assert_eq!(interface.len(), 2);
         assert_ne!(interface[0].material, interface[1].material);

@@ -110,21 +110,49 @@ pub fn read_header(path: &Path) -> std::io::Result<FlatHeader> {
     }
     line.clear();
     r.read_line(&mut line)?;
-    let kind = kind_from_name(line.trim().strip_prefix("kind ").ok_or_else(|| bad("kind"))?)
-        .ok_or_else(|| bad("unknown element kind"))?;
+    let kind = kind_from_name(
+        line.trim()
+            .strip_prefix("kind ")
+            .ok_or_else(|| bad("kind"))?,
+    )
+    .ok_or_else(|| bad("unknown element kind"))?;
     line.clear();
     r.read_line(&mut line)?;
-    let rest = line.trim().strip_prefix("counts ").ok_or_else(|| bad("counts"))?;
+    let rest = line
+        .trim()
+        .strip_prefix("counts ")
+        .ok_or_else(|| bad("counts"))?;
     let mut it = rest.split_whitespace();
-    let num_vertices: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("nv"))?;
-    let num_elements: usize = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("ne"))?;
+    let num_vertices: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("nv"))?;
+    let num_elements: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("ne"))?;
     line.clear();
     r.read_line(&mut line)?;
-    let rest = line.trim().strip_prefix("offsets ").ok_or_else(|| bad("offsets"))?;
+    let rest = line
+        .trim()
+        .strip_prefix("offsets ")
+        .ok_or_else(|| bad("offsets"))?;
     let mut it = rest.split_whitespace();
-    let vertex_off: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("voff"))?;
-    let elem_off: u64 = it.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("eoff"))?;
-    Ok(FlatHeader { kind, num_vertices, num_elements, vertex_off, elem_off })
+    let vertex_off: u64 = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("voff"))?;
+    let elem_off: u64 = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("eoff"))?;
+    Ok(FlatHeader {
+        kind,
+        num_vertices,
+        num_elements,
+        vertex_off,
+        elem_off,
+    })
 }
 
 /// A rank's contiguous share of the file (block distribution, the form in
@@ -156,16 +184,27 @@ pub fn read_flat_slice(path: &Path, rank: usize, nranks: usize) -> std::io::Resu
     let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
 
     let (v_lo, v_hi) = block_range(header.num_vertices, rank, nranks);
-    f.seek(SeekFrom::Start(header.vertex_off + (VERTEX_RECORD * v_lo) as u64))?;
+    f.seek(SeekFrom::Start(
+        header.vertex_off + (VERTEX_RECORD * v_lo) as u64,
+    ))?;
     let mut buf = vec![0u8; VERTEX_RECORD * (v_hi - v_lo)];
     f.read_exact(&mut buf)?;
     let mut coords = Vec::with_capacity(v_hi - v_lo);
     for rec in buf.chunks(VERTEX_RECORD) {
         let s = std::str::from_utf8(rec).map_err(|_| bad("utf8"))?;
         let mut it = s.split_whitespace();
-        let x: f64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| bad("x"))?;
-        let y: f64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| bad("y"))?;
-        let z: f64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(|| bad("z"))?;
+        let x: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("x"))?;
+        let y: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("y"))?;
+        let z: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("z"))?;
         coords.push(Vec3::new(x, y, z));
     }
 
@@ -179,18 +218,38 @@ pub fn read_flat_slice(path: &Path, rank: usize, nranks: usize) -> std::io::Resu
     for rec in buf.chunks(erl) {
         let s = std::str::from_utf8(rec).map_err(|_| bad("utf8"))?;
         let mut it = s.split_whitespace();
-        materials.push(it.next().and_then(|t| t.parse().ok()).ok_or_else(|| bad("mat"))?);
+        materials.push(
+            it.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad("mat"))?,
+        );
         for _ in 0..header.kind.nodes() {
-            elem_verts.push(it.next().and_then(|t| t.parse().ok()).ok_or_else(|| bad("v"))?);
+            elem_verts.push(
+                it.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad("v"))?,
+            );
         }
     }
-    Ok(FlatSlice { header, vertex_start: v_lo, coords, elem_start: e_lo, elem_verts, materials })
+    Ok(FlatSlice {
+        header,
+        vertex_start: v_lo,
+        coords,
+        elem_start: e_lo,
+        elem_verts,
+        materials,
+    })
 }
 
 /// Read the whole mesh (assembles the slices of a 1-rank read).
 pub fn read_flat(path: &Path) -> std::io::Result<Mesh> {
     let s = read_flat_slice(path, 0, 1)?;
-    Ok(Mesh::new(s.coords, s.header.kind, s.elem_verts, s.materials))
+    Ok(Mesh::new(
+        s.coords,
+        s.header.kind,
+        s.elem_verts,
+        s.materials,
+    ))
 }
 
 #[cfg(test)]

@@ -63,7 +63,13 @@ pub fn block(nx: usize, ny: usize, nz: usize, dims: Vec3, material: impl Fn(Vec3
 /// `[0, dims.x] x [0, dims.y] x [0, dims.z]` (the paper's "higher order
 /// elements" future-work item). Nodes live on the half-index grid with at
 /// most one odd coordinate (corners: all even; mid-edge: one odd).
-pub fn block20(nx: usize, ny: usize, nz: usize, dims: Vec3, material: impl Fn(Vec3) -> u32) -> Mesh {
+pub fn block20(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    dims: Vec3,
+    material: impl Fn(Vec3) -> u32,
+) -> Mesh {
     assert!(nx >= 1 && ny >= 1 && nz >= 1);
     use std::collections::HashMap;
     let mut ids: HashMap<(usize, usize, usize), u32> = HashMap::new();
@@ -247,7 +253,12 @@ pub fn hex8_to_hex20(mesh: &Mesh) -> Mesh {
             elem_verts.push(id);
         }
     }
-    Mesh::new(coords, ElementKind::Hex20, elem_verts, mesh.materials.clone())
+    Mesh::new(
+        coords,
+        ElementKind::Hex20,
+        elem_verts,
+        mesh.materials.clone(),
+    )
 }
 
 #[cfg(test)]
@@ -265,7 +276,13 @@ mod tests {
 
     #[test]
     fn block_material_split() {
-        let m = block(4, 1, 1, Vec3::new(4.0, 1.0, 1.0), |c| if c.x < 2.0 { 0 } else { 7 });
+        let m = block(4, 1, 1, Vec3::new(4.0, 1.0, 1.0), |c| {
+            if c.x < 2.0 {
+                0
+            } else {
+                7
+            }
+        });
         assert_eq!(m.materials, vec![0, 0, 7, 7]);
     }
 
@@ -350,8 +367,7 @@ mod tests {
         // The single interior vertex of a 3^3-element cube touches 8
         // elements and is adjacent to the other 26 vertices of its 3x3x3
         // neighborhood.
-        let center = m
-            .vertices_where(|p| (p - Vec3::splat(1.0 / 3.0)).norm() < 1e-9)[0] as usize;
+        let center = m.vertices_where(|p| (p - Vec3::splat(1.0 / 3.0)).norm() < 1e-9)[0] as usize;
         // center is at grid point (1,1,1) of a 4x4x4 grid: interior.
         assert_eq!(g.degree(center), 26);
     }

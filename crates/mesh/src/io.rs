@@ -7,9 +7,9 @@ use std::fmt::Write as _;
 /// VTK cell type ids.
 fn vtk_cell_type(kind: ElementKind) -> u8 {
     match kind {
-        ElementKind::Hex8 => 12,           // VTK_HEXAHEDRON
-        ElementKind::Tet4 => 10,           // VTK_TETRA
-        ElementKind::Hex20 => 25,          // VTK_QUADRATIC_HEXAHEDRON
+        ElementKind::Hex8 => 12,  // VTK_HEXAHEDRON
+        ElementKind::Tet4 => 10,  // VTK_TETRA
+        ElementKind::Hex20 => 25, // VTK_QUADRATIC_HEXAHEDRON
     }
 }
 
@@ -21,7 +21,9 @@ pub fn to_vtk(mesh: &Mesh, point_data: Option<(&str, &[f64])>) -> String {
     let ne = mesh.num_elements();
     let npe = mesh.kind.nodes();
     let mut s = String::new();
-    s.push_str("# vtk DataFile Version 3.0\nprometheus-rs mesh\nASCII\nDATASET UNSTRUCTURED_GRID\n");
+    s.push_str(
+        "# vtk DataFile Version 3.0\nprometheus-rs mesh\nASCII\nDATASET UNSTRUCTURED_GRID\n",
+    );
     let _ = writeln!(s, "POINTS {nv} double");
     for p in &mesh.coords {
         let _ = writeln!(s, "{} {} {}", p.x, p.y, p.z);
@@ -63,7 +65,13 @@ mod tests {
 
     #[test]
     fn vtk_structure() {
-        let m = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |c| if c.x < 1.0 { 0 } else { 1 });
+        let m = block(2, 1, 1, Vec3::new(2.0, 1.0, 1.0), |c| {
+            if c.x < 1.0 {
+                0
+            } else {
+                1
+            }
+        });
         let u = vec![0.5; 3 * m.num_vertices()];
         let vtk = to_vtk(&m, Some(("displacement", &u)));
         assert!(vtk.starts_with("# vtk DataFile"));

@@ -85,11 +85,21 @@ pub struct Mesh {
 }
 
 impl Mesh {
-    pub fn new(coords: Vec<Vec3>, kind: ElementKind, elem_verts: Vec<u32>, materials: Vec<u32>) -> Mesh {
+    pub fn new(
+        coords: Vec<Vec3>,
+        kind: ElementKind,
+        elem_verts: Vec<u32>,
+        materials: Vec<u32>,
+    ) -> Mesh {
         assert_eq!(elem_verts.len() % kind.nodes(), 0);
         assert_eq!(materials.len(), elem_verts.len() / kind.nodes());
         debug_assert!(elem_verts.iter().all(|&v| (v as usize) < coords.len()));
-        Mesh { coords, kind, elem_verts, materials }
+        Mesh {
+            coords,
+            kind,
+            elem_verts,
+            materials,
+        }
     }
 
     pub fn num_vertices(&self) -> usize {
@@ -114,7 +124,10 @@ impl Mesh {
 
     /// Corner coordinates of element `e`.
     pub fn elem_coords(&self, e: usize) -> Vec<Vec3> {
-        self.elem(e).iter().map(|&v| self.coords[v as usize]).collect()
+        self.elem(e)
+            .iter()
+            .map(|&v| self.coords[v as usize])
+            .collect()
     }
 
     pub fn elem_centroid(&self, e: usize) -> Vec3 {
@@ -134,8 +147,10 @@ impl Mesh {
         let ring = self.kind.face_ring();
         let mut vol = 0.0;
         for face in self.kind.faces() {
-            let pts: Vec<Vec3> =
-                face[..ring].iter().map(|&l| self.coords[verts[l] as usize]).collect();
+            let pts: Vec<Vec3> = face[..ring]
+                .iter()
+                .map(|&l| self.coords[verts[l] as usize])
+                .collect();
             let centroid = pts.iter().fold(Vec3::ZERO, |a, &p| a + p) / pts.len() as f64;
             for k in 0..pts.len() {
                 let a = pts[k];
@@ -192,7 +207,11 @@ impl Mesh {
             }
             scratch.sort_unstable();
             scratch.dedup();
-            lists[v] = scratch.iter().copied().filter(|&w| w as usize != v).collect();
+            lists[v] = scratch
+                .iter()
+                .copied()
+                .filter(|&w| w as usize != v)
+                .collect();
         }
         Graph::from_adjacency(&lists)
     }
@@ -311,8 +330,7 @@ mod tests {
             let verts = m.elem(0);
             let mut sum = Vec3::ZERO;
             for face in m.kind.faces() {
-                let pts: Vec<Vec3> =
-                    face.iter().map(|&l| m.coords[verts[l] as usize]).collect();
+                let pts: Vec<Vec3> = face.iter().map(|&l| m.coords[verts[l] as usize]).collect();
                 let c = pts.iter().fold(Vec3::ZERO, |a, &p| a + p) / pts.len() as f64;
                 for k in 0..pts.len() {
                     let a = pts[k] - c;

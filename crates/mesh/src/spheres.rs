@@ -95,7 +95,11 @@ struct SurfaceGrid {
 
 impl SurfaceGrid {
     fn new(n: usize) -> SurfaceGrid {
-        let mut g = SurfaceGrid { n, ids: HashMap::new(), points: Vec::new() };
+        let mut g = SurfaceGrid {
+            n,
+            ids: HashMap::new(),
+            points: Vec::new(),
+        };
         for i in 0..=n as u16 {
             for j in 0..=n as u16 {
                 g.intern((n as u16, i, j));
@@ -193,8 +197,8 @@ pub fn sphere_in_cube(p: &SpheresParams) -> Mesh {
             let f = t as f64 / ncz as f64;
             (1.0 - f) * (s * c) + f * (d * p.core_radius)
         } else if t <= ncz + nsh {
-            let rho = p.core_radius
-                + (t - ncz) as f64 / nsh as f64 * (p.sphere_radius - p.core_radius);
+            let rho =
+                p.core_radius + (t - ncz) as f64 / nsh as f64 * (p.sphere_radius - p.core_radius);
             d * rho
         } else {
             let f = (t - ncz - nsh) as f64 / p.n_outer_zone as f64;
@@ -361,7 +365,11 @@ mod tests {
     #[test]
     fn ladder_scales() {
         let m1 = sphere_in_cube(&SpheresParams::ladder(1));
-        assert!(m1.num_dof() > 10_000 && m1.num_dof() < 25_000, "{}", m1.num_dof());
+        assert!(
+            m1.num_dof() > 10_000 && m1.num_dof() < 25_000,
+            "{}",
+            m1.num_dof()
+        );
         assert_eq!(m1.validate_volumes(), Ok(()));
         // Ladder refinement multiplies dof by roughly 8.
         let p2 = SpheresParams::ladder(2);

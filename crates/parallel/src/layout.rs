@@ -28,7 +28,12 @@ impl Layout {
                 global_to_local[g as usize] = l as u32;
             }
         }
-        Arc::new(Layout { nranks, owner, locals, global_to_local })
+        Arc::new(Layout {
+            nranks,
+            owner,
+            locals,
+            global_to_local,
+        })
     }
 
     /// Contiguous block distribution of `n` indices.

@@ -42,7 +42,11 @@ pub struct DistMatrix {
 
 impl DistMatrix {
     /// Distribute a global CSR matrix.
-    pub fn from_global(a: &CsrMatrix, row_layout: Arc<Layout>, col_layout: Arc<Layout>) -> DistMatrix {
+    pub fn from_global(
+        a: &CsrMatrix,
+        row_layout: Arc<Layout>,
+        col_layout: Arc<Layout>,
+    ) -> DistMatrix {
         assert_eq!(a.nrows(), row_layout.num_global());
         assert_eq!(a.ncols(), col_layout.num_global());
         let nranks = row_layout.num_ranks();
@@ -80,8 +84,10 @@ impl DistMatrix {
                         }
                     }
                 }
-                let mut owners: Vec<u32> =
-                    ghosts.iter().map(|&g| col_layout.owner(g as usize)).collect();
+                let mut owners: Vec<u32> = ghosts
+                    .iter()
+                    .map(|&g| col_layout.owner(g as usize))
+                    .collect();
                 owners.sort_unstable();
                 owners.dedup();
                 RankMat {
@@ -101,7 +107,13 @@ impl DistMatrix {
             .iter()
             .map(|m| (m.neighbors, 8 * m.ghosts.len() as u64))
             .collect();
-        DistMatrix { row_layout, col_layout, ranks, spmv_flops, spmv_traffic }
+        DistMatrix {
+            row_layout,
+            col_layout,
+            ranks,
+            spmv_flops,
+            spmv_traffic,
+        }
     }
 
     pub fn row_layout(&self) -> &Arc<Layout> {
@@ -133,8 +145,14 @@ impl DistMatrix {
 
     /// `y = A x`, charging one ghost exchange plus one compute superstep.
     pub fn spmv(&self, sim: &mut Sim, x: &DistVec, y: &mut DistVec) {
-        assert!(Arc::ptr_eq(x.layout(), &self.col_layout), "x layout mismatch");
-        assert!(Arc::ptr_eq(y.layout(), &self.row_layout), "y layout mismatch");
+        assert!(
+            Arc::ptr_eq(x.layout(), &self.col_layout),
+            "x layout mismatch"
+        );
+        assert!(
+            Arc::ptr_eq(y.layout(), &self.row_layout),
+            "y layout mismatch"
+        );
         sim.exchange(&self.spmv_traffic);
 
         // Gather all ghost values (reads other ranks' parts — the simulated
@@ -266,7 +284,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mut b = CooBuilder::new(12, 12);
         for _ in 0..40 {
-            b.push(rng.gen_range(0..12), rng.gen_range(0..12), rng.gen_range(-5.0..5.0));
+            b.push(
+                rng.gen_range(0..12),
+                rng.gen_range(0..12),
+                rng.gen_range(-5.0..5.0),
+            );
         }
         let a = b.build();
         let l = Layout::block(12, 3);

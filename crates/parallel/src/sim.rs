@@ -20,9 +20,9 @@ pub struct MachineModel {
 impl Default for MachineModel {
     fn default() -> Self {
         MachineModel {
-            latency: 30e-6,            // 30 µs MPI latency
+            latency: 30e-6,             // 30 µs MPI latency
             inv_bandwidth: 1.0 / 100e6, // 100 MB/s per link
-            flop_rate: 36e6,           // paper: 36 Mflop/s SpMV per CPU
+            flop_rate: 36e6,            // paper: 36 Mflop/s SpMV per CPU
         }
     }
 }
@@ -60,7 +60,10 @@ pub struct PhaseStats {
 
 impl PhaseStats {
     fn new(nranks: usize) -> Self {
-        PhaseStats { ranks: vec![RankCounters::default(); nranks], ..Default::default() }
+        PhaseStats {
+            ranks: vec![RankCounters::default(); nranks],
+            ..Default::default()
+        }
     }
 
     pub fn total_flops(&self) -> u64 {
@@ -148,7 +151,9 @@ impl Sim {
     }
 
     fn cur(&mut self) -> &mut PhaseStats {
-        self.phases.get_mut(&self.current).expect("current phase exists")
+        self.phases
+            .get_mut(&self.current)
+            .expect("current phase exists")
     }
 
     /// Charge a compute superstep: `flops[r]` per rank, modeled time is the
@@ -171,8 +176,7 @@ impl Sim {
         assert_eq!(traffic.len(), self.nranks);
         let max_msgs = traffic.iter().map(|t| t.0).max().unwrap_or(0);
         let max_bytes = traffic.iter().map(|t| t.1).max().unwrap_or(0);
-        let dt = self.model.latency * max_msgs as f64
-            + self.model.inv_bandwidth * max_bytes as f64;
+        let dt = self.model.latency * max_msgs as f64 + self.model.inv_bandwidth * max_bytes as f64;
         let p = self.cur();
         for (c, &(m, b)) in p.ranks.iter_mut().zip(traffic) {
             c.msgs += m;
@@ -190,8 +194,7 @@ impl Sim {
             return;
         }
         let rounds = (self.nranks as f64).log2().ceil();
-        let dt = rounds
-            * (self.model.latency + self.model.inv_bandwidth * (8 * words) as f64);
+        let dt = rounds * (self.model.latency + self.model.inv_bandwidth * (8 * words) as f64);
         let p = self.cur();
         for c in p.ranks.iter_mut() {
             c.msgs += rounds as u64;
@@ -217,7 +220,11 @@ mod tests {
     use super::*;
 
     fn model() -> MachineModel {
-        MachineModel { latency: 1e-3, inv_bandwidth: 1e-6, flop_rate: 1e6 }
+        MachineModel {
+            latency: 1e-3,
+            inv_bandwidth: 1e-6,
+            flop_rate: 1e6,
+        }
     }
 
     #[test]

@@ -24,7 +24,13 @@ impl DistVec {
     pub fn from_global(layout: Arc<Layout>, global: &[f64]) -> DistVec {
         assert_eq!(global.len(), layout.num_global());
         let parts = (0..layout.num_ranks())
-            .map(|r| layout.owned(r).iter().map(|&g| global[g as usize]).collect())
+            .map(|r| {
+                layout
+                    .owned(r)
+                    .iter()
+                    .map(|&g| global[g as usize])
+                    .collect()
+            })
             .collect();
         DistVec { layout, parts }
     }
@@ -64,7 +70,10 @@ impl DistVec {
     }
 
     fn local_flops(&self, per_entry: u64) -> Vec<u64> {
-        self.parts.iter().map(|p| per_entry * p.len() as u64).collect()
+        self.parts
+            .iter()
+            .map(|p| per_entry * p.len() as u64)
+            .collect()
     }
 
     /// `self += alpha * x` (embarrassingly parallel).

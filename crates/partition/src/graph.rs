@@ -15,7 +15,10 @@ impl Graph {
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Graph {
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         for (a, b) in edges {
-            assert!((a as usize) < n && (b as usize) < n, "edge endpoint out of range");
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge endpoint out of range"
+            );
             if a != b {
                 pairs.push((a, b));
                 pairs.push((b, a));
@@ -75,7 +78,11 @@ impl Graph {
     pub fn is_symmetric(&self) -> bool {
         for v in 0..self.num_vertices() {
             for &w in self.neighbors(v) {
-                if self.neighbors(w as usize).binary_search(&(v as u32)).is_err() {
+                if self
+                    .neighbors(w as usize)
+                    .binary_search(&(v as u32))
+                    .is_err()
+                {
                     return false;
                 }
             }

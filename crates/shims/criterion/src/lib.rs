@@ -1,0 +1,220 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this local package
+//! provides the API subset our benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, `black_box`, `criterion_group!`,
+//! `criterion_main!`). Instead of criterion's statistical machinery it
+//! runs a short warmup, then times batches until ~`measurement_time`
+//! elapses and reports the mean, min, and max per-iteration wall time —
+//! enough for the regression comparisons recorded in EXPERIMENTS.md.
+//!
+//! `CRITERION_SAMPLE_MS` overrides the per-benchmark measurement budget
+//! (milliseconds, default 300).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim treats every variant the
+/// same (one setup per timed iteration, setup excluded from the timing).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+fn measurement_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Time `f` repeatedly until the measurement budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup, and fail fast on panics
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() >= self.budget || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`] with a per-iteration setup excluded from the
+    /// measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(f(setup())); // warmup
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(f(input));
+            self.samples.push(t0.elapsed());
+            if started.elapsed() >= self.budget || self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().unwrap();
+        let max = *self.samples.iter().max().unwrap();
+        println!(
+            "{name:<40} mean {:>12}   min {:>12}   max {:>12}   ({} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+            self.samples.len()
+        );
+    }
+}
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(measurement_budget());
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("# group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            group: name.to_string(),
+        }
+    }
+}
+
+/// Named group of benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by wall-clock
+    /// budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(measurement_budget());
+        f(&mut b);
+        b.report(&format!("{}/{}", self.group, name));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `criterion_group!(name, target, ...)` — simple form only.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            n
+        });
+        assert!(!b.samples.is_empty());
+        assert!(n as usize > b.samples.len()); // warmup ran too
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(2) * 2));
+    }
+}

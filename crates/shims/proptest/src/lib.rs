@@ -1,0 +1,368 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this local package
+//! implements the subset of proptest the workspace's property tests use:
+//!
+//! - [`Strategy`] with an associated `Value`, implemented for numeric
+//!   ranges and tuples, plus [`Strategy::prop_map`];
+//! - [`collection::vec`] with a fixed or ranged length;
+//! - the [`proptest!`] macro generating a `#[test]` that samples each
+//!   strategy `PROPTEST_CASES` times (default 64) from a per-test
+//!   deterministic seed;
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Unlike real proptest there is no shrinking and no regression-file
+//! persistence: a failing case panics with the case number and seed so it
+//! can be replayed by fixing `PROPTEST_CASES`/`PROPTEST_SEED`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Outcome of one sampled test case (used by the generated runner).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the case, it does not count as a pass
+    /// or a failure.
+    Reject,
+    /// `prop_assert!`-style failure with a rendered message.
+    Fail(String),
+}
+
+/// Deterministic per-test random source.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed from the test name (stable across runs) xor an optional
+    /// `PROPTEST_SEED` environment override.
+    pub fn deterministic(test_name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = s.parse::<u64>() {
+                h ^= v;
+            }
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    pub fn gen_f64(&mut self, r: Range<f64>) -> f64 {
+        self.0.gen_range(r)
+    }
+
+    pub fn gen_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    pub fn gen_usize(&mut self, r: Range<usize>) -> usize {
+        self.0.gen_range(r)
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A value generator. `sample` draws one value; there is no shrinking.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map the generated value through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_f64(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.gen_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A: 0);
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let r = &self.size.0;
+            let len = if r.end - r.start <= 1 {
+                r.start
+            } else {
+                rng.gen_usize(r.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use super::TestRng;
+}
+
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{Just, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Generate `#[test]` functions that sample each argument strategy per
+/// case. Matches the `proptest! { #[test] fn name(arg in strategy, ...) {
+/// body } }` form (multiple functions per invocation allowed).
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                let mut rejected = 0usize;
+                for case in 0..cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject) => rejected += 1,
+                        Err($crate::TestCaseError::Fail(msg)) => panic!(
+                            "proptest {} failed at case {case}/{cases}: {msg}",
+                            stringify!($name)
+                        ),
+                    }
+                }
+                assert!(
+                    cases == 0 || rejected < cases,
+                    "every case rejected by prop_assume! in {}",
+                    stringify!($name)
+                );
+            }
+        )+
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}: {} ({}:{})",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: silently skip the case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges_sample_in_bounds");
+        let s = 3usize..17;
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+        let f = -2.5f64..2.5;
+        for _ in 0..200 {
+            let v = f.sample(&mut rng);
+            assert!((-2.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = crate::TestRng::deterministic("vec_strategy_sizes");
+        let fixed = collection::vec(0u32..5, 7);
+        assert_eq!(fixed.sample(&mut rng).len(), 7);
+        let ranged = collection::vec(0u32..5, 2..6);
+        for _ in 0..100 {
+            let v = ranged.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_runner(
+            xs in collection::vec((0u32..10, -1.0f64..1.0), 0..20),
+            k in 1usize..5,
+        ) {
+            prop_assume!(k != 4);
+            prop_assert!(xs.len() < 20);
+            for (a, b) in xs {
+                prop_assert!(a < 10);
+                prop_assert!((-1.0..1.0).contains(&b), "b = {b}");
+            }
+            prop_assert_eq!(k.min(3) <= 3, true);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_map_composes(v in (0u8..4, 0u8..4).prop_map(|(a, b)| a as u16 + b as u16)) {
+            prop_assert!(v <= 6);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this local package
+//! stands in for rayon. The "parallel" iterators delegate to the standard
+//! sequential iterators: `par_iter()` is `iter()`, `into_par_iter()` is
+//! `into_iter()`, and so on. All adapters (`map`, `enumerate`, `for_each`,
+//! `collect`, ...) then come for free from `std::iter::Iterator`, so call
+//! sites compile unchanged.
+//!
+//! Sequential execution is semantically identical for the data-parallel
+//! patterns used here (independent per-item work followed by a collect);
+//! the host this runs on is single-core anyway, and the repo's scalability
+//! claims rest on the BSP machine model in `pmg-parallel`, not on host
+//! threads. If real threading becomes worthwhile, this shim is the seam to
+//! swap the actual rayon back in.
+
+pub mod prelude {
+    /// `into_par_iter()` for owned collections and ranges — sequential.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` / `par_chunks()` on slices — sequential.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut()` / `par_chunks_mut()` on slices — sequential.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// `rayon::join` — sequential: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The shim "thread pool" has exactly one thread.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_adapters_match_sequential() {
+        let v = vec![1, 2, 3, 4, 5];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+
+        let mut w = vec![0; 6];
+        w.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert_eq!(w, vec![0, 1, 2, 3, 4, 5]);
+
+        let mut chunks = vec![0u8; 6];
+        chunks.par_chunks_mut(3).enumerate().for_each(|(c, ch)| {
+            for x in ch {
+                *x = c as u8;
+            }
+        });
+        assert_eq!(chunks, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+        let total: usize = (1..=100usize).into_par_iter().sum();
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

@@ -15,7 +15,10 @@ pub struct BiCgStabOptions {
 
 impl Default for BiCgStabOptions {
     fn default() -> Self {
-        BiCgStabOptions { rtol: 1e-8, max_iters: 500 }
+        BiCgStabOptions {
+            rtol: 1e-8,
+            max_iters: 500,
+        }
     }
 }
 
@@ -37,6 +40,7 @@ pub fn bicgstab(
     x: &mut DistVec,
     opts: BiCgStabOptions,
 ) -> BiCgStabResult {
+    let _t = pmg_telemetry::scope("bicgstab");
     let layout = b.layout().clone();
     let bnorm = b.clone().norm2(sim).max(1e-300);
 
@@ -46,7 +50,11 @@ pub fn bicgstab(
     let rhat = r.clone();
     let mut rnorm = r.norm2(sim);
     if rnorm <= opts.rtol * bnorm {
-        return BiCgStabResult { iterations: 0, converged: true, rel_residual: rnorm / bnorm };
+        return BiCgStabResult {
+            iterations: 0,
+            converged: true,
+            rel_residual: rnorm / bnorm,
+        };
     }
 
     let mut rho = 1.0f64;
@@ -59,9 +67,15 @@ pub fn bicgstab(
     let mut t = DistVec::zeros(layout.clone());
 
     for it in 1..=opts.max_iters {
+        pmg_telemetry::counter_add("bicgstab/iterations", 1);
+        pmg_telemetry::series_push("bicgstab/residuals", rnorm);
         let rho_new = rhat.dot(sim, &r);
         if rho_new.abs() < 1e-300 {
-            return BiCgStabResult { iterations: it, converged: false, rel_residual: rnorm / bnorm };
+            return BiCgStabResult {
+                iterations: it,
+                converged: false,
+                rel_residual: rnorm / bnorm,
+            };
         }
         let beta = (rho_new / rho) * (alpha / omega);
         // p = r + beta (p - omega v).
@@ -71,7 +85,11 @@ pub fn bicgstab(
         a.spmv(sim, &phat, &mut v);
         let rhat_v = rhat.dot(sim, &v);
         if rhat_v.abs() < 1e-300 {
-            return BiCgStabResult { iterations: it, converged: false, rel_residual: rnorm / bnorm };
+            return BiCgStabResult {
+                iterations: it,
+                converged: false,
+                rel_residual: rnorm / bnorm,
+            };
         }
         alpha = rho_new / rhat_v;
         // s = r - alpha v (reuse r as s).
@@ -79,13 +97,21 @@ pub fn bicgstab(
         let snorm = r.norm2(sim);
         if snorm <= opts.rtol * bnorm {
             x.axpy(sim, alpha, &phat);
-            return BiCgStabResult { iterations: it, converged: true, rel_residual: snorm / bnorm };
+            return BiCgStabResult {
+                iterations: it,
+                converged: true,
+                rel_residual: snorm / bnorm,
+            };
         }
         m.apply(sim, &r, &mut shat);
         a.spmv(sim, &shat, &mut t);
         let tt = t.dot(sim, &t.clone());
         if tt <= 0.0 {
-            return BiCgStabResult { iterations: it, converged: false, rel_residual: snorm / bnorm };
+            return BiCgStabResult {
+                iterations: it,
+                converged: false,
+                rel_residual: snorm / bnorm,
+            };
         }
         omega = t.dot(sim, &r) / tt;
         x.axpy(sim, alpha, &phat);
@@ -94,14 +120,26 @@ pub fn bicgstab(
         r.axpy(sim, -omega, &t);
         rnorm = r.norm2(sim);
         if rnorm <= opts.rtol * bnorm {
-            return BiCgStabResult { iterations: it, converged: true, rel_residual: rnorm / bnorm };
+            return BiCgStabResult {
+                iterations: it,
+                converged: true,
+                rel_residual: rnorm / bnorm,
+            };
         }
         rho = rho_new;
         if omega.abs() < 1e-300 {
-            return BiCgStabResult { iterations: it, converged: false, rel_residual: rnorm / bnorm };
+            return BiCgStabResult {
+                iterations: it,
+                converged: false,
+                rel_residual: rnorm / bnorm,
+            };
         }
     }
-    BiCgStabResult { iterations: opts.max_iters, converged: false, rel_residual: rnorm / bnorm }
+    BiCgStabResult {
+        iterations: opts.max_iters,
+        converged: false,
+        rel_residual: rnorm / bnorm,
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +166,12 @@ mod tests {
     fn check(a: &CsrMatrix, x: &[f64], b: &[f64], tol: f64) {
         let mut ax = vec![0.0; b.len()];
         a.spmv(x, &mut ax);
-        let err: f64 = ax.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let err: f64 = ax
+            .iter()
+            .zip(b)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err <= tol * bn, "residual {err:.2e}");
     }
@@ -150,7 +193,10 @@ mod tests {
                 &IdentityPrecond,
                 &db,
                 &mut x,
-                BiCgStabOptions { rtol: 1e-10, max_iters: 500 },
+                BiCgStabOptions {
+                    rtol: 1e-10,
+                    max_iters: 500,
+                },
             );
             assert!(res.converged, "p={p}: {res:?}");
             check(&a, &x.to_global(), &b, 1e-8);
@@ -176,7 +222,10 @@ mod tests {
         let b = vec![1.0; n];
         let l = Layout::block(n, 2);
         let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
-        let opts = BiCgStabOptions { rtol: 1e-9, max_iters: 1000 };
+        let opts = BiCgStabOptions {
+            rtol: 1e-9,
+            max_iters: 1000,
+        };
 
         let mut sim1 = Sim::new(2, MachineModel::default());
         let db = DistVec::from_global(l.clone(), &b);
@@ -206,7 +255,14 @@ mod tests {
         let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
         let db = DistVec::zeros(l.clone());
         let mut x = DistVec::zeros(l);
-        let res = bicgstab(&mut sim, &da, &IdentityPrecond, &db, &mut x, Default::default());
+        let res = bicgstab(
+            &mut sim,
+            &da,
+            &IdentityPrecond,
+            &db,
+            &mut x,
+            Default::default(),
+        );
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
     }

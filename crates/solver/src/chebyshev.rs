@@ -35,7 +35,13 @@ impl Chebyshev {
             inv_diag.push(d);
         }
         let flops_per_scale = inv_diag.iter().map(|d| d.len() as u64).collect();
-        let mut cheb = Chebyshev { inv_diag, flops_per_scale, lambda_max: 1.0, ratio, degree };
+        let mut cheb = Chebyshev {
+            inv_diag,
+            flops_per_scale,
+            lambda_max: 1.0,
+            ratio,
+            degree,
+        };
         cheb.lambda_max = cheb.estimate_lambda_max(sim, a) * 1.05; // safety margin
         cheb
     }
@@ -77,7 +83,14 @@ impl Chebyshev {
 
     /// One Chebyshev smoothing step: `x ← x + p(D⁻¹A) D⁻¹ (b − A x)` with
     /// the classical three-term recurrence.
-    pub fn smooth(&self, sim: &mut Sim, a: &DistMatrix, b: &DistVec, x: &mut DistVec, steps: usize) {
+    pub fn smooth(
+        &self,
+        sim: &mut Sim,
+        a: &DistMatrix,
+        b: &DistVec,
+        x: &mut DistVec,
+        steps: usize,
+    ) {
         let layout = b.layout().clone();
         let lmax = self.lambda_max;
         let lmin = lmax / self.ratio;
@@ -154,7 +167,11 @@ mod tests {
         let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l);
         let cheb = Chebyshev::new(&mut sim, &da, 3, 30.0);
         // λ_max of D⁻¹A for the 1D Laplacian approaches 2.
-        assert!(cheb.lambda_max() > 1.5 && cheb.lambda_max() < 2.3, "{}", cheb.lambda_max());
+        assert!(
+            cheb.lambda_max() > 1.5 && cheb.lambda_max() < 2.3,
+            "{}",
+            cheb.lambda_max()
+        );
     }
 
     #[test]
@@ -166,13 +183,18 @@ mod tests {
         let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
         let cheb = Chebyshev::new(&mut sim, &da, 3, 30.0);
         // Error = highest-frequency mode; one step must crush it.
-        let err0: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let err0: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let b = DistVec::zeros(l.clone());
         let mut x = DistVec::from_global(l.clone(), &err0);
         cheb.smooth(&mut sim, &da, &b, &mut x, 1);
         let before = (n as f64).sqrt();
         let after: f64 = x.to_global().iter().map(|v| v * v).sum::<f64>().sqrt();
-        assert!(after < 0.3 * before, "high frequency not damped: {after} vs {before}");
+        assert!(
+            after < 0.3 * before,
+            "high frequency not damped: {after} vs {before}"
+        );
         // Two more steps grind the oscillatory content to near nothing.
         cheb.smooth(&mut sim, &da, &b, &mut x, 2);
         let later: f64 = x.to_global().iter().map(|v| v * v).sum::<f64>().sqrt();
@@ -195,7 +217,12 @@ mod tests {
         cheb.smooth(&mut sim, &da, &b, &mut x, 60);
         let mut ax = vec![0.0; n];
         a.spmv(&x.to_global(), &mut ax);
-        let err: f64 = ax.iter().zip(&bg).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let err: f64 = ax
+            .iter()
+            .zip(&bg)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
         assert!(err < 0.2 * (n as f64).sqrt(), "residual {err}");
     }
 }

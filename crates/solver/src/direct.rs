@@ -33,11 +33,12 @@ impl CoarseDirect {
         let n = global.nrows();
         // Cholesky only reads the lower triangle, so guard it behind a
         // symmetry check; fall back to pivoted LU otherwise.
-        let factor = match Some(()).filter(|_| symmetric).and_then(|_| Cholesky::factor(&global)) {
+        let factor = match Some(())
+            .filter(|_| symmetric)
+            .and_then(|_| Cholesky::factor(&global))
+        {
             Some(c) => Factor::Chol(c),
-            None => Factor::Lu(
-                Lu::factor(&global).expect("coarse operator is singular"),
-            ),
+            None => Factor::Lu(Lu::factor(&global).expect("coarse operator is singular")),
         };
         let layout = a.row_layout();
         let nranks = layout.num_ranks();
@@ -51,7 +52,12 @@ impl CoarseDirect {
                 }
             })
             .collect();
-        CoarseDirect { factor, n, nranks, gather_traffic }
+        CoarseDirect {
+            factor,
+            n,
+            nranks,
+            gather_traffic,
+        }
     }
 
     pub fn dim(&self) -> usize {

@@ -20,7 +20,11 @@ pub struct GmresOptions {
 
 impl Default for GmresOptions {
     fn default() -> Self {
-        GmresOptions { rtol: 1e-8, max_iters: 500, restart: 30 }
+        GmresOptions {
+            rtol: 1e-8,
+            max_iters: 500,
+            restart: 30,
+        }
     }
 }
 
@@ -42,6 +46,7 @@ pub fn gmres(
     x: &mut DistVec,
     opts: GmresOptions,
 ) -> GmresResult {
+    let _t = pmg_telemetry::scope("gmres");
     let layout = b.layout().clone();
     let bnorm = b.clone().norm2(sim).max(1e-300);
     let mut total_iters = 0usize;
@@ -107,7 +112,11 @@ pub fn gmres(
             }
             // New rotation to zero hj[j+1].
             let denom = (hj[j] * hj[j] + hj[j + 1] * hj[j + 1]).sqrt();
-            let (c, s) = if denom > 0.0 { (hj[j] / denom, hj[j + 1] / denom) } else { (1.0, 0.0) };
+            let (c, s) = if denom > 0.0 {
+                (hj[j] / denom, hj[j + 1] / denom)
+            } else {
+                (1.0, 0.0)
+            };
             cs.push(c);
             sn.push(s);
             hj[j] = c * hj[j] + s * hj[j + 1];
@@ -116,6 +125,8 @@ pub fn gmres(
             g[j] *= c;
             h.push(hj);
             total_iters += 1;
+            pmg_telemetry::counter_add("gmres/iterations", 1);
+            pmg_telemetry::series_push("gmres/residuals", g[j + 1].abs());
             k_used = j + 1;
 
             let rel = g[j + 1].abs() / bnorm;
@@ -173,7 +184,12 @@ mod tests {
     fn check(a: &CsrMatrix, x: &[f64], b: &[f64], tol: f64) {
         let mut ax = vec![0.0; b.len()];
         a.spmv(x, &mut ax);
-        let err: f64 = ax.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let err: f64 = ax
+            .iter()
+            .zip(b)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err <= tol * bn, "residual {err:.2e}");
     }
@@ -195,7 +211,10 @@ mod tests {
                 &IdentityPrecond,
                 &db,
                 &mut x,
-                GmresOptions { rtol: 1e-10, ..Default::default() },
+                GmresOptions {
+                    rtol: 1e-10,
+                    ..Default::default()
+                },
             );
             assert!(res.converged, "p={p}: {res:?}");
             check(&a, &x.to_global(), &b, 1e-8);
@@ -218,7 +237,11 @@ mod tests {
             &IdentityPrecond,
             &db,
             &mut x,
-            GmresOptions { rtol: 1e-9, max_iters: 2000, restart: 10 },
+            GmresOptions {
+                rtol: 1e-9,
+                max_iters: 2000,
+                restart: 10,
+            },
         );
         assert!(res.converged);
         check(&a, &x.to_global(), &b, 1e-7);
@@ -246,7 +269,11 @@ mod tests {
         let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
         // Full (unrestarted) GMRES so convergence within n iterations is
         // guaranteed for both variants; the comparison is the point.
-        let opts = GmresOptions { rtol: 1e-9, max_iters: 300, restart: n };
+        let opts = GmresOptions {
+            rtol: 1e-9,
+            max_iters: 300,
+            restart: n,
+        };
 
         let mut sim1 = Sim::new(2, MachineModel::default());
         let db = DistVec::from_global(l.clone(), &b);
@@ -271,7 +298,14 @@ mod tests {
         let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
         let db = DistVec::zeros(l.clone());
         let mut x = DistVec::zeros(l);
-        let res = gmres(&mut sim, &da, &IdentityPrecond, &db, &mut x, GmresOptions::default());
+        let res = gmres(
+            &mut sim,
+            &da,
+            &IdentityPrecond,
+            &db,
+            &mut x,
+            GmresOptions::default(),
+        );
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
     }

@@ -56,7 +56,10 @@ pub fn lanczos_spectrum(
     m.apply(sim, &r, &mut z);
     let mut rz = r.dot(sim, &z);
     if rz <= 0.0 {
-        return SpectrumEstimate { lambda_min: 0.0, lambda_max: 0.0 };
+        return SpectrumEstimate {
+            lambda_min: 0.0,
+            lambda_max: 0.0,
+        };
     }
     // Normalize in the M⁻¹-inner product.
     let nrm = rz.sqrt();
@@ -123,7 +126,10 @@ pub fn lanczos_spectrum(
     let eigs = symmetric_eigenvalues(&mut t, k);
     let lambda_min = eigs.iter().cloned().fold(f64::INFINITY, f64::min);
     let lambda_max = eigs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    SpectrumEstimate { lambda_min, lambda_max }
+    SpectrumEstimate {
+        lambda_min,
+        lambda_max,
+    }
 }
 
 /// Eigenvalues of a small dense symmetric matrix by cyclic Jacobi.
@@ -229,7 +235,10 @@ mod tests {
         // True spectrum: 2 - 2cos(kπ/(n+1)), k=1..n.
         let true_min = 2.0 - 2.0 * (std::f64::consts::PI / (n as f64 + 1.0)).cos();
         let true_max = 2.0 - 2.0 * (n as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
-        assert!((est.lambda_max - true_max).abs() < 0.05 * true_max, "{est:?}");
+        assert!(
+            (est.lambda_max - true_max).abs() < 0.05 * true_max,
+            "{est:?}"
+        );
         assert!(est.lambda_min < 3.0 * true_min, "{est:?} vs {true_min}");
         assert!(est.condition() > 100.0);
     }

@@ -19,7 +19,11 @@ pub struct PcgOptions {
 
 impl Default for PcgOptions {
     fn default() -> Self {
-        PcgOptions { rtol: 1e-4, atol: 1e-30, max_iters: 500 }
+        PcgOptions {
+            rtol: 1e-4,
+            atol: 1e-30,
+            max_iters: 500,
+        }
     }
 }
 
@@ -36,6 +40,10 @@ pub struct PcgResult {
 
 /// Solve `A x = b` by preconditioned CG, starting from the initial guess in
 /// `x`. Every flop and message is charged to `sim`.
+///
+/// Telemetry: runs under a `pcg` scope, counts `pcg/iterations`, and
+/// appends each `‖r‖` to the `pcg/residuals` series (the preconditioner
+/// records its own child scopes, e.g. multigrid's `precond/level*`).
 pub fn pcg(
     sim: &mut Sim,
     a: &DistMatrix,
@@ -44,6 +52,7 @@ pub fn pcg(
     x: &mut DistVec,
     opts: PcgOptions,
 ) -> PcgResult {
+    let _t = pmg_telemetry::scope("pcg");
     let layout = b.layout().clone();
     let mut r = DistVec::zeros(layout.clone());
     let mut z = DistVec::zeros(layout.clone());
@@ -57,8 +66,14 @@ pub fn pcg(
     let bnorm = b.clone().norm2(sim).max(1e-300);
     let mut rnorm = r.norm2(sim);
     let mut residuals = vec![rnorm];
+    pmg_telemetry::series_push("pcg/residuals", rnorm);
     if rnorm <= opts.rtol * bnorm || rnorm <= opts.atol {
-        return PcgResult { iterations: 0, converged: true, rel_residual: rnorm / bnorm, residuals };
+        return PcgResult {
+            iterations: 0,
+            converged: true,
+            rel_residual: rnorm / bnorm,
+            residuals,
+        };
     }
 
     m.apply(sim, &r, &mut z);
@@ -69,6 +84,7 @@ pub fn pcg(
 
     for it in 1..=opts.max_iters {
         iterations = it;
+        pmg_telemetry::counter_add("pcg/iterations", 1);
         a.spmv(sim, &p, &mut w);
         let pw = p.dot(sim, &w);
         if pw <= 0.0 || !pw.is_finite() {
@@ -80,6 +96,7 @@ pub fn pcg(
         r.axpy(sim, -alpha, &w);
         rnorm = r.norm2(sim);
         residuals.push(rnorm);
+        pmg_telemetry::series_push("pcg/residuals", rnorm);
         if rnorm <= opts.rtol * bnorm || rnorm <= opts.atol {
             converged = true;
             break;
@@ -90,7 +107,12 @@ pub fn pcg(
         rz = rz_new;
         p.aypx(sim, beta, &z);
     }
-    PcgResult { iterations, converged, rel_residual: rnorm / bnorm, residuals }
+    PcgResult {
+        iterations,
+        converged,
+        rel_residual: rnorm / bnorm,
+        residuals,
+    }
 }
 
 #[cfg(test)]
@@ -118,7 +140,12 @@ mod tests {
     fn check_solution(a: &CsrMatrix, x: &[f64], b: &[f64], tol: f64) {
         let mut ax = vec![0.0; b.len()];
         a.spmv(x, &mut ax);
-        let err: f64 = ax.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+        let err: f64 = ax
+            .iter()
+            .zip(b)
+            .map(|(u, v)| (u - v) * (u - v))
+            .sum::<f64>()
+            .sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err <= tol * bn, "residual {err} vs {}", tol * bn);
     }
@@ -140,7 +167,11 @@ mod tests {
                 &IdentityPrecond,
                 &db,
                 &mut x,
-                PcgOptions { rtol: 1e-10, max_iters: 200, ..Default::default() },
+                PcgOptions {
+                    rtol: 1e-10,
+                    max_iters: 200,
+                    ..Default::default()
+                },
             );
             assert!(res.converged, "p={p}");
             check_solution(&a, &x.to_global(), &b, 1e-9);
@@ -166,7 +197,11 @@ mod tests {
             &IdentityPrecond,
             &db,
             &mut x,
-            PcgOptions { rtol: 1e-12, max_iters: n + 2, ..Default::default() },
+            PcgOptions {
+                rtol: 1e-12,
+                max_iters: n + 2,
+                ..Default::default()
+            },
         );
         assert!(res.converged);
         assert!(res.iterations <= n + 1);
@@ -180,7 +215,11 @@ mod tests {
         let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
         let db = DistVec::from_global(l.clone(), &b);
-        let opts = PcgOptions { rtol: 1e-8, max_iters: 400, ..Default::default() };
+        let opts = PcgOptions {
+            rtol: 1e-8,
+            max_iters: 400,
+            ..Default::default()
+        };
 
         let mut sim1 = Sim::new(2, MachineModel::default());
         let mut x1 = DistVec::zeros(l.clone());
@@ -221,7 +260,11 @@ mod tests {
         let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
         let b = vec![1.0; n];
         let db = DistVec::from_global(l.clone(), &b);
-        let opts = PcgOptions { rtol: 1e-9, max_iters: 300, ..Default::default() };
+        let opts = PcgOptions {
+            rtol: 1e-9,
+            max_iters: 300,
+            ..Default::default()
+        };
 
         let mut sim1 = Sim::new(3, MachineModel::default());
         let mut x1 = DistVec::zeros(l.clone());
@@ -244,7 +287,14 @@ mod tests {
         let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
         let db = DistVec::zeros(l.clone());
         let mut x = DistVec::zeros(l);
-        let res = pcg(&mut sim, &da, &IdentityPrecond, &db, &mut x, PcgOptions::default());
+        let res = pcg(
+            &mut sim,
+            &da,
+            &IdentityPrecond,
+            &db,
+            &mut x,
+            PcgOptions::default(),
+        );
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
     }
@@ -262,7 +312,14 @@ mod tests {
         a.spmv(&ones, &mut bg);
         let db = DistVec::from_global(l.clone(), &bg);
         let mut x = DistVec::from_global(l, &ones);
-        let res = pcg(&mut sim, &da, &IdentityPrecond, &db, &mut x, PcgOptions::default());
+        let res = pcg(
+            &mut sim,
+            &da,
+            &IdentityPrecond,
+            &db,
+            &mut x,
+            PcgOptions::default(),
+        );
         assert_eq!(res.iterations, 0);
         assert!(res.converged);
     }

@@ -78,10 +78,13 @@ impl BlockJacobi {
                 let local = a.local_block(r);
                 let n = local.nrows();
                 if n == 0 {
-                    return RankBlocks { blocks: Vec::new(), factors: Vec::new(), apply_flops: 0 };
+                    return RankBlocks {
+                        blocks: Vec::new(),
+                        factors: Vec::new(),
+                        apply_flops: 0,
+                    };
                 }
-                let nblocks = ((blocks_per_1000 * n as f64 / 1000.0).round() as usize)
-                    .clamp(1, n);
+                let nblocks = ((blocks_per_1000 * n as f64 / 1000.0).round() as usize).clamp(1, n);
                 let g = csr_graph(local);
                 let part = partition_graph(&g, nblocks);
                 let mut blocks = vec![Vec::new(); nblocks];
@@ -114,11 +117,19 @@ impl BlockJacobi {
                     })
                     .collect();
                 let apply_flops = factors.iter().map(|f| f.solve_flops()).sum();
-                RankBlocks { blocks, factors, apply_flops }
+                RankBlocks {
+                    blocks,
+                    factors,
+                    apply_flops,
+                }
             })
             .collect();
         let apply_flops = ranks.iter().map(|r| r.apply_flops).collect();
-        BlockJacobi { ranks, omega, apply_flops }
+        BlockJacobi {
+            ranks,
+            omega,
+            apply_flops,
+        }
     }
 
     pub fn omega(&self) -> f64 {
@@ -158,7 +169,14 @@ impl BlockJacobi {
 
     /// One (or more) stationary smoothing sweeps
     /// `x ← x + ω B⁻¹ (b − A x)`.
-    pub fn smooth(&self, sim: &mut Sim, a: &DistMatrix, b: &DistVec, x: &mut DistVec, sweeps: usize) {
+    pub fn smooth(
+        &self,
+        sim: &mut Sim,
+        a: &DistMatrix,
+        b: &DistVec,
+        x: &mut DistVec,
+        sweeps: usize,
+    ) {
         let mut r = DistVec::zeros(b.layout().clone());
         let mut z = DistVec::zeros(b.layout().clone());
         for _ in 0..sweeps {

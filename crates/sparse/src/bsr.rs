@@ -71,7 +71,13 @@ impl Bsr3Matrix {
             }
             row_ptr.push(col_idx.len());
         }
-        Bsr3Matrix { nblock_rows: nbr, nblock_cols: nbc, row_ptr, col_idx, blocks }
+        Bsr3Matrix {
+            nblock_rows: nbr,
+            nblock_cols: nbc,
+            row_ptr,
+            col_idx,
+            blocks,
+        }
     }
 
     pub fn nrows(&self) -> usize {

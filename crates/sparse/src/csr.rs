@@ -17,7 +17,11 @@ pub struct CooBuilder {
 
 impl CooBuilder {
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CooBuilder { nrows, ncols, entries: Vec::new() }
+        CooBuilder {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// Reserve space for `n` additional entries.
@@ -63,7 +67,13 @@ impl CooBuilder {
         for i in 0..self.nrows {
             row_ptr[i + 1] += row_ptr[i];
         }
-        CsrMatrix { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx, vals }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 }
 
@@ -105,7 +115,13 @@ impl CsrMatrix {
         assert_eq!(*row_ptr.last().unwrap(), col_idx.len());
         debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
         debug_assert!(col_idx.iter().all(|&j| j < ncols));
-        CsrMatrix { nrows, ncols, row_ptr, col_idx, vals }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// The n-by-n identity.
@@ -121,7 +137,13 @@ impl CsrMatrix {
 
     /// A matrix with no stored entries.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        CsrMatrix { nrows, ncols, row_ptr: vec![0; nrows + 1], col_idx: Vec::new(), vals: Vec::new() }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     pub fn nrows(&self) -> usize {
@@ -226,7 +248,13 @@ impl CsrMatrix {
                 next[j] += 1;
             }
         }
-        CsrMatrix { nrows: self.ncols, ncols: self.nrows, row_ptr, col_idx, vals }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Sparse matrix product `C = self * other` (Gustavson's algorithm).
@@ -269,7 +297,13 @@ impl CsrMatrix {
             row_ptr.push(col_idx.len());
         }
         flops::add(fl);
-        CsrMatrix { nrows: n, ncols: m, row_ptr, col_idx, vals }
+        CsrMatrix {
+            nrows: n,
+            ncols: m,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Parallel sparse matrix product: Gustavson per row, rows processed in
@@ -339,7 +373,13 @@ impl CsrMatrix {
             fl += f;
         }
         flops::add(fl);
-        CsrMatrix { nrows: n, ncols: m, row_ptr, col_idx, vals }
+        CsrMatrix {
+            nrows: n,
+            ncols: m,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Galerkin triple product `A_c = R A Rᵀ` where `self = A` (n×n) and `r`
@@ -354,7 +394,9 @@ impl CsrMatrix {
 
     /// The diagonal as a vector (missing entries are 0).
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.nrows.min(self.ncols)).map(|i| self.get(i, i)).collect()
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Principal submatrix on `rows` (re-indexed 0..rows.len()); entries
@@ -393,7 +435,11 @@ impl CsrMatrix {
         if self.nrows != self.ncols {
             return false;
         }
-        let scale = self.vals.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-300);
+        let scale = self
+            .vals
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-300);
         let t = self.transpose();
         if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
             // Structurally nonsymmetric: fall back to value comparison.

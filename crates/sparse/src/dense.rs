@@ -17,7 +17,11 @@ pub struct DenseMatrix {
 
 impl DenseMatrix {
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        DenseMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     pub fn identity(n: usize) -> Self {
@@ -256,7 +260,9 @@ mod tests {
 
     #[test]
     fn lu_solves_unsymmetric() {
-        let a = DenseMatrix::from_fn(3, 3, |i, j| (1 + i * 3 + j) as f64 + if i == j { 10.0 } else { 0.0 });
+        let a = DenseMatrix::from_fn(3, 3, |i, j| {
+            (1 + i * 3 + j) as f64 + if i == j { 10.0 } else { 0.0 }
+        });
         let lu = Lu::factor(&a).unwrap();
         let b = vec![3.0, -1.0, 4.0];
         let x = lu.solve(&b);

@@ -1,0 +1,119 @@
+//! Property tests pitting the sparse kernels against a dense reference:
+//! random small COO-built matrices, every result checked elementwise
+//! against the same computation done with `DenseMatrix`. Complements the
+//! structural properties in `csr.rs` (transpose consistency, Galerkin
+//! symmetry) with value-level agreement.
+
+use pmg_sparse::{CooBuilder, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// Build a CSR matrix from entry triples, folding indices into range.
+fn csr_from(nrows: usize, ncols: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut b = CooBuilder::new(nrows, ncols);
+    for &(i, j, v) in entries {
+        b.push(i % nrows, j % ncols, v);
+    }
+    b.build()
+}
+
+fn dense_mul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(a.ncols(), b.nrows());
+    DenseMatrix::from_fn(a.nrows(), b.ncols(), |i, j| {
+        (0..a.ncols()).map(|k| a.row(i)[k] * b.row(k)[j]).sum()
+    })
+}
+
+fn assert_close(a: &DenseMatrix, b: &DenseMatrix, tol: f64) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.nrows(), b.nrows());
+    prop_assert_eq!(a.ncols(), b.ncols());
+    for i in 0..a.nrows() {
+        for j in 0..a.ncols() {
+            let (u, v) = (a.row(i)[j], b.row(i)[j]);
+            prop_assert!(
+                (u - v).abs() <= tol * (1.0 + u.abs().max(v.abs())),
+                "({}, {}): {} vs {}",
+                i,
+                j,
+                u,
+                v
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn prop_spmv_matches_dense(
+        dims in (1usize..12, 1usize..12),
+        entries in proptest::collection::vec(
+            (0usize..12, 0usize..12, -10.0f64..10.0), 0..80),
+        xs in proptest::collection::vec(-5.0f64..5.0, 12),
+    ) {
+        let (nr, nc) = dims;
+        let a = csr_from(nr, nc, &entries);
+        let x = &xs[..nc];
+        let mut y = vec![0.0; nr];
+        a.spmv(x, &mut y);
+        let mut yd = vec![0.0; nr];
+        a.to_dense().matvec(x, &mut yd);
+        for (u, v) in y.iter().zip(&yd) {
+            prop_assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn prop_transpose_matches_dense(
+        dims in (1usize..12, 1usize..12),
+        entries in proptest::collection::vec(
+            (0usize..12, 0usize..12, -10.0f64..10.0), 0..80),
+    ) {
+        let (nr, nc) = dims;
+        let a = csr_from(nr, nc, &entries);
+        let at = a.transpose().to_dense();
+        let ad = a.to_dense();
+        let expect = DenseMatrix::from_fn(nc, nr, |i, j| ad.row(j)[i]);
+        assert_close(&at, &expect, 0.0)?;
+    }
+
+    #[test]
+    fn prop_matmul_matches_dense(
+        dims in (1usize..8, 1usize..8, 1usize..8),
+        a_entries in proptest::collection::vec(
+            (0usize..8, 0usize..8, -10.0f64..10.0), 0..50),
+        b_entries in proptest::collection::vec(
+            (0usize..8, 0usize..8, -10.0f64..10.0), 0..50),
+    ) {
+        let (m, k, n) = dims;
+        let a = csr_from(m, k, &a_entries);
+        let b = csr_from(k, n, &b_entries);
+        let ab = a.matmul(&b).to_dense();
+        let expect = dense_mul(&a.to_dense(), &b.to_dense());
+        assert_close(&ab, &expect, 1e-12)?;
+    }
+
+    #[test]
+    fn prop_rap_matches_dense_and_stays_symmetric(
+        dims in (1usize..9, 1usize..5),
+        a_entries in proptest::collection::vec(
+            (0usize..9, 0usize..9, -10.0f64..10.0), 0..40),
+        r_entries in proptest::collection::vec(
+            (0usize..5, 0usize..9, -2.0f64..2.0), 1..20),
+    ) {
+        let (n, ncoarse) = dims;
+        // Symmetrize A — the Galerkin product must preserve that.
+        let mut b = CooBuilder::new(n, n);
+        for &(i, j, v) in &a_entries {
+            b.push(i % n, j % n, v);
+            b.push(j % n, i % n, v);
+        }
+        let a = b.build();
+        let r = csr_from(ncoarse, n, &r_entries);
+        let ac = a.rap(&r);
+        prop_assert!(ac.is_symmetric(1e-9));
+        let rd = r.to_dense();
+        let rt = DenseMatrix::from_fn(n, ncoarse, |i, j| rd.row(j)[i]);
+        let expect = dense_mul(&dense_mul(&rd, &a.to_dense()), &rt);
+        assert_close(&ac.to_dense(), &expect, 1e-10)?;
+    }
+}

@@ -1,0 +1,438 @@
+//! The structured telemetry report: what a snapshot looks like, the
+//! human-readable table rendering, and the JSON-lines round-trip.
+
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One accumulated phase (slash-joined hierarchical path).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseRecord {
+    pub path: String,
+    /// Total seconds across all entries (inclusive of child phases).
+    pub total_s: f64,
+    /// Number of times the scope was entered.
+    pub count: u64,
+}
+
+/// One phase of the BSP machine model (`pmg-parallel::sim::PhaseStats`),
+/// bridged into the report so modeled and wall time are one artifact.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimPhaseRecord {
+    pub name: String,
+    /// Modeled seconds under the machine model.
+    pub modeled_s: f64,
+    /// Modeled seconds spent in communication terms only.
+    pub modeled_comm_s: f64,
+    /// Wall-clock seconds actually spent on this host.
+    pub wall_s: f64,
+    pub total_flops: u64,
+    pub max_flops: u64,
+    pub total_msgs: u64,
+    pub total_bytes: u64,
+    pub supersteps: u64,
+    /// Flop load balance `average / maximum` across ranks.
+    pub load_balance: f64,
+}
+
+/// A full telemetry snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    pub labels: BTreeMap<String, String>,
+    /// Sorted by path (lexicographic, which groups children under
+    /// parents because paths are slash-joined).
+    pub phases: Vec<PhaseRecord>,
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub series: BTreeMap<String, Vec<f64>>,
+    pub sim_phases: Vec<SimPhaseRecord>,
+}
+
+impl Report {
+    /// Look up a phase by its full path.
+    pub fn phase(&self, path: &str) -> Option<&PhaseRecord> {
+        self.phases.iter().find(|p| p.path == path)
+    }
+
+    /// Direct and transitive children of `path` (prefix match on the
+    /// slash-joined hierarchy).
+    pub fn children(&self, path: &str) -> impl Iterator<Item = &PhaseRecord> {
+        let prefix = format!("{path}/");
+        self.phases
+            .iter()
+            .filter(move |p| p.path.starts_with(&prefix))
+    }
+
+    /// Bridge one BSP-sim phase into the report.
+    pub fn add_sim_phase(&mut self, rec: SimPhaseRecord) {
+        self.sim_phases.push(rec);
+    }
+
+    /// Render the human-readable table (the table sink's payload).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.labels.is_empty() {
+            let _ = writeln!(out, "labels:");
+            for (k, v) in &self.labels {
+                let _ = writeln!(out, "  {k} = {v}");
+            }
+        }
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "{:<44} {:>12} {:>8}", "phase", "total", "count");
+            // Phases are path-sorted, so any recorded ancestor precedes its
+            // descendants. Render each path relative to its deepest
+            // *recorded* ancestor — intermediate path components that never
+            // got their own scope (e.g. `level0` in `precond/level0/smooth`)
+            // stay visible instead of collapsing into a bare leaf name.
+            let mut printed: Vec<&str> = Vec::new();
+            for p in &self.phases {
+                let ancestor = printed
+                    .iter()
+                    .filter(|q| {
+                        p.path.starts_with(**q) && p.path.as_bytes().get(q.len()) == Some(&b'/')
+                    })
+                    .max_by_key(|q| q.len());
+                let (depth, name) = match ancestor {
+                    Some(q) => (q.matches('/').count() + 1, &p.path[q.len() + 1..]),
+                    None => (0, p.path.as_str()),
+                };
+                printed.push(&p.path);
+                let _ = writeln!(
+                    out,
+                    "{:<44} {:>12} {:>8}",
+                    format!("{}{}", "  ".repeat(depth), name),
+                    fmt_secs(p.total_s),
+                    p.count
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<42} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<42} {v:>12.6}");
+            }
+        }
+        if !self.series.is_empty() {
+            let _ = writeln!(out, "series:");
+            for (k, v) in &self.series {
+                let first = v.first().copied().unwrap_or(f64::NAN);
+                let last = v.last().copied().unwrap_or(f64::NAN);
+                let _ = writeln!(
+                    out,
+                    "  {k:<42} {:>5} values  {first:.3e} -> {last:.3e}",
+                    v.len()
+                );
+            }
+        }
+        if !self.sim_phases.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>12} {:>12} {:>12} {:>14} {:>8}",
+                "sim phase", "modeled", "comm", "wall", "flops", "balance"
+            );
+            for s in &self.sim_phases {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>12} {:>12} {:>12} {:>14} {:>8.3}",
+                    s.name,
+                    fmt_secs(s.modeled_s),
+                    fmt_secs(s.modeled_comm_s),
+                    fmt_secs(s.wall_s),
+                    s.total_flops,
+                    s.load_balance
+                );
+            }
+        }
+        out
+    }
+
+    /// Serialize as JSON-lines: one self-describing record per line.
+    /// [`Report::from_json_lines`] recovers an identical report.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.labels {
+            out.push_str("{\"type\":\"label\",\"name\":");
+            json::write_str(&mut out, k);
+            out.push_str(",\"value\":");
+            json::write_str(&mut out, v);
+            out.push_str("}\n");
+        }
+        for p in &self.phases {
+            out.push_str("{\"type\":\"phase\",\"path\":");
+            json::write_str(&mut out, &p.path);
+            out.push_str(",\"total_s\":");
+            json::write_num(&mut out, p.total_s);
+            out.push_str(",\"count\":");
+            json::write_u64(&mut out, p.count);
+            out.push_str("}\n");
+        }
+        for (k, v) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            json::write_str(&mut out, k);
+            out.push_str(",\"value\":");
+            json::write_u64(&mut out, *v);
+            out.push_str("}\n");
+        }
+        for (k, v) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            json::write_str(&mut out, k);
+            out.push_str(",\"value\":");
+            json::write_num(&mut out, *v);
+            out.push_str("}\n");
+        }
+        for (k, vals) in &self.series {
+            out.push_str("{\"type\":\"series\",\"name\":");
+            json::write_str(&mut out, k);
+            out.push_str(",\"values\":[");
+            for (i, v) in vals.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_num(&mut out, *v);
+            }
+            out.push_str("]}\n");
+        }
+        for s in &self.sim_phases {
+            out.push_str("{\"type\":\"sim_phase\",\"name\":");
+            json::write_str(&mut out, &s.name);
+            let _ = write!(out, ",\"modeled_s\":");
+            json::write_num(&mut out, s.modeled_s);
+            let _ = write!(out, ",\"modeled_comm_s\":");
+            json::write_num(&mut out, s.modeled_comm_s);
+            let _ = write!(out, ",\"wall_s\":");
+            json::write_num(&mut out, s.wall_s);
+            let _ = write!(
+                out,
+                ",\"total_flops\":{},\"max_flops\":{},\"total_msgs\":{},\"total_bytes\":{},\"supersteps\":{},\"load_balance\":",
+                s.total_flops, s.max_flops, s.total_msgs, s.total_bytes, s.supersteps
+            );
+            json::write_num(&mut out, s.load_balance);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parse a JSON-lines document produced by [`Report::to_json_lines`].
+    /// Unknown record types are ignored (forward compatibility).
+    pub fn from_json_lines(input: &str) -> Result<Report, String> {
+        let mut r = Report::default();
+        for (ln, line) in input.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
+            let typ = v
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: missing \"type\"", ln + 1))?;
+            let str_field = |key: &str| -> Result<String, String> {
+                v.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("line {}: missing \"{key}\"", ln + 1))
+            };
+            let num_field = |key: &str| -> Result<f64, String> {
+                match v.get(key) {
+                    Some(Value::Null) => Ok(f64::NAN),
+                    Some(x) => x
+                        .as_f64()
+                        .ok_or_else(|| format!("line {}: non-numeric \"{key}\"", ln + 1)),
+                    None => Err(format!("line {}: missing \"{key}\"", ln + 1)),
+                }
+            };
+            match typ {
+                "label" => {
+                    r.labels.insert(str_field("name")?, str_field("value")?);
+                }
+                "phase" => {
+                    r.phases.push(PhaseRecord {
+                        path: str_field("path")?,
+                        total_s: num_field("total_s")?,
+                        count: num_field("count")? as u64,
+                    });
+                }
+                "counter" => {
+                    r.counters
+                        .insert(str_field("name")?, num_field("value")? as u64);
+                }
+                "gauge" => {
+                    r.gauges.insert(str_field("name")?, num_field("value")?);
+                }
+                "series" => {
+                    let vals = match v.get("values") {
+                        Some(Value::Arr(items)) => items
+                            .iter()
+                            .map(|x| match x {
+                                Value::Num(n) => Ok(*n),
+                                Value::Null => Ok(f64::NAN),
+                                other => {
+                                    Err(format!("line {}: bad series value {other:?}", ln + 1))
+                                }
+                            })
+                            .collect::<Result<Vec<f64>, String>>()?,
+                        _ => return Err(format!("line {}: missing \"values\"", ln + 1)),
+                    };
+                    r.series.insert(str_field("name")?, vals);
+                }
+                "sim_phase" => {
+                    r.sim_phases.push(SimPhaseRecord {
+                        name: str_field("name")?,
+                        modeled_s: num_field("modeled_s")?,
+                        modeled_comm_s: num_field("modeled_comm_s")?,
+                        wall_s: num_field("wall_s")?,
+                        total_flops: num_field("total_flops")? as u64,
+                        max_flops: num_field("max_flops")? as u64,
+                        total_msgs: num_field("total_msgs")? as u64,
+                        total_bytes: num_field("total_bytes")? as u64,
+                        supersteps: num_field("supersteps")? as u64,
+                        load_balance: num_field("load_balance")?,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(r)
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report {
+            labels: BTreeMap::from([("problem".to_string(), "spheres \"tiny\"".to_string())]),
+            phases: vec![
+                PhaseRecord {
+                    path: "setup".into(),
+                    total_s: 1.25,
+                    count: 1,
+                },
+                PhaseRecord {
+                    path: "setup/coarsen".into(),
+                    total_s: 0.75,
+                    count: 3,
+                },
+                PhaseRecord {
+                    path: "setup/coarsen/mis".into(),
+                    total_s: 1.0 / 3.0,
+                    count: 3,
+                },
+                PhaseRecord {
+                    path: "solve".into(),
+                    total_s: 2.5e-4,
+                    count: 1,
+                },
+            ],
+            counters: BTreeMap::from([("solve/iterations".to_string(), 21u64)]),
+            gauges: BTreeMap::from([("mg/operator_complexity".to_string(), 1.1875)]),
+            series: BTreeMap::from([("solve/residuals".to_string(), vec![1.0, 0.1, 1e-3, 9.5e-5])]),
+            sim_phases: Vec::new(),
+        };
+        r.add_sim_phase(SimPhaseRecord {
+            name: "solve".into(),
+            modeled_s: 0.25,
+            modeled_comm_s: 0.05,
+            wall_s: 0.125,
+            total_flops: 123456789,
+            max_flops: 7000000,
+            total_msgs: 42,
+            total_bytes: 1 << 20,
+            supersteps: 99,
+            load_balance: 0.875,
+        });
+        r
+    }
+
+    #[test]
+    fn json_lines_roundtrip_identical() {
+        let r = sample_report();
+        let text = r.to_json_lines();
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let back = Report::from_json_lines(&text).unwrap();
+        assert_eq!(back, r);
+        // And a second round-trip is a fixed point.
+        assert_eq!(back.to_json_lines(), text);
+    }
+
+    #[test]
+    fn from_json_lines_skips_unknown_and_blank() {
+        let text = "\n{\"type\":\"frobnicate\",\"x\":1}\n{\"type\":\"counter\",\"name\":\"c\",\"value\":3}\n";
+        let r = Report::from_json_lines(text).unwrap();
+        assert_eq!(r.counters["c"], 3);
+    }
+
+    #[test]
+    fn from_json_lines_reports_bad_line() {
+        let err = Report::from_json_lines("{\"type\":\"phase\"}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(Report::from_json_lines("not json\n").is_err());
+    }
+
+    #[test]
+    fn table_contains_phases_and_metrics() {
+        let t = sample_report().to_table();
+        assert!(t.contains("mis"));
+        assert!(t.contains("solve/iterations"));
+        assert!(t.contains("operator_complexity"));
+        assert!(t.contains("residuals"));
+        assert!(t.contains("sim phase"));
+        // Children are indented under parents.
+        assert!(t.contains("    mis"));
+    }
+
+    #[test]
+    fn table_keeps_unrecorded_intermediate_components() {
+        // `level0` never got its own scope: the leaves must render as
+        // `level0/smooth` under `precond`, not as bare `smooth`.
+        let r = Report {
+            phases: vec![
+                PhaseRecord {
+                    path: "precond".into(),
+                    total_s: 1.0,
+                    count: 2,
+                },
+                PhaseRecord {
+                    path: "precond/level0/smooth".into(),
+                    total_s: 0.5,
+                    count: 4,
+                },
+                PhaseRecord {
+                    path: "precond/level1/coarse".into(),
+                    total_s: 0.1,
+                    count: 2,
+                },
+            ],
+            ..Default::default()
+        };
+        let t = r.to_table();
+        assert!(t.contains("  level0/smooth"), "{t}");
+        assert!(t.contains("  level1/coarse"), "{t}");
+    }
+
+    #[test]
+    fn phase_lookup_and_children() {
+        let r = sample_report();
+        assert_eq!(r.phase("setup/coarsen").unwrap().count, 3);
+        assert!(r.phase("nope").is_none());
+        let kids: Vec<&str> = r.children("setup").map(|p| p.path.as_str()).collect();
+        assert_eq!(kids, vec!["setup/coarsen", "setup/coarsen/mis"]);
+    }
+}

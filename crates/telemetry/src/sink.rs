@@ -1,0 +1,96 @@
+//! Pluggable report sinks: human-readable table, JSON-lines, no-op.
+
+use crate::report::Report;
+use std::io::{self, Write};
+
+/// Destination for a finished [`Report`].
+pub trait Sink {
+    fn emit(&mut self, report: &Report) -> io::Result<()>;
+}
+
+/// Renders [`Report::to_table`] to any writer (typically stdout).
+pub struct TableSink<W: Write>(pub W);
+
+impl<W: Write> Sink for TableSink<W> {
+    fn emit(&mut self, report: &Report) -> io::Result<()> {
+        self.0.write_all(report.to_table().as_bytes())
+    }
+}
+
+/// Writes [`Report::to_json_lines`] to any writer (typically a
+/// `BENCH_*.jsonl` file).
+pub struct JsonLinesSink<W: Write>(pub W);
+
+impl<W: Write> Sink for JsonLinesSink<W> {
+    fn emit(&mut self, report: &Report) -> io::Result<()> {
+        self.0.write_all(report.to_json_lines().as_bytes())
+    }
+}
+
+/// Discards the report.
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn emit(&mut self, _report: &Report) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Sink selected by the environment, for the bench binaries:
+///
+/// - `PMG_TELEMETRY=off` (or unset) → [`NoopSink`];
+/// - `PMG_TELEMETRY=table` → [`TableSink`] on stdout;
+/// - `PMG_TELEMETRY=json` → [`JsonLinesSink`] on the file named by
+///   `PMG_TELEMETRY_FILE` (stdout when unset).
+///
+/// Callers that want collection on should also call
+/// [`crate::set_enabled`]`(true)` when this returns a non-noop sink.
+pub fn sink_from_env() -> io::Result<Box<dyn Sink>> {
+    match std::env::var("PMG_TELEMETRY").as_deref() {
+        Ok("table") => Ok(Box::new(TableSink(io::stdout()))),
+        Ok("json") => match std::env::var("PMG_TELEMETRY_FILE") {
+            Ok(path) => Ok(Box::new(JsonLinesSink(std::fs::File::create(path)?))),
+            Err(_) => Ok(Box::new(JsonLinesSink(io::stdout()))),
+        },
+        _ => Ok(Box::new(NoopSink)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::PhaseRecord;
+
+    fn tiny_report() -> Report {
+        Report {
+            phases: vec![PhaseRecord {
+                path: "solve".into(),
+                total_s: 0.5,
+                count: 2,
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn table_sink_writes_table() {
+        let mut buf = Vec::new();
+        TableSink(&mut buf).emit(&tiny_report()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("solve"));
+        assert!(text.contains("count"));
+    }
+
+    #[test]
+    fn json_sink_roundtrips() {
+        let mut buf = Vec::new();
+        JsonLinesSink(&mut buf).emit(&tiny_report()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(Report::from_json_lines(&text).unwrap(), tiny_report());
+    }
+
+    #[test]
+    fn noop_sink_accepts_anything() {
+        NoopSink.emit(&tiny_report()).unwrap();
+    }
+}

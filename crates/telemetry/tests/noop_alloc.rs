@@ -1,0 +1,82 @@
+//! With telemetry disabled, the hot-path entry points must not allocate:
+//! solver inner loops (V-cycle levels, smoother sweeps) call them every
+//! iteration, and the acceptance bar is near-zero overhead when off.
+//!
+//! Asserted with a counting global allocator. This lives in its own
+//! integration-test binary so the `#[global_allocator]` does not leak
+//! into other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// The enabled flag is process-global: the two tests must not interleave.
+static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn disabled_hot_path_allocates_nothing() {
+    let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    pmg_telemetry::set_enabled(false);
+    // Warm up lazy statics (thread-local, registry) outside the counted
+    // region: first use may legitimately allocate once.
+    {
+        let _s = pmg_telemetry::scope("warmup");
+        pmg_telemetry::counter_add("warmup", 1);
+    }
+    let n = allocations_during(|| {
+        for i in 0..10_000u64 {
+            let _outer = pmg_telemetry::scope("solve");
+            let _inner = pmg_telemetry::scoped!("level{i}");
+            pmg_telemetry::counter_add("iterations", 1);
+            pmg_telemetry::gauge_set("rows", i as f64);
+            pmg_telemetry::series_push("residuals", 1.0);
+        }
+    });
+    assert_eq!(n, 0, "disabled telemetry hot path allocated {n} times");
+}
+
+#[test]
+fn enabled_then_disabled_returns_to_zero() {
+    let _l = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    pmg_telemetry::set_enabled(true);
+    {
+        let _s = pmg_telemetry::scope("setup");
+        pmg_telemetry::counter_add("c", 1);
+    }
+    pmg_telemetry::set_enabled(false);
+    let n = allocations_during(|| {
+        for _ in 0..1_000 {
+            let _s = pmg_telemetry::scope("setup");
+            pmg_telemetry::counter_add("c", 1);
+        }
+    });
+    assert_eq!(n, 0, "post-disable hot path allocated {n} times");
+}

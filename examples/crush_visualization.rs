@@ -10,7 +10,10 @@ use prometheus_repro::mesh::{to_vtk, SpheresParams};
 use prometheus_repro::solver::{MgOptions, Prometheus, PrometheusOptions};
 
 fn main() {
-    let nsteps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let nsteps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     let params = SpheresParams::tiny();
     let mut problem = prometheus_repro::fem::spheres_problem(&params);
     let mesh = problem.fem.mesh.clone();
@@ -19,7 +22,10 @@ fn main() {
 
     let opts = PrometheusOptions {
         nranks: 2,
-        mg: MgOptions { coarse_dof_threshold: 400, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 400,
+            ..Default::default()
+        },
         max_iters: 300,
         ..Default::default()
     };

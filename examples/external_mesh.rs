@@ -49,7 +49,10 @@ fn main() {
     let mesh = Mesh::new(coords, kind.unwrap(), elem_verts, materials);
 
     let ndof = mesh.num_dof();
-    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(70.0, 0.33))]);
+    let mut fem = FemProblem::new(
+        mesh.clone(),
+        vec![Arc::new(LinearElastic::from_e_nu(70.0, 0.33))],
+    );
     let (k, _) = fem.assemble(&vec![0.0; ndof]);
     let mut fixed = Vec::new();
     let mut f = vec![0.0; ndof];
@@ -68,7 +71,10 @@ fn main() {
 
     let opts = PrometheusOptions {
         nranks,
-        mg: MgOptions { coarse_dof_threshold: 400, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 400,
+            ..Default::default()
+        },
         max_iters: 300,
         ..Default::default()
     };

@@ -90,7 +90,10 @@ fn main() {
         if coords.len() < 30 {
             break;
         }
-        let opts = CoarsenOptions { reclassify: level >= 2, ..Default::default() };
+        let opts = CoarsenOptions {
+            reclassify: level >= 2,
+            ..Default::default()
+        };
         let lvl = coarsen_level(&coords, &g, &cls, &opts);
         println!(
             "{:>5} {:>9} {:>6} {:>6}   {}",

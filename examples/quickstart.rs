@@ -26,7 +26,10 @@ fn main() {
         mesh.num_dof()
     );
 
-    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(200.0, 0.3))]);
+    let mut fem = FemProblem::new(
+        mesh.clone(),
+        vec![Arc::new(LinearElastic::from_e_nu(200.0, 0.3))],
+    );
     let (k, _) = fem.assemble(&vec![0.0; mesh.num_dof()]);
 
     // 2. Boundary conditions: clamp z=0, apply a surface load at z=1.
@@ -48,11 +51,17 @@ fn main() {
     // 3. Hand the mesh and operator to the solver; it does the rest.
     let opts = PrometheusOptions {
         nranks: 4, // simulated parallel machine
-        mg: MgOptions { coarse_dof_threshold: 400, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 400,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut solver = Prometheus::from_mesh(&mesh, &kc, opts);
-    println!("multigrid hierarchy (vertices per level): {:?}", solver.level_sizes());
+    println!(
+        "multigrid hierarchy (vertices per level): {:?}",
+        solver.level_sizes()
+    );
 
     let (x, res) = solver.solve(&b, None, 1e-8);
     println!(
@@ -63,7 +72,12 @@ fn main() {
     // 4. Verify and report.
     let mut ax = vec![0.0; b.len()];
     kc.spmv(&x, &mut ax);
-    let err: f64 = ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+    let err: f64 = ax
+        .iter()
+        .zip(&b)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
     let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     println!("true residual check: {:.2e}", err / bn);
 

@@ -32,7 +32,9 @@ fn main() {
         mesh.num_dof(),
         params.n_layers
     );
-    println!("materials: soft E=1e-4 nu=0.49 (Neo-Hookean) | hard E=1 nu=0.3 sigma_y=1e-3 H=0.002E (J2)");
+    println!(
+        "materials: soft E=1e-4 nu=0.49 (Neo-Hookean) | hard E=1 nu=0.3 sigma_y=1e-3 H=0.002E (J2)"
+    );
 
     let ndof = mesh.num_dof();
     let mut u = vec![0.0; ndof];
@@ -43,7 +45,10 @@ fn main() {
     // (the "matrix setup" phase).
     let opts = PrometheusOptions {
         nranks: 4,
-        mg: MgOptions { coarse_dof_threshold: 500, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 500,
+            ..Default::default()
+        },
         max_iters: 300,
         ..Default::default()
     };
@@ -80,7 +85,10 @@ fn main() {
             100.0 * yielded
         );
         if !stats.converged {
-            println!("  (step {step} did not fully converge in {} iterations)", stats.newton_iters);
+            println!(
+                "  (step {step} did not fully converge in {} iterations)",
+                stats.newton_iters
+            );
         }
     }
     println!("total linear iterations across the load program: {total_linear}");

@@ -19,7 +19,10 @@ fn ranks_for(k: usize) -> usize {
 }
 
 fn main() {
-    let max_k: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let max_k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     println!(
         "{:>2} {:>5} {:>10} {:>6} {:>8} {:>10} {:>12} {:>10} {:>8}",
         "k", "P", "dof", "iters", "levels", "wall(s)", "Mflop/s(mdl)", "e_c", "balance"
@@ -42,7 +45,10 @@ fn main() {
         let wall = Instant::now();
         let opts = PrometheusOptions {
             nranks: p,
-            mg: MgOptions { coarse_dof_threshold: 600, ..Default::default() },
+            mg: MgOptions {
+                coarse_dof_threshold: 600,
+                ..Default::default()
+            },
             max_iters: 300,
             ..Default::default()
         };

@@ -58,7 +58,10 @@ fn flat_file_to_solution() {
     let (kc, rhs) = pmg_fem::bc::constrain_system(&k, &r, &fixed);
     let opts = PrometheusOptions {
         nranks,
-        mg: MgOptions { coarse_dof_threshold: 400, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 400,
+            ..Default::default()
+        },
         max_iters: 300,
         ..Default::default()
     };
@@ -100,7 +103,10 @@ fn athena_redundancy_grows_with_ranks_but_stays_bounded() {
         let part = recursive_coordinate_bisection(&mesh.coords, nranks);
         let subs = partition_mesh(&mesh, &part, nranks);
         let rf = redundancy_factor(&subs);
-        assert!(rf >= prev - 1e-9, "redundancy should not shrink: {prev} -> {rf}");
+        assert!(
+            rf >= prev - 1e-9,
+            "redundancy should not shrink: {prev} -> {rf}"
+        );
         assert!(rf < 2.5, "redundancy exploded at P={nranks}: {rf}");
         prev = rf;
     }

@@ -54,7 +54,10 @@ fn galerkin_coarse_operator_is_spd_on_elasticity() {
 
     let mesh = pmg_mesh::generators::cube(4);
     let ndof = mesh.num_dof();
-    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))]);
+    let mut fem = FemProblem::new(
+        mesh.clone(),
+        vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))],
+    );
     let (k, _) = fem.assemble(&vec![0.0; ndof]);
     // Clamp one face to make K SPD.
     let mut fixed = Vec::new();
@@ -115,7 +118,10 @@ fn deep_hierarchy_terminates() {
         if coords.len() < 20 {
             break;
         }
-        let opts = CoarsenOptions { reclassify: depth >= 2, ..Default::default() };
+        let opts = CoarsenOptions {
+            reclassify: depth >= 2,
+            ..Default::default()
+        };
         let lvl = coarsen_level(&coords, &g, &cls, &opts);
         assert!(lvl.selected.len() < coords.len());
         sizes.push(lvl.selected.len());
@@ -124,7 +130,10 @@ fn deep_hierarchy_terminates() {
         cls = lvl.classes;
     }
     assert!(sizes.len() >= 3, "hierarchy too shallow: {sizes:?}");
-    assert!(*sizes.last().unwrap() < 100, "coarsening stalled: {sizes:?}");
+    assert!(
+        *sizes.last().unwrap() < 100,
+        "coarsening stalled: {sizes:?}"
+    );
     // The 8 cube corners survive every level (corners are never deleted,
     // and reclassification keeps the true geometric corners).
     let corners = cls

@@ -42,7 +42,10 @@ fn fmg_preconditioning_collapses_condition_number() {
         &mesh.coords,
         &graph,
         &classes,
-        MgOptions { coarse_dof_threshold: 400, ..Default::default() },
+        MgOptions {
+            coarse_dof_threshold: 400,
+            ..Default::default()
+        },
     );
     // Note: the hierarchy owns its own layout; rebuild the operator on it.
     let pre = lanczos_spectrum(&mut sim, &mg.levels[0].a, &mg, 40);
@@ -58,5 +61,9 @@ fn fmg_preconditioning_collapses_condition_number() {
     );
     // A good multigrid preconditioner yields O(1..tens) conditioning even
     // with the 1e4 material jump.
-    assert!(pre.condition() < 200.0, "preconditioned κ = {:.3e}", pre.condition());
+    assert!(
+        pre.condition() < 200.0,
+        "preconditioned κ = {:.3e}",
+        pre.condition()
+    );
 }

@@ -41,7 +41,10 @@ fn first_linear_solve_converges_quickly() {
     let sys = tiny_system();
     let opts = PrometheusOptions {
         nranks: 2,
-        mg: MgOptions { coarse_dof_threshold: 400, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 400,
+            ..Default::default()
+        },
         max_iters: 200,
         ..Default::default()
     };
@@ -57,7 +60,12 @@ fn first_linear_solve_converges_quickly() {
     // True residual check against the original operator.
     let mut ax = vec![0.0; x.len()];
     sys.matrix.spmv(&x, &mut ax);
-    let err: f64 = ax.iter().zip(&sys.rhs).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+    let err: f64 = ax
+        .iter()
+        .zip(&sys.rhs)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
     let bn: f64 = sys.rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
     assert!(err <= 2e-6 * bn, "true residual {err:.3e} vs b {bn:.3e}");
 }
@@ -68,7 +76,10 @@ fn parallel_ranks_agree_with_serial() {
     let solve_with = |p: usize| {
         let opts = PrometheusOptions {
             nranks: p,
-            mg: MgOptions { coarse_dof_threshold: 400, ..Default::default() },
+            mg: MgOptions {
+                coarse_dof_threshold: 400,
+                ..Default::default()
+            },
             max_iters: 200,
             ..Default::default()
         };
@@ -83,7 +94,12 @@ fn parallel_ranks_agree_with_serial() {
         // Same linear system solved to 1e-10: solutions agree to solver
         // tolerance (the hierarchy may differ slightly via the rank-based
         // MIS, but the answer may not).
-        let num: f64 = x1.iter().zip(&xp).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let num: f64 = x1
+            .iter()
+            .zip(&xp)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         let den: f64 = x1.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
         assert!(num / den < 1e-6, "p={p}: relative diff {}", num / den);
     }
@@ -106,7 +122,10 @@ fn two_newton_steps_with_multigrid() {
     let driver = NewtonDriver::new(NewtonOptions::default());
     let opts = PrometheusOptions {
         nranks: 2,
-        mg: MgOptions { coarse_dof_threshold: 300, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 300,
+            ..Default::default()
+        },
         max_iters: 300,
         ..Default::default()
     };

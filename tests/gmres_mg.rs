@@ -47,7 +47,10 @@ fn mg_preconditioned_gmres_on_elasticity() {
         &mesh.coords,
         &graph,
         &classes,
-        MgOptions { coarse_dof_threshold: 300, ..Default::default() },
+        MgOptions {
+            coarse_dof_threshold: 300,
+            ..Default::default()
+        },
     );
     let layout = mg.levels[0].a.row_layout().clone();
     let db = DistVec::from_global(layout.clone(), &b);
@@ -60,7 +63,11 @@ fn mg_preconditioned_gmres_on_elasticity() {
         &IdentityPrecond,
         &db,
         &mut x0,
-        GmresOptions { rtol: 1e-8, max_iters: 2000, restart: 50 },
+        GmresOptions {
+            rtol: 1e-8,
+            max_iters: 2000,
+            restart: 50,
+        },
     );
 
     let mut x1 = DistVec::zeros(layout);
@@ -70,7 +77,11 @@ fn mg_preconditioned_gmres_on_elasticity() {
         &mg,
         &db,
         &mut x1,
-        GmresOptions { rtol: 1e-8, max_iters: 200, restart: 50 },
+        GmresOptions {
+            rtol: 1e-8,
+            max_iters: 200,
+            restart: 50,
+        },
     );
     assert!(pre.converged, "{pre:?}");
     assert!(
@@ -83,7 +94,12 @@ fn mg_preconditioned_gmres_on_elasticity() {
     let xg = x1.to_global();
     let mut ax = vec![0.0; b.len()];
     kc.spmv(&xg, &mut ax);
-    let err: f64 = ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+    let err: f64 = ax
+        .iter()
+        .zip(&b)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
     let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     assert!(err < 1e-6 * bn);
 }
@@ -118,7 +134,10 @@ fn mg_gmres_survives_unsymmetric_perturbation() {
         &mesh.coords,
         &graph,
         &classes,
-        MgOptions { coarse_dof_threshold: 300, ..Default::default() },
+        MgOptions {
+            coarse_dof_threshold: 300,
+            ..Default::default()
+        },
     );
     let layout = mg.levels[0].a.row_layout().clone();
     let da = DistMatrix::from_global(&a_unsym, layout.clone(), layout.clone());
@@ -130,13 +149,22 @@ fn mg_gmres_survives_unsymmetric_perturbation() {
         &mg,
         &db,
         &mut x,
-        GmresOptions { rtol: 1e-8, max_iters: 300, restart: 60 },
+        GmresOptions {
+            rtol: 1e-8,
+            max_iters: 300,
+            restart: 60,
+        },
     );
     assert!(res.converged, "{res:?}");
     let xg = x.to_global();
     let mut ax = vec![0.0; n];
     a_unsym.spmv(&xg, &mut ax);
-    let err: f64 = ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+    let err: f64 = ax
+        .iter()
+        .zip(&b)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
     let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     assert!(err < 1e-6 * bn);
 }
@@ -165,7 +193,11 @@ fn layout_block_vs_rcb_same_gmres_counts() {
             &IdentityPrecond,
             &db,
             &mut x,
-            GmresOptions { rtol: 1e-6, max_iters: 3000, restart: 40 },
+            GmresOptions {
+                rtol: 1e-6,
+                max_iters: 3000,
+                restart: 40,
+            },
         );
         assert!(res.converged);
         counts.push(res.iterations as i64);

@@ -12,7 +12,10 @@ use std::sync::Arc;
 
 fn constrained(mesh: &pmg_mesh::Mesh) -> (pmg_sparse::CsrMatrix, Vec<f64>) {
     let ndof = mesh.num_dof();
-    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))]);
+    let mut fem = FemProblem::new(
+        mesh.clone(),
+        vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))],
+    );
     let (k, _) = fem.assemble(&vec![0.0; ndof]);
     let mut fixed = Vec::new();
     let mut f = vec![0.0; ndof];
@@ -35,7 +38,10 @@ fn hex20_stiffness_is_consistent() {
     // Affine patch test on quadratic elements.
     let mesh = block20(2, 2, 2, Vec3::splat(1.0), |_| 0);
     let ndof = mesh.num_dof();
-    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))]);
+    let mut fem = FemProblem::new(
+        mesh.clone(),
+        vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))],
+    );
     let mut u = vec![0.0; ndof];
     for (v, p) in mesh.coords.iter().enumerate() {
         u[3 * v] = 1e-3 * p.x + 2e-3 * p.y;
@@ -46,8 +52,7 @@ fn hex20_stiffness_is_consistent() {
     assert!(k.is_symmetric(1e-10));
     // Interior nodes carry no residual under constant stress.
     for (v, p) in mesh.coords.iter().enumerate() {
-        let interior =
-            p.x > 0.0 && p.x < 1.0 && p.y > 0.0 && p.y < 1.0 && p.z > 0.0 && p.z < 1.0;
+        let interior = p.x > 0.0 && p.x < 1.0 && p.y > 0.0 && p.y < 1.0 && p.z > 0.0 && p.z < 1.0;
         if interior {
             for c in 0..3 {
                 assert!(f[3 * v + c].abs() < 1e-13, "node {v}");
@@ -71,18 +76,34 @@ fn multigrid_solves_hex20_problem() {
     let (kc, b) = constrained(&mesh);
     let opts = PrometheusOptions {
         nranks: 2,
-        mg: MgOptions { coarse_dof_threshold: 400, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 400,
+            ..Default::default()
+        },
         max_iters: 300,
         ..Default::default()
     };
     let mut solver = Prometheus::from_mesh(&mesh, &kc, opts);
-    assert!(solver.level_sizes().len() >= 2, "{:?}", solver.level_sizes());
+    assert!(
+        solver.level_sizes().len() >= 2,
+        "{:?}",
+        solver.level_sizes()
+    );
     let (x, res) = solver.solve(&b, None, 1e-8);
     assert!(res.converged, "{res:?}");
-    assert!(res.iterations <= 80, "{} iterations on hex20", res.iterations);
+    assert!(
+        res.iterations <= 80,
+        "{} iterations on hex20",
+        res.iterations
+    );
     let mut ax = vec![0.0; b.len()];
     kc.spmv(&x, &mut ax);
-    let err: f64 = ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+    let err: f64 = ax
+        .iter()
+        .zip(&b)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
     let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     assert!(err < 1e-6 * bn);
 }

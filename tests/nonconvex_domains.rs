@@ -6,7 +6,9 @@
 
 use pmg_fem::{FemProblem, LinearElastic};
 use pmg_mesh::generators::l_bracket;
-use prometheus::{classify_mesh, coarsen_level, CoarsenOptions, MgOptions, Prometheus, PrometheusOptions};
+use prometheus::{
+    classify_mesh, coarsen_level, CoarsenOptions, MgOptions, Prometheus, PrometheusOptions,
+};
 use std::sync::Arc;
 
 #[test]
@@ -44,7 +46,10 @@ fn coarsening_partition_of_unity_on_reentrant_geometry() {
 fn multigrid_converges_on_l_bracket() {
     let m = l_bracket(8);
     let ndof = m.num_dof();
-    let mut fem = FemProblem::new(m.clone(), vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))]);
+    let mut fem = FemProblem::new(
+        m.clone(),
+        vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))],
+    );
     let (k, _) = fem.assemble(&vec![0.0; ndof]);
     let mut fixed = Vec::new();
     let mut f = vec![0.0; ndof];
@@ -63,7 +68,10 @@ fn multigrid_converges_on_l_bracket() {
     let b: Vec<f64> = rhs.iter().map(|v| -v).collect();
     let opts = PrometheusOptions {
         nranks: 2,
-        mg: MgOptions { coarse_dof_threshold: 300, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 300,
+            ..Default::default()
+        },
         max_iters: 300,
         ..Default::default()
     };
@@ -73,7 +81,12 @@ fn multigrid_converges_on_l_bracket() {
     assert!(res.iterations <= 80, "{} iterations", res.iterations);
     let mut ax = vec![0.0; ndof];
     kc.spmv(&x, &mut ax);
-    let err: f64 = ax.iter().zip(&b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
+    let err: f64 = ax
+        .iter()
+        .zip(&b)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
     let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     assert!(err < 1e-6 * bn);
 }

@@ -13,7 +13,10 @@ use std::sync::Arc;
 fn elasticity_matrix() -> (pmg_sparse::CsrMatrix, Vec<Vec3>) {
     let mesh = block(4, 4, 4, Vec3::splat(1.0), |_| 0);
     let ndof = mesh.num_dof();
-    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))]);
+    let mut fem = FemProblem::new(
+        mesh.clone(),
+        vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))],
+    );
     let (k, _) = fem.assemble(&vec![0.0; ndof]);
     let mut fixed = Vec::new();
     for (v, p) in mesh.coords.iter().enumerate() {
@@ -69,13 +72,19 @@ fn pcg_iteration_counts_independent_of_ranks_with_identity_precond() {
             &IdentityPrecond,
             &db,
             &mut x,
-            PcgOptions { rtol: 1e-6, max_iters: 2000, ..Default::default() },
+            PcgOptions {
+                rtol: 1e-6,
+                max_iters: 2000,
+                ..Default::default()
+            },
         );
         assert!(res.converged, "p={p}");
         iters.push(res.iterations);
     }
     assert!(
-        iters.iter().all(|&i| (i as i64 - iters[0] as i64).abs() <= 1),
+        iters
+            .iter()
+            .all(|&i| (i as i64 - iters[0] as i64).abs() <= 1),
         "iteration counts diverged across ranks: {iters:?}"
     );
 }
@@ -123,7 +132,11 @@ fn block_jacobi_blocks_scale_with_local_size() {
 fn machine_model_latency_dominates_small_messages() {
     // Sanity of the BSP model: for tiny payloads the modeled comm time is
     // ~latency * messages; for large payloads bandwidth dominates.
-    let model = MachineModel { latency: 1e-3, inv_bandwidth: 1e-9, flop_rate: 1e9 };
+    let model = MachineModel {
+        latency: 1e-3,
+        inv_bandwidth: 1e-9,
+        flop_rate: 1e9,
+    };
     let mut sim = Sim::new(2, model);
     sim.exchange(&[(1, 8), (1, 8)]);
     let small = sim.finish()["default"].modeled_comm_time;

@@ -17,7 +17,10 @@ fn cantilever_tip_deflection_matches_beam_theory() {
     let nx = 16;
     let mesh = block(nx, 2, 2, Vec3::new(l, 1.0, 1.0), |_| 0);
     let ndof = mesh.num_dof();
-    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(e, 0.0))]);
+    let mut fem = FemProblem::new(
+        mesh.clone(),
+        vec![Arc::new(LinearElastic::from_e_nu(e, 0.0))],
+    );
     let (k, _) = fem.assemble(&vec![0.0; ndof]);
 
     let mut fixed = Vec::new();
@@ -39,7 +42,10 @@ fn cantilever_tip_deflection_matches_beam_theory() {
 
     let opts = PrometheusOptions {
         nranks: 2,
-        mg: MgOptions { coarse_dof_threshold: 300, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 300,
+            ..Default::default()
+        },
         max_iters: 600,
         ..Default::default()
     };
@@ -64,7 +70,10 @@ fn cantilever_tip_deflection_matches_beam_theory() {
     );
     // And the sign/monotonicity: deflection grows along the beam.
     let mid_nodes = mesh.vertices_where(|p| (p.x - l / 2.0).abs() < 1e-9);
-    let w_mid: f64 = mid_nodes.iter().map(|&v| x[3 * v as usize + 2]).sum::<f64>()
+    let w_mid: f64 = mid_nodes
+        .iter()
+        .map(|&v| x[3 * v as usize + 2])
+        .sum::<f64>()
         / mid_nodes.len() as f64;
     assert!(w_fem > w_mid && w_mid > 0.0);
 }
@@ -76,7 +85,10 @@ fn uniaxial_stress_matches_hookes_law() {
     let (e, nu) = (10.0, 0.3);
     let mesh = block(6, 2, 2, Vec3::new(3.0, 1.0, 1.0), |_| 0);
     let ndof = mesh.num_dof();
-    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(e, nu))]);
+    let mut fem = FemProblem::new(
+        mesh.clone(),
+        vec![Arc::new(LinearElastic::from_e_nu(e, nu))],
+    );
     let (k, r0) = fem.assemble(&vec![0.0; ndof]);
 
     let stretch = 0.003; // 0.1% axial strain

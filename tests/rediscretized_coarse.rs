@@ -15,7 +15,10 @@ use std::sync::Arc;
 fn fine_system() -> (pmg_mesh::Mesh, CsrMatrix) {
     let mesh = cube(5);
     let ndof = mesh.num_dof();
-    let mut fem = FemProblem::new(mesh.clone(), vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))]);
+    let mut fem = FemProblem::new(
+        mesh.clone(),
+        vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))],
+    );
     let (k, _) = fem.assemble(&vec![0.0; ndof]);
     let mut fixed = Vec::new();
     for (v, p) in mesh.coords.iter().enumerate() {
@@ -49,7 +52,16 @@ impl TwoGrid {
         let p = DistMatrix::from_global(&r_dof.transpose(), lf, lc.clone());
         let ac = DistMatrix::from_global(acoarse, lc.clone(), lc);
         let coarse = CoarseDirect::new(&ac);
-        (TwoGrid { a, smoother, r, p, coarse }, sim)
+        (
+            TwoGrid {
+                a,
+                smoother,
+                r,
+                p,
+                coarse,
+            },
+            sim,
+        )
     }
 }
 
@@ -106,7 +118,9 @@ fn galerkin_and_rediscretized_operators_agree_spectrally() {
                 if constrained[i] {
                     0.0
                 } else {
-                    (((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed * 0x9e37))
+                    (((i as u64)
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(seed * 0x9e37))
                         % 1000) as f64
                         / 500.0
                         - 1.0
@@ -172,7 +186,11 @@ fn both_coarse_operators_precondition_two_grid() {
             &tg,
             &db,
             &mut x,
-            PcgOptions { rtol: 1e-8, max_iters: 300, ..Default::default() },
+            PcgOptions {
+                rtol: 1e-8,
+                max_iters: 300,
+                ..Default::default()
+            },
         );
         assert!(res.converged);
         iters.push(res.iterations);

@@ -31,10 +31,19 @@ fn constrained_system(
     (kc, rhs.iter().map(|v| -v).collect())
 }
 
-fn solve_iters(mesh: &pmg_mesh::Mesh, k: &pmg_sparse::CsrMatrix, b: &[f64], cycle: CycleType) -> usize {
+fn solve_iters(
+    mesh: &pmg_mesh::Mesh,
+    k: &pmg_sparse::CsrMatrix,
+    b: &[f64],
+    cycle: CycleType,
+) -> usize {
     let opts = PrometheusOptions {
         nranks: 2,
-        mg: MgOptions { coarse_dof_threshold: 300, cycle, ..Default::default() },
+        mg: MgOptions {
+            coarse_dof_threshold: 300,
+            cycle,
+            ..Default::default()
+        },
         max_iters: 300,
         ..Default::default()
     };
@@ -49,14 +58,23 @@ fn material_jump_1e4_stays_bounded() {
     // Alternating stiff/soft slabs (two elements through each slab, like
     // the paper's resolved shells): the Galerkin coarse operators see the
     // jump; MG-PCG must stay in a few dozen iterations.
-    let mesh = block(6, 6, 6, Vec3::splat(1.0), |c| if ((c.z * 3.0) as usize).is_multiple_of(2) { 0 } else { 1 });
+    let mesh = block(6, 6, 6, Vec3::splat(1.0), |c| {
+        if ((c.z * 3.0) as usize).is_multiple_of(2) {
+            0
+        } else {
+            1
+        }
+    });
     let mats: Vec<Arc<dyn pmg_fem::Material>> = vec![
         Arc::new(LinearElastic::from_e_nu(1.0, 0.3)),
         Arc::new(LinearElastic::from_e_nu(1e-4, 0.3)),
     ];
     let (k, b) = constrained_system(&mesh, mats);
     let iters = solve_iters(&mesh, &k, &b, CycleType::Fmg);
-    assert!(iters <= 60, "material jump blew up the iteration count: {iters}");
+    assert!(
+        iters <= 60,
+        "material jump blew up the iteration count: {iters}"
+    );
 }
 
 #[test]
@@ -64,7 +82,13 @@ fn one_element_thick_jump_slabs_still_converge() {
     // The degenerate variant: slabs one element thick, so no coarse grid
     // can resolve the layering. Convergence degrades (the coarse space
     // cannot represent per-slab kinematics) but must not stall.
-    let mesh = block(6, 6, 6, Vec3::splat(1.0), |c| if ((c.z * 6.0) as usize).is_multiple_of(2) { 0 } else { 1 });
+    let mesh = block(6, 6, 6, Vec3::splat(1.0), |c| {
+        if ((c.z * 6.0) as usize).is_multiple_of(2) {
+            0
+        } else {
+            1
+        }
+    });
     let mats: Vec<Arc<dyn pmg_fem::Material>> = vec![
         Arc::new(LinearElastic::from_e_nu(1.0, 0.3)),
         Arc::new(LinearElastic::from_e_nu(1e-4, 0.3)),
@@ -77,8 +101,7 @@ fn one_element_thick_jump_slabs_still_converge() {
 #[test]
 fn near_incompressible_converges() {
     let mesh = block(5, 5, 5, Vec3::splat(1.0), |_| 0);
-    let mats: Vec<Arc<dyn pmg_fem::Material>> =
-        vec![Arc::new(NeoHookean::from_e_nu(1e-4, 0.49))];
+    let mats: Vec<Arc<dyn pmg_fem::Material>> = vec![Arc::new(NeoHookean::from_e_nu(1e-4, 0.49))];
     let (k, b) = constrained_system(&mesh, mats);
     let iters = solve_iters(&mesh, &k, &b, CycleType::Fmg);
     assert!(iters <= 120, "nu=0.49 iteration count: {iters}");
@@ -87,8 +110,7 @@ fn near_incompressible_converges() {
 #[test]
 fn v_w_and_fmg_cycles_all_work() {
     let mesh = block(6, 6, 6, Vec3::splat(1.0), |_| 0);
-    let mats: Vec<Arc<dyn pmg_fem::Material>> =
-        vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))];
+    let mats: Vec<Arc<dyn pmg_fem::Material>> = vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))];
     let (k, b) = constrained_system(&mesh, mats);
     let v = solve_iters(&mesh, &k, &b, CycleType::V);
     let w = solve_iters(&mesh, &k, &b, CycleType::W);
@@ -105,8 +127,7 @@ fn sa_baseline_solves_elasticity() {
     use prometheus::{build_sa_hierarchy, SaOptions};
 
     let mesh = block(5, 5, 5, Vec3::splat(1.0), |_| 0);
-    let mats: Vec<Arc<dyn pmg_fem::Material>> =
-        vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))];
+    let mats: Vec<Arc<dyn pmg_fem::Material>> = vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))];
     let (k, b) = constrained_system(&mesh, mats);
     let mut sim = Sim::new(2, MachineModel::default());
     let sa = build_sa_hierarchy(
@@ -132,7 +153,11 @@ fn sa_baseline_solves_elasticity() {
         &sa,
         &db,
         &mut x,
-        PcgOptions { rtol: 1e-8, max_iters: 300, ..Default::default() },
+        PcgOptions {
+            rtol: 1e-8,
+            max_iters: 300,
+            ..Default::default()
+        },
     );
     assert!(res.converged);
     assert!(res.iterations <= 120, "SA iterations: {}", res.iterations);
@@ -144,8 +169,7 @@ fn one_level_baseline_is_worse_than_mg() {
     use pmg_solver::{pcg, BlockJacobi, PcgOptions};
 
     let mesh = block(7, 7, 7, Vec3::splat(1.0), |_| 0);
-    let mats: Vec<Arc<dyn pmg_fem::Material>> =
-        vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))];
+    let mats: Vec<Arc<dyn pmg_fem::Material>> = vec![Arc::new(LinearElastic::from_e_nu(1.0, 0.3))];
     let (k, b) = constrained_system(&mesh, mats);
     let mg_iters = solve_iters(&mesh, &k, &b, CycleType::Fmg);
 
@@ -161,7 +185,11 @@ fn one_level_baseline_is_worse_than_mg() {
         &bj,
         &db,
         &mut x,
-        PcgOptions { rtol: 1e-8, max_iters: 3000, ..Default::default() },
+        PcgOptions {
+            rtol: 1e-8,
+            max_iters: 3000,
+            ..Default::default()
+        },
     );
     assert!(
         res.iterations > 2 * mg_iters,

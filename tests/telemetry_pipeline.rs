@@ -1,0 +1,133 @@
+//! Deterministic end-to-end telemetry regression: solve the tiny
+//! concentric-spheres problem (fixed MIS seed, fixed machine model) with
+//! collection enabled and check that
+//!
+//! - the CG iteration count stays inside its recorded band,
+//! - the report carries every expected setup phase (classify, MIS,
+//!   Delaunay remesh, restriction, `R A Rᵀ`, smoother, coarse direct) and
+//!   per-level solve phase (smooth / restrict / prolong / coarse) with
+//!   nonzero time,
+//! - iteration count and residual history land in the report, and
+//! - the whole artifact round-trips through one JSON-lines document.
+//!
+//! Telemetry is process-global, so this test lives alone in its own
+//! integration-test binary.
+
+use pmg_bench::spheres_first_solve;
+use pmg_telemetry::{JsonLinesSink, Report, Sink};
+use prometheus::{MgOptions, Prometheus, PrometheusOptions};
+
+/// Recorded band for the tiny spheres first solve at rtol 1e-6 (measured:
+/// 13 iterations). The problem, seed, and machine model are fixed, so a
+/// drift outside this band means the solver or coarsening changed.
+const ITER_BAND: std::ops::RangeInclusive<usize> = 8..=25;
+
+#[test]
+fn spheres_solve_emits_full_telemetry_report() {
+    pmg_telemetry::reset();
+    pmg_telemetry::set_enabled(true);
+    pmg_telemetry::label("problem", "spheres-tiny");
+
+    let sys = spheres_first_solve(0);
+    let ndof = sys.mesh.num_dof();
+    let opts = PrometheusOptions {
+        nranks: 2,
+        mg: MgOptions {
+            coarse_dof_threshold: 200,
+            ..Default::default()
+        },
+        max_iters: 200,
+        ..Default::default()
+    };
+    let mut solver = Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
+    let (x, res) = solver.solve(&sys.rhs, None, 1e-6);
+    let report = solver.report();
+    pmg_telemetry::set_enabled(false);
+
+    // The solve itself: converged, inside the recorded iteration band, and
+    // actually solving the system.
+    assert!(res.converged, "{res:?}");
+    assert!(
+        ITER_BAND.contains(&res.iterations),
+        "iteration count {} left the recorded band {ITER_BAND:?}",
+        res.iterations
+    );
+    let mut ax = vec![0.0; ndof];
+    sys.matrix.spmv(&x, &mut ax);
+    let err: f64 = ax
+        .iter()
+        .zip(&sys.rhs)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
+    let bn: f64 = sys.rhs.iter().map(|v| v * v).sum::<f64>().sqrt();
+    assert!(err < 1e-4 * bn);
+
+    // Every setup phase of the paper's pipeline, with nonzero time.
+    for path in [
+        "setup",
+        "setup/classify",
+        "setup/coarsen",
+        "setup/coarsen/mis",
+        "setup/coarsen/delaunay",
+        "setup/coarsen/delaunay/triangulate",
+        "setup/coarsen/restriction",
+        "setup/rap",
+        "setup/smoother",
+        "setup/coarse_direct",
+        "solve",
+        "solve/pcg",
+        "solve/pcg/precond",
+    ] {
+        let p = report
+            .phase(path)
+            .unwrap_or_else(|| panic!("missing phase {path}"));
+        assert!(p.total_s > 0.0, "phase {path} has zero time");
+        assert!(p.count > 0, "phase {path} has zero count");
+    }
+
+    // Per-level solve phases: smooth/restrict/prolong on every grid that
+    // cycles, coarse on the bottom grid.
+    let nlevels = solver.level_sizes().len();
+    assert!(
+        nlevels >= 2,
+        "hierarchy too shallow: {:?}",
+        solver.level_sizes()
+    );
+    for lvl in 0..nlevels - 1 {
+        for op in ["smooth", "restrict", "prolong"] {
+            let path = format!("solve/pcg/precond/level{lvl}/{op}");
+            let p = report
+                .phase(&path)
+                .unwrap_or_else(|| panic!("missing phase {path}"));
+            assert!(p.total_s > 0.0, "phase {path} has zero time");
+        }
+    }
+    let coarse = format!("solve/pcg/precond/level{}/coarse", nlevels - 1);
+    assert!(report.phase(&coarse).is_some(), "missing {coarse}");
+
+    // Iteration count, residual history, per-level gauges, labels.
+    assert_eq!(report.counters["pcg/iterations"], res.iterations as u64);
+    assert_eq!(report.series["pcg/residuals"], res.residuals);
+    assert_eq!(report.gauges["mg/levels"], nlevels as f64);
+    assert_eq!(report.gauges["mg/level0/rows"], ndof as f64);
+    assert!(report.gauges["mg/operator_complexity"] > 1.0);
+    assert_eq!(report.labels["problem"], "spheres-tiny");
+
+    // The bridged machine-model phases arrive in the same artifact.
+    for name in ["mesh setup", "matrix setup", "solve"] {
+        let s = report
+            .sim_phases
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sim phase {name}"));
+        assert!(s.total_flops > 0, "sim phase {name} has zero flops");
+    }
+
+    // One JSON-lines document round-trips the entire report.
+    let mut buf = Vec::new();
+    JsonLinesSink(&mut buf).emit(&report).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let parsed = Report::from_json_lines(&text).unwrap();
+    assert_eq!(parsed, report);
+}
