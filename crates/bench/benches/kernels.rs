@@ -39,13 +39,40 @@ fn bench_bsr(c: &mut Criterion) {
 }
 
 fn bench_rap(c: &mut Criterion) {
+    // Cold symbolic+numeric triple product vs numeric-only re-execution of a
+    // cached `RapPlan` — the Newton-loop path after the first assembly.
     let sys = spheres_first_solve(1);
     let mesh = &sys.mesh;
     let graph = mesh.vertex_graph();
     let classes = classify_mesh(mesh, 0.7);
     let lvl = coarsen_level(&mesh.coords, &graph, &classes, &CoarsenOptions::default());
     let r = prometheus::mg::expand_restriction(&lvl.restriction, 3);
-    c.bench_function("galerkin_rap", |b| b.iter(|| sys.matrix.rap(&r)));
+    let mut plan = pmg_sparse::RapPlan::new(&sys.matrix, &r);
+    let mut g = c.benchmark_group("rap");
+    g.bench_function("cold", |b| b.iter(|| sys.matrix.rap(&r)));
+    g.bench_function("planned", |b| b.iter(|| plan.execute(&sys.matrix)));
+    g.finish();
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    // Cold = sparsity pattern + scatter map + values; pattern_reuse = the
+    // value-only refill every Newton iteration after the first takes.
+    let params = pmg_mesh::SpheresParams::tiny();
+    let mesh = pmg_mesh::sphere_in_cube(&params);
+    let mats = pmg_fem::table1_materials();
+    let u = vec![0.0; mesh.num_dof()];
+    let mut g = c.benchmark_group("assemble");
+    g.bench_function("cold", |b| {
+        b.iter_batched(
+            || (mesh.clone(), mats.clone()),
+            |(m, mt)| pmg_fem::FemProblem::new(m, mt).assemble(&u),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut fem = pmg_fem::FemProblem::new(mesh.clone(), mats.clone());
+    fem.assemble(&u);
+    g.bench_function("pattern_reuse", |b| b.iter(|| fem.assemble(&u)));
+    g.finish();
 }
 
 fn bench_mis(c: &mut Criterion) {
@@ -140,6 +167,7 @@ criterion_group!(
     bench_spmv,
     bench_bsr,
     bench_rap,
+    bench_assembly,
     bench_mis,
     bench_face_identification,
     bench_delaunay,

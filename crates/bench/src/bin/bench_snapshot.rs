@@ -1,0 +1,206 @@
+//! One-shot perf snapshot of the symbolic/numeric kernel split (PR 2).
+//!
+//! Times the three kernels the split touches — the Galerkin triple product
+//! (cold vs planned), element assembly (cold vs pattern-reuse), and SpMV
+//! (scalar CSR vs 3x3-blocked) — then drives two Newton-style operator
+//! update rounds through a full MG hierarchy with telemetry on and records
+//! the plan/pattern build-vs-reuse counters. Everything lands in a
+//! hand-rolled JSON file (default `BENCH_PR2.json`, override with
+//! `PMG_BENCH_OUT`).
+//!
+//! Knobs: `PMG_BENCH_K` ladder point (default 0 = tiny spheres),
+//! `PMG_BENCH_MS` per-measurement budget in milliseconds (default 200),
+//! `PMG_BENCH_ASSERT=1` exits nonzero unless planned RAP and pattern-reuse
+//! assembly are both >= 1.5x their cold baselines.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use pmg_bench::spheres_first_solve;
+use pmg_fem::bc::constrain_system;
+use prometheus::{
+    classify_mesh, coarsen_level, CoarsenOptions, MgOptions, Prometheus, PrometheusOptions,
+};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Best-of-N wall time (seconds) for one call of `f`, spending roughly
+/// `budget` on repetitions after a warmup call.
+fn time_min<F: FnMut()>(budget: Duration, mut f: F) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    let mut reps = 0u32;
+    while reps < 3 || start.elapsed() < budget {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+        reps += 1;
+    }
+    best
+}
+
+fn main() {
+    let k = env_usize("PMG_BENCH_K", 0);
+    let budget = Duration::from_millis(env_usize("PMG_BENCH_MS", 200) as u64);
+    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+
+    let sys = spheres_first_solve(k);
+    let ndof = sys.mesh.num_dof();
+    let nnz = sys.matrix.nnz();
+    eprintln!("spheres k={k}: {ndof} dof, {nnz} nnz; budget {budget:?}/measurement");
+
+    // --- SpMV: scalar CSR vs 3x3-blocked --------------------------------
+    let bsr = pmg_sparse::Bsr3Matrix::from_csr(&sys.matrix);
+    let x: Vec<f64> = (0..ndof).map(|i| (i as f64 * 0.1).sin()).collect();
+    let mut y = vec![0.0; ndof];
+    let spmv_csr = time_min(budget, || sys.matrix.spmv(black_box(&x), &mut y));
+    let spmv_bsr = time_min(budget, || bsr.spmv(black_box(&x), &mut y));
+
+    // --- RAP: cold symbolic+numeric vs planned numeric-only -------------
+    let graph = sys.mesh.vertex_graph();
+    let classes = classify_mesh(&sys.mesh, 0.7);
+    let lvl = coarsen_level(
+        &sys.mesh.coords,
+        &graph,
+        &classes,
+        &CoarsenOptions::default(),
+    );
+    let r = prometheus::mg::expand_restriction(&lvl.restriction, 3);
+    let rap_cold = time_min(budget, || {
+        black_box(sys.matrix.rap(black_box(&r)));
+    });
+    let mut plan = pmg_sparse::RapPlan::new(&sys.matrix, &r);
+    let rap_planned = time_min(budget, || {
+        black_box(plan.execute(black_box(&sys.matrix)));
+    });
+
+    // --- Assembly: cold pattern+scatter+values vs value-only refill -----
+    let mats = pmg_fem::table1_materials();
+    let u = vec![0.0; ndof];
+    let asm_cold = time_min(budget, || {
+        let fem = pmg_fem::FemProblem::new(sys.mesh.clone(), mats.clone());
+        black_box(black_box(fem).assemble(&u));
+    });
+    let mut fem = pmg_fem::FemProblem::new(sys.mesh.clone(), mats.clone());
+    fem.assemble(&u);
+    let asm_warm = time_min(budget, || {
+        black_box(fem.assemble(black_box(&u)));
+    });
+
+    // --- Counters: two operator-update rounds through the hierarchy -----
+    // Rebuilt from scratch inside the telemetry window so the symbolic
+    // builds (pattern, scatter, RAP plans) are accounted alongside reuses.
+    pmg_telemetry::reset();
+    pmg_telemetry::set_enabled(true);
+    let mut sys = spheres_first_solve(k);
+    let opts = PrometheusOptions {
+        nranks: 2,
+        mg: MgOptions {
+            coarse_dof_threshold: 200,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut solver = Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
+    let fixed: Vec<(u32, f64)> = sys
+        .problem
+        .bcs_for_step(1, 10)
+        .iter()
+        .map(|b| (b.dof, b.value))
+        .collect();
+    for amplitude in [1e-4, 2e-4] {
+        let u: Vec<f64> = (0..ndof)
+            .map(|i| amplitude * ((i * 7 % 13) as f64 / 13.0 - 0.5))
+            .collect();
+        let (kmat, rhs) = sys.problem.fem.assemble(&u);
+        let (kc, _) = constrain_system(&kmat, &rhs, &fixed);
+        solver.update_matrix(&kc);
+    }
+    let report = pmg_telemetry::snapshot();
+    pmg_telemetry::set_enabled(false);
+    let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+
+    let rap_speedup = rap_cold / rap_planned;
+    let asm_speedup = asm_cold / asm_warm;
+    let spmv_speedup = spmv_csr / spmv_bsr;
+
+    let mut json = String::new();
+    let j = &mut json;
+    writeln!(j, "{{").unwrap();
+    writeln!(j, "  \"meta\": {{").unwrap();
+    writeln!(j, "    \"k\": {k},").unwrap();
+    writeln!(j, "    \"ndof\": {ndof},").unwrap();
+    writeln!(j, "    \"nnz\": {nnz},").unwrap();
+    writeln!(j, "    \"budget_ms\": {}", budget.as_millis()).unwrap();
+    writeln!(j, "  }},").unwrap();
+    writeln!(j, "  \"spmv\": {{").unwrap();
+    writeln!(j, "    \"csr_s\": {spmv_csr:.9},").unwrap();
+    writeln!(j, "    \"bsr3_s\": {spmv_bsr:.9},").unwrap();
+    writeln!(j, "    \"bsr3_speedup\": {spmv_speedup:.3}").unwrap();
+    writeln!(j, "  }},").unwrap();
+    writeln!(j, "  \"rap\": {{").unwrap();
+    writeln!(j, "    \"cold_s\": {rap_cold:.9},").unwrap();
+    writeln!(j, "    \"planned_s\": {rap_planned:.9},").unwrap();
+    writeln!(j, "    \"planned_speedup\": {rap_speedup:.3}").unwrap();
+    writeln!(j, "  }},").unwrap();
+    writeln!(j, "  \"assemble\": {{").unwrap();
+    writeln!(j, "    \"cold_s\": {asm_cold:.9},").unwrap();
+    writeln!(j, "    \"pattern_reuse_s\": {asm_warm:.9},").unwrap();
+    writeln!(j, "    \"pattern_reuse_speedup\": {asm_speedup:.3}").unwrap();
+    writeln!(j, "  }},").unwrap();
+    writeln!(j, "  \"counters\": {{").unwrap();
+    writeln!(j, "    \"rap_plan_build\": {},", counter("rap/plan_build")).unwrap();
+    writeln!(j, "    \"rap_plan_reuse\": {},", counter("rap/plan_reuse")).unwrap();
+    writeln!(
+        j,
+        "    \"assembly_pattern_build\": {},",
+        counter("assembly/pattern_build")
+    )
+    .unwrap();
+    writeln!(
+        j,
+        "    \"assembly_pattern_reuse\": {},",
+        counter("assembly/pattern_reuse")
+    )
+    .unwrap();
+    writeln!(
+        j,
+        "    \"spmv_bsr3_promoted\": {}",
+        counter("spmv/bsr3_promoted")
+    )
+    .unwrap();
+    writeln!(j, "  }}").unwrap();
+    writeln!(j, "}}").unwrap();
+    std::fs::write(&out_path, &json).expect("write bench snapshot");
+
+    println!("spmv      csr {spmv_csr:.3e}s  bsr3 {spmv_bsr:.3e}s  ({spmv_speedup:.2}x)");
+    println!("rap       cold {rap_cold:.3e}s  planned {rap_planned:.3e}s  ({rap_speedup:.2}x)");
+    println!("assemble  cold {asm_cold:.3e}s  reuse {asm_warm:.3e}s  ({asm_speedup:.2}x)");
+    println!(
+        "counters  plan build/reuse {}/{}  pattern build/reuse {}/{}  bsr3 promoted {}",
+        counter("rap/plan_build"),
+        counter("rap/plan_reuse"),
+        counter("assembly/pattern_build"),
+        counter("assembly/pattern_reuse"),
+        counter("spmv/bsr3_promoted")
+    );
+    println!("wrote {out_path}");
+
+    if std::env::var("PMG_BENCH_ASSERT").as_deref() == Ok("1") {
+        assert!(
+            rap_speedup >= 1.5,
+            "planned RAP only {rap_speedup:.2}x vs cold (need >= 1.5x)"
+        );
+        assert!(
+            asm_speedup >= 1.5,
+            "pattern-reuse assembly only {asm_speedup:.2}x vs cold (need >= 1.5x)"
+        );
+    }
+}

@@ -7,7 +7,7 @@ use pmg_geometry::Vec3;
 use pmg_parallel::{DistMatrix, DistVec, Layout, Sim};
 use pmg_partition::{recursive_coordinate_bisection, Graph};
 use pmg_solver::{BlockJacobi, Chebyshev, CoarseDirect, Precond};
-use pmg_sparse::{CooBuilder, CsrMatrix};
+use pmg_sparse::{CooBuilder, CsrMatrix, RapPlan};
 use std::sync::Arc;
 
 /// Multigrid cycle used as the CG preconditioner.
@@ -87,6 +87,9 @@ pub struct MgOptions {
     pub dofs_per_vertex: usize,
     pub smoother: SmootherType,
     pub coarsen: CoarsenOptions,
+    /// Route 3-dof level operators through 3x3 BSR storage (numerically
+    /// identical to the scalar path; off only for A/B comparisons).
+    pub block3: bool,
 }
 
 impl Default for MgOptions {
@@ -102,6 +105,7 @@ impl Default for MgOptions {
             dofs_per_vertex: 3,
             smoother: SmootherType::BlockJacobi,
             coarsen: CoarsenOptions::default(),
+            block3: true,
         }
     }
 }
@@ -123,6 +127,11 @@ pub struct MgLevel {
     /// setup" phase, repeated per Newton iteration while the "mesh setup"
     /// phase is amortized).
     pub r_global: Option<CsrMatrix>,
+    /// Cached symbolic plan of `R A Rᵀ` for this level's operator. Built
+    /// with the hierarchy; [`MgHierarchy::update_operator`] re-executes it
+    /// numerically in O(nnz) while this level's sparsity pattern is
+    /// unchanged, and rebuilds it transparently otherwise.
+    pub rap_plan: Option<RapPlan>,
 }
 
 /// The assembled hierarchy; implements [`Precond`] as one MG cycle.
@@ -174,6 +183,15 @@ impl MgHierarchy {
             let vlayout = Layout::from_part(part, nranks);
             Layout::expand_dofs(&vlayout, dofs)
         };
+        // Level operators of 3-dof displacement problems run blocked
+        // (BSR3); R/P and scalar problems stay on the scalar CSR path.
+        let make_da = move |a: &CsrMatrix, l: &Arc<Layout>| -> DistMatrix {
+            if dofs == 3 && opts.block3 {
+                DistMatrix::from_global_blocked(a, l.clone(), l.clone())
+            } else {
+                DistMatrix::from_global(a, l.clone(), l.clone())
+            }
+        };
 
         let mut levels: Vec<MgLevel> = Vec::new();
         let mut coarsen_info = Vec::new();
@@ -200,7 +218,7 @@ impl MgHierarchy {
 
             if at_bottom {
                 sim.phase("matrix setup");
-                let da = DistMatrix::from_global(&cur_a, cur_layout.clone(), cur_layout.clone());
+                let da = make_da(&cur_a, &cur_layout);
                 let smoother = {
                     let _t = pmg_telemetry::scope("smoother");
                     Smoother::build(sim, &da, &opts)
@@ -218,6 +236,7 @@ impl MgHierarchy {
                     coarse: Some(coarse),
                     num_vertices: cur_coords.len(),
                     r_global: None,
+                    rap_plan: None,
                 });
                 break;
             }
@@ -239,7 +258,7 @@ impl MgHierarchy {
             if nc * 100 >= cur_coords.len() * 95 || nc < 4 {
                 // Coarsening stalled: finish with a direct solve here.
                 sim.phase("matrix setup");
-                let da = DistMatrix::from_global(&cur_a, cur_layout.clone(), cur_layout.clone());
+                let da = make_da(&cur_a, &cur_layout);
                 let smoother = {
                     let _t = pmg_telemetry::scope("smoother");
                     Smoother::build(sim, &da, &opts)
@@ -257,6 +276,7 @@ impl MgHierarchy {
                     coarse: Some(coarse),
                     num_vertices: cur_coords.len(),
                     r_global: None,
+                    rap_plan: None,
                 });
                 break;
             }
@@ -265,12 +285,16 @@ impl MgHierarchy {
             // setup).
             sim.phase("matrix setup");
             let r_dof = expand_restriction(&cl.restriction, dofs);
-            let (a_coarse, _) = {
+            let ((a_coarse, rap_plan), _) = {
                 let _t = pmg_telemetry::scope("rap");
-                pmg_sparse::flops::measure(|| cur_a.rap(&r_dof))
+                pmg_sparse::flops::measure(|| {
+                    let mut plan = RapPlan::new(&cur_a, &r_dof);
+                    let ac = plan.execute(&cur_a);
+                    (ac, plan)
+                })
             };
             let coarse_layout = make_layout(&cl.coords);
-            let da = DistMatrix::from_global(&cur_a, cur_layout.clone(), cur_layout.clone());
+            let da = make_da(&cur_a, &cur_layout);
             let dr = DistMatrix::from_global(&r_dof, coarse_layout.clone(), cur_layout.clone());
             let dp = DistMatrix::from_global(
                 &r_dof.transpose(),
@@ -291,6 +315,7 @@ impl MgHierarchy {
                 coarse: None,
                 num_vertices: cur_coords.len(),
                 r_global: Some(r_dof),
+                rap_plan: Some(rap_plan),
             });
 
             cur_a = a_coarse;
@@ -321,8 +346,14 @@ impl MgHierarchy {
     /// refactor the smoothers and the coarse direct solve, but keep the
     /// grids, layouts, and restriction operators. This is what each Newton
     /// iteration pays in the paper (the mesh setup is amortized, §6).
+    ///
+    /// Each level's Galerkin product re-executes its cached [`RapPlan`]
+    /// numerically — no symbolic work — as long as the level's sparsity
+    /// pattern is unchanged (the common case: Newton only changes values).
+    /// A pattern change is detected and the plan rebuilt transparently.
     pub fn update_operator(&mut self, sim: &mut Sim, a_fine: &CsrMatrix) {
         sim.phase("matrix setup");
+        let dofs = self.opts.dofs_per_vertex;
         let mut cur = a_fine.clone();
         for lvl in 0..self.levels.len() {
             let row_layout = self.levels[lvl].a.row_layout().clone();
@@ -331,18 +362,29 @@ impl MgHierarchy {
                 row_layout.num_global(),
                 "operator size changed"
             );
-            let da = DistMatrix::from_global(&cur, row_layout.clone(), row_layout);
+            let da = if dofs == 3 && self.opts.block3 {
+                DistMatrix::from_global_blocked(&cur, row_layout.clone(), row_layout)
+            } else {
+                DistMatrix::from_global(&cur, row_layout.clone(), row_layout)
+            };
             let opts = self.opts;
             let smoother = {
                 let _t = pmg_telemetry::scope("smoother");
                 Smoother::build(sim, &da, &opts)
             };
-            let next = self.levels[lvl].r_global.as_ref().map(|r| {
+            let level = &mut self.levels[lvl];
+            let next = level.r_global.is_some().then(|| {
                 let _t = pmg_telemetry::scope("rap");
-                let (ac, _) = pmg_sparse::flops::measure(|| cur.rap(r));
+                let planned = level.rap_plan.as_ref().is_some_and(|p| p.matches(&cur));
+                if !planned {
+                    let r = level.r_global.as_ref().expect("checked above");
+                    let (plan, _) = pmg_sparse::flops::measure(|| RapPlan::new(&cur, r));
+                    level.rap_plan = Some(plan);
+                }
+                let plan = level.rap_plan.as_mut().expect("plan set above");
+                let (ac, _) = pmg_sparse::flops::measure(|| plan.execute(&cur));
                 ac
             });
-            let level = &mut self.levels[lvl];
             if level.coarse.is_some() {
                 let _t = pmg_telemetry::scope("coarse_direct");
                 level.coarse = Some(CoarseDirect::new(&da));

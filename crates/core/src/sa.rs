@@ -262,13 +262,15 @@ pub fn build_sa_hierarchy(
                     coarse: Some(coarse),
                     num_vertices: cur_coords.len(),
                     r_global: None,
+                    rap_plan: None,
                 });
                 break;
             }
             Some((r_dof, c_coords)) => {
                 coarsen_info.push((c_coords.len(), 0));
                 sim.phase("matrix setup");
-                let a_coarse = cur_a.rap(&r_dof);
+                let mut rap_plan = pmg_sparse::RapPlan::new(&cur_a, &r_dof);
+                let a_coarse = rap_plan.execute(&cur_a);
                 let coarse_layout = make_layout(&c_coords);
                 let da = DistMatrix::from_global(&cur_a, cur_layout.clone(), cur_layout.clone());
                 let dr = DistMatrix::from_global(&r_dof, coarse_layout.clone(), cur_layout.clone());
@@ -290,6 +292,7 @@ pub fn build_sa_hierarchy(
                     coarse: None,
                     num_vertices: cur_coords.len(),
                     r_global: Some(r_dof),
+                    rap_plan: Some(rap_plan),
                 });
                 cur_a = a_coarse;
                 cur_coords = c_coords;

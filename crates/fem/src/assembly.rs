@@ -28,6 +28,20 @@ pub struct FemProblem {
     stride: usize,
     quad: Vec<QuadPoint>,
     sparsity: CsrMatrix,
+    /// Per-element scatter map: for element `e` and local entry
+    /// `(row, col)` of its `edof × edof` stiffness, the flat index into the
+    /// CSR value array (`scatter[e * edof² + row * edof + col]`). Built
+    /// once with the sparsity; every re-assembly then writes values by
+    /// direct indexing — no per-entry binary search, no COO sort.
+    scatter: Vec<u32>,
+    /// Cached physical shape gradients and Jacobian determinant per
+    /// (element, Gauss point): `3*nv` gradient components then `det`
+    /// (`det == 0` marks an inverted element, skipped during integration).
+    /// Pure geometry — depends on coordinates only, not on displacement —
+    /// so it survives every Newton iteration and is rebuilt only when
+    /// [`coords_fingerprint`] says the mesh moved.
+    geom: Vec<f64>,
+    coords_fp: u64,
 }
 
 impl FemProblem {
@@ -55,6 +69,15 @@ impl FemProblem {
             let _t = pmg_telemetry::scope("sparsity");
             build_sparsity(&mesh)
         };
+        let scatter = {
+            let _t = pmg_telemetry::scope("scatter_map");
+            build_scatter(&mesh, &sparsity)
+        };
+        let geom = {
+            let _t = pmg_telemetry::scope("geom");
+            build_geom(&mesh, &quad)
+        };
+        let coords_fp = coords_fingerprint(&mesh.coords);
         pmg_telemetry::gauge_set("fem/ndof", mesh.num_dof() as f64);
         pmg_telemetry::gauge_set("fem/nnz", sparsity.nnz() as f64);
         FemProblem {
@@ -65,6 +88,9 @@ impl FemProblem {
             stride,
             quad,
             sparsity,
+            scatter,
+            geom,
+            coords_fp,
         }
     }
 
@@ -84,10 +110,21 @@ impl FemProblem {
         assert_eq!(u.len(), self.ndof());
         let nelems = self.mesh.num_elements();
         pmg_telemetry::counter_add("fem/elements_assembled", nelems as u64);
+        pmg_telemetry::counter_add("assembly/pattern_reuse", 1);
         let nv = self.mesh.kind.nodes();
         let edof = 3 * nv;
         let esl = self.quad.len() * self.stride;
         self.trial.copy_from_slice(&self.committed);
+
+        // Geometry (physical gradients, Jacobians) only changes when the
+        // mesh moves; detect that and rebuild the cache, else reuse it.
+        let fp = coords_fingerprint(&self.mesh.coords);
+        if fp != self.coords_fp {
+            let _t = pmg_telemetry::scope("geom");
+            pmg_telemetry::counter_add("assembly/geom_rebuild", 1);
+            self.geom = build_geom(&self.mesh, &self.quad);
+            self.coords_fp = fp;
+        }
 
         let mut k = self.sparsity.clone();
         let mut f = vec![0.0f64; self.ndof()];
@@ -95,48 +132,78 @@ impl FemProblem {
         let mesh = &self.mesh;
         let materials = &self.materials;
         let quad = &self.quad;
+        let geom = &self.geom;
         let stride = self.stride;
+        let scatter = &self.scatter;
+        let kv = k.vals_mut();
+
+        // Flat per-chunk element outputs, allocated once and reused — no
+        // per-element Vecs on the hot path.
+        let mut kbuf = vec![0.0f64; CHUNK.min(nelems) * edof * edof];
+        let mut fbuf = vec![0.0f64; CHUNK.min(nelems) * edof];
 
         let mut start = 0usize;
         while start < nelems {
             let end = (start + CHUNK).min(nelems);
-            let states = if esl > 0 {
-                &mut self.trial[start * esl..end * esl]
-            } else {
-                &mut self.trial[0..0]
-            };
-            let results: Vec<(Vec<f64>, Vec<f64>)> = if esl > 0 {
-                states
+            let cnt = end - start;
+            let kb = &mut kbuf[..cnt * edof * edof];
+            let fb = &mut fbuf[..cnt * edof];
+            if esl > 0 {
+                self.trial[start * esl..end * esl]
                     .par_chunks_mut(esl)
+                    .zip(kb.par_chunks_mut(edof * edof))
+                    .zip(fb.par_chunks_mut(edof))
                     .enumerate()
-                    .map(|(off, st)| {
-                        element_kernel(mesh, materials, quad, stride, start + off, u, st)
-                    })
-                    .collect()
+                    .for_each(|(off, ((st, ke), fe))| {
+                        element_kernel(
+                            mesh,
+                            materials,
+                            geom,
+                            quad,
+                            stride,
+                            start + off,
+                            u,
+                            st,
+                            ke,
+                            fe,
+                        )
+                    });
             } else {
-                (start..end)
-                    .into_par_iter()
-                    .map(|e| element_kernel(mesh, materials, quad, stride, e, u, &mut []))
-                    .collect()
-            };
-            for (off, (ke, fe)) in results.into_iter().enumerate() {
+                kb.par_chunks_mut(edof * edof)
+                    .zip(fb.par_chunks_mut(edof))
+                    .enumerate()
+                    .for_each(|(off, (ke, fe))| {
+                        element_kernel(
+                            mesh,
+                            materials,
+                            geom,
+                            quad,
+                            stride,
+                            start + off,
+                            u,
+                            &mut [],
+                            ke,
+                            fe,
+                        )
+                    });
+            }
+            for off in 0..cnt {
                 let e = start + off;
                 let verts = mesh.elem(e);
+                let fe = &fb[off * edof..(off + 1) * edof];
                 for a in 0..nv {
                     for i in 0..3 {
-                        let gi = 3 * verts[a] as usize + i;
-                        f[gi] += fe[3 * a + i];
-                        for b in 0..nv {
-                            for kk in 0..3 {
-                                let gj = 3 * verts[b] as usize + kk;
-                                let v = ke[(3 * a + i) * edof + (3 * b + kk)];
-                                if v != 0.0 {
-                                    let ok = k.add_to(gi, gj, v);
-                                    debug_assert!(ok, "entry outside sparsity");
-                                }
-                            }
-                        }
+                        f[3 * verts[a] as usize + i] += fe[3 * a + i];
                     }
+                }
+                // Scatter the element stiffness through the precomputed map:
+                // one indexed add per entry, no binary search.
+                let base = e * edof * edof;
+                for (le, &v) in kb[off * edof * edof..(off + 1) * edof * edof]
+                    .iter()
+                    .enumerate()
+                {
+                    kv[scatter[base + le] as usize] += v;
                 }
             }
             start = end;
@@ -178,42 +245,52 @@ impl FemProblem {
     }
 }
 
-/// Compute one element's stiffness and internal force; `state` covers all
-/// of the element's Gauss points (may be empty for stateless materials).
+/// Compute one element's stiffness and internal force into `ke`/`fe`;
+/// `state` covers all of the element's Gauss points (may be empty for
+/// stateless materials). Geometry comes precomputed from the [`build_geom`]
+/// cache.
+#[allow(clippy::too_many_arguments)] // internal hot-loop kernel, called from one place
 fn element_kernel(
     mesh: &Mesh,
     materials: &[Arc<dyn Material>],
+    geom: &[f64],
     quad: &[QuadPoint],
     stride: usize,
     e: usize,
     u: &[f64],
     state: &mut [f64],
-) -> (Vec<f64>, Vec<f64>) {
+    ke: &mut [f64],
+    fe: &mut [f64],
+) {
     let verts = mesh.elem(e);
     let nv = verts.len();
     let edof = 3 * nv;
-    let coords = mesh.elem_coords(e);
     let mat = &materials[mesh.materials[e] as usize];
+    let gstride = 3 * nv + 1;
 
-    let mut ke = vec![0.0f64; edof * edof];
-    let mut fe = vec![0.0f64; edof];
+    ke.fill(0.0);
+    fe.fill(0.0);
 
     for (gp, q) in quad.iter().enumerate() {
-        let Some((grads, det)) = shape_grads_phys(mesh.kind, &coords, q.xi) else {
+        let g = &geom[(e * quad.len() + gp) * gstride..][..gstride];
+        let det = g[gstride - 1];
+        if det <= 0.0 {
             // Inverted element: skip this point; the material fallback plus
             // the Newton line search context recovers or fails loudly later.
             continue;
-        };
+        }
+        let grads = &g[..3 * nv]; // flat: grads[3*a + j] = ∂N_a/∂X_j
         let w = q.weight * det;
 
         // Displacement gradient H[i][j] = Σ_a u_a,i ∂N_a/∂X_j.
         let mut h: Mat3 = MAT3_ZERO;
-        for (a, g) in grads.iter().enumerate() {
+        for a in 0..nv {
             let base = 3 * verts[a] as usize;
+            let ga = &grads[3 * a..3 * a + 3];
             for i in 0..3 {
                 let ua = u[base + i];
                 for j in 0..3 {
-                    h[i][j] += ua * g[j];
+                    h[i][j] += ua * ga[j];
                 }
             }
         }
@@ -226,7 +303,8 @@ fn element_kernel(
         let (p, a4) = mat.respond(&h, gp_state);
 
         // Internal force and stiffness.
-        for (a, ga) in grads.iter().enumerate() {
+        for a in 0..nv {
+            let ga = &grads[3 * a..3 * a + 3];
             for i in 0..3 {
                 let mut acc = 0.0;
                 for jj in 0..3 {
@@ -235,7 +313,8 @@ fn element_kernel(
                 fe[3 * a + i] += acc * w;
             }
         }
-        for (a, ga) in grads.iter().enumerate() {
+        for a in 0..nv {
+            let ga = &grads[3 * a..3 * a + 3];
             for i in 0..3 {
                 // temp[k][l] = Σ_J ga[J] A[i][J][k][L].
                 let mut temp = MAT3_ZERO;
@@ -251,7 +330,8 @@ fn element_kernel(
                     }
                 }
                 let row = (3 * a + i) * edof;
-                for (b, gb) in grads.iter().enumerate() {
+                for b in 0..nv {
+                    let gb = &grads[3 * b..3 * b + 3];
                     for kk in 0..3 {
                         let mut acc = 0.0;
                         for ll in 0..3 {
@@ -263,12 +343,46 @@ fn element_kernel(
             }
         }
     }
-    (ke, fe)
+}
+
+/// Precompute physical shape gradients and Jacobian determinants for every
+/// (element, Gauss point); inverted elements are marked with `det = 0`.
+fn build_geom(mesh: &Mesh, quad: &[QuadPoint]) -> Vec<f64> {
+    let nv = mesh.kind.nodes();
+    let gstride = 3 * nv + 1;
+    let mut geom = vec![0.0f64; mesh.num_elements() * quad.len() * gstride];
+    for e in 0..mesh.num_elements() {
+        let coords = mesh.elem_coords(e);
+        for (gp, q) in quad.iter().enumerate() {
+            let slot = &mut geom[(e * quad.len() + gp) * gstride..][..gstride];
+            if let Some((grads, det)) = shape_grads_phys(mesh.kind, &coords, q.xi) {
+                for (a, g) in grads.iter().enumerate() {
+                    slot[3 * a..3 * a + 3].copy_from_slice(g);
+                }
+                slot[gstride - 1] = det;
+            }
+        }
+    }
+    geom
+}
+
+/// FNV-1a over the raw bit patterns of the mesh coordinates — cheap enough
+/// to run at every assembly, and any motion of any vertex changes it.
+fn coords_fingerprint(coords: &[pmg_geometry::Vec3]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for p in coords {
+        for v in [p.x, p.y, p.z] {
+            h ^= v.to_bits();
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
 }
 
 /// CSR sparsity of the assembled operator: 3x3 blocks on the vertex graph
 /// (plus the diagonal block), values zero.
 fn build_sparsity(mesh: &Mesh) -> CsrMatrix {
+    pmg_telemetry::counter_add("assembly/pattern_build", 1);
     let n = mesh.num_vertices();
     let g = mesh.vertex_graph();
     let ndof = 3 * n;
@@ -304,6 +418,43 @@ fn build_sparsity(mesh: &Mesh) -> CsrMatrix {
     }
     let nnz = col_idx.len();
     CsrMatrix::from_parts(ndof, ndof, row_ptr, col_idx, vec![0.0; nnz])
+}
+
+/// Resolve every element's local `(row, col)` stiffness entry to its flat
+/// index in the CSR value array, once. The three dofs of a vertex are
+/// contiguous columns in the pattern, so one binary search per vertex pair
+/// locates the whole 3-wide block.
+fn build_scatter(mesh: &Mesh, sparsity: &CsrMatrix) -> Vec<u32> {
+    assert!(
+        sparsity.nnz() <= u32::MAX as usize,
+        "stiffness nnz exceeds u32 scatter index range"
+    );
+    let nv = mesh.kind.nodes();
+    let edof = 3 * nv;
+    let row_ptr = sparsity.row_ptr();
+    let col_idx = sparsity.col_idx();
+    let mut scatter = vec![0u32; mesh.num_elements() * edof * edof];
+    for e in 0..mesh.num_elements() {
+        let verts = mesh.elem(e);
+        let base = e * edof * edof;
+        for a in 0..nv {
+            for i in 0..3 {
+                let gi = 3 * verts[a] as usize + i;
+                let lo = row_ptr[gi];
+                let cols = &col_idx[lo..row_ptr[gi + 1]];
+                let row_off = base + (3 * a + i) * edof;
+                for b in 0..nv {
+                    let gj0 = 3 * verts[b] as usize;
+                    let p = cols.binary_search(&gj0).expect("entry outside sparsity");
+                    for kk in 0..3 {
+                        debug_assert_eq!(cols[p + kk], gj0 + kk);
+                        scatter[row_off + 3 * b + kk] = (lo + p + kk) as u32;
+                    }
+                }
+            }
+        }
+    }
+    scatter
 }
 
 #[cfg(test)]

@@ -38,4 +38,4 @@ pub use mass::{consistent_mass, lumped_mass};
 pub use material::{J2Plasticity, LinearElastic, Material, NeoHookean};
 pub use newton::{NewtonDriver, NewtonOptions, NewtonStats};
 pub use problem::{spheres_problem, table1_materials, SpheresProblem};
-pub use rediscretize::assemble_tet_operator;
+pub use rediscretize::{assemble_tet_operator, TetOperatorCache};

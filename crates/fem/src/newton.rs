@@ -187,6 +187,8 @@ impl NewtonDriver {
         // Re-evaluate the history at the final displacement, then commit.
         let _ = problem.assemble(u);
         problem.commit();
+        pmg_telemetry::counter_add("newton/steps", 1);
+        pmg_telemetry::counter_add("newton/iterations", stats.newton_iters as u64);
         stats
     }
 }

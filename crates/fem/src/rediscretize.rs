@@ -36,6 +36,64 @@ pub fn assemble_tet_operator(
     k
 }
 
+/// Caches the [`FemProblem`] of a coarse tet grid across re-discretizations.
+///
+/// Re-Galerkin inside a Newton loop (or a vertex-smoothing pass) changes
+/// coordinates and stiffness values but not the connectivity, so the
+/// sparsity pattern and element scatter map can be built once and only the
+/// numeric refill repeated. A fresh symbolic build happens only when the
+/// tet list or the material changes; moving vertices is numeric-only.
+#[derive(Default)]
+pub struct TetOperatorCache {
+    cached: Option<CachedTetProblem>,
+}
+
+struct CachedTetProblem {
+    tets: Vec<[u32; 4]>,
+    material: Arc<dyn Material>,
+    fem: FemProblem,
+}
+
+impl TetOperatorCache {
+    pub fn new() -> TetOperatorCache {
+        TetOperatorCache::default()
+    }
+
+    /// Assemble the tet-grid stiffness, reusing the cached problem when the
+    /// topology and material are unchanged (coordinates may move freely).
+    pub fn assemble(
+        &mut self,
+        coords: &[Vec3],
+        tets: &[[u32; 4]],
+        material: Arc<dyn Material>,
+    ) -> CsrMatrix {
+        let reusable = self.cached.as_ref().is_some_and(|c| {
+            c.fem.mesh.num_vertices() == coords.len()
+                && c.tets == tets
+                && Arc::ptr_eq(&c.material, &material)
+        });
+        if !reusable {
+            let flat: Vec<u32> = tets.iter().flatten().copied().collect();
+            let mesh = Mesh::new(
+                coords.to_vec(),
+                ElementKind::Tet4,
+                flat,
+                vec![0; tets.len()],
+            );
+            self.cached = Some(CachedTetProblem {
+                tets: tets.to_vec(),
+                material: material.clone(),
+                fem: FemProblem::new(mesh, vec![material]),
+            });
+        }
+        let c = self.cached.as_mut().expect("cache populated above");
+        c.fem.mesh.coords.copy_from_slice(coords);
+        let ndof = c.fem.ndof();
+        let (k, _) = c.fem.assemble(&vec![0.0; ndof]);
+        k
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +122,30 @@ mod tests {
         let mut kt = vec![0.0; 12];
         k.spmv(&t, &mut kt);
         assert!(kt.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn cached_operator_matches_fresh_assembly() {
+        let mut coords = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 1.0, 1.0),
+        ];
+        let tets = [[0u32, 1, 2, 3], [1, 2, 3, 4]];
+        let mat: Arc<dyn Material> = Arc::new(LinearElastic::from_e_nu(1.0, 0.3));
+        let mut cache = TetOperatorCache::new();
+        let k1 = cache.assemble(&coords, &tets, mat.clone());
+        let f1 = assemble_tet_operator(&coords, &tets, mat.clone());
+        assert_eq!(k1, f1);
+        // Move a vertex: the cached problem refills values on the existing
+        // pattern and still matches a from-scratch assembly.
+        coords[4] = Vec3::new(1.1, 0.9, 1.2);
+        let k2 = cache.assemble(&coords, &tets, mat.clone());
+        let f2 = assemble_tet_operator(&coords, &tets, mat);
+        assert_eq!(k2, f2);
+        assert_ne!(k1, k2);
     }
 
     #[test]

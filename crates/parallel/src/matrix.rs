@@ -11,7 +11,7 @@
 use crate::layout::Layout;
 use crate::sim::Sim;
 use crate::vec::DistVec;
-use pmg_sparse::{CooBuilder, CsrMatrix};
+use pmg_sparse::{Bsr3Matrix, CooBuilder, CsrMatrix};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -22,6 +22,15 @@ struct RankMat {
     diag: CsrMatrix,
     /// Local rows × ghost columns.
     off: CsrMatrix,
+    /// 3x3-blocked copies of `diag`/`off`, present when the operator was
+    /// promoted via [`DistMatrix::try_block3`]. The scalar matrices are
+    /// kept: block-Jacobi factors `diag` directly ([`DistMatrix::local_block`]).
+    diag_bsr: Option<Bsr3Matrix>,
+    off_bsr: Option<Bsr3Matrix>,
+    /// Padded ghost column of each ghost (`off_bsr` works on whole vertex
+    /// blocks; ghost columns missing from a block — e.g. dropped by
+    /// Dirichlet constraints — become explicit zero columns).
+    ghost_pad: Vec<u32>,
     /// Global ids of ghost columns, ascending.
     ghosts: Vec<u32>,
     /// Distinct ranks that own our ghosts (message count per exchange).
@@ -93,6 +102,9 @@ impl DistMatrix {
                 RankMat {
                     diag: diag.build(),
                     off: off.build(),
+                    diag_bsr: None,
+                    off_bsr: None,
+                    ghost_pad: Vec::new(),
                     ghosts,
                     neighbors: owners.len() as u64,
                 }
@@ -114,6 +126,79 @@ impl DistMatrix {
             spmv_flops,
             spmv_traffic,
         }
+    }
+
+    /// Distribute a global CSR matrix and promote it to the 3x3-blocked
+    /// storage when the partition is vertex-aligned (see
+    /// [`DistMatrix::try_block3`]); falls back to scalar CSR otherwise.
+    pub fn from_global_blocked(
+        a: &CsrMatrix,
+        row_layout: Arc<Layout>,
+        col_layout: Arc<Layout>,
+    ) -> DistMatrix {
+        let mut m = DistMatrix::from_global(a, row_layout, col_layout);
+        m.try_block3();
+        m
+    }
+
+    /// Promote the per-rank `diag`/`off` blocks to [`Bsr3Matrix`] storage so
+    /// `spmv` runs on contiguous 3x3 tiles (PETSc's BAIJ optimization for
+    /// 3-dof displacement operators).
+    ///
+    /// Structural eligibility — all of:
+    /// - global dimensions are multiples of 3,
+    /// - every rank's owned rows and owned columns come in vertex-aligned
+    ///   triples `(3v, 3v+1, 3v+2)` (the layout produced by
+    ///   `Layout::expand_dofs(vertex_layout, 3)`).
+    ///
+    /// Ghost columns need not form whole blocks: the off-diagonal part is
+    /// padded up to whole vertex blocks (missing columns — e.g. dropped by
+    /// Dirichlet constraints — become explicit zero columns).
+    ///
+    /// Returns whether promotion happened; ineligible operators are left
+    /// untouched (scalar CSR path). The blocked product is numerically
+    /// identical to the scalar one: blocks materialize explicit zeros and
+    /// preserve the per-row accumulation order.
+    pub fn try_block3(&mut self) -> bool {
+        let nranks = self.row_layout.num_ranks();
+        let eligible = self.row_layout.num_global().is_multiple_of(3)
+            && self.col_layout.num_global().is_multiple_of(3)
+            && (0..nranks).all(|r| {
+                aligned_triples(self.row_layout.owned(r))
+                    && aligned_triples(self.col_layout.owned(r))
+            });
+        if !eligible {
+            return false;
+        }
+        self.ranks.par_iter_mut().for_each(|m| {
+            m.diag_bsr = Some(Bsr3Matrix::from_csr(&m.diag));
+            // Remap ghost columns onto whole vertex blocks, then block the
+            // padded off-diagonal part. Ghosts are ascending, so padded
+            // columns are ascending too and the scalar accumulation order
+            // is preserved.
+            let mut blocks: Vec<u32> = m.ghosts.iter().map(|&g| g / 3).collect();
+            blocks.dedup();
+            m.ghost_pad = m
+                .ghosts
+                .iter()
+                .map(|&g| {
+                    let b = blocks.partition_point(|&w| w < g / 3) as u32;
+                    3 * b + g % 3
+                })
+                .collect();
+            let mut pad = CooBuilder::new(m.off.nrows(), 3 * blocks.len());
+            for (i, j, v) in m.off.iter() {
+                pad.push(i, m.ghost_pad[j] as usize, v);
+            }
+            m.off_bsr = Some(Bsr3Matrix::from_csr(&pad.build()));
+        });
+        pmg_telemetry::counter_add("spmv/bsr3_promoted", 1);
+        true
+    }
+
+    /// Whether products run through the 3x3-blocked path.
+    pub fn bsr3_routed(&self) -> bool {
+        !self.ranks.is_empty() && self.ranks.iter().all(|m| m.diag_bsr.is_some())
     }
 
     pub fn row_layout(&self) -> &Arc<Layout> {
@@ -154,6 +239,9 @@ impl DistMatrix {
             "y layout mismatch"
         );
         sim.exchange(&self.spmv_traffic);
+        if self.bsr3_routed() {
+            pmg_telemetry::counter_add("spmv/bsr3_routed", 1);
+        }
 
         // Gather all ghost values (reads other ranks' parts — the simulated
         // message payloads), then compute rank-locally in parallel.
@@ -178,10 +266,22 @@ impl DistMatrix {
             .map(|(r, m)| {
                 let xl = x.part(r);
                 let mut yl = vec![0.0; m.diag.nrows()];
-                m.diag.spmv(xl, &mut yl);
+                match &m.diag_bsr {
+                    Some(db) => db.spmv(xl, &mut yl),
+                    None => m.diag.spmv(xl, &mut yl),
+                }
                 if m.off.nnz() > 0 {
                     let mut tmp = vec![0.0; m.off.nrows()];
-                    m.off.spmv(&ghost_vals[r], &mut tmp);
+                    match &m.off_bsr {
+                        Some(ob) => {
+                            let mut padded = vec![0.0; ob.ncols()];
+                            for (l, &p) in m.ghost_pad.iter().enumerate() {
+                                padded[p as usize] = ghost_vals[r][l];
+                            }
+                            ob.spmv(&padded, &mut tmp);
+                        }
+                        None => m.off.spmv(&ghost_vals[r], &mut tmp),
+                    }
                     for (a, b) in yl.iter_mut().zip(&tmp) {
                         *a += b;
                     }
@@ -216,6 +316,14 @@ impl DistMatrix {
         }
         b.build()
     }
+}
+
+/// Do the (ascending) global ids form whole vertex blocks `(3v, 3v+1, 3v+2)`?
+fn aligned_triples(ids: &[u32]) -> bool {
+    ids.len().is_multiple_of(3)
+        && ids
+            .chunks_exact(3)
+            .all(|t| t[0].is_multiple_of(3) && t[1] == t[0] + 1 && t[2] == t[0] + 2)
 }
 
 #[cfg(test)]
@@ -316,6 +424,117 @@ mod tests {
         let mut expect = vec![0.0; 3];
         r.spmv(&x, &mut expect);
         assert_eq!(dy.to_global(), expect);
+    }
+
+    /// Vertex-block tridiagonal operator with dense 3x3 blocks.
+    fn block_laplacian(nb: usize) -> CsrMatrix {
+        let mut b = CooBuilder::new(3 * nb, 3 * nb);
+        for v in 0..nb {
+            for i in 0..3 {
+                for j in 0..3 {
+                    b.push(3 * v + i, 3 * v + j, if i == j { 4.0 } else { -0.5 });
+                    if v > 0 {
+                        b.push(3 * v + i, 3 * (v - 1) + j, -0.25);
+                    }
+                    if v + 1 < nb {
+                        b.push(3 * v + i, 3 * (v + 1) + j, -0.25);
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn blocked_spmv_bitwise_matches_scalar() {
+        let nb = 11;
+        let a = block_laplacian(nb);
+        // Vertex-aligned round-robin partition: maximizes ghosts while
+        // keeping every rank's rows/ghosts in whole vertex triples.
+        let p = 3;
+        let mut owner = vec![0u32; 3 * nb];
+        for v in 0..nb {
+            for c in 0..3 {
+                owner[3 * v + c] = (v % p) as u32;
+            }
+        }
+        let l = Layout::from_part(owner, p);
+        let scalar = DistMatrix::from_global(&a, l.clone(), l.clone());
+        let blocked = DistMatrix::from_global_blocked(&a, l.clone(), l.clone());
+        assert!(!scalar.bsr3_routed());
+        assert!(blocked.bsr3_routed());
+
+        let x: Vec<f64> = (0..3 * nb).map(|i| (i as f64 * 0.7).sin()).collect();
+        let dx = DistVec::from_global(l.clone(), &x);
+        let mut y1 = DistVec::zeros(l.clone());
+        let mut y2 = DistVec::zeros(l);
+        let mut sim = Sim::new(p, MachineModel::default());
+        scalar.spmv(&mut sim, &dx, &mut y1);
+        blocked.spmv(&mut sim, &dx, &mut y2);
+        // Bitwise equal: blocks preserve per-row accumulation order and
+        // explicit zeros only add 0.0.
+        assert_eq!(y1.to_global(), y2.to_global());
+    }
+
+    #[test]
+    fn blocked_spmv_pads_partial_ghost_blocks() {
+        // Inter-vertex coupling through a single scalar column, so ghost
+        // columns do NOT form whole vertex blocks (as after Dirichlet
+        // column elimination). The off part must be padded, not rejected.
+        let nb = 6;
+        let mut b = CooBuilder::new(3 * nb, 3 * nb);
+        for v in 0..nb {
+            for i in 0..3 {
+                for j in 0..3 {
+                    b.push(3 * v + i, 3 * v + j, if i == j { 4.0 } else { -0.5 });
+                }
+                if v + 1 < nb {
+                    b.push(3 * v + i, 3 * (v + 1) + 1, -0.25);
+                }
+                if v > 0 {
+                    b.push(3 * v + i, 3 * (v - 1) + 2, -0.125);
+                }
+            }
+        }
+        let a = b.build();
+        let mut owner = vec![0u32; 3 * nb];
+        for v in 0..nb {
+            for c in 0..3 {
+                owner[3 * v + c] = (v / 3) as u32;
+            }
+        }
+        let l = Layout::from_part(owner, 2);
+        let scalar = DistMatrix::from_global(&a, l.clone(), l.clone());
+        let blocked = DistMatrix::from_global_blocked(&a, l.clone(), l.clone());
+        assert!(blocked.bsr3_routed());
+        // Each rank sees exactly one partial ghost block column.
+        assert_eq!(blocked.ghost_counts(), vec![1, 1]);
+
+        let x: Vec<f64> = (0..3 * nb).map(|i| (i as f64 * 1.3).cos()).collect();
+        let dx = DistVec::from_global(l.clone(), &x);
+        let mut y1 = DistVec::zeros(l.clone());
+        let mut y2 = DistVec::zeros(l);
+        let mut sim = Sim::new(2, MachineModel::default());
+        scalar.spmv(&mut sim, &dx, &mut y1);
+        blocked.spmv(&mut sim, &dx, &mut y2);
+        assert_eq!(y1.to_global(), y2.to_global());
+    }
+
+    #[test]
+    fn block3_rejects_misaligned_partitions() {
+        // Scalar round-robin ownership splits vertex triples across ranks.
+        let nb = 6;
+        let a = block_laplacian(nb);
+        let owner: Vec<u32> = (0..3 * nb).map(|i| (i % 2) as u32).collect();
+        let l = Layout::from_part(owner, 2);
+        let mut m = DistMatrix::from_global(&a, l.clone(), l.clone());
+        assert!(!m.try_block3());
+        assert!(!m.bsr3_routed());
+        // Dimensions not a multiple of 3.
+        let a17 = laplacian(17);
+        let l17 = Layout::block(17, 2);
+        let mut m17 = DistMatrix::from_global(&a17, l17.clone(), l17);
+        assert!(!m17.try_block3());
     }
 
     #[test]

@@ -98,6 +98,12 @@ impl Bsr3Matrix {
     }
 
     /// `y = A x` over 3x3 tiles (serial).
+    ///
+    /// Accumulates one add per scalar entry, in column order within each
+    /// row — the same association as [`CsrMatrix::spmv`] — so the blocked
+    /// product is bitwise identical to the scalar one (explicit zeros only
+    /// add `0.0`). Solvers routed through BSR therefore take exactly the
+    /// same iteration path as the CSR-routed reference.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols());
         assert_eq!(y.len(), self.nrows());
@@ -107,9 +113,11 @@ impl Bsr3Matrix {
                 let bc = self.col_idx[k];
                 let b = &self.blocks[k];
                 let xb = &x[3 * bc..3 * bc + 3];
-                acc[0] += b[0] * xb[0] + b[1] * xb[1] + b[2] * xb[2];
-                acc[1] += b[3] * xb[0] + b[4] * xb[1] + b[5] * xb[2];
-                acc[2] += b[6] * xb[0] + b[7] * xb[1] + b[8] * xb[2];
+                for c in 0..3 {
+                    acc[0] += b[c] * xb[c];
+                    acc[1] += b[3 + c] * xb[c];
+                    acc[2] += b[6 + c] * xb[c];
+                }
             }
             y[3 * br..3 * br + 3].copy_from_slice(&acc);
         }
@@ -126,9 +134,11 @@ impl Bsr3Matrix {
                 let bc = self.col_idx[k];
                 let b = &self.blocks[k];
                 let xb = &x[3 * bc..3 * bc + 3];
-                acc[0] += b[0] * xb[0] + b[1] * xb[1] + b[2] * xb[2];
-                acc[1] += b[3] * xb[0] + b[4] * xb[1] + b[5] * xb[2];
-                acc[2] += b[6] * xb[0] + b[7] * xb[1] + b[8] * xb[2];
+                for c in 0..3 {
+                    acc[0] += b[c] * xb[c];
+                    acc[1] += b[3 + c] * xb[c];
+                    acc[2] += b[6 + c] * xb[c];
+                }
             }
             yb.copy_from_slice(&acc);
         });

@@ -173,6 +173,32 @@ impl CsrMatrix {
         &mut self.vals[a..b]
     }
 
+    /// The row-pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column-index array (one entry per stored value).
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// All stored values in row-major CSR order.
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable view of all stored values (the pattern is immutable) — the
+    /// direct-indexing seam pattern-reuse assembly and [`crate::RapPlan`]
+    /// write through.
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
     /// Value at `(i, j)`, or 0 if not stored.
     pub fn get(&self, i: usize, j: usize) -> f64 {
         let (cols, vals) = self.row(i);
@@ -313,8 +339,8 @@ impl CsrMatrix {
         assert_eq!(self.ncols, other.nrows, "matmul dimension mismatch");
         let n = self.nrows;
         let m = other.ncols;
-        const CHUNK: usize = 1024;
-        let nchunks = n.div_ceil(CHUNK.max(1)).max(1);
+        let chunk = matmul_chunk_rows(n, rayon::current_num_threads());
+        let nchunks = n.div_ceil(chunk.max(1)).max(1);
         if n == 0 || nchunks <= 1 {
             return self.matmul(other);
         }
@@ -322,8 +348,8 @@ impl CsrMatrix {
         let pieces: Vec<Piece> = (0..nchunks)
             .into_par_iter()
             .map(|c| {
-                let lo = c * CHUNK;
-                let hi = ((c + 1) * CHUNK).min(n);
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(n);
                 let mut acc = vec![0.0f64; m];
                 let mut marker = vec![usize::MAX; m];
                 let mut touched: Vec<usize> = Vec::new();
@@ -392,11 +418,25 @@ impl CsrMatrix {
         ra.matmul_par(&r.transpose())
     }
 
-    /// The diagonal as a vector (missing entries are 0).
+    /// The diagonal as a vector (missing entries are 0). One linear pass
+    /// over each row slice — columns are sorted, so scanning stops at the
+    /// first index `≥ i` (cheaper than a per-entry binary search on the
+    /// short rows of FE operators, and this runs per smoother setup).
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.nrows.min(self.ncols))
-            .map(|i| self.get(i, i))
-            .collect()
+        let n = self.nrows.min(self.ncols);
+        let mut d = vec![0.0; n];
+        for (i, di) in d.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j >= i {
+                    if j == i {
+                        *di = v;
+                    }
+                    break;
+                }
+            }
+        }
+        d
     }
 
     /// Principal submatrix on `rows` (re-indexed 0..rows.len()); entries
@@ -531,6 +571,15 @@ impl CsrMatrix {
     }
 }
 
+/// Rows per parallel chunk for [`CsrMatrix::matmul_par`]: aim for a few
+/// chunks per worker thread (load balance without stitching overhead),
+/// but never chunks smaller than 256 rows — below that the per-chunk
+/// accumulator setup dominates and the serial path wins.
+fn matmul_chunk_rows(nrows: usize, threads: usize) -> usize {
+    let target_chunks = threads.max(1) * 4;
+    nrows.div_ceil(target_chunks).max(256)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,6 +678,58 @@ mod tests {
         let a = ba.build();
         let b = bb.build();
         assert_eq!(a.matmul(&b), a.matmul_par(&b));
+    }
+
+    #[test]
+    fn matmul_chunk_rows_derivation() {
+        // Chunks follow available parallelism: ~4 chunks per thread.
+        assert_eq!(matmul_chunk_rows(100_000, 4), 100_000_usize.div_ceil(16));
+        assert_eq!(
+            matmul_chunk_rows(1_000_000, 8),
+            1_000_000_usize.div_ceil(32)
+        );
+        // ... but never shrink below the 256-row floor.
+        assert_eq!(matmul_chunk_rows(300, 64), 256);
+        assert_eq!(matmul_chunk_rows(0, 1), 256);
+        // Serial-fallback boundary at one thread: n <= 256 gives one chunk
+        // (matmul_par delegates to matmul), n = 257 gives two.
+        assert_eq!(256_usize.div_ceil(matmul_chunk_rows(256, 1)), 1);
+        assert_eq!(257_usize.div_ceil(matmul_chunk_rows(257, 1)), 2);
+    }
+
+    #[test]
+    fn matmul_par_across_fallback_boundary() {
+        use rand::{Rng, SeedableRng};
+        // Exercise both sides of the nchunks <= 1 serial-fallback boundary
+        // explicitly: 256 rows stays serial, 257 takes the chunked path.
+        for n in [255, 256, 257, 258] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+            let mut ba = CooBuilder::new(n, n);
+            let mut bb = CooBuilder::new(n, n);
+            for i in 0..n {
+                for _ in 0..3 {
+                    ba.push(i, rng.gen_range(0..n), rng.gen_range(-2.0..2.0));
+                    bb.push(i, rng.gen_range(0..n), rng.gen_range(-2.0..2.0));
+                }
+            }
+            let a = ba.build();
+            let b = bb.build();
+            assert_eq!(a.matmul(&b), a.matmul_par(&b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn diag_skips_missing_entries() {
+        // Row 1 has no diagonal entry; row 2's diagonal is not its first
+        // stored column.
+        let mut b = CooBuilder::new(3, 3);
+        b.push(0, 0, 5.0);
+        b.push(1, 0, 1.0);
+        b.push(1, 2, 2.0);
+        b.push(2, 0, 3.0);
+        b.push(2, 2, 7.0);
+        let a = b.build();
+        assert_eq!(a.diag(), vec![5.0, 0.0, 7.0]);
     }
 
     #[test]

@@ -14,8 +14,10 @@ pub mod bsr;
 pub mod csr;
 pub mod dense;
 pub mod flops;
+pub mod plan;
 pub mod vector;
 
 pub use bsr::Bsr3Matrix;
 pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::DenseMatrix;
+pub use plan::RapPlan;

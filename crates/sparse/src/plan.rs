@@ -1,0 +1,390 @@
+//! Symbolic/numeric split for the Galerkin triple product `R A Rᵀ`.
+//!
+//! [`CsrMatrix::rap`] redoes the full symbolic Gustavson machinery — hash
+//! markers, per-row sorts, a fresh transpose of `R` — on every call, even
+//! though the repeated-solve paths (Newton re-linearization, operator
+//! updates after a rediscretization) change only `A`'s *values*, never its
+//! *pattern*. A [`RapPlan`] runs that symbolic phase once: it fixes the
+//! output patterns of `RA` and `R A Rᵀ` and flattens every scalar
+//! contribution into gather lists
+//!
+//! ```text
+//! stage 1:  RA[t]  = Σ_p  coeff₁[p] · A.vals[src₁[p]]    (coeff₁ = R values)
+//! stage 2:  C[t]   = Σ_p  coeff₂[p] · RA[src₂[p]]        (coeff₂ = Rᵀ values)
+//! ```
+//!
+//! so re-executing for a new `A` with the same pattern is a pure
+//! multiply-accumulate sweep in O(flops of the product) with no hashing,
+//! no sorting, no allocation beyond the output values. `Rᵀ` is folded into
+//! the stage-2 coefficients at plan time, so it is never re-transposed.
+//!
+//! Telemetry: building a plan counts `rap/plan_build`, each numeric
+//! re-execution counts `rap/plan_reuse` — the reuse the paper's nonlinear
+//! runs (Fig. 13) depend on is thereby observable and testable.
+
+use crate::csr::CsrMatrix;
+use crate::flops;
+use rayon::prelude::*;
+
+/// One planned sparse product stage: output pattern plus a flat
+/// contribution gather list (`offsets[t]..offsets[t+1]` are output entry
+/// `t`'s contributions).
+struct PlannedProduct {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    offsets: Vec<usize>,
+    /// Fixed multiplier of each contribution (an `R` or `Rᵀ` value).
+    coeff: Vec<f64>,
+    /// Index of the varying factor (into `A.vals` for stage 1, into the
+    /// stage-1 output for stage 2).
+    src: Vec<u32>,
+}
+
+impl PlannedProduct {
+    fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Numeric phase: gather-multiply-accumulate into `out`.
+    fn execute(&self, src_vals: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.nnz());
+        out.par_iter_mut().enumerate().for_each(|(t, o)| {
+            let mut acc = 0.0;
+            for p in self.offsets[t]..self.offsets[t + 1] {
+                acc += self.coeff[p] * src_vals[self.src[p] as usize];
+            }
+            *o = acc;
+        });
+        flops::add(2 * self.coeff.len() as u64);
+    }
+}
+
+/// Group a per-row contribution buffer `(out_col, coeff, src)` — sorted by
+/// output column — into the planned product's flat arrays.
+fn flush_row(
+    buf: &mut [(usize, f64, u32)],
+    col_idx: &mut Vec<usize>,
+    offsets: &mut Vec<usize>,
+    coeff: &mut Vec<f64>,
+    src: &mut Vec<u32>,
+) {
+    buf.sort_unstable_by_key(|&(j, _, _)| j);
+    let mut p = 0;
+    while p < buf.len() {
+        let j = buf[p].0;
+        col_idx.push(j);
+        while p < buf.len() && buf[p].0 == j {
+            coeff.push(buf[p].1);
+            src.push(buf[p].2);
+            p += 1;
+        }
+        offsets.push(coeff.len());
+    }
+}
+
+/// FNV-1a over a CSR pattern — the cheap fingerprint [`RapPlan::matches`]
+/// uses to detect pattern drift between executions.
+fn pattern_fingerprint(a: &CsrMatrix) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |x: usize| {
+        h ^= x as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    eat(a.nrows());
+    eat(a.ncols());
+    for i in 0..a.nrows() {
+        let (cols, _) = a.row(i);
+        eat(cols.len());
+        for &j in cols {
+            eat(j);
+        }
+    }
+    h
+}
+
+/// A reusable execution plan for the Galerkin triple product
+/// `A_c = R A Rᵀ` with `R` frozen and `A`'s sparsity pattern fixed.
+///
+/// ```
+/// use pmg_sparse::{CooBuilder, RapPlan};
+/// let mut b = CooBuilder::new(2, 2);
+/// b.push(0, 0, 2.0);
+/// b.push(0, 1, -1.0);
+/// b.push(1, 1, 3.0);
+/// let a = b.build();
+/// let mut rb = CooBuilder::new(1, 2);
+/// rb.push(0, 0, 1.0);
+/// rb.push(0, 1, 0.5);
+/// let r = rb.build();
+/// let mut plan = RapPlan::new(&a, &r);
+/// let ac = plan.execute(&a);
+/// assert!((ac.get(0, 0) - a.rap(&r).get(0, 0)).abs() < 1e-14);
+/// ```
+pub struct RapPlan {
+    /// Pattern fingerprint of the `A` the plan was built for.
+    a_rows: usize,
+    a_nnz: usize,
+    a_fingerprint: u64,
+    stage1: PlannedProduct,
+    stage2: PlannedProduct,
+    /// Scratch for the stage-1 output values (reused across executions).
+    ra_vals: Vec<f64>,
+}
+
+impl RapPlan {
+    /// Symbolic phase: fix the output patterns and gather lists for
+    /// `R A Rᵀ` from `A`'s pattern (values are ignored) and `R`. `Rᵀ` is
+    /// formed once here and folded into the plan.
+    pub fn new(a: &CsrMatrix, r: &CsrMatrix) -> RapPlan {
+        assert_eq!(a.nrows(), a.ncols(), "A must be square");
+        assert_eq!(r.ncols(), a.nrows(), "R columns must match A");
+        pmg_telemetry::counter_add("rap/plan_build", 1);
+
+        // Stage 1: RA = R · A. Frozen coefficients are R's values; the
+        // varying factor indexes straight into A.vals.
+        let a_row_ptr = a.row_ptr();
+        let a_col_idx = a.col_idx();
+        let nc = r.nrows();
+        let stage1 = {
+            let mut row_ptr = Vec::with_capacity(nc + 1);
+            row_ptr.push(0usize);
+            let mut col_idx = Vec::new();
+            let mut offsets = vec![0usize];
+            let mut coeff = Vec::new();
+            let mut src = Vec::new();
+            let mut buf: Vec<(usize, f64, u32)> = Vec::new();
+            for c in 0..nc {
+                buf.clear();
+                let (rcols, rvals) = r.row(c);
+                for (&k, &rv) in rcols.iter().zip(rvals) {
+                    for p in a_row_ptr[k]..a_row_ptr[k + 1] {
+                        buf.push((a_col_idx[p], rv, p as u32));
+                    }
+                }
+                flush_row(&mut buf, &mut col_idx, &mut offsets, &mut coeff, &mut src);
+                row_ptr.push(col_idx.len());
+            }
+            PlannedProduct {
+                nrows: nc,
+                ncols: a.ncols(),
+                row_ptr,
+                col_idx,
+                offsets,
+                coeff,
+                src,
+            }
+        };
+
+        // Stage 2: C = RA · Rᵀ. Frozen coefficients are Rᵀ's values; the
+        // varying factor indexes into the stage-1 output.
+        let rt = r.transpose();
+        let stage2 = {
+            let mut row_ptr = Vec::with_capacity(nc + 1);
+            row_ptr.push(0usize);
+            let mut col_idx = Vec::new();
+            let mut offsets = vec![0usize];
+            let mut coeff = Vec::new();
+            let mut src = Vec::new();
+            let mut buf: Vec<(usize, f64, u32)> = Vec::new();
+            for c in 0..nc {
+                buf.clear();
+                for t in stage1.row_ptr[c]..stage1.row_ptr[c + 1] {
+                    let k = stage1.col_idx[t]; // fine column of RA entry t
+                    let (tcols, tvals) = rt.row(k);
+                    for (&j, &rv) in tcols.iter().zip(tvals) {
+                        buf.push((j, rv, t as u32));
+                    }
+                }
+                flush_row(&mut buf, &mut col_idx, &mut offsets, &mut coeff, &mut src);
+                row_ptr.push(col_idx.len());
+            }
+            PlannedProduct {
+                nrows: nc,
+                ncols: rt.ncols(),
+                row_ptr,
+                col_idx,
+                offsets,
+                coeff,
+                src,
+            }
+        };
+
+        let ra_vals = vec![0.0; stage1.nnz()];
+        RapPlan {
+            a_rows: a.nrows(),
+            a_nnz: a.nnz(),
+            a_fingerprint: pattern_fingerprint(a),
+            stage1,
+            stage2,
+            ra_vals,
+        }
+    }
+
+    /// Whether `a` has the exact sparsity pattern this plan was built for.
+    pub fn matches(&self, a: &CsrMatrix) -> bool {
+        a.nrows() == self.a_rows
+            && a.nnz() == self.a_nnz
+            && pattern_fingerprint(a) == self.a_fingerprint
+    }
+
+    /// Rows of the coarse operator the plan produces.
+    pub fn coarse_rows(&self) -> usize {
+        self.stage2.nrows
+    }
+
+    /// Stored nonzeros of the coarse operator the plan produces.
+    pub fn coarse_nnz(&self) -> usize {
+        self.stage2.nnz()
+    }
+
+    /// Numeric phase: compute `R A Rᵀ` for a new `A` with the planned
+    /// pattern. Panics if the pattern changed — callers that cannot
+    /// guarantee stability should guard with [`RapPlan::matches`] and
+    /// rebuild.
+    pub fn execute(&mut self, a: &CsrMatrix) -> CsrMatrix {
+        assert!(
+            self.matches(a),
+            "RapPlan::execute: A's sparsity pattern changed since the plan \
+             was built (rebuild with RapPlan::new)"
+        );
+        pmg_telemetry::counter_add("rap/plan_reuse", 1);
+        self.stage1.execute(a.vals(), &mut self.ra_vals);
+        let mut c_vals = vec![0.0; self.stage2.nnz()];
+        self.stage2.execute(&self.ra_vals, &mut c_vals);
+        CsrMatrix::from_parts(
+            self.stage2.nrows,
+            self.stage2.ncols,
+            self.stage2.row_ptr.clone(),
+            self.stage2.col_idx.clone(),
+            c_vals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CooBuilder;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sym(n: usize, per_row: usize, seed: u64) -> CsrMatrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 4.0 + rng.gen_range(0.0..1.0));
+            for _ in 0..per_row {
+                let j = rng.gen_range(0..n);
+                let v = rng.gen_range(-1.0..1.0);
+                b.push(i, j, v);
+                b.push(j, i, v);
+            }
+        }
+        b.build()
+    }
+
+    fn random_restriction(nc: usize, nf: usize, seed: u64) -> CsrMatrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = CooBuilder::new(nc, nf);
+        for c in 0..nc {
+            b.push(c, c * nf / nc, 1.0);
+            for _ in 0..3 {
+                b.push(c, rng.gen_range(0..nf), rng.gen_range(0.0..1.0));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn plan_matches_unplanned_rap() {
+        let a = random_sym(60, 4, 7);
+        let r = random_restriction(20, 60, 8);
+        let reference = a.rap(&r);
+        let mut plan = RapPlan::new(&a, &r);
+        let planned = plan.execute(&a);
+        assert_eq!(planned.nrows(), reference.nrows());
+        assert_eq!(planned.nnz(), reference.nnz());
+        for ((i1, j1, v1), (i2, j2, v2)) in planned.iter().zip(reference.iter()) {
+            assert_eq!((i1, j1), (i2, j2));
+            assert!((v1 - v2).abs() < 1e-12, "({i1},{j1}): {v1} vs {v2}");
+        }
+    }
+
+    #[test]
+    fn reexecution_tracks_new_values() {
+        let a = random_sym(40, 3, 11);
+        let r = random_restriction(13, 40, 12);
+        let mut plan = RapPlan::new(&a, &r);
+        let _ = plan.execute(&a);
+        // Same pattern, new values.
+        let mut a2 = a.clone();
+        a2.scale(std::f64::consts::PI);
+        assert!(plan.matches(&a2));
+        let planned = plan.execute(&a2);
+        let reference = a2.rap(&r);
+        for ((_, _, v1), (_, _, v2)) in planned.iter().zip(reference.iter()) {
+            assert!((v1 - v2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pattern_change_detected() {
+        let a = random_sym(30, 3, 21);
+        let r = random_restriction(10, 30, 22);
+        let plan = RapPlan::new(&a, &r);
+        // Different pattern: extra entry.
+        let mut b = CooBuilder::new(30, 30);
+        for (i, j, v) in a.iter() {
+            b.push(i, j, v);
+        }
+        b.push(0, 29, 1e-9);
+        b.push(29, 0, 1e-9);
+        let a2 = b.build();
+        assert!(!plan.matches(&a2));
+    }
+
+    #[test]
+    fn identity_restriction_reproduces_a() {
+        let a = random_sym(25, 3, 31);
+        let r = CsrMatrix::identity(25);
+        let mut plan = RapPlan::new(&a, &r);
+        let c = plan.execute(&a);
+        assert_eq!(c.nnz(), a.nnz());
+        for ((i1, j1, v1), (i2, j2, v2)) in c.iter().zip(a.iter()) {
+            assert_eq!((i1, j1), (i2, j2));
+            assert!((v1 - v2).abs() < 1e-13);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_plan_equals_rap(
+            entries in proptest::collection::vec(
+                (0usize..10, 0usize..10, -5.0f64..5.0), 1..60),
+            r_entries in proptest::collection::vec(
+                (0usize..4, 0usize..10, -2.0f64..2.0), 1..20),
+        ) {
+            let mut b = CooBuilder::new(10, 10);
+            for (i, j, v) in entries {
+                b.push(i, j, v);
+            }
+            let a = b.build();
+            let mut rb = CooBuilder::new(4, 10);
+            for (i, j, v) in r_entries {
+                rb.push(i, j, v);
+            }
+            let r = rb.build();
+            let reference = a.rap(&r);
+            let mut plan = RapPlan::new(&a, &r);
+            let planned = plan.execute(&a);
+            prop_assert_eq!(planned.nrows(), reference.nrows());
+            prop_assert_eq!(planned.nnz(), reference.nnz());
+            for ((i1, j1, v1), (i2, j2, v2)) in planned.iter().zip(reference.iter()) {
+                prop_assert_eq!((i1, j1), (i2, j2));
+                prop_assert!((v1 - v2).abs() < 1e-9);
+            }
+        }
+    }
+}

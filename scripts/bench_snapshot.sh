@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Perf snapshot for the symbolic/numeric kernel split: runs the criterion
+# kernel + solve microbenches (quick mode by default) and the bench_snapshot
+# binary, which writes BENCH_PR2.json with spmv/rap/assemble timings, the
+# cold-vs-planned speedups, and the plan/pattern reuse counters.
+#
+# Knobs:
+#   CRITERION_SAMPLE_MS  per-benchmark criterion budget (default 50 here)
+#   PMG_BENCH_MS         per-measurement budget in bench_snapshot (ms)
+#   PMG_BENCH_K          spheres ladder point (default 0 = tiny)
+#   PMG_BENCH_ASSERT=1   fail unless planned RAP and pattern-reuse assembly
+#                        are >= 1.5x their cold baselines
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-50}"
+
+echo "== criterion kernel benches (CRITERION_SAMPLE_MS=$CRITERION_SAMPLE_MS) =="
+cargo bench --offline -p pmg-bench --bench kernels
+
+echo
+echo "== criterion solve benches =="
+cargo bench --offline -p pmg-bench --bench solve
+
+echo
+echo "== bench_snapshot -> BENCH_PR2.json =="
+cargo run --release --offline -p pmg-bench --bin bench_snapshot
+
+echo
+echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR2.json}"
