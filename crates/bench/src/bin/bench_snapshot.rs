@@ -1,17 +1,21 @@
-//! One-shot perf snapshot of the symbolic/numeric kernel split (PR 2).
+//! One-shot perf snapshot of the hot kernels.
 //!
-//! Times the three kernels the split touches — the Galerkin triple product
+//! Times the PR-2 symbolic/numeric split — the Galerkin triple product
 //! (cold vs planned), element assembly (cold vs pattern-reuse), and SpMV
-//! (scalar CSR vs 3x3-blocked) — then drives two Newton-style operator
-//! update rounds through a full MG hierarchy with telemetry on and records
-//! the plan/pattern build-vs-reuse counters. Everything lands in a
-//! hand-rolled JSON file (default `BENCH_PR2.json`, override with
-//! `PMG_BENCH_OUT`).
+//! (scalar CSR vs 3x3-blocked) — plus the PR-3 thread-pool scaling of
+//! {parallel SpMV, block-Jacobi smoothing, warm assembly} at 1 thread vs
+//! the configured pool size, then drives two Newton-style operator update
+//! rounds through a full MG hierarchy with telemetry on and records the
+//! plan/pattern build-vs-reuse counters. Everything lands in a hand-rolled
+//! JSON file (default `BENCH_PR3.json`, override with `PMG_BENCH_OUT`)
+//! whose `meta` block records the pool size, git SHA, and host core count
+//! so BENCH_*.json files are comparable across PRs and machines.
 //!
-//! Knobs: `PMG_BENCH_K` ladder point (default 0 = tiny spheres),
-//! `PMG_BENCH_MS` per-measurement budget in milliseconds (default 200),
-//! `PMG_BENCH_ASSERT=1` exits nonzero unless planned RAP and pattern-reuse
-//! assembly are both >= 1.5x their cold baselines.
+//! Knobs: `PMG_THREADS` pool size for the scaling section, `PMG_BENCH_K`
+//! ladder point (default 0 = tiny spheres), `PMG_BENCH_MS` per-measurement
+//! budget in milliseconds (default 200), `PMG_BENCH_ASSERT=1` exits
+//! nonzero unless planned RAP and pattern-reuse assembly are both >= 1.5x
+//! their cold baselines.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -46,15 +50,35 @@ fn time_min<F: FnMut()>(budget: Duration, mut f: F) -> f64 {
     best
 }
 
+/// Short git SHA of the working tree, or "unknown" outside a checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
     let k = env_usize("PMG_BENCH_K", 0);
     let budget = Duration::from_millis(env_usize("PMG_BENCH_MS", 200) as u64);
-    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let threads = rayon::current_num_threads();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sha = git_sha();
 
     let sys = spheres_first_solve(k);
     let ndof = sys.mesh.num_dof();
     let nnz = sys.matrix.nnz();
-    eprintln!("spheres k={k}: {ndof} dof, {nnz} nnz; budget {budget:?}/measurement");
+    eprintln!(
+        "spheres k={k}: {ndof} dof, {nnz} nnz; budget {budget:?}/measurement; \
+         pool {threads} thread(s) on {host_cores}-core host ({sha})"
+    );
 
     // --- SpMV: scalar CSR vs 3x3-blocked --------------------------------
     let bsr = pmg_sparse::Bsr3Matrix::from_csr(&sys.matrix);
@@ -93,6 +117,51 @@ fn main() {
     let asm_warm = time_min(budget, || {
         black_box(fem.assemble(black_box(&u)));
     });
+
+    // --- Thread scaling: 1 thread vs the configured pool ----------------
+    // Same kernels, dedicated pools; outputs are bitwise identical by the
+    // determinism contract, which the spmv cross-check below enforces.
+    let pool1 = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let pool_n = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    let layout = pmg_parallel::Layout::block(ndof, 2);
+    let dist_a = pmg_parallel::DistMatrix::from_global(&sys.matrix, layout.clone(), layout.clone());
+    let smoother = pmg_solver::BlockJacobi::new(&dist_a, 6.0, 0.6);
+    let db = pmg_parallel::DistVec::from_global(layout.clone(), &sys.rhs);
+    let time_pair = |f: &mut dyn FnMut()| {
+        let t1 = pool1.install(|| time_min(budget, &mut *f));
+        let tn = pool_n.install(|| time_min(budget, &mut *f));
+        (t1, tn)
+    };
+    let (spmv_par_1, spmv_par_n) = time_pair(&mut || bsr.spmv_par(black_box(&x), &mut y));
+    let (smooth_1, smooth_n) = {
+        let mut run = || {
+            let mut sim = pmg_parallel::Sim::new(2, pmg_parallel::MachineModel::default());
+            let mut dx = pmg_parallel::DistVec::zeros(layout.clone());
+            smoother.smooth(&mut sim, &dist_a, &db, &mut dx, 1);
+            black_box(dx.part(0)[0]);
+        };
+        time_pair(&mut run)
+    };
+    let (asm_1, asm_n) = time_pair(&mut || {
+        black_box(fem.assemble(black_box(&u)));
+    });
+    // Determinism cross-check: pool size must not change a single bit.
+    {
+        let mut y1 = vec![0.0; ndof];
+        let mut yn = vec![0.0; ndof];
+        pool1.install(|| bsr.spmv_par(&x, &mut y1));
+        pool_n.install(|| bsr.spmv_par(&x, &mut yn));
+        assert!(
+            y1.iter().zip(&yn).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "spmv_par differs between 1 and {threads} threads"
+        );
+    }
 
     // --- Counters: two operator-update rounds through the hierarchy -----
     // Rebuilt from scratch inside the telemetry window so the symbolic
@@ -138,7 +207,10 @@ fn main() {
     writeln!(j, "    \"k\": {k},").unwrap();
     writeln!(j, "    \"ndof\": {ndof},").unwrap();
     writeln!(j, "    \"nnz\": {nnz},").unwrap();
-    writeln!(j, "    \"budget_ms\": {}", budget.as_millis()).unwrap();
+    writeln!(j, "    \"budget_ms\": {},", budget.as_millis()).unwrap();
+    writeln!(j, "    \"threads\": {threads},").unwrap();
+    writeln!(j, "    \"host_cores\": {host_cores},").unwrap();
+    writeln!(j, "    \"git_sha\": \"{sha}\"").unwrap();
     writeln!(j, "  }},").unwrap();
     writeln!(j, "  \"spmv\": {{").unwrap();
     writeln!(j, "    \"csr_s\": {spmv_csr:.9},").unwrap();
@@ -154,6 +226,23 @@ fn main() {
     writeln!(j, "    \"cold_s\": {asm_cold:.9},").unwrap();
     writeln!(j, "    \"pattern_reuse_s\": {asm_warm:.9},").unwrap();
     writeln!(j, "    \"pattern_reuse_speedup\": {asm_speedup:.3}").unwrap();
+    writeln!(j, "  }},").unwrap();
+    writeln!(j, "  \"thread_scaling\": {{").unwrap();
+    writeln!(j, "    \"threads\": {threads},").unwrap();
+    writeln!(j, "    \"spmv_par_1t_s\": {spmv_par_1:.9},").unwrap();
+    writeln!(j, "    \"spmv_par_nt_s\": {spmv_par_n:.9},").unwrap();
+    writeln!(
+        j,
+        "    \"spmv_par_speedup\": {:.3},",
+        spmv_par_1 / spmv_par_n
+    )
+    .unwrap();
+    writeln!(j, "    \"smoother_1t_s\": {smooth_1:.9},").unwrap();
+    writeln!(j, "    \"smoother_nt_s\": {smooth_n:.9},").unwrap();
+    writeln!(j, "    \"smoother_speedup\": {:.3},", smooth_1 / smooth_n).unwrap();
+    writeln!(j, "    \"assemble_warm_1t_s\": {asm_1:.9},").unwrap();
+    writeln!(j, "    \"assemble_warm_nt_s\": {asm_n:.9},").unwrap();
+    writeln!(j, "    \"assemble_warm_speedup\": {:.3}", asm_1 / asm_n).unwrap();
     writeln!(j, "  }},").unwrap();
     writeln!(j, "  \"counters\": {{").unwrap();
     writeln!(j, "    \"rap_plan_build\": {},", counter("rap/plan_build")).unwrap();
@@ -183,6 +272,12 @@ fn main() {
     println!("spmv      csr {spmv_csr:.3e}s  bsr3 {spmv_bsr:.3e}s  ({spmv_speedup:.2}x)");
     println!("rap       cold {rap_cold:.3e}s  planned {rap_planned:.3e}s  ({rap_speedup:.2}x)");
     println!("assemble  cold {asm_cold:.3e}s  reuse {asm_warm:.3e}s  ({asm_speedup:.2}x)");
+    println!(
+        "threads   1 vs {threads}: spmv_par {:.2}x  smoother {:.2}x  warm assembly {:.2}x",
+        spmv_par_1 / spmv_par_n,
+        smooth_1 / smooth_n,
+        asm_1 / asm_n
+    );
     println!(
         "counters  plan build/reuse {}/{}  pattern build/reuse {}/{}  bsr3 promoted {}",
         counter("rap/plan_build"),

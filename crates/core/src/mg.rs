@@ -90,6 +90,11 @@ pub struct MgOptions {
     /// Route 3-dof level operators through 3x3 BSR storage (numerically
     /// identical to the scalar path; off only for A/B comparisons).
     pub block3: bool,
+    /// Thread-pool size for this solver's parallel kernels. `None` uses
+    /// the process-global pool (sized by `PMG_THREADS`); `Some(n)` gives
+    /// the solver a dedicated pool of `n` threads. Results are bitwise
+    /// identical either way — the pool only changes who does the work.
+    pub threads: Option<usize>,
 }
 
 impl Default for MgOptions {
@@ -106,6 +111,7 @@ impl Default for MgOptions {
             smoother: SmootherType::BlockJacobi,
             coarsen: CoarsenOptions::default(),
             block3: true,
+            threads: None,
         }
     }
 }

@@ -123,7 +123,19 @@ pub fn greedy_mis(g: &Graph, order: &[u32]) -> Vec<bool> {
 /// Each processor traverses its local vertices in the order induced by
 /// `order`; rounds repeat until a fixed point. The result is a correct
 /// global MIS respecting any rank heuristic.
+///
+/// Rounds are bulk-synchronous and the per-processor passes really run in
+/// parallel on the workspace thread pool: within a round every processor
+/// reads the round-start state for *remote* vertices and sees its *own*
+/// selections/deletions immediately (a local overlay), then the
+/// per-processor decision lists are merged in processor order. Two
+/// processors can never select adjacent vertices in the same round — that
+/// would require each to dominate the other under the (rank, proc) rule —
+/// so the merge is conflict-free and the result is identical for any pool
+/// size (each processor's pass depends only on the round-start snapshot).
 pub fn parallel_mis(g: &Graph, rank: &[u8], proc: &[u32], order: &[u32]) -> Vec<bool> {
+    use rayon::prelude::*;
+
     let n = g.num_vertices();
     assert_eq!(rank.len(), n);
     assert_eq!(proc.len(), n);
@@ -144,34 +156,70 @@ pub fn parallel_mis(g: &Graph, rank: &[u8], proc: &[u32], order: &[u32]) -> Vec<
         local[proc[v as usize] as usize].push(v);
     }
 
+    let mut rounds = 0u64;
     loop {
-        let mut progress = false;
-        for plist in &local {
-            for &v in plist {
-                let v = v as usize;
-                if state[v] != S::Undone {
-                    continue;
-                }
-                let selectable = g.neighbors(v).iter().all(|&w| {
-                    let w = w as usize;
-                    state[w] == S::Deleted
-                        || (state[w] == S::Undone
-                            && (rank[v] > rank[w] || (rank[v] == rank[w] && proc[v] >= proc[w])))
-                });
-                if selectable {
-                    state[v] = S::Selected;
-                    for &w in g.neighbors(v) {
-                        debug_assert!(state[w as usize] != S::Selected);
-                        state[w as usize] = S::Deleted;
+        rounds += 1;
+        // Parallel half-round: every processor decides against the
+        // round-start `state` (shared immutably) plus its own overlay.
+        let decisions: Vec<(Vec<u32>, Vec<u32>)> = local
+            .par_iter()
+            .map(|plist| {
+                let mut selected: Vec<u32> = Vec::new();
+                let mut deleted: Vec<u32> = Vec::new();
+                // Overlay of this processor's own in-round updates; remote
+                // vertices keep their snapshot state until the merge.
+                let mut overlay: std::collections::HashMap<u32, S> =
+                    std::collections::HashMap::new();
+                let view = |overlay: &std::collections::HashMap<u32, S>, w: u32| {
+                    overlay.get(&w).copied().unwrap_or(state[w as usize])
+                };
+                for &v in plist {
+                    if view(&overlay, v) != S::Undone {
+                        continue;
                     }
-                    progress = true;
+                    let vu = v as usize;
+                    let selectable = g.neighbors(vu).iter().all(|&w| {
+                        let wu = w as usize;
+                        match view(&overlay, w) {
+                            S::Deleted => true,
+                            S::Selected => false,
+                            S::Undone => {
+                                rank[vu] > rank[wu]
+                                    || (rank[vu] == rank[wu] && proc[vu] >= proc[wu])
+                            }
+                        }
+                    });
+                    if selectable {
+                        overlay.insert(v, S::Selected);
+                        selected.push(v);
+                        for &w in g.neighbors(vu) {
+                            overlay.insert(w, S::Deleted);
+                            deleted.push(w);
+                        }
+                    }
                 }
+                (selected, deleted)
+            })
+            .collect();
+
+        // Merge in processor order (conflict-free, see above).
+        let mut progress = false;
+        for (selected, deleted) in &decisions {
+            for &v in selected {
+                debug_assert!(state[v as usize] == S::Undone);
+                state[v as usize] = S::Selected;
+                progress = true;
+            }
+            for &w in deleted {
+                debug_assert!(state[w as usize] != S::Selected);
+                state[w as usize] = S::Deleted;
             }
         }
         if !progress {
             break;
         }
     }
+    pmg_telemetry::counter_add("mis/rounds", rounds);
     debug_assert!(
         state.iter().all(|&s| s != S::Undone),
         "MIS did not cover the graph"

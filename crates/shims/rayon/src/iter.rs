@@ -1,0 +1,447 @@
+//! Indexed parallel iterators over the pool in [`crate::pool`].
+//!
+//! Everything here is *indexed*: a source knows its exact length and can
+//! produce the item at any index independently. That is what makes the
+//! whole layer deterministic — the task decomposition in [`decompose`] is
+//! a function of the length alone (never of the thread count), consumers
+//! assemble results positionally, and reductions fold per-task partials
+//! in task order. A pool of any size therefore produces bitwise-identical
+//! results to the sequential execution.
+
+use crate::pool::run_batch;
+use std::marker::PhantomData;
+use std::mem::{ManuallyDrop, MaybeUninit};
+
+/// Fixed fan-out target per parallel region. Larger than any plausible
+/// core count so load-balancing has slack, small enough that per-task
+/// overhead stays negligible; part of the determinism contract (see
+/// [`decompose`]) so changing it changes chunk boundaries everywhere.
+const TASKS_TARGET: usize = 64;
+
+/// Split `n` items into `(ntasks, chunk)` with `ntasks <= TASKS_TARGET`
+/// contiguous chunks. Depends on `n` only — NOT on the thread count —
+/// which is what keeps every consumer's output independent of pool size.
+fn decompose(n: usize) -> (usize, usize) {
+    if n == 0 {
+        return (0, 1);
+    }
+    let chunk = n.div_ceil(TASKS_TARGET).max(1);
+    (n.div_ceil(chunk), chunk)
+}
+
+/// Raw pointer that may be shared across the pool's threads. Safety is
+/// the caller's problem: every use writes/reads disjoint indices.
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+/// An indexed parallel iterator: a known length plus random access to
+/// each item. All adapters and consumers ride on these two methods.
+///
+/// Implementors guarantee that producing distinct indices concurrently is
+/// safe; consumers guarantee each index is produced **at most once** (the
+/// contract that lets [`item`](Self::item) hand out `&mut` items and move
+/// out of owned buffers).
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce item `i`.
+    ///
+    /// # Safety
+    /// `i < self.len()`, and each index is produced at most once across
+    /// all threads for the lifetime of `self`.
+    unsafe fn item(&self, i: usize) -> Self::Item;
+
+    /// Map each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Pair items positionally with another iterator (length = min).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Run `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let n = self.len();
+        let (ntasks, chunk) = decompose(n);
+        let body = |t: usize| {
+            let start = t * chunk;
+            let end = (start + chunk).min(n);
+            for i in start..end {
+                // SAFETY: tasks cover disjoint index ranges exactly once.
+                f(unsafe { self.item(i) });
+            }
+        };
+        run_batch(ntasks, &body);
+    }
+
+    /// Collect into a container; items land at their source positions.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Sum all items. Per-task partial sums are folded in task order, so
+    /// the result is identical for every pool size (and equal to the
+    /// sequential sum of the same fixed-shape decomposition).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        let n = self.len();
+        let (ntasks, chunk) = decompose(n);
+        let mut partials: Vec<MaybeUninit<S>> = Vec::with_capacity(ntasks);
+        // SAFETY: every slot is written exactly once by its task below.
+        unsafe { partials.set_len(ntasks) };
+        let slots = SyncPtr(partials.as_mut_ptr());
+        let slots = &slots;
+        let body = move |t: usize| {
+            let start = t * chunk;
+            let end = (start + chunk).min(n);
+            // SAFETY: disjoint index ranges; disjoint partial slots.
+            let p: S = (start..end).map(|i| unsafe { self.item(i) }).sum();
+            unsafe { slots.0.add(t).write(MaybeUninit::new(p)) };
+        };
+        run_batch(ntasks, &body);
+        partials
+            .into_iter()
+            // SAFETY: task `t` initialized slot `t` before run_batch returned.
+            .map(|p| unsafe { p.assume_init() })
+            .sum()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (owned collections, ranges).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Types constructible from a parallel iterator (the `collect` target).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the container; item `i` of the iterator becomes element `i`.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Vec<T> {
+        let n = iter.len();
+        let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+        // SAFETY: every slot is written exactly once by its task below.
+        unsafe { out.set_len(n) };
+        let slots = SyncPtr(out.as_mut_ptr());
+        let slots = &slots;
+        let (ntasks, chunk) = decompose(n);
+        let iter = &iter;
+        let body = move |t: usize| {
+            let start = t * chunk;
+            let end = (start + chunk).min(n);
+            for i in start..end {
+                // SAFETY: disjoint indices, disjoint slots, each once.
+                unsafe { slots.0.add(i).write(MaybeUninit::new(iter.item(i))) };
+            }
+        };
+        run_batch(ntasks, &body);
+        // SAFETY: all n slots initialized; MaybeUninit<T> has T's layout.
+        unsafe {
+            let ptr = out.as_mut_ptr() as *mut T;
+            let len = out.len();
+            let cap = out.capacity();
+            std::mem::forget(out);
+            Vec::from_raw_parts(ptr, len, cap)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over a `usize` range.
+pub struct RangePar {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangePar {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn item(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangePar;
+    type Item = usize;
+    fn into_par_iter(self) -> RangePar {
+        RangePar {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::RangeInclusive<usize> {
+    type Iter = RangePar;
+    type Item = usize;
+    fn into_par_iter(self) -> RangePar {
+        let (start, end) = (*self.start(), *self.end());
+        RangePar {
+            start,
+            len: if start > end { 0 } else { end - start + 1 },
+        }
+    }
+}
+
+/// Parallel iterator over `&[T]` (shared items).
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn item(&self, i: usize) -> &'a T {
+        self.slice.get_unchecked(i)
+    }
+}
+
+/// Parallel iterator over non-overlapping `&[T]` chunks.
+pub struct ChunksPar<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    unsafe fn item(&self, i: usize) -> &'a [T] {
+        let start = i * self.chunk;
+        let end = (start + self.chunk).min(self.slice.len());
+        self.slice.get_unchecked(start..end)
+    }
+}
+
+/// Parallel iterator over `&mut [T]` (exclusive items).
+pub struct SliceParMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: items are handed out at most once per index (trait contract),
+// so no two threads ever hold the same element.
+unsafe impl<T: Send> Send for SliceParMut<'_, T> {}
+unsafe impl<T: Send> Sync for SliceParMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for SliceParMut<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn item(&self, i: usize) -> &'a mut T {
+        // SAFETY: i < len and produced at most once — exclusive access.
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// Parallel iterator over non-overlapping `&mut [T]` chunks.
+pub struct ChunksParMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: as for SliceParMut — chunks are disjoint, each produced once.
+unsafe impl<T: Send> Send for ChunksParMut<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksParMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ChunksParMut<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+    unsafe fn item(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.chunk;
+        let end = (start + self.chunk).min(self.len);
+        // SAFETY: disjoint [start, end) windows, each produced once.
+        std::slice::from_raw_parts_mut(self.ptr.add(start), end - start)
+    }
+}
+
+/// Parallel iterator that moves items out of an owned `Vec<T>`.
+pub struct VecPar<T> {
+    buf: ManuallyDrop<Vec<T>>,
+}
+
+impl<T> Drop for VecPar<T> {
+    fn drop(&mut self) {
+        // Free the buffer without dropping elements: consumed items were
+        // moved out by `item`; unconsumed items (panic path) leak.
+        unsafe {
+            let mut v = ManuallyDrop::take(&mut self.buf);
+            v.set_len(0);
+        }
+    }
+}
+
+impl<T: Send + Sync> ParallelIterator for VecPar<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+    unsafe fn item(&self, i: usize) -> T {
+        // SAFETY: each index read at most once — a move, not a copy.
+        std::ptr::read(self.buf.as_ptr().add(i))
+    }
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar {
+            buf: ManuallyDrop::new(self),
+        }
+    }
+}
+
+/// `par_iter()` / `par_chunks()` on slices (and anything derefing to one).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> SlicePar<'_, T>;
+    /// Parallel iterator over non-overlapping chunks of `chunk_size`
+    /// (last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SlicePar<'_, T> {
+        SlicePar { slice: self }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        ChunksPar {
+            slice: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+/// `par_iter_mut()` / `par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over exclusive references.
+    fn par_iter_mut(&mut self) -> SliceParMut<'_, T>;
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceParMut<'_, T> {
+        SliceParMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        ChunksParMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk: chunk_size,
+            _marker: PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn item(&self, i: usize) -> R {
+        (self.f)(self.base.item(i))
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    unsafe fn item(&self, i: usize) -> (usize, I::Item) {
+        (i, self.base.item(i))
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn item(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.item(i), self.b.item(i))
+    }
+}

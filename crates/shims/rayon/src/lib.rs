@@ -1,79 +1,47 @@
-//! Offline shim for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, with real threads.
 //!
 //! The build environment has no crates.io access, so this local package
-//! stands in for rayon. The "parallel" iterators delegate to the standard
-//! sequential iterators: `par_iter()` is `iter()`, `into_par_iter()` is
-//! `into_iter()`, and so on. All adapters (`map`, `enumerate`, `for_each`,
-//! `collect`, ...) then come for free from `std::iter::Iterator`, so call
-//! sites compile unchanged.
+//! vendors the subset of rayon's API the workspace uses — `par_iter()`,
+//! `par_iter_mut()`, `par_chunks{,_mut}()`, `into_par_iter()` on ranges
+//! and `Vec`, the `map`/`enumerate`/`zip` adapters, the
+//! `for_each`/`collect`/`sum` consumers, `join`, and
+//! `ThreadPool`/`ThreadPoolBuilder` — on top of its own work-stealing
+//! pool built from `std::thread` (see [`pool`]). Call sites written
+//! against real rayon compile unchanged.
 //!
-//! Sequential execution is semantically identical for the data-parallel
-//! patterns used here (independent per-item work followed by a collect);
-//! the host this runs on is single-core anyway, and the repo's scalability
-//! claims rest on the BSP machine model in `pmg-parallel`, not on host
-//! threads. If real threading becomes worthwhile, this shim is the seam to
-//! swap the actual rayon back in.
+//! Unlike rayon, every operation here is **bitwise deterministic
+//! independent of thread count**: work is decomposed as a function of
+//! input length only, results are assembled positionally, and reductions
+//! fold fixed-shape partials in a fixed order (see [`iter`]). The solver
+//! stack's parity and regression tests rely on this.
+//!
+//! Pool size comes from `PMG_THREADS` (then `RAYON_NUM_THREADS`, then the
+//! machine), or per-region via [`ThreadPool::install`].
 
+pub mod iter;
+pub mod pool;
+
+pub use pool::{
+    current_num_threads, current_pool_stats, join, PoolStats, ThreadPool, ThreadPoolBuilder,
+};
+
+/// The traits that make `par_iter()` & friends available — `use
+/// rayon::prelude::*;` exactly as with the real crate.
 pub mod prelude {
-    /// `into_par_iter()` for owned collections and ranges — sequential.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {}
-
-    /// `par_iter()` / `par_chunks()` on slices — sequential.
-    pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// `par_iter_mut()` / `par_chunks_mut()` on slices — sequential.
-    pub trait ParallelSliceMut<T> {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
-}
-
-/// `rayon::join` — sequential: runs `a` then `b`.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// The shim "thread pool" has exactly one thread.
-pub fn current_num_threads() -> usize {
-    1
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{ThreadPool, ThreadPoolBuilder};
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn slice_adapters_match_sequential() {
@@ -107,5 +75,129 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[7], 1);
+        assert_eq!(lens[42], 2);
+    }
+
+    #[test]
+    fn zip_of_chunks_mut() {
+        // The triple-zip shape the FE assembly hot loop uses.
+        let n = 4 * 7 + 3; // ragged tail
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        let mut c = vec![0u32; n];
+        a.par_chunks_mut(4)
+            .zip(b.par_chunks_mut(4))
+            .zip(c.par_chunks_mut(4))
+            .enumerate()
+            .for_each(|(i, ((ca, cb), cc))| {
+                for x in ca.iter_mut().chain(cb.iter_mut()).chain(cc.iter_mut()) {
+                    *x = i as u32;
+                }
+            });
+        for (j, &x) in a.iter().enumerate() {
+            assert_eq!(x as usize, j / 4);
+        }
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let run = || -> (Vec<f64>, f64, usize) {
+            let vals: Vec<f64> = (0..10_000usize)
+                .into_par_iter()
+                .map(|i| (i as f64 * 0.1).sin() / (1.0 + i as f64))
+                .collect();
+            let s: f64 = vals.par_iter().map(|v| v * v).sum();
+            let c: usize = (1..=997usize).into_par_iter().sum();
+            (vals, s, c)
+        };
+        let base = pool(1).install(run);
+        for n in [2, 4, 7] {
+            let got = pool(n).install(run);
+            assert!(base
+                .0
+                .iter()
+                .zip(&got.0)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert_eq!(base.1.to_bits(), got.1.to_bits());
+            assert_eq!(base.2, got.2);
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_makes_progress() {
+        let p = pool(3);
+        let out: Vec<usize> = p.install(|| {
+            (0..20usize)
+                .into_par_iter()
+                .map(|i| (0..50usize).into_par_iter().map(|j| i * j).sum())
+                .collect()
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * (49 * 50) / 2);
+        }
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let p2 = pool(2);
+        let p5 = pool(5);
+        assert_eq!(p2.install(super::current_num_threads), 2);
+        assert_eq!(p5.install(super::current_num_threads), 5);
+        assert_eq!(p5.install(|| p2.install(super::current_num_threads)), 2);
+        assert_eq!(p2.current_num_threads(), 2);
+    }
+
+    #[test]
+    fn pool_stats_count_work() {
+        let p = pool(4);
+        p.install(|| {
+            let s: usize = (0..100_000usize).into_par_iter().sum();
+            assert_eq!(s, 100_000 * 99_999 / 2);
+        });
+        let st = p.stats();
+        assert_eq!(st.threads, 4);
+        assert!(st.batches >= 1);
+        assert!(st.tasks >= 2, "fan-out should issue many tasks");
+    }
+
+    #[test]
+    fn panic_in_task_propagates() {
+        let p = pool(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                (0..64usize).into_par_iter().for_each(|i| {
+                    if i == 33 {
+                        panic!("boom");
+                    }
+                })
+            })
+        }));
+        assert!(r.is_err());
+        // Pool must still be usable afterwards.
+        let s: usize = p.install(|| (0..10usize).into_par_iter().sum());
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn join_runs_both_sides_in_any_pool() {
+        let p = pool(3);
+        let (a, b) = p.install(|| {
+            super::join(
+                || (0..1000usize).into_par_iter().sum::<usize>(),
+                || (0..500usize).map(|i| i * 2).sum::<usize>(),
+            )
+        });
+        assert_eq!(a, 1000 * 999 / 2);
+        assert_eq!(b, 500 * 499);
     }
 }

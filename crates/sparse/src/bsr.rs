@@ -5,7 +5,21 @@
 //! roughly halves the index metadata and lets the matrix-vector product
 //! run on contiguous 3x3 tiles — the standard optimization for elasticity
 //! operators (PETSc's BAIJ). Convertible to/from scalar CSR; `spmv`
-//! agrees with the CSR product to rounding.
+//! accumulates each row's blocks in the same column order as the CSR
+//! product, so the two are **bitwise identical**, not merely close.
+//!
+//! # Ghost-padding rule (distributed use)
+//!
+//! A [`Bsr3Matrix`] requires both dimensions to be multiples of 3 and all
+//! entries to fall on vertex-aligned 3x3 tiles. On a distributed
+//! operator's off-process part the ghost-column space does not naturally
+//! satisfy this: a rank may reference only one or two of a remote
+//! vertex's three dofs. The distributed layer (`DistMatrix::try_block3`
+//! in `pmg-parallel`) therefore *pads* the ghost index space to whole
+//! vertex triples — missing ghost columns become explicit structural
+//! zeros inside materialized blocks — before converting to BSR. The
+//! padding only widens the gather; padded columns multiply zero values,
+//! so the routed product stays bitwise equal to the scalar CSR path.
 
 use crate::csr::CsrMatrix;
 use crate::flops;
@@ -80,14 +94,17 @@ impl Bsr3Matrix {
         }
     }
 
+    /// Scalar rows (3 per block row).
     pub fn nrows(&self) -> usize {
         3 * self.nblock_rows
     }
 
+    /// Scalar columns (3 per block column).
     pub fn ncols(&self) -> usize {
         3 * self.nblock_cols
     }
 
+    /// Stored 3x3 blocks.
     pub fn num_blocks(&self) -> usize {
         self.blocks.len()
     }

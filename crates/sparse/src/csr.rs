@@ -16,6 +16,7 @@ pub struct CooBuilder {
 }
 
 impl CooBuilder {
+    /// Start building an `nrows` x `ncols` matrix with no entries.
     pub fn new(nrows: usize, ncols: usize) -> Self {
         CooBuilder {
             nrows,
@@ -35,10 +36,12 @@ impl CooBuilder {
         self.entries.push((i, j, v));
     }
 
+    /// Entries pushed so far (duplicates not yet summed).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// Whether no entries have been pushed.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -146,14 +149,17 @@ impl CsrMatrix {
         }
     }
 
+    /// Number of rows.
     pub fn nrows(&self) -> usize {
         self.nrows
     }
 
+    /// Number of columns.
     pub fn ncols(&self) -> usize {
         self.ncols
     }
 
+    /// Stored nonzeros.
     pub fn nnz(&self) -> usize {
         self.col_idx.len()
     }

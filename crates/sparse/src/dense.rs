@@ -16,6 +16,7 @@ pub struct DenseMatrix {
 }
 
 impl DenseMatrix {
+    /// An `nrows` x `ncols` matrix of zeros.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
         DenseMatrix {
             nrows,
@@ -24,6 +25,7 @@ impl DenseMatrix {
         }
     }
 
+    /// The `n` x `n` identity.
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
@@ -32,6 +34,7 @@ impl DenseMatrix {
         m
     }
 
+    /// Fill an `nrows` x `ncols` matrix from `f(i, j)`.
     pub fn from_fn(nrows: usize, ncols: usize, f: impl Fn(usize, usize) -> f64) -> Self {
         let mut m = Self::zeros(nrows, ncols);
         for i in 0..nrows {
@@ -42,10 +45,12 @@ impl DenseMatrix {
         m
     }
 
+    /// Number of rows.
     pub fn nrows(&self) -> usize {
         self.nrows
     }
 
+    /// Number of columns.
     pub fn ncols(&self) -> usize {
         self.ncols
     }
@@ -61,6 +66,7 @@ impl DenseMatrix {
         flops::add((2 * self.nrows * self.ncols) as u64);
     }
 
+    /// Row `i` as a slice.
     pub fn row(&self, i: usize) -> &[f64] {
         &self.data[i * self.ncols..(i + 1) * self.ncols]
     }
@@ -113,6 +119,7 @@ impl Cholesky {
         Some(Cholesky { l })
     }
 
+    /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.l.nrows
     }
@@ -140,6 +147,7 @@ impl Cholesky {
         flops::add((2 * n * n) as u64);
     }
 
+    /// Solve `A x = b`, returning a fresh `x`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let mut x = b.to_vec();
         self.solve_in_place(&mut x);
@@ -198,6 +206,7 @@ impl Lu {
         Some(Lu { lu, piv })
     }
 
+    /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.lu.nrows
     }

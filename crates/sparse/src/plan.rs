@@ -107,6 +107,21 @@ fn pattern_fingerprint(a: &CsrMatrix) -> u64 {
 /// A reusable execution plan for the Galerkin triple product
 /// `A_c = R A Rᵀ` with `R` frozen and `A`'s sparsity pattern fixed.
 ///
+/// # Invalidation invariant
+///
+/// A plan is valid **only** for operators whose sparsity pattern is
+/// identical to the `A` it was built from; the values may change freely.
+/// Validity is checked by [`RapPlan::matches`], which compares the row
+/// count, the stored-nonzero count, and an FNV-1a fingerprint of the full
+/// `(row lengths, column indices)` structure — explicitly *not* of the
+/// values, so Newton re-linearizations on a fixed mesh always reuse the
+/// plan. Anything that changes the pattern — remeshing, a different
+/// drop-tolerance, a new restriction `R` — must rebuild the plan (callers
+/// like `MgHierarchy::update_operator` do this transparently when
+/// `matches` returns false). [`RapPlan::execute`] asserts the invariant
+/// and panics on a non-matching operator rather than gathering values
+/// from stale offsets.
+///
 /// ```
 /// use pmg_sparse::{CooBuilder, RapPlan};
 /// let mut b = CooBuilder::new(2, 2);

@@ -37,8 +37,12 @@
 //! trajectories, round-trippable via [`Report::from_json_lines`]), or
 //! no-op.
 //!
-//! The phase-name schema used by the solver stack is documented in the
-//! repository README ("Telemetry & Reproducing the Paper's Tables").
+//! The phase-name schema used by the solver stack is documented in
+//! `docs/telemetry.md` (stable slash-hierarchical phase names, counter
+//! families like `rap/plan_*` and `pool/*`, and the JSON-lines format)
+//! and summarized in the repository README.
+
+#![warn(missing_docs)]
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -8,6 +8,7 @@ use std::fmt::Write as _;
 /// One accumulated phase (slash-joined hierarchical path).
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhaseRecord {
+    /// Slash-joined hierarchical phase path, e.g. `"setup/rap"`.
     pub path: String,
     /// Total seconds across all entries (inclusive of child phases).
     pub total_s: f64,
@@ -19,6 +20,7 @@ pub struct PhaseRecord {
 /// bridged into the report so modeled and wall time are one artifact.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimPhaseRecord {
+    /// Phase name as registered with the BSP simulator.
     pub name: String,
     /// Modeled seconds under the machine model.
     pub modeled_s: f64,
@@ -26,10 +28,15 @@ pub struct SimPhaseRecord {
     pub modeled_comm_s: f64,
     /// Wall-clock seconds actually spent on this host.
     pub wall_s: f64,
+    /// Flops summed across all ranks.
     pub total_flops: u64,
+    /// Flops on the most loaded rank.
     pub max_flops: u64,
+    /// Point-to-point messages summed across all ranks.
     pub total_msgs: u64,
+    /// Bytes moved in point-to-point messages, summed across all ranks.
     pub total_bytes: u64,
+    /// Number of BSP supersteps (barrier-to-barrier rounds).
     pub supersteps: u64,
     /// Flop load balance `average / maximum` across ranks.
     pub load_balance: f64,
@@ -38,13 +45,18 @@ pub struct SimPhaseRecord {
 /// A full telemetry snapshot.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Report {
+    /// Free-form string labels (run metadata: problem size, ranks, ...).
     pub labels: BTreeMap<String, String>,
     /// Sorted by path (lexicographic, which groups children under
     /// parents because paths are slash-joined).
     pub phases: Vec<PhaseRecord>,
+    /// Monotonic event counters, keyed by slash-joined name.
     pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins numeric gauges, keyed by slash-joined name.
     pub gauges: BTreeMap<String, f64>,
+    /// Appended numeric series (e.g. per-iteration residuals), keyed by name.
     pub series: BTreeMap<String, Vec<f64>>,
+    /// BSP machine-model phases bridged from `pmg-parallel`.
     pub sim_phases: Vec<SimPhaseRecord>,
 }
 

@@ -5,6 +5,7 @@ use std::io::{self, Write};
 
 /// Destination for a finished [`Report`].
 pub trait Sink {
+    /// Write one finished report to the destination.
     fn emit(&mut self, report: &Report) -> io::Result<()>;
 }
 

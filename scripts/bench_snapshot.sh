@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Perf snapshot for the symbolic/numeric kernel split: runs the criterion
-# kernel + solve microbenches (quick mode by default) and the bench_snapshot
-# binary, which writes BENCH_PR2.json with spmv/rap/assemble timings, the
-# cold-vs-planned speedups, and the plan/pattern reuse counters.
+# Perf snapshot of the hot kernels: runs the criterion kernel + solve
+# microbenches (quick mode by default) and the bench_snapshot binary, which
+# writes BENCH_PR3.json with spmv/rap/assemble timings, the cold-vs-planned
+# speedups, the 1-thread-vs-pool thread-scaling section, and the
+# plan/pattern reuse counters. The meta block records the pool size, git
+# SHA, and host core count so snapshots are comparable across machines.
 #
 # Knobs:
+#   PMG_THREADS          pool size for the thread-scaling section
+#                        (default 4 so snapshots are comparable; the host
+#                        core count is recorded in meta.host_cores)
 #   CRITERION_SAMPLE_MS  per-benchmark criterion budget (default 50 here)
 #   PMG_BENCH_MS         per-measurement budget in bench_snapshot (ms)
 #   PMG_BENCH_K          spheres ladder point (default 0 = tiny)
@@ -14,6 +19,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CRITERION_SAMPLE_MS="${CRITERION_SAMPLE_MS:-50}"
+export PMG_THREADS="${PMG_THREADS:-4}"
 
 echo "== criterion kernel benches (CRITERION_SAMPLE_MS=$CRITERION_SAMPLE_MS) =="
 cargo bench --offline -p pmg-bench --bench kernels
@@ -23,8 +29,8 @@ echo "== criterion solve benches =="
 cargo bench --offline -p pmg-bench --bench solve
 
 echo
-echo "== bench_snapshot -> BENCH_PR2.json =="
+echo "== bench_snapshot (PMG_THREADS=$PMG_THREADS) -> BENCH_PR3.json =="
 cargo run --release --offline -p pmg-bench --bin bench_snapshot
 
 echo
-echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR2.json}"
+echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR3.json}"
