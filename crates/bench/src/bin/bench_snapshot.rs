@@ -6,10 +6,15 @@
 //! {parallel SpMV, block-Jacobi smoothing, warm assembly} at 1 thread vs
 //! the configured pool size, then drives two Newton-style operator update
 //! rounds through a full MG hierarchy with telemetry on and records the
-//! plan/pattern build-vs-reuse counters. Everything lands in a hand-rolled
-//! JSON file (default `BENCH_PR3.json`, override with `PMG_BENCH_OUT`)
-//! whose `meta` block records the pool size, git SHA, and host core count
-//! so BENCH_*.json files are comparable across PRs and machines.
+//! plan/pattern build-vs-reuse counters, and the PR-4 comm section: the
+//! same spheres solve run over simulated ranks, threaded ranks
+//! (in-process transport), and — when the `spheres_rank` worker binary is
+//! built alongside — 2-process Unix-socket ranks, with *real* (measured,
+//! not modeled) message counts and per-phase wait times. Everything lands
+//! in a hand-rolled JSON file (default `BENCH_PR4.json`, override with
+//! `PMG_BENCH_OUT`) whose `meta` block records the pool size, git SHA, and
+//! host core count so BENCH_*.json files are comparable across PRs and
+//! machines.
 //!
 //! Knobs: `PMG_THREADS` pool size for the scaling section, `PMG_BENCH_K`
 //! ladder point (default 0 = tiny spheres), `PMG_BENCH_MS` per-measurement
@@ -50,6 +55,70 @@ fn time_min<F: FnMut()>(budget: Duration, mut f: F) -> f64 {
     best
 }
 
+/// One 2-process socket-transport data point parsed from the
+/// `spheres_rank --out` artifact.
+#[derive(Default)]
+struct SocketPoint {
+    iterations: usize,
+    solve_s: f64,
+    msgs: u64,
+    bytes: u64,
+    wait_s: f64,
+    retries: u64,
+    allreduces: u64,
+    halo_s: f64,
+    allreduce_s: f64,
+    coarse_s: f64,
+}
+
+fn parse_worker_out(text: &str) -> Option<SocketPoint> {
+    let mut p = SocketPoint::default();
+    for line in text.lines() {
+        let t: Vec<&str> = line.split_whitespace().collect();
+        match t.first().copied() {
+            Some("iterations") => p.iterations = t.get(1)?.parse().ok()?,
+            Some("solve_s") => p.solve_s = t.get(1)?.parse().ok()?,
+            Some("stats") => {
+                p.msgs = t.get(1)?.parse().ok()?;
+                p.bytes = t.get(2)?.parse().ok()?;
+                p.wait_s = t.get(3)?.parse().ok()?;
+                p.retries = t.get(4)?.parse().ok()?;
+                p.allreduces = t.get(5)?.parse().ok()?;
+            }
+            Some("waits") => {
+                p.halo_s = t.get(1)?.parse().ok()?;
+                p.allreduce_s = t.get(2)?.parse().ok()?;
+                p.coarse_s = t.get(3)?.parse().ok()?;
+            }
+            _ => {}
+        }
+    }
+    Some(p)
+}
+
+/// Launch 2 ranks of the sibling `spheres_rank` binary over Unix-domain
+/// sockets and parse the rank-0 artifact. `None` when the binary is not
+/// built alongside (e.g. `cargo run -p pmg-bench` without the workspace
+/// bins) or the launch fails — the snapshot then records a skip marker
+/// instead of dying.
+fn socket_point() -> Option<SocketPoint> {
+    let bin = std::env::current_exe().ok()?.parent()?.join("spheres_rank");
+    if !bin.exists() {
+        return None;
+    }
+    let dir = std::env::temp_dir().join(format!("pmg-bench-comm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let out = dir.join("rank0.out");
+    let exits = pmg_comm::launch::launch(2, &bin, &["--out", out.to_str()?], None).ok()?;
+    let text = if exits.iter().all(|e| e.status.success()) {
+        std::fs::read_to_string(&out).ok()
+    } else {
+        None
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    parse_worker_out(&text?)
+}
+
 /// Short git SHA of the working tree, or "unknown" outside a checkout.
 fn git_sha() -> String {
     std::process::Command::new("git")
@@ -65,7 +134,7 @@ fn git_sha() -> String {
 fn main() {
     let k = env_usize("PMG_BENCH_K", 0);
     let budget = Duration::from_millis(env_usize("PMG_BENCH_MS", 200) as u64);
-    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
     let threads = rayon::current_num_threads();
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -196,6 +265,53 @@ fn main() {
     pmg_telemetry::set_enabled(false);
     let counter = |name: &str| report.counters.get(name).copied().unwrap_or(0);
 
+    // --- Comm: simulated vs threaded ranks vs sockets -------------------
+    // The same tiny spheres solve three ways: Sim (counts instead of
+    // sending), 2 threaded ranks over the in-process transport, and 2
+    // separate processes over Unix-domain sockets. The thread/socket
+    // numbers are real measured wall times and message counts, not the
+    // BSP model; the bitwise cross-check below is the parity contract.
+    // Always k=0 so the section matches what the `spheres_rank` worker
+    // builds regardless of PMG_BENCH_K.
+    let csys = spheres_first_solve(0);
+    let mut psolver = Prometheus::from_mesh(&csys.mesh, &csys.matrix, pmg_bench::parity_options(2));
+    let sim_start = Instant::now();
+    let (x_sim, res_sim) = psolver.solve(&csys.rhs, None, pmg_bench::PARITY_RTOL);
+    let sim_solve_s = sim_start.elapsed().as_secs_f64();
+    assert!(res_sim.converged, "comm-section sim solve diverged");
+
+    let thr_start = Instant::now();
+    let spmd = prometheus::solve_threads(
+        &psolver.mg,
+        &csys.rhs,
+        pmg_solver::PcgOptions {
+            rtol: pmg_bench::PARITY_RTOL,
+            max_iters: 200,
+            ..Default::default()
+        },
+    )
+    .expect("threaded-rank solve");
+    let threads_solve_s = thr_start.elapsed().as_secs_f64();
+    assert!(
+        spmd.x
+            .iter()
+            .zip(&x_sim)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "threaded-rank solution differs from sim bitwise"
+    );
+    let thr_msgs: u64 = spmd.stats.iter().map(|s| s.msgs).sum();
+    let thr_bytes: u64 = spmd.stats.iter().map(|s| s.bytes).sum();
+    let thr_wait_max = spmd.stats.iter().map(|s| s.wait_s).fold(0.0_f64, f64::max);
+    let thr_w0 = spmd.waits[0];
+
+    let socket = socket_point();
+    if let Some(sp) = &socket {
+        assert_eq!(
+            sp.iterations, res_sim.iterations,
+            "socket-rank iteration count differs from sim"
+        );
+    }
+
     let rap_speedup = rap_cold / rap_planned;
     let asm_speedup = asm_cold / asm_warm;
     let spmv_speedup = spmv_csr / spmv_bsr;
@@ -261,10 +377,49 @@ fn main() {
     .unwrap();
     writeln!(
         j,
-        "    \"spmv_bsr3_promoted\": {}",
+        "    \"spmv_bsr3_promoted\": {},",
         counter("spmv/bsr3_promoted")
     )
     .unwrap();
+    writeln!(
+        j,
+        "    \"halo_plan_build\": {},",
+        counter("comm/plan_build")
+    )
+    .unwrap();
+    writeln!(j, "    \"halo_plan_reuse\": {}", counter("comm/plan_reuse")).unwrap();
+    writeln!(j, "  }},").unwrap();
+    writeln!(j, "  \"comm\": {{").unwrap();
+    writeln!(j, "    \"ranks\": 2,").unwrap();
+    writeln!(j, "    \"iterations\": {},", res_sim.iterations).unwrap();
+    writeln!(j, "    \"sim_solve_s\": {sim_solve_s:.9},").unwrap();
+    writeln!(j, "    \"threads\": {{").unwrap();
+    writeln!(j, "      \"solve_s\": {threads_solve_s:.9},").unwrap();
+    writeln!(j, "      \"msgs\": {thr_msgs},").unwrap();
+    writeln!(j, "      \"bytes\": {thr_bytes},").unwrap();
+    writeln!(j, "      \"wait_s_max\": {thr_wait_max:.9},").unwrap();
+    writeln!(j, "      \"wait_halo_s\": {:.9},", thr_w0.halo_s).unwrap();
+    writeln!(j, "      \"wait_allreduce_s\": {:.9},", thr_w0.allreduce_s).unwrap();
+    writeln!(j, "      \"wait_coarse_s\": {:.9}", thr_w0.coarse_s).unwrap();
+    writeln!(j, "    }},").unwrap();
+    match &socket {
+        Some(sp) => {
+            writeln!(j, "    \"socket\": {{").unwrap();
+            writeln!(j, "      \"solve_s\": {:.9},", sp.solve_s).unwrap();
+            writeln!(j, "      \"msgs\": {},", sp.msgs).unwrap();
+            writeln!(j, "      \"bytes\": {},", sp.bytes).unwrap();
+            writeln!(j, "      \"wait_s_max\": {:.9},", sp.wait_s).unwrap();
+            writeln!(j, "      \"retries\": {},", sp.retries).unwrap();
+            writeln!(j, "      \"allreduces\": {},", sp.allreduces).unwrap();
+            writeln!(j, "      \"wait_halo_s\": {:.9},", sp.halo_s).unwrap();
+            writeln!(j, "      \"wait_allreduce_s\": {:.9},", sp.allreduce_s).unwrap();
+            writeln!(j, "      \"wait_coarse_s\": {:.9}", sp.coarse_s).unwrap();
+            writeln!(j, "    }}").unwrap();
+        }
+        None => {
+            writeln!(j, "    \"socket\": {{ \"skipped\": true }}").unwrap();
+        }
+    }
     writeln!(j, "  }}").unwrap();
     writeln!(j, "}}").unwrap();
     std::fs::write(&out_path, &json).expect("write bench snapshot");
@@ -279,13 +434,26 @@ fn main() {
         asm_1 / asm_n
     );
     println!(
-        "counters  plan build/reuse {}/{}  pattern build/reuse {}/{}  bsr3 promoted {}",
+        "counters  plan build/reuse {}/{}  pattern build/reuse {}/{}  bsr3 promoted {}  halo plan build/reuse {}/{}",
         counter("rap/plan_build"),
         counter("rap/plan_reuse"),
         counter("assembly/pattern_build"),
         counter("assembly/pattern_reuse"),
-        counter("spmv/bsr3_promoted")
+        counter("spmv/bsr3_promoted"),
+        counter("comm/plan_build"),
+        counter("comm/plan_reuse")
     );
+    println!(
+        "comm      sim {sim_solve_s:.3e}s  threads(2) {threads_solve_s:.3e}s \
+         ({thr_msgs} msgs, {thr_bytes} B, max wait {thr_wait_max:.3e}s)"
+    );
+    match &socket {
+        Some(sp) => println!(
+            "          sockets(2) {:.3e}s ({} msgs, {} B, wait {:.3e}s, {} retries)",
+            sp.solve_s, sp.msgs, sp.bytes, sp.wait_s, sp.retries
+        ),
+        None => println!("          sockets(2) skipped (spheres_rank binary not built alongside)"),
+    }
     println!("wrote {out_path}");
 
     if std::env::var("PMG_BENCH_ASSERT").as_deref() == Ok("1") {

@@ -84,6 +84,26 @@ pub fn spheres_first_solve(k: usize) -> FirstSolveSystem {
     }
 }
 
+/// Relative tolerance used by the transport-parity runs.
+pub const PARITY_RTOL: f64 = 1e-6;
+
+/// Options for the transport-parity runs (the consistency tests, the
+/// `spheres_rank` worker, and the comm section of the bench snapshot): the
+/// tiny spheres problem over `nranks` ranks with a coarse threshold low
+/// enough to give a multi-level hierarchy. Every transport must reproduce
+/// the simulated solve bitwise under these options, so both the test and
+/// the worker binary must build from this one definition.
+pub fn parity_options(nranks: usize) -> prometheus::PrometheusOptions {
+    prometheus::PrometheusOptions {
+        nranks,
+        mg: prometheus::MgOptions {
+            coarse_dof_threshold: 200,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
 /// Format a floating value in fixed width or `-` for None.
 pub fn fmt_opt(v: Option<f64>, prec: usize) -> String {
     match v {

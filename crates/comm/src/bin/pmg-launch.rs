@@ -1,0 +1,76 @@
+//! `mpiexec`-style launcher: spawn N ranks of a program wired over
+//! Unix-domain sockets.
+//!
+//! ```text
+//! pmg-launch -n 2 [--dir DIR] -- <program> [args...]
+//! ```
+//!
+//! Each rank gets `PMG_COMM_RANK` / `PMG_COMM_SIZE` / `PMG_COMM_DIR` in its
+//! environment and connects via `SocketTransport::connect_from_env()`.
+//! Exit status is 0 iff every rank exited 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: pmg-launch -n <ranks> [--dir <rendezvous dir>] -- <program> [args...]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut n: Option<usize> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut prog_args: Vec<String> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "-n" | "--ranks" => {
+                n = argv.next().and_then(|v| v.parse().ok());
+                if n.is_none() {
+                    usage();
+                }
+            }
+            "--dir" => {
+                dir = argv.next().map(PathBuf::from);
+                if dir.is_none() {
+                    usage();
+                }
+            }
+            "--" => {
+                prog_args.extend(argv);
+                break;
+            }
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("pmg-launch: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let Some(n) = n else { usage() };
+    if prog_args.is_empty() {
+        usage();
+    }
+    let program = PathBuf::from(prog_args.remove(0));
+
+    match pmg_comm::launch::launch(n, &program, &prog_args, dir.as_deref()) {
+        Ok(exits) => {
+            let mut ok = true;
+            for e in &exits {
+                if !e.status.success() {
+                    eprintln!("pmg-launch: rank {} exited with {}", e.rank, e.status);
+                    ok = false;
+                }
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("pmg-launch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

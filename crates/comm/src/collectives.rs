@@ -1,0 +1,259 @@
+//! Deterministic collectives over any [`Transport`].
+//!
+//! Every collective is a **fixed-shape binomial tree**: the communication
+//! pattern and the floating-point association order depend only on
+//! `(size, rank)`, never on arrival timing. Reductions combine as
+//! `receiver + incoming` with the receiver always being the lower rank, so
+//! for `P` ranks the global sum associates exactly like
+//! [`tree_combine`](crate::tree_combine) over the per-rank partials — the
+//! property the bitwise sim/threads/sockets parity rests on.
+
+use crate::{bytes_to_f64s, f64s_to_bytes, CommError, Transport};
+
+/// Tag used by all collective traffic. A constant tag is safe because the
+/// SPMD code runs collectives in lockstep (every rank enters the same
+/// sequence of operations) and transports guarantee per-peer FIFO order.
+pub const COLLECTIVE_TAG: u32 = 0xA110;
+
+/// In-place elementwise binomial-tree sum-allreduce of `vals` across all
+/// ranks. After return, every rank holds bitwise-identical sums whose
+/// association order matches [`tree_combine`](crate::tree_combine).
+pub fn allreduce_sum<T: Transport>(t: &mut T, vals: &mut [f64]) -> Result<(), CommError> {
+    reduce_to_root(t, vals)?;
+    let mut packed = f64s_to_bytes(vals);
+    broadcast(t, &mut packed)?;
+    for (v, r) in vals.iter_mut().zip(bytes_to_f64s(&packed)) {
+        *v = r;
+    }
+    t.note_allreduce();
+    pmg_telemetry::counter_add("comm/allreduces", 1);
+    Ok(())
+}
+
+/// Allreduce a single scalar; convenience wrapper over [`allreduce_sum`].
+pub fn allreduce_scalar<T: Transport>(t: &mut T, val: f64) -> Result<f64, CommError> {
+    let mut buf = [val];
+    allreduce_sum(t, &mut buf)?;
+    Ok(buf[0])
+}
+
+/// Binomial-tree reduction to rank 0. On every tree merge the *lower* rank
+/// holds the accumulator and adds the incoming partial on the right:
+/// `acc[i] = acc[i] + incoming[i]`. For `P = 5` the root ends up with
+/// `((p0+p1)+(p2+p3))+p4`.
+fn reduce_to_root<T: Transport>(t: &mut T, vals: &mut [f64]) -> Result<(), CommError> {
+    let (rank, size) = (t.rank(), t.size());
+    let mut step = 1usize;
+    while step < size {
+        if rank & step != 0 {
+            t.send(rank - step, COLLECTIVE_TAG, &f64s_to_bytes(vals))?;
+            break;
+        } else if rank + step < size {
+            let incoming = bytes_to_f64s(&t.recv(rank + step, COLLECTIVE_TAG)?);
+            if incoming.len() != vals.len() {
+                return Err(CommError::Invalid(format!(
+                    "allreduce shape mismatch: {} vs {} elements",
+                    vals.len(),
+                    incoming.len()
+                )));
+            }
+            for (v, inc) in vals.iter_mut().zip(&incoming) {
+                *v += *inc;
+            }
+        }
+        step <<= 1;
+    }
+    Ok(())
+}
+
+/// Binomial-tree broadcast of `buf` from rank 0 to all ranks (in place;
+/// non-root contents are replaced — the payload length must match on all
+/// ranks, as it does for lockstep collectives).
+pub fn broadcast<T: Transport>(t: &mut T, buf: &mut Vec<u8>) -> Result<(), CommError> {
+    let (rank, size) = (t.rank(), t.size());
+    if size == 1 {
+        return Ok(());
+    }
+    // The highest step at which this rank participates: for rank 0 the
+    // largest power of two below `size`, otherwise the lowest set bit.
+    let lowbit = if rank == 0 {
+        let mut b = 1usize;
+        while b << 1 < size {
+            b <<= 1;
+        }
+        b << 1
+    } else {
+        rank & rank.wrapping_neg()
+    };
+    if rank != 0 {
+        *buf = t.recv(rank - lowbit, COLLECTIVE_TAG)?;
+    }
+    let mut step = lowbit >> 1;
+    while step >= 1 {
+        if rank + step < size {
+            t.send(rank + step, COLLECTIVE_TAG, buf)?;
+        }
+        step >>= 1;
+    }
+    Ok(())
+}
+
+/// Gather each rank's `payload` to rank 0, returned as per-rank byte
+/// vectors in rank order (`Some(parts)` on rank 0, `None` elsewhere).
+pub fn gather<T: Transport>(t: &mut T, payload: &[u8]) -> Result<Option<Vec<Vec<u8>>>, CommError> {
+    let (rank, size) = (t.rank(), t.size());
+    // Accumulate (origin rank, payload) pairs up the same binomial tree as
+    // the reduction; each merge concatenates the child subtree's pairs.
+    let mut acc: Vec<(u32, Vec<u8>)> = vec![(rank as u32, payload.to_vec())];
+    let mut step = 1usize;
+    while step < size {
+        if rank & step != 0 {
+            t.send(rank - step, COLLECTIVE_TAG, &pack_pairs(&acc))?;
+            break;
+        } else if rank + step < size {
+            let bytes = t.recv(rank + step, COLLECTIVE_TAG)?;
+            acc.extend(unpack_pairs(&bytes)?);
+        }
+        step <<= 1;
+    }
+    if rank == 0 {
+        acc.sort_by_key(|(r, _)| *r);
+        Ok(Some(acc.into_iter().map(|(_, p)| p).collect()))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Allgather: every rank contributes `payload` and receives all ranks'
+/// payloads in rank order. Implemented as gather-to-root + broadcast of the
+/// packed blob, keeping the deterministic tree shape.
+pub fn allgather<T: Transport>(t: &mut T, payload: &[u8]) -> Result<Vec<Vec<u8>>, CommError> {
+    let gathered = gather(t, payload)?;
+    let mut packed = match gathered {
+        Some(parts) => {
+            let pairs: Vec<(u32, Vec<u8>)> = parts
+                .into_iter()
+                .enumerate()
+                .map(|(r, p)| (r as u32, p))
+                .collect();
+            pack_pairs(&pairs)
+        }
+        None => Vec::new(),
+    };
+    broadcast(t, &mut packed)?;
+    let pairs = unpack_pairs(&packed)?;
+    Ok(pairs.into_iter().map(|(_, p)| p).collect())
+}
+
+/// Barrier: an empty allreduce — no rank leaves before every rank entered.
+pub fn barrier<T: Transport>(t: &mut T) -> Result<(), CommError> {
+    let mut none: [f64; 0] = [];
+    reduce_to_root(t, &mut none)?;
+    let mut empty = Vec::new();
+    broadcast(t, &mut empty)?;
+    Ok(())
+}
+
+fn pack_pairs(pairs: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for (r, p) in pairs {
+        out.extend_from_slice(&r.to_le_bytes());
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+fn unpack_pairs(bytes: &[u8]) -> Result<Vec<(u32, Vec<u8>)>, CommError> {
+    let bad = || CommError::Invalid("malformed gather frame".into());
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Result<&[u8], CommError> {
+        let s = bytes.get(*at..*at + n).ok_or_else(bad)?;
+        *at += n;
+        Ok(s)
+    };
+    let count = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let r = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
+        let len = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()) as usize;
+        out.push((r, take(&mut at, len)?.to_vec()));
+    }
+    if at != bytes.len() {
+        return Err(bad());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalTransport;
+    use crate::tree_combine;
+
+    #[test]
+    fn allreduce_matches_tree_combine_bitwise() {
+        for size in 1..=9usize {
+            // Partials chosen so association order changes the bits.
+            let partials: Vec<f64> = (0..size)
+                .map(|r| 0.1 * (r as f64 + 1.0) + 1e-13 * (r as f64))
+                .collect();
+            let expect = tree_combine(&partials);
+            let ps = partials.clone();
+            let results = LocalTransport::run_ranks(size, move |mut t| {
+                let mut v = [ps[t.rank()]];
+                allreduce_sum(&mut t, &mut v).unwrap();
+                v[0]
+            });
+            for (r, got) in results.iter().enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    expect.to_bits(),
+                    "rank {r} of {size}: {got:e} vs {expect:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        for size in 1..=6usize {
+            let results = LocalTransport::run_ranks(size, |mut t| {
+                let mine = vec![t.rank() as u8; t.rank() + 1];
+                allgather(&mut t, &mine).unwrap()
+            });
+            for parts in &results {
+                assert_eq!(parts.len(), size);
+                for (r, p) in parts.iter().enumerate() {
+                    assert_eq!(p, &vec![r as u8; r + 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_root_only() {
+        let results = LocalTransport::run_ranks(5, |mut t| {
+            let mine = (t.rank() as u32).to_le_bytes().to_vec();
+            gather(&mut t, &mine).unwrap()
+        });
+        let root = results[0].as_ref().expect("rank 0 gets the gather");
+        assert_eq!(root.len(), 5);
+        for (r, p) in root.iter().enumerate() {
+            assert_eq!(u32::from_le_bytes(p[..4].try_into().unwrap()), r as u32);
+        }
+        for res in &results[1..] {
+            assert!(res.is_none());
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let results = LocalTransport::run_ranks(7, |mut t| {
+            barrier(&mut t).unwrap();
+            t.rank()
+        });
+        assert_eq!(results, (0..7).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,665 @@
+//! Fault injection and recovery: a reliability wrapper over any transport.
+//!
+//! [`FaultTransport::wrap`] interposes between the application and an inner
+//! [`Transport`], injecting configurable message **delay**, **drop**, and
+//! **duplication**, and recovering with per-link sequence numbers,
+//! acknowledgements, and timeout+retry. A **crash-rank** mode makes one
+//! rank go silent after a configurable number of operations, so tests can
+//! assert that peers surface a clean [`CommError`] instead of hanging.
+//!
+//! A dedicated I/O thread owns the inner transport. This is what makes
+//! ACKs deadlock-free under the lockstep SPMD call pattern: the
+//! application thread may be blocked in `recv` while the I/O thread keeps
+//! acknowledging, retrying, and releasing delayed frames.
+//!
+//! Delivery order: injected delay can reorder frames on the wire, which
+//! would silently swap two same-tag payloads (e.g. successive halo
+//! exchanges). The receiver therefore **resequences** by per-sender
+//! sequence number — frames are handed to the application strictly in send
+//! order, restoring the per-peer FIFO guarantee of the [`Transport`]
+//! contract.
+//!
+//! Wire format (inside the inner transport's payload, under the
+//! application's tag): data frames are `[0u8][seq: u64 LE][payload]`,
+//! acknowledgements are `[1u8][seq: u64 LE]`.
+
+use crate::{CommError, CommStats, Message, Transport};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const KIND_DATA: u8 = 0;
+const KIND_ACK: u8 = 1;
+
+/// Fault-injection and recovery parameters.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Probability that an outgoing data frame is held back by [`delay`](Self::delay).
+    pub delay_prob: f64,
+    /// How long delayed frames are held.
+    pub delay: Duration,
+    /// Probability that an outgoing data frame is silently dropped
+    /// (recovered by timeout+retry).
+    pub drop_prob: f64,
+    /// Probability that an outgoing data frame is transmitted twice
+    /// (filtered by the receiver's sequence numbers).
+    pub dup_prob: f64,
+    /// PRNG seed; each rank derives its own stream as `seed ^ rank`.
+    pub seed: u64,
+    /// Retransmission timeout: an unacknowledged frame is resent after
+    /// this long, up to [`max_retries`](Self::max_retries) times.
+    pub timeout: Duration,
+    /// Retransmission budget per frame; exhausting it surfaces
+    /// [`CommError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// Crash-rank mode: after this many application sends, the rank goes
+    /// silent — no transmission, no ACKs, no delivery.
+    pub crash_after: Option<u64>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            delay_prob: 0.0,
+            delay: Duration::from_millis(2),
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            seed: 0x5EED_CAFE,
+            timeout: Duration::from_millis(100),
+            max_retries: 5,
+            crash_after: None,
+        }
+    }
+}
+
+/// splitmix64 — tiny deterministic PRNG, no external dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+enum Cmd {
+    Send {
+        to: usize,
+        tag: u32,
+        payload: Vec<u8>,
+    },
+    Shutdown,
+}
+
+struct Delayed {
+    due: Instant,
+    to: usize,
+    tag: u32,
+    frame: Vec<u8>,
+}
+
+struct Outstanding {
+    tag: u32,
+    frame: Vec<u8>,
+    attempts: u32,
+    last_sent: Instant,
+}
+
+/// Reliability wrapper endpoint; see the [module docs](self).
+pub struct FaultTransport {
+    rank: usize,
+    size: usize,
+    cmds: Sender<Cmd>,
+    delivery: Receiver<Result<Message, CommError>>,
+    pending: BTreeMap<(usize, u32), VecDeque<Vec<u8>>>,
+    /// First terminal error reported by the I/O thread; sticky.
+    dead: Option<CommError>,
+    shared: Arc<Mutex<CommStats>>,
+    app_wait_s: f64,
+    app_allreduces: u64,
+    recv_deadline: Duration,
+    io: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultTransport {
+    /// Wrap `inner`, taking ownership of it into a dedicated I/O thread.
+    pub fn wrap<T: Transport + Send + 'static>(inner: T, cfg: FaultConfig) -> FaultTransport {
+        let (rank, size) = (inner.rank(), inner.size());
+        let (cmd_tx, cmd_rx) = channel();
+        let (del_tx, del_rx) = channel();
+        let shared = Arc::new(Mutex::new(CommStats::default()));
+        let shared_io = Arc::clone(&shared);
+        // The application waits long enough for the full retry budget to
+        // play out before declaring a receive dead.
+        let recv_deadline = cfg.timeout * (cfg.max_retries + 2);
+        let io = std::thread::Builder::new()
+            .name(format!("pmg-comm-fault-{rank}"))
+            .spawn(move || io_loop(inner, cfg, cmd_rx, del_tx, shared_io))
+            .expect("spawn fault io thread");
+        FaultTransport {
+            rank,
+            size,
+            cmds: cmd_tx,
+            delivery: del_rx,
+            pending: BTreeMap::new(),
+            dead: None,
+            shared,
+            app_wait_s: 0.0,
+            app_allreduces: 0,
+            recv_deadline,
+            io: Some(io),
+        }
+    }
+
+    /// Drain everything the I/O thread has delivered so far without
+    /// blocking; stash messages, make errors sticky.
+    fn drain_delivery(&mut self) {
+        loop {
+            match self.delivery.try_recv() {
+                Ok(Ok(m)) => {
+                    self.pending
+                        .entry((m.from, m.tag))
+                        .or_default()
+                        .push_back(m.payload);
+                }
+                Ok(Err(e)) => {
+                    if self.dead.is_none() {
+                        self.dead = Some(e);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn pop_pending(&mut self, from: usize, tag: u32) -> Option<Vec<u8>> {
+        self.pending
+            .get_mut(&(from, tag))
+            .and_then(|q| q.pop_front())
+    }
+}
+
+impl Transport for FaultTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&mut self, to: usize, tag: u32, payload: &[u8]) -> Result<(), CommError> {
+        self.drain_delivery();
+        if let Some(e) = &self.dead {
+            return Err(e.clone());
+        }
+        if to >= self.size {
+            return Err(CommError::Invalid(format!(
+                "send to rank {to} of {}",
+                self.size
+            )));
+        }
+        self.cmds
+            .send(Cmd::Send {
+                to,
+                tag,
+                payload: payload.to_vec(),
+            })
+            .map_err(|_| CommError::Disconnected { peer: to })
+    }
+
+    fn recv(&mut self, from: usize, tag: u32) -> Result<Vec<u8>, CommError> {
+        self.drain_delivery();
+        if let Some(p) = self.pop_pending(from, tag) {
+            return Ok(p);
+        }
+        if let Some(e) = &self.dead {
+            return Err(e.clone());
+        }
+        let start = Instant::now();
+        let deadline = start + self.recv_deadline;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                self.app_wait_s += start.elapsed().as_secs_f64();
+                return Err(CommError::Timeout { peer: from });
+            }
+            match self.delivery.recv_timeout(deadline - now) {
+                Ok(Ok(m)) => {
+                    if m.from == from && m.tag == tag {
+                        self.app_wait_s += start.elapsed().as_secs_f64();
+                        return Ok(m.payload);
+                    }
+                    self.pending
+                        .entry((m.from, m.tag))
+                        .or_default()
+                        .push_back(m.payload);
+                }
+                Ok(Err(e)) => {
+                    self.app_wait_s += start.elapsed().as_secs_f64();
+                    self.dead = Some(e.clone());
+                    return Err(e);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.app_wait_s += start.elapsed().as_secs_f64();
+                    return Err(CommError::Timeout { peer: from });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.app_wait_s += start.elapsed().as_secs_f64();
+                    return Err(CommError::Disconnected { peer: from });
+                }
+            }
+        }
+    }
+
+    fn try_recv_any(&mut self) -> Result<Option<Message>, CommError> {
+        self.drain_delivery();
+        if let Some((&key, _)) = self.pending.iter().find(|(_, q)| !q.is_empty()) {
+            let q = self.pending.get_mut(&key).expect("key exists");
+            let payload = q.pop_front().expect("non-empty");
+            return Ok(Some(Message {
+                from: key.0,
+                tag: key.1,
+                payload,
+            }));
+        }
+        if let Some(e) = &self.dead {
+            return Err(e.clone());
+        }
+        Ok(None)
+    }
+
+    fn stats(&self) -> CommStats {
+        let mut s = self.shared.lock().map(|g| *g).unwrap_or_default();
+        s.wait_s += self.app_wait_s;
+        s.allreduces += self.app_allreduces;
+        s
+    }
+
+    fn note_allreduce(&mut self) {
+        self.app_allreduces += 1;
+    }
+}
+
+impl Drop for FaultTransport {
+    fn drop(&mut self) {
+        let _ = self.cmds.send(Cmd::Shutdown);
+        if let Some(io) = self.io.take() {
+            let _ = io.join();
+        }
+    }
+}
+
+fn data_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(9 + payload.len());
+    f.push(KIND_DATA);
+    f.extend_from_slice(&seq.to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+fn ack_frame(seq: u64) -> Vec<u8> {
+    let mut f = Vec::with_capacity(9);
+    f.push(KIND_ACK);
+    f.extend_from_slice(&seq.to_le_bytes());
+    f
+}
+
+#[allow(clippy::too_many_lines)]
+fn io_loop<T: Transport>(
+    mut inner: T,
+    cfg: FaultConfig,
+    cmds: Receiver<Cmd>,
+    out: Sender<Result<Message, CommError>>,
+    shared: Arc<Mutex<CommStats>>,
+) {
+    let size = inner.size();
+    let mut rng = SplitMix64(cfg.seed ^ inner.rank() as u64);
+    // Sequence numbers are per directed link (me -> to / from -> me),
+    // across all tags, so resequencing restores full per-peer FIFO.
+    let mut next_seq: Vec<u64> = vec![0; size];
+    let mut expected: Vec<u64> = vec![0; size];
+    let mut holdback: BTreeMap<(usize, u64), Message> = BTreeMap::new();
+    let mut outstanding: BTreeMap<(usize, u64), Outstanding> = BTreeMap::new();
+    let mut delayed: Vec<Delayed> = Vec::new();
+    let mut crashed = false;
+    let mut sends_seen: u64 = 0;
+    let mut retries: u64 = 0;
+    // After the application disconnects we keep draining — transmitting
+    // queued frames, ACKing inbound data, and retrying unacknowledged
+    // sends — until everything in flight resolves (bounded by a grace
+    // deadline), like MPI_Finalize completing outstanding sends.
+    let mut draining: Option<Instant> = None;
+    let grace = cfg.timeout * (cfg.max_retries + 2);
+
+    loop {
+        let mut idle = true;
+
+        // 1. Application commands.
+        while draining.is_none() {
+            match cmds.try_recv() {
+                Ok(Cmd::Send { to, tag, payload }) => {
+                    idle = false;
+                    sends_seen += 1;
+                    if let Some(n) = cfg.crash_after {
+                        if sends_seen > n {
+                            crashed = true;
+                        }
+                    }
+                    if crashed {
+                        continue;
+                    }
+                    let seq = next_seq[to];
+                    next_seq[to] += 1;
+                    let frame = data_frame(seq, &payload);
+                    outstanding.insert(
+                        (to, seq),
+                        Outstanding {
+                            tag,
+                            frame: frame.clone(),
+                            attempts: 1,
+                            last_sent: Instant::now(),
+                        },
+                    );
+                    if rng.chance(cfg.drop_prob) {
+                        // Swallowed on the wire; the retry timer recovers it.
+                        continue;
+                    }
+                    let due = if rng.chance(cfg.delay_prob) {
+                        Instant::now() + cfg.delay
+                    } else {
+                        Instant::now()
+                    };
+                    if rng.chance(cfg.dup_prob) {
+                        delayed.push(Delayed {
+                            due: due + Duration::from_micros(200),
+                            to,
+                            tag,
+                            frame: frame.clone(),
+                        });
+                    }
+                    delayed.push(Delayed {
+                        due,
+                        to,
+                        tag,
+                        frame,
+                    });
+                }
+                Ok(Cmd::Shutdown) | Err(TryRecvError::Disconnected) => {
+                    draining = Some(Instant::now() + grace);
+                }
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+
+        // 2. Release due (possibly delayed/duplicated) frames.
+        let now = Instant::now();
+        let mut still = Vec::with_capacity(delayed.len());
+        for d in delayed.drain(..) {
+            if crashed {
+                continue;
+            }
+            if d.due <= now {
+                idle = false;
+                let _ = inner.send(d.to, d.tag, &d.frame);
+            } else {
+                still.push(d);
+            }
+        }
+        delayed = still;
+
+        // 3. Inbound traffic: ACK + dup-filter + resequence data frames,
+        // clear outstanding on ACKs.
+        loop {
+            match inner.try_recv_any() {
+                Ok(Some(m)) => {
+                    idle = false;
+                    if m.payload.len() < 9 {
+                        continue; // not ours; ignore malformed frame
+                    }
+                    let kind = m.payload[0];
+                    let seq = u64::from_le_bytes(m.payload[1..9].try_into().unwrap());
+                    if kind == KIND_ACK {
+                        outstanding.remove(&(m.from, seq));
+                        continue;
+                    }
+                    if crashed {
+                        continue; // dead ranks don't ACK or deliver
+                    }
+                    let _ = inner.send(m.from, m.tag, &ack_frame(seq));
+                    if seq < expected[m.from] {
+                        continue; // duplicate of an already-delivered frame
+                    }
+                    let msg = Message {
+                        from: m.from,
+                        tag: m.tag,
+                        payload: m.payload[9..].to_vec(),
+                    };
+                    if seq == expected[m.from] {
+                        let from = m.from;
+                        expected[from] += 1;
+                        // A closed delivery channel means the application
+                        // endpoint is gone: switch to draining.
+                        if out.send(Ok(msg)).is_err() && draining.is_none() {
+                            draining = Some(Instant::now() + grace);
+                        }
+                        // Release any frames that were held back behind it.
+                        while let Some(held) = holdback.remove(&(from, expected[from])) {
+                            expected[from] += 1;
+                            if out.send(Ok(held)).is_err() && draining.is_none() {
+                                draining = Some(Instant::now() + grace);
+                            }
+                        }
+                    } else {
+                        holdback.insert((m.from, seq), msg);
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = out.send(Err(e));
+                    return;
+                }
+            }
+        }
+
+        // 4. Retransmission timers.
+        if !crashed {
+            let now = Instant::now();
+            let mut exhausted: Option<(usize, u32)> = None;
+            for (&(to, _seq), o) in outstanding.iter_mut() {
+                if now.duration_since(o.last_sent) < cfg.timeout {
+                    continue;
+                }
+                if o.attempts > cfg.max_retries {
+                    exhausted = Some((to, o.attempts));
+                    break;
+                }
+                idle = false;
+                o.attempts += 1;
+                o.last_sent = now;
+                retries += 1;
+                pmg_telemetry::counter_add("comm/retries", 1);
+                let _ = inner.send(to, o.tag, &o.frame);
+            }
+            if let Some((peer, attempts)) = exhausted {
+                let _ = out.send(Err(CommError::RetriesExhausted { peer, attempts }));
+                return;
+            }
+        }
+
+        // 5. Publish stats (inner wire traffic + reliability retries).
+        if let Ok(mut s) = shared.lock() {
+            let mut cur = inner.stats();
+            cur.retries += retries;
+            *s = cur;
+        }
+
+        // 6. Finished draining? Everything in flight resolved (or the
+        // grace period ran out, or the rank is crashed anyway).
+        if let Some(deadline) = draining {
+            if crashed
+                || (outstanding.is_empty() && delayed.is_empty())
+                || Instant::now() >= deadline
+            {
+                return;
+            }
+        }
+
+        if idle {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::allreduce_scalar;
+    use crate::local::LocalTransport;
+    use crate::tree_combine;
+
+    fn wrap_machine(n: usize, cfg: &FaultConfig) -> Vec<FaultTransport> {
+        LocalTransport::pairs(n)
+            .into_iter()
+            .map(|t| FaultTransport::wrap(t, cfg.clone()))
+            .collect()
+    }
+
+    fn run_wrapped<R: Send, F: Fn(FaultTransport) -> R + Sync>(
+        n: usize,
+        cfg: FaultConfig,
+        f: F,
+    ) -> Vec<R> {
+        let endpoints = wrap_machine(n, &cfg);
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .map(|t| s.spawn(move || f(t)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+
+    #[test]
+    fn clean_passthrough_allreduce() {
+        let partials = [0.25, 0.5, 1.0, 2.0];
+        let expect = tree_combine(&partials);
+        let results = run_wrapped(4, FaultConfig::default(), move |mut t| {
+            let mine = partials[t.rank()];
+            allreduce_scalar(&mut t, mine).unwrap()
+        });
+        for r in results {
+            assert_eq!(r.to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn delay_and_dup_preserve_order_and_bits() {
+        let cfg = FaultConfig {
+            delay_prob: 0.5,
+            delay: Duration::from_millis(3),
+            dup_prob: 0.5,
+            seed: 12345,
+            ..FaultConfig::default()
+        };
+        // Many same-tag messages: injected delay would reorder them on the
+        // wire, the sequence layer must hand them back in send order.
+        let results = run_wrapped(2, cfg, |mut t| {
+            if t.rank() == 0 {
+                for i in 0..50u32 {
+                    t.send(1, 9, &i.to_le_bytes()).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..50u32)
+                    .map(|_| u32::from_le_bytes(t.recv(0, 9).unwrap()[..4].try_into().unwrap()))
+                    .collect()
+            }
+        });
+        assert_eq!(results[1], (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drops_recovered_by_retry_and_counted() {
+        let cfg = FaultConfig {
+            drop_prob: 0.3,
+            seed: 7,
+            timeout: Duration::from_millis(20),
+            max_retries: 8,
+            ..FaultConfig::default()
+        };
+        let results = run_wrapped(2, cfg, |mut t| {
+            if t.rank() == 0 {
+                for i in 0..40u32 {
+                    t.send(1, 2, &i.to_le_bytes()).unwrap();
+                }
+                // Wait for the echo so outstanding frames resolve.
+                let done = t.recv(1, 3).unwrap();
+                assert_eq!(done, b"done");
+            } else {
+                for i in 0..40u32 {
+                    let m = t.recv(0, 2).unwrap();
+                    assert_eq!(u32::from_le_bytes(m[..4].try_into().unwrap()), i);
+                }
+                t.send(0, 3, b"done").unwrap();
+            }
+            t.stats()
+        });
+        // With 30% drop over 40 messages, retries must have happened.
+        assert!(
+            results[0].retries > 0,
+            "expected retransmissions, got {:?}",
+            results[0]
+        );
+    }
+
+    #[test]
+    fn crashed_peer_surfaces_clean_error() {
+        let cfg = FaultConfig {
+            timeout: Duration::from_millis(15),
+            max_retries: 2,
+            ..FaultConfig::default()
+        };
+        let endpoints = LocalTransport::pairs(2);
+        let mut it = endpoints.into_iter();
+        let t0 = it.next().unwrap();
+        let t1 = it.next().unwrap();
+        let alive_cfg = cfg.clone();
+        let crash_cfg = FaultConfig {
+            crash_after: Some(0),
+            ..cfg
+        };
+        std::thread::scope(|s| {
+            let alive = s.spawn(move || {
+                let mut t = FaultTransport::wrap(t0, alive_cfg);
+                t.send(1, 1, b"hello").unwrap();
+                // The peer never ACKs and never replies: either the retry
+                // budget or the receive deadline must trip — not a hang.
+                t.recv(1, 1)
+            });
+            let crashed = s.spawn(move || {
+                let mut t = FaultTransport::wrap(t1, crash_cfg);
+                let _ = t.send(0, 1, b"never leaves");
+                t.recv(0, 1)
+            });
+            match alive.join().unwrap() {
+                Err(CommError::RetriesExhausted { peer: 1, .. })
+                | Err(CommError::Timeout { peer: 1 }) => {}
+                other => panic!("expected clean comm error, got {other:?}"),
+            }
+            assert!(crashed.join().unwrap().is_err());
+        });
+    }
+}

@@ -36,6 +36,7 @@ pub mod mg;
 pub mod mis;
 pub mod sa;
 pub mod solver;
+pub mod spmd;
 
 pub use classify::{
     classify_mesh, classify_mesh_parallel, classify_vertices, identify_faces,
@@ -44,6 +45,7 @@ pub use classify::{
 pub use coarsen::{coarsen_level, CoarseLevel, CoarsenOptions};
 pub use inspect::{classify_mesh_levels, tets_to_obj, LevelInfo};
 pub use mg::{CycleType, MgHierarchy, MgOptions};
-pub use mis::{greedy_mis, parallel_mis, MisOrdering};
+pub use mis::{greedy_mis, parallel_mis, parallel_mis_transport, MisOrdering};
 pub use sa::{build_sa_hierarchy, SaOptions};
 pub use solver::{Prometheus, PrometheusOptions, SolveSummary};
+pub use spmd::{solve_threads, spmd_pcg, PhaseWaits, RankHierarchy, SpmdSolveOutcome};

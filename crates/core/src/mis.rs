@@ -141,20 +141,8 @@ pub fn parallel_mis(g: &Graph, rank: &[u8], proc: &[u32], order: &[u32]) -> Vec<
     assert_eq!(proc.len(), n);
     assert_eq!(order.len(), n);
 
-    #[derive(Clone, Copy, PartialEq)]
-    enum S {
-        Undone,
-        Selected,
-        Deleted,
-    }
     let mut state = vec![S::Undone; n];
-
-    // Per-processor local traversal order.
-    let nproc = proc.iter().map(|&p| p as usize + 1).max().unwrap_or(1);
-    let mut local: Vec<Vec<u32>> = vec![Vec::new(); nproc];
-    for &v in order {
-        local[proc[v as usize] as usize].push(v);
-    }
+    let local = local_orders(proc, order);
 
     let mut rounds = 0u64;
     loop {
@@ -163,59 +151,11 @@ pub fn parallel_mis(g: &Graph, rank: &[u8], proc: &[u32], order: &[u32]) -> Vec<
         // round-start `state` (shared immutably) plus its own overlay.
         let decisions: Vec<(Vec<u32>, Vec<u32>)> = local
             .par_iter()
-            .map(|plist| {
-                let mut selected: Vec<u32> = Vec::new();
-                let mut deleted: Vec<u32> = Vec::new();
-                // Overlay of this processor's own in-round updates; remote
-                // vertices keep their snapshot state until the merge.
-                let mut overlay: std::collections::HashMap<u32, S> =
-                    std::collections::HashMap::new();
-                let view = |overlay: &std::collections::HashMap<u32, S>, w: u32| {
-                    overlay.get(&w).copied().unwrap_or(state[w as usize])
-                };
-                for &v in plist {
-                    if view(&overlay, v) != S::Undone {
-                        continue;
-                    }
-                    let vu = v as usize;
-                    let selectable = g.neighbors(vu).iter().all(|&w| {
-                        let wu = w as usize;
-                        match view(&overlay, w) {
-                            S::Deleted => true,
-                            S::Selected => false,
-                            S::Undone => {
-                                rank[vu] > rank[wu]
-                                    || (rank[vu] == rank[wu] && proc[vu] >= proc[wu])
-                            }
-                        }
-                    });
-                    if selectable {
-                        overlay.insert(v, S::Selected);
-                        selected.push(v);
-                        for &w in g.neighbors(vu) {
-                            overlay.insert(w, S::Deleted);
-                            deleted.push(w);
-                        }
-                    }
-                }
-                (selected, deleted)
-            })
+            .map(|plist| proc_pass(g, rank, proc, &state, plist))
             .collect();
 
         // Merge in processor order (conflict-free, see above).
-        let mut progress = false;
-        for (selected, deleted) in &decisions {
-            for &v in selected {
-                debug_assert!(state[v as usize] == S::Undone);
-                state[v as usize] = S::Selected;
-                progress = true;
-            }
-            for &w in deleted {
-                debug_assert!(state[w as usize] != S::Selected);
-                state[w as usize] = S::Deleted;
-            }
-        }
-        if !progress {
+        if !merge_decisions(&mut state, decisions.iter()) {
             break;
         }
     }
@@ -225,6 +165,201 @@ pub fn parallel_mis(g: &Graph, rank: &[u8], proc: &[u32], order: &[u32]) -> Vec<
         "MIS did not cover the graph"
     );
     state.iter().map(|&s| s == S::Selected).collect()
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum S {
+    Undone,
+    Selected,
+    Deleted,
+}
+
+/// Per-processor local traversal orders, indexed by processor id.
+fn local_orders(proc: &[u32], order: &[u32]) -> Vec<Vec<u32>> {
+    let nproc = proc.iter().map(|&p| p as usize + 1).max().unwrap_or(1);
+    let mut local: Vec<Vec<u32>> = vec![Vec::new(); nproc];
+    for &v in order {
+        local[proc[v as usize] as usize].push(v);
+    }
+    local
+}
+
+/// One processor's pass of a BSP round: decide selections/deletions against
+/// the round-start `state` snapshot plus an overlay of the processor's own
+/// in-round updates (remote vertices keep their snapshot state until the
+/// merge). Shared by the rayon and the [`Transport`](pmg_comm::Transport)
+/// drivers so both make bit-for-bit the same decisions.
+fn proc_pass(
+    g: &Graph,
+    rank: &[u8],
+    proc: &[u32],
+    state: &[S],
+    plist: &[u32],
+) -> (Vec<u32>, Vec<u32>) {
+    let mut selected: Vec<u32> = Vec::new();
+    let mut deleted: Vec<u32> = Vec::new();
+    let mut overlay: std::collections::HashMap<u32, S> = std::collections::HashMap::new();
+    let view = |overlay: &std::collections::HashMap<u32, S>, w: u32| {
+        overlay.get(&w).copied().unwrap_or(state[w as usize])
+    };
+    for &v in plist {
+        if view(&overlay, v) != S::Undone {
+            continue;
+        }
+        let vu = v as usize;
+        let selectable = g.neighbors(vu).iter().all(|&w| {
+            let wu = w as usize;
+            match view(&overlay, w) {
+                S::Deleted => true,
+                S::Selected => false,
+                S::Undone => rank[vu] > rank[wu] || (rank[vu] == rank[wu] && proc[vu] >= proc[wu]),
+            }
+        });
+        if selectable {
+            overlay.insert(v, S::Selected);
+            selected.push(v);
+            for &w in g.neighbors(vu) {
+                overlay.insert(w, S::Deleted);
+                deleted.push(w);
+            }
+        }
+    }
+    (selected, deleted)
+}
+
+/// Merge per-processor decision lists (in processor order) into `state`.
+/// Returns whether any vertex was selected this round.
+fn merge_decisions<'a>(
+    state: &mut [S],
+    decisions: impl Iterator<Item = &'a (Vec<u32>, Vec<u32>)>,
+) -> bool {
+    let mut progress = false;
+    for (selected, deleted) in decisions {
+        for &v in selected {
+            debug_assert!(state[v as usize] == S::Undone);
+            state[v as usize] = S::Selected;
+            progress = true;
+        }
+        for &w in deleted {
+            debug_assert!(state[w as usize] != S::Selected);
+            state[w as usize] = S::Deleted;
+        }
+    }
+    progress
+}
+
+/// The same BSP MIS with the rounds' supersteps carried over a real
+/// [`Transport`](pmg_comm::Transport): every transport rank owns the
+/// processors `p` with `p % t.size() == t.rank()`, runs their passes against
+/// its replica of the round-start state, and each round's decision lists are
+/// exchanged with one deterministic allgather, then merged in processor
+/// order on every rank. All ranks therefore hold identical replicas, make
+/// identical progress decisions, and return the same mask as
+/// [`parallel_mis`] bit for bit — it is the same algorithm, with the round
+/// barrier realized by messages instead of a rayon join.
+pub fn parallel_mis_transport<T: pmg_comm::Transport>(
+    t: &mut T,
+    g: &Graph,
+    rank: &[u8],
+    proc: &[u32],
+    order: &[u32],
+    tag: u32,
+) -> Result<Vec<bool>, pmg_comm::CommError> {
+    let n = g.num_vertices();
+    assert_eq!(rank.len(), n);
+    assert_eq!(proc.len(), n);
+    assert_eq!(order.len(), n);
+
+    let mut state = vec![S::Undone; n];
+    let local = local_orders(proc, order);
+    let nproc = local.len();
+
+    let mut rounds = 0u64;
+    loop {
+        rounds += 1;
+        // My processors' passes, recorded with their processor ids.
+        let mine: ProcDecisions = (0..nproc)
+            .filter(|p| p % t.size() == t.rank())
+            .map(|p| (p as u32, proc_pass(g, rank, proc, &state, &local[p])))
+            .collect();
+        let blob = pack_decisions(&mine);
+        let all = pmg_comm::allgather(t, &blob)?;
+
+        // Re-key every rank's decisions by processor id and merge in
+        // processor order — identical to the rayon merge.
+        let mut by_proc: Vec<Option<(Vec<u32>, Vec<u32>)>> = vec![None; nproc];
+        for rank_blob in &all {
+            for (p, lists) in unpack_decisions(rank_blob)? {
+                by_proc[p as usize] = Some(lists);
+            }
+        }
+        let decisions: Vec<(Vec<u32>, Vec<u32>)> = by_proc.into_iter().flatten().collect();
+        if !merge_decisions(&mut state, decisions.iter()) {
+            break;
+        }
+    }
+    if t.rank() == 0 {
+        pmg_telemetry::counter_add("mis/rounds", rounds);
+    }
+    let _ = tag; // decisions travel in the allgather's collective tag
+    debug_assert!(
+        state.iter().all(|&s| s != S::Undone),
+        "MIS did not cover the graph"
+    );
+    Ok(state.iter().map(|&s| s == S::Selected).collect())
+}
+
+/// One rank's share of a round: `(processor id, (selected, deleted))`.
+type ProcDecisions = Vec<(u32, (Vec<u32>, Vec<u32>))>;
+
+/// Wire format for one rank's round decisions:
+/// `[nproc u32] ([proc u32][nsel u32][sel u32…][ndel u32][del u32…])*`,
+/// all little-endian.
+fn pack_decisions(mine: &ProcDecisions) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(mine.len() as u32).to_le_bytes());
+    for (p, (sel, del)) in mine {
+        out.extend_from_slice(&p.to_le_bytes());
+        out.extend_from_slice(&(sel.len() as u32).to_le_bytes());
+        for v in sel {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(del.len() as u32).to_le_bytes());
+        for v in del {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn unpack_decisions(buf: &[u8]) -> Result<ProcDecisions, pmg_comm::CommError> {
+    let bad = || pmg_comm::CommError::Invalid("malformed MIS decision blob".into());
+    let mut pos = 0usize;
+    let take_u32 = |pos: &mut usize| -> Result<u32, pmg_comm::CommError> {
+        let b = buf.get(*pos..*pos + 4).ok_or_else(bad)?;
+        *pos += 4;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    };
+    let count = take_u32(&mut pos)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let p = take_u32(&mut pos)?;
+        let nsel = take_u32(&mut pos)? as usize;
+        let mut sel = Vec::with_capacity(nsel);
+        for _ in 0..nsel {
+            sel.push(take_u32(&mut pos)?);
+        }
+        let ndel = take_u32(&mut pos)? as usize;
+        let mut del = Vec::with_capacity(ndel);
+        for _ in 0..ndel {
+            del.push(take_u32(&mut pos)?);
+        }
+        out.push((p, (sel, del)));
+    }
+    if pos != buf.len() {
+        return Err(bad());
+    }
+    Ok(out)
 }
 
 /// Check independence: no two selected vertices are adjacent.
@@ -395,6 +530,27 @@ mod tests {
         let ord = MisOrdering::NaturalExteriorRandomInterior(1).order(n, &rank);
         assert_eq!(ord[0], 7); // highest rank first
         assert_eq!(ord[1], 3);
+    }
+
+    #[test]
+    fn transport_mis_matches_rayon_exactly() {
+        let g = grid3(5);
+        let n = g.num_vertices();
+        let rank: Vec<u8> = (0..n).map(|v| (v % 3) as u8).collect();
+        let order: Vec<u32> = (0..n as u32).collect();
+        for nproc in [1usize, 3, 7] {
+            let proc: Vec<u32> = (0..n).map(|v| (v % nproc) as u32).collect();
+            let expect = parallel_mis(&g, &rank, &proc, &order);
+            for nranks in [1usize, 2, 4] {
+                let (g2, rank2, proc2, order2) = (&g, &rank, &proc, &order);
+                let masks = pmg_comm::LocalTransport::run_ranks(nranks, move |mut t| {
+                    parallel_mis_transport(&mut t, g2, rank2, proc2, order2, 0).unwrap()
+                });
+                for mask in &masks {
+                    assert_eq!(mask, &expect, "nproc={nproc} nranks={nranks}");
+                }
+            }
+        }
     }
 
     proptest! {

@@ -1,0 +1,513 @@
+//! SPMD execution of the multigrid-preconditioned CG solve over a real
+//! [`Transport`].
+//!
+//! The orchestrated path ([`crate::solver::Prometheus`]) loops over virtual
+//! ranks in one address space and charges a BSP machine model. This module
+//! runs the *same* solve as a true single-program-multiple-data program:
+//! every rank (a thread over [`LocalTransport`], or a process over
+//! `pmg_comm::SocketTransport`) holds only its own share of each level and
+//! exchanges halos, inner-product partials, and the coarse-grid gather as
+//! real messages.
+//!
+//! Bitwise parity is the design contract. Every kernel is the identical
+//! per-rank code the orchestrated path runs ([`RankOp::spmv`],
+//! [`RankSmoother::apply`], [`CoarseDirect::solve_global`]), every reduction
+//! combines in the fixed binomial-tree order of [`pmg_comm::tree_combine`]
+//! (which [`DistVec::dot`](pmg_parallel::DistVec::dot) also uses), and the
+//! control flow of [`spmd_pcg`] mirrors [`pmg_solver::pcg()`] statement for
+//! statement — so the solution and the residual history match the simulated
+//! solve bit for bit, at any rank count, on any transport.
+
+use crate::mg::{CycleType, MgHierarchy, Smoother};
+use pmg_comm::{bytes_to_f64s, f64s_to_bytes, CommError, CommStats, LocalTransport, Transport};
+use pmg_parallel::{Layout, RankOp};
+use pmg_solver::{CoarseDirect, PcgOptions, PcgResult, RankSmoother};
+use pmg_sparse::vector;
+use std::sync::Arc;
+
+/// Real time (seconds) a rank spent blocked on each communication phase,
+/// measured from the transport's wait clock — not modeled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseWaits {
+    /// Waiting on halo-exchange receives (level operator, R, P products).
+    pub halo_s: f64,
+    /// Waiting inside allreduces (inner products and norms).
+    pub allreduce_s: f64,
+    /// Waiting in the coarse-grid gather/solve/broadcast.
+    pub coarse_s: f64,
+}
+
+impl PhaseWaits {
+    fn publish(&self) {
+        pmg_telemetry::gauge_set("comm/wait/halo", self.halo_s);
+        pmg_telemetry::gauge_set("comm/wait/allreduce", self.allreduce_s);
+        pmg_telemetry::gauge_set("comm/wait/coarse", self.coarse_s);
+    }
+}
+
+/// One rank's borrowed view of one grid level.
+struct RankLevel<'a> {
+    a: RankOp<'a>,
+    r: Option<RankOp<'a>>,
+    p: Option<RankOp<'a>>,
+    smoother: RankSmoother<'a>,
+    coarse: Option<&'a CoarseDirect>,
+    layout: &'a Arc<Layout>,
+}
+
+/// One rank's borrowed view of a whole [`MgHierarchy`]: the SPMD
+/// counterpart of the hierarchy's `Precond` implementation.
+pub struct RankHierarchy<'a> {
+    levels: Vec<RankLevel<'a>>,
+    cycle: CycleType,
+    pre_smooth: usize,
+    post_smooth: usize,
+}
+
+/// Message tags: each operator of each level gets its own tag so a
+/// lockstep program never confuses halo traffic between products.
+fn tags(lvl: usize) -> (u32, u32, u32) {
+    let base = 16 * lvl as u32;
+    (base, base + 1, base + 2)
+}
+
+impl<'a> RankHierarchy<'a> {
+    /// Borrow rank `rank`'s share of every level.
+    ///
+    /// Panics if the hierarchy uses the Chebyshev smoother — its eigenvalue
+    /// bounds are estimated with inner products the SPMD path does not
+    /// carry; the paper's block-Jacobi smoother is fully local.
+    pub fn extract(mg: &'a MgHierarchy, rank: usize) -> RankHierarchy<'a> {
+        let levels = mg
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(lvl, level)| {
+                let (ta, tr, tp) = tags(lvl);
+                let smoother = match &level.smoother {
+                    Smoother::BlockJacobi(bj) => bj.rank_view(rank),
+                    Smoother::Chebyshev(_) => {
+                        panic!("SPMD execution supports the block-Jacobi smoother only")
+                    }
+                };
+                RankLevel {
+                    a: level.a.rank_op(rank, ta),
+                    r: level.r.as_ref().map(|m| m.rank_op(rank, tr)),
+                    p: level.p.as_ref().map(|m| m.rank_op(rank, tp)),
+                    smoother,
+                    coarse: level.coarse.as_ref(),
+                    layout: level.a.row_layout(),
+                }
+            })
+            .collect();
+        RankHierarchy {
+            levels,
+            cycle: mg.opts.cycle,
+            pre_smooth: mg.opts.pre_smooth,
+            post_smooth: mg.opts.post_smooth,
+        }
+    }
+
+    /// Apply the preconditioner (one MG cycle), mirroring
+    /// `MgHierarchy::apply`.
+    fn precond<T: Transport>(
+        &self,
+        t: &mut T,
+        w: &mut PhaseWaits,
+        r: &[f64],
+    ) -> Result<Vec<f64>, CommError> {
+        match self.cycle {
+            CycleType::V => self.cycle(t, w, 0, r, 1),
+            CycleType::W => self.cycle(t, w, 0, r, 2),
+            CycleType::Fmg => self.fmg(t, w, r),
+        }
+    }
+
+    /// `sweeps` stationary smoothing passes `x ← x + ω B⁻¹ (b − A x)`,
+    /// mirroring `BlockJacobi::smooth`.
+    fn smooth<T: Transport>(
+        &self,
+        t: &mut T,
+        w: &mut PhaseWaits,
+        lvl: usize,
+        b: &[f64],
+        x: &mut [f64],
+        sweeps: usize,
+    ) -> Result<(), CommError> {
+        let level = &self.levels[lvl];
+        let mut r = vec![0.0; b.len()];
+        let mut z = vec![0.0; b.len()];
+        for _ in 0..sweeps {
+            halo_spmv(t, w, &level.a, x, &mut r)?; // r = A x
+            vector::aypx(-1.0, b, &mut r); // r = b - A x
+            level.smoother.apply(&r, &mut z);
+            vector::axpy(1.0, &z, x);
+        }
+        Ok(())
+    }
+
+    /// The µ-cycle, mirroring `MgHierarchy::cycle` (µ = 1 V-cycle, 2 W).
+    fn cycle<T: Transport>(
+        &self,
+        t: &mut T,
+        w: &mut PhaseWaits,
+        lvl: usize,
+        r: &[f64],
+        mu: usize,
+    ) -> Result<Vec<f64>, CommError> {
+        let level = &self.levels[lvl];
+        let mut x = vec![0.0; r.len()];
+        if level.coarse.is_some() {
+            return self.coarse_apply(t, w, lvl, r);
+        }
+        self.smooth(t, w, lvl, r, &mut x, self.pre_smooth)?;
+
+        let rmat = level.r.as_ref().expect("non-coarsest level has R");
+        let pmat = level.p.as_ref().expect("non-coarsest level has P");
+        for _ in 0..mu {
+            let mut rc = vec![0.0; rmat.local_rows()];
+            let mut res = vec![0.0; r.len()];
+            halo_spmv(t, w, &level.a, &x, &mut res)?;
+            vector::aypx(-1.0, r, &mut res); // res = r - A x
+            halo_spmv(t, w, rmat, &res, &mut rc)?;
+            let xc = self.cycle(t, w, lvl + 1, &rc, mu)?;
+            let mut corr = vec![0.0; r.len()];
+            halo_spmv(t, w, pmat, &xc, &mut corr)?;
+            vector::axpy(1.0, &corr, &mut x);
+            if self.levels[lvl + 1].coarse.is_some() {
+                break; // next level is a direct solve: revisiting is a no-op
+            }
+        }
+
+        self.smooth(t, w, lvl, r, &mut x, self.post_smooth)?;
+        Ok(x)
+    }
+
+    /// One full multigrid cycle, mirroring `MgHierarchy::fmg`.
+    fn fmg<T: Transport>(
+        &self,
+        t: &mut T,
+        w: &mut PhaseWaits,
+        r: &[f64],
+    ) -> Result<Vec<f64>, CommError> {
+        let nl = self.levels.len();
+        let mut rs: Vec<Vec<f64>> = Vec::with_capacity(nl);
+        rs.push(r.to_vec());
+        for lvl in 0..nl - 1 {
+            let rmat = self.levels[lvl].r.as_ref().unwrap();
+            let mut rc = vec![0.0; rmat.local_rows()];
+            halo_spmv(t, w, rmat, &rs[lvl], &mut rc)?;
+            rs.push(rc);
+        }
+        let mut x = self.coarse_apply(t, w, nl - 1, &rs[nl - 1])?;
+        for lvl in (0..nl - 1).rev() {
+            let pmat = self.levels[lvl].p.as_ref().unwrap();
+            let mut xf = vec![0.0; pmat.local_rows()];
+            halo_spmv(t, w, pmat, &x, &mut xf)?;
+            let mut res = vec![0.0; xf.len()];
+            halo_spmv(t, w, &self.levels[lvl].a, &xf, &mut res)?;
+            vector::aypx(-1.0, &rs[lvl], &mut res);
+            let corr = self.cycle(t, w, lvl, &res, 1)?;
+            vector::axpy(1.0, &corr, &mut xf);
+            x = xf;
+        }
+        Ok(x)
+    }
+
+    /// Coarsest-grid direct solve: gather the right-hand side to rank 0 in
+    /// the layout's owned order (exactly `DistVec::to_global`), solve with
+    /// the already-factored operator, broadcast, extract the local share
+    /// (exactly `DistVec::from_global`) — mirroring `CoarseDirect::apply`.
+    fn coarse_apply<T: Transport>(
+        &self,
+        t: &mut T,
+        w: &mut PhaseWaits,
+        lvl: usize,
+        r: &[f64],
+    ) -> Result<Vec<f64>, CommError> {
+        let level = &self.levels[lvl];
+        let direct = level.coarse.expect("coarse_apply on a non-coarse level");
+        let layout = level.layout;
+        let before = t.stats().wait_s;
+        let gathered = pmg_comm::gather(t, &f64s_to_bytes(r))?;
+        let mut solved = match gathered {
+            Some(parts) => {
+                let mut global = vec![0.0; layout.num_global()];
+                for (rk, blob) in parts.iter().enumerate() {
+                    let vals = bytes_to_f64s(blob);
+                    for (&g, &v) in layout.owned(rk).iter().zip(&vals) {
+                        global[g as usize] = v;
+                    }
+                }
+                f64s_to_bytes(&direct.solve_global(&global))
+            }
+            None => Vec::new(),
+        };
+        pmg_comm::broadcast(t, &mut solved)?;
+        w.coarse_s += t.stats().wait_s - before;
+        let xg = bytes_to_f64s(&solved);
+        Ok(layout
+            .owned(t.rank())
+            .iter()
+            .map(|&g| xg[g as usize])
+            .collect())
+    }
+}
+
+/// `y = op · x` with the wait time booked to the halo phase.
+fn halo_spmv<T: Transport>(
+    t: &mut T,
+    w: &mut PhaseWaits,
+    op: &RankOp<'_>,
+    x: &[f64],
+    y: &mut [f64],
+) -> Result<(), CommError> {
+    let before = t.stats().wait_s;
+    op.spmv(t, x, y)?;
+    w.halo_s += t.stats().wait_s - before;
+    Ok(())
+}
+
+/// Global inner product: local partial, then the deterministic binomial
+/// allreduce — the same combine order as `DistVec::dot`.
+fn dot_all<T: Transport>(
+    t: &mut T,
+    w: &mut PhaseWaits,
+    a: &[f64],
+    b: &[f64],
+) -> Result<f64, CommError> {
+    let partial = vector::dot(a, b);
+    let before = t.stats().wait_s;
+    let s = pmg_comm::allreduce_scalar(t, partial)?;
+    w.allreduce_s += t.stats().wait_s - before;
+    Ok(s)
+}
+
+/// PCG over a real transport, preconditioned by one MG cycle per
+/// [`RankHierarchy`], mirroring [`pmg_solver::pcg()`] statement for
+/// statement. `b_local`/`x_local` are this rank's shares in the fine
+/// layout's owned order; `x_local` holds the initial guess and the
+/// solution.
+///
+/// Telemetry (rank 0 only, so SPMD runs record once like the orchestrated
+/// path): `pcg/iterations`, the `pcg/residuals` series, and the real
+/// per-phase wait gauges `comm/wait/{halo,allreduce,coarse}`.
+pub fn spmd_pcg<T: Transport>(
+    t: &mut T,
+    h: &RankHierarchy<'_>,
+    b_local: &[f64],
+    x_local: &mut [f64],
+    opts: PcgOptions,
+) -> Result<(PcgResult, PhaseWaits), CommError> {
+    let root = t.rank() == 0;
+    let mut w = PhaseWaits::default();
+    let mut r = vec![0.0; b_local.len()];
+    let fine = &h.levels[0].a;
+
+    // r = b - A x.
+    halo_spmv(t, &mut w, fine, x_local, &mut r)?;
+    vector::aypx(-1.0, b_local, &mut r);
+
+    let bnorm = dot_all(t, &mut w, b_local, b_local)?.sqrt().max(1e-300);
+    let mut rnorm = dot_all(t, &mut w, &r, &r)?.sqrt();
+    let mut residuals = vec![rnorm];
+    if root {
+        pmg_telemetry::series_push("pcg/residuals", rnorm);
+    }
+    if rnorm <= opts.rtol * bnorm || rnorm <= opts.atol {
+        if root {
+            w.publish();
+        }
+        return Ok((
+            PcgResult {
+                iterations: 0,
+                converged: true,
+                rel_residual: rnorm / bnorm,
+                residuals,
+            },
+            w,
+        ));
+    }
+
+    let mut z = h.precond(t, &mut w, &r)?;
+    let mut p = z.clone();
+    let mut wv = vec![0.0; b_local.len()];
+    let mut rz = dot_all(t, &mut w, &r, &z)?;
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for it in 1..=opts.max_iters {
+        iterations = it;
+        if root {
+            pmg_telemetry::counter_add("pcg/iterations", 1);
+        }
+        halo_spmv(t, &mut w, fine, &p, &mut wv)?;
+        let pw = dot_all(t, &mut w, &p, &wv)?;
+        if pw <= 0.0 || !pw.is_finite() {
+            // Loss of positive definiteness (or breakdown): stop.
+            break;
+        }
+        let alpha = rz / pw;
+        vector::axpy(alpha, &p, x_local);
+        vector::axpy(-alpha, &wv, &mut r);
+        rnorm = dot_all(t, &mut w, &r, &r)?.sqrt();
+        residuals.push(rnorm);
+        if root {
+            pmg_telemetry::series_push("pcg/residuals", rnorm);
+        }
+        if rnorm <= opts.rtol * bnorm || rnorm <= opts.atol {
+            converged = true;
+            break;
+        }
+        z = h.precond(t, &mut w, &r)?;
+        let rz_new = dot_all(t, &mut w, &r, &z)?;
+        let beta = rz_new / rz;
+        rz = rz_new;
+        vector::aypx(beta, &z, &mut p);
+    }
+    if root {
+        w.publish();
+    }
+    Ok((
+        PcgResult {
+            iterations,
+            converged,
+            rel_residual: rnorm / bnorm,
+            residuals,
+        },
+        w,
+    ))
+}
+
+/// Outcome of an SPMD solve: the assembled global solution plus per-rank
+/// real communication statistics.
+pub struct SpmdSolveOutcome {
+    /// The assembled global solution.
+    pub x: Vec<f64>,
+    /// Rank 0's solve result (identical on every rank by construction).
+    pub result: PcgResult,
+    /// Per-rank transport statistics (messages, bytes, real wait time).
+    pub stats: Vec<CommStats>,
+    /// Per-rank per-phase wait breakdown.
+    pub waits: Vec<PhaseWaits>,
+}
+
+/// Run the solve as a threaded SPMD program: one OS thread per rank of the
+/// hierarchy's fine layout, connected by a [`LocalTransport`] machine. The
+/// hierarchy is borrowed read-only by every rank (the setup is shared; only
+/// the solve runs SPMD), and the returned solution is bitwise identical to
+/// the orchestrated [`pmg_solver::pcg()`] path at any rank count.
+pub fn solve_threads(
+    mg: &MgHierarchy,
+    b: &[f64],
+    opts: PcgOptions,
+) -> Result<SpmdSolveOutcome, CommError> {
+    let layout = mg.levels[0].a.row_layout().clone();
+    let nranks = layout.num_ranks();
+    assert_eq!(b.len(), layout.num_global(), "rhs length");
+
+    let layout_ref = &layout;
+    let per_rank = LocalTransport::run_ranks(nranks, move |mut t| {
+        let rank = t.rank();
+        let h = RankHierarchy::extract(mg, rank);
+        let bl: Vec<f64> = layout_ref
+            .owned(rank)
+            .iter()
+            .map(|&g| b[g as usize])
+            .collect();
+        let mut xl = vec![0.0; bl.len()];
+        let (result, waits) = spmd_pcg(&mut t, &h, &bl, &mut xl, opts)?;
+        Ok::<_, CommError>((xl, result, waits, t.stats()))
+    });
+
+    let mut x = vec![0.0; layout.num_global()];
+    let mut result = None;
+    let mut stats = Vec::with_capacity(nranks);
+    let mut waits = Vec::with_capacity(nranks);
+    for (rank, out) in per_rank.into_iter().enumerate() {
+        let (xl, res, wt, st) = out?;
+        for (&g, &v) in layout.owned(rank).iter().zip(&xl) {
+            x[g as usize] = v;
+        }
+        if rank == 0 {
+            result = Some(res);
+        }
+        waits.push(wt);
+        stats.push(st);
+    }
+    Ok(SpmdSolveOutcome {
+        x,
+        result: result.expect("at least one rank"),
+        stats,
+        waits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_mesh;
+    use crate::mg::MgOptions;
+    use pmg_parallel::{DistVec, MachineModel, Sim};
+    use pmg_solver::pcg;
+    use pmg_sparse::{CooBuilder, CsrMatrix};
+
+    fn scalar_problem(n: usize) -> (CsrMatrix, Vec<pmg_geometry::Vec3>, pmg_partition::Graph) {
+        let m = pmg_mesh::generators::cube(n);
+        let g = m.vertex_graph();
+        let nv = m.num_vertices();
+        let mut b = CooBuilder::new(nv, nv);
+        for v in 0..nv {
+            b.push(v, v, g.degree(v) as f64 + 1.0);
+            for &w in g.neighbors(v) {
+                b.push(v, w as usize, -1.0);
+            }
+        }
+        (b.build(), m.coords.clone(), g)
+    }
+
+    #[test]
+    fn threaded_solve_matches_sim_bitwise() {
+        let n = 7;
+        let m = pmg_mesh::generators::cube(n);
+        let classes = classify_mesh(&m, 0.7);
+        let (a, coords, g) = scalar_problem(n);
+        let nv = a.nrows();
+        let bg: Vec<f64> = (0..nv).map(|i| (i as f64 * 0.23).sin()).collect();
+        let opts = PcgOptions {
+            rtol: 1e-8,
+            max_iters: 60,
+            ..Default::default()
+        };
+        for p in [1usize, 2, 4] {
+            let mut sim = Sim::new(p, MachineModel::default());
+            let mg_opts = MgOptions {
+                dofs_per_vertex: 1,
+                coarse_dof_threshold: 60,
+                ..Default::default()
+            };
+            let mg = MgHierarchy::build(&mut sim, &a, &coords, &g, &classes, mg_opts);
+            let layout = mg.levels[0].a.row_layout().clone();
+            let db = DistVec::from_global(layout.clone(), &bg);
+            let mut dx = DistVec::zeros(layout);
+            let sim_res = pcg(&mut sim, &mg.levels[0].a, &mg, &db, &mut dx, opts);
+            let expect = dx.to_global();
+
+            let spmd = solve_threads(&mg, &bg, opts).unwrap();
+            assert_eq!(spmd.result.converged, sim_res.converged, "p={p}");
+            assert_eq!(spmd.result.iterations, sim_res.iterations, "p={p}");
+            assert_eq!(
+                spmd.result.residuals.len(),
+                sim_res.residuals.len(),
+                "p={p}"
+            );
+            for (a, b) in spmd.result.residuals.iter().zip(&sim_res.residuals) {
+                assert_eq!(a.to_bits(), b.to_bits(), "p={p} residual history");
+            }
+            for (a, b) in spmd.x.iter().zip(&expect) {
+                assert_eq!(a.to_bits(), b.to_bits(), "p={p} solution");
+            }
+            assert!(spmd.stats.iter().any(|s| s.msgs > 0) || p == 1, "p={p}");
+        }
+    }
+}

@@ -19,12 +19,16 @@
 //! * [`vec::DistVec`] — rank-partitioned vectors,
 //! * [`matrix::DistMatrix`] — rank-partitioned CSR with ghost-column plans.
 
+pub mod halo;
 pub mod layout;
 pub mod matrix;
+pub mod rank;
 pub mod sim;
 pub mod vec;
 
+pub use halo::{HaloMsg, HaloPlan, RankHalo};
 pub use layout::Layout;
 pub use matrix::DistMatrix;
+pub use rank::RankOp;
 pub use sim::{MachineModel, PhaseStats, RankCounters, Sim};
 pub use vec::DistVec;

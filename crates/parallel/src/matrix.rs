@@ -8,7 +8,9 @@
 //! owners — one message per neighbor rank, 8 bytes per ghost value — which
 //! is exactly what the BSP machine model charges.
 
+use crate::halo::HaloPlan;
 use crate::layout::Layout;
+use crate::rank::RankOp;
 use crate::sim::Sim;
 use crate::vec::DistVec;
 use pmg_sparse::{Bsr3Matrix, CooBuilder, CsrMatrix};
@@ -33,8 +35,6 @@ struct RankMat {
     ghost_pad: Vec<u32>,
     /// Global ids of ghost columns, ascending.
     ghosts: Vec<u32>,
-    /// Distinct ranks that own our ghosts (message count per exchange).
-    neighbors: u64,
 }
 
 /// A sparse matrix distributed by rows over `row_layout`, whose columns are
@@ -45,6 +45,9 @@ pub struct DistMatrix {
     row_layout: Arc<Layout>,
     col_layout: Arc<Layout>,
     ranks: Vec<RankMat>,
+    /// Persistent coalesced ghost-exchange plan over `col_layout` (built
+    /// once at distribution time, cached on the layout).
+    plan: Arc<HaloPlan>,
     spmv_flops: Vec<u64>,
     spmv_traffic: Vec<(u64, u64)>,
 }
@@ -93,12 +96,6 @@ impl DistMatrix {
                         }
                     }
                 }
-                let mut owners: Vec<u32> = ghosts
-                    .iter()
-                    .map(|&g| col_layout.owner(g as usize))
-                    .collect();
-                owners.sort_unstable();
-                owners.dedup();
                 RankMat {
                     diag: diag.build(),
                     off: off.build(),
@@ -106,23 +103,29 @@ impl DistMatrix {
                     off_bsr: None,
                     ghost_pad: Vec::new(),
                     ghosts,
-                    neighbors: owners.len() as u64,
                 }
             })
             .collect();
+
+        // Persistent exchange plan: the Sim charges exactly the plan's
+        // messages, the transports send exactly the plan's messages.
+        let ghost_lists: Vec<Vec<u32>> = ranks.iter().map(|m| m.ghosts.clone()).collect();
+        let plan = col_layout.halo_plan(&ghost_lists);
 
         let spmv_flops = ranks
             .iter()
             .map(|m| 2 * (m.diag.nnz() + m.off.nnz()) as u64)
             .collect();
-        let spmv_traffic = ranks
+        let spmv_traffic = plan
+            .ranks
             .iter()
-            .map(|m| (m.neighbors, 8 * m.ghosts.len() as u64))
+            .map(|rh| (rh.recv.len() as u64, 8 * rh.recv_len() as u64))
             .collect();
         DistMatrix {
             row_layout,
             col_layout,
             ranks,
+            plan,
             spmv_flops,
             spmv_traffic,
         }
@@ -228,6 +231,28 @@ impl DistMatrix {
         self.ranks.iter().map(|m| m.ghosts.len()).collect()
     }
 
+    /// The persistent ghost-exchange plan this operator replays.
+    pub fn halo_plan(&self) -> &Arc<HaloPlan> {
+        &self.plan
+    }
+
+    /// Rank `r`'s borrowed view for SPMD execution over a real transport,
+    /// bound to message tag `tag`. The view computes bitwise the same
+    /// product as [`DistMatrix::spmv`] (including the BSR3 branch).
+    pub fn rank_op(&self, r: usize, tag: u32) -> RankOp<'_> {
+        let m = &self.ranks[r];
+        RankOp {
+            diag: &m.diag,
+            off: &m.off,
+            diag_bsr: m.diag_bsr.as_ref(),
+            off_bsr: m.off_bsr.as_ref(),
+            ghost_pad: &m.ghost_pad,
+            nghosts: m.ghosts.len(),
+            halo: &self.plan.ranks[r],
+            tag,
+        }
+    }
+
     /// `y = A x`, charging one ghost exchange plus one compute superstep.
     pub fn spmv(&self, sim: &mut Sim, x: &DistVec, y: &mut DistVec) {
         assert!(
@@ -243,19 +268,25 @@ impl DistMatrix {
             pmg_telemetry::counter_add("spmv/bsr3_routed", 1);
         }
 
-        // Gather all ghost values (reads other ranks' parts — the simulated
-        // message payloads), then compute rank-locally in parallel.
+        // Replay the persistent plan: each rank's ghost buffer is filled
+        // from its peers' send lists (reads other ranks' parts — the
+        // simulated message payloads), then compute rank-locally in
+        // parallel. Same pack order as the real transports.
+        let plan = &self.plan;
         let ghost_vals: Vec<Vec<f64>> = self
             .ranks
             .par_iter()
-            .map(|m| {
-                m.ghosts
-                    .iter()
-                    .map(|&g| {
-                        let owner = self.col_layout.owner(g as usize) as usize;
-                        x.part(owner)[self.col_layout.local_index(g as usize) as usize]
-                    })
-                    .collect()
+            .enumerate()
+            .map(|(r, m)| {
+                let mut gv = vec![0.0; m.ghosts.len()];
+                for msg in &plan.ranks[r].recv {
+                    let peer = msg.peer as usize;
+                    let send = plan.ranks[peer].send_to(r);
+                    for (&slot, &li) in msg.idx.iter().zip(&send.idx) {
+                        gv[slot as usize] = x.part(peer)[li as usize];
+                    }
+                }
+                gv
             })
             .collect();
 

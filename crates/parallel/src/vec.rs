@@ -95,15 +95,22 @@ impl DistVec {
     }
 
     /// Inner product: per-rank partials then an allreduce.
+    ///
+    /// Partials combine in the fixed binomial-tree order of
+    /// [`pmg_comm::tree_combine`], matching the deterministic allreduce the
+    /// real transports run — so the result is bitwise identical whether the
+    /// ranks are simulated, threads, or processes.
     pub fn dot(&self, sim: &mut Sim, x: &DistVec) -> f64 {
         self.same_layout(x);
-        let mut acc = 0.0;
-        for (yp, xp) in self.parts.iter().zip(&x.parts) {
-            acc += pmg_sparse::vector::dot(yp, xp);
-        }
+        let partials: Vec<f64> = self
+            .parts
+            .iter()
+            .zip(&x.parts)
+            .map(|(yp, xp)| pmg_sparse::vector::dot(yp, xp))
+            .collect();
         sim.compute(&self.local_flops(2));
         sim.allreduce(1);
-        acc
+        pmg_comm::tree_combine(&partials)
     }
 
     pub fn norm2(&self, sim: &mut Sim) -> f64 {

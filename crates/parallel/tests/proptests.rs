@@ -25,6 +25,36 @@ proptest! {
     }
 
     #[test]
+    fn layout_with_empty_ranks_roundtrip(owner in proptest::collection::vec(0u32..3, 1..50)) {
+        // Map owners onto the even ranks of a 6-rank layout, so ranks 1, 3,
+        // and 5 are always empty — owner/local_index/owned must still
+        // round-trip, and halo plans must build (with nothing to exchange
+        // for the empty ranks).
+        let owner: Vec<u32> = owner.into_iter().map(|r| 2 * r).collect();
+        let n = owner.len();
+        let l = Layout::from_part(owner.clone(), 6);
+        prop_assert_eq!(l.num_global(), n);
+        let mut seen = 0usize;
+        for r in 0..6 {
+            if r % 2 == 1 {
+                prop_assert_eq!(l.local_len(r), 0);
+                prop_assert!(l.owned(r).is_empty());
+            }
+            for (li, &g) in l.owned(r).iter().enumerate() {
+                seen += 1;
+                prop_assert_eq!(l.owner(g as usize), r as u32);
+                prop_assert_eq!(l.local_index(g as usize) as usize, li);
+                prop_assert_eq!(owner[g as usize], r as u32);
+            }
+        }
+        prop_assert_eq!(seen, n);
+        let plan = l.halo_plan(&vec![Vec::new(); 6]);
+        for rh in &plan.ranks {
+            prop_assert!(rh.recv.is_empty() && rh.send.is_empty());
+        }
+    }
+
+    #[test]
     fn scatter_gather_identity(
         owner in proptest::collection::vec(0u32..4, 1..50),
         vals in proptest::collection::vec(-100.0f64..100.0, 50),

@@ -63,6 +63,15 @@ impl CoarseDirect {
     pub fn dim(&self) -> usize {
         self.n
     }
+
+    /// Solve against the factored coarse operator for an already-gathered
+    /// global right-hand side (the root rank's step of an SPMD apply).
+    pub fn solve_global(&self, r: &[f64]) -> Vec<f64> {
+        match &self.factor {
+            Factor::Chol(c) => c.solve(r),
+            Factor::Lu(l) => l.solve(r),
+        }
+    }
 }
 
 impl Precond for CoarseDirect {
@@ -71,10 +80,7 @@ impl Precond for CoarseDirect {
         // root-only compute).
         sim.exchange(&self.gather_traffic);
         let global = r.to_global();
-        let x = match &self.factor {
-            Factor::Chol(c) => c.solve(&global),
-            Factor::Lu(l) => l.solve(&global),
-        };
+        let x = self.solve_global(&global);
         let mut flops = vec![0u64; self.nranks];
         flops[0] = 2 * (self.n * self.n) as u64;
         sim.compute(&flops);

@@ -46,6 +46,37 @@ struct RankBlocks {
     apply_flops: u64,
 }
 
+impl RankBlocks {
+    /// `zp = ω · B⁻¹ rp` for this rank's blocks (zeroes `zp` first). The
+    /// single per-rank kernel both the orchestrated path and the SPMD
+    /// [`RankSmoother`] run, so their results are bitwise identical.
+    fn apply_into(&self, omega: f64, rp: &[f64], zp: &mut [f64]) {
+        zp.iter_mut().for_each(|v| *v = 0.0);
+        for (blk, fac) in self.blocks.iter().zip(&self.factors) {
+            let rb_vals: Vec<f64> = blk.iter().map(|&v| rp[v as usize]).collect();
+            let sol = fac.solve(&rb_vals);
+            for (&v, &s) in blk.iter().zip(&sol) {
+                zp[v as usize] = omega * s;
+            }
+        }
+    }
+}
+
+/// One rank's borrowed view of a [`BlockJacobi`] smoother: block Jacobi
+/// needs no communication beyond the residual's product, so the view is a
+/// purely local kernel for SPMD execution.
+pub struct RankSmoother<'a> {
+    blocks: &'a RankBlocks,
+    omega: f64,
+}
+
+impl RankSmoother<'_> {
+    /// `zp = ω · B⁻¹ rp` on this rank's share.
+    pub fn apply(&self, rp: &[f64], zp: &mut [f64]) {
+        self.blocks.apply_into(self.omega, rp, zp);
+    }
+}
+
 /// The block-Jacobi smoother / one-level preconditioner.
 pub struct BlockJacobi {
     ranks: Vec<RankBlocks>,
@@ -141,6 +172,14 @@ impl BlockJacobi {
         self.ranks[r].blocks.len()
     }
 
+    /// Rank `r`'s borrowed view for SPMD execution.
+    pub fn rank_view(&self, r: usize) -> RankSmoother<'_> {
+        RankSmoother {
+            blocks: &self.ranks[r],
+            omega: self.omega,
+        }
+    }
+
     /// `z = ω · B⁻¹ r` where `B` is the block diagonal.
     fn apply_inner(&self, sim: &mut Sim, r: &DistVec, z: &mut DistVec) {
         let omega = self.omega;
@@ -151,13 +190,7 @@ impl BlockJacobi {
             .map(|(rank, rb)| {
                 let rp = r.part(rank);
                 let mut zp = vec![0.0; rp.len()];
-                for (blk, fac) in rb.blocks.iter().zip(&rb.factors) {
-                    let rb_vals: Vec<f64> = blk.iter().map(|&v| rp[v as usize]).collect();
-                    let sol = fac.solve(&rb_vals);
-                    for (&v, &s) in blk.iter().zip(&sol) {
-                        zp[v as usize] = omega * s;
-                    }
-                }
+                rb.apply_into(omega, rp, &mut zp);
                 zp
             })
             .collect();

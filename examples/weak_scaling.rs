@@ -4,13 +4,25 @@
 //! of Table 2 / Figures 10-11: iteration counts, per-phase times, flop
 //! rates and efficiencies.
 //!
-//! Run with: `cargo run --release --example weak_scaling [max_k]`
+//! Run with:
+//! `cargo run --release --example weak_scaling [max_k] [--transport sim|threads]`
 //! (`max_k` = 2 by default; 3 adds a ~420k dof point and a few minutes).
+//!
+//! `--transport sim` (default) runs only the orchestrated single-address-
+//! space solve, whose comm columns are *modeled* BSP quantities.
+//! `--transport threads` additionally re-runs each solve with every rank as
+//! a real OS thread exchanging messages over the in-process transport, and
+//! prints the *measured* traffic (messages, bytes, per-phase wait time)
+//! under the modeled row — the solution is verified bitwise identical to
+//! the sim path. Note each ladder point spawns P real threads, so this mode
+//! is only sensible for the small ladder points.
+//!
 //! The full study with all series lives in `crates/bench/src/bin/`.
 
 use prometheus_repro::fem::bc::constrain_system;
+use prometheus_repro::krylov::PcgOptions;
 use prometheus_repro::mesh::SpheresParams;
-use prometheus_repro::solver::{MgOptions, Prometheus, PrometheusOptions};
+use prometheus_repro::solver::{solve_threads, MgOptions, Prometheus, PrometheusOptions};
 use std::time::Instant;
 
 /// Rank ladder mirroring the paper's processor counts at ~8.5k dof/rank.
@@ -19,10 +31,36 @@ fn ranks_for(k: usize) -> usize {
 }
 
 fn main() {
-    let max_k: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2);
+    let mut max_k = 2usize;
+    let mut threads_mode = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--transport" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("sim") => threads_mode = false,
+                    Some("threads") => threads_mode = true,
+                    other => {
+                        eprintln!("--transport must be 'sim' or 'threads', got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            s => {
+                match s.parse() {
+                    Ok(k) => max_k = k,
+                    Err(_) => {
+                        eprintln!("unknown argument {s}");
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
     println!(
         "{:>2} {:>5} {:>10} {:>6} {:>8} {:>10} {:>12} {:>10} {:>8}",
         "k", "P", "dof", "iters", "levels", "wall(s)", "Mflop/s(mdl)", "e_c", "balance"
@@ -55,8 +93,25 @@ fn main() {
         let mut solver = Prometheus::from_mesh(&mesh, &kc, opts);
         let levels = solver.level_sizes().len();
         // The paper's first linear solve: rtol = 1e-4.
-        let (_x, res) = solver.solve(&rhs, None, 1e-4);
+        let (x_sim, res) = solver.solve(&rhs, None, 1e-4);
         let wall = wall.elapsed().as_secs_f64();
+
+        // Run the threaded-rank solve before `finish()` consumes the
+        // solver (and with it the hierarchy the ranks are extracted from).
+        let spmd = threads_mode.then(|| {
+            let t0 = Instant::now();
+            let outcome = solve_threads(
+                &solver.mg,
+                &rhs,
+                PcgOptions {
+                    rtol: 1e-4,
+                    max_iters: 300,
+                    ..Default::default()
+                },
+            )
+            .expect("threaded-rank solve");
+            (outcome, t0.elapsed().as_secs_f64())
+        });
 
         let phases = solver.finish();
         let solve = &phases["solve"];
@@ -81,6 +136,39 @@ fn main() {
             e_c,
             solve.load_balance()
         );
+
+        if let Some((spmd, thr_wall)) = spmd {
+            // Same solve, but every rank is a real thread over the
+            // in-process transport: measured traffic, not the BSP model.
+            let bitwise = spmd.result.iterations == res.iterations
+                && spmd
+                    .x
+                    .iter()
+                    .zip(&x_sim)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            let msgs: u64 = spmd.stats.iter().map(|s| s.msgs).sum();
+            let bytes: u64 = spmd.stats.iter().map(|s| s.bytes).sum();
+            let allreduces = spmd.stats.first().map(|s| s.allreduces).unwrap_or(0);
+            let wait_max = spmd.stats.iter().map(|s| s.wait_s).fold(0.0_f64, f64::max);
+            let w0 = spmd.waits[0];
+            println!(
+                "   threads({p}): wall {thr_wall:.2}s  msgs {msgs}  bytes {bytes}  \
+                 allreduces {allreduces}  max wait {wait_max:.3}s"
+            );
+            println!(
+                "                rank-0 wait: halo {:.3}s  allreduce {:.3}s  coarse {:.3}s  \
+                 [{}]",
+                w0.halo_s,
+                w0.allreduce_s,
+                w0.coarse_s,
+                if bitwise {
+                    "bitwise == sim"
+                } else {
+                    "MISMATCH vs sim"
+                }
+            );
+            assert!(bitwise, "threaded solve diverged from the sim solve");
+        }
     }
     println!("\n(e_c = modeled per-rank flop rate relative to the first ladder point;");
     println!(" compare with the paper's ~29 -> 21 iterations and ~60% solve efficiency at P=960)");

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Perf snapshot of the hot kernels: runs the criterion kernel + solve
 # microbenches (quick mode by default) and the bench_snapshot binary, which
-# writes BENCH_PR3.json with spmv/rap/assemble timings, the cold-vs-planned
-# speedups, the 1-thread-vs-pool thread-scaling section, and the
-# plan/pattern reuse counters. The meta block records the pool size, git
-# SHA, and host core count so snapshots are comparable across machines.
+# writes BENCH_PR4.json with spmv/rap/assemble timings, the cold-vs-planned
+# speedups, the 1-thread-vs-pool thread-scaling section, the plan/pattern
+# reuse counters, and the comm section comparing the same spheres solve over
+# simulated ranks, 2 threaded ranks (in-process transport), and 2 socket
+# ranks (separate processes under pmg-launch) with real measured message
+# counts and per-phase wait times. The meta block records the pool size,
+# git SHA, and host core count so snapshots are comparable across machines.
 #
 # Knobs:
 #   PMG_THREADS          pool size for the thread-scaling section
@@ -29,8 +32,11 @@ echo "== criterion solve benches =="
 cargo bench --offline -p pmg-bench --bench solve
 
 echo
-echo "== bench_snapshot (PMG_THREADS=$PMG_THREADS) -> BENCH_PR3.json =="
+echo "== bench_snapshot (PMG_THREADS=$PMG_THREADS) -> BENCH_PR4.json =="
+# The socket data point launches a sibling spheres_rank binary; build it
+# first so bench_snapshot finds it next to itself in target/release.
+cargo build --release --offline --bin spheres_rank
 cargo run --release --offline -p pmg-bench --bin bench_snapshot
 
 echo
-echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR3.json}"
+echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR4.json}"

@@ -1,0 +1,116 @@
+//! One SPMD rank of the multi-process spheres parity solve.
+//!
+//! Spawned `n` at a time by `pmg-launch` (which sets `PMG_COMM_RANK`,
+//! `PMG_COMM_SIZE`, and `PMG_COMM_DIR`), each process builds the tiny
+//! spheres first-solve system and its multigrid hierarchy deterministically
+//! — the setup is replicated, only the solve runs distributed — then solves
+//! over the Unix-domain-socket transport. Rank 0 gathers the solution and,
+//! when `--out PATH` (or `PMG_OUT`) is given, writes the iteration count,
+//! convergence flag, and the solution / residual-history bit patterns for
+//! the parity test to compare against the simulated solve.
+//!
+//! Exits 0 iff the solve converged.
+
+use pmg_comm::{bytes_to_f64s, f64s_to_bytes, SocketTransport, Transport};
+use pmg_solver::PcgOptions;
+use prometheus::{spmd_pcg, Prometheus, RankHierarchy};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut out_path = std::env::var("PMG_OUT").ok();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            other => {
+                eprintln!("spheres_rank: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut t = SocketTransport::connect_from_env()
+        .expect("PMG_COMM_RANK/SIZE/DIR must be set (run under pmg-launch)");
+
+    let sys = pmg_bench::spheres_first_solve(0);
+    let opts = pmg_bench::parity_options(t.size());
+    let solver = Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
+    let layout = solver.mg.levels[0].a.row_layout().clone();
+    let h = RankHierarchy::extract(&solver.mg, t.rank());
+
+    let bl: Vec<f64> = layout
+        .owned(t.rank())
+        .iter()
+        .map(|&g| sys.rhs[g as usize])
+        .collect();
+    let mut xl = vec![0.0; bl.len()];
+    let solve_start = std::time::Instant::now();
+    let (res, waits) = spmd_pcg(
+        &mut t,
+        &h,
+        &bl,
+        &mut xl,
+        PcgOptions {
+            rtol: pmg_bench::PARITY_RTOL,
+            max_iters: 200,
+            ..Default::default()
+        },
+    )
+    .expect("SPMD solve over sockets");
+    let solve_s = solve_start.elapsed().as_secs_f64();
+    let stats = t.stats(); // snapshot before the result gather adds traffic
+
+    let gathered = pmg_comm::gather(&mut t, &f64s_to_bytes(&xl)).expect("gather solution");
+    if let Some(parts) = gathered {
+        let mut x = vec![0.0; layout.num_global()];
+        for (rk, blob) in parts.iter().enumerate() {
+            let vals = bytes_to_f64s(blob);
+            for (&g, &v) in layout.owned(rk).iter().zip(&vals) {
+                x[g as usize] = v;
+            }
+        }
+        if let Some(path) = &out_path {
+            let mut f = std::fs::File::create(path).expect("create --out file");
+            writeln!(f, "iterations {}", res.iterations).unwrap();
+            writeln!(f, "converged {}", u8::from(res.converged)).unwrap();
+            writeln!(f, "solve_s {solve_s:.9}").unwrap();
+            writeln!(
+                f,
+                "stats {} {} {:.9} {} {}",
+                stats.msgs, stats.bytes, stats.wait_s, stats.retries, stats.allreduces
+            )
+            .unwrap();
+            writeln!(
+                f,
+                "waits {:.9} {:.9} {:.9}",
+                waits.halo_s, waits.allreduce_s, waits.coarse_s
+            )
+            .unwrap();
+            for v in &x {
+                writeln!(f, "x {:016x}", v.to_bits()).unwrap();
+            }
+            for v in &res.residuals {
+                writeln!(f, "res {:016x}", v.to_bits()).unwrap();
+            }
+        } else {
+            println!(
+                "spheres_rank: {} ranks, {} iterations, converged={}, rel_residual={:.3e}",
+                t.size(),
+                res.iterations,
+                res.converged,
+                res.rel_residual
+            );
+        }
+    }
+
+    if res.converged {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -5,6 +5,7 @@
 //! See the [`prometheus`] crate for the solver itself and `DESIGN.md` at
 //! the repository root for the system inventory.
 
+pub use pmg_comm as comm;
 pub use pmg_fem as fem;
 pub use pmg_geometry as geometry;
 pub use pmg_mesh as mesh;

@@ -128,6 +128,96 @@ fn block_jacobi_blocks_scale_with_local_size() {
     }
 }
 
+/// Parse the `spheres_rank --out` artifact: iteration count, convergence
+/// flag, and solution / residual-history bit patterns.
+fn parse_rank_out(text: &str) -> (usize, bool, Vec<u64>, Vec<u64>) {
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut x = Vec::new();
+    let mut res = Vec::new();
+    for line in text.lines() {
+        let mut it = line.split_whitespace();
+        match (it.next(), it.next()) {
+            (Some("iterations"), Some(v)) => iterations = v.parse().unwrap(),
+            (Some("converged"), Some(v)) => converged = v == "1",
+            (Some("x"), Some(v)) => x.push(u64::from_str_radix(v, 16).unwrap()),
+            (Some("res"), Some(v)) => res.push(u64::from_str_radix(v, 16).unwrap()),
+            // Timing/traffic lines are for the bench snapshot, not parity.
+            (Some("solve_s" | "stats" | "waits"), _) => {}
+            _ => panic!("unexpected line in rank output: {line}"),
+        }
+    }
+    (iterations, converged, x, res)
+}
+
+#[test]
+fn spheres_solve_bitwise_identical_across_transports() {
+    // The PR's acceptance bar: the full setup + solve on the spheres
+    // problem produces a bitwise-identical solution and residual history
+    // whether the ranks are simulated (counting instead of sending),
+    // threads over an in-process transport, or separate processes over
+    // Unix-domain sockets.
+    let sys = pmg_bench::spheres_first_solve(0);
+    let pcg_opts = pmg_solver::PcgOptions {
+        rtol: pmg_bench::PARITY_RTOL,
+        max_iters: 200,
+        ..Default::default()
+    };
+    let mut two_rank_reference = None;
+    for p in [1usize, 2, 4] {
+        let opts = pmg_bench::parity_options(p);
+        let mut solver = prometheus::Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
+        let (x_sim, res_sim) = solver.solve(&sys.rhs, None, pmg_bench::PARITY_RTOL);
+        assert!(res_sim.converged, "p={p}: {res_sim:?}");
+
+        let spmd = prometheus::solve_threads(&solver.mg, &sys.rhs, pcg_opts).unwrap();
+        assert_eq!(spmd.result.iterations, res_sim.iterations, "p={p}");
+        for (a, b) in spmd.result.residuals.iter().zip(&res_sim.residuals) {
+            assert_eq!(a.to_bits(), b.to_bits(), "p={p} residual history");
+        }
+        for (a, b) in spmd.x.iter().zip(&x_sim) {
+            assert_eq!(a.to_bits(), b.to_bits(), "p={p} solution");
+        }
+        if p > 1 {
+            // Real messages flowed (this was not a degenerate exchange).
+            assert!(spmd.stats.iter().map(|s| s.msgs).sum::<u64>() > 0, "p={p}");
+        }
+        if p == 2 {
+            two_rank_reference = Some((res_sim.iterations, x_sim, res_sim.residuals));
+        }
+    }
+
+    // Multi-process: launch 2 ranks of the worker binary over sockets.
+    let (ref_iters, ref_x, ref_res) = two_rank_reference.unwrap();
+    let dir = std::env::temp_dir().join(format!("pmg-parity-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("rank0.out");
+    let exits = pmg_comm::launch::launch(
+        2,
+        std::path::Path::new(env!("CARGO_BIN_EXE_spheres_rank")),
+        &["--out", out.to_str().unwrap()],
+        None,
+    )
+    .expect("launch 2 socket ranks");
+    assert!(
+        exits.iter().all(|e| e.status.success()),
+        "socket ranks failed: {exits:?}"
+    );
+    let (iters, converged, x_bits, res_bits) =
+        parse_rank_out(&std::fs::read_to_string(&out).unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(converged);
+    assert_eq!(iters, ref_iters, "socket iteration count");
+    assert_eq!(x_bits.len(), ref_x.len());
+    for (got, want) in x_bits.iter().zip(&ref_x) {
+        assert_eq!(*got, want.to_bits(), "socket solution bits");
+    }
+    assert_eq!(res_bits.len(), ref_res.len());
+    for (got, want) in res_bits.iter().zip(&ref_res) {
+        assert_eq!(*got, want.to_bits(), "socket residual bits");
+    }
+}
+
 #[test]
 fn machine_model_latency_dominates_small_messages() {
     // Sanity of the BSP model: for tiny payloads the modeled comm time is
