@@ -10,11 +10,17 @@
 //! same spheres solve run over simulated ranks, threaded ranks
 //! (in-process transport), and — when the `spheres_rank` worker binary is
 //! built alongside — 2-process Unix-socket ranks, with *real* (measured,
-//! not modeled) message counts and per-phase wait times. Everything lands
-//! in a hand-rolled JSON file (default `BENCH_PR4.json`, override with
-//! `PMG_BENCH_OUT`) whose `meta` block records the pool size, git SHA, and
-//! host core count so BENCH_*.json files are comparable across PRs and
-//! machines.
+//! not modeled) message counts and per-phase wait times; and the PR-5
+//! overlap section: the threaded and socket solves run A/B with the
+//! communication/computation overlap off vs on (`PMG_OVERLAP`), recording
+//! the blocked halo wait, the hidden-behind-compute window, the
+//! interior/boundary row split, and the allreduce count so the wait-time
+//! reduction and the fused PCG collective are visible in one file.
+//! Everything lands in a hand-rolled JSON file (default `BENCH_PR5.json`,
+//! override with `PMG_BENCH_OUT`) whose `meta` block records the pool
+//! size, git SHA, and host core count so BENCH_*.json files are comparable
+//! across PRs and machines. On a single-core host the thread-scaling
+//! section is marked `"degenerate": true` and makes no speedup claims.
 //!
 //! Knobs: `PMG_THREADS` pool size for the scaling section, `PMG_BENCH_K`
 //! ladder point (default 0 = tiny spheres), `PMG_BENCH_MS` per-measurement
@@ -69,6 +75,12 @@ struct SocketPoint {
     halo_s: f64,
     allreduce_s: f64,
     coarse_s: f64,
+    interior_rows: u64,
+    boundary_rows: u64,
+    halo_hidden_s: f64,
+    /// Raw `x`/`res` bit-pattern lines, kept verbatim so the blocking and
+    /// overlapped socket runs can be compared bitwise without re-parsing.
+    bits: Vec<String>,
 }
 
 fn parse_worker_out(text: &str) -> Option<SocketPoint> {
@@ -90,6 +102,12 @@ fn parse_worker_out(text: &str) -> Option<SocketPoint> {
                 p.allreduce_s = t.get(2)?.parse().ok()?;
                 p.coarse_s = t.get(3)?.parse().ok()?;
             }
+            Some("overlap") => {
+                p.interior_rows = t.get(1)?.parse().ok()?;
+                p.boundary_rows = t.get(2)?.parse().ok()?;
+                p.halo_hidden_s = t.get(3)?.parse().ok()?;
+            }
+            Some("x" | "res") => p.bits.push(line.to_string()),
             _ => {}
         }
     }
@@ -97,19 +115,31 @@ fn parse_worker_out(text: &str) -> Option<SocketPoint> {
 }
 
 /// Launch 2 ranks of the sibling `spheres_rank` binary over Unix-domain
-/// sockets and parse the rank-0 artifact. `None` when the binary is not
-/// built alongside (e.g. `cargo run -p pmg-bench` without the workspace
-/// bins) or the launch fails — the snapshot then records a skip marker
-/// instead of dying.
-fn socket_point() -> Option<SocketPoint> {
+/// sockets — with the comm/compute overlap on or off via `PMG_OVERLAP` —
+/// and parse the rank-0 artifact. `None` when the binary is not built
+/// alongside (e.g. `cargo run -p pmg-bench` without the workspace bins)
+/// or the launch fails — the snapshot then records a skip marker instead
+/// of dying.
+fn socket_point(overlap: bool) -> Option<SocketPoint> {
     let bin = std::env::current_exe().ok()?.parent()?.join("spheres_rank");
     if !bin.exists() {
         return None;
     }
-    let dir = std::env::temp_dir().join(format!("pmg-bench-comm-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!(
+        "pmg-bench-comm-{}-{}",
+        std::process::id(),
+        u8::from(overlap)
+    ));
     std::fs::create_dir_all(&dir).ok()?;
     let out = dir.join("rank0.out");
-    let exits = pmg_comm::launch::launch(2, &bin, &["--out", out.to_str()?], None).ok()?;
+    let exits = pmg_comm::launch::launch_with_env(
+        2,
+        &bin,
+        &["--out", out.to_str()?],
+        None,
+        &[("PMG_OVERLAP", if overlap { "1" } else { "0" })],
+    )
+    .ok()?;
     let text = if exits.iter().all(|e| e.status.success()) {
         std::fs::read_to_string(&out).ok()
     } else {
@@ -134,7 +164,7 @@ fn git_sha() -> String {
 fn main() {
     let k = env_usize("PMG_BENCH_K", 0);
     let budget = Duration::from_millis(env_usize("PMG_BENCH_MS", 200) as u64);
-    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
     let threads = rayon::current_num_threads();
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -280,17 +310,20 @@ fn main() {
     let sim_solve_s = sim_start.elapsed().as_secs_f64();
     assert!(res_sim.converged, "comm-section sim solve diverged");
 
+    let popts = pmg_solver::PcgOptions {
+        rtol: pmg_bench::PARITY_RTOL,
+        max_iters: 200,
+        ..Default::default()
+    };
+    // A: overlap off (blocking halo exchange, scalar allreduces).
     let thr_start = Instant::now();
-    let spmd = prometheus::solve_threads(
-        &psolver.mg,
-        &csys.rhs,
-        pmg_solver::PcgOptions {
-            rtol: pmg_bench::PARITY_RTOL,
-            max_iters: 200,
-            ..Default::default()
-        },
-    )
-    .expect("threaded-rank solve");
+    let spmd_block = prometheus::solve_threads_opts(&psolver.mg, &csys.rhs, popts, false)
+        .expect("threaded-rank blocking solve");
+    let threads_blocking_s = thr_start.elapsed().as_secs_f64();
+    // B: overlap on (interior rows hidden behind the halo, fused allreduce).
+    let thr_start = Instant::now();
+    let spmd = prometheus::solve_threads_opts(&psolver.mg, &csys.rhs, popts, true)
+        .expect("threaded-rank solve");
     let threads_solve_s = thr_start.elapsed().as_secs_f64();
     assert!(
         spmd.x
@@ -299,17 +332,37 @@ fn main() {
             .all(|(a, b)| a.to_bits() == b.to_bits()),
         "threaded-rank solution differs from sim bitwise"
     );
+    assert!(
+        spmd_block
+            .x
+            .iter()
+            .zip(&spmd.x)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "blocking threaded-rank solution differs from overlapped bitwise"
+    );
     let thr_msgs: u64 = spmd.stats.iter().map(|s| s.msgs).sum();
     let thr_bytes: u64 = spmd.stats.iter().map(|s| s.bytes).sum();
     let thr_wait_max = spmd.stats.iter().map(|s| s.wait_s).fold(0.0_f64, f64::max);
     let thr_w0 = spmd.waits[0];
+    let thr_w0_block = spmd_block.waits[0];
 
-    let socket = socket_point();
+    let socket_block = socket_point(false);
+    let socket = socket_point(true);
     if let Some(sp) = &socket {
         assert_eq!(
             sp.iterations, res_sim.iterations,
             "socket-rank iteration count differs from sim"
         );
+        assert!(
+            sp.interior_rows > 0,
+            "overlapped socket run classified no interior rows"
+        );
+        if let Some(sb) = &socket_block {
+            assert_eq!(
+                sb.bits, sp.bits,
+                "blocking socket solution/residuals differ from overlapped bitwise"
+            );
+        }
     }
 
     let rap_speedup = rap_cold / rap_planned;
@@ -343,22 +396,31 @@ fn main() {
     writeln!(j, "    \"pattern_reuse_s\": {asm_warm:.9},").unwrap();
     writeln!(j, "    \"pattern_reuse_speedup\": {asm_speedup:.3}").unwrap();
     writeln!(j, "  }},").unwrap();
+    // A 1-core host cannot exhibit thread speedup — pool-vs-pool numbers
+    // there measure scheduling noise, so mark the section degenerate and
+    // record raw times only, no speedup claims.
+    let degenerate = host_cores == 1;
     writeln!(j, "  \"thread_scaling\": {{").unwrap();
     writeln!(j, "    \"threads\": {threads},").unwrap();
+    writeln!(j, "    \"degenerate\": {degenerate},").unwrap();
     writeln!(j, "    \"spmv_par_1t_s\": {spmv_par_1:.9},").unwrap();
     writeln!(j, "    \"spmv_par_nt_s\": {spmv_par_n:.9},").unwrap();
-    writeln!(
-        j,
-        "    \"spmv_par_speedup\": {:.3},",
-        spmv_par_1 / spmv_par_n
-    )
-    .unwrap();
     writeln!(j, "    \"smoother_1t_s\": {smooth_1:.9},").unwrap();
     writeln!(j, "    \"smoother_nt_s\": {smooth_n:.9},").unwrap();
-    writeln!(j, "    \"smoother_speedup\": {:.3},", smooth_1 / smooth_n).unwrap();
     writeln!(j, "    \"assemble_warm_1t_s\": {asm_1:.9},").unwrap();
-    writeln!(j, "    \"assemble_warm_nt_s\": {asm_n:.9},").unwrap();
-    writeln!(j, "    \"assemble_warm_speedup\": {:.3}", asm_1 / asm_n).unwrap();
+    if degenerate {
+        writeln!(j, "    \"assemble_warm_nt_s\": {asm_n:.9}").unwrap();
+    } else {
+        writeln!(j, "    \"assemble_warm_nt_s\": {asm_n:.9},").unwrap();
+        writeln!(
+            j,
+            "    \"spmv_par_speedup\": {:.3},",
+            spmv_par_1 / spmv_par_n
+        )
+        .unwrap();
+        writeln!(j, "    \"smoother_speedup\": {:.3},", smooth_1 / smooth_n).unwrap();
+        writeln!(j, "    \"assemble_warm_speedup\": {:.3}", asm_1 / asm_n).unwrap();
+    }
     writeln!(j, "  }},").unwrap();
     writeln!(j, "  \"counters\": {{").unwrap();
     writeln!(j, "    \"rap_plan_build\": {},", counter("rap/plan_build")).unwrap();
@@ -420,6 +482,66 @@ fn main() {
             writeln!(j, "    \"socket\": {{ \"skipped\": true }}").unwrap();
         }
     }
+    writeln!(j, "  }},").unwrap();
+
+    // --- Overlap A/B: blocking vs overlapped halo exchange --------------
+    // `wait_halo_s` is the *blocked* remainder after finish(); the hidden
+    // window rides in `halo_hidden_s`. Reduction is relative to the
+    // blocking run of the same transport in this same snapshot.
+    let reduction = |blocking: f64, overlapped: f64| {
+        if blocking > 0.0 {
+            (blocking - overlapped) / blocking
+        } else {
+            0.0
+        }
+    };
+    let thr_reduction = reduction(thr_w0_block.halo_s, thr_w0.halo_s);
+    writeln!(j, "  \"overlap\": {{").unwrap();
+    writeln!(j, "    \"threads\": {{").unwrap();
+    writeln!(j, "      \"blocking\": {{").unwrap();
+    writeln!(j, "        \"solve_s\": {threads_blocking_s:.9},").unwrap();
+    writeln!(j, "        \"wait_halo_s\": {:.9},", thr_w0_block.halo_s).unwrap();
+    writeln!(
+        j,
+        "        \"allreduces\": {}",
+        spmd_block.stats[0].allreduces
+    )
+    .unwrap();
+    writeln!(j, "      }},").unwrap();
+    writeln!(j, "      \"overlapped\": {{").unwrap();
+    writeln!(j, "        \"solve_s\": {threads_solve_s:.9},").unwrap();
+    writeln!(j, "        \"wait_halo_s\": {:.9},", thr_w0.halo_s).unwrap();
+    writeln!(j, "        \"halo_hidden_s\": {:.9},", thr_w0.halo_hidden_s).unwrap();
+    writeln!(j, "        \"interior_rows\": {},", thr_w0.interior_rows).unwrap();
+    writeln!(j, "        \"boundary_rows\": {},", thr_w0.boundary_rows).unwrap();
+    writeln!(j, "        \"allreduces\": {}", spmd.stats[0].allreduces).unwrap();
+    writeln!(j, "      }},").unwrap();
+    writeln!(j, "      \"wait_halo_reduction\": {thr_reduction:.3}").unwrap();
+    writeln!(j, "    }},").unwrap();
+    match (&socket_block, &socket) {
+        (Some(sb), Some(sp)) => {
+            let sock_reduction = reduction(sb.halo_s, sp.halo_s);
+            writeln!(j, "    \"socket\": {{").unwrap();
+            writeln!(j, "      \"blocking\": {{").unwrap();
+            writeln!(j, "        \"solve_s\": {:.9},", sb.solve_s).unwrap();
+            writeln!(j, "        \"wait_halo_s\": {:.9},", sb.halo_s).unwrap();
+            writeln!(j, "        \"allreduces\": {}", sb.allreduces).unwrap();
+            writeln!(j, "      }},").unwrap();
+            writeln!(j, "      \"overlapped\": {{").unwrap();
+            writeln!(j, "        \"solve_s\": {:.9},", sp.solve_s).unwrap();
+            writeln!(j, "        \"wait_halo_s\": {:.9},", sp.halo_s).unwrap();
+            writeln!(j, "        \"halo_hidden_s\": {:.9},", sp.halo_hidden_s).unwrap();
+            writeln!(j, "        \"interior_rows\": {},", sp.interior_rows).unwrap();
+            writeln!(j, "        \"boundary_rows\": {},", sp.boundary_rows).unwrap();
+            writeln!(j, "        \"allreduces\": {}", sp.allreduces).unwrap();
+            writeln!(j, "      }},").unwrap();
+            writeln!(j, "      \"wait_halo_reduction\": {sock_reduction:.3}").unwrap();
+            writeln!(j, "    }}").unwrap();
+        }
+        _ => {
+            writeln!(j, "    \"socket\": {{ \"skipped\": true }}").unwrap();
+        }
+    }
     writeln!(j, "  }}").unwrap();
     writeln!(j, "}}").unwrap();
     std::fs::write(&out_path, &json).expect("write bench snapshot");
@@ -427,12 +549,16 @@ fn main() {
     println!("spmv      csr {spmv_csr:.3e}s  bsr3 {spmv_bsr:.3e}s  ({spmv_speedup:.2}x)");
     println!("rap       cold {rap_cold:.3e}s  planned {rap_planned:.3e}s  ({rap_speedup:.2}x)");
     println!("assemble  cold {asm_cold:.3e}s  reuse {asm_warm:.3e}s  ({asm_speedup:.2}x)");
-    println!(
-        "threads   1 vs {threads}: spmv_par {:.2}x  smoother {:.2}x  warm assembly {:.2}x",
-        spmv_par_1 / spmv_par_n,
-        smooth_1 / smooth_n,
-        asm_1 / asm_n
-    );
+    if degenerate {
+        println!("threads   1-core host: scaling section degenerate, no speedup claims");
+    } else {
+        println!(
+            "threads   1 vs {threads}: spmv_par {:.2}x  smoother {:.2}x  warm assembly {:.2}x",
+            spmv_par_1 / spmv_par_n,
+            smooth_1 / smooth_n,
+            asm_1 / asm_n
+        );
+    }
     println!(
         "counters  plan build/reuse {}/{}  pattern build/reuse {}/{}  bsr3 promoted {}  halo plan build/reuse {}/{}",
         counter("rap/plan_build"),
@@ -453,6 +579,26 @@ fn main() {
             sp.solve_s, sp.msgs, sp.bytes, sp.wait_s, sp.retries
         ),
         None => println!("          sockets(2) skipped (spheres_rank binary not built alongside)"),
+    }
+    println!(
+        "overlap   threads wait_halo {:.3e}s -> {:.3e}s ({:.0}% hidden behind {} interior rows), \
+         allreduces {} -> {}",
+        thr_w0_block.halo_s,
+        thr_w0.halo_s,
+        100.0 * thr_reduction,
+        thr_w0.interior_rows,
+        spmd_block.stats[0].allreduces,
+        spmd.stats[0].allreduces
+    );
+    if let (Some(sb), Some(sp)) = (&socket_block, &socket) {
+        println!(
+            "          sockets wait_halo {:.3e}s -> {:.3e}s ({:.0}%), allreduces {} -> {}",
+            sb.halo_s,
+            sp.halo_s,
+            100.0 * reduction(sb.halo_s, sp.halo_s),
+            sb.allreduces,
+            sp.allreduces
+        );
     }
     println!("wrote {out_path}");
 

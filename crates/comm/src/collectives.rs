@@ -30,6 +30,20 @@ pub fn allreduce_sum<T: Transport>(t: &mut T, vals: &mut [f64]) -> Result<(), Co
     Ok(())
 }
 
+/// Fused (batched) allreduce of several independent scalars in **one**
+/// collective — the latency-hiding form of N back-to-back
+/// [`allreduce_scalar`] calls.
+///
+/// Ordering guarantee: the binomial tree reduces the array *elementwise*
+/// (`acc[i] += incoming[i]` on every merge), so component `i` of the result
+/// is bitwise identical to what a standalone scalar allreduce of the
+/// per-rank `vals[i]` partials would produce. Fusing reductions therefore
+/// never changes a solver's arithmetic — only the number of collective
+/// rounds (visible in `comm/allreduces`, which counts this as one).
+pub fn allreduce_many<T: Transport>(t: &mut T, vals: &mut [f64]) -> Result<(), CommError> {
+    allreduce_sum(t, vals)
+}
+
 /// Allreduce a single scalar; convenience wrapper over [`allreduce_sum`].
 pub fn allreduce_scalar<T: Transport>(t: &mut T, val: f64) -> Result<f64, CommError> {
     let mut buf = [val];
@@ -145,6 +159,66 @@ pub fn allgather<T: Transport>(t: &mut T, payload: &[u8]) -> Result<Vec<Vec<u8>>
     Ok(pairs.into_iter().map(|(_, p)| p).collect())
 }
 
+/// Scatter per-rank payloads from rank 0: rank `r` receives `parts[r]`.
+/// The mirror of [`gather`] — payloads travel down the binomial broadcast
+/// tree as one coalesced message per tree edge, each intermediate rank
+/// peeling off its own part and forwarding its subtrees' — so a rank
+/// receives only the bytes addressed to its subtree, never the full set.
+///
+/// `parts` must be `Some` with exactly `size` entries on rank 0 and `None`
+/// elsewhere.
+pub fn scatter<T: Transport>(t: &mut T, parts: Option<Vec<Vec<u8>>>) -> Result<Vec<u8>, CommError> {
+    let (rank, size) = (t.rank(), t.size());
+    let mut pairs: Vec<(u32, Vec<u8>)> = if rank == 0 {
+        let parts = parts.ok_or_else(|| CommError::Invalid("scatter: root needs parts".into()))?;
+        if parts.len() != size {
+            return Err(CommError::Invalid(format!(
+                "scatter: {} parts for {} ranks",
+                parts.len(),
+                size
+            )));
+        }
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(r, p)| (r as u32, p))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    if size > 1 {
+        // Same tree walk as `broadcast`: receive this subtree's pairs from
+        // the parent, then forward each child subtree's share.
+        let lowbit = if rank == 0 {
+            let mut b = 1usize;
+            while b << 1 < size {
+                b <<= 1;
+            }
+            b << 1
+        } else {
+            rank & rank.wrapping_neg()
+        };
+        if rank != 0 {
+            pairs = unpack_pairs(&t.recv(rank - lowbit, COLLECTIVE_TAG)?)?;
+        }
+        let mut step = lowbit >> 1;
+        while step >= 1 {
+            if rank + step < size {
+                let cut = (rank + step) as u32;
+                let (keep, down): (Vec<_>, Vec<_>) = pairs.into_iter().partition(|(r, _)| *r < cut);
+                t.send(rank + step, COLLECTIVE_TAG, &pack_pairs(&down))?;
+                pairs = keep;
+            }
+            step >>= 1;
+        }
+    }
+    pairs
+        .into_iter()
+        .find(|(r, _)| *r as usize == rank)
+        .map(|(_, p)| p)
+        .ok_or_else(|| CommError::Invalid(format!("scatter: no payload for rank {rank}")))
+}
+
 /// Barrier: an empty allreduce — no rank leaves before every rank entered.
 pub fn barrier<T: Transport>(t: &mut T) -> Result<(), CommError> {
     let mut none: [f64; 0] = [];
@@ -246,6 +320,47 @@ mod tests {
         for res in &results[1..] {
             assert!(res.is_none());
         }
+    }
+
+    #[test]
+    fn fused_allreduce_matches_scalar_pair_bitwise() {
+        // Fusing two reductions into one allreduce_many must reproduce the
+        // two scalar allreduces component for component, bit for bit.
+        for size in 1..=8usize {
+            let results = LocalTransport::run_ranks(size, move |mut t| {
+                let r = t.rank() as f64;
+                let (a, b) = (0.1 * (r + 1.0) + 1e-13 * r, 0.7 * (r + 2.0) - 1e-14 * r);
+                let sa = allreduce_scalar(&mut t, a).unwrap();
+                let sb = allreduce_scalar(&mut t, b).unwrap();
+                let mut fused = [a, b];
+                allreduce_many(&mut t, &mut fused).unwrap();
+                (sa, sb, fused)
+            });
+            for (r, (sa, sb, fused)) in results.iter().enumerate() {
+                assert_eq!(fused[0].to_bits(), sa.to_bits(), "rank {r} of {size}");
+                assert_eq!(fused[1].to_bits(), sb.to_bits(), "rank {r} of {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_owned_parts() {
+        for size in 1..=9usize {
+            let results = LocalTransport::run_ranks(size, move |mut t| {
+                let parts = (t.rank() == 0)
+                    .then(|| (0..size).map(|r| vec![r as u8; r + 1]).collect::<Vec<_>>());
+                scatter(&mut t, parts).unwrap()
+            });
+            for (r, got) in results.iter().enumerate() {
+                assert_eq!(got, &vec![r as u8; r + 1], "rank {r} of {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_root_requires_parts() {
+        let results = LocalTransport::run_ranks(1, |mut t| scatter(&mut t, None).is_err());
+        assert!(results[0]);
     }
 
     #[test]

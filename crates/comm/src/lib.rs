@@ -34,12 +34,16 @@
 
 pub mod collectives;
 pub mod fault;
+pub mod halo;
 pub mod launch;
 pub mod local;
 pub mod socket;
 
-pub use collectives::{allgather, allreduce_scalar, allreduce_sum, barrier, broadcast, gather};
+pub use collectives::{
+    allgather, allreduce_many, allreduce_scalar, allreduce_sum, barrier, broadcast, gather, scatter,
+};
 pub use fault::{FaultConfig, FaultTransport};
+pub use halo::HaloExchange;
 pub use local::LocalTransport;
 pub use socket::SocketTransport;
 

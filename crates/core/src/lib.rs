@@ -48,4 +48,6 @@ pub use mg::{CycleType, MgHierarchy, MgOptions};
 pub use mis::{greedy_mis, parallel_mis, parallel_mis_transport, MisOrdering};
 pub use sa::{build_sa_hierarchy, SaOptions};
 pub use solver::{Prometheus, PrometheusOptions, SolveSummary};
-pub use spmd::{solve_threads, spmd_pcg, PhaseWaits, RankHierarchy, SpmdSolveOutcome};
+pub use spmd::{
+    solve_threads, solve_threads_opts, spmd_pcg, PhaseWaits, RankHierarchy, SpmdSolveOutcome,
+};

@@ -26,15 +26,28 @@ use pmg_sparse::vector;
 use std::sync::Arc;
 
 /// Real time (seconds) a rank spent blocked on each communication phase,
-/// measured from the transport's wait clock — not modeled.
+/// measured from the transport's wait clock — not modeled — plus what the
+/// communication/computation overlap hid from that clock.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseWaits {
     /// Waiting on halo-exchange receives (level operator, R, P products).
+    /// With overlap enabled this is only the *blocked remainder* after the
+    /// interior-compute window: latency hidden behind interior work never
+    /// reaches the transport's wait clock and is accounted in
+    /// [`halo_hidden_s`](PhaseWaits::halo_hidden_s) instead — the two are
+    /// never double-counted.
     pub halo_s: f64,
     /// Waiting inside allreduces (inner products and norms).
     pub allreduce_s: f64,
-    /// Waiting in the coarse-grid gather/solve/broadcast.
+    /// Waiting in the coarse-grid gather/solve/scatter.
     pub coarse_s: f64,
+    /// Wall-clock seconds of interior-compute windows that ran between
+    /// halo `start` and `finish` — message latency the overlap could hide.
+    pub halo_hidden_s: f64,
+    /// Scalar rows computed inside overlap windows (no ghost references).
+    pub interior_rows: u64,
+    /// Scalar rows computed after their halo messages arrived.
+    pub boundary_rows: u64,
 }
 
 impl PhaseWaits {
@@ -42,6 +55,9 @@ impl PhaseWaits {
         pmg_telemetry::gauge_set("comm/wait/halo", self.halo_s);
         pmg_telemetry::gauge_set("comm/wait/allreduce", self.allreduce_s);
         pmg_telemetry::gauge_set("comm/wait/coarse", self.coarse_s);
+        pmg_telemetry::gauge_set("comm/overlap/halo_hidden_s", self.halo_hidden_s);
+        pmg_telemetry::counter_add("comm/overlap/interior_rows", self.interior_rows);
+        pmg_telemetry::counter_add("comm/overlap/boundary_rows", self.boundary_rows);
     }
 }
 
@@ -62,6 +78,13 @@ pub struct RankHierarchy<'a> {
     cycle: CycleType,
     pre_smooth: usize,
     post_smooth: usize,
+    /// Latency hiding (default on): operator, restriction, and
+    /// prolongation products — including the smoother's residual refresh —
+    /// compute interior rows between halo `start`/`finish`, and the PCG
+    /// `r·r`/`r·z` reductions ride one fused allreduce per iteration. The
+    /// arithmetic is bitwise identical either way (see `docs/comm.md`);
+    /// flip off for A/B wait-time measurements of the blocking schedule.
+    pub overlap: bool,
 }
 
 /// Message tags: each operator of each level gets its own tag so a
@@ -105,6 +128,7 @@ impl<'a> RankHierarchy<'a> {
             cycle: mg.opts.cycle,
             pre_smooth: mg.opts.pre_smooth,
             post_smooth: mg.opts.post_smooth,
+            overlap: true,
         }
     }
 
@@ -138,7 +162,7 @@ impl<'a> RankHierarchy<'a> {
         let mut r = vec![0.0; b.len()];
         let mut z = vec![0.0; b.len()];
         for _ in 0..sweeps {
-            halo_spmv(t, w, &level.a, x, &mut r)?; // r = A x
+            halo_spmv(t, w, &level.a, self.overlap, x, &mut r)?; // r = A x
             vector::aypx(-1.0, b, &mut r); // r = b - A x
             level.smoother.apply(&r, &mut z);
             vector::axpy(1.0, &z, x);
@@ -167,12 +191,12 @@ impl<'a> RankHierarchy<'a> {
         for _ in 0..mu {
             let mut rc = vec![0.0; rmat.local_rows()];
             let mut res = vec![0.0; r.len()];
-            halo_spmv(t, w, &level.a, &x, &mut res)?;
+            halo_spmv(t, w, &level.a, self.overlap, &x, &mut res)?;
             vector::aypx(-1.0, r, &mut res); // res = r - A x
-            halo_spmv(t, w, rmat, &res, &mut rc)?;
+            halo_spmv(t, w, rmat, self.overlap, &res, &mut rc)?;
             let xc = self.cycle(t, w, lvl + 1, &rc, mu)?;
             let mut corr = vec![0.0; r.len()];
-            halo_spmv(t, w, pmat, &xc, &mut corr)?;
+            halo_spmv(t, w, pmat, self.overlap, &xc, &mut corr)?;
             vector::axpy(1.0, &corr, &mut x);
             if self.levels[lvl + 1].coarse.is_some() {
                 break; // next level is a direct solve: revisiting is a no-op
@@ -196,16 +220,16 @@ impl<'a> RankHierarchy<'a> {
         for lvl in 0..nl - 1 {
             let rmat = self.levels[lvl].r.as_ref().unwrap();
             let mut rc = vec![0.0; rmat.local_rows()];
-            halo_spmv(t, w, rmat, &rs[lvl], &mut rc)?;
+            halo_spmv(t, w, rmat, self.overlap, &rs[lvl], &mut rc)?;
             rs.push(rc);
         }
         let mut x = self.coarse_apply(t, w, nl - 1, &rs[nl - 1])?;
         for lvl in (0..nl - 1).rev() {
             let pmat = self.levels[lvl].p.as_ref().unwrap();
             let mut xf = vec![0.0; pmat.local_rows()];
-            halo_spmv(t, w, pmat, &x, &mut xf)?;
+            halo_spmv(t, w, pmat, self.overlap, &x, &mut xf)?;
             let mut res = vec![0.0; xf.len()];
-            halo_spmv(t, w, &self.levels[lvl].a, &xf, &mut res)?;
+            halo_spmv(t, w, &self.levels[lvl].a, self.overlap, &xf, &mut res)?;
             vector::aypx(-1.0, &rs[lvl], &mut res);
             let corr = self.cycle(t, w, lvl, &res, 1)?;
             vector::axpy(1.0, &corr, &mut xf);
@@ -216,8 +240,12 @@ impl<'a> RankHierarchy<'a> {
 
     /// Coarsest-grid direct solve: gather the right-hand side to rank 0 in
     /// the layout's owned order (exactly `DistVec::to_global`), solve with
-    /// the already-factored operator, broadcast, extract the local share
-    /// (exactly `DistVec::from_global`) — mirroring `CoarseDirect::apply`.
+    /// the already-factored operator, then *scatter* each rank its owned
+    /// share (exactly `DistVec::from_global`). The gather and scatter both
+    /// travel the binomial tree as one coalesced message per edge, and the
+    /// scatter ships each rank only its own values instead of broadcasting
+    /// the full coarse vector — which is also precisely the mirror traffic
+    /// `CoarseDirect::apply` charges the BSP model.
     fn coarse_apply<T: Transport>(
         &self,
         t: &mut T,
@@ -230,40 +258,51 @@ impl<'a> RankHierarchy<'a> {
         let layout = level.layout;
         let before = t.stats().wait_s;
         let gathered = pmg_comm::gather(t, &f64s_to_bytes(r))?;
-        let mut solved = match gathered {
-            Some(parts) => {
-                let mut global = vec![0.0; layout.num_global()];
-                for (rk, blob) in parts.iter().enumerate() {
-                    let vals = bytes_to_f64s(blob);
-                    for (&g, &v) in layout.owned(rk).iter().zip(&vals) {
-                        global[g as usize] = v;
-                    }
+        let shares = gathered.map(|parts| {
+            let mut global = vec![0.0; layout.num_global()];
+            for (rk, blob) in parts.iter().enumerate() {
+                let vals = bytes_to_f64s(blob);
+                for (&g, &v) in layout.owned(rk).iter().zip(&vals) {
+                    global[g as usize] = v;
                 }
-                f64s_to_bytes(&direct.solve_global(&global))
             }
-            None => Vec::new(),
-        };
-        pmg_comm::broadcast(t, &mut solved)?;
+            let xg = direct.solve_global(&global);
+            (0..t.size())
+                .map(|rk| {
+                    let share: Vec<f64> =
+                        layout.owned(rk).iter().map(|&g| xg[g as usize]).collect();
+                    f64s_to_bytes(&share)
+                })
+                .collect()
+        });
+        let mine = pmg_comm::scatter(t, shares)?;
         w.coarse_s += t.stats().wait_s - before;
-        let xg = bytes_to_f64s(&solved);
-        Ok(layout
-            .owned(t.rank())
-            .iter()
-            .map(|&g| xg[g as usize])
-            .collect())
+        Ok(bytes_to_f64s(&mine))
     }
 }
 
-/// `y = op · x` with the wait time booked to the halo phase.
+/// `y = op · x` with the wait time booked to the halo phase. With
+/// `overlap`, the overlapped schedule runs and only the blocked remainder
+/// reaches `halo_s` (the transport's wait clock ticks inside blocking
+/// receives only, so latency spent computing interior rows never enters
+/// it); the hidden window and row-split sizes accumulate alongside.
 fn halo_spmv<T: Transport>(
     t: &mut T,
     w: &mut PhaseWaits,
     op: &RankOp<'_>,
+    overlap: bool,
     x: &[f64],
     y: &mut [f64],
 ) -> Result<(), CommError> {
     let before = t.stats().wait_s;
-    op.spmv(t, x, y)?;
+    if overlap {
+        let info = op.spmv_overlapped(t, x, y)?;
+        w.halo_hidden_s += info.hidden_s;
+        w.interior_rows += info.interior_rows;
+        w.boundary_rows += info.boundary_rows;
+    } else {
+        op.spmv(t, x, y)?;
+    }
     w.halo_s += t.stats().wait_s - before;
     Ok(())
 }
@@ -283,6 +322,25 @@ fn dot_all<T: Transport>(
     Ok(s)
 }
 
+/// Two global inner products fused into **one** batched allreduce.
+///
+/// [`pmg_comm::allreduce_many`] reduces the pair elementwise through the
+/// same binomial tree, so each component is bitwise identical to its own
+/// [`dot_all`] — fusing halves the collective rounds without touching the
+/// arithmetic.
+fn dot2_all<T: Transport>(
+    t: &mut T,
+    w: &mut PhaseWaits,
+    a: (&[f64], &[f64]),
+    b: (&[f64], &[f64]),
+) -> Result<(f64, f64), CommError> {
+    let mut partials = [vector::dot(a.0, a.1), vector::dot(b.0, b.1)];
+    let before = t.stats().wait_s;
+    pmg_comm::allreduce_many(t, &mut partials)?;
+    w.allreduce_s += t.stats().wait_s - before;
+    Ok((partials[0], partials[1]))
+}
+
 /// PCG over a real transport, preconditioned by one MG cycle per
 /// [`RankHierarchy`], mirroring [`pmg_solver::pcg()`] statement for
 /// statement. `b_local`/`x_local` are this rank's shares in the fine
@@ -290,8 +348,10 @@ fn dot_all<T: Transport>(
 /// solution.
 ///
 /// Telemetry (rank 0 only, so SPMD runs record once like the orchestrated
-/// path): `pcg/iterations`, the `pcg/residuals` series, and the real
-/// per-phase wait gauges `comm/wait/{halo,allreduce,coarse}`.
+/// path): `pcg/iterations`, the `pcg/residuals` series, the real per-phase
+/// wait gauges `comm/wait/{halo,allreduce,coarse}`, and the overlap
+/// accounting `comm/overlap/{interior_rows,boundary_rows}` counters plus
+/// the `comm/overlap/halo_hidden_s` gauge.
 pub fn spmd_pcg<T: Transport>(
     t: &mut T,
     h: &RankHierarchy<'_>,
@@ -305,11 +365,21 @@ pub fn spmd_pcg<T: Transport>(
     let fine = &h.levels[0].a;
 
     // r = b - A x.
-    halo_spmv(t, &mut w, fine, x_local, &mut r)?;
+    halo_spmv(t, &mut w, fine, h.overlap, x_local, &mut r)?;
     vector::aypx(-1.0, b_local, &mut r);
 
-    let bnorm = dot_all(t, &mut w, b_local, b_local)?.sqrt().max(1e-300);
-    let mut rnorm = dot_all(t, &mut w, &r, &r)?.sqrt();
+    // ‖b‖ and ‖r‖ are independent, so with overlap their reductions ride
+    // one fused collective; each component is bitwise identical to its own
+    // scalar allreduce (same tree, elementwise combine).
+    let (bnorm, mut rnorm) = if h.overlap {
+        let (bb, rr) = dot2_all(t, &mut w, (b_local, b_local), (&r, &r))?;
+        (bb.sqrt().max(1e-300), rr.sqrt())
+    } else {
+        (
+            dot_all(t, &mut w, b_local, b_local)?.sqrt().max(1e-300),
+            dot_all(t, &mut w, &r, &r)?.sqrt(),
+        )
+    };
     let mut residuals = vec![rnorm];
     if root {
         pmg_telemetry::series_push("pcg/residuals", rnorm);
@@ -341,7 +411,7 @@ pub fn spmd_pcg<T: Transport>(
         if root {
             pmg_telemetry::counter_add("pcg/iterations", 1);
         }
-        halo_spmv(t, &mut w, fine, &p, &mut wv)?;
+        halo_spmv(t, &mut w, fine, h.overlap, &p, &mut wv)?;
         let pw = dot_all(t, &mut w, &p, &wv)?;
         if pw <= 0.0 || !pw.is_finite() {
             // Loss of positive definiteness (or breakdown): stop.
@@ -350,20 +420,44 @@ pub fn spmd_pcg<T: Transport>(
         let alpha = rz / pw;
         vector::axpy(alpha, &p, x_local);
         vector::axpy(-alpha, &wv, &mut r);
-        rnorm = dot_all(t, &mut w, &r, &r)?.sqrt();
-        residuals.push(rnorm);
-        if root {
-            pmg_telemetry::series_push("pcg/residuals", rnorm);
+        if h.overlap {
+            // Speculative preconditioner application: z = M⁻¹r is computed
+            // *before* the convergence test so the r·r and r·z reductions
+            // ride one fused collective instead of two rounds (`p·w` cannot
+            // join them — α depends on it before r is updated). Costs one
+            // discarded MG cycle on the final, converged iteration; both
+            // reduced values are bitwise what the unfused path computes, so
+            // the residual history and iteration path are unchanged.
+            z = h.precond(t, &mut w, &r)?;
+            let (rr, rz_new) = dot2_all(t, &mut w, (&r, &r), (&r, &z))?;
+            rnorm = rr.sqrt();
+            residuals.push(rnorm);
+            if root {
+                pmg_telemetry::series_push("pcg/residuals", rnorm);
+            }
+            if rnorm <= opts.rtol * bnorm || rnorm <= opts.atol {
+                converged = true;
+                break;
+            }
+            let beta = rz_new / rz;
+            rz = rz_new;
+            vector::aypx(beta, &z, &mut p);
+        } else {
+            rnorm = dot_all(t, &mut w, &r, &r)?.sqrt();
+            residuals.push(rnorm);
+            if root {
+                pmg_telemetry::series_push("pcg/residuals", rnorm);
+            }
+            if rnorm <= opts.rtol * bnorm || rnorm <= opts.atol {
+                converged = true;
+                break;
+            }
+            z = h.precond(t, &mut w, &r)?;
+            let rz_new = dot_all(t, &mut w, &r, &z)?;
+            let beta = rz_new / rz;
+            rz = rz_new;
+            vector::aypx(beta, &z, &mut p);
         }
-        if rnorm <= opts.rtol * bnorm || rnorm <= opts.atol {
-            converged = true;
-            break;
-        }
-        z = h.precond(t, &mut w, &r)?;
-        let rz_new = dot_all(t, &mut w, &r, &z)?;
-        let beta = rz_new / rz;
-        rz = rz_new;
-        vector::aypx(beta, &z, &mut p);
     }
     if root {
         w.publish();
@@ -402,6 +496,19 @@ pub fn solve_threads(
     b: &[f64],
     opts: PcgOptions,
 ) -> Result<SpmdSolveOutcome, CommError> {
+    solve_threads_opts(mg, b, opts, true)
+}
+
+/// [`solve_threads`] with the communication/computation overlap toggled
+/// explicitly. Both schedules produce bitwise-identical solutions and
+/// residual histories; `overlap: false` exists for A/B wait-time
+/// measurements of the blocking exchange (see `bench_snapshot`).
+pub fn solve_threads_opts(
+    mg: &MgHierarchy,
+    b: &[f64],
+    opts: PcgOptions,
+    overlap: bool,
+) -> Result<SpmdSolveOutcome, CommError> {
     let layout = mg.levels[0].a.row_layout().clone();
     let nranks = layout.num_ranks();
     assert_eq!(b.len(), layout.num_global(), "rhs length");
@@ -409,7 +516,8 @@ pub fn solve_threads(
     let layout_ref = &layout;
     let per_rank = LocalTransport::run_ranks(nranks, move |mut t| {
         let rank = t.rank();
-        let h = RankHierarchy::extract(mg, rank);
+        let mut h = RankHierarchy::extract(mg, rank);
+        h.overlap = overlap;
         let bl: Vec<f64> = layout_ref
             .owned(rank)
             .iter()
@@ -508,6 +616,31 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "p={p} solution");
             }
             assert!(spmd.stats.iter().any(|s| s.msgs > 0) || p == 1, "p={p}");
+
+            // The blocking schedule is the same arithmetic: identical
+            // solution and residual history, but more allreduce rounds
+            // (the r·r / r·z pair is unfused) and no hidden halo window.
+            let blocking = solve_threads_opts(&mg, &bg, opts, false).unwrap();
+            assert_eq!(blocking.result.iterations, sim_res.iterations, "p={p}");
+            for (a, b) in blocking.x.iter().zip(&spmd.x) {
+                assert_eq!(a.to_bits(), b.to_bits(), "p={p} blocking solution");
+            }
+            for (a, b) in blocking.result.residuals.iter().zip(&spmd.result.residuals) {
+                assert_eq!(a.to_bits(), b.to_bits(), "p={p} blocking residuals");
+            }
+            assert!(
+                spmd.stats[0].allreduces < blocking.stats[0].allreduces,
+                "p={p}: fused path must enter fewer collectives \
+                 ({} vs {})",
+                spmd.stats[0].allreduces,
+                blocking.stats[0].allreduces
+            );
+            let w0 = spmd.waits[0];
+            assert!(
+                w0.interior_rows + w0.boundary_rows > 0,
+                "p={p}: overlap row accounting must tick"
+            );
+            assert_eq!(blocking.waits[0].interior_rows, 0, "p={p}");
         }
     }
 }

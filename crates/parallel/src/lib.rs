@@ -29,6 +29,6 @@ pub mod vec;
 pub use halo::{HaloMsg, HaloPlan, RankHalo};
 pub use layout::Layout;
 pub use matrix::DistMatrix;
-pub use rank::RankOp;
+pub use rank::{OverlapInfo, RankOp};
 pub use sim::{MachineModel, PhaseStats, RankCounters, Sim};
 pub use vec::DistVec;

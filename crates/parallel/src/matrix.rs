@@ -35,6 +35,16 @@ struct RankMat {
     ghost_pad: Vec<u32>,
     /// Global ids of ghost columns, ascending.
     ghosts: Vec<u32>,
+    /// Row classes for communication/computation overlap, fixed at
+    /// distribution time: *interior* rows reference no ghost column (their
+    /// product needs nothing from the wire), *boundary* rows do. Ascending
+    /// local row ids; together they partition `0..diag.nrows()`.
+    interior: Vec<u32>,
+    boundary: Vec<u32>,
+    /// Block-row classes for the BSR3 path (a block row is boundary when
+    /// any of its three scalar rows is), filled by `try_block3`.
+    interior_b: Vec<u32>,
+    boundary_b: Vec<u32>,
 }
 
 /// A sparse matrix distributed by rows over `row_layout`, whose columns are
@@ -96,13 +106,30 @@ impl DistMatrix {
                         }
                     }
                 }
+                let off = off.build();
+                // Classify rows once: a row with any ghost-column entry is
+                // boundary, the rest are interior and can be computed while
+                // the halo messages are in flight.
+                let mut interior = Vec::new();
+                let mut boundary = Vec::new();
+                for li in 0..nlocal {
+                    if off.row(li).0.is_empty() {
+                        interior.push(li as u32);
+                    } else {
+                        boundary.push(li as u32);
+                    }
+                }
                 RankMat {
                     diag: diag.build(),
-                    off: off.build(),
+                    off,
                     diag_bsr: None,
                     off_bsr: None,
                     ghost_pad: Vec::new(),
                     ghosts,
+                    interior,
+                    boundary,
+                    interior_b: Vec::new(),
+                    boundary_b: Vec::new(),
                 }
             })
             .collect();
@@ -194,6 +221,16 @@ impl DistMatrix {
                 pad.push(i, m.ghost_pad[j] as usize, v);
             }
             m.off_bsr = Some(Bsr3Matrix::from_csr(&pad.build()));
+            // Block-row classes: a block row is boundary when any of its
+            // three scalar rows references a ghost. `boundary` is
+            // ascending, so mapping to block ids and deduplicating keeps
+            // the ascending order.
+            let mut bb: Vec<u32> = m.boundary.iter().map(|&r| r / 3).collect();
+            bb.dedup();
+            m.interior_b = (0..(m.diag.nrows() / 3) as u32)
+                .filter(|br| bb.binary_search(br).is_err())
+                .collect();
+            m.boundary_b = bb;
         });
         pmg_telemetry::counter_add("spmv/bsr3_promoted", 1);
         true
@@ -248,9 +285,23 @@ impl DistMatrix {
             off_bsr: m.off_bsr.as_ref(),
             ghost_pad: &m.ghost_pad,
             nghosts: m.ghosts.len(),
+            interior: &m.interior,
+            boundary: &m.boundary,
+            interior_b: &m.interior_b,
+            boundary_b: &m.boundary_b,
             halo: &self.plan.ranks[r],
             tag,
         }
+    }
+
+    /// Per-rank `(interior, boundary)` row counts of the overlap row split
+    /// (diagnostics; boundary rows are the ones whose product must wait for
+    /// the halo).
+    pub fn overlap_row_counts(&self) -> Vec<(usize, usize)> {
+        self.ranks
+            .iter()
+            .map(|m| (m.interior.len(), m.boundary.len()))
+            .collect()
     }
 
     /// `y = A x`, charging one ghost exchange plus one compute superstep.

@@ -1,9 +1,36 @@
 //! Property tests of the virtual-rank runtime: layouts, distributed
-//! vectors, and the ghost-exchange SpMV against arbitrary ownership maps.
+//! vectors, and the ghost-exchange SpMV against arbitrary ownership maps —
+//! including the overlapped (interior/boundary row-split) SpMV, which must
+//! be bitwise identical to the blocking path for every ownership map.
 
+use pmg_comm::{LocalTransport, Transport};
 use pmg_parallel::{DistMatrix, DistVec, Layout, MachineModel, Sim};
-use pmg_sparse::CooBuilder;
+use pmg_sparse::{CooBuilder, CsrMatrix};
 use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Run both the blocking and the overlapped SpMV for every rank of `l`
+/// inside one lockstep `run_ranks` call and return, per rank, the two
+/// local products plus the overlap accounting.
+fn run_both_spmvs(
+    a: &CsrMatrix,
+    l: &Arc<Layout>,
+    p: usize,
+    x: &[f64],
+) -> Vec<(Vec<f64>, Vec<f64>, pmg_parallel::OverlapInfo)> {
+    let da = DistMatrix::from_global(a, l.clone(), l.clone());
+    let da = &da;
+    LocalTransport::run_ranks(p, move |mut t| {
+        let r = t.rank();
+        let op = da.rank_op(r, 11);
+        let xl: Vec<f64> = l.owned(r).iter().map(|&g| x[g as usize]).collect();
+        let mut y1 = vec![0.0; op.local_rows()];
+        op.spmv(&mut t, &xl, &mut y1).unwrap();
+        let mut y2 = vec![0.0; op.local_rows()];
+        let info = op.spmv_overlapped(&mut t, &xl, &mut y2).unwrap();
+        (y1, y2, info)
+    })
+}
 
 proptest! {
     #[test]
@@ -118,5 +145,89 @@ proptest! {
         let d = y.dot(&mut sim, &x);
         let expect_dot: f64 = expect.iter().zip(&xg).map(|(a, b)| a * b).sum();
         prop_assert!((d - expect_dot).abs() < 1e-9 * (1.0 + expect_dot.abs()));
+    }
+
+    #[test]
+    fn overlapped_spmv_matches_blocking_any_ownership(
+        owner in proptest::collection::vec(0u32..4, 10..40),
+        entries in proptest::collection::vec((0usize..10, 0usize..10, -5.0f64..5.0), 0..80),
+    ) {
+        let n = owner.len();
+        let mut b = CooBuilder::new(n, n);
+        for (i, j, v) in entries {
+            if i < n && j < n {
+                b.push(i, j, v);
+            }
+        }
+        let a = b.build();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).sin()).collect();
+        let l = Layout::from_part(owner, 4);
+        for (y1, y2, info) in run_both_spmvs(&a, &l, 4, &x).iter() {
+            prop_assert_eq!(
+                info.interior_rows + info.boundary_rows,
+                y1.len() as u64
+            );
+            for (u, v) in y1.iter().zip(y2) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_spmv_matches_blocking_with_empty_ranks(
+        owner in proptest::collection::vec(0u32..3, 5..30),
+        entries in proptest::collection::vec((0usize..8, 0usize..8, -5.0f64..5.0), 0..60),
+    ) {
+        // Odd ranks of a 6-rank layout own nothing: the overlapped path
+        // must handle zero-row ranks (empty interior and boundary classes)
+        // without deadlocking the lockstep exchange.
+        let owner: Vec<u32> = owner.into_iter().map(|r| 2 * r).collect();
+        let n = owner.len();
+        let mut b = CooBuilder::new(n, n);
+        for (i, j, v) in entries {
+            if i < n && j < n {
+                b.push(i, j, v);
+            }
+        }
+        let a = b.build();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos()).collect();
+        let l = Layout::from_part(owner, 6);
+        for (r, (y1, y2, info)) in run_both_spmvs(&a, &l, 6, &x).iter().enumerate() {
+            if r % 2 == 1 {
+                prop_assert_eq!(info.interior_rows + info.boundary_rows, 0u64);
+                prop_assert!(y1.is_empty());
+            }
+            for (u, v) in y1.iter().zip(y2) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_spmv_matches_blocking_all_boundary(
+        k in 1usize..12,
+        diag in 1.0f64..5.0,
+    ) {
+        // Alternating ownership of a cyclic bidiagonal matrix (n even):
+        // every row references a column on the other rank, so the interior
+        // class is empty everywhere and the whole product runs after
+        // finish() — the degenerate worst case for overlap.
+        let n = 2 * k;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, diag);
+            b.push(i, (i + 1) % n, -1.0);
+        }
+        let a = b.build();
+        let owner: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.71).sin()).collect();
+        let l = Layout::from_part(owner, 2);
+        for (y1, y2, info) in run_both_spmvs(&a, &l, 2, &x).iter() {
+            prop_assert_eq!(info.interior_rows, 0u64);
+            prop_assert_eq!(info.boundary_rows, y1.len() as u64);
+            for (u, v) in y1.iter().zip(y2) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
     }
 }

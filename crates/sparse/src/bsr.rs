@@ -141,6 +141,36 @@ impl Bsr3Matrix {
         flops::add(2 * self.nnz_stored() as u64);
     }
 
+    /// `y[3·br .. 3·br+3] = (A x)[3·br .. 3·br+3]` for the listed block
+    /// rows only; other entries of `y` are untouched. Identical per-block-
+    /// row accumulation to [`spmv`], so computing a partition of the block
+    /// rows in any number of calls is bitwise equal to one full [`spmv`] —
+    /// the blocked counterpart of [`CsrMatrix::spmv_rows`].
+    ///
+    /// [`spmv`]: Bsr3Matrix::spmv
+    pub fn spmv_block_rows(&self, x: &[f64], y: &mut [f64], brows: &[u32]) {
+        assert_eq!(x.len(), self.ncols());
+        assert_eq!(y.len(), self.nrows());
+        let mut blocks = 0u64;
+        for &br in brows {
+            let br = br as usize;
+            let mut acc = [0.0f64; 3];
+            for k in self.row_ptr[br]..self.row_ptr[br + 1] {
+                let bc = self.col_idx[k];
+                let b = &self.blocks[k];
+                let xb = &x[3 * bc..3 * bc + 3];
+                for c in 0..3 {
+                    acc[0] += b[c] * xb[c];
+                    acc[1] += b[3 + c] * xb[c];
+                    acc[2] += b[6 + c] * xb[c];
+                }
+            }
+            y[3 * br..3 * br + 3].copy_from_slice(&acc);
+            blocks += (self.row_ptr[br + 1] - self.row_ptr[br]) as u64;
+        }
+        flops::add(2 * 9 * blocks);
+    }
+
     /// `y = A x` parallelized over block rows.
     pub fn spmv_par(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols());

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Perf snapshot of the hot kernels: runs the criterion kernel + solve
 # microbenches (quick mode by default) and the bench_snapshot binary, which
-# writes BENCH_PR4.json with spmv/rap/assemble timings, the cold-vs-planned
-# speedups, the 1-thread-vs-pool thread-scaling section, the plan/pattern
-# reuse counters, and the comm section comparing the same spheres solve over
-# simulated ranks, 2 threaded ranks (in-process transport), and 2 socket
-# ranks (separate processes under pmg-launch) with real measured message
-# counts and per-phase wait times. The meta block records the pool size,
-# git SHA, and host core count so snapshots are comparable across machines.
+# writes BENCH_PR5.json with spmv/rap/assemble timings, the cold-vs-planned
+# speedups, the 1-thread-vs-pool thread-scaling section (marked degenerate
+# on 1-core hosts), the plan/pattern reuse counters, the comm section
+# comparing the same spheres solve over simulated ranks, 2 threaded ranks
+# (in-process transport), and 2 socket ranks (separate processes under
+# pmg-launch) with real measured message counts and per-phase wait times,
+# and the overlap section running the threaded and socket solves A/B with
+# the comm/compute overlap off vs on (blocked halo wait, hidden window,
+# interior/boundary row split, allreduce fusion). The meta block records
+# the pool size, git SHA, and host core count so snapshots are comparable
+# across machines.
 #
 # Knobs:
 #   PMG_THREADS          pool size for the thread-scaling section
@@ -32,11 +36,11 @@ echo "== criterion solve benches =="
 cargo bench --offline -p pmg-bench --bench solve
 
 echo
-echo "== bench_snapshot (PMG_THREADS=$PMG_THREADS) -> BENCH_PR4.json =="
+echo "== bench_snapshot (PMG_THREADS=$PMG_THREADS) -> BENCH_PR5.json =="
 # The socket data point launches a sibling spheres_rank binary; build it
 # first so bench_snapshot finds it next to itself in target/release.
 cargo build --release --offline --bin spheres_rank
 cargo run --release --offline -p pmg-bench --bin bench_snapshot
 
 echo
-echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR4.json}"
+echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR5.json}"

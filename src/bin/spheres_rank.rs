@@ -9,6 +9,12 @@
 //! convergence flag, and the solution / residual-history bit patterns for
 //! the parity test to compare against the simulated solve.
 //!
+//! `PMG_OVERLAP=0` disables the communication/computation overlap (and the
+//! fused PCG allreduce) for A/B wait-time measurements; the solve is
+//! bitwise identical either way. The rank-0 artifact records the overlap
+//! accounting on an `overlap <interior_rows> <boundary_rows> <hidden_s>`
+//! line.
+//!
 //! Exits 0 iff the solve converged.
 
 use pmg_comm::{bytes_to_f64s, f64s_to_bytes, SocketTransport, Transport};
@@ -37,11 +43,16 @@ fn main() -> ExitCode {
     let mut t = SocketTransport::connect_from_env()
         .expect("PMG_COMM_RANK/SIZE/DIR must be set (run under pmg-launch)");
 
+    let overlap = std::env::var("PMG_OVERLAP")
+        .map(|v| v != "0")
+        .unwrap_or(true);
+
     let sys = pmg_bench::spheres_first_solve(0);
     let opts = pmg_bench::parity_options(t.size());
     let solver = Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
     let layout = solver.mg.levels[0].a.row_layout().clone();
-    let h = RankHierarchy::extract(&solver.mg, t.rank());
+    let mut h = RankHierarchy::extract(&solver.mg, t.rank());
+    h.overlap = overlap;
 
     let bl: Vec<f64> = layout
         .owned(t.rank())
@@ -89,6 +100,12 @@ fn main() -> ExitCode {
                 f,
                 "waits {:.9} {:.9} {:.9}",
                 waits.halo_s, waits.allreduce_s, waits.coarse_s
+            )
+            .unwrap();
+            writeln!(
+                f,
+                "overlap {} {} {:.9}",
+                waits.interior_rows, waits.boundary_rows, waits.halo_hidden_s
             )
             .unwrap();
             for v in &x {

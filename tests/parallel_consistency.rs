@@ -129,12 +129,14 @@ fn block_jacobi_blocks_scale_with_local_size() {
 }
 
 /// Parse the `spheres_rank --out` artifact: iteration count, convergence
-/// flag, and solution / residual-history bit patterns.
-fn parse_rank_out(text: &str) -> (usize, bool, Vec<u64>, Vec<u64>) {
+/// flag, solution / residual-history bit patterns, and the interior-row
+/// count from the overlap accounting line.
+fn parse_rank_out(text: &str) -> (usize, bool, Vec<u64>, Vec<u64>, u64) {
     let mut iterations = 0usize;
     let mut converged = false;
     let mut x = Vec::new();
     let mut res = Vec::new();
+    let mut interior = 0u64;
     for line in text.lines() {
         let mut it = line.split_whitespace();
         match (it.next(), it.next()) {
@@ -142,12 +144,13 @@ fn parse_rank_out(text: &str) -> (usize, bool, Vec<u64>, Vec<u64>) {
             (Some("converged"), Some(v)) => converged = v == "1",
             (Some("x"), Some(v)) => x.push(u64::from_str_radix(v, 16).unwrap()),
             (Some("res"), Some(v)) => res.push(u64::from_str_radix(v, 16).unwrap()),
+            (Some("overlap"), Some(v)) => interior = v.parse().unwrap(),
             // Timing/traffic lines are for the bench snapshot, not parity.
             (Some("solve_s" | "stats" | "waits"), _) => {}
             _ => panic!("unexpected line in rank output: {line}"),
         }
     }
-    (iterations, converged, x, res)
+    (iterations, converged, x, res, interior)
 }
 
 #[test]
@@ -187,34 +190,56 @@ fn spheres_solve_bitwise_identical_across_transports() {
         }
     }
 
-    // Multi-process: launch 2 ranks of the worker binary over sockets.
+    // Multi-process: launch 2 ranks of the worker binary over sockets,
+    // once with the comm/compute overlap on (the default) and once forced
+    // off — both must reproduce the 2-rank simulated solve bitwise, and
+    // the overlapped run must actually have classified interior rows.
     let (ref_iters, ref_x, ref_res) = two_rank_reference.unwrap();
     let dir = std::env::temp_dir().join(format!("pmg-parity-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let out = dir.join("rank0.out");
-    let exits = pmg_comm::launch::launch(
-        2,
-        std::path::Path::new(env!("CARGO_BIN_EXE_spheres_rank")),
-        &["--out", out.to_str().unwrap()],
-        None,
-    )
-    .expect("launch 2 socket ranks");
-    assert!(
-        exits.iter().all(|e| e.status.success()),
-        "socket ranks failed: {exits:?}"
-    );
-    let (iters, converged, x_bits, res_bits) =
-        parse_rank_out(&std::fs::read_to_string(&out).unwrap());
-    std::fs::remove_dir_all(&dir).ok();
-    assert!(converged);
-    assert_eq!(iters, ref_iters, "socket iteration count");
-    assert_eq!(x_bits.len(), ref_x.len());
-    for (got, want) in x_bits.iter().zip(&ref_x) {
-        assert_eq!(*got, want.to_bits(), "socket solution bits");
-    }
-    assert_eq!(res_bits.len(), ref_res.len());
-    for (got, want) in res_bits.iter().zip(&ref_res) {
-        assert_eq!(*got, want.to_bits(), "socket residual bits");
+    for overlap in [true, false] {
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("rank0.out");
+        let exits = pmg_comm::launch::launch_with_env(
+            2,
+            std::path::Path::new(env!("CARGO_BIN_EXE_spheres_rank")),
+            &["--out", out.to_str().unwrap()],
+            None,
+            &[("PMG_OVERLAP", if overlap { "1" } else { "0" })],
+        )
+        .expect("launch 2 socket ranks");
+        assert!(
+            exits.iter().all(|e| e.status.success()),
+            "socket ranks failed (overlap={overlap}): {exits:?}"
+        );
+        let (iters, converged, x_bits, res_bits, interior) =
+            parse_rank_out(&std::fs::read_to_string(&out).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(converged);
+        assert_eq!(
+            iters, ref_iters,
+            "socket iteration count (overlap={overlap})"
+        );
+        assert_eq!(x_bits.len(), ref_x.len());
+        for (got, want) in x_bits.iter().zip(&ref_x) {
+            assert_eq!(
+                *got,
+                want.to_bits(),
+                "socket solution bits (overlap={overlap})"
+            );
+        }
+        assert_eq!(res_bits.len(), ref_res.len());
+        for (got, want) in res_bits.iter().zip(&ref_res) {
+            assert_eq!(
+                *got,
+                want.to_bits(),
+                "socket residual bits (overlap={overlap})"
+            );
+        }
+        if overlap {
+            assert!(interior > 0, "overlapped run classified no interior rows");
+        } else {
+            assert_eq!(interior, 0, "blocking run must report no overlap work");
+        }
     }
 }
 
