@@ -15,18 +15,27 @@
 //! communication/computation overlap off vs on (`PMG_OVERLAP`), recording
 //! the blocked halo wait, the hidden-behind-compute window, the
 //! interior/boundary row split, and the allreduce count so the wait-time
-//! reduction and the fused PCG collective are visible in one file.
-//! Everything lands in a hand-rolled JSON file (default `BENCH_PR5.json`,
+//! reduction and the fused PCG collective are visible in one file; and the
+//! PR-6 fine-operator section: the assembled fine-grid operator (scalar
+//! CSR plus its BSR3 promotion, both resident in the promoted form) vs
+//! the element-loop matrix-free operator A/B — bytes held by each
+//! backend, the memory ratio (assembled/matrix-free, the headline number:
+//! the matrix-free path drops the fine-grid values arrays entirely), and
+//! the per-apply wall times of all three.
+//! Everything lands in a hand-rolled JSON file (default `BENCH_PR6.json`,
 //! override with `PMG_BENCH_OUT`) whose `meta` block records the pool
 //! size, git SHA, and host core count so BENCH_*.json files are comparable
 //! across PRs and machines. On a single-core host the thread-scaling
-//! section is marked `"degenerate": true` and makes no speedup claims.
+//! section is marked `"degenerate": true` and makes no speedup claims;
+//! apply-time ratios in the fine-operator section are likewise recorded
+//! but never asserted — only the memory ratio is a hard claim.
 //!
 //! Knobs: `PMG_THREADS` pool size for the scaling section, `PMG_BENCH_K`
 //! ladder point (default 0 = tiny spheres), `PMG_BENCH_MS` per-measurement
 //! budget in milliseconds (default 200), `PMG_BENCH_ASSERT=1` exits
 //! nonzero unless planned RAP and pattern-reuse assembly are both >= 1.5x
-//! their cold baselines.
+//! their cold baselines and the matrix-free fine operator holds >= 2x less
+//! memory than the assembled fine operator's resident storage.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -34,6 +43,7 @@ use std::time::{Duration, Instant};
 
 use pmg_bench::spheres_first_solve;
 use pmg_fem::bc::constrain_system;
+use pmg_sparse::Operator;
 use prometheus::{
     classify_mesh, coarsen_level, CoarsenOptions, MgOptions, Prometheus, PrometheusOptions,
 };
@@ -164,7 +174,7 @@ fn git_sha() -> String {
 fn main() {
     let k = env_usize("PMG_BENCH_K", 0);
     let budget = Duration::from_millis(env_usize("PMG_BENCH_MS", 200) as u64);
-    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
     let threads = rayon::current_num_threads();
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -185,6 +195,29 @@ fn main() {
     let mut y = vec![0.0; ndof];
     let spmv_csr = time_min(budget, || sys.matrix.spmv(black_box(&x), &mut y));
     let spmv_bsr = time_min(budget, || bsr.spmv(black_box(&x), &mut y));
+
+    // --- Fine operator A/B: assembled vs matrix-free --------------------
+    // The serial element-loop operator equivalent to the fine-grid matrix
+    // (same tangent, same Dirichlet rows). Memory is the headline, and the
+    // comparison is against what the assembled fine-grid operator actually
+    // keeps resident: the BSR3 promotion stores the blocked tiles *and*
+    // keeps the scalar CSR alongside (block-Jacobi factors the scalar
+    // diagonal — see `DistMatrix::try_block3`), so the assembled apply
+    // representation is csr + bsr3 bytes. The matrix-free mode skips the
+    // promotion and replaces all of it with cached per-element geometry,
+    // Gauss-point tangents, and scatter maps — no values array at all.
+    // (Both modes retain the unpromoted scalar CSR one level up for the
+    // Galerkin RAP, so that term cancels out of the A/B.) The ratio is
+    // asserted under PMG_BENCH_ASSERT. Apply times are recorded honestly
+    // but never asserted — on-the-fly element products trade flops for
+    // bytes and lose on small single-core problems.
+    let mf = sys.matrix_free();
+    let apply_mf = time_min(budget, || mf.apply(black_box(&x), &mut y));
+    let csr_bytes = sys.matrix.memory_bytes();
+    let bsr3_bytes = bsr.memory_bytes();
+    let assembled_resident = csr_bytes + bsr3_bytes;
+    let mf_bytes = mf.memory_bytes();
+    let memory_ratio = assembled_resident as f64 / mf_bytes as f64;
 
     // --- RAP: cold symbolic+numeric vs planned numeric-only -------------
     let graph = sys.mesh.vertex_graph();
@@ -386,6 +419,16 @@ fn main() {
     writeln!(j, "    \"bsr3_s\": {spmv_bsr:.9},").unwrap();
     writeln!(j, "    \"bsr3_speedup\": {spmv_speedup:.3}").unwrap();
     writeln!(j, "  }},").unwrap();
+    writeln!(j, "  \"fine_operator\": {{").unwrap();
+    writeln!(j, "    \"assembled_csr_bytes\": {csr_bytes},").unwrap();
+    writeln!(j, "    \"assembled_bsr3_bytes\": {bsr3_bytes},").unwrap();
+    writeln!(j, "    \"assembled_resident_bytes\": {assembled_resident},").unwrap();
+    writeln!(j, "    \"matrixfree_bytes\": {mf_bytes},").unwrap();
+    writeln!(j, "    \"memory_ratio\": {memory_ratio:.3},").unwrap();
+    writeln!(j, "    \"apply_csr_s\": {spmv_csr:.9},").unwrap();
+    writeln!(j, "    \"apply_bsr3_s\": {spmv_bsr:.9},").unwrap();
+    writeln!(j, "    \"apply_matrixfree_s\": {apply_mf:.9}").unwrap();
+    writeln!(j, "  }},").unwrap();
     writeln!(j, "  \"rap\": {{").unwrap();
     writeln!(j, "    \"cold_s\": {rap_cold:.9},").unwrap();
     writeln!(j, "    \"planned_s\": {rap_planned:.9},").unwrap();
@@ -547,6 +590,10 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write bench snapshot");
 
     println!("spmv      csr {spmv_csr:.3e}s  bsr3 {spmv_bsr:.3e}s  ({spmv_speedup:.2}x)");
+    println!(
+        "fine op   assembled {assembled_resident} B (csr {csr_bytes} + bsr3 {bsr3_bytes})  \
+         matrix-free {mf_bytes} B ({memory_ratio:.2}x less memory; apply {apply_mf:.3e}s)"
+    );
     println!("rap       cold {rap_cold:.3e}s  planned {rap_planned:.3e}s  ({rap_speedup:.2}x)");
     println!("assemble  cold {asm_cold:.3e}s  reuse {asm_warm:.3e}s  ({asm_speedup:.2}x)");
     if degenerate {
@@ -610,6 +657,11 @@ fn main() {
         assert!(
             asm_speedup >= 1.5,
             "pattern-reuse assembly only {asm_speedup:.2}x vs cold (need >= 1.5x)"
+        );
+        assert!(
+            memory_ratio >= 2.0,
+            "matrix-free fine operator only {memory_ratio:.2}x smaller than the \
+             assembled matrix (need >= 2x)"
         );
     }
 }

@@ -59,6 +59,19 @@ pub struct FirstSolveSystem {
     pub matrix: CsrMatrix,
     pub rhs: Vec<f64>,
     pub problem: SpheresProblem,
+    /// Constrained dofs (the Dirichlet rows of `matrix`).
+    pub fixed: Vec<u32>,
+    /// Diagonal scale `constrain_system` placed on those rows.
+    pub scale: f64,
+}
+
+impl FirstSolveSystem {
+    /// The element-loop operator equivalent to `matrix`: same Dirichlet
+    /// rows, same tangent (at zero displacement), no assembled rows.
+    pub fn matrix_free(&self) -> pmg_fem::MatFreeOperator {
+        let zeros = vec![0.0; self.mesh.num_dof()];
+        pmg_fem::MatFreeOperator::new(&self.problem.fem, &zeros, &self.fixed, self.scale)
+    }
 }
 
 /// Build ladder point `k`'s first-solve system (`k = 0` selects the tiny
@@ -74,13 +87,16 @@ pub fn spheres_first_solve(k: usize) -> FirstSolveSystem {
     let ndof = mesh.num_dof();
     let (kmat, r) = problem.fem.assemble(&vec![0.0; ndof]);
     let bcs = problem.bcs_for_step(1, 10);
-    let fixed: Vec<(u32, f64)> = bcs.iter().map(|b| (b.dof, b.value)).collect();
-    let (matrix, rhs) = constrain_system(&kmat, &r, &fixed);
+    let fixed_pairs: Vec<(u32, f64)> = bcs.iter().map(|b| (b.dof, b.value)).collect();
+    let (matrix, rhs) = constrain_system(&kmat, &r, &fixed_pairs);
+    let scale = pmg_fem::bc::constraint_scale(&kmat, &fixed_pairs);
     FirstSolveSystem {
         mesh,
         matrix,
         rhs,
         problem,
+        fixed: fixed_pairs.iter().map(|&(d, _)| d).collect(),
+        scale,
     }
 }
 
@@ -101,6 +117,28 @@ pub fn parity_options(nranks: usize) -> prometheus::PrometheusOptions {
             ..Default::default()
         },
         ..Default::default()
+    }
+}
+
+/// Build the parity solver on whichever fine-operator backend
+/// `PMG_FINE_OP` selects. The consistency tests and the `spheres_rank`
+/// worker both construct through here, so a matrix run with
+/// `PMG_FINE_OP=matrixfree` exercises the element-loop fine apply across
+/// every transport without touching the callers.
+pub fn parity_solver(
+    sys: &FirstSolveSystem,
+    opts: prometheus::PrometheusOptions,
+) -> prometheus::Prometheus {
+    match prometheus::FineOperator::from_env() {
+        prometheus::FineOperator::MatrixFree => {
+            let mut opts = opts;
+            opts.mg.fine_operator = prometheus::FineOperator::MatrixFree;
+            let mf = sys.matrix_free();
+            prometheus::Prometheus::from_mesh_matrix_free(&sys.mesh, &sys.matrix, opts, &mf)
+        }
+        prometheus::FineOperator::Assembled => {
+            prometheus::Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts)
+        }
     }
 }
 

@@ -44,7 +44,7 @@ pub use classify::{
 };
 pub use coarsen::{coarsen_level, CoarseLevel, CoarsenOptions};
 pub use inspect::{classify_mesh_levels, tets_to_obj, LevelInfo};
-pub use mg::{CycleType, MgHierarchy, MgOptions};
+pub use mg::{CycleType, FineOperator, MgHierarchy, MgOptions};
 pub use mis::{greedy_mis, parallel_mis, parallel_mis_transport, MisOrdering};
 pub use sa::{build_sa_hierarchy, SaOptions};
 pub use solver::{Prometheus, PrometheusOptions, SolveSummary};

@@ -4,10 +4,10 @@
 use crate::classify::VertexClasses;
 use crate::coarsen::{coarsen_level, CoarseLevel, CoarsenOptions};
 use pmg_geometry::Vec3;
-use pmg_parallel::{DistMatrix, DistVec, Layout, Sim};
+use pmg_parallel::{DistMatFree, DistMatrix, DistVec, Layout, Sim, SimOperator};
 use pmg_partition::{recursive_coordinate_bisection, Graph};
 use pmg_solver::{BlockJacobi, Chebyshev, CoarseDirect, Precond};
-use pmg_sparse::{CooBuilder, CsrMatrix, RapPlan};
+use pmg_sparse::{CooBuilder, CsrMatrix, MatrixFreeFactory, RapPlan};
 use std::sync::Arc;
 
 /// Multigrid cycle used as the CG preconditioner.
@@ -34,6 +34,36 @@ pub enum SmootherType {
     Chebyshev { degree: usize },
 }
 
+/// Which backend applies the fine-grid (level 0) operator during the
+/// solve. Coarse Galerkin levels are always assembled — they are small,
+/// reused by RAP, and their sparsity is the product pattern, not an
+/// element loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FineOperator {
+    /// Assembled CSR (promoted to BSR3 for 3-dof problems): the default.
+    #[default]
+    Assembled,
+    /// Element-loop on-the-fly apply: the fine matrix is never promoted
+    /// to BSR3 and the solve-time `A x` walks the element geometry
+    /// instead of assembled rows. Requires a
+    /// [`MatrixFreeFactory`] at build time (see
+    /// [`MgHierarchy::build_with_factory`]).
+    MatrixFree,
+}
+
+impl FineOperator {
+    /// Read the backend from `PMG_FINE_OP` (`matrixfree` / `mf` selects
+    /// the matrix-free path; anything else, or unset, is assembled).
+    pub fn from_env() -> FineOperator {
+        match std::env::var("PMG_FINE_OP") {
+            Ok(v) if v.eq_ignore_ascii_case("matrixfree") || v.eq_ignore_ascii_case("mf") => {
+                FineOperator::MatrixFree
+            }
+            _ => FineOperator::Assembled,
+        }
+    }
+}
+
 /// A smoother bound to one grid level.
 pub enum Smoother {
     BlockJacobi(BlockJacobi),
@@ -52,11 +82,14 @@ impl Smoother {
         }
     }
 
-    /// `sweeps` stationary smoothing passes on `A x = b`.
+    /// `sweeps` stationary smoothing passes on `A x = b`. The operator is
+    /// only *applied* here, so assembled and matrix-free backends are both
+    /// accepted; the smoother's setup-time factorizations always come from
+    /// the assembled matrix handed to `Smoother::build`.
     pub fn smooth(
         &self,
         sim: &mut Sim,
-        a: &DistMatrix,
+        a: &dyn SimOperator,
         b: &DistVec,
         x: &mut DistVec,
         sweeps: usize,
@@ -90,6 +123,8 @@ pub struct MgOptions {
     /// Route 3-dof level operators through 3x3 BSR storage (numerically
     /// identical to the scalar path; off only for A/B comparisons).
     pub block3: bool,
+    /// Fine-grid (level 0) apply backend; see [`FineOperator`].
+    pub fine_operator: FineOperator,
     /// Thread-pool size for this solver's parallel kernels. `None` uses
     /// the process-global pool (sized by `PMG_THREADS`); `Some(n)` gives
     /// the solver a dedicated pool of `n` threads. Results are bitwise
@@ -111,6 +146,7 @@ impl Default for MgOptions {
             smoother: SmootherType::BlockJacobi,
             coarsen: CoarsenOptions::default(),
             block3: true,
+            fine_operator: FineOperator::Assembled,
             threads: None,
         }
     }
@@ -147,6 +183,12 @@ pub struct MgHierarchy {
     /// Per-level coarsening diagnostics (level 1..): selected counts, lost
     /// vertices.
     pub coarsen_info: Vec<(usize, usize)>,
+    /// Matrix-free fine-grid apply (`Some` iff
+    /// `opts.fine_operator == MatrixFree`). The assembled `levels[0].a`
+    /// is still kept — Galerkin products and smoother factorizations need
+    /// it — but every solve-time level-0 `A x` routes through this
+    /// operator instead.
+    pub fine_mf: Option<DistMatFree>,
 }
 
 /// Expand a scalar (per-vertex) restriction to `dofs` unknowns per vertex.
@@ -180,6 +222,27 @@ impl MgHierarchy {
         classes: &VertexClasses,
         opts: MgOptions,
     ) -> MgHierarchy {
+        Self::build_with_factory(sim, a_fine, coords, graph, classes, opts, None)
+    }
+
+    /// [`build`](Self::build), plus an optional matrix-free factory for
+    /// the fine-grid apply. Required when
+    /// `opts.fine_operator == FineOperator::MatrixFree`: once the fine
+    /// layout is partitioned, the factory builds one element-loop kernel
+    /// per rank and the hierarchy routes every solve-time level-0 `A x`
+    /// through them (the assembled fine matrix stays — in scalar CSR form
+    /// only, never promoted to BSR3 — for Galerkin products and smoother
+    /// factorizations).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_factory(
+        sim: &mut Sim,
+        a_fine: &CsrMatrix,
+        coords: &[Vec3],
+        graph: &Graph,
+        classes: &VertexClasses,
+        opts: MgOptions,
+        factory: Option<&dyn MatrixFreeFactory>,
+    ) -> MgHierarchy {
         let nranks = sim.num_ranks();
         let dofs = opts.dofs_per_vertex;
         assert_eq!(a_fine.nrows(), coords.len() * dofs);
@@ -191,8 +254,12 @@ impl MgHierarchy {
         };
         // Level operators of 3-dof displacement problems run blocked
         // (BSR3); R/P and scalar problems stay on the scalar CSR path.
-        let make_da = move |a: &CsrMatrix, l: &Arc<Layout>| -> DistMatrix {
-            if dofs == 3 && opts.block3 {
+        // A matrix-free fine grid skips the promotion: its assembled copy
+        // is only read by RAP and the smoother setup, so carrying a second
+        // (BSR3) image of the largest matrix would waste exactly the
+        // memory the matrix-free path exists to save.
+        let make_da = move |a: &CsrMatrix, l: &Arc<Layout>, promote: bool| -> DistMatrix {
+            if promote && dofs == 3 && opts.block3 {
                 DistMatrix::from_global_blocked(a, l.clone(), l.clone())
             } else {
                 DistMatrix::from_global(a, l.clone(), l.clone())
@@ -213,6 +280,7 @@ impl MgHierarchy {
         loop {
             let n = cur_a.nrows();
             let lvl_index = levels.len();
+            let promote = lvl_index != 0 || opts.fine_operator == FineOperator::Assembled;
             total_nnz += cur_a.nnz();
             if pmg_telemetry::enabled() {
                 pmg_telemetry::gauge_set(&format!("mg/level{lvl_index}/rows"), n as f64);
@@ -224,7 +292,7 @@ impl MgHierarchy {
 
             if at_bottom {
                 sim.phase("matrix setup");
-                let da = make_da(&cur_a, &cur_layout);
+                let da = make_da(&cur_a, &cur_layout, promote);
                 let smoother = {
                     let _t = pmg_telemetry::scope("smoother");
                     Smoother::build(sim, &da, &opts)
@@ -264,7 +332,7 @@ impl MgHierarchy {
             if nc * 100 >= cur_coords.len() * 95 || nc < 4 {
                 // Coarsening stalled: finish with a direct solve here.
                 sim.phase("matrix setup");
-                let da = make_da(&cur_a, &cur_layout);
+                let da = make_da(&cur_a, &cur_layout, promote);
                 let smoother = {
                     let _t = pmg_telemetry::scope("smoother");
                     Smoother::build(sim, &da, &opts)
@@ -300,7 +368,7 @@ impl MgHierarchy {
                 })
             };
             let coarse_layout = make_layout(&cl.coords);
-            let da = make_da(&cur_a, &cur_layout);
+            let da = make_da(&cur_a, &cur_layout, promote);
             let dr = DistMatrix::from_global(&r_dof, coarse_layout.clone(), cur_layout.clone());
             let dp = DistMatrix::from_global(
                 &r_dof.transpose(),
@@ -340,10 +408,45 @@ impl MgHierarchy {
                 total_nnz as f64 / fine_nnz.max(1) as f64,
             );
         }
+        let fine_mf = if opts.fine_operator == FineOperator::MatrixFree {
+            let factory = factory.expect(
+                "MgOptions.fine_operator = MatrixFree needs a matrix-free factory: \
+                 call MgHierarchy::build_with_factory (or Prometheus::from_mesh, which \
+                 wires the FEM element loop in automatically)",
+            );
+            sim.phase("matrix setup");
+            let mf = {
+                let _t = pmg_telemetry::scope("matfree_setup");
+                DistMatFree::from_factory(levels[0].a.row_layout().clone(), factory)
+            };
+            Some(mf)
+        } else {
+            None
+        };
         MgHierarchy {
             levels,
             opts,
             coarsen_info,
+            fine_mf,
+        }
+    }
+
+    /// The operator PCG and the cycles apply on the finest grid: the
+    /// matrix-free kernels when installed, the assembled matrix otherwise.
+    pub fn fine_op(&self) -> &dyn SimOperator {
+        match &self.fine_mf {
+            Some(mf) => mf,
+            None => &self.levels[0].a,
+        }
+    }
+
+    /// The apply operator for level `lvl` (level 0 routes through
+    /// [`fine_op`](Self::fine_op)).
+    pub fn level_op(&self, lvl: usize) -> &dyn SimOperator {
+        if lvl == 0 {
+            self.fine_op()
+        } else {
+            &self.levels[lvl].a
         }
     }
 
@@ -359,6 +462,10 @@ impl MgHierarchy {
     /// A pattern change is detected and the plan rebuilt transparently.
     pub fn update_operator(&mut self, sim: &mut Sim, a_fine: &CsrMatrix) {
         sim.phase("matrix setup");
+        // Any installed matrix-free kernels linearize the *previous*
+        // operator; drop them so the hierarchy falls back to the fresh
+        // assembled matrix until install_fine_matrix_free is called again.
+        self.fine_mf = None;
         let dofs = self.opts.dofs_per_vertex;
         let mut cur = a_fine.clone();
         for lvl in 0..self.levels.len() {
@@ -368,7 +475,8 @@ impl MgHierarchy {
                 row_layout.num_global(),
                 "operator size changed"
             );
-            let da = if dofs == 3 && self.opts.block3 {
+            let promote = lvl != 0 || self.opts.fine_operator == FineOperator::Assembled;
+            let da = if promote && dofs == 3 && self.opts.block3 {
                 DistMatrix::from_global_blocked(&cur, row_layout.clone(), row_layout)
             } else {
                 DistMatrix::from_global(&cur, row_layout.clone(), row_layout)
@@ -403,6 +511,19 @@ impl MgHierarchy {
             }
         }
         charge_setup_flops(sim);
+    }
+
+    /// (Re-)install the matrix-free fine-grid apply from a factory built
+    /// at the current linearization point.
+    /// [`update_operator`](Self::update_operator) drops the previous
+    /// kernels (they froze the old tangent); call this after it to put
+    /// the solve back on the matrix-free path.
+    pub fn install_fine_matrix_free(&mut self, factory: &dyn MatrixFreeFactory) {
+        let _t = pmg_telemetry::scope("matfree_setup");
+        self.fine_mf = Some(DistMatFree::from_factory(
+            self.levels[0].a.row_layout().clone(),
+            factory,
+        ));
     }
 
     pub fn num_levels(&self) -> usize {
@@ -443,7 +564,7 @@ impl MgHierarchy {
             let _t = pmg_telemetry::scoped!("level{lvl}/smooth");
             level
                 .smoother
-                .smooth(sim, &level.a, r, &mut x, self.opts.pre_smooth);
+                .smooth(sim, self.level_op(lvl), r, &mut x, self.opts.pre_smooth);
         }
 
         let rmat = level.r.as_ref().expect("non-coarsest level has R");
@@ -453,7 +574,7 @@ impl MgHierarchy {
             {
                 let _t = pmg_telemetry::scoped!("level{lvl}/restrict");
                 let mut res = DistVec::zeros(r.layout().clone());
-                level.a.spmv(sim, &x, &mut res);
+                self.level_op(lvl).spmv(sim, &x, &mut res);
                 res.aypx(sim, -1.0, r); // res = r - A x
                 rmat.spmv(sim, &res, &mut rc);
             }
@@ -473,7 +594,7 @@ impl MgHierarchy {
             let _t = pmg_telemetry::scoped!("level{lvl}/smooth");
             level
                 .smoother
-                .smooth(sim, &level.a, r, &mut x, self.opts.post_smooth);
+                .smooth(sim, self.level_op(lvl), r, &mut x, self.opts.post_smooth);
         }
         x
     }
@@ -515,7 +636,7 @@ impl MgHierarchy {
             }
             // Residual on this grid, then V-cycle correction.
             let mut res = DistVec::zeros(xf.layout().clone());
-            self.levels[lvl].a.spmv(sim, &xf, &mut res);
+            self.level_op(lvl).spmv(sim, &xf, &mut res);
             res.aypx(sim, -1.0, &rs[lvl]);
             let corr = self.vcycle(sim, lvl, &res);
             xf.axpy(sim, 1.0, &corr);

@@ -304,6 +304,7 @@ pub fn build_sa_hierarchy(
         levels,
         opts: opts.mg,
         coarsen_info,
+        fine_mf: None,
     }
 }
 

@@ -9,7 +9,7 @@ use pmg_mesh::Mesh;
 use pmg_parallel::{DistVec, MachineModel, PhaseStats, Sim};
 use pmg_partition::Graph;
 use pmg_solver::{pcg, PcgOptions, PcgResult};
-use pmg_sparse::CsrMatrix;
+use pmg_sparse::{CsrMatrix, MatrixFreeFactory};
 use std::collections::BTreeMap;
 
 /// Solver configuration.
@@ -95,6 +95,43 @@ impl Prometheus {
         }
     }
 
+    /// [`from_mesh`](Self::from_mesh) with a matrix-free factory for the
+    /// fine-grid apply. Pass `MgOptions { fine_operator: MatrixFree, .. }`
+    /// to route every solve-time level-0 `A x` through the factory's
+    /// element-loop kernels; the assembled `a` is still consumed for the
+    /// Galerkin coarse grids and the smoother factorizations.
+    pub fn from_mesh_matrix_free(
+        mesh: &Mesh,
+        a: &CsrMatrix,
+        opts: PrometheusOptions,
+        factory: &dyn MatrixFreeFactory,
+    ) -> Prometheus {
+        let _t = pmg_telemetry::scope("setup");
+        let pool = pool_for(&opts);
+        let (sim, mg) = on_pool(&pool, || {
+            let mut sim = Sim::new(opts.nranks, opts.model);
+            sim.phase("mesh setup");
+            let graph = mesh.vertex_graph();
+            let classes = crate::classify::classify_mesh_parallel(mesh, opts.face_tol, opts.nranks);
+            let mg = MgHierarchy::build_with_factory(
+                &mut sim,
+                a,
+                &mesh.coords,
+                &graph,
+                &classes,
+                opts.mg,
+                Some(factory),
+            );
+            (sim, mg)
+        });
+        Prometheus {
+            sim,
+            mg,
+            opts,
+            pool,
+        }
+    }
+
     /// Build from raw grid data (coords + vertex graph + classification).
     pub fn from_graph(
         a: &CsrMatrix,
@@ -135,7 +172,7 @@ impl Prometheus {
             };
             let res = pcg(
                 &mut self.sim,
-                &self.mg.levels[0].a,
+                self.mg.fine_op(),
                 &self.mg,
                 &db,
                 &mut dx,

@@ -20,7 +20,7 @@
 
 use crate::mg::{CycleType, MgHierarchy, Smoother};
 use pmg_comm::{bytes_to_f64s, f64s_to_bytes, CommError, CommStats, LocalTransport, Transport};
-use pmg_parallel::{Layout, RankOp};
+use pmg_parallel::{Layout, MfRankOp, OverlapInfo, RankOp};
 use pmg_solver::{CoarseDirect, PcgOptions, PcgResult, RankSmoother};
 use pmg_sparse::vector;
 use std::sync::Arc;
@@ -61,11 +61,49 @@ impl PhaseWaits {
     }
 }
 
+/// One rank's level/restriction/prolongation apply: assembled rows or the
+/// matrix-free element kernel. Both backends run the identical two-phase
+/// interior-then-boundary schedule with the same halo plan, so the
+/// blocking and overlapped paths dispatch through here without changing
+/// the bitwise contract of either.
+enum LevelOp<'a> {
+    Mat(RankOp<'a>),
+    MatFree(MfRankOp<'a>),
+}
+
+impl LevelOp<'_> {
+    fn local_rows(&self) -> usize {
+        match self {
+            LevelOp::Mat(op) => op.local_rows(),
+            LevelOp::MatFree(op) => op.local_rows(),
+        }
+    }
+
+    fn spmv<T: Transport>(&self, t: &mut T, x: &[f64], y: &mut [f64]) -> Result<(), CommError> {
+        match self {
+            LevelOp::Mat(op) => op.spmv(t, x, y),
+            LevelOp::MatFree(op) => op.spmv(t, x, y),
+        }
+    }
+
+    fn spmv_overlapped<T: Transport>(
+        &self,
+        t: &mut T,
+        x: &[f64],
+        y: &mut [f64],
+    ) -> Result<OverlapInfo, CommError> {
+        match self {
+            LevelOp::Mat(op) => op.spmv_overlapped(t, x, y),
+            LevelOp::MatFree(op) => op.spmv_overlapped(t, x, y),
+        }
+    }
+}
+
 /// One rank's borrowed view of one grid level.
 struct RankLevel<'a> {
-    a: RankOp<'a>,
-    r: Option<RankOp<'a>>,
-    p: Option<RankOp<'a>>,
+    a: LevelOp<'a>,
+    r: Option<LevelOp<'a>>,
+    p: Option<LevelOp<'a>>,
     smoother: RankSmoother<'a>,
     coarse: Option<&'a CoarseDirect>,
     layout: &'a Arc<Layout>,
@@ -113,10 +151,18 @@ impl<'a> RankHierarchy<'a> {
                         panic!("SPMD execution supports the block-Jacobi smoother only")
                     }
                 };
+                // The fine grid routes through the matrix-free kernels
+                // when the hierarchy has them installed; the tag and the
+                // halo plan are the same either way (the kernels' ghost
+                // sets match the assembled matrix by construction).
+                let a = match &mg.fine_mf {
+                    Some(mf) if lvl == 0 => LevelOp::MatFree(mf.rank_op(rank, ta)),
+                    _ => LevelOp::Mat(level.a.rank_op(rank, ta)),
+                };
                 RankLevel {
-                    a: level.a.rank_op(rank, ta),
-                    r: level.r.as_ref().map(|m| m.rank_op(rank, tr)),
-                    p: level.p.as_ref().map(|m| m.rank_op(rank, tp)),
+                    a,
+                    r: level.r.as_ref().map(|m| LevelOp::Mat(m.rank_op(rank, tr))),
+                    p: level.p.as_ref().map(|m| LevelOp::Mat(m.rank_op(rank, tp))),
                     smoother,
                     coarse: level.coarse.as_ref(),
                     layout: level.a.row_layout(),
@@ -289,7 +335,7 @@ impl<'a> RankHierarchy<'a> {
 fn halo_spmv<T: Transport>(
     t: &mut T,
     w: &mut PhaseWaits,
-    op: &RankOp<'_>,
+    op: &LevelOp<'_>,
     overlap: bool,
     x: &[f64],
     y: &mut [f64],

@@ -39,8 +39,11 @@ pub struct FemProblem {
     /// (`det == 0` marks an inverted element, skipped during integration).
     /// Pure geometry — depends on coordinates only, not on displacement —
     /// so it survives every Newton iteration and is rebuilt only when
-    /// [`coords_fingerprint`] says the mesh moved.
-    geom: Vec<f64>,
+    /// [`coords_fingerprint`] says the mesh moved. Shared (`Arc`) so
+    /// matrix-free operators can walk the same buffer without cloning
+    /// per-element gradient data; a rebuild installs a fresh `Arc` and
+    /// never mutates a buffer an operator may still hold.
+    geom: Arc<Vec<f64>>,
     coords_fp: u64,
 }
 
@@ -75,7 +78,7 @@ impl FemProblem {
         };
         let geom = {
             let _t = pmg_telemetry::scope("geom");
-            build_geom(&mesh, &quad)
+            Arc::new(build_geom(&mesh, &quad))
         };
         let coords_fp = coords_fingerprint(&mesh.coords);
         pmg_telemetry::gauge_set("fem/ndof", mesh.num_dof() as f64);
@@ -122,7 +125,7 @@ impl FemProblem {
         if fp != self.coords_fp {
             let _t = pmg_telemetry::scope("geom");
             pmg_telemetry::counter_add("assembly/geom_rebuild", 1);
-            self.geom = build_geom(&self.mesh, &self.quad);
+            self.geom = Arc::new(build_geom(&self.mesh, &self.quad));
             self.coords_fp = fp;
         }
 
@@ -132,7 +135,7 @@ impl FemProblem {
         let mesh = &self.mesh;
         let materials = &self.materials;
         let quad = &self.quad;
-        let geom = &self.geom;
+        let geom: &[f64] = &self.geom;
         let stride = self.stride;
         let scatter = &self.scatter;
         let kv = k.vals_mut();
@@ -215,6 +218,37 @@ impl FemProblem {
     /// Promote the trial history to committed (end of a converged step).
     pub fn commit(&mut self) {
         self.committed.copy_from_slice(&self.trial);
+    }
+
+    /// The shape-gradient geometry cache, shared without cloning: per
+    /// (element, Gauss point), `3*nv` physical gradient components then the
+    /// Jacobian determinant (`det == 0` marks an inverted element). Layout
+    /// stride is `3 * nv + 1`; see [`FemProblem::assemble`]. The `Arc` is
+    /// replaced (not mutated) when the coordinates move, so holders always
+    /// see a consistent snapshot.
+    pub fn geometry(&self) -> &Arc<Vec<f64>> {
+        &self.geom
+    }
+
+    /// The quadrature rule every element integrates with.
+    pub fn quad_points(&self) -> &[QuadPoint] {
+        &self.quad
+    }
+
+    /// The material table (`mesh.materials[e]` indexes into it).
+    pub fn material_table(&self) -> &[Arc<dyn Material>] {
+        &self.materials
+    }
+
+    /// Per-Gauss-point history stride (0 for stateless materials).
+    pub fn state_stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Committed Gauss-point history (`element * quad * stride` layout) —
+    /// the state Newton linearizes from.
+    pub fn committed_state(&self) -> &[f64] {
+        &self.committed
     }
 
     /// Fraction of Gauss points of elements with material `mat_id` whose

@@ -34,16 +34,7 @@ pub fn constrain_system(k: &CsrMatrix, r: &[f64], fixed: &[(u32, f64)]) -> (CsrM
     let mut rhs: Vec<f64> = r.iter().map(|v| -v).collect();
 
     // Diagonal scale for the identity rows (conditioning).
-    let diag = k.diag();
-    let mut scale = 0.0;
-    let mut cnt = 0usize;
-    for (i, &d) in diag.iter().enumerate() {
-        if !is_fixed[i] && d != 0.0 {
-            scale += d.abs();
-            cnt += 1;
-        }
-    }
-    let scale = if cnt > 0 { scale / cnt as f64 } else { 1.0 };
+    let scale = constraint_scale(k, fixed);
 
     // Direct CSR construction (column order within a row is preserved by
     // filtering; fixed rows become a single diagonal entry).
@@ -70,6 +61,33 @@ pub fn constrain_system(k: &CsrMatrix, r: &[f64], fixed: &[(u32, f64)]) -> (CsrM
         row_ptr.push(col_idx.len());
     }
     (CsrMatrix::from_parts(n, n, row_ptr, col_idx, vals), rhs)
+}
+
+/// The diagonal scale [`constrain_system`] puts on constrained rows: the
+/// mean `|diag|` over free dofs with a nonzero diagonal (1.0 if none).
+/// Exposed so alternative operator representations (e.g. the matrix-free
+/// apply) can treat Dirichlet rows *bitwise* identically to the assembled
+/// path.
+pub fn constraint_scale(k: &CsrMatrix, fixed: &[(u32, f64)]) -> f64 {
+    let n = k.nrows();
+    let mut is_fixed = vec![false; n];
+    for &(d, _) in fixed {
+        is_fixed[d as usize] = true;
+    }
+    let diag = k.diag();
+    let mut scale = 0.0;
+    let mut cnt = 0usize;
+    for (i, &d) in diag.iter().enumerate() {
+        if !is_fixed[i] && d != 0.0 {
+            scale += d.abs();
+            cnt += 1;
+        }
+    }
+    if cnt > 0 {
+        scale / cnt as f64
+    } else {
+        1.0
+    }
 }
 
 #[cfg(test)]

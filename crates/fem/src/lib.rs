@@ -26,6 +26,7 @@ pub mod athena;
 pub mod bc;
 pub mod mass;
 pub mod material;
+pub mod matfree;
 pub mod newton;
 pub mod problem;
 pub mod rediscretize;
@@ -36,6 +37,7 @@ pub use athena::{assemble_distributed, partition_mesh, SubMesh};
 pub use bc::DirichletBc;
 pub use mass::{consistent_mass, lumped_mass};
 pub use material::{J2Plasticity, LinearElastic, Material, NeoHookean};
+pub use matfree::{MatFreeOperator, MfRankKernel};
 pub use newton::{NewtonDriver, NewtonOptions, NewtonStats};
 pub use problem::{spheres_problem, table1_materials, SpheresProblem};
 pub use rediscretize::{assemble_tet_operator, TetOperatorCache};

@@ -116,7 +116,7 @@ fn inv3(m: &Mat3, det: f64) -> Mat3 {
 }
 
 /// Isotropic elastic tangent `λ δij δkl + μ (δik δjl + δil δjk)`.
-fn elastic_tangent(lambda: f64, mu: f64) -> Tangent {
+pub(crate) fn elastic_tangent(lambda: f64, mu: f64) -> Tangent {
     let mut a = Tangent::zero();
     for i in 0..3 {
         for j in 0..3 {

@@ -1,0 +1,726 @@
+//! Matrix-free application of the constrained tangent stiffness.
+//!
+//! Instead of assembling CSR/BSR3 and multiplying stored values, the
+//! product `y = K̂ x` is computed by an on-the-fly element loop that walks
+//! the same coords-fingerprinted shape-gradient geometry cache the
+//! assembler uses ([`FemProblem::geometry`], shared by `Arc` — never
+//! cloned): per Gauss point, form the gradient `G = ∂x/∂X` of the input
+//! field, contract it with the material tangent, and scatter
+//! `∫ ∇Nᵀ : A : G` back to the owned rows. The tangent is linearized at a
+//! fixed displacement/history snapshot when the operator is built
+//! (`respond` runs once per Gauss point at construction, exactly as one
+//! assembly would):
+//!
+//! * Gauss points whose tangent is *bitwise* the isotropic elastic tensor
+//!   `λ δiJ δkL + μ (δik δJL + δiL δJk)` — every point of the spheres
+//!   problem at the first Newton linearization — store just `(λ·w, μ·w)`
+//!   (16 bytes) and use a closed-form contraction;
+//! * any other point stores the full weighted 81-component tangent, so the
+//!   operator is exact at arbitrary displacement/history states too.
+//!
+//! Dirichlet rows are treated bitwise identically to
+//! [`constrain_system`](crate::bc::constrain_system): constrained sources
+//! gather as zero, constrained rows scatter nothing and end as
+//! `y[i] = scale · x[i]` with the same [`constraint_scale`](crate::bc::constraint_scale) value.
+//!
+//! # Determinism
+//!
+//! Element contributions are computed in parallel chunks but scattered
+//! serially in a fixed element order (the assembler's scheme), so the
+//! result is bitwise identical for every `PMG_THREADS`. Each rank applies
+//! interior elements (no ghost dofs) in ascending order, then boundary
+//! elements in ascending order — the same order whether the halo exchange
+//! is blocking or overlapped, so every transport/schedule combination of
+//! `pmg-parallel` reproduces the same bits at a fixed rank layout.
+//!
+//! Telemetry: counts `op/mf_elements` (element loops executed),
+//! `op/mf_flops` and `op/mf_bytes` (estimated bytes touched) per apply.
+
+use crate::assembly::FemProblem;
+use crate::material::{elastic_tangent, Mat3, MAT3_ZERO};
+use pmg_sparse::op::{MatrixFreeFactory, MatrixFreeKernel, Operator};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Elements per parallel compute chunk (mirrors the assembler's bound).
+const CHUNK: usize = 2048;
+
+/// Weighted tangent of one Gauss point.
+enum GpTan {
+    /// Inverted element point (`det <= 0`): integrates nothing, exactly as
+    /// the assembler skips it.
+    Skip,
+    /// Isotropic elastic point: `λ·w` and `μ·w` with `w = weight · det`.
+    Iso { lw: f64, mw: f64 },
+    /// General point: the full nominal tangent, `w` folded in.
+    Full(Box<[f64; 81]>),
+}
+
+/// Everything the element loop reads, shared by every rank kernel.
+struct MfData {
+    geom: Arc<Vec<f64>>,
+    gstride: usize,
+    nv: usize,
+    ngp: usize,
+    ndof: usize,
+    /// Flat element connectivity (`conn[e * nv + a]` = vertex id).
+    conn: Vec<u32>,
+    /// Per (element, Gauss point) weighted tangent.
+    gp_tan: Vec<GpTan>,
+    /// Constrained dofs.
+    fixed: Vec<bool>,
+    /// Dirichlet row scale (see `bc::constraint_scale`).
+    scale: f64,
+}
+
+impl MfData {
+    fn gather_codes(&self, e: usize, code: &[i32]) -> bool {
+        // True iff element `e` references any ghost dof (code < -1).
+        let nv = self.nv;
+        for a in 0..nv {
+            let v = self.conn[e * nv + a] as usize;
+            for i in 0..3 {
+                if code[3 * v + i] < -1 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// `ye = ke · xe` for element `e` through the Gauss-point loop.
+    fn element_apply(&self, e: usize, xe: &[f64], ye: &mut [f64]) {
+        let nv = self.nv;
+        ye.fill(0.0);
+        for gp in 0..self.ngp {
+            let tan = &self.gp_tan[e * self.ngp + gp];
+            if matches!(tan, GpTan::Skip) {
+                continue;
+            }
+            let g = &self.geom[(e * self.ngp + gp) * self.gstride..][..self.gstride];
+            let grads = &g[..3 * nv];
+            // Input-field gradient G[k][l] = Σ_b xe[3b+k] ∂N_b/∂X_l.
+            let mut gm: Mat3 = MAT3_ZERO;
+            for b in 0..nv {
+                let gb = &grads[3 * b..3 * b + 3];
+                for k in 0..3 {
+                    let xb = xe[3 * b + k];
+                    for l in 0..3 {
+                        gm[k][l] += xb * gb[l];
+                    }
+                }
+            }
+            // Weighted stress increment S[i][J] = w · A[i][J][k][L] G[k][L].
+            let mut s: Mat3 = MAT3_ZERO;
+            match tan {
+                GpTan::Skip => unreachable!(),
+                GpTan::Iso { lw, mw } => {
+                    let tr = gm[0][0] + gm[1][1] + gm[2][2];
+                    for i in 0..3 {
+                        for j in 0..3 {
+                            s[i][j] = mw * (gm[i][j] + gm[j][i]);
+                        }
+                        s[i][i] += lw * tr;
+                    }
+                }
+                GpTan::Full(aw) => {
+                    for i in 0..3 {
+                        for j in 0..3 {
+                            let mut acc = 0.0;
+                            for k in 0..3 {
+                                for l in 0..3 {
+                                    acc += aw[((i * 3 + j) * 3 + k) * 3 + l] * gm[k][l];
+                                }
+                            }
+                            s[i][j] = acc;
+                        }
+                    }
+                }
+            }
+            // Scatter ye[3a+i] += Σ_J S[i][J] ∂N_a/∂X_J.
+            for a in 0..nv {
+                let ga = &grads[3 * a..3 * a + 3];
+                for i in 0..3 {
+                    ye[3 * a + i] += s[i][0] * ga[0] + s[i][1] * ga[1] + s[i][2] * ga[2];
+                }
+            }
+        }
+    }
+}
+
+/// Matrix-free representation of the Dirichlet-constrained tangent
+/// stiffness at a fixed linearization state. Implements the serial
+/// [`Operator`] directly and acts as a [`MatrixFreeFactory`] for the
+/// distributed solve (one two-phase kernel per rank).
+pub struct MatFreeOperator {
+    data: Arc<MfData>,
+    /// Whole-domain kernel backing the serial `Operator` impl.
+    serial: MfRankKernel,
+}
+
+impl MatFreeOperator {
+    /// Build the operator from a problem's current geometry cache,
+    /// linearized at displacement `u` and the committed history.
+    /// `fixed` lists constrained dofs and `scale` must be the
+    /// [`constraint_scale`](crate::bc::constraint_scale) of the matching
+    /// assembled system so Dirichlet rows agree bitwise.
+    pub fn new(problem: &FemProblem, u: &[f64], fixed: &[u32], scale: f64) -> MatFreeOperator {
+        let mesh = &problem.mesh;
+        let ndof = mesh.num_dof();
+        assert_eq!(u.len(), ndof);
+        let nv = mesh.kind.nodes();
+        let ne = mesh.num_elements();
+        let quad = problem.quad_points();
+        let ngp = quad.len();
+        let gstride = 3 * nv + 1;
+        let geom = problem.geometry().clone();
+        let stride = problem.state_stride();
+        let committed = problem.committed_state();
+        let materials = problem.material_table();
+
+        let mut fixed_mask = vec![false; ndof];
+        for &d in fixed {
+            fixed_mask[d as usize] = true;
+        }
+        let mut conn = vec![0u32; ne * nv];
+        for e in 0..ne {
+            conn[e * nv..(e + 1) * nv].copy_from_slice(mesh.elem(e));
+        }
+
+        // Linearize every Gauss point once (the cost of one assembly's
+        // material loop) and classify the tangent. Each slot is computed
+        // independently, so chunked parallelism cannot change the bits.
+        let mut gp_tan: Vec<GpTan> = Vec::with_capacity(ne * ngp);
+        gp_tan.resize_with(ne * ngp, || GpTan::Skip);
+        gp_tan
+            .par_chunks_mut(ngp.max(1))
+            .enumerate()
+            .for_each(|(e, slots)| {
+                let mat = &materials[mesh.materials[e] as usize];
+                let mut state = vec![0.0; stride];
+                for (gp, slot) in slots.iter_mut().enumerate() {
+                    let g = &geom[(e * ngp + gp) * gstride..][..gstride];
+                    let det = g[gstride - 1];
+                    if det <= 0.0 {
+                        continue; // stays Skip
+                    }
+                    let grads = &g[..3 * nv];
+                    let w = quad[gp].weight * det;
+                    let mut h: Mat3 = MAT3_ZERO;
+                    for a in 0..nv {
+                        let base = 3 * mesh.elem(e)[a] as usize;
+                        let ga = &grads[3 * a..3 * a + 3];
+                        for i in 0..3 {
+                            let ua = u[base + i];
+                            for j in 0..3 {
+                                h[i][j] += ua * ga[j];
+                            }
+                        }
+                    }
+                    if stride > 0 {
+                        let s0 = (e * ngp + gp) * stride;
+                        state.copy_from_slice(&committed[s0..s0 + stride]);
+                    }
+                    let (_, a4) = mat.respond(&h, &mut state[..mat.state_size()]);
+                    // Isotropic fast path: bitwise comparison against the
+                    // canonical elastic tensor built from two probes.
+                    let lam = a4.get(0, 0, 1, 1);
+                    let mu = a4.get(0, 1, 0, 1);
+                    let iso = *elastic_tangent(lam, mu).0 == *a4.0;
+                    *slot = if iso {
+                        GpTan::Iso {
+                            lw: w * lam,
+                            mw: w * mu,
+                        }
+                    } else {
+                        let mut aw = a4.0;
+                        for v in aw.iter_mut() {
+                            *v *= w;
+                        }
+                        GpTan::Full(aw)
+                    };
+                }
+            });
+
+        let data = Arc::new(MfData {
+            geom,
+            gstride,
+            nv,
+            ngp,
+            ndof,
+            conn,
+            gp_tan,
+            fixed: fixed_mask,
+            scale,
+        });
+        let all: Vec<u32> = (0..ndof as u32).collect();
+        let serial = MfRankKernel::build(data.clone(), &all);
+        MatFreeOperator { data, serial }
+    }
+
+    /// The shared geometry buffer (same `Arc` as the source problem's).
+    pub fn geometry(&self) -> &Arc<Vec<f64>> {
+        &self.data.geom
+    }
+}
+
+impl Operator for MatFreeOperator {
+    fn nrows(&self) -> usize {
+        self.data.ndof
+    }
+
+    fn ncols(&self) -> usize {
+        self.data.ndof
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.serial.apply_interior(x, y);
+        self.serial.apply_boundary(x, &[], y);
+    }
+
+    fn diag(&self) -> Vec<f64> {
+        self.serial.diag_local().to_vec()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.serial.memory_bytes()
+    }
+
+    fn flops_per_apply(&self) -> u64 {
+        self.serial.flops_per_apply()
+    }
+}
+
+impl MatrixFreeFactory for MatFreeOperator {
+    fn build_kernels(&self, owned: &[&[u32]]) -> Vec<Box<dyn MatrixFreeKernel>> {
+        owned
+            .iter()
+            .map(|rows| Box::new(MfRankKernel::build(self.data.clone(), rows)) as Box<_>)
+            .collect()
+    }
+}
+
+/// One rank's two-phase element-loop kernel (see
+/// `pmg_sparse::op::MatrixFreeKernel` for the contract).
+pub struct MfRankKernel {
+    data: Arc<MfData>,
+    /// Per global dof: owned local slot (`>= 0`), ghost slot (`-(s+2)`),
+    /// or `-1` (constrained or untouched by this rank).
+    code: Vec<i32>,
+    ghosts: Vec<u32>,
+    /// Local slots of owned constrained dofs.
+    fixed_slots: Vec<u32>,
+    local_rows: usize,
+    /// Elements with ≥1 owned free dof and no ghost dof, ascending.
+    elems_int: Vec<u32>,
+    /// Elements with ≥1 owned free dof and ≥1 ghost dof, ascending.
+    elems_bnd: Vec<u32>,
+    interior_rows: u64,
+    boundary_rows: u64,
+    diag: Vec<f64>,
+    flops: u64,
+}
+
+impl MfRankKernel {
+    fn build(data: Arc<MfData>, owned: &[u32]) -> MfRankKernel {
+        let ndof = data.ndof;
+        let nv = data.nv;
+        let mut code = vec![-1i32; ndof];
+        let mut fixed_slots = Vec::new();
+        for (slot, &g) in owned.iter().enumerate() {
+            if data.fixed[g as usize] {
+                fixed_slots.push(slot as u32);
+            } else {
+                code[g as usize] = slot as i32;
+            }
+        }
+        // Elements with at least one owned free dof; their free non-owned
+        // dofs are the ghosts (ascending global id — the canonical halo
+        // wire order, identical to the assembled operator's ghost columns).
+        let ne = data.conn.len() / nv.max(1);
+        let mut listed = Vec::new();
+        let mut is_ghost = vec![false; ndof];
+        for e in 0..ne {
+            let mut has_owned_free = false;
+            for a in 0..nv {
+                let v = data.conn[e * nv + a] as usize;
+                for i in 0..3 {
+                    if code[3 * v + i] >= 0 {
+                        has_owned_free = true;
+                    }
+                }
+            }
+            if !has_owned_free {
+                continue;
+            }
+            listed.push(e as u32);
+            for a in 0..nv {
+                let v = data.conn[e * nv + a] as usize;
+                for i in 0..3 {
+                    let g = 3 * v + i;
+                    if !data.fixed[g] && code[g] < 0 {
+                        is_ghost[g] = true;
+                    }
+                }
+            }
+        }
+        let ghosts: Vec<u32> = (0..ndof as u32).filter(|&g| is_ghost[g as usize]).collect();
+        for (s, &g) in ghosts.iter().enumerate() {
+            code[g as usize] = -(s as i32 + 2);
+        }
+
+        let mut elems_int = Vec::new();
+        let mut elems_bnd = Vec::new();
+        let mut row_is_boundary = vec![false; owned.len()];
+        for &e in &listed {
+            if data.gather_codes(e as usize, &code) {
+                elems_bnd.push(e);
+                for a in 0..nv {
+                    let v = data.conn[e as usize * nv + a] as usize;
+                    for i in 0..3 {
+                        let c = code[3 * v + i];
+                        if c >= 0 {
+                            row_is_boundary[c as usize] = true;
+                        }
+                    }
+                }
+            } else {
+                elems_int.push(e);
+            }
+        }
+        let boundary_rows = row_is_boundary.iter().filter(|&&b| b).count() as u64;
+        let interior_rows = owned.len() as u64 - boundary_rows;
+
+        // Diagonal of the owned rows: constrained rows carry `scale`, free
+        // rows sum their elements' Gauss-point diagonal contributions.
+        let mut diag = vec![0.0f64; owned.len()];
+        for &slot in &fixed_slots {
+            diag[slot as usize] = data.scale;
+        }
+        let edof = 3 * nv;
+        let mut xe = vec![0.0f64; edof];
+        let mut ye = vec![0.0f64; edof];
+        for &e in elems_int.iter().chain(&elems_bnd) {
+            let e = e as usize;
+            for a in 0..nv {
+                let v = data.conn[e * nv + a] as usize;
+                for i in 0..3 {
+                    let c = code[3 * v + i];
+                    if c < 0 {
+                        continue;
+                    }
+                    // ke[d][d] via one unit-vector apply per local dof of
+                    // this element; setup-only cost.
+                    xe.fill(0.0);
+                    xe[3 * a + i] = 1.0;
+                    data.element_apply(e, &xe, &mut ye);
+                    diag[c as usize] += ye[3 * a + i];
+                }
+            }
+        }
+
+        // Flop estimate per full apply: gradient build + contraction +
+        // scatter per non-skipped Gauss point.
+        let mut flops = fixed_slots.len() as u64;
+        for &e in elems_int.iter().chain(&elems_bnd) {
+            for gp in 0..data.ngp {
+                flops += match &data.gp_tan[e as usize * data.ngp + gp] {
+                    GpTan::Skip => 0,
+                    GpTan::Iso { .. } => (18 * nv + 15 + 18 * nv) as u64,
+                    GpTan::Full(_) => (18 * nv + 162 + 18 * nv) as u64,
+                };
+            }
+        }
+
+        MfRankKernel {
+            data,
+            code,
+            ghosts,
+            fixed_slots,
+            local_rows: owned.len(),
+            elems_int,
+            elems_bnd,
+            interior_rows,
+            boundary_rows,
+            diag,
+            flops,
+        }
+    }
+
+    /// Run the element loop over `elems`, accumulating into `y` in fixed
+    /// element order (parallel per-chunk compute, serial scatter).
+    fn run_elements(&self, elems: &[u32], xo: &[f64], xg: &[f64], y: &mut [f64]) {
+        let d = &self.data;
+        let nv = d.nv;
+        let edof = 3 * nv;
+        if elems.is_empty() {
+            return;
+        }
+        pmg_telemetry::counter_add("op/mf_elements", elems.len() as u64);
+        pmg_telemetry::counter_add(
+            "op/mf_bytes",
+            (elems.len() * (d.ngp * d.gstride + 2 * edof + nv) * 8) as u64,
+        );
+        let mut xbuf = vec![0.0f64; CHUNK.min(elems.len()) * edof];
+        let mut ybuf = vec![0.0f64; CHUNK.min(elems.len()) * edof];
+        let mut start = 0usize;
+        while start < elems.len() {
+            let end = (start + CHUNK).min(elems.len());
+            let cnt = end - start;
+            let xb = &mut xbuf[..cnt * edof];
+            let yb = &mut ybuf[..cnt * edof];
+            // Gather is cheap and deterministic; do it serially so the
+            // parallel part carries no slice-of-x aliasing.
+            for (off, &e) in elems[start..end].iter().enumerate() {
+                let e = e as usize;
+                let xe = &mut xb[off * edof..(off + 1) * edof];
+                for a in 0..nv {
+                    let v = d.conn[e * nv + a] as usize;
+                    for i in 0..3 {
+                        let c = self.code[3 * v + i];
+                        xe[3 * a + i] = if c >= 0 {
+                            xo[c as usize]
+                        } else if c < -1 {
+                            xg[(-c - 2) as usize]
+                        } else {
+                            0.0 // constrained column: eliminated
+                        };
+                    }
+                }
+            }
+            {
+                let xb = &xb[..];
+                yb.par_chunks_mut(edof).enumerate().for_each(|(off, ye)| {
+                    let e = elems[start + off] as usize;
+                    d.element_apply(e, &xb[off * edof..(off + 1) * edof], ye);
+                });
+            }
+            for (off, &e) in elems[start..end].iter().enumerate() {
+                let e = e as usize;
+                let ye = &yb[off * edof..(off + 1) * edof];
+                for a in 0..nv {
+                    let v = d.conn[e * nv + a] as usize;
+                    for i in 0..3 {
+                        let c = self.code[3 * v + i];
+                        if c >= 0 {
+                            y[c as usize] += ye[3 * a + i];
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+    }
+}
+
+impl MatrixFreeKernel for MfRankKernel {
+    fn local_rows(&self) -> usize {
+        self.local_rows
+    }
+
+    fn ghosts(&self) -> &[u32] {
+        &self.ghosts
+    }
+
+    fn apply_interior(&self, x_owned: &[f64], y: &mut [f64]) {
+        assert_eq!(x_owned.len(), self.local_rows);
+        assert_eq!(y.len(), self.local_rows);
+        y.fill(0.0);
+        for &slot in &self.fixed_slots {
+            y[slot as usize] = self.data.scale * x_owned[slot as usize];
+        }
+        self.run_elements(&self.elems_int, x_owned, &[], y);
+    }
+
+    fn apply_boundary(&self, x_owned: &[f64], x_ghost: &[f64], y: &mut [f64]) {
+        assert_eq!(x_ghost.len(), self.ghosts.len());
+        self.run_elements(&self.elems_bnd, x_owned, x_ghost, y);
+        pmg_telemetry::counter_add("op/mf_flops", self.flops);
+    }
+
+    fn interior_rows(&self) -> u64 {
+        self.interior_rows
+    }
+
+    fn boundary_rows(&self) -> u64 {
+        self.boundary_rows
+    }
+
+    fn diag_local(&self) -> &[f64] {
+        &self.diag
+    }
+
+    fn flops_per_apply(&self) -> u64 {
+        self.flops
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        let d = &self.data;
+        let tan_bytes: u64 = d
+            .gp_tan
+            .iter()
+            .map(|t| match t {
+                GpTan::Skip => 8u64,
+                GpTan::Iso { .. } => 24,
+                GpTan::Full(_) => 8 + 81 * 8,
+            })
+            .sum();
+        // Shared caches (geometry, connectivity, tangents, mask) plus this
+        // rank's maps and diagonal.
+        (d.geom.len() * 8 + d.conn.len() * 4 + d.fixed.len()) as u64
+            + tan_bytes
+            + (self.code.len() * 4
+                + self.ghosts.len() * 4
+                + self.fixed_slots.len() * 4
+                + self.diag.len() * 8
+                + (self.elems_int.len() + self.elems_bnd.len()) * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bc::{constrain_system, constraint_scale};
+    use crate::material::{J2Plasticity, LinearElastic, Material, NeoHookean};
+    use pmg_geometry::Vec3;
+    use pmg_mesh::generators::block;
+
+    fn block_problem(mat: Arc<dyn Material>) -> FemProblem {
+        let mesh = block(2, 2, 2, Vec3::splat(1.0), |_| 0);
+        FemProblem::new(mesh, vec![mat])
+    }
+
+    fn rel_close(a: &[f64], b: &[f64], tol: f64) {
+        let norm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * norm,
+                "entry {i}: {x} vs {y} (norm {norm})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_assembled_linear_elastic_unconstrained() {
+        let mut p = block_problem(Arc::new(LinearElastic::from_e_nu(1.0, 0.3)));
+        let n = p.ndof();
+        let (k, _) = p.assemble(&vec![0.0; n]);
+        let op = MatFreeOperator::new(&p, &vec![0.0; n], &[], 1.0);
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 37 % 23) as f64 - 11.0) * 0.1)
+            .collect();
+        let mut ya = vec![0.0; n];
+        let mut ym = vec![0.0; n];
+        k.spmv(&x, &mut ya);
+        op.apply(&x, &mut ym);
+        rel_close(&ym, &ya, 1e-13);
+        rel_close(&op.diag(), &k.diag(), 1e-13);
+    }
+
+    #[test]
+    fn matches_assembled_with_dirichlet_rows() {
+        let mut p = block_problem(Arc::new(NeoHookean::from_e_nu(1.0, 0.3)));
+        let n = p.ndof();
+        let (k, r) = p.assemble(&vec![0.0; n]);
+        let fixed: Vec<(u32, f64)> = (0..n as u32).step_by(7).map(|d| (d, 0.01)).collect();
+        let (kc, _) = constrain_system(&k, &r, &fixed);
+        let scale = constraint_scale(&k, &fixed);
+        let fdofs: Vec<u32> = fixed.iter().map(|f| f.0).collect();
+        let op = MatFreeOperator::new(&p, &vec![0.0; n], &fdofs, scale);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64 * 0.3).sin()).collect();
+        let mut ya = vec![0.0; n];
+        let mut ym = vec![0.0; n];
+        kc.spmv(&x, &mut ya);
+        op.apply(&x, &mut ym);
+        rel_close(&ym, &ya, 1e-13);
+        // Constrained rows agree bitwise: both are scale * x[i].
+        for &(d, _) in &fixed {
+            assert_eq!(ym[d as usize], ya[d as usize]);
+        }
+    }
+
+    #[test]
+    fn full_tangent_path_matches_assembled_at_finite_strain() {
+        // At a nonzero displacement the Neo-Hookean tangent is anisotropic,
+        // forcing the Full(81) storage — the operator must stay exact.
+        let mut p = block_problem(Arc::new(NeoHookean::from_e_nu(2.0, 0.3)));
+        let n = p.ndof();
+        let u: Vec<f64> = (0..n)
+            .map(|i| 0.05 * ((i * 7 % 11) as f64 / 11.0 - 0.5))
+            .collect();
+        let (k, _) = p.assemble(&u);
+        let op = MatFreeOperator::new(&p, &u, &[], 1.0);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31 % 19) as f64 * 0.2).cos()).collect();
+        let mut ya = vec![0.0; n];
+        let mut ym = vec![0.0; n];
+        k.spmv(&x, &mut ya);
+        op.apply(&x, &mut ym);
+        rel_close(&ym, &ya, 1e-12);
+    }
+
+    #[test]
+    fn stateful_material_linearizes_from_committed_history() {
+        let mut p = block_problem(Arc::new(J2Plasticity::from_e_nu(1.0, 0.3, 1e-3, 2e-3)));
+        let n = p.ndof();
+        let (k, _) = p.assemble(&vec![0.0; n]);
+        let op = MatFreeOperator::new(&p, &vec![0.0; n], &[], 1.0);
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i * 41 % 29) as f64 - 14.0) * 0.1)
+            .collect();
+        let mut ya = vec![0.0; n];
+        let mut ym = vec![0.0; n];
+        k.spmv(&x, &mut ya);
+        op.apply(&x, &mut ym);
+        rel_close(&ym, &ya, 1e-13);
+    }
+
+    #[test]
+    fn geometry_is_shared_not_cloned() {
+        let p = block_problem(Arc::new(LinearElastic::from_e_nu(1.0, 0.3)));
+        let n = p.ndof();
+        let before = Arc::strong_count(p.geometry());
+        let op = MatFreeOperator::new(&p, &vec![0.0; n], &[], 1.0);
+        assert!(Arc::ptr_eq(op.geometry(), p.geometry()));
+        assert_eq!(Arc::strong_count(p.geometry()), before + 1);
+    }
+
+    #[test]
+    fn rank_kernels_partition_the_serial_apply() {
+        let mut p = block_problem(Arc::new(LinearElastic::from_e_nu(1.0, 0.25)));
+        let n = p.ndof();
+        let (_, _) = p.assemble(&vec![0.0; n]);
+        let fixed: Vec<u32> = (0..n as u32).step_by(11).collect();
+        let op = MatFreeOperator::new(&p, &vec![0.0; n], &fixed, 2.5);
+        // Split dofs round-robin over 3 ranks.
+        let owned: Vec<Vec<u32>> = (0..3)
+            .map(|r| (0..n as u32).filter(|d| (d % 3) as usize == r).collect())
+            .collect();
+        let refs: Vec<&[u32]> = owned.iter().map(|v| v.as_slice()).collect();
+        let kernels = op.build_kernels(&refs);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 29 % 13) as f64 - 6.0) * 0.2).collect();
+        let mut y_serial = vec![0.0; n];
+        op.apply(&x, &mut y_serial);
+        let mut y_dist = vec![0.0; n];
+        for (r, kern) in kernels.iter().enumerate() {
+            let xo: Vec<f64> = owned[r].iter().map(|&g| x[g as usize]).collect();
+            let xg: Vec<f64> = kern.ghosts().iter().map(|&g| x[g as usize]).collect();
+            let mut y = vec![0.0; kern.local_rows()];
+            kern.apply_interior(&xo, &mut y);
+            kern.apply_boundary(&xo, &xg, &mut y);
+            assert_eq!(
+                kern.interior_rows() + kern.boundary_rows(),
+                kern.local_rows() as u64
+            );
+            for (slot, &g) in owned[r].iter().enumerate() {
+                y_dist[g as usize] = y[slot];
+            }
+        }
+        // Same element loops, different per-row accumulation order across
+        // ranks: tolerance, not bitwise (fixed rank layout IS bitwise-
+        // reproducible; that is pinned in tests/operator_parity.rs).
+        let norm: f64 = y_serial.iter().map(|v| v * v).sum::<f64>().sqrt();
+        for (a, b) in y_dist.iter().zip(&y_serial) {
+            assert!((a - b).abs() <= 1e-13 * norm.max(1.0));
+        }
+    }
+}

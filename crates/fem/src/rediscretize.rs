@@ -92,12 +92,23 @@ impl TetOperatorCache {
         let (k, _) = c.fem.assemble(&vec![0.0; ndof]);
         k
     }
+
+    /// Read-only view of the cached [`FemProblem`] (populated by the last
+    /// [`assemble`](TetOperatorCache::assemble) call, `None` before the
+    /// first). The problem's coords-fingerprinted geometry cache is behind
+    /// an `Arc`, so consumers such as the matrix-free operator
+    /// ([`crate::matfree::MatFreeOperator`]) can share the per-element
+    /// shape-gradient buffers without cloning them.
+    pub fn problem(&self) -> Option<&FemProblem> {
+        self.cached.as_ref().map(|c| &c.fem)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::material::LinearElastic;
+    use pmg_sparse::Operator;
 
     #[test]
     fn single_tet_operator() {
@@ -146,6 +157,34 @@ mod tests {
         let f2 = assemble_tet_operator(&coords, &tets, mat);
         assert_eq!(k2, f2);
         assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn cached_problem_geometry_shared_with_matfree() {
+        let coords = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        let tets = [[0u32, 1, 2, 3]];
+        let mat: Arc<dyn Material> = Arc::new(LinearElastic::from_e_nu(1.0, 0.3));
+        let mut cache = TetOperatorCache::new();
+        assert!(cache.problem().is_none());
+        let k = cache.assemble(&coords, &tets, mat);
+        let p = cache.problem().expect("populated by assemble");
+        // A matrix-free operator built on the cached problem reuses the
+        // geometry buffer by Arc — no per-element gradient clones.
+        let op = crate::matfree::MatFreeOperator::new(p, &vec![0.0; p.ndof()], &[], 1.0);
+        assert!(Arc::ptr_eq(op.geometry(), p.geometry()));
+        let x: Vec<f64> = (0..p.ndof()).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut ya = vec![0.0; p.ndof()];
+        let mut ym = vec![0.0; p.ndof()];
+        k.spmv(&x, &mut ya);
+        op.apply(&x, &mut ym);
+        for (a, b) in ya.iter().zip(&ym) {
+            assert!((a - b).abs() < 1e-13);
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod halo;
 pub mod layout;
+pub mod matfree;
 pub mod matrix;
 pub mod rank;
 pub mod sim;
@@ -28,6 +29,7 @@ pub mod vec;
 
 pub use halo::{HaloMsg, HaloPlan, RankHalo};
 pub use layout::Layout;
+pub use matfree::{DistMatFree, MfRankOp, SimOperator};
 pub use matrix::DistMatrix;
 pub use rank::{OverlapInfo, RankOp};
 pub use sim::{MachineModel, PhaseStats, RankCounters, Sim};

@@ -4,8 +4,9 @@
 //! be bitwise identical to the blocking path for every ownership map.
 
 use pmg_comm::{LocalTransport, Transport};
-use pmg_parallel::{DistMatrix, DistVec, Layout, MachineModel, Sim};
-use pmg_sparse::{CooBuilder, CsrMatrix};
+use pmg_parallel::matfree::test_kernel::ChainKernel;
+use pmg_parallel::{DistMatFree, DistMatrix, DistVec, Layout, MachineModel, Sim, SimOperator};
+use pmg_sparse::{CooBuilder, CsrMatrix, MatrixFreeKernel};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -20,6 +21,47 @@ fn run_both_spmvs(
 ) -> Vec<(Vec<f64>, Vec<f64>, pmg_parallel::OverlapInfo)> {
     let da = DistMatrix::from_global(a, l.clone(), l.clone());
     let da = &da;
+    LocalTransport::run_ranks(p, move |mut t| {
+        let r = t.rank();
+        let op = da.rank_op(r, 11);
+        let xl: Vec<f64> = l.owned(r).iter().map(|&g| x[g as usize]).collect();
+        let mut y1 = vec![0.0; op.local_rows()];
+        op.spmv(&mut t, &xl, &mut y1).unwrap();
+        let mut y2 = vec![0.0; op.local_rows()];
+        let info = op.spmv_overlapped(&mut t, &xl, &mut y2).unwrap();
+        (y1, y2, info)
+    })
+}
+
+/// A matrix-free chain-ring operator distributed per `owner` over `p`
+/// ranks, plus its conventionally assembled reference matrix.
+fn chain_matfree(owner: &[u32], p: usize) -> (DistMatFree, CsrMatrix) {
+    let n = owner.len();
+    let scales: Vec<f64> = (0..n).map(|e| 1.0 + 0.1 * e as f64).collect();
+    let l = Layout::from_part(owner.to_vec(), p);
+    let kernels: Vec<Box<dyn MatrixFreeKernel>> = (0..p)
+        .map(|r| {
+            Box::new(ChainKernel::build(
+                n,
+                true,
+                scales.clone(),
+                l.owned(r).to_vec(),
+            )) as Box<dyn MatrixFreeKernel>
+        })
+        .collect();
+    let a = ChainKernel::global_matrix(n, true, &scales);
+    (DistMatFree::new(l, kernels), a)
+}
+
+/// Blocking and overlapped matrix-free SpMV for every rank inside one
+/// lockstep `run_ranks` call (mirror of [`run_both_spmvs`]).
+fn run_both_mf_spmvs(
+    da: &DistMatFree,
+    p: usize,
+    x: &[f64],
+) -> Vec<(Vec<f64>, Vec<f64>, pmg_parallel::OverlapInfo)> {
+    let l = da.row_layout().clone();
+    let l = &l;
     LocalTransport::run_ranks(p, move |mut t| {
         let r = t.rank();
         let op = da.rank_op(r, 11);
@@ -228,6 +270,117 @@ proptest! {
             for (u, v) in y1.iter().zip(y2) {
                 prop_assert_eq!(u.to_bits(), v.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn matfree_overlapped_matches_blocking_and_sim_any_ownership(
+        owner in proptest::collection::vec(0u32..4, 10..40),
+    ) {
+        // The matrix-free two-phase kernel under an arbitrary ownership
+        // map: blocking and overlapped transport schedules and the
+        // simulated spmv must all agree bitwise, the interior/boundary
+        // split must partition the owned rows, and the result must match
+        // the assembled reference to rounding.
+        let n = owner.len();
+        let p = 4;
+        let (da, a) = chain_matfree(&owner, p);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.43).sin()).collect();
+
+        let mut y_serial = vec![0.0; n];
+        a.spmv(&x, &mut y_serial);
+
+        let l = da.row_layout().clone();
+        let mut sim = Sim::new(p, MachineModel::default());
+        let dx = DistVec::from_global(l.clone(), &x);
+        let mut dy = DistVec::zeros(l.clone());
+        da.spmv(&mut sim, &dx, &mut dy);
+
+        for (r, (y1, y2, info)) in run_both_mf_spmvs(&da, p, &x).iter().enumerate() {
+            prop_assert_eq!(info.interior_rows + info.boundary_rows, y1.len() as u64);
+            for (u, v) in y1.iter().zip(y2) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+            // Transport == sim, bitwise, rank by rank.
+            for (u, v) in y1.iter().zip(dy.part(r)) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+        for (g, (u, v)) in dy.to_global().iter().zip(&y_serial).enumerate() {
+            prop_assert!((u - v).abs() < 1e-10, "row {}: {} vs {}", g, u, v);
+        }
+        // diag_global sums the per-rank element contributions into the
+        // assembled diagonal.
+        for (u, v) in da.diag_global().iter().zip(&a.diag()) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matfree_overlapped_matches_blocking_with_empty_ranks(
+        owner in proptest::collection::vec(0u32..3, 5..30),
+    ) {
+        // Odd ranks of a 6-rank layout own nothing: empty kernels must
+        // produce empty products without deadlocking the lockstep
+        // exchange, on both schedules.
+        let owner: Vec<u32> = owner.into_iter().map(|r| 2 * r).collect();
+        let n = owner.len();
+        if n < 3 {
+            return Ok(()); // a 2-ring degenerates to a double edge
+        }
+        let p = 6;
+        let (da, a) = chain_matfree(&owner, p);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos()).collect();
+        let l = da.row_layout().clone();
+        for (r, (y1, y2, info)) in run_both_mf_spmvs(&da, p, &x).iter().enumerate() {
+            if r % 2 == 1 {
+                prop_assert_eq!(info.interior_rows + info.boundary_rows, 0u64);
+                prop_assert!(y1.is_empty());
+            }
+            prop_assert_eq!(y1.len(), l.local_len(r));
+            for (u, v) in y1.iter().zip(y2) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+        let mut sim = Sim::new(p, MachineModel::default());
+        let dx = DistVec::from_global(l.clone(), &x);
+        let mut dy = DistVec::zeros(l);
+        da.spmv(&mut sim, &dx, &mut dy);
+        let mut y_serial = vec![0.0; n];
+        a.spmv(&x, &mut y_serial);
+        for (u, v) in dy.to_global().iter().zip(&y_serial) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matfree_overlapped_matches_blocking_all_boundary(
+        k in 2usize..12,
+    ) {
+        // Alternating ownership of the ring: every element straddles the
+        // rank boundary, so the interior class is empty everywhere and the
+        // whole element loop runs after finish() — the degenerate worst
+        // case for overlap, which must still be bitwise.
+        let n = 2 * k;
+        let owner: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let (da, a) = chain_matfree(&owner, 2);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.67).sin()).collect();
+        for (y1, y2, info) in run_both_mf_spmvs(&da, 2, &x).iter() {
+            prop_assert_eq!(info.interior_rows, 0u64);
+            prop_assert_eq!(info.boundary_rows, y1.len() as u64);
+            for (u, v) in y1.iter().zip(y2) {
+                prop_assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+        let mut y_serial = vec![0.0; n];
+        a.spmv(&x, &mut y_serial);
+        let l = da.row_layout().clone();
+        let mut sim = Sim::new(2, MachineModel::default());
+        let dx = DistVec::from_global(l.clone(), &x);
+        let mut dy = DistVec::zeros(l);
+        da.spmv(&mut sim, &dx, &mut dy);
+        for (u, v) in dy.to_global().iter().zip(&y_serial) {
+            prop_assert!((u - v).abs() < 1e-10);
         }
     }
 }

@@ -7,7 +7,7 @@
 //! optimally by the shifted Chebyshev polynomial.
 
 use crate::precond::Precond;
-use pmg_parallel::{DistMatrix, DistVec, Sim};
+use pmg_parallel::{DistMatrix, DistVec, Sim, SimOperator};
 
 /// Chebyshev smoother of fixed degree.
 pub struct Chebyshev {
@@ -86,7 +86,7 @@ impl Chebyshev {
     pub fn smooth(
         &self,
         sim: &mut Sim,
-        a: &DistMatrix,
+        a: &dyn SimOperator,
         b: &DistVec,
         x: &mut DistVec,
         steps: usize,

@@ -5,7 +5,7 @@
 //! multigrid cycle (or, for the baselines, by block Jacobi / point Jacobi).
 
 use crate::precond::Precond;
-use pmg_parallel::{DistMatrix, DistVec, Sim};
+use pmg_parallel::{DistVec, Sim, SimOperator};
 
 /// Options for [`pcg`].
 #[derive(Clone, Copy, Debug)]
@@ -46,7 +46,7 @@ pub struct PcgResult {
 /// records its own child scopes, e.g. multigrid's `precond/level*`).
 pub fn pcg(
     sim: &mut Sim,
-    a: &DistMatrix,
+    a: &dyn SimOperator,
     m: &dyn Precond,
     b: &DistVec,
     x: &mut DistVec,

@@ -8,7 +8,7 @@
 //! smoothing iteration contracts the high-frequency error.
 
 use crate::precond::Precond;
-use pmg_parallel::{DistMatrix, DistVec, Sim};
+use pmg_parallel::{DistMatrix, DistVec, Sim, SimOperator};
 use pmg_partition::{partition_graph, Graph};
 use pmg_sparse::dense::{Cholesky, Lu};
 use pmg_sparse::CsrMatrix;
@@ -201,11 +201,14 @@ impl BlockJacobi {
     }
 
     /// One (or more) stationary smoothing sweeps
-    /// `x ← x + ω B⁻¹ (b − A x)`.
+    /// `x ← x + ω B⁻¹ (b − A x)`. The residual refresh goes through the
+    /// [`SimOperator`] abstraction, so the operator may be assembled or
+    /// matrix-free (the block factors themselves always come from an
+    /// assembled local block at setup).
     pub fn smooth(
         &self,
         sim: &mut Sim,
-        a: &DistMatrix,
+        a: &dyn SimOperator,
         b: &DistVec,
         x: &mut DistVec,
         sweeps: usize,

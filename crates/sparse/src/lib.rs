@@ -58,10 +58,12 @@ pub mod bsr;
 pub mod csr;
 pub mod dense;
 pub mod flops;
+pub mod op;
 pub mod plan;
 pub mod vector;
 
 pub use bsr::Bsr3Matrix;
 pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::DenseMatrix;
+pub use op::{MatrixFreeFactory, MatrixFreeKernel, Operator};
 pub use plan::RapPlan;

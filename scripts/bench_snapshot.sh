@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Perf snapshot of the hot kernels: runs the criterion kernel + solve
 # microbenches (quick mode by default) and the bench_snapshot binary, which
-# writes BENCH_PR5.json with spmv/rap/assemble timings, the cold-vs-planned
-# speedups, the 1-thread-vs-pool thread-scaling section (marked degenerate
-# on 1-core hosts), the plan/pattern reuse counters, the comm section
-# comparing the same spheres solve over simulated ranks, 2 threaded ranks
-# (in-process transport), and 2 socket ranks (separate processes under
-# pmg-launch) with real measured message counts and per-phase wait times,
-# and the overlap section running the threaded and socket solves A/B with
-# the comm/compute overlap off vs on (blocked halo wait, hidden window,
+# writes BENCH_PR6.json with spmv/rap/assemble timings, the cold-vs-planned
+# speedups, the fine-operator A/B (assembled CSR/BSR3 bytes vs the
+# element-loop matrix-free operator, memory ratio + per-apply times), the
+# 1-thread-vs-pool thread-scaling section (marked degenerate on 1-core
+# hosts), the plan/pattern reuse counters, the comm section comparing the
+# same spheres solve over simulated ranks, 2 threaded ranks (in-process
+# transport), and 2 socket ranks (separate processes under pmg-launch)
+# with real measured message counts and per-phase wait times, and the
+# overlap section running the threaded and socket solves A/B with the
+# comm/compute overlap off vs on (blocked halo wait, hidden window,
 # interior/boundary row split, allreduce fusion). The meta block records
 # the pool size, git SHA, and host core count so snapshots are comparable
 # across machines.
@@ -20,8 +22,11 @@
 #   CRITERION_SAMPLE_MS  per-benchmark criterion budget (default 50 here)
 #   PMG_BENCH_MS         per-measurement budget in bench_snapshot (ms)
 #   PMG_BENCH_K          spheres ladder point (default 0 = tiny)
+#   PMG_BENCH_OUT        snapshot path (default BENCH_PR6.json)
 #   PMG_BENCH_ASSERT=1   fail unless planned RAP and pattern-reuse assembly
-#                        are >= 1.5x their cold baselines
+#                        are >= 1.5x their cold baselines and the
+#                        matrix-free fine operator is >= 2x smaller than
+#                        the assembled matrix
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,11 +41,11 @@ echo "== criterion solve benches =="
 cargo bench --offline -p pmg-bench --bench solve
 
 echo
-echo "== bench_snapshot (PMG_THREADS=$PMG_THREADS) -> BENCH_PR5.json =="
+echo "== bench_snapshot (PMG_THREADS=$PMG_THREADS) -> ${PMG_BENCH_OUT:-BENCH_PR6.json} =="
 # The socket data point launches a sibling spheres_rank binary; build it
 # first so bench_snapshot finds it next to itself in target/release.
 cargo build --release --offline --bin spheres_rank
 cargo run --release --offline -p pmg-bench --bin bench_snapshot
 
 echo
-echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR5.json}"
+echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR6.json}"

@@ -19,7 +19,7 @@
 
 use pmg_comm::{bytes_to_f64s, f64s_to_bytes, SocketTransport, Transport};
 use pmg_solver::PcgOptions;
-use prometheus::{spmd_pcg, Prometheus, RankHierarchy};
+use prometheus::{spmd_pcg, RankHierarchy};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -49,7 +49,9 @@ fn main() -> ExitCode {
 
     let sys = pmg_bench::spheres_first_solve(0);
     let opts = pmg_bench::parity_options(t.size());
-    let solver = Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
+    // `PMG_FINE_OP=matrixfree` swaps the fine-grid apply for the
+    // element-loop kernels; the setup stays replicated and deterministic.
+    let solver = pmg_bench::parity_solver(&sys, opts);
     let layout = solver.mg.levels[0].a.row_layout().clone();
     let mut h = RankHierarchy::extract(&solver.mg, t.rank());
     h.overlap = overlap;

@@ -4,7 +4,7 @@
 
 use pmg_fem::{spheres_problem, NewtonDriver, NewtonOptions};
 use pmg_mesh::SpheresParams;
-use prometheus::{MgOptions, Prometheus, PrometheusOptions};
+use prometheus::{FineOperator, MgOptions, Prometheus, PrometheusOptions};
 
 fn tiny_system() -> pmg_bench_free::System {
     pmg_bench_free::build()
@@ -13,7 +13,8 @@ fn tiny_system() -> pmg_bench_free::System {
 /// Local duplicate of the bench harness setup (tests are independent of
 /// the bench crate).
 mod pmg_bench_free {
-    use pmg_fem::bc::constrain_system;
+    use pmg_fem::bc::{constrain_system, constraint_scale};
+    use pmg_fem::FemProblem;
     use pmg_mesh::{Mesh, SpheresParams};
     use pmg_sparse::CsrMatrix;
 
@@ -21,6 +22,20 @@ mod pmg_bench_free {
         pub mesh: Mesh,
         pub matrix: CsrMatrix,
         pub rhs: Vec<f64>,
+        /// The FE problem after assembly at `u = 0` (element geometry
+        /// cached) plus the Dirichlet data, so tests can build the
+        /// matrix-free operator for the same constrained system.
+        pub fem: FemProblem,
+        pub fixed: Vec<u32>,
+        pub scale: f64,
+    }
+
+    impl System {
+        /// The element-loop operator equivalent to `matrix`.
+        pub fn matrix_free(&self) -> pmg_fem::MatFreeOperator {
+            let zeros = vec![0.0; self.mesh.num_dof()];
+            pmg_fem::MatFreeOperator::new(&self.fem, &zeros, &self.fixed, self.scale)
+        }
     }
 
     pub fn build() -> System {
@@ -30,9 +45,32 @@ mod pmg_bench_free {
         let ndof = mesh.num_dof();
         let (k, r) = problem.fem.assemble(&vec![0.0; ndof]);
         let bcs = problem.bcs_for_step(1, 10);
-        let fixed: Vec<(u32, f64)> = bcs.iter().map(|b| (b.dof, b.value)).collect();
-        let (matrix, rhs) = constrain_system(&k, &r, &fixed);
-        System { mesh, matrix, rhs }
+        let fixed_pairs: Vec<(u32, f64)> = bcs.iter().map(|b| (b.dof, b.value)).collect();
+        let (matrix, rhs) = constrain_system(&k, &r, &fixed_pairs);
+        let scale = constraint_scale(&k, &fixed_pairs);
+        let fixed: Vec<u32> = fixed_pairs.iter().map(|&(d, _)| d).collect();
+        System {
+            mesh,
+            matrix,
+            rhs,
+            fem: problem.fem,
+            fixed,
+            scale,
+        }
+    }
+}
+
+/// Build the solver on whichever fine-operator backend `PMG_FINE_OP`
+/// selects, so the whole file doubles as a matrix-free integration suite
+/// under `PMG_FINE_OP=matrixfree` (the CI matrix run).
+fn solver_for(sys: &pmg_bench_free::System, mut opts: PrometheusOptions) -> Prometheus {
+    match FineOperator::from_env() {
+        FineOperator::MatrixFree => {
+            opts.mg.fine_operator = FineOperator::MatrixFree;
+            let mf = sys.matrix_free();
+            Prometheus::from_mesh_matrix_free(&sys.mesh, &sys.matrix, opts, &mf)
+        }
+        FineOperator::Assembled => Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts),
     }
 }
 
@@ -48,7 +86,7 @@ fn first_linear_solve_converges_quickly() {
         max_iters: 200,
         ..Default::default()
     };
-    let mut solver = Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
+    let mut solver = solver_for(&sys, opts);
     assert!(solver.level_sizes().len() >= 2);
     let (x, res) = solver.solve(&sys.rhs, None, 1e-6);
     assert!(res.converged, "{res:?}");
@@ -83,7 +121,7 @@ fn parallel_ranks_agree_with_serial() {
             max_iters: 200,
             ..Default::default()
         };
-        let mut solver = Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
+        let mut solver = solver_for(&sys, opts);
         let (x, res) = solver.solve(&sys.rhs, None, 1e-10);
         assert!(res.converged, "p={p}");
         x
@@ -152,4 +190,64 @@ fn two_newton_steps_with_multigrid() {
     for &d in &problem.top_dofs {
         assert!((u[d as usize] - target).abs() < 1e-9);
     }
+}
+
+/// Golden parity: PCG + FMG with the matrix-free fine operator must walk
+/// the same Krylov trajectory as the assembled solve — same iteration
+/// count and a residual history that tracks it to floating-point
+/// reassociation (the element-loop apply sums the same numbers in a
+/// different order, so bitwise equality is not expected — staying on the
+/// same iteration path is the contract).
+#[test]
+fn matrix_free_solve_reproduces_assembled_history() {
+    let sys = tiny_system();
+    let base = PrometheusOptions {
+        nranks: 2,
+        mg: MgOptions {
+            coarse_dof_threshold: 400,
+            ..Default::default()
+        },
+        max_iters: 200,
+        ..Default::default()
+    };
+
+    let mut assembled = Prometheus::from_mesh(&sys.mesh, &sys.matrix, base);
+    let (xa, ra) = assembled.solve(&sys.rhs, None, 1e-6);
+
+    let mut opts = base;
+    opts.mg.fine_operator = FineOperator::MatrixFree;
+    let mf = sys.matrix_free();
+    let mut matfree = Prometheus::from_mesh_matrix_free(&sys.mesh, &sys.matrix, opts, &mf);
+    let (xm, rm) = matfree.solve(&sys.rhs, None, 1e-6);
+
+    assert!(ra.converged && rm.converged, "{ra:?} vs {rm:?}");
+    assert_eq!(
+        rm.iterations, ra.iterations,
+        "matrix-free iteration count diverged from assembled"
+    );
+    assert_eq!(rm.residuals.len(), ra.residuals.len());
+    for (it, (m, a)) in rm.residuals.iter().zip(&ra.residuals).enumerate() {
+        assert!(
+            (m - a).abs() <= 1e-6 * a.abs(),
+            "iter {it}: residual {m:e} vs assembled {a:e}"
+        );
+    }
+    let num: f64 = xm
+        .iter()
+        .zip(&xa)
+        .map(|(m, a)| (m - a) * (m - a))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = xa.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+    assert!(num / den < 1e-8, "solution drift {}", num / den);
+
+    // The memory story the matrix-free path exists for: its operator
+    // footprint must undercut the assembled fine matrix.
+    use pmg_sparse::Operator;
+    assert!(
+        mf.memory_bytes() < sys.matrix.memory_bytes(),
+        "matrix-free {} bytes vs assembled {}",
+        mf.memory_bytes(),
+        sys.matrix.memory_bytes()
+    );
 }

@@ -169,7 +169,10 @@ fn spheres_solve_bitwise_identical_across_transports() {
     let mut two_rank_reference = None;
     for p in [1usize, 2, 4] {
         let opts = pmg_bench::parity_options(p);
-        let mut solver = prometheus::Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
+        // Route through the PMG_FINE_OP-aware constructor: the spawned
+        // worker ranks inherit that env var, so the in-process reference
+        // must run on the same fine-operator backend to compare bitwise.
+        let mut solver = pmg_bench::parity_solver(&sys, opts);
         let (x_sim, res_sim) = solver.solve(&sys.rhs, None, pmg_bench::PARITY_RTOL);
         assert!(res_sim.converged, "p={p}: {res_sim:?}");
 
