@@ -21,21 +21,26 @@
 //! the element-loop matrix-free operator A/B — bytes held by each
 //! backend, the memory ratio (assembled/matrix-free, the headline number:
 //! the matrix-free path drops the fine-grid values arrays entirely), and
-//! the per-apply wall times of all three.
-//! Everything lands in a hand-rolled JSON file (default `BENCH_PR6.json`,
+//! the per-apply wall times of all three; and the PR-7 multi-vector
+//! section: `apply_multi` (SpMM on interleaved storage) at k = 1, 4, 8
+//! for CSR, BSR3, and the batched matrix-free kernels, with per-vector
+//! speedups over the single apply, plus the `apply_ratio` headline
+//! (matrix-free apply time / BSR3 apply time) of the batched element-loop
+//! rewrite.
+//! Everything lands in a hand-rolled JSON file (default `BENCH_PR7.json`,
 //! override with `PMG_BENCH_OUT`) whose `meta` block records the pool
 //! size, git SHA, and host core count so BENCH_*.json files are comparable
 //! across PRs and machines. On a single-core host the thread-scaling
-//! section is marked `"degenerate": true` and makes no speedup claims;
-//! apply-time ratios in the fine-operator section are likewise recorded
-//! but never asserted — only the memory ratio is a hard claim.
+//! section is marked `"degenerate": true` and makes no speedup claims.
 //!
 //! Knobs: `PMG_THREADS` pool size for the scaling section, `PMG_BENCH_K`
 //! ladder point (default 0 = tiny spheres), `PMG_BENCH_MS` per-measurement
 //! budget in milliseconds (default 200), `PMG_BENCH_ASSERT=1` exits
 //! nonzero unless planned RAP and pattern-reuse assembly are both >= 1.5x
-//! their cold baselines and the matrix-free fine operator holds >= 2x less
-//! memory than the assembled fine operator's resident storage.
+//! their cold baselines, the matrix-free fine operator holds >= 2x less
+//! memory than the assembled fine operator's resident storage, its apply
+//! lands within 2x of the BSR3 apply, and the batched matrix-free SpMM at
+//! k = 4 is >= 1.3x faster per vector than its single apply.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -174,7 +179,7 @@ fn git_sha() -> String {
 fn main() {
     let k = env_usize("PMG_BENCH_K", 0);
     let budget = Duration::from_millis(env_usize("PMG_BENCH_MS", 200) as u64);
-    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
     let threads = rayon::current_num_threads();
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -218,6 +223,32 @@ fn main() {
     let assembled_resident = csr_bytes + bsr3_bytes;
     let mf_bytes = mf.memory_bytes();
     let memory_ratio = assembled_resident as f64 / mf_bytes as f64;
+    let apply_ratio = apply_mf / spmv_bsr;
+
+    // --- Multi-vector apply (SpMM): k = 1, 4, 8 -------------------------
+    // Interleaved storage (`x[i*k+c]` is column c); each backend's
+    // apply_multi is bitwise-per-column equal to k single applies (pinned
+    // by tests), so the per-vector speedup is pure operator-reuse: one
+    // read of the rows / element data serves all k columns.
+    let multi_ks = [1usize, 4, 8];
+    let time_multi = |op: &dyn Operator| -> Vec<f64> {
+        multi_ks
+            .iter()
+            .map(|&kk| {
+                let xm: Vec<f64> = (0..ndof * kk).map(|i| (i as f64 * 0.07).sin()).collect();
+                let mut ym = vec![0.0; ndof * kk];
+                time_min(budget, || op.apply_multi(black_box(&xm), &mut ym, kk))
+            })
+            .collect()
+    };
+    let multi_csr = time_multi(&sys.matrix);
+    let multi_bsr = time_multi(&bsr);
+    let multi_mf = time_multi(&mf);
+    // Per-vector speedup at k=4 vs the backend's own single apply.
+    let per_vec4 = |single: f64, multi: &[f64]| single / (multi[1] / 4.0);
+    let csr_k4_speedup = per_vec4(spmv_csr, &multi_csr);
+    let bsr_k4_speedup = per_vec4(spmv_bsr, &multi_bsr);
+    let mf_k4_speedup = per_vec4(apply_mf, &multi_mf);
 
     // --- RAP: cold symbolic+numeric vs planned numeric-only -------------
     let graph = sys.mesh.vertex_graph();
@@ -417,7 +448,20 @@ fn main() {
     writeln!(j, "  \"spmv\": {{").unwrap();
     writeln!(j, "    \"csr_s\": {spmv_csr:.9},").unwrap();
     writeln!(j, "    \"bsr3_s\": {spmv_bsr:.9},").unwrap();
-    writeln!(j, "    \"bsr3_speedup\": {spmv_speedup:.3}").unwrap();
+    writeln!(j, "    \"bsr3_speedup\": {spmv_speedup:.3},").unwrap();
+    writeln!(j, "    \"multi\": {{").unwrap();
+    let mut write_multi = |name: &str, times: &[f64], k4: f64, last: bool| {
+        writeln!(j, "      \"{name}\": {{").unwrap();
+        writeln!(j, "        \"k1_s\": {:.9},", times[0]).unwrap();
+        writeln!(j, "        \"k4_s\": {:.9},", times[1]).unwrap();
+        writeln!(j, "        \"k8_s\": {:.9},", times[2]).unwrap();
+        writeln!(j, "        \"k4_per_vector_speedup\": {k4:.3}").unwrap();
+        writeln!(j, "      }}{}", if last { "" } else { "," }).unwrap();
+    };
+    write_multi("csr", &multi_csr, csr_k4_speedup, false);
+    write_multi("bsr3", &multi_bsr, bsr_k4_speedup, false);
+    write_multi("matrixfree", &multi_mf, mf_k4_speedup, true);
+    writeln!(j, "    }}").unwrap();
     writeln!(j, "  }},").unwrap();
     writeln!(j, "  \"fine_operator\": {{").unwrap();
     writeln!(j, "    \"assembled_csr_bytes\": {csr_bytes},").unwrap();
@@ -427,7 +471,8 @@ fn main() {
     writeln!(j, "    \"memory_ratio\": {memory_ratio:.3},").unwrap();
     writeln!(j, "    \"apply_csr_s\": {spmv_csr:.9},").unwrap();
     writeln!(j, "    \"apply_bsr3_s\": {spmv_bsr:.9},").unwrap();
-    writeln!(j, "    \"apply_matrixfree_s\": {apply_mf:.9}").unwrap();
+    writeln!(j, "    \"apply_matrixfree_s\": {apply_mf:.9},").unwrap();
+    writeln!(j, "    \"apply_ratio\": {apply_ratio:.3}").unwrap();
     writeln!(j, "  }},").unwrap();
     writeln!(j, "  \"rap\": {{").unwrap();
     writeln!(j, "    \"cold_s\": {rap_cold:.9},").unwrap();
@@ -591,8 +636,14 @@ fn main() {
 
     println!("spmv      csr {spmv_csr:.3e}s  bsr3 {spmv_bsr:.3e}s  ({spmv_speedup:.2}x)");
     println!(
+        "spmm k=4  csr {:.3e}s ({csr_k4_speedup:.2}x/vec)  bsr3 {:.3e}s ({bsr_k4_speedup:.2}x/vec)  \
+         matrix-free {:.3e}s ({mf_k4_speedup:.2}x/vec)",
+        multi_csr[1], multi_bsr[1], multi_mf[1]
+    );
+    println!(
         "fine op   assembled {assembled_resident} B (csr {csr_bytes} + bsr3 {bsr3_bytes})  \
-         matrix-free {mf_bytes} B ({memory_ratio:.2}x less memory; apply {apply_mf:.3e}s)"
+         matrix-free {mf_bytes} B ({memory_ratio:.2}x less memory; apply {apply_mf:.3e}s, \
+         {apply_ratio:.2}x bsr3)"
     );
     println!("rap       cold {rap_cold:.3e}s  planned {rap_planned:.3e}s  ({rap_speedup:.2}x)");
     println!("assemble  cold {asm_cold:.3e}s  reuse {asm_warm:.3e}s  ({asm_speedup:.2}x)");
@@ -662,6 +713,15 @@ fn main() {
             memory_ratio >= 2.0,
             "matrix-free fine operator only {memory_ratio:.2}x smaller than the \
              assembled matrix (need >= 2x)"
+        );
+        assert!(
+            apply_ratio <= 2.0,
+            "matrix-free apply is {apply_ratio:.2}x the BSR3 apply (need <= 2x)"
+        );
+        assert!(
+            mf_k4_speedup >= 1.3,
+            "batched matrix-free SpMM at k=4 only {mf_k4_speedup:.2}x per vector \
+             vs single apply (need >= 1.3x)"
         );
     }
 }

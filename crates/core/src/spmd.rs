@@ -99,6 +99,56 @@ impl LevelOp<'_> {
     }
 }
 
+/// `ys[c] = op · xs[c]` for all k columns, wait time booked to the halo
+/// phase. The matrix-free backend routes through the batched rank kernels
+/// (one exchange carrying k values per plan index, one element sweep);
+/// assembled rows apply one column at a time. Either way column `c` is
+/// **bitwise** [`halo_spmv`] on `xs[c]` — blocked SPMD solves rely on it.
+fn halo_spmv_multi<T: Transport>(
+    t: &mut T,
+    w: &mut PhaseWaits,
+    op: &LevelOp<'_>,
+    overlap: bool,
+    xs: &[Vec<f64>],
+    ys: &mut [Vec<f64>],
+) -> Result<(), CommError> {
+    let k = xs.len();
+    assert_eq!(ys.len(), k, "halo_spmv_multi needs matching x/y counts");
+    let mf = match op {
+        LevelOp::MatFree(mf) if k > 1 => mf,
+        _ => {
+            for (x, y) in xs.iter().zip(ys.iter_mut()) {
+                halo_spmv(t, w, op, overlap, x, y)?;
+            }
+            return Ok(());
+        }
+    };
+    let nl = op.local_rows();
+    let mut xi = vec![0.0; nl * k];
+    for (c, x) in xs.iter().enumerate() {
+        for (s, &v) in x.iter().enumerate() {
+            xi[s * k + c] = v;
+        }
+    }
+    let mut yi = vec![0.0; nl * k];
+    let before = t.stats().wait_s;
+    if overlap {
+        let info = mf.spmv_multi_overlapped(t, &xi, &mut yi, k)?;
+        w.halo_hidden_s += info.hidden_s;
+        w.interior_rows += info.interior_rows * k as u64;
+        w.boundary_rows += info.boundary_rows * k as u64;
+    } else {
+        mf.spmv_multi(t, &xi, &mut yi, k)?;
+    }
+    w.halo_s += t.stats().wait_s - before;
+    for (c, y) in ys.iter_mut().enumerate() {
+        for (s, v) in y.iter_mut().enumerate() {
+            *v = yi[s * k + c];
+        }
+    }
+    Ok(())
+}
+
 /// One rank's borrowed view of one grid level.
 struct RankLevel<'a> {
     a: LevelOp<'a>,
@@ -387,6 +437,20 @@ fn dot2_all<T: Transport>(
     Ok((partials[0], partials[1]))
 }
 
+/// Any number of inner-product partials fused into one batched allreduce;
+/// each component is bitwise its own [`dot_all`] (same tree, elementwise
+/// combine). The blocked solve fuses all active columns' reductions here.
+fn dots_all<T: Transport>(
+    t: &mut T,
+    w: &mut PhaseWaits,
+    partials: &mut [f64],
+) -> Result<(), CommError> {
+    let before = t.stats().wait_s;
+    pmg_comm::allreduce_many(t, partials)?;
+    w.allreduce_s += t.stats().wait_s - before;
+    Ok(())
+}
+
 /// PCG over a real transport, preconditioned by one MG cycle per
 /// [`RankHierarchy`], mirroring [`pmg_solver::pcg()`] statement for
 /// statement. `b_local`/`x_local` are this rank's shares in the fine
@@ -519,6 +583,202 @@ pub fn spmd_pcg<T: Transport>(
     ))
 }
 
+/// Blocked PCG over a real transport: k systems `A x = bs[c]` advance in
+/// lockstep, sharing one batched fine-grid product per iteration (through
+/// `halo_spmv_multi`) and fusing the active columns' inner-product
+/// partials into one collective per reduction point.
+///
+/// Column `c` of the result — solution, iteration count, convergence flag,
+/// residual history — is **bitwise identical** to [`spmd_pcg`] on
+/// `bs_local[c]` alone: the recurrence scalars are per-column, every fused
+/// allreduce component is bitwise its own scalar allreduce, and the batched
+/// operator applies are bitwise per column. Columns that converge or break
+/// down freeze (their x/r/p stop updating; the stale direction still rides
+/// in the batched product, harmlessly) while the rest keep iterating.
+///
+/// Telemetry: `pcg/iterations` ticks once per blocked iteration on rank 0;
+/// the per-column residual series is returned, not recorded.
+pub fn spmd_pcg_multi<T: Transport>(
+    t: &mut T,
+    h: &RankHierarchy<'_>,
+    bs_local: &[Vec<f64>],
+    xs_local: &mut [Vec<f64>],
+    opts: PcgOptions,
+) -> Result<(Vec<PcgResult>, PhaseWaits), CommError> {
+    let k = bs_local.len();
+    assert_eq!(
+        xs_local.len(),
+        k,
+        "spmd_pcg_multi needs matching b/x counts"
+    );
+    let root = t.rank() == 0;
+    let mut w = PhaseWaits::default();
+    if k == 0 {
+        return Ok((Vec::new(), w));
+    }
+    let fine = &h.levels[0].a;
+    let nl = bs_local[0].len();
+
+    // rs[c] = bs[c] - A xs[c], one batched product.
+    let mut rs: Vec<Vec<f64>> = vec![vec![0.0; nl]; k];
+    halo_spmv_multi(t, &mut w, fine, h.overlap, xs_local, &mut rs)?;
+    for (r, b) in rs.iter_mut().zip(bs_local) {
+        vector::aypx(-1.0, b, r);
+    }
+
+    let mut bnorms = vec![0.0; k];
+    let mut rnorms = vec![0.0; k];
+    if h.overlap {
+        let mut partials = Vec::with_capacity(2 * k);
+        for c in 0..k {
+            partials.push(vector::dot(&bs_local[c], &bs_local[c]));
+            partials.push(vector::dot(&rs[c], &rs[c]));
+        }
+        dots_all(t, &mut w, &mut partials)?;
+        for c in 0..k {
+            bnorms[c] = partials[2 * c].sqrt().max(1e-300);
+            rnorms[c] = partials[2 * c + 1].sqrt();
+        }
+    } else {
+        for c in 0..k {
+            bnorms[c] = dot_all(t, &mut w, &bs_local[c], &bs_local[c])?
+                .sqrt()
+                .max(1e-300);
+            rnorms[c] = dot_all(t, &mut w, &rs[c], &rs[c])?.sqrt();
+        }
+    }
+    let mut residuals: Vec<Vec<f64>> = rnorms.iter().map(|&r| vec![r]).collect();
+    let mut converged = vec![false; k];
+    let mut iterations = vec![0usize; k];
+    let mut active = vec![true; k];
+    for c in 0..k {
+        if rnorms[c] <= opts.rtol * bnorms[c] || rnorms[c] <= opts.atol {
+            converged[c] = true;
+            active[c] = false;
+        }
+    }
+
+    let mut zs: Vec<Vec<f64>> = vec![Vec::new(); k];
+    let mut ps: Vec<Vec<f64>> = vec![vec![0.0; nl]; k];
+    let mut wvs: Vec<Vec<f64>> = vec![vec![0.0; nl]; k];
+    let mut rzs = vec![0.0; k];
+    if active.iter().any(|&a| a) {
+        for c in 0..k {
+            if active[c] {
+                zs[c] = h.precond(t, &mut w, &rs[c])?;
+                ps[c].copy_from_slice(&zs[c]);
+            }
+        }
+        if h.overlap {
+            let act: Vec<usize> = (0..k).filter(|&c| active[c]).collect();
+            let mut partials: Vec<f64> = act.iter().map(|&c| vector::dot(&rs[c], &zs[c])).collect();
+            dots_all(t, &mut w, &mut partials)?;
+            for (&c, &v) in act.iter().zip(&partials) {
+                rzs[c] = v;
+            }
+        } else {
+            for c in 0..k {
+                if active[c] {
+                    rzs[c] = dot_all(t, &mut w, &rs[c], &zs[c])?;
+                }
+            }
+        }
+    }
+
+    for it in 1..=opts.max_iters {
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        if root {
+            pmg_telemetry::counter_add("pcg/iterations", 1);
+        }
+        for c in 0..k {
+            if active[c] {
+                iterations[c] = it;
+            }
+        }
+        // One batched product covers every column; frozen columns' stale
+        // directions ride along and their outputs are ignored.
+        halo_spmv_multi(t, &mut w, fine, h.overlap, &ps, &mut wvs)?;
+        let act: Vec<usize> = (0..k).filter(|&c| active[c]).collect();
+        let mut pws: Vec<f64> = act.iter().map(|&c| vector::dot(&ps[c], &wvs[c])).collect();
+        if h.overlap {
+            dots_all(t, &mut w, &mut pws)?;
+        } else {
+            for pw in pws.iter_mut() {
+                let before = t.stats().wait_s;
+                *pw = pmg_comm::allreduce_scalar(t, *pw)?;
+                w.allreduce_s += t.stats().wait_s - before;
+            }
+        }
+        for (&c, &pw) in act.iter().zip(&pws) {
+            if pw <= 0.0 || !pw.is_finite() {
+                // Loss of positive definiteness (or breakdown): freeze.
+                active[c] = false;
+                continue;
+            }
+            let alpha = rzs[c] / pw;
+            vector::axpy(alpha, &ps[c], &mut xs_local[c]);
+            vector::axpy(-alpha, &wvs[c], &mut rs[c]);
+        }
+        let act: Vec<usize> = (0..k).filter(|&c| active[c]).collect();
+        if h.overlap {
+            // Speculative preconditioner applications first (mirroring the
+            // single-vector fused path), then every active column's r·r and
+            // r·z partials ride one collective.
+            for &c in &act {
+                zs[c] = h.precond(t, &mut w, &rs[c])?;
+            }
+            let mut partials = Vec::with_capacity(2 * act.len());
+            for &c in &act {
+                partials.push(vector::dot(&rs[c], &rs[c]));
+                partials.push(vector::dot(&rs[c], &zs[c]));
+            }
+            dots_all(t, &mut w, &mut partials)?;
+            for (i, &c) in act.iter().enumerate() {
+                rnorms[c] = partials[2 * i].sqrt();
+                residuals[c].push(rnorms[c]);
+                if rnorms[c] <= opts.rtol * bnorms[c] || rnorms[c] <= opts.atol {
+                    converged[c] = true;
+                    active[c] = false;
+                    continue;
+                }
+                let rz_new = partials[2 * i + 1];
+                let beta = rz_new / rzs[c];
+                rzs[c] = rz_new;
+                vector::aypx(beta, &zs[c], &mut ps[c]);
+            }
+        } else {
+            for &c in &act {
+                rnorms[c] = dot_all(t, &mut w, &rs[c], &rs[c])?.sqrt();
+                residuals[c].push(rnorms[c]);
+                if rnorms[c] <= opts.rtol * bnorms[c] || rnorms[c] <= opts.atol {
+                    converged[c] = true;
+                    active[c] = false;
+                    continue;
+                }
+                zs[c] = h.precond(t, &mut w, &rs[c])?;
+                let rz_new = dot_all(t, &mut w, &rs[c], &zs[c])?;
+                let beta = rz_new / rzs[c];
+                rzs[c] = rz_new;
+                vector::aypx(beta, &zs[c], &mut ps[c]);
+            }
+        }
+    }
+    if root {
+        w.publish();
+    }
+    let results = (0..k)
+        .map(|c| PcgResult {
+            iterations: iterations[c],
+            converged: converged[c],
+            rel_residual: rnorms[c] / bnorms[c],
+            residuals: std::mem::take(&mut residuals[c]),
+        })
+        .collect();
+    Ok((results, w))
+}
+
 /// Outcome of an SPMD solve: the assembled global solution plus per-rank
 /// real communication statistics.
 pub struct SpmdSolveOutcome {
@@ -592,6 +852,93 @@ pub fn solve_threads_opts(
     Ok(SpmdSolveOutcome {
         x,
         result: result.expect("at least one rank"),
+        stats,
+        waits,
+    })
+}
+
+/// Outcome of a blocked SPMD solve: one assembled solution and result per
+/// right-hand side, plus per-rank communication statistics for the whole
+/// blocked run.
+pub struct SpmdMultiOutcome {
+    /// Assembled global solutions, one per right-hand side.
+    pub xs: Vec<Vec<f64>>,
+    /// Per-column solve results (identical on every rank by construction).
+    pub results: Vec<PcgResult>,
+    /// Per-rank transport statistics (messages, bytes, real wait time).
+    pub stats: Vec<CommStats>,
+    /// Per-rank per-phase wait breakdown.
+    pub waits: Vec<PhaseWaits>,
+}
+
+/// Run k solves `A x = bs[c]` as one threaded SPMD program through
+/// [`spmd_pcg_multi`]: each column's solution and residual history is
+/// bitwise identical to its own [`solve_threads`] run, but the fine-grid
+/// operator is read once per iteration for all k systems and the columns'
+/// reductions share collectives.
+pub fn solve_threads_multi(
+    mg: &MgHierarchy,
+    bs: &[Vec<f64>],
+    opts: PcgOptions,
+) -> Result<SpmdMultiOutcome, CommError> {
+    solve_threads_multi_opts(mg, bs, opts, true)
+}
+
+/// [`solve_threads_multi`] with the communication/computation overlap
+/// toggled explicitly (both schedules are bitwise identical per column).
+pub fn solve_threads_multi_opts(
+    mg: &MgHierarchy,
+    bs: &[Vec<f64>],
+    opts: PcgOptions,
+    overlap: bool,
+) -> Result<SpmdMultiOutcome, CommError> {
+    let layout = mg.levels[0].a.row_layout().clone();
+    let nranks = layout.num_ranks();
+    let k = bs.len();
+    for b in bs {
+        assert_eq!(b.len(), layout.num_global(), "rhs length");
+    }
+
+    let layout_ref = &layout;
+    let per_rank = LocalTransport::run_ranks(nranks, move |mut t| {
+        let rank = t.rank();
+        let mut h = RankHierarchy::extract(mg, rank);
+        h.overlap = overlap;
+        let bls: Vec<Vec<f64>> = bs
+            .iter()
+            .map(|b| {
+                layout_ref
+                    .owned(rank)
+                    .iter()
+                    .map(|&g| b[g as usize])
+                    .collect()
+            })
+            .collect();
+        let mut xls: Vec<Vec<f64>> = bls.iter().map(|bl| vec![0.0; bl.len()]).collect();
+        let (results, waits) = spmd_pcg_multi(&mut t, &h, &bls, &mut xls, opts)?;
+        Ok::<_, CommError>((xls, results, waits, t.stats()))
+    });
+
+    let mut xs = vec![vec![0.0; layout.num_global()]; k];
+    let mut results = None;
+    let mut stats = Vec::with_capacity(nranks);
+    let mut waits = Vec::with_capacity(nranks);
+    for (rank, out) in per_rank.into_iter().enumerate() {
+        let (xls, res, wt, st) = out?;
+        for (x, xl) in xs.iter_mut().zip(&xls) {
+            for (&g, &v) in layout.owned(rank).iter().zip(xl) {
+                x[g as usize] = v;
+            }
+        }
+        if rank == 0 {
+            results = Some(res);
+        }
+        waits.push(wt);
+        stats.push(st);
+    }
+    Ok(SpmdMultiOutcome {
+        xs,
+        results: results.expect("at least one rank"),
         stats,
         waits,
     })
@@ -687,6 +1034,146 @@ mod tests {
                 "p={p}: overlap row accounting must tick"
             );
             assert_eq!(blocking.waits[0].interior_rows, 0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn blocked_solve_matches_independent_solves_bitwise() {
+        // Three right-hand sides of different scale (so the columns
+        // converge at different iterations and the freeze path runs),
+        // plus an all-zero column that freezes at iteration 0.
+        let n = 7;
+        let m = pmg_mesh::generators::cube(n);
+        let classes = classify_mesh(&m, 0.7);
+        let (a, coords, g) = scalar_problem(n);
+        let nv = a.nrows();
+        let bs: Vec<Vec<f64>> = vec![
+            (0..nv).map(|i| (i as f64 * 0.23).sin()).collect(),
+            (0..nv).map(|i| ((i * i) as f64 * 0.011).cos()).collect(),
+            vec![0.0; nv],
+        ];
+        let opts = PcgOptions {
+            rtol: 1e-8,
+            max_iters: 60,
+            ..Default::default()
+        };
+        for p in [1usize, 2, 4] {
+            let mut sim = Sim::new(p, MachineModel::default());
+            let mg_opts = MgOptions {
+                dofs_per_vertex: 1,
+                coarse_dof_threshold: 60,
+                ..Default::default()
+            };
+            let mg = MgHierarchy::build(&mut sim, &a, &coords, &g, &classes, mg_opts);
+            for overlap in [true, false] {
+                let multi = solve_threads_multi_opts(&mg, &bs, opts, overlap).unwrap();
+                for (c, b) in bs.iter().enumerate() {
+                    let single = solve_threads_opts(&mg, b, opts, overlap).unwrap();
+                    assert_eq!(
+                        multi.results[c].iterations, single.result.iterations,
+                        "p={p} c={c} overlap={overlap}"
+                    );
+                    assert_eq!(
+                        multi.results[c].converged, single.result.converged,
+                        "p={p} c={c} overlap={overlap}"
+                    );
+                    assert_eq!(
+                        multi.results[c].residuals.len(),
+                        single.result.residuals.len(),
+                        "p={p} c={c} overlap={overlap}"
+                    );
+                    for (x, y) in multi.results[c]
+                        .residuals
+                        .iter()
+                        .zip(&single.result.residuals)
+                    {
+                        assert_eq!(x.to_bits(), y.to_bits(), "p={p} c={c} residuals");
+                    }
+                    for (x, y) in multi.xs[c].iter().zip(&single.x) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "p={p} c={c} solution");
+                    }
+                }
+                assert_eq!(multi.results[2].iterations, 0, "zero rhs converges at once");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matrixfree_solve_matches_independent_solves_bitwise() {
+        // Same parity contract with the fine grid on the batched
+        // matrix-free rank kernels: the blocked fine product routes
+        // through MfRankOp::spmv_multi{,_overlapped} (one exchange with k
+        // values per plan index) instead of a per-column loop.
+        use pmg_parallel::matfree::test_kernel::ChainKernel;
+        use pmg_sparse::{MatrixFreeFactory, MatrixFreeKernel};
+
+        struct ChainFactory {
+            n: usize,
+            scales: Vec<f64>,
+        }
+        impl MatrixFreeFactory for ChainFactory {
+            fn build_kernels(&self, owned: &[&[u32]]) -> Vec<Box<dyn MatrixFreeKernel>> {
+                owned
+                    .iter()
+                    .map(|rows| {
+                        Box::new(ChainKernel::build(
+                            self.n,
+                            false,
+                            self.scales.clone(),
+                            rows.to_vec(),
+                        )) as Box<dyn MatrixFreeKernel>
+                    })
+                    .collect()
+            }
+        }
+
+        let n = 6;
+        let m = pmg_mesh::generators::cube(n);
+        let classes = classify_mesh(&m, 0.7);
+        let (a, coords, g) = scalar_problem(n);
+        let nv = a.nrows();
+        let scales: Vec<f64> = (0..nv - 1).map(|e| 1.0 + 0.05 * (e % 9) as f64).collect();
+        let bs: Vec<Vec<f64>> = vec![
+            (0..nv).map(|i| (i as f64 * 0.31).sin()).collect(),
+            (0..nv).map(|i| 1.0 - (i % 5) as f64 * 0.4).collect(),
+        ];
+        let opts = PcgOptions {
+            rtol: 1e-6,
+            max_iters: 40,
+            ..Default::default()
+        };
+        for p in [1usize, 2, 3] {
+            let mut sim = Sim::new(p, MachineModel::default());
+            let mg_opts = MgOptions {
+                dofs_per_vertex: 1,
+                coarse_dof_threshold: 60,
+                ..Default::default()
+            };
+            let mut mg = MgHierarchy::build(&mut sim, &a, &coords, &g, &classes, mg_opts);
+            mg.install_fine_matrix_free(&ChainFactory {
+                n: nv,
+                scales: scales.clone(),
+            });
+            for overlap in [true, false] {
+                let multi = solve_threads_multi_opts(&mg, &bs, opts, overlap).unwrap();
+                for (c, b) in bs.iter().enumerate() {
+                    let single = solve_threads_opts(&mg, b, opts, overlap).unwrap();
+                    assert_eq!(
+                        multi.results[c].iterations, single.result.iterations,
+                        "p={p} c={c} overlap={overlap}"
+                    );
+                    for (x, y) in multi.results[c]
+                        .residuals
+                        .iter()
+                        .zip(&single.result.residuals)
+                    {
+                        assert_eq!(x.to_bits(), y.to_bits(), "p={p} c={c} mf residuals");
+                    }
+                    for (x, y) in multi.xs[c].iter().zip(&single.x) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "p={p} c={c} mf solution");
+                    }
+                }
+            }
         }
     }
 }

@@ -1,22 +1,52 @@
-//! Matrix-free application of the constrained tangent stiffness.
+//! Matrix-free application of the constrained tangent stiffness, batched.
 //!
 //! Instead of assembling CSR/BSR3 and multiplying stored values, the
-//! product `y = K̂ x` is computed by an on-the-fly element loop that walks
-//! the same coords-fingerprinted shape-gradient geometry cache the
-//! assembler uses ([`FemProblem::geometry`], shared by `Arc` — never
-//! cloned): per Gauss point, form the gradient `G = ∂x/∂X` of the input
-//! field, contract it with the material tangent, and scatter
-//! `∫ ∇Nᵀ : A : G` back to the owned rows. The tangent is linearized at a
-//! fixed displacement/history snapshot when the operator is built
-//! (`respond` runs once per Gauss point at construction, exactly as one
-//! assembly would):
+//! product `y = K̂ x` is computed by an on-the-fly element loop. The
+//! operator is linearized once at construction (`respond` runs per Gauss
+//! point, exactly as one assembly would) and the result is **folded into a
+//! structure-of-arrays batch layout** that the apply loop streams:
 //!
 //! * Gauss points whose tangent is *bitwise* the isotropic elastic tensor
 //!   `λ δiJ δkL + μ (δik δJL + δiL δJk)` — every point of the spheres
-//!   problem at the first Newton linearization — store just `(λ·w, μ·w)`
-//!   (16 bytes) and use a closed-form contraction;
-//! * any other point stores the full weighted 81-component tangent, so the
-//!   operator is exact at arbitrary displacement/history states too.
+//!   problem at the first Newton linearization — are folded as
+//!   `[∂N/∂X…, λ·w, μ·w]` per point (`w = weight · det`): the closed-form
+//!   contraction needs nothing else, and the Gauss loop over this layout
+//!   is branch-free;
+//! * elements with any general point store `[∂N/∂X…, 81-component w·A]`
+//!   per point in a separate buffer, so the operator stays exact at
+//!   arbitrary displacement/history states;
+//! * inverted points (`det <= 0`) store zeros: the arithmetic runs but
+//!   integrates exactly nothing, as the assembler's skip does.
+//!
+//! General-class records are **Gauss-transposed**: component-major with
+//! the Gauss points adjacent (`rec[comp * ngp + gp]`), so the
+//! single-vector kernel runs every Gauss point of the element
+//! simultaneously on unit-stride rows. Isotropic records are additionally
+//! **slot-blocked**: eight consecutive slots interleave one block
+//! (`block[(comp * ngp + gp) * 8 + slot % 8]`), and the single-vector
+//! apply runs aligned runs of eight elements through one **element-lane
+//! block kernel** — lane `l` of every vector register carries element
+//! `8b + l` and executes exactly the reference scalar sequence, so the
+//! bits match the one-element kernel while the arithmetic runs eight
+//! elements per instruction with zero cross-lane traffic. Elements off an
+//! aligned run (rank-boundary stragglers, list tails) index the same
+//! blocked data at a single lane.
+//!
+//! The apply processes elements in fixed-size batches (`PMG_MF_BATCH`,
+//! default 32): one parallel task gathers nothing and scatters nothing — it
+//! only computes its batch's element products into a staging region that
+//! also carries the task's gradient/stress scratch, so the inner loops are
+//! allocation-free and auto-vectorizable. Gather and scatter run serially
+//! through a reusable per-kernel scratch, in fixed element order.
+//!
+//! All kernels take `k` interleaved input/output vectors (`x[dof·k + c]`
+//! holds column `c`). Column counts 1, 2, 4, and 8 dispatch to
+//! monomorphized kernels (`k = 1` vectorizes across Gauss points, the
+//! multi-column widths across columns); every other `k` runs a generic
+//! fallback. All of them execute the same floating-point operation
+//! sequence per column, so `apply_multi` is bitwise identical per column
+//! to k single applies by construction while reading the folded element
+//! data once.
 //!
 //! Dirichlet rows are treated bitwise identically to
 //! [`constrain_system`](crate::bc::constrain_system): constrained sources
@@ -25,27 +55,50 @@
 //!
 //! # Determinism
 //!
-//! Element contributions are computed in parallel chunks but scattered
+//! Element contributions are computed in parallel batch tasks but scattered
 //! serially in a fixed element order (the assembler's scheme), so the
-//! result is bitwise identical for every `PMG_THREADS`. Each rank applies
-//! interior elements (no ghost dofs) in ascending order, then boundary
-//! elements in ascending order — the same order whether the halo exchange
-//! is blocking or overlapped, so every transport/schedule combination of
-//! `pmg-parallel` reproduces the same bits at a fixed rank layout.
+//! result is bitwise identical for every `PMG_THREADS` and every
+//! `PMG_MF_BATCH`. Each rank applies interior elements (no ghost dofs) in
+//! ascending order, then boundary elements in ascending order — the same
+//! order whether the halo exchange is blocking or overlapped, so every
+//! transport/schedule combination of `pmg-parallel` reproduces the same
+//! bits at a fixed rank layout.
 //!
 //! Telemetry: counts `op/mf_elements` (element loops executed),
-//! `op/mf_flops` and `op/mf_bytes` (estimated bytes touched) per apply.
+//! `op/mf_batches` (parallel batch tasks), `op/mf_flops` and `op/mf_bytes`
+//! (estimated bytes touched) per apply.
 
 use crate::assembly::FemProblem;
 use crate::material::{elastic_tangent, Mat3, MAT3_ZERO};
 use pmg_sparse::op::{MatrixFreeFactory, MatrixFreeKernel, Operator};
 use rayon::prelude::*;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Elements per parallel compute chunk (mirrors the assembler's bound).
+/// Elements per outer chunk (bounds staging memory; mirrors the
+/// assembler's bound).
 const CHUNK: usize = 2048;
 
-/// Weighted tangent of one Gauss point.
+/// Default elements per parallel batch task.
+const DEFAULT_BATCH: usize = 32;
+
+/// Elements per batch task: each task runs `batch` whole element kernels,
+/// so scheduling overhead is amortized over the batch instead of paid per
+/// element. Read once from `PMG_MF_BATCH`; any positive value produces the
+/// same bits (only the task decomposition changes — the scatter order does
+/// not).
+fn batch_size() -> usize {
+    static BATCH: OnceLock<usize> = OnceLock::new();
+    *BATCH.get_or_init(|| {
+        std::env::var("PMG_MF_BATCH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&b| b > 0)
+            .unwrap_or(DEFAULT_BATCH)
+    })
+}
+
+/// Weighted tangent of one Gauss point (construction-time classification;
+/// the apply reads the folded SoA buffers, not this).
 enum GpTan {
     /// Inverted element point (`det <= 0`): integrates nothing, exactly as
     /// the assembler skips it.
@@ -58,15 +111,28 @@ enum GpTan {
 
 /// Everything the element loop reads, shared by every rank kernel.
 struct MfData {
-    geom: Arc<Vec<f64>>,
-    gstride: usize,
     nv: usize,
     ngp: usize,
     ndof: usize,
     /// Flat element connectivity (`conn[e * nv + a]` = vertex id).
     conn: Vec<u32>,
-    /// Per (element, Gauss point) weighted tangent.
-    gp_tan: Vec<GpTan>,
+    /// Per element: `>= 0` is an index into the isotropic SoA,
+    /// `-(i + 1)` an index into the general SoA.
+    elem_slot: Vec<i32>,
+    /// Isotropic-class elements, stored in slot-blocked lane interleave:
+    /// block `b` holds slots `8b .. 8b+8` with component values
+    /// `[g_0 … g_{3nv-1}, λw, μw]` (stride `3nv + 2`) Gauss-transposed and
+    /// lane-interleaved — slot `s`'s value of component `c` at point `gp`
+    /// lives at `block[(c * ngp + gp) * 8 + s % 8]`. Aligned runs of eight
+    /// consecutive slots feed the element-lane block kernel with pure
+    /// vertical loads; single-element access indexes the same data with a
+    /// lane offset. The tail block and skipped points are all-zero, so the
+    /// branch-free loops integrate exactly nothing there.
+    iso_soa: Vec<f64>,
+    /// General-class elements, same transposition with components
+    /// `[g_0 … g_{3nv-1}, 81 weighted tangent components]`
+    /// (stride `3nv + 81`).
+    full_soa: Vec<f64>,
     /// Constrained dofs.
     fixed: Vec<bool>,
     /// Dirichlet row scale (see `bc::constraint_scale`).
@@ -74,6 +140,23 @@ struct MfData {
 }
 
 impl MfData {
+    /// Components per Gauss point of an isotropic record (the record is
+    /// slot-blocked and lane-interleaved; see `iso_soa`).
+    fn iso_stride(&self) -> usize {
+        3 * self.nv + 2
+    }
+
+    /// Values per isotropic slot block (eight interleaved element
+    /// records).
+    fn iso_blk(&self) -> usize {
+        self.iso_stride() * self.ngp * ILANES
+    }
+
+    /// Components per Gauss point of a general record (same transposition).
+    fn full_stride(&self) -> usize {
+        3 * self.nv + 81
+    }
+
     fn gather_codes(&self, e: usize, code: &[i32]) -> bool {
         // True iff element `e` references any ghost dof (code < -1).
         let nv = self.nv;
@@ -88,61 +171,515 @@ impl MfData {
         false
     }
 
-    /// `ye = ke · xe` for element `e` through the Gauss-point loop.
-    fn element_apply(&self, e: usize, xe: &[f64], ye: &mut [f64]) {
+    /// `ye = ke · xe` on `k` interleaved columns, dispatching on the
+    /// element's class and the column count. `gm`/`s` are caller scratch of
+    /// `9k` values each, used only by the generic-`k` fallback; the
+    /// monomorphized widths carry their scratch on the stack. Per column
+    /// the arithmetic sequence is independent of `k` and of the dispatch
+    /// taken, so column `c` of the result is bitwise the `k = 1` product
+    /// of that column.
+    #[inline]
+    fn element_apply_k(
+        &self,
+        e: usize,
+        xe: &[f64],
+        ye: &mut [f64],
+        k: usize,
+        gm: &mut [f64],
+        s: &mut [f64],
+    ) {
+        let slot = self.elem_slot[e];
+        if slot >= 0 {
+            let slot = slot as usize;
+            match k {
+                2 => self.iso_apply_ck::<2>(slot, xe, ye),
+                4 => self.iso_apply_ck::<4>(slot, xe, ye),
+                8 => self.iso_apply_ck::<8>(slot, xe, ye),
+                // k = 1 included: single isotropic elements off an aligned
+                // lane run take the scalar reference path (the hot apply
+                // goes through `iso_block8` instead).
+                _ => self.iso_apply_k(slot, xe, ye, k, gm, s),
+            }
+        } else {
+            let slot = (-slot - 1) as usize;
+            match k {
+                1 => self.full_apply_1(slot, xe, ye),
+                2 => self.full_apply_ck::<2>(slot, xe, ye),
+                4 => self.full_apply_ck::<4>(slot, xe, ye),
+                8 => self.full_apply_ck::<8>(slot, xe, ye),
+                _ => self.full_apply_k(slot, xe, ye, k, gm, s),
+            }
+        }
+    }
+
+    /// Slot-block index when `elems[off .. off + 8]` is exactly the
+    /// aligned isotropic lane run `8b .. 8b + 8` in ascending order — the
+    /// only shape the element-lane block kernel accepts. Slots are
+    /// assigned in ascending element order at construction, so every
+    /// contiguous stretch of isotropic elements in an ascending element
+    /// list decomposes into aligned runs plus short single-element edges.
+    #[inline]
+    fn aligned_block(&self, elems: &[u32], off: usize) -> Option<usize> {
+        if off + ILANES > elems.len() {
+            return None;
+        }
+        let s0 = self.elem_slot[elems[off] as usize];
+        if s0 < 0 || !(s0 as usize).is_multiple_of(ILANES) {
+            return None;
+        }
+        for i in 1..ILANES {
+            if self.elem_slot[elems[off + i] as usize] != s0 + i as i32 {
+                return None;
+            }
+        }
+        Some(s0 as usize / ILANES)
+    }
+
+    /// Element-lane block kernel: eight isotropic elements (slot block
+    /// `blk`), one column each, lane-major operands. Dof `j` of lane `l`
+    /// lives at `(j * cstr + coff) * 8 + l` — a multi-column tile stores
+    /// its k columns dof-interleaved (`cstr = k`, column `coff`), so one
+    /// tile transpose serves every column; single-column callers pass
+    /// `(1, 0)`. Every operation is a vertical fused multiply-add across
+    /// the eight lanes, and lane `l`'s operation sequence — gradient
+    /// accumulation in ascending `b` order, stress with the per-point
+    /// trace, scatter products joining the dof sums in ascending `gp`
+    /// order from 0.0 — is exactly the scalar reference (`iso_apply_k` at
+    /// `k = 1`), so each lane's bits equal the one-element product.
+    #[inline]
+    fn iso_block8(&self, blk: usize, xe8: &[f64], ye8: &mut [f64], cstr: usize, coff: usize) {
         let nv = self.nv;
-        ye.fill(0.0);
-        for gp in 0..self.ngp {
-            let tan = &self.gp_tan[e * self.ngp + gp];
-            if matches!(tan, GpTan::Skip) {
-                continue;
+        let ngp = self.ngp;
+        let rec = &self.iso_soa[blk * self.iso_blk()..][..self.iso_blk()];
+        let (grads, tail) = rec.split_at(3 * nv * ngp * ILANES);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                unsafe { x86::iso_block8_512(nv, ngp, grads, tail, xe8, ye8, cstr, coff) };
+                return;
             }
-            let g = &self.geom[(e * self.ngp + gp) * self.gstride..][..self.gstride];
-            let grads = &g[..3 * nv];
-            // Input-field gradient G[k][l] = Σ_b xe[3b+k] ∂N_b/∂X_l.
-            let mut gm: Mat3 = MAT3_ZERO;
+        }
+        for d in 0..3 * nv {
+            ye8[(d * cstr + coff) * ILANES..][..ILANES].fill(0.0);
+        }
+        for gp in 0..ngp {
+            let lw = &tail[gp * ILANES..][..ILANES];
+            let mw = &tail[(ngp + gp) * ILANES..][..ILANES];
+            let mut gm = [[0.0f64; ILANES]; 9];
             for b in 0..nv {
-                let gb = &grads[3 * b..3 * b + 3];
-                for k in 0..3 {
-                    let xb = xe[3 * b + k];
+                for r in 0..3 {
+                    let xb = &xe8[((3 * b + r) * cstr + coff) * ILANES..][..ILANES];
                     for l in 0..3 {
-                        gm[k][l] += xb * gb[l];
-                    }
-                }
-            }
-            // Weighted stress increment S[i][J] = w · A[i][J][k][L] G[k][L].
-            let mut s: Mat3 = MAT3_ZERO;
-            match tan {
-                GpTan::Skip => unreachable!(),
-                GpTan::Iso { lw, mw } => {
-                    let tr = gm[0][0] + gm[1][1] + gm[2][2];
-                    for i in 0..3 {
-                        for j in 0..3 {
-                            s[i][j] = mw * (gm[i][j] + gm[j][i]);
-                        }
-                        s[i][i] += lw * tr;
-                    }
-                }
-                GpTan::Full(aw) => {
-                    for i in 0..3 {
-                        for j in 0..3 {
-                            let mut acc = 0.0;
-                            for k in 0..3 {
-                                for l in 0..3 {
-                                    acc += aw[((i * 3 + j) * 3 + k) * 3 + l] * gm[k][l];
-                                }
-                            }
-                            s[i][j] = acc;
+                        let gl = &grads[((3 * b + l) * ngp + gp) * ILANES..][..ILANES];
+                        let dst = &mut gm[r * 3 + l];
+                        for c in 0..ILANES {
+                            dst[c] = xb[c].mul_add(gl[c], dst[c]);
                         }
                     }
                 }
             }
-            // Scatter ye[3a+i] += Σ_J S[i][J] ∂N_a/∂X_J.
+            let mut s = [[0.0f64; ILANES]; 9];
+            for i in 0..3 {
+                for j in 0..3 {
+                    for c in 0..ILANES {
+                        s[i * 3 + j][c] = mw[c] * (gm[i * 3 + j][c] + gm[j * 3 + i][c]);
+                    }
+                }
+            }
+            for i in 0..3 {
+                for c in 0..ILANES {
+                    let tr = gm[0][c] + gm[4][c] + gm[8][c];
+                    s[i * 3 + i][c] = lw[c].mul_add(tr, s[i * 3 + i][c]);
+                }
+            }
             for a in 0..nv {
-                let ga = &grads[3 * a..3 * a + 3];
+                let ga0 = &grads[(3 * a * ngp + gp) * ILANES..][..ILANES];
+                let ga1 = &grads[((3 * a + 1) * ngp + gp) * ILANES..][..ILANES];
+                let ga2 = &grads[((3 * a + 2) * ngp + gp) * ILANES..][..ILANES];
                 for i in 0..3 {
-                    ye[3 * a + i] += s[i][0] * ga[0] + s[i][1] * ga[1] + s[i][2] * ga[2];
+                    let dst = &mut ye8[((3 * a + i) * cstr + coff) * ILANES..][..ILANES];
+                    for c in 0..ILANES {
+                        let t = s[i * 3 + 2][c].mul_add(
+                            ga2[c],
+                            s[i * 3 + 1][c].mul_add(ga1[c], s[i * 3][c] * ga0[c]),
+                        );
+                        dst[c] += t;
+                    }
                 }
+            }
+        }
+    }
+
+    /// Single-column general kernel: the 81-component contraction with the
+    /// same Gauss-point vectorization and in-order per-dof reduction.
+    #[inline]
+    fn full_apply_1(&self, slot: usize, xe: &[f64], ye: &mut [f64]) {
+        let nv = self.nv;
+        let ngp = self.ngp;
+        debug_assert!(ngp <= MAX_GP);
+        let stride = self.full_stride();
+        let rec = &self.full_soa[slot * stride * ngp..][..stride * ngp];
+        let (grads, aw) = rec.split_at(3 * nv * ngp);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                unsafe { x86::full_apply_1_512(nv, ngp, grads, aw, xe, ye) };
+                return;
+            }
+            if std::arch::is_x86_feature_detected!("avx")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                unsafe { x86::full_apply_1(nv, ngp, grads, aw, xe, ye) };
+                return;
+            }
+        }
+        let mut gmbuf = [0.0f64; 9 * MAX_GP];
+        let gm = &mut gmbuf[..9 * ngp];
+        for b in 0..nv {
+            let gb = &grads[3 * b * ngp..(3 * b + 3) * ngp];
+            for r in 0..3 {
+                let xb = xe[3 * b + r];
+                for l in 0..3 {
+                    let gl = &gb[l * ngp..(l + 1) * ngp];
+                    let dst = &mut gm[(r * 3 + l) * ngp..][..ngp];
+                    for (d, &g) in dst.iter_mut().zip(gl) {
+                        *d = xb.mul_add(g, *d);
+                    }
+                }
+            }
+        }
+        // S[i][J][gp] = Σ_{kL} wA[i][J][k][L]|_gp G[k][L][gp].
+        let mut sbuf = [0.0f64; 9 * MAX_GP];
+        let s = &mut sbuf[..9 * ngp];
+        for i in 0..3 {
+            for j in 0..3 {
+                let srow = &mut s[(i * 3 + j) * ngp..][..ngp];
+                for kk in 0..3 {
+                    for l in 0..3 {
+                        let ar = &aw[(((i * 3 + j) * 3 + kk) * 3 + l) * ngp..][..ngp];
+                        let gr = &gm[(kk * 3 + l) * ngp..][..ngp];
+                        for (sv, (&av, &gv)) in srow.iter_mut().zip(ar.iter().zip(gr)) {
+                            *sv = av.mul_add(gv, *sv);
+                        }
+                    }
+                }
+            }
+        }
+        scatter_1(grads, ngp, s, ye, nv);
+    }
+
+    /// Monomorphized multi-column isotropic kernel: per Gauss point, every
+    /// inner loop is a unit-stride pass over the `K` interleaved columns.
+    #[inline]
+    fn iso_apply_ck<const K: usize>(&self, slot: usize, xe: &[f64], ye: &mut [f64]) {
+        let nv = self.nv;
+        let ngp = self.ngp;
+        let rec = &self.iso_soa[(slot / ILANES) * self.iso_blk()..][..self.iso_blk()];
+        let lane = slot % ILANES;
+        let (grads, tail) = rec.split_at(3 * nv * ngp * ILANES);
+        ye.fill(0.0);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if K.is_multiple_of(8) && std::arch::is_x86_feature_detected!("avx512f") {
+                unsafe { x86::iso_apply_ck8(nv, ngp, grads, tail, lane, xe, ye, K) };
+                return;
+            }
+            if K.is_multiple_of(4)
+                && std::arch::is_x86_feature_detected!("avx")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                unsafe { x86::iso_apply_ck(nv, ngp, grads, tail, lane, xe, ye, K) };
+                return;
+            }
+        }
+        for gp in 0..ngp {
+            let lw = tail[gp * ILANES + lane];
+            let mw = tail[(ngp + gp) * ILANES + lane];
+            let mut gm = [[0.0f64; K]; 9];
+            for b in 0..nv {
+                for r in 0..3 {
+                    let xb = &xe[(3 * b + r) * K..][..K];
+                    for l in 0..3 {
+                        let gl = grads[((3 * b + l) * ngp + gp) * ILANES + lane];
+                        let dst = &mut gm[r * 3 + l];
+                        for c in 0..K {
+                            dst[c] = xb[c].mul_add(gl, dst[c]);
+                        }
+                    }
+                }
+            }
+            let mut s = [[0.0f64; K]; 9];
+            for i in 0..3 {
+                for j in 0..3 {
+                    for c in 0..K {
+                        s[i * 3 + j][c] = mw * (gm[i * 3 + j][c] + gm[j * 3 + i][c]);
+                    }
+                }
+            }
+            for i in 0..3 {
+                for c in 0..K {
+                    let tr = gm[0][c] + gm[4][c] + gm[8][c];
+                    s[i * 3 + i][c] = lw.mul_add(tr, s[i * 3 + i][c]);
+                }
+            }
+            for a in 0..nv {
+                let ga = [
+                    grads[(3 * a * ngp + gp) * ILANES + lane],
+                    grads[((3 * a + 1) * ngp + gp) * ILANES + lane],
+                    grads[((3 * a + 2) * ngp + gp) * ILANES + lane],
+                ];
+                for i in 0..3 {
+                    let dst = &mut ye[(3 * a + i) * K..][..K];
+                    for c in 0..K {
+                        let t = s[i * 3 + 2][c]
+                            .mul_add(ga[2], s[i * 3 + 1][c].mul_add(ga[1], s[i * 3][c] * ga[0]));
+                        dst[c] += t;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Monomorphized multi-column general kernel.
+    #[inline]
+    fn full_apply_ck<const K: usize>(&self, slot: usize, xe: &[f64], ye: &mut [f64]) {
+        let nv = self.nv;
+        let ngp = self.ngp;
+        let stride = self.full_stride();
+        let rec = &self.full_soa[slot * stride * ngp..][..stride * ngp];
+        let (grads, aw) = rec.split_at(3 * nv * ngp);
+        ye.fill(0.0);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if K.is_multiple_of(8) && std::arch::is_x86_feature_detected!("avx512f") {
+                unsafe { x86::full_apply_ck8(nv, ngp, grads, aw, xe, ye, K) };
+                return;
+            }
+            if K.is_multiple_of(4)
+                && std::arch::is_x86_feature_detected!("avx")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                unsafe { x86::full_apply_ck(nv, ngp, grads, aw, xe, ye, K) };
+                return;
+            }
+        }
+        for gp in 0..ngp {
+            let mut gm = [[0.0f64; K]; 9];
+            for b in 0..nv {
+                for r in 0..3 {
+                    let xb = &xe[(3 * b + r) * K..][..K];
+                    for l in 0..3 {
+                        let gl = grads[(3 * b + l) * ngp + gp];
+                        let dst = &mut gm[r * 3 + l];
+                        for c in 0..K {
+                            dst[c] = xb[c].mul_add(gl, dst[c]);
+                        }
+                    }
+                }
+            }
+            let mut s = [[0.0f64; K]; 9];
+            for i in 0..3 {
+                for j in 0..3 {
+                    let srow = &mut s[i * 3 + j];
+                    for kk in 0..3 {
+                        for l in 0..3 {
+                            let a = aw[(((i * 3 + j) * 3 + kk) * 3 + l) * ngp + gp];
+                            let gr = &gm[kk * 3 + l];
+                            for c in 0..K {
+                                srow[c] = a.mul_add(gr[c], srow[c]);
+                            }
+                        }
+                    }
+                }
+            }
+            for a in 0..nv {
+                let ga = [
+                    grads[3 * a * ngp + gp],
+                    grads[(3 * a + 1) * ngp + gp],
+                    grads[(3 * a + 2) * ngp + gp],
+                ];
+                for i in 0..3 {
+                    let dst = &mut ye[(3 * a + i) * K..][..K];
+                    for c in 0..K {
+                        let t = s[i * 3 + 2][c]
+                            .mul_add(ga[2], s[i * 3 + 1][c].mul_add(ga[1], s[i * 3][c] * ga[0]));
+                        dst[c] += t;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Generic-`k` isotropic fallback (any column count, any quadrature):
+    /// the reference operation sequence the monomorphized kernels replicate.
+    fn iso_apply_k(
+        &self,
+        slot: usize,
+        xe: &[f64],
+        ye: &mut [f64],
+        k: usize,
+        gm: &mut [f64],
+        s: &mut [f64],
+    ) {
+        let nv = self.nv;
+        let ngp = self.ngp;
+        let rec = &self.iso_soa[(slot / ILANES) * self.iso_blk()..][..self.iso_blk()];
+        let lane = slot % ILANES;
+        let (grads, tail) = rec.split_at(3 * nv * ngp * ILANES);
+        ye.fill(0.0);
+        for gp in 0..ngp {
+            let lw = tail[gp * ILANES + lane];
+            let mw = tail[(ngp + gp) * ILANES + lane];
+            // Input-field gradient G[r][l][c] = Σ_b xe[(3b+r)k+c] ∂N_b/∂X_l.
+            gm.fill(0.0);
+            for b in 0..nv {
+                for r in 0..3 {
+                    let xb = &xe[(3 * b + r) * k..][..k];
+                    for l in 0..3 {
+                        let gl = grads[((3 * b + l) * ngp + gp) * ILANES + lane];
+                        let dst = &mut gm[(r * 3 + l) * k..][..k];
+                        for (d, &xc) in dst.iter_mut().zip(xb) {
+                            *d = xc.mul_add(gl, *d);
+                        }
+                    }
+                }
+            }
+            // Weighted stress S = μw (G + Gᵀ) + λw tr(G) I, per column.
+            for i in 0..3 {
+                for j in 0..3 {
+                    for c in 0..k {
+                        s[(i * 3 + j) * k + c] =
+                            mw * (gm[(i * 3 + j) * k + c] + gm[(j * 3 + i) * k + c]);
+                    }
+                }
+            }
+            for i in 0..3 {
+                for c in 0..k {
+                    let tr = gm[c] + gm[4 * k + c] + gm[8 * k + c];
+                    s[(i * 3 + i) * k + c] = lw.mul_add(tr, s[(i * 3 + i) * k + c]);
+                }
+            }
+            scatter_k(grads, ngp, gp, s, ye, nv, k, ILANES, lane);
+        }
+    }
+
+    /// Generic-`k` general fallback: full 81-component contraction.
+    fn full_apply_k(
+        &self,
+        slot: usize,
+        xe: &[f64],
+        ye: &mut [f64],
+        k: usize,
+        gm: &mut [f64],
+        s: &mut [f64],
+    ) {
+        let nv = self.nv;
+        let ngp = self.ngp;
+        let stride = self.full_stride();
+        let rec = &self.full_soa[slot * stride * ngp..][..stride * ngp];
+        let (grads, aw) = rec.split_at(3 * nv * ngp);
+        ye.fill(0.0);
+        for gp in 0..ngp {
+            gm.fill(0.0);
+            for b in 0..nv {
+                for r in 0..3 {
+                    let xb = &xe[(3 * b + r) * k..][..k];
+                    for l in 0..3 {
+                        let gl = grads[(3 * b + l) * ngp + gp];
+                        let dst = &mut gm[(r * 3 + l) * k..][..k];
+                        for (d, &xc) in dst.iter_mut().zip(xb) {
+                            *d = xc.mul_add(gl, *d);
+                        }
+                    }
+                }
+            }
+            // S[i][J][c] = Σ_{kL} wA[i][J][k][L] G[k][L][c].
+            for i in 0..3 {
+                for j in 0..3 {
+                    let srow = &mut s[(i * 3 + j) * k..][..k];
+                    srow.fill(0.0);
+                    for kk in 0..3 {
+                        for l in 0..3 {
+                            let a = aw[(((i * 3 + j) * 3 + kk) * 3 + l) * ngp + gp];
+                            let gr = &gm[(kk * 3 + l) * k..][..k];
+                            for (sv, &gv) in srow.iter_mut().zip(gr) {
+                                *sv = a.mul_add(gv, *sv);
+                            }
+                        }
+                    }
+                }
+            }
+            scatter_k(grads, ngp, gp, s, ye, nv, k, 1, 0);
+        }
+    }
+}
+
+/// Largest supported quadrature (Hex20's 3×3×3 rule) — bounds the
+/// single-column kernels' stack rows.
+const MAX_GP: usize = 27;
+
+/// Element lanes per isotropic SoA block: eight consecutive slots share one
+/// interleaved record so the single-column apply can run eight elements per
+/// vector register, each lane executing the reference scalar sequence.
+const ILANES: usize = 8;
+
+/// Single-column scatter: `ye[3a+i] = Σ_gp S[i]·∇N_a |_gp`. The per-point
+/// products are one vectorizable unit-stride pass; the reduction over
+/// points runs in ascending `gp` order starting from 0.0, bitwise the
+/// generic path's gp-loop accumulation.
+#[inline]
+fn scatter_1(grads: &[f64], ngp: usize, s: &[f64], ye: &mut [f64], nv: usize) {
+    let mut tvbuf = [0.0f64; MAX_GP];
+    let tv = &mut tvbuf[..ngp];
+    for a in 0..nv {
+        let ga = &grads[3 * a * ngp..(3 * a + 3) * ngp];
+        for i in 0..3 {
+            for (gp, t) in tv.iter_mut().enumerate() {
+                *t = s[(i * 3 + 2) * ngp + gp].mul_add(
+                    ga[2 * ngp + gp],
+                    s[(i * 3 + 1) * ngp + gp].mul_add(ga[ngp + gp], s[i * 3 * ngp + gp] * ga[gp]),
+                );
+            }
+            let mut acc = 0.0f64;
+            for &t in tv.iter() {
+                acc += t;
+            }
+            ye[3 * a + i] = acc;
+        }
+    }
+}
+
+/// `ye[(3a+i)k+c] += Σ_J S[i][J][c] ∂N_a/∂X_J |_gp` — the shared scatter
+/// of the generic fallbacks. `lstr`/`lane` select the gradient layout:
+/// `1, 0` reads a Gauss-transposed general record, `ILANES, lane` one lane
+/// of a slot-blocked isotropic record.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn scatter_k(
+    grads: &[f64],
+    ngp: usize,
+    gp: usize,
+    s: &[f64],
+    ye: &mut [f64],
+    nv: usize,
+    k: usize,
+    lstr: usize,
+    lane: usize,
+) {
+    for a in 0..nv {
+        let ga = [
+            grads[(3 * a * ngp + gp) * lstr + lane],
+            grads[((3 * a + 1) * ngp + gp) * lstr + lane],
+            grads[((3 * a + 2) * ngp + gp) * lstr + lane],
+        ];
+        for i in 0..3 {
+            let dst = &mut ye[(3 * a + i) * k..][..k];
+            for (c, d) in dst.iter_mut().enumerate() {
+                let t = s[(i * 3 + 2) * k + c].mul_add(
+                    ga[2],
+                    s[(i * 3 + 1) * k + c].mul_add(ga[1], s[(i * 3) * k + c] * ga[0]),
+                );
+                *d += t;
             }
         }
     }
@@ -164,6 +701,10 @@ impl MatFreeOperator {
     /// `fixed` lists constrained dofs and `scale` must be the
     /// [`constraint_scale`](crate::bc::constraint_scale) of the matching
     /// assembled system so Dirichlet rows agree bitwise.
+    ///
+    /// The shared geometry cache is read during construction and folded —
+    /// together with the per-point tangents — into the batch SoA layout;
+    /// no reference to it is retained.
     pub fn new(problem: &FemProblem, u: &[f64], fixed: &[u32], scale: f64) -> MatFreeOperator {
         let mesh = &problem.mesh;
         let ndof = mesh.num_dof();
@@ -173,7 +714,7 @@ impl MatFreeOperator {
         let quad = problem.quad_points();
         let ngp = quad.len();
         let gstride = 3 * nv + 1;
-        let geom = problem.geometry().clone();
+        let geom = problem.geometry();
         let stride = problem.state_stride();
         let committed = problem.committed_state();
         let materials = problem.material_table();
@@ -242,25 +783,100 @@ impl MatFreeOperator {
                 }
             });
 
+        // Fold geometry + tangents into the two SoA class buffers. An
+        // element is general-class iff any of its points carries a full
+        // tangent; skipped points stay all-zero in either layout.
+        let mut elem_slot = vec![0i32; ne];
+        let (mut n_iso, mut n_full) = (0usize, 0usize);
+        for e in 0..ne {
+            let full = (0..ngp).any(|gp| matches!(gp_tan[e * ngp + gp], GpTan::Full(_)));
+            elem_slot[e] = if full {
+                n_full += 1;
+                -(n_full as i32)
+            } else {
+                n_iso += 1;
+                (n_iso - 1) as i32
+            };
+        }
+        let iso_stride = 3 * nv + 2;
+        let full_stride = 3 * nv + 81;
+        let iso_blk = iso_stride * ngp * ILANES;
+        let mut iso_soa = vec![0.0f64; n_iso.div_ceil(ILANES) * iso_blk];
+        let mut full_soa = vec![0.0f64; n_full * ngp * full_stride];
+        for e in 0..ne {
+            for gp in 0..ngp {
+                let grads = &geom[(e * ngp + gp) * gstride..][..3 * nv];
+                match (&gp_tan[e * ngp + gp], elem_slot[e]) {
+                    (GpTan::Skip, _) => {} // stays zero: integrates nothing
+                    (GpTan::Iso { lw, mw }, slot) if slot >= 0 => {
+                        let slot = slot as usize;
+                        let dst = &mut iso_soa[(slot / ILANES) * iso_blk..][..iso_blk];
+                        let lane = slot % ILANES;
+                        for (c, &g) in grads.iter().enumerate() {
+                            dst[(c * ngp + gp) * ILANES + lane] = g;
+                        }
+                        dst[(3 * nv * ngp + gp) * ILANES + lane] = *lw;
+                        dst[((3 * nv + 1) * ngp + gp) * ILANES + lane] = *mw;
+                    }
+                    (tan, slot) => {
+                        let fi = (-slot - 1) as usize;
+                        let dst = &mut full_soa[fi * full_stride * ngp..][..full_stride * ngp];
+                        for (c, &g) in grads.iter().enumerate() {
+                            dst[c * ngp + gp] = g;
+                        }
+                        let aw = &mut dst[3 * nv * ngp..];
+                        match tan {
+                            GpTan::Full(a) => {
+                                for (c, &v) in a.iter().enumerate() {
+                                    aw[c * ngp + gp] = v;
+                                }
+                            }
+                            GpTan::Iso { lw, mw } => {
+                                // Isotropic point inside a general-class
+                                // element: expand λw/μw to the 81-component
+                                // weighted tensor so the element runs one
+                                // uniform contraction.
+                                for i in 0..3 {
+                                    for j in 0..3 {
+                                        for kk in 0..3 {
+                                            for l in 0..3 {
+                                                let mut v = 0.0;
+                                                if i == j && kk == l {
+                                                    v += lw;
+                                                }
+                                                if i == kk && j == l {
+                                                    v += mw;
+                                                }
+                                                if i == l && j == kk {
+                                                    v += mw;
+                                                }
+                                                aw[(((i * 3 + j) * 3 + kk) * 3 + l) * ngp + gp] = v;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            GpTan::Skip => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+
         let data = Arc::new(MfData {
-            geom,
-            gstride,
             nv,
             ngp,
             ndof,
             conn,
-            gp_tan,
+            elem_slot,
+            iso_soa,
+            full_soa,
             fixed: fixed_mask,
             scale,
         });
         let all: Vec<u32> = (0..ndof as u32).collect();
         let serial = MfRankKernel::build(data.clone(), &all);
         MatFreeOperator { data, serial }
-    }
-
-    /// The shared geometry buffer (same `Arc` as the source problem's).
-    pub fn geometry(&self) -> &Arc<Vec<f64>> {
-        &self.data.geom
     }
 }
 
@@ -276,6 +892,13 @@ impl Operator for MatFreeOperator {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.serial.apply_interior(x, y);
         self.serial.apply_boundary(x, &[], y);
+    }
+
+    fn apply_multi(&self, x: &[f64], y: &mut [f64], k: usize) {
+        pmg_telemetry::counter_add("spmv/multi_mf", 1);
+        pmg_telemetry::counter_add("spmv/multi_cols", k as u64);
+        self.serial.apply_interior_multi(x, y, k);
+        self.serial.apply_boundary_multi(x, &[], y, k);
     }
 
     fn diag(&self) -> Vec<f64> {
@@ -300,6 +923,117 @@ impl MatrixFreeFactory for MatFreeOperator {
     }
 }
 
+/// Transpose the contiguous 8×n lane-major staging rows of an aligned run
+/// (lane `l`'s element-major values at `src[l * n + m]`) into the n×8
+/// dof-interleaved tile the block kernel reads (`dst[m * 8 + l]`). Pure
+/// data movement, so it cannot change any result bits; the AVX-512 form
+/// moves whole cache lines through 8×8 register transposes instead of
+/// strided scalar stores.
+fn lanes_to_tile(src: &[f64], dst: &mut [f64], n: usize) {
+    debug_assert!(src.len() >= ILANES * n && dst.len() >= ILANES * n);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            unsafe { x86::lanes_to_tile_512(src, dst, n) };
+            return;
+        }
+    }
+    for m in 0..n {
+        for l in 0..ILANES {
+            dst[m * ILANES + l] = src[l * n + m];
+        }
+    }
+}
+
+/// Inverse of [`lanes_to_tile`]: tile `src[m * 8 + l]` back to lane-major
+/// rows `dst[l * n + m]`.
+fn tile_to_lanes(src: &[f64], dst: &mut [f64], n: usize) {
+    debug_assert!(src.len() >= ILANES * n && dst.len() >= ILANES * n);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            unsafe { x86::tile_to_lanes_512(src, dst, n) };
+            return;
+        }
+    }
+    for m in 0..n {
+        for l in 0..ILANES {
+            dst[l * n + m] = src[m * ILANES + l];
+        }
+    }
+}
+
+/// One aligned eight-element run of the fused multi-column apply: one code
+/// lookup per (lane, dof) feeds all K columns through contiguous K-wide
+/// copies, one vectorized transpose builds the dof-interleaved tile, and
+/// the block kernel runs once per column over the cache-resident record —
+/// the per-column cost approaches the single apply's arithmetic floor.
+/// `codes8` holds the run's 8·edof resolved codes; `xe`/`ye` are
+/// `2 · edof · K · 8` scratch halves (lane-major staging + tile).
+///
+/// Per column the gather is pure reads and the scatter is the same
+/// ascending lane-by-lane `y += yv` sequence as the single-column path,
+/// hence bitwise equal to K single applies.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn fused_block_columns<const K: usize>(
+    d: &MfData,
+    blk: usize,
+    codes8: &[i32],
+    xo: &[f64],
+    xg: &[f64],
+    y: &mut [f64],
+    xe: &mut [f64],
+    ye: &mut [f64],
+) {
+    let edof = codes8.len() / ILANES;
+    let n = edof * K;
+    let (xl, xt) = xe.split_at_mut(n * ILANES);
+    let (yt, yl) = ye.split_at_mut(n * ILANES);
+    for l in 0..ILANES {
+        let row = &mut xl[l * n..][..n];
+        let ec = &codes8[l * edof..][..edof];
+        for (j, &c) in ec.iter().enumerate() {
+            let dst: &mut [f64; K] = (&mut row[j * K..j * K + K]).try_into().unwrap();
+            if c >= 0 {
+                let s = c as usize * K;
+                *dst = *<&[f64; K]>::try_from(&xo[s..s + K]).unwrap();
+            } else if c < -1 {
+                let s = (-c - 2) as usize * K;
+                *dst = *<&[f64; K]>::try_from(&xg[s..s + K]).unwrap();
+            } else {
+                *dst = [0.0; K];
+            }
+        }
+    }
+    lanes_to_tile(xl, xt, n);
+    for cc in 0..K {
+        d.iso_block8(blk, xt, yt, K, cc);
+    }
+    tile_to_lanes(yt, yl, n);
+    for l in 0..ILANES {
+        let row = &yl[l * n..][..n];
+        let ec = &codes8[l * edof..][..edof];
+        for (j, &c) in ec.iter().enumerate() {
+            if c >= 0 {
+                let s = c as usize * K;
+                let dst = &mut y[s..s + K];
+                for (dv, &sv) in dst.iter_mut().zip(&row[j * K..j * K + K]) {
+                    *dv += sv;
+                }
+            }
+        }
+    }
+}
+
+/// Reusable gather/staging buffers of one kernel: grown on first use,
+/// reused by every subsequent apply (no steady-state allocation).
+#[derive(Default)]
+struct MfScratch {
+    xbuf: Vec<f64>,
+    ybuf: Vec<f64>,
+}
+
 /// One rank's two-phase element-loop kernel (see
 /// `pmg_sparse::op::MatrixFreeKernel` for the contract).
 pub struct MfRankKernel {
@@ -315,10 +1049,19 @@ pub struct MfRankKernel {
     elems_int: Vec<u32>,
     /// Elements with ≥1 owned free dof and ≥1 ghost dof, ascending.
     elems_bnd: Vec<u32>,
+    /// `code[..]` resolved per element dof of `elems_int` (element-major,
+    /// `3nv` per element): one flat load replaces the two-step
+    /// connectivity → code lookup in every gather and scatter.
+    codes_int: Vec<i32>,
+    /// Same for `elems_bnd`.
+    codes_bnd: Vec<i32>,
     interior_rows: u64,
     boundary_rows: u64,
     diag: Vec<f64>,
     flops: u64,
+    /// Gather/staging reuse. One apply runs at a time per kernel (ranks
+    /// own distinct kernels, so rank-parallel applies never contend).
+    scratch: Mutex<MfScratch>,
 }
 
 impl MfRankKernel {
@@ -391,6 +1134,21 @@ impl MfRankKernel {
         let boundary_rows = row_is_boundary.iter().filter(|&&b| b).count() as u64;
         let interior_rows = owned.len() as u64 - boundary_rows;
 
+        let resolve = |elems: &[u32]| -> Vec<i32> {
+            let mut codes = Vec::with_capacity(elems.len() * 3 * nv);
+            for &e in elems {
+                for a in 0..nv {
+                    let v = data.conn[e as usize * nv + a] as usize;
+                    for i in 0..3 {
+                        codes.push(code[3 * v + i]);
+                    }
+                }
+            }
+            codes
+        };
+        let codes_int = resolve(&elems_int);
+        let codes_bnd = resolve(&elems_bnd);
+
         // Diagonal of the owned rows: constrained rows carry `scale`, free
         // rows sum their elements' Gauss-point diagonal contributions.
         let mut diag = vec![0.0f64; owned.len()];
@@ -400,6 +1158,8 @@ impl MfRankKernel {
         let edof = 3 * nv;
         let mut xe = vec![0.0f64; edof];
         let mut ye = vec![0.0f64; edof];
+        let mut gm = [0.0f64; 9];
+        let mut sm = [0.0f64; 9];
         for &e in elems_int.iter().chain(&elems_bnd) {
             let e = e as usize;
             for a in 0..nv {
@@ -413,23 +1173,23 @@ impl MfRankKernel {
                     // this element; setup-only cost.
                     xe.fill(0.0);
                     xe[3 * a + i] = 1.0;
-                    data.element_apply(e, &xe, &mut ye);
+                    data.element_apply_k(e, &xe, &mut ye, 1, &mut gm, &mut sm);
                     diag[c as usize] += ye[3 * a + i];
                 }
             }
         }
 
         // Flop estimate per full apply: gradient build + contraction +
-        // scatter per non-skipped Gauss point.
+        // scatter per Gauss point (the branch-free loop runs skipped
+        // points too — on zeros).
         let mut flops = fixed_slots.len() as u64;
         for &e in elems_int.iter().chain(&elems_bnd) {
-            for gp in 0..data.ngp {
-                flops += match &data.gp_tan[e as usize * data.ngp + gp] {
-                    GpTan::Skip => 0,
-                    GpTan::Iso { .. } => (18 * nv + 15 + 18 * nv) as u64,
-                    GpTan::Full(_) => (18 * nv + 162 + 18 * nv) as u64,
-                };
-            }
+            let per_gp = if data.elem_slot[e as usize] >= 0 {
+                18 * nv + 15 + 18 * nv
+            } else {
+                18 * nv + 162 + 18 * nv
+            };
+            flops += (data.ngp * per_gp) as u64;
         }
 
         MfRankKernel {
@@ -440,16 +1200,41 @@ impl MfRankKernel {
             local_rows: owned.len(),
             elems_int,
             elems_bnd,
+            codes_int,
+            codes_bnd,
             interior_rows,
             boundary_rows,
             diag,
             flops,
+            scratch: Mutex::new(MfScratch::default()),
         }
     }
 
-    /// Run the element loop over `elems`, accumulating into `y` in fixed
-    /// element order (parallel per-chunk compute, serial scatter).
-    fn run_elements(&self, elems: &[u32], xo: &[f64], xg: &[f64], y: &mut [f64]) {
+    /// Run the element loop over `elems` on `k` interleaved columns,
+    /// accumulating into `y` in fixed element order. With more than one
+    /// pool worker: serial gather into the reused staging, parallel
+    /// per-batch compute (each batch task carries its own gradient/stress
+    /// scratch inside its staging region), serial fixed-order scatter.
+    /// With one worker the loop fuses gather → kernel → scatter per
+    /// element through L1-resident scratch instead of streaming staged
+    /// chunks; elements run in the same ascending order and every owned
+    /// dof receives its element contributions in that order either way,
+    /// so both shapes produce the same bits. Aligned eight-slot isotropic
+    /// runs route through the element-lane block kernel in both shapes and
+    /// at every k — multi-column applies gather all k columns off one code
+    /// lookup and run the kernel once per column over the cache-resident
+    /// block record. Each lane is bitwise the single-element product and
+    /// lanes gather/scatter in ascending element order per column, so run
+    /// detection cannot change the bits either.
+    fn run_elements(
+        &self,
+        elems: &[u32],
+        codes: &[i32],
+        xo: &[f64],
+        xg: &[f64],
+        y: &mut [f64],
+        k: usize,
+    ) {
         let d = &self.data;
         let nv = d.nv;
         let edof = 3 * nv;
@@ -459,57 +1244,249 @@ impl MfRankKernel {
         pmg_telemetry::counter_add("op/mf_elements", elems.len() as u64);
         pmg_telemetry::counter_add(
             "op/mf_bytes",
-            (elems.len() * (d.ngp * d.gstride + 2 * edof + nv) * 8) as u64,
+            (elems.len() * (d.ngp * d.iso_stride() + (2 * edof) * k + nv) * 8) as u64,
         );
-        let mut xbuf = vec![0.0f64; CHUNK.min(elems.len()) * edof];
-        let mut ybuf = vec![0.0f64; CHUNK.min(elems.len()) * edof];
+        let batch = batch_size();
+        // Each batch's staging region: its elements' outputs, the
+        // task-local gradient/stress scratch (9k + 9k values), and the
+        // lane-major xe8/ye8 buffers of the eight-element block kernel
+        // (k column planes each).
+        let lane_extra = 2 * edof * k * ILANES;
+        let region = batch * edof * k + 18 * k + lane_extra;
+        let mut guard = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        let sc = &mut *guard;
+
+        // The `k == 1` gather/scatter arms avoid per-dof subslice traffic
+        // on the hot single apply.
+        let gather = |xe: &mut [f64], ec: &[i32]| {
+            if k == 1 {
+                for (xv, &c) in xe.iter_mut().zip(ec) {
+                    *xv = if c >= 0 {
+                        xo[c as usize]
+                    } else if c < -1 {
+                        xg[(-c - 2) as usize]
+                    } else {
+                        0.0 // constrained column: eliminated
+                    };
+                }
+                return;
+            }
+            for (j, &c) in ec.iter().enumerate() {
+                let dst = &mut xe[j * k..][..k];
+                if c >= 0 {
+                    dst.copy_from_slice(&xo[(c as usize) * k..][..k]);
+                } else if c < -1 {
+                    dst.copy_from_slice(&xg[((-c - 2) as usize) * k..][..k]);
+                } else {
+                    dst.fill(0.0); // constrained column: eliminated
+                }
+            }
+        };
+
+        // The fused serial loop wins whenever no real parallelism is
+        // available: a 1-thread pool, or a pool of any size on a
+        // single-core machine (where parallel staging is pure scheduling
+        // overhead). Both arms produce identical bits at every thread
+        // count and batch size, so this routing is a pure perf choice.
+        let serial_hw = std::thread::available_parallelism().is_ok_and(|n| n.get() == 1);
+        if rayon::current_num_threads() == 1 || serial_hw {
+            // The fused loop sizes its element buffers for the eight-lane
+            // block kernel at every k: aligned isotropic runs stage k
+            // columns lane-major plus the dof-interleaved tile the kernel
+            // reads (two n·8 halves each side).
+            let need_x = 2 * edof * k * ILANES;
+            let need_y = 2 * edof * k * ILANES + 18 * k;
+            if sc.xbuf.len() < need_x {
+                sc.xbuf.resize(need_x, 0.0);
+            }
+            if sc.ybuf.len() < need_y {
+                sc.ybuf.resize(need_y, 0.0);
+            }
+            let xe = &mut sc.xbuf[..need_x];
+            let (ye, tail) = sc.ybuf[..need_y].split_at_mut(2 * edof * k * ILANES);
+            let (gm, s) = tail.split_at_mut(9 * k);
+            let mut off = 0usize;
+            while off < elems.len() {
+                if k == 1 {
+                    if let Some(blk) = d.aligned_block(elems, off) {
+                        // Lane-major gather: lane l is element elems[off+l].
+                        for j in 0..edof {
+                            for l in 0..ILANES {
+                                let c = codes[(off + l) * edof + j];
+                                xe[j * ILANES + l] = if c >= 0 {
+                                    xo[c as usize]
+                                } else if c < -1 {
+                                    xg[(-c - 2) as usize]
+                                } else {
+                                    0.0
+                                };
+                            }
+                        }
+                        d.iso_block8(blk, xe, ye, 1, 0);
+                        // Scatter lane by lane in ascending element order —
+                        // the same `y[c] += yv` operation sequence as eight
+                        // consecutive single-element loops.
+                        for l in 0..ILANES {
+                            let ec = &codes[(off + l) * edof..][..edof];
+                            for (j, &c) in ec.iter().enumerate() {
+                                if c >= 0 {
+                                    y[c as usize] += ye[j * ILANES + l];
+                                }
+                            }
+                        }
+                        off += ILANES;
+                        continue;
+                    }
+                } else if matches!(k, 2 | 4 | 8) {
+                    // Multi-column block path, monomorphized over k so the
+                    // per-dof column copies compile to fixed vector moves
+                    // instead of runtime-length memcpys.
+                    if let Some(blk) = d.aligned_block(elems, off) {
+                        let codes8 = &codes[off * edof..][..ILANES * edof];
+                        match k {
+                            2 => fused_block_columns::<2>(d, blk, codes8, xo, xg, y, xe, ye),
+                            4 => fused_block_columns::<4>(d, blk, codes8, xo, xg, y, xe, ye),
+                            _ => fused_block_columns::<8>(d, blk, codes8, xo, xg, y, xe, ye),
+                        }
+                        off += ILANES;
+                        continue;
+                    }
+                }
+                let ec = &codes[off * edof..][..edof];
+                gather(&mut xe[..edof * k], ec);
+                d.element_apply_k(
+                    elems[off] as usize,
+                    &xe[..edof * k],
+                    &mut ye[..edof * k],
+                    k,
+                    gm,
+                    s,
+                );
+                if k == 1 {
+                    for (&c, &yv) in ec.iter().zip(ye.iter()) {
+                        if c >= 0 {
+                            y[c as usize] += yv;
+                        }
+                    }
+                } else {
+                    for (j, &c) in ec.iter().enumerate() {
+                        if c >= 0 {
+                            let dst = &mut y[(c as usize) * k..][..k];
+                            for (dv, &sv) in dst.iter_mut().zip(&ye[j * k..][..k]) {
+                                *dv += sv;
+                            }
+                        }
+                    }
+                }
+                off += 1;
+            }
+            pmg_telemetry::counter_add("op/mf_batches", elems.len().div_ceil(batch) as u64);
+            return;
+        }
+
         let mut start = 0usize;
         while start < elems.len() {
             let end = (start + CHUNK).min(elems.len());
             let cnt = end - start;
-            let xb = &mut xbuf[..cnt * edof];
-            let yb = &mut ybuf[..cnt * edof];
+            let nb = cnt.div_ceil(batch);
+            if sc.xbuf.len() < cnt * edof * k {
+                sc.xbuf.resize(cnt * edof * k, 0.0);
+            }
+            if sc.ybuf.len() < nb * region {
+                sc.ybuf.resize(nb * region, 0.0);
+            }
             // Gather is cheap and deterministic; do it serially so the
             // parallel part carries no slice-of-x aliasing.
-            for (off, &e) in elems[start..end].iter().enumerate() {
-                let e = e as usize;
-                let xe = &mut xb[off * edof..(off + 1) * edof];
-                for a in 0..nv {
-                    let v = d.conn[e * nv + a] as usize;
-                    for i in 0..3 {
-                        let c = self.code[3 * v + i];
-                        xe[3 * a + i] = if c >= 0 {
-                            xo[c as usize]
-                        } else if c < -1 {
-                            xg[(-c - 2) as usize]
-                        } else {
-                            0.0 // constrained column: eliminated
-                        };
-                    }
-                }
+            for off in 0..cnt {
+                let xe = &mut sc.xbuf[off * edof * k..(off + 1) * edof * k];
+                gather(xe, &codes[(start + off) * edof..][..edof]);
             }
             {
-                let xb = &xb[..];
-                yb.par_chunks_mut(edof).enumerate().for_each(|(off, ye)| {
-                    let e = elems[start + off] as usize;
-                    d.element_apply(e, &xb[off * edof..(off + 1) * edof], ye);
-                });
+                let xb = &sc.xbuf[..cnt * edof * k];
+                sc.ybuf[..nb * region]
+                    .par_chunks_mut(region)
+                    .enumerate()
+                    .for_each(|(bi, reg)| {
+                        let b0 = bi * batch;
+                        let bcnt = batch.min(cnt - b0);
+                        let (ye_all, rest) = reg.split_at_mut(batch * edof * k);
+                        let (gs, lane_buf) = rest.split_at_mut(18 * k);
+                        let (gm, s) = gs.split_at_mut(9 * k);
+                        let mut off = 0usize;
+                        while off < bcnt {
+                            if off + ILANES <= bcnt {
+                                if let Some(blk) = d.aligned_block(elems, start + b0 + off) {
+                                    // The eight staged per-element source
+                                    // rows are contiguous: transpose them
+                                    // into the dof-interleaved tile, run
+                                    // the block kernel once per column
+                                    // over the cache-resident record, and
+                                    // transpose the products back into
+                                    // the per-element staging slots the
+                                    // serial scatter reads — the staged
+                                    // values are bitwise the
+                                    // single-element results per column.
+                                    let n = edof * k;
+                                    let (xt, yt) = lane_buf.split_at_mut(n * ILANES);
+                                    lanes_to_tile(&xb[(b0 + off) * n..][..ILANES * n], xt, n);
+                                    for cc in 0..k {
+                                        d.iso_block8(blk, xt, yt, k, cc);
+                                    }
+                                    tile_to_lanes(yt, &mut ye_all[off * n..][..ILANES * n], n);
+                                    off += ILANES;
+                                    continue;
+                                }
+                            }
+                            let e = elems[start + b0 + off] as usize;
+                            let xe = &xb[(b0 + off) * edof * k..][..edof * k];
+                            let ye = &mut ye_all[off * edof * k..][..edof * k];
+                            d.element_apply_k(e, xe, ye, k, gm, s);
+                            off += 1;
+                        }
+                    });
             }
-            for (off, &e) in elems[start..end].iter().enumerate() {
-                let e = e as usize;
-                let ye = &yb[off * edof..(off + 1) * edof];
-                for a in 0..nv {
-                    let v = d.conn[e * nv + a] as usize;
-                    for i in 0..3 {
-                        let c = self.code[3 * v + i];
+            pmg_telemetry::counter_add("op/mf_batches", nb as u64);
+            for off in 0..cnt {
+                let ye = &sc.ybuf[(off / batch) * region + (off % batch) * edof * k..][..edof * k];
+                let ec = &codes[(start + off) * edof..][..edof];
+                if k == 1 {
+                    for (&c, &yv) in ec.iter().zip(ye.iter()) {
                         if c >= 0 {
-                            y[c as usize] += ye[3 * a + i];
+                            y[c as usize] += yv;
+                        }
+                    }
+                    continue;
+                }
+                for (j, &c) in ec.iter().enumerate() {
+                    if c >= 0 {
+                        let dst = &mut y[(c as usize) * k..][..k];
+                        for (dv, &sv) in dst.iter_mut().zip(&ye[j * k..][..k]) {
+                            *dv += sv;
                         }
                     }
                 }
             }
             start = end;
         }
+    }
+
+    fn interior_k(&self, x_owned: &[f64], y: &mut [f64], k: usize) {
+        assert_eq!(x_owned.len(), self.local_rows * k);
+        assert_eq!(y.len(), self.local_rows * k);
+        y.fill(0.0);
+        for &slot in &self.fixed_slots {
+            let s = slot as usize;
+            for c in 0..k {
+                y[s * k + c] = self.data.scale * x_owned[s * k + c];
+            }
+        }
+        self.run_elements(&self.elems_int, &self.codes_int, x_owned, &[], y, k);
+    }
+
+    fn boundary_k(&self, x_owned: &[f64], x_ghost: &[f64], y: &mut [f64], k: usize) {
+        assert_eq!(x_ghost.len(), self.ghosts.len() * k);
+        self.run_elements(&self.elems_bnd, &self.codes_bnd, x_owned, x_ghost, y, k);
+        pmg_telemetry::counter_add("op/mf_flops", self.flops * k as u64);
     }
 }
 
@@ -523,19 +1500,21 @@ impl MatrixFreeKernel for MfRankKernel {
     }
 
     fn apply_interior(&self, x_owned: &[f64], y: &mut [f64]) {
-        assert_eq!(x_owned.len(), self.local_rows);
-        assert_eq!(y.len(), self.local_rows);
-        y.fill(0.0);
-        for &slot in &self.fixed_slots {
-            y[slot as usize] = self.data.scale * x_owned[slot as usize];
-        }
-        self.run_elements(&self.elems_int, x_owned, &[], y);
+        self.interior_k(x_owned, y, 1);
     }
 
     fn apply_boundary(&self, x_owned: &[f64], x_ghost: &[f64], y: &mut [f64]) {
-        assert_eq!(x_ghost.len(), self.ghosts.len());
-        self.run_elements(&self.elems_bnd, x_owned, x_ghost, y);
-        pmg_telemetry::counter_add("op/mf_flops", self.flops);
+        self.boundary_k(x_owned, x_ghost, y, 1);
+    }
+
+    fn apply_interior_multi(&self, x_owned: &[f64], y: &mut [f64], k: usize) {
+        assert!(k > 0, "apply_interior_multi needs at least one column");
+        self.interior_k(x_owned, y, k);
+    }
+
+    fn apply_boundary_multi(&self, x_owned: &[f64], x_ghost: &[f64], y: &mut [f64], k: usize) {
+        assert!(k > 0, "apply_boundary_multi needs at least one column");
+        self.boundary_k(x_owned, x_ghost, y, k);
     }
 
     fn interior_rows(&self) -> u64 {
@@ -556,24 +1535,697 @@ impl MatrixFreeKernel for MfRankKernel {
 
     fn memory_bytes(&self) -> u64 {
         let d = &self.data;
-        let tan_bytes: u64 = d
-            .gp_tan
-            .iter()
-            .map(|t| match t {
-                GpTan::Skip => 8u64,
-                GpTan::Iso { .. } => 24,
-                GpTan::Full(_) => 8 + 81 * 8,
-            })
-            .sum();
-        // Shared caches (geometry, connectivity, tangents, mask) plus this
+        // The folded SoA buffers are what the apply streams (they subsume
+        // the geometry cache reads and the tangent table of the unbatched
+        // kernel), plus connectivity, class map, constraint mask, and this
         // rank's maps and diagonal.
-        (d.geom.len() * 8 + d.conn.len() * 4 + d.fixed.len()) as u64
-            + tan_bytes
+        (d.iso_soa.len() * 8
+            + d.full_soa.len() * 8
+            + d.conn.len() * 4
+            + d.elem_slot.len() * 4
+            + d.fixed.len()) as u64
             + (self.code.len() * 4
                 + self.ghosts.len() * 4
                 + self.fixed_slots.len() * 4
                 + self.diag.len() * 8
-                + (self.elems_int.len() + self.elems_bnd.len()) * 4) as u64
+                + (self.elems_int.len() + self.elems_bnd.len()) * 4
+                + (self.codes_int.len() + self.codes_bnd.len()) * 4) as u64
+    }
+}
+
+/// AVX forms of the element kernels. Every lane operation is a vertical
+/// IEEE mul, add, or fused multiply-add exactly where the portable
+/// reference writes `f64::mul_add` — no compiler contraction, no
+/// reassociation — and per-dof
+/// reductions over Gauss points run in ascending `gp` order, so each
+/// kernel executes exactly the portable reference's floating-point
+/// sequence per column and produces the same bits. The single-column
+/// kernels vectorize across Gauss points (4 per `__m256d`, scalar tail in
+/// the same order); the multi-column kernels vectorize across columns
+/// (`k` a multiple of 4).
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::ILANES;
+    use std::arch::x86_64::*;
+
+    /// Per-element dof bound (Hex20: 3 · 20).
+    const MAX_EDOF: usize = 60;
+
+    /// `ye = ke·xe`, general class, one column.
+    ///
+    /// # Safety
+    /// Requires AVX; `grads` is `3nv` rows of `ngp`, `aw` 81 rows of `ngp`.
+    #[target_feature(enable = "avx,fma")]
+    pub unsafe fn full_apply_1(
+        nv: usize,
+        ngp: usize,
+        grads: &[f64],
+        aw: &[f64],
+        xe: &[f64],
+        ye: &mut [f64],
+    ) {
+        let mut accbuf = [0.0f64; MAX_EDOF];
+        let acc = &mut accbuf[..3 * nv];
+        let mut base = 0usize;
+        while base + 4 <= ngp {
+            let mut gm = [_mm256_setzero_pd(); 9];
+            for b in 0..nv {
+                let g0 = _mm256_loadu_pd(grads.as_ptr().add(3 * b * ngp + base));
+                let g1 = _mm256_loadu_pd(grads.as_ptr().add((3 * b + 1) * ngp + base));
+                let g2 = _mm256_loadu_pd(grads.as_ptr().add((3 * b + 2) * ngp + base));
+                for r in 0..3 {
+                    let xb = _mm256_set1_pd(xe[3 * b + r]);
+                    gm[r * 3] = _mm256_fmadd_pd(xb, g0, gm[r * 3]);
+                    gm[r * 3 + 1] = _mm256_fmadd_pd(xb, g1, gm[r * 3 + 1]);
+                    gm[r * 3 + 2] = _mm256_fmadd_pd(xb, g2, gm[r * 3 + 2]);
+                }
+            }
+            let mut s = [_mm256_setzero_pd(); 9];
+            for i in 0..3 {
+                for j in 0..3 {
+                    let mut sv = _mm256_setzero_pd();
+                    for kk in 0..3 {
+                        for l in 0..3 {
+                            let ar = _mm256_loadu_pd(
+                                aw.as_ptr()
+                                    .add((((i * 3 + j) * 3 + kk) * 3 + l) * ngp + base),
+                            );
+                            sv = _mm256_fmadd_pd(ar, gm[kk * 3 + l], sv);
+                        }
+                    }
+                    s[i * 3 + j] = sv;
+                }
+            }
+            scatter_chunk(nv, ngp, base, grads, &s, acc);
+            base += 4;
+        }
+        for gp in base..ngp {
+            full_tail_gp(nv, ngp, gp, grads, aw, xe, acc);
+        }
+        ye[..3 * nv].copy_from_slice(acc);
+    }
+
+    /// Element-lane block kernel (AVX-512F): lane `l` of every register is
+    /// element slot `8·blk + l`. All loads are unit-stride (the blocked
+    /// record IS the lane layout), every operation is a vertical fused
+    /// multiply-add matching the portable reference's `f64::mul_add`
+    /// calls, and the dof accumulators sum their per-point products in
+    /// ascending `gp` order from zero — each lane executes exactly the
+    /// scalar reference sequence of its element.
+    ///
+    /// # Safety
+    /// Requires AVX-512F. `grads` is `3nv · ngp` lane groups of 8, `tail`
+    /// the `[λw, μw]` lane groups, `xe8`/`ye8` hold dof `d` at lane group
+    /// `d * cstr + coff` (multi-column tiles interleave columns per dof).
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn iso_block8_512(
+        nv: usize,
+        ngp: usize,
+        grads: &[f64],
+        tail: &[f64],
+        xe8: &[f64],
+        ye8: &mut [f64],
+        cstr: usize,
+        coff: usize,
+    ) {
+        let mut acc = [_mm512_setzero_pd(); MAX_EDOF];
+        for gp in 0..ngp {
+            let mut gm = [_mm512_setzero_pd(); 9];
+            for b in 0..nv {
+                let g0 = _mm512_loadu_pd(grads.as_ptr().add((3 * b * ngp + gp) * ILANES));
+                let g1 = _mm512_loadu_pd(grads.as_ptr().add(((3 * b + 1) * ngp + gp) * ILANES));
+                let g2 = _mm512_loadu_pd(grads.as_ptr().add(((3 * b + 2) * ngp + gp) * ILANES));
+                for r in 0..3 {
+                    let xb =
+                        _mm512_loadu_pd(xe8.as_ptr().add(((3 * b + r) * cstr + coff) * ILANES));
+                    gm[r * 3] = _mm512_fmadd_pd(xb, g0, gm[r * 3]);
+                    gm[r * 3 + 1] = _mm512_fmadd_pd(xb, g1, gm[r * 3 + 1]);
+                    gm[r * 3 + 2] = _mm512_fmadd_pd(xb, g2, gm[r * 3 + 2]);
+                }
+            }
+            let lwv = _mm512_loadu_pd(tail.as_ptr().add(gp * ILANES));
+            let mwv = _mm512_loadu_pd(tail.as_ptr().add((ngp + gp) * ILANES));
+            let mut s = [_mm512_setzero_pd(); 9];
+            for i in 0..3 {
+                for j in 0..3 {
+                    s[i * 3 + j] = _mm512_mul_pd(mwv, _mm512_add_pd(gm[i * 3 + j], gm[j * 3 + i]));
+                }
+            }
+            // tr(G) is the same bits whether computed once or per row.
+            let tr = _mm512_add_pd(_mm512_add_pd(gm[0], gm[4]), gm[8]);
+            for i in 0..3 {
+                s[i * 3 + i] = _mm512_fmadd_pd(lwv, tr, s[i * 3 + i]);
+            }
+            for a in 0..nv {
+                let ga0 = _mm512_loadu_pd(grads.as_ptr().add((3 * a * ngp + gp) * ILANES));
+                let ga1 = _mm512_loadu_pd(grads.as_ptr().add(((3 * a + 1) * ngp + gp) * ILANES));
+                let ga2 = _mm512_loadu_pd(grads.as_ptr().add(((3 * a + 2) * ngp + gp) * ILANES));
+                for i in 0..3 {
+                    let t = _mm512_fmadd_pd(
+                        s[i * 3 + 2],
+                        ga2,
+                        _mm512_fmadd_pd(s[i * 3 + 1], ga1, _mm512_mul_pd(s[i * 3], ga0)),
+                    );
+                    acc[3 * a + i] = _mm512_add_pd(acc[3 * a + i], t);
+                }
+            }
+        }
+        for d in 0..3 * nv {
+            _mm512_storeu_pd(ye8.as_mut_ptr().add((d * cstr + coff) * ILANES), acc[d]);
+        }
+    }
+
+    /// 8-wide form of `full_apply_1` (AVX-512F).
+    ///
+    /// # Safety
+    /// Requires AVX-512F; slice layout as in `full_apply_1`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn full_apply_1_512(
+        nv: usize,
+        ngp: usize,
+        grads: &[f64],
+        aw: &[f64],
+        xe: &[f64],
+        ye: &mut [f64],
+    ) {
+        let mut accbuf = [0.0f64; MAX_EDOF];
+        let acc = &mut accbuf[..3 * nv];
+        let mut base = 0usize;
+        while base + 8 <= ngp {
+            let mut gm = [_mm512_setzero_pd(); 9];
+            for b in 0..nv {
+                let g0 = _mm512_loadu_pd(grads.as_ptr().add(3 * b * ngp + base));
+                let g1 = _mm512_loadu_pd(grads.as_ptr().add((3 * b + 1) * ngp + base));
+                let g2 = _mm512_loadu_pd(grads.as_ptr().add((3 * b + 2) * ngp + base));
+                for r in 0..3 {
+                    let xb = _mm512_set1_pd(xe[3 * b + r]);
+                    gm[r * 3] = _mm512_fmadd_pd(xb, g0, gm[r * 3]);
+                    gm[r * 3 + 1] = _mm512_fmadd_pd(xb, g1, gm[r * 3 + 1]);
+                    gm[r * 3 + 2] = _mm512_fmadd_pd(xb, g2, gm[r * 3 + 2]);
+                }
+            }
+            let mut s = [_mm512_setzero_pd(); 9];
+            for i in 0..3 {
+                for j in 0..3 {
+                    let mut sv = _mm512_setzero_pd();
+                    for kk in 0..3 {
+                        for l in 0..3 {
+                            let ar = _mm512_loadu_pd(
+                                aw.as_ptr()
+                                    .add((((i * 3 + j) * 3 + kk) * 3 + l) * ngp + base),
+                            );
+                            sv = _mm512_fmadd_pd(ar, gm[kk * 3 + l], sv);
+                        }
+                    }
+                    s[i * 3 + j] = sv;
+                }
+            }
+            scatter_chunk8(nv, ngp, base, grads, &s, acc);
+            base += 8;
+        }
+        for gp in base..ngp {
+            full_tail_gp(nv, ngp, gp, grads, aw, xe, acc);
+        }
+        ye[..3 * nv].copy_from_slice(acc);
+    }
+
+    /// 8-point analogue of `scatter_chunk`: eight lane contributions join
+    /// each dof's running sum in ascending lane (gp) order. Groups of 8
+    /// dofs reduce through an in-register 8×8 transpose — row `g` of the
+    /// transpose holds the eight dofs' gp-`g` products, and the vertical
+    /// adds run `g = 0..8` left-associated, so lane `d` performs exactly
+    /// `((acc + t_d[0]) + t_d[1]) + …`: the scalar loop's sequence.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn scatter_chunk8(
+        nv: usize,
+        ngp: usize,
+        base: usize,
+        grads: &[f64],
+        s: &[__m512d; 9],
+        acc: &mut [f64],
+    ) {
+        let mut tbuf = [_mm512_setzero_pd(); MAX_EDOF];
+        for a in 0..nv {
+            let ga0 = _mm512_loadu_pd(grads.as_ptr().add(3 * a * ngp + base));
+            let ga1 = _mm512_loadu_pd(grads.as_ptr().add((3 * a + 1) * ngp + base));
+            let ga2 = _mm512_loadu_pd(grads.as_ptr().add((3 * a + 2) * ngp + base));
+            for i in 0..3 {
+                tbuf[3 * a + i] = _mm512_fmadd_pd(
+                    s[i * 3 + 2],
+                    ga2,
+                    _mm512_fmadd_pd(s[i * 3 + 1], ga1, _mm512_mul_pd(s[i * 3], ga0)),
+                );
+            }
+        }
+        let edof = 3 * nv;
+        let mut d0 = 0usize;
+        while d0 + 8 <= edof {
+            let u = transpose8(&tbuf[d0..d0 + 8]);
+            let mut av = _mm512_loadu_pd(acc.as_ptr().add(d0));
+            for ug in u.iter() {
+                av = _mm512_add_pd(av, *ug);
+            }
+            _mm512_storeu_pd(acc.as_mut_ptr().add(d0), av);
+            d0 += 8;
+        }
+        for d in d0..edof {
+            let mut tl = [0.0f64; 8];
+            _mm512_storeu_pd(tl.as_mut_ptr(), tbuf[d]);
+            let mut av = acc[d];
+            for &lane in tl.iter() {
+                av += lane;
+            }
+            acc[d] = av;
+        }
+    }
+
+    /// In-register 8×8 f64 transpose: `out[g][d] = r[d][g]`. Pure lane
+    /// permutation — no arithmetic, no effect on any computed bits.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn transpose8(r: &[__m512d]) -> [__m512d; 8] {
+        let t0 = _mm512_unpacklo_pd(r[0], r[1]);
+        let t1 = _mm512_unpackhi_pd(r[0], r[1]);
+        let t2 = _mm512_unpacklo_pd(r[2], r[3]);
+        let t3 = _mm512_unpackhi_pd(r[2], r[3]);
+        let t4 = _mm512_unpacklo_pd(r[4], r[5]);
+        let t5 = _mm512_unpackhi_pd(r[4], r[5]);
+        let t6 = _mm512_unpacklo_pd(r[6], r[7]);
+        let t7 = _mm512_unpackhi_pd(r[6], r[7]);
+        let u0 = _mm512_shuffle_f64x2::<0x88>(t0, t2);
+        let u1 = _mm512_shuffle_f64x2::<0x88>(t4, t6);
+        let u2 = _mm512_shuffle_f64x2::<0xDD>(t0, t2);
+        let u3 = _mm512_shuffle_f64x2::<0xDD>(t4, t6);
+        let v0 = _mm512_shuffle_f64x2::<0x88>(t1, t3);
+        let v1 = _mm512_shuffle_f64x2::<0x88>(t5, t7);
+        let v2 = _mm512_shuffle_f64x2::<0xDD>(t1, t3);
+        let v3 = _mm512_shuffle_f64x2::<0xDD>(t5, t7);
+        [
+            _mm512_shuffle_f64x2::<0x88>(u0, u1),
+            _mm512_shuffle_f64x2::<0x88>(v0, v1),
+            _mm512_shuffle_f64x2::<0x88>(u2, u3),
+            _mm512_shuffle_f64x2::<0x88>(v2, v3),
+            _mm512_shuffle_f64x2::<0xDD>(u0, u1),
+            _mm512_shuffle_f64x2::<0xDD>(v0, v1),
+            _mm512_shuffle_f64x2::<0xDD>(u2, u3),
+            _mm512_shuffle_f64x2::<0xDD>(v2, v3),
+        ]
+    }
+
+    /// `dst[m * 8 + l] = src[l * n + m]` through 8×8 register transposes
+    /// (AVX-512F); scalar tail when `n % 8 != 0`.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; `src` and `dst` hold at least `8 * n` values.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn lanes_to_tile_512(src: &[f64], dst: &mut [f64], n: usize) {
+        let mut m = 0usize;
+        while m + 8 <= n {
+            let mut r = [_mm512_setzero_pd(); 8];
+            for (l, rv) in r.iter_mut().enumerate() {
+                *rv = _mm512_loadu_pd(src.as_ptr().add(l * n + m));
+            }
+            let t = transpose8(&r);
+            for (j, v) in t.iter().enumerate() {
+                _mm512_storeu_pd(dst.as_mut_ptr().add((m + j) * ILANES), *v);
+            }
+            m += 8;
+        }
+        while m < n {
+            for l in 0..ILANES {
+                dst[m * ILANES + l] = src[l * n + m];
+            }
+            m += 1;
+        }
+    }
+
+    /// `dst[l * n + m] = src[m * 8 + l]` — inverse of `lanes_to_tile_512`.
+    ///
+    /// # Safety
+    /// Requires AVX-512F; `src` and `dst` hold at least `8 * n` values.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn tile_to_lanes_512(src: &[f64], dst: &mut [f64], n: usize) {
+        let mut m = 0usize;
+        while m + 8 <= n {
+            let mut r = [_mm512_setzero_pd(); 8];
+            for (j, rv) in r.iter_mut().enumerate() {
+                *rv = _mm512_loadu_pd(src.as_ptr().add((m + j) * ILANES));
+            }
+            let t = transpose8(&r);
+            for (l, v) in t.iter().enumerate() {
+                _mm512_storeu_pd(dst.as_mut_ptr().add(l * n + m), *v);
+            }
+            m += 8;
+        }
+        while m < n {
+            for l in 0..ILANES {
+                dst[l * n + m] = src[m * ILANES + l];
+            }
+            m += 1;
+        }
+    }
+
+    /// 8-column-chunk form of `iso_apply_ck` (AVX-512F, `k % 8 == 0`),
+    /// reading lane `lane` of a slot-blocked isotropic record.
+    ///
+    /// # Safety
+    /// Requires AVX-512F and `k % 8 == 0`; slices as in `iso_apply_ck`.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn iso_apply_ck8(
+        nv: usize,
+        ngp: usize,
+        grads: &[f64],
+        tail: &[f64],
+        lane: usize,
+        xe: &[f64],
+        ye: &mut [f64],
+        k: usize,
+    ) {
+        for c0 in (0..k).step_by(8) {
+            for gp in 0..ngp {
+                let mut gm = [_mm512_setzero_pd(); 9];
+                for b in 0..nv {
+                    let g0 = _mm512_set1_pd(grads[(3 * b * ngp + gp) * ILANES + lane]);
+                    let g1 = _mm512_set1_pd(grads[((3 * b + 1) * ngp + gp) * ILANES + lane]);
+                    let g2 = _mm512_set1_pd(grads[((3 * b + 2) * ngp + gp) * ILANES + lane]);
+                    for r in 0..3 {
+                        let xb = _mm512_loadu_pd(xe.as_ptr().add((3 * b + r) * k + c0));
+                        gm[r * 3] = _mm512_fmadd_pd(xb, g0, gm[r * 3]);
+                        gm[r * 3 + 1] = _mm512_fmadd_pd(xb, g1, gm[r * 3 + 1]);
+                        gm[r * 3 + 2] = _mm512_fmadd_pd(xb, g2, gm[r * 3 + 2]);
+                    }
+                }
+                let lwv = _mm512_set1_pd(tail[gp * ILANES + lane]);
+                let mwv = _mm512_set1_pd(tail[(ngp + gp) * ILANES + lane]);
+                let mut s = [_mm512_setzero_pd(); 9];
+                for i in 0..3 {
+                    for j in 0..3 {
+                        s[i * 3 + j] =
+                            _mm512_mul_pd(mwv, _mm512_add_pd(gm[i * 3 + j], gm[j * 3 + i]));
+                    }
+                }
+                let tr = _mm512_add_pd(_mm512_add_pd(gm[0], gm[4]), gm[8]);
+                for i in 0..3 {
+                    s[i * 3 + i] = _mm512_fmadd_pd(lwv, tr, s[i * 3 + i]);
+                }
+                scatter_ck8_gp(nv, ngp, gp, grads, ILANES, lane, &s, ye, k, c0);
+            }
+        }
+    }
+
+    /// 8-column-chunk form of `full_apply_ck` (AVX-512F, `k % 8 == 0`).
+    ///
+    /// # Safety
+    /// Requires AVX-512F and `k % 8 == 0`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn full_apply_ck8(
+        nv: usize,
+        ngp: usize,
+        grads: &[f64],
+        aw: &[f64],
+        xe: &[f64],
+        ye: &mut [f64],
+        k: usize,
+    ) {
+        for c0 in (0..k).step_by(8) {
+            for gp in 0..ngp {
+                let mut gm = [_mm512_setzero_pd(); 9];
+                for b in 0..nv {
+                    let g0 = _mm512_set1_pd(grads[3 * b * ngp + gp]);
+                    let g1 = _mm512_set1_pd(grads[(3 * b + 1) * ngp + gp]);
+                    let g2 = _mm512_set1_pd(grads[(3 * b + 2) * ngp + gp]);
+                    for r in 0..3 {
+                        let xb = _mm512_loadu_pd(xe.as_ptr().add((3 * b + r) * k + c0));
+                        gm[r * 3] = _mm512_fmadd_pd(xb, g0, gm[r * 3]);
+                        gm[r * 3 + 1] = _mm512_fmadd_pd(xb, g1, gm[r * 3 + 1]);
+                        gm[r * 3 + 2] = _mm512_fmadd_pd(xb, g2, gm[r * 3 + 2]);
+                    }
+                }
+                let mut s = [_mm512_setzero_pd(); 9];
+                for i in 0..3 {
+                    for j in 0..3 {
+                        let mut sv = _mm512_setzero_pd();
+                        for kk in 0..3 {
+                            for l in 0..3 {
+                                let av =
+                                    _mm512_set1_pd(aw[(((i * 3 + j) * 3 + kk) * 3 + l) * ngp + gp]);
+                                sv = _mm512_fmadd_pd(av, gm[kk * 3 + l], sv);
+                            }
+                        }
+                        s[i * 3 + j] = sv;
+                    }
+                }
+                scatter_ck8_gp(nv, ngp, gp, grads, 1, 0, &s, ye, k, c0);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn scatter_ck8_gp(
+        nv: usize,
+        ngp: usize,
+        gp: usize,
+        grads: &[f64],
+        lstr: usize,
+        lane: usize,
+        s: &[__m512d; 9],
+        ye: &mut [f64],
+        k: usize,
+        c0: usize,
+    ) {
+        for a in 0..nv {
+            let ga0 = _mm512_set1_pd(grads[(3 * a * ngp + gp) * lstr + lane]);
+            let ga1 = _mm512_set1_pd(grads[((3 * a + 1) * ngp + gp) * lstr + lane]);
+            let ga2 = _mm512_set1_pd(grads[((3 * a + 2) * ngp + gp) * lstr + lane]);
+            for i in 0..3 {
+                let t = _mm512_fmadd_pd(
+                    s[i * 3 + 2],
+                    ga2,
+                    _mm512_fmadd_pd(s[i * 3 + 1], ga1, _mm512_mul_pd(s[i * 3], ga0)),
+                );
+                let dst = ye.as_mut_ptr().add((3 * a + i) * k + c0);
+                _mm512_storeu_pd(dst, _mm512_add_pd(_mm512_loadu_pd(dst), t));
+            }
+        }
+    }
+
+    /// Scatter one 4-point chunk: the per-point products are vertical; the
+    /// four lane contributions join each dof's running sum in ascending
+    /// lane (gp) order.
+    #[target_feature(enable = "avx,fma")]
+    unsafe fn scatter_chunk(
+        nv: usize,
+        ngp: usize,
+        base: usize,
+        grads: &[f64],
+        s: &[__m256d; 9],
+        acc: &mut [f64],
+    ) {
+        for a in 0..nv {
+            let ga0 = _mm256_loadu_pd(grads.as_ptr().add(3 * a * ngp + base));
+            let ga1 = _mm256_loadu_pd(grads.as_ptr().add((3 * a + 1) * ngp + base));
+            let ga2 = _mm256_loadu_pd(grads.as_ptr().add((3 * a + 2) * ngp + base));
+            for i in 0..3 {
+                let t = _mm256_fmadd_pd(
+                    s[i * 3 + 2],
+                    ga2,
+                    _mm256_fmadd_pd(s[i * 3 + 1], ga1, _mm256_mul_pd(s[i * 3], ga0)),
+                );
+                let mut tl = [0.0f64; 4];
+                _mm256_storeu_pd(tl.as_mut_ptr(), t);
+                let mut av = acc[3 * a + i];
+                av += tl[0];
+                av += tl[1];
+                av += tl[2];
+                av += tl[3];
+                acc[3 * a + i] = av;
+            }
+        }
+    }
+
+    /// One trailing Gauss point of the general kernel.
+    fn full_tail_gp(
+        nv: usize,
+        ngp: usize,
+        gp: usize,
+        grads: &[f64],
+        aw: &[f64],
+        xe: &[f64],
+        acc: &mut [f64],
+    ) {
+        let mut gm = [0.0f64; 9];
+        for b in 0..nv {
+            for r in 0..3 {
+                let xb = xe[3 * b + r];
+                for l in 0..3 {
+                    gm[r * 3 + l] = xb.mul_add(grads[(3 * b + l) * ngp + gp], gm[r * 3 + l]);
+                }
+            }
+        }
+        let mut s = [0.0f64; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut sv = 0.0;
+                for kk in 0..3 {
+                    for l in 0..3 {
+                        sv = aw[(((i * 3 + j) * 3 + kk) * 3 + l) * ngp + gp]
+                            .mul_add(gm[kk * 3 + l], sv);
+                    }
+                }
+                s[i * 3 + j] = sv;
+            }
+        }
+        scatter_tail_gp(nv, ngp, gp, grads, &s, acc);
+    }
+
+    fn scatter_tail_gp(
+        nv: usize,
+        ngp: usize,
+        gp: usize,
+        grads: &[f64],
+        s: &[f64; 9],
+        acc: &mut [f64],
+    ) {
+        for a in 0..nv {
+            let ga0 = grads[3 * a * ngp + gp];
+            let ga1 = grads[(3 * a + 1) * ngp + gp];
+            let ga2 = grads[(3 * a + 2) * ngp + gp];
+            for i in 0..3 {
+                let t = s[i * 3 + 2].mul_add(ga2, s[i * 3 + 1].mul_add(ga1, s[i * 3] * ga0));
+                acc[3 * a + i] += t;
+            }
+        }
+    }
+
+    /// Multi-column isotropic kernel: one column chunk of 4 at a time,
+    /// every operation vertical across columns, reading lane `lane` of a
+    /// slot-blocked record. `ye` must be zeroed by the caller (matching
+    /// the portable path's fill-then-accumulate).
+    ///
+    /// # Safety
+    /// Requires AVX and `k % 4 == 0`; `tail` is the `[λw, μw]` lane groups
+    /// following the gradients in the block.
+    #[target_feature(enable = "avx,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn iso_apply_ck(
+        nv: usize,
+        ngp: usize,
+        grads: &[f64],
+        tail: &[f64],
+        lane: usize,
+        xe: &[f64],
+        ye: &mut [f64],
+        k: usize,
+    ) {
+        for c0 in (0..k).step_by(4) {
+            for gp in 0..ngp {
+                let mut gm = [_mm256_setzero_pd(); 9];
+                for b in 0..nv {
+                    let g0 = _mm256_set1_pd(grads[(3 * b * ngp + gp) * ILANES + lane]);
+                    let g1 = _mm256_set1_pd(grads[((3 * b + 1) * ngp + gp) * ILANES + lane]);
+                    let g2 = _mm256_set1_pd(grads[((3 * b + 2) * ngp + gp) * ILANES + lane]);
+                    for r in 0..3 {
+                        let xb = _mm256_loadu_pd(xe.as_ptr().add((3 * b + r) * k + c0));
+                        gm[r * 3] = _mm256_fmadd_pd(xb, g0, gm[r * 3]);
+                        gm[r * 3 + 1] = _mm256_fmadd_pd(xb, g1, gm[r * 3 + 1]);
+                        gm[r * 3 + 2] = _mm256_fmadd_pd(xb, g2, gm[r * 3 + 2]);
+                    }
+                }
+                let lwv = _mm256_set1_pd(tail[gp * ILANES + lane]);
+                let mwv = _mm256_set1_pd(tail[(ngp + gp) * ILANES + lane]);
+                let mut s = [_mm256_setzero_pd(); 9];
+                for i in 0..3 {
+                    for j in 0..3 {
+                        s[i * 3 + j] =
+                            _mm256_mul_pd(mwv, _mm256_add_pd(gm[i * 3 + j], gm[j * 3 + i]));
+                    }
+                }
+                let tr = _mm256_add_pd(_mm256_add_pd(gm[0], gm[4]), gm[8]);
+                for i in 0..3 {
+                    s[i * 3 + i] = _mm256_fmadd_pd(lwv, tr, s[i * 3 + i]);
+                }
+                scatter_ck_gp(nv, ngp, gp, grads, ILANES, lane, &s, ye, k, c0);
+            }
+        }
+    }
+
+    /// Multi-column general kernel (same chunking).
+    ///
+    /// # Safety
+    /// Requires AVX and `k % 4 == 0`.
+    #[target_feature(enable = "avx,fma")]
+    pub unsafe fn full_apply_ck(
+        nv: usize,
+        ngp: usize,
+        grads: &[f64],
+        aw: &[f64],
+        xe: &[f64],
+        ye: &mut [f64],
+        k: usize,
+    ) {
+        for c0 in (0..k).step_by(4) {
+            for gp in 0..ngp {
+                let mut gm = [_mm256_setzero_pd(); 9];
+                for b in 0..nv {
+                    let g0 = _mm256_set1_pd(grads[3 * b * ngp + gp]);
+                    let g1 = _mm256_set1_pd(grads[(3 * b + 1) * ngp + gp]);
+                    let g2 = _mm256_set1_pd(grads[(3 * b + 2) * ngp + gp]);
+                    for r in 0..3 {
+                        let xb = _mm256_loadu_pd(xe.as_ptr().add((3 * b + r) * k + c0));
+                        gm[r * 3] = _mm256_fmadd_pd(xb, g0, gm[r * 3]);
+                        gm[r * 3 + 1] = _mm256_fmadd_pd(xb, g1, gm[r * 3 + 1]);
+                        gm[r * 3 + 2] = _mm256_fmadd_pd(xb, g2, gm[r * 3 + 2]);
+                    }
+                }
+                let mut s = [_mm256_setzero_pd(); 9];
+                for i in 0..3 {
+                    for j in 0..3 {
+                        let mut sv = _mm256_setzero_pd();
+                        for kk in 0..3 {
+                            for l in 0..3 {
+                                let av =
+                                    _mm256_set1_pd(aw[(((i * 3 + j) * 3 + kk) * 3 + l) * ngp + gp]);
+                                sv = _mm256_fmadd_pd(av, gm[kk * 3 + l], sv);
+                            }
+                        }
+                        s[i * 3 + j] = sv;
+                    }
+                }
+                scatter_ck_gp(nv, ngp, gp, grads, 1, 0, &s, ye, k, c0);
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn scatter_ck_gp(
+        nv: usize,
+        ngp: usize,
+        gp: usize,
+        grads: &[f64],
+        lstr: usize,
+        lane: usize,
+        s: &[__m256d; 9],
+        ye: &mut [f64],
+        k: usize,
+        c0: usize,
+    ) {
+        for a in 0..nv {
+            let ga0 = _mm256_set1_pd(grads[(3 * a * ngp + gp) * lstr + lane]);
+            let ga1 = _mm256_set1_pd(grads[((3 * a + 1) * ngp + gp) * lstr + lane]);
+            let ga2 = _mm256_set1_pd(grads[((3 * a + 2) * ngp + gp) * lstr + lane]);
+            for i in 0..3 {
+                let t = _mm256_fmadd_pd(
+                    s[i * 3 + 2],
+                    ga2,
+                    _mm256_fmadd_pd(s[i * 3 + 1], ga1, _mm256_mul_pd(s[i * 3], ga0)),
+                );
+                let dst = ye.as_mut_ptr().add((3 * a + i) * k + c0);
+                _mm256_storeu_pd(dst, _mm256_add_pd(_mm256_loadu_pd(dst), t));
+            }
+        }
     }
 }
 
@@ -642,7 +2294,7 @@ mod tests {
     #[test]
     fn full_tangent_path_matches_assembled_at_finite_strain() {
         // At a nonzero displacement the Neo-Hookean tangent is anisotropic,
-        // forcing the Full(81) storage — the operator must stay exact.
+        // forcing the general-class SoA — the operator must stay exact.
         let mut p = block_problem(Arc::new(NeoHookean::from_e_nu(2.0, 0.3)));
         let n = p.ndof();
         let u: Vec<f64> = (0..n)
@@ -675,13 +2327,48 @@ mod tests {
     }
 
     #[test]
-    fn geometry_is_shared_not_cloned() {
+    fn construction_does_not_retain_geometry() {
+        // The batch SoA folds the shape gradients and tangents at build
+        // time; no reference to the problem's shared geometry cache is
+        // kept (and in particular no clone of it is made).
         let p = block_problem(Arc::new(LinearElastic::from_e_nu(1.0, 0.3)));
         let n = p.ndof();
         let before = Arc::strong_count(p.geometry());
         let op = MatFreeOperator::new(&p, &vec![0.0; n], &[], 1.0);
-        assert!(Arc::ptr_eq(op.geometry(), p.geometry()));
-        assert_eq!(Arc::strong_count(p.geometry()), before + 1);
+        assert_eq!(Arc::strong_count(p.geometry()), before);
+        assert!(op.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn apply_multi_bitwise_matches_k_single_applies() {
+        // Finite-strain Neo-Hookean so both element classes are exercised,
+        // plus Dirichlet rows.
+        let p = block_problem(Arc::new(NeoHookean::from_e_nu(2.0, 0.3)));
+        let n = p.ndof();
+        let u: Vec<f64> = (0..n)
+            .map(|i| 0.05 * ((i * 5 % 13) as f64 / 13.0 - 0.5))
+            .collect();
+        let fixed: Vec<u32> = (0..n as u32).step_by(9).collect();
+        let op = MatFreeOperator::new(&p, &u, &fixed, 1.5);
+        for k in [1usize, 2, 4, 8] {
+            let x: Vec<f64> = (0..n * k)
+                .map(|i| ((i * 17 % 31) as f64 - 15.0) * 0.07)
+                .collect();
+            let mut ym = vec![0.0; n * k];
+            op.apply_multi(&x, &mut ym, k);
+            for c in 0..k {
+                let xc: Vec<f64> = (0..n).map(|i| x[i * k + c]).collect();
+                let mut yc = vec![0.0; n];
+                op.apply(&xc, &mut yc);
+                for i in 0..n {
+                    assert_eq!(
+                        ym[i * k + c].to_bits(),
+                        yc[i].to_bits(),
+                        "k={k} col={c} row={i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -721,6 +2408,47 @@ mod tests {
         let norm: f64 = y_serial.iter().map(|v| v * v).sum::<f64>().sqrt();
         for (a, b) in y_dist.iter().zip(&y_serial) {
             assert!((a - b).abs() <= 1e-13 * norm.max(1.0));
+        }
+    }
+
+    #[test]
+    fn rank_kernel_multi_bitwise_matches_singles() {
+        let p = block_problem(Arc::new(LinearElastic::from_e_nu(1.0, 0.3)));
+        let n = p.ndof();
+        let fixed: Vec<u32> = (0..n as u32).step_by(13).collect();
+        let op = MatFreeOperator::new(&p, &vec![0.0; n], &fixed, 2.0);
+        let owned: Vec<Vec<u32>> = (0..2)
+            .map(|r| (0..n as u32).filter(|d| (d % 2) as usize == r).collect())
+            .collect();
+        let refs: Vec<&[u32]> = owned.iter().map(|v| v.as_slice()).collect();
+        let kernels = op.build_kernels(&refs);
+        let k = 4usize;
+        for (r, kern) in kernels.iter().enumerate() {
+            let nl = kern.local_rows();
+            let ng = kern.ghosts().len();
+            let xo: Vec<f64> = (0..nl * k)
+                .map(|i| ((i * 3 % 11) as f64 - 5.0) * 0.3)
+                .collect();
+            let xg: Vec<f64> = (0..ng * k)
+                .map(|i| ((i * 7 % 13) as f64 - 6.0) * 0.2)
+                .collect();
+            let mut ym = vec![0.0; nl * k];
+            kern.apply_interior_multi(&xo, &mut ym, k);
+            kern.apply_boundary_multi(&xo, &xg, &mut ym, k);
+            for c in 0..k {
+                let xoc: Vec<f64> = (0..nl).map(|i| xo[i * k + c]).collect();
+                let xgc: Vec<f64> = (0..ng).map(|i| xg[i * k + c]).collect();
+                let mut yc = vec![0.0; nl];
+                kern.apply_interior(&xoc, &mut yc);
+                kern.apply_boundary(&xoc, &xgc, &mut yc);
+                for i in 0..nl {
+                    assert_eq!(
+                        ym[i * k + c].to_bits(),
+                        yc[i].to_bits(),
+                        "r={r} c={c} i={i}"
+                    );
+                }
+            }
         }
     }
 }

@@ -5,9 +5,70 @@
 //! allreduce-free structure matter). Targets the upper part of the
 //! spectrum of `D⁻¹A`: eigenvalues in `[λ_max/ratio, λ_max]` are damped
 //! optimally by the shifted Chebyshev polynomial.
+//!
+//! The recurrence's scratch vectors (`r`, `d`) live in a reused workspace:
+//! the first [`Chebyshev::smooth`] on a layout allocates them, every later
+//! call reuses them, so steady-state smoothing performs **no per-iteration
+//! allocation** (the vector updates run through `pmg_sparse::vector` on the
+//! parts directly, with precomputed flop charges). That is pinned by the
+//! counting-allocator test in `tests/cheb_alloc.rs`.
 
 use crate::precond::Precond;
-use pmg_parallel::{DistMatrix, DistVec, Sim, SimOperator};
+use pmg_parallel::{DistMatrix, DistVec, Layout, Sim, SimOperator};
+use std::sync::{Arc, Mutex};
+
+/// Reused smoothing scratch: single-vector `r`/`d`, the k-column buffers of
+/// [`Chebyshev::smooth_multi`], and the per-rank flop charges of the
+/// BLAS-1 updates (so no charge vector is built per call).
+struct ChebWorkspace {
+    r: DistVec,
+    d: DistVec,
+    /// `smooth_multi` buffers: residuals `multi[0..k]`, directions
+    /// `multi[k..2k]` (grown to the largest k seen).
+    multi: Vec<DistVec>,
+    flops1: Vec<u64>,
+    flops2: Vec<u64>,
+}
+
+impl ChebWorkspace {
+    fn new(layout: &Arc<Layout>) -> ChebWorkspace {
+        let flops1: Vec<u64> = (0..layout.num_ranks())
+            .map(|r| layout.local_len(r) as u64)
+            .collect();
+        let flops2 = flops1.iter().map(|f| 2 * f).collect();
+        ChebWorkspace {
+            r: DistVec::zeros(layout.clone()),
+            d: DistVec::zeros(layout.clone()),
+            multi: Vec::new(),
+            flops1,
+            flops2,
+        }
+    }
+}
+
+/// `y = x + beta * y` on the parts, charging precomputed flops.
+fn aypx_parts(sim: &mut Sim, flops: &[u64], beta: f64, x: &DistVec, y: &mut DistVec) {
+    for r in 0..x.layout().num_ranks() {
+        pmg_sparse::vector::aypx(beta, x.part(r), y.part_mut(r));
+    }
+    sim.compute(flops);
+}
+
+/// `y += alpha * x` on the parts, charging precomputed flops.
+fn axpy_parts(sim: &mut Sim, flops: &[u64], alpha: f64, x: &DistVec, y: &mut DistVec) {
+    for r in 0..x.layout().num_ranks() {
+        pmg_sparse::vector::axpy(alpha, x.part(r), y.part_mut(r));
+    }
+    sim.compute(flops);
+}
+
+/// `y *= s` on the parts, charging precomputed flops.
+fn scale_parts(sim: &mut Sim, flops: &[u64], y: &mut DistVec, s: f64) {
+    for r in 0..y.layout().num_ranks() {
+        pmg_sparse::vector::scale(y.part_mut(r), s);
+    }
+    sim.compute(flops);
+}
 
 /// Chebyshev smoother of fixed degree.
 pub struct Chebyshev {
@@ -17,6 +78,9 @@ pub struct Chebyshev {
     /// Smoothing interval is `[lambda_max / ratio, lambda_max]`.
     ratio: f64,
     degree: usize,
+    /// Scratch reuse across smoothing calls (one smooth at a time; the
+    /// lock is uncontended in every solve path).
+    workspace: Mutex<Option<ChebWorkspace>>,
 }
 
 impl Chebyshev {
@@ -41,6 +105,7 @@ impl Chebyshev {
             lambda_max: 1.0,
             ratio,
             degree,
+            workspace: Mutex::new(None),
         };
         cheb.lambda_max = cheb.estimate_lambda_max(sim, a) * 1.05; // safety margin
         cheb
@@ -82,7 +147,9 @@ impl Chebyshev {
     }
 
     /// One Chebyshev smoothing step: `x ← x + p(D⁻¹A) D⁻¹ (b − A x)` with
-    /// the classical three-term recurrence.
+    /// the classical three-term recurrence. Scratch comes from the reused
+    /// workspace — after the first call on a layout, no allocation happens
+    /// here (the operator's own `spmv` scratch is its business).
     pub fn smooth(
         &self,
         sim: &mut Sim,
@@ -91,37 +158,117 @@ impl Chebyshev {
         x: &mut DistVec,
         steps: usize,
     ) {
-        let layout = b.layout().clone();
+        let layout = b.layout();
         let lmax = self.lambda_max;
         let lmin = lmax / self.ratio;
         let theta = 0.5 * (lmax + lmin);
         let delta = 0.5 * (lmax - lmin);
 
+        let mut guard = self.workspace.lock().unwrap_or_else(|e| e.into_inner());
+        if !matches!(&*guard, Some(ws) if Arc::ptr_eq(ws.r.layout(), layout)) {
+            *guard = Some(ChebWorkspace::new(layout));
+        }
+        let ws = guard.as_mut().unwrap();
+        let ChebWorkspace {
+            r,
+            d,
+            flops1,
+            flops2,
+            ..
+        } = ws;
+
         for _ in 0..steps {
             // r = D⁻¹ (b - A x).
-            let mut r = DistVec::zeros(layout.clone());
-            a.spmv(sim, x, &mut r);
-            r.aypx(sim, -1.0, b);
-            self.dinv_apply(sim, &mut r);
+            a.spmv(sim, x, r);
+            aypx_parts(sim, flops2, -1.0, b, r);
+            self.dinv_apply(sim, r);
 
             // Chebyshev recurrence on the correction d (Saad, Alg. 12.1):
             // ρ₀ = δ/θ, ρ_k = 1/(2θ/δ − ρ_{k-1}),
             // d ← ρ_k ρ_{k-1} d + (2ρ_k/δ) r.
-            let mut d = r.clone();
-            d.scale(sim, 1.0 / theta);
-            x.axpy(sim, 1.0, &d);
+            d.copy_from(r);
+            scale_parts(sim, flops1, d, 1.0 / theta);
+            axpy_parts(sim, flops2, 1.0, d, x);
             let sigma = theta / delta;
             let mut rho_prev = 1.0 / sigma;
             for _ in 1..self.degree {
                 // r ← D⁻¹(b - A x) (recomputed; simple and robust).
-                a.spmv(sim, x, &mut r);
-                r.aypx(sim, -1.0, b);
-                self.dinv_apply(sim, &mut r);
+                a.spmv(sim, x, r);
+                aypx_parts(sim, flops2, -1.0, b, r);
+                self.dinv_apply(sim, r);
                 let rho = 1.0 / (2.0 * sigma - rho_prev);
                 // d ← (ρ ρ_prev) d + (2ρ/δ) r.
-                d.scale(sim, rho * rho_prev);
-                d.axpy(sim, 2.0 * rho / delta, &r);
-                x.axpy(sim, 1.0, &d);
+                scale_parts(sim, flops1, d, rho * rho_prev);
+                axpy_parts(sim, flops2, 2.0 * rho / delta, r, d);
+                axpy_parts(sim, flops2, 1.0, d, x);
+                rho_prev = rho;
+            }
+        }
+    }
+
+    /// Smooth k systems `A xs[c] = bs[c]` at once through the operator's
+    /// batched [`SimOperator::spmv_multi`]: the recurrence scalars are
+    /// column-independent, so column `c` after this call is **bitwise**
+    /// what [`Chebyshev::smooth`] leaves in `xs[c]` — the element/matrix
+    /// data is just read once per recurrence step instead of k times.
+    pub fn smooth_multi(
+        &self,
+        sim: &mut Sim,
+        a: &dyn SimOperator,
+        bs: &[DistVec],
+        xs: &mut [DistVec],
+        steps: usize,
+    ) {
+        let k = bs.len();
+        assert_eq!(xs.len(), k, "smooth_multi needs matching b/x counts");
+        if k == 0 {
+            return;
+        }
+        let layout = bs[0].layout().clone();
+        let lmax = self.lambda_max;
+        let lmin = lmax / self.ratio;
+        let theta = 0.5 * (lmax + lmin);
+        let delta = 0.5 * (lmax - lmin);
+
+        let mut guard = self.workspace.lock().unwrap_or_else(|e| e.into_inner());
+        if !matches!(&*guard, Some(ws) if Arc::ptr_eq(ws.r.layout(), &layout)) {
+            *guard = Some(ChebWorkspace::new(&layout));
+        }
+        let ws = guard.as_mut().unwrap();
+        while ws.multi.len() < 2 * k {
+            ws.multi.push(DistVec::zeros(layout.clone()));
+        }
+        let ChebWorkspace {
+            multi,
+            flops1,
+            flops2,
+            ..
+        } = ws;
+        let (rs, ds) = multi.split_at_mut(k);
+        let rs = &mut rs[..k];
+        let ds = &mut ds[..k];
+
+        for _ in 0..steps {
+            a.spmv_multi(sim, xs, rs);
+            for c in 0..k {
+                aypx_parts(sim, flops2, -1.0, &bs[c], &mut rs[c]);
+                self.dinv_apply(sim, &mut rs[c]);
+                ds[c].copy_from(&rs[c]);
+                scale_parts(sim, flops1, &mut ds[c], 1.0 / theta);
+                axpy_parts(sim, flops2, 1.0, &ds[c], &mut xs[c]);
+            }
+            let sigma = theta / delta;
+            let mut rho_prev = 1.0 / sigma;
+            for _ in 1..self.degree {
+                a.spmv_multi(sim, xs, rs);
+                let rho = 1.0 / (2.0 * sigma - rho_prev);
+                for c in 0..k {
+                    aypx_parts(sim, flops2, -1.0, &bs[c], &mut rs[c]);
+                    self.dinv_apply(sim, &mut rs[c]);
+                    scale_parts(sim, flops1, &mut ds[c], rho * rho_prev);
+                    axpy_parts(sim, flops2, 2.0 * rho / delta, &rs[c], &mut ds[c]);
+                    axpy_parts(sim, flops2, 1.0, &ds[c], &mut xs[c]);
+                }
                 rho_prev = rho;
             }
         }
@@ -224,5 +371,34 @@ mod tests {
             .sum::<f64>()
             .sqrt();
         assert!(err < 0.2 * (n as f64).sqrt(), "residual {err}");
+    }
+
+    #[test]
+    fn smooth_multi_bitwise_matches_k_single_smooths() {
+        let n = 48;
+        let k = 3;
+        let a = laplacian(n);
+        let l = Layout::block(n, 2);
+        let mut sim = Sim::new(2, MachineModel::default());
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let cheb = Chebyshev::new(&mut sim, &da, 4, 25.0);
+        let bs: Vec<DistVec> = (0..k)
+            .map(|c| {
+                let b: Vec<f64> = (0..n).map(|i| ((i + 11 * c) as f64 * 0.37).sin()).collect();
+                DistVec::from_global(l.clone(), &b)
+            })
+            .collect();
+        let x0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).cos()).collect();
+        let mut xs: Vec<DistVec> = (0..k)
+            .map(|_| DistVec::from_global(l.clone(), &x0))
+            .collect();
+        cheb.smooth_multi(&mut sim, &da, &bs, &mut xs, 2);
+        for c in 0..k {
+            let mut x1 = DistVec::from_global(l.clone(), &x0);
+            cheb.smooth(&mut sim, &da, &bs[c], &mut x1, 2);
+            for (a, b) in xs[c].to_global().iter().zip(x1.to_global()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "c={c}");
+            }
+        }
     }
 }

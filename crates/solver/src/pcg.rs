@@ -115,6 +115,113 @@ pub fn pcg(
     }
 }
 
+/// Solve k systems `A xs[c] = bs[c]` by blocked PCG: one batched
+/// [`SimOperator::spmv_multi`] per iteration feeds every column's
+/// independent CG recurrence, so the operator (element data or matrix
+/// values) is read once per iteration instead of k times.
+///
+/// The columns do **not** share a Krylov space — each keeps its own
+/// `α`, `β`, and preconditioner applications, and its inner products run
+/// through the same fixed reduction tree as [`pcg`]'s. Column `c`'s
+/// iterates, residual history, and exit state are therefore **bitwise
+/// identical** to an independent `pcg` call on `(bs[c], xs[c])`. Converged
+/// (or broken-down) columns freeze: their `x`, `r`, and `p` stop updating,
+/// and the batched apply's work on their stale `p` is discarded.
+pub fn pcg_multi(
+    sim: &mut Sim,
+    a: &dyn SimOperator,
+    m: &dyn Precond,
+    bs: &[DistVec],
+    xs: &mut [DistVec],
+    opts: PcgOptions,
+) -> Vec<PcgResult> {
+    let k = bs.len();
+    assert_eq!(xs.len(), k, "pcg_multi needs matching b/x counts");
+    if k == 0 {
+        return Vec::new();
+    }
+    let _t = pmg_telemetry::scope("pcg");
+    let layout = bs[0].layout().clone();
+    let mut rs: Vec<DistVec> = (0..k).map(|_| DistVec::zeros(layout.clone())).collect();
+    let mut zs: Vec<DistVec> = (0..k).map(|_| DistVec::zeros(layout.clone())).collect();
+    let mut ps: Vec<DistVec> = (0..k).map(|_| DistVec::zeros(layout.clone())).collect();
+    let mut ws: Vec<DistVec> = (0..k).map(|_| DistVec::zeros(layout.clone())).collect();
+
+    // rs[c] = bs[c] - A xs[c], all columns in one batched apply.
+    a.spmv_multi(sim, xs, &mut rs);
+    for (r, b) in rs.iter_mut().zip(bs) {
+        r.aypx(sim, -1.0, b);
+    }
+
+    let bnorms: Vec<f64> = bs
+        .iter()
+        .map(|b| b.clone().norm2(sim).max(1e-300))
+        .collect();
+    let mut rnorms: Vec<f64> = rs.iter().map(|r| r.norm2(sim)).collect();
+    let mut residuals: Vec<Vec<f64>> = rnorms.iter().map(|&rn| vec![rn]).collect();
+    let mut active = vec![false; k];
+    let mut converged = vec![false; k];
+    let mut iterations = vec![0usize; k];
+    let mut rz = vec![0.0f64; k];
+    for c in 0..k {
+        pmg_telemetry::series_push("pcg/residuals", rnorms[c]);
+        if rnorms[c] <= opts.rtol * bnorms[c] || rnorms[c] <= opts.atol {
+            converged[c] = true;
+        } else {
+            active[c] = true;
+            m.apply(sim, &rs[c], &mut zs[c]);
+            ps[c].copy_from(&zs[c]);
+            rz[c] = rs[c].dot(sim, &zs[c]);
+        }
+    }
+
+    for it in 1..=opts.max_iters {
+        if !active.iter().any(|&a| a) {
+            break;
+        }
+        pmg_telemetry::counter_add("pcg/iterations", 1);
+        // Frozen columns ride along with a stale p; their slot of the
+        // batched product is simply ignored below.
+        a.spmv_multi(sim, &ps, &mut ws);
+        for c in 0..k {
+            if !active[c] {
+                continue;
+            }
+            iterations[c] = it;
+            let pw = ps[c].dot(sim, &ws[c]);
+            if pw <= 0.0 || !pw.is_finite() {
+                // Loss of positive definiteness (or breakdown): freeze.
+                active[c] = false;
+                continue;
+            }
+            let alpha = rz[c] / pw;
+            xs[c].axpy(sim, alpha, &ps[c]);
+            rs[c].axpy(sim, -alpha, &ws[c]);
+            rnorms[c] = rs[c].norm2(sim);
+            residuals[c].push(rnorms[c]);
+            pmg_telemetry::series_push("pcg/residuals", rnorms[c]);
+            if rnorms[c] <= opts.rtol * bnorms[c] || rnorms[c] <= opts.atol {
+                converged[c] = true;
+                active[c] = false;
+                continue;
+            }
+            m.apply(sim, &rs[c], &mut zs[c]);
+            let rz_new = rs[c].dot(sim, &zs[c]);
+            let beta = rz_new / rz[c];
+            rz[c] = rz_new;
+            ps[c].aypx(sim, beta, &zs[c]);
+        }
+    }
+    (0..k)
+        .map(|c| PcgResult {
+            iterations: iterations[c],
+            converged: converged[c],
+            rel_residual: rnorms[c] / bnorms[c],
+            residuals: std::mem::take(&mut residuals[c]),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +383,51 @@ mod tests {
         assert!(pre.converged);
         assert!(pre.iterations <= plain.iterations);
         check_solution(&a, &x2.to_global(), &b, 1e-8);
+    }
+
+    #[test]
+    fn pcg_multi_bitwise_matches_independent_solves() {
+        // Columns with different right-hand sides (and so different
+        // convergence points, exercising the freeze path) must land on
+        // exactly the bits of k independent solves.
+        let n = 40;
+        let k = 3;
+        let a = laplacian(n);
+        let l = Layout::block(n, 2);
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let opts = PcgOptions {
+            rtol: 1e-8,
+            max_iters: 200,
+            ..Default::default()
+        };
+        let bs: Vec<DistVec> = (0..k)
+            .map(|c| {
+                let b: Vec<f64> = (0..n)
+                    .map(|i| ((i * (c + 1)) as f64 * 0.23).sin() * (1.0 + c as f64))
+                    .collect();
+                DistVec::from_global(l.clone(), &b)
+            })
+            .collect();
+        let jac = JacobiPrecond::new(&da);
+        let mut sim = Sim::new(2, MachineModel::default());
+        let mut xs: Vec<DistVec> = (0..k).map(|_| DistVec::zeros(l.clone())).collect();
+        let multi = pcg_multi(&mut sim, &da, &jac, &bs, &mut xs, opts);
+        for c in 0..k {
+            let mut sim1 = Sim::new(2, MachineModel::default());
+            let mut x1 = DistVec::zeros(l.clone());
+            let single = pcg(&mut sim1, &da, &jac, &bs[c], &mut x1, opts);
+            assert_eq!(multi[c].iterations, single.iterations, "c={c}");
+            assert_eq!(multi[c].converged, single.converged, "c={c}");
+            assert_eq!(multi[c].residuals, single.residuals, "c={c}");
+            for (a, b) in xs[c].to_global().iter().zip(x1.to_global()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "c={c}");
+            }
+        }
+        // They did not all stop at the same iteration (the freeze path ran).
+        assert!(
+            multi.iter().any(|r| r.iterations != multi[0].iterations)
+                || multi.iter().all(|r| r.converged),
+        );
     }
 
     #[test]

@@ -141,6 +141,81 @@ impl Bsr3Matrix {
         flops::add(2 * self.nnz_stored() as u64);
     }
 
+    /// Blocked SpMM: `Y = A X` on `k` interleaved vectors (column `c` of
+    /// `X` at `x[j * k + c]`). Per block row the `3 × k` accumulator is
+    /// updated block-by-block in [`spmv`]'s block-column order with the
+    /// same `b[3r + c] * x` products per column, so each result column is
+    /// bitwise identical to a single [`spmv`] on it while every stored
+    /// block is read once for all `k` columns.
+    ///
+    /// [`spmv`]: Bsr3Matrix::spmv
+    pub fn spmm(&self, x: &[f64], y: &mut [f64], k: usize) {
+        assert!(k > 0, "spmm needs at least one column");
+        assert_eq!(x.len(), self.ncols() * k);
+        assert_eq!(y.len(), self.nrows() * k);
+        // Monomorphized bodies for the column counts the solve path uses:
+        // const-width accumulators turn the per-entry update into fixed
+        // vector fmas. Each column's adds run in the same order either way.
+        match k {
+            1 => self.spmm_const::<1>(x, y),
+            2 => self.spmm_const::<2>(x, y),
+            4 => self.spmm_const::<4>(x, y),
+            8 => self.spmm_const::<8>(x, y),
+            _ => {
+                let mut acc = vec![0.0f64; 3 * k];
+                for br in 0..self.nblock_rows {
+                    acc.fill(0.0);
+                    for kk in self.row_ptr[br]..self.row_ptr[br + 1] {
+                        let bc = self.col_idx[kk];
+                        let b = &self.blocks[kk];
+                        let xb = &x[3 * bc * k..(3 * bc + 3) * k];
+                        for c in 0..3 {
+                            let xc = &xb[c * k..c * k + k];
+                            for (col, &xv) in xc.iter().enumerate() {
+                                acc[col] += b[c] * xv;
+                                acc[k + col] += b[3 + c] * xv;
+                                acc[2 * k + col] += b[6 + c] * xv;
+                            }
+                        }
+                    }
+                    for r in 0..3 {
+                        y[(3 * br + r) * k..(3 * br + r + 1) * k]
+                            .copy_from_slice(&acc[r * k..r * k + k]);
+                    }
+                }
+            }
+        }
+        flops::add(2 * self.nnz_stored() as u64 * k as u64);
+        pmg_telemetry::counter_add("spmv/multi_bsr3", 1);
+        pmg_telemetry::counter_add("spmv/multi_cols", k as u64);
+    }
+
+    /// [`spmm`] body for a compile-time column count (same accumulation
+    /// order, so bitwise identical to the runtime-`k` form).
+    ///
+    /// [`spmm`]: Bsr3Matrix::spmm
+    fn spmm_const<const K: usize>(&self, x: &[f64], y: &mut [f64]) {
+        for br in 0..self.nblock_rows {
+            let mut acc = [[0.0f64; K]; 3];
+            for kk in self.row_ptr[br]..self.row_ptr[br + 1] {
+                let bc = self.col_idx[kk];
+                let b = &self.blocks[kk];
+                let xb = &x[3 * bc * K..(3 * bc + 3) * K];
+                for c in 0..3 {
+                    let xc: &[f64; K] = xb[c * K..c * K + K].try_into().unwrap();
+                    for (col, &xv) in xc.iter().enumerate() {
+                        acc[0][col] += b[c] * xv;
+                        acc[1][col] += b[3 + c] * xv;
+                        acc[2][col] += b[6 + c] * xv;
+                    }
+                }
+            }
+            for (r, a) in acc.iter().enumerate() {
+                y[(3 * br + r) * K..(3 * br + r + 1) * K].copy_from_slice(a);
+            }
+        }
+    }
+
     /// `y[3·br .. 3·br+3] = (A x)[3·br .. 3·br+3]` for the listed block
     /// rows only; other entries of `y` are untouched. Identical per-block-
     /// row accumulation to [`spmv`], so computing a partition of the block

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Perf snapshot of the hot kernels: runs the criterion kernel + solve
 # microbenches (quick mode by default) and the bench_snapshot binary, which
-# writes BENCH_PR6.json with spmv/rap/assemble timings, the cold-vs-planned
-# speedups, the fine-operator A/B (assembled CSR/BSR3 bytes vs the
-# element-loop matrix-free operator, memory ratio + per-apply times), the
+# writes BENCH_PR7.json with spmv/rap/assemble timings, the cold-vs-planned
+# speedups, the multi-vector (SpMM / batched matrix-free) kernel timings at
+# k = 1/4/8 with per-vector speedups, the fine-operator A/B (assembled
+# CSR/BSR3 bytes vs the batched element-kernel matrix-free operator,
+# memory ratio + per-apply times + the apply_ratio headline), the
 # 1-thread-vs-pool thread-scaling section (marked degenerate on 1-core
 # hosts), the plan/pattern reuse counters, the comm section comparing the
 # same spheres solve over simulated ranks, 2 threaded ranks (in-process
@@ -22,11 +24,14 @@
 #   CRITERION_SAMPLE_MS  per-benchmark criterion budget (default 50 here)
 #   PMG_BENCH_MS         per-measurement budget in bench_snapshot (ms)
 #   PMG_BENCH_K          spheres ladder point (default 0 = tiny)
-#   PMG_BENCH_OUT        snapshot path (default BENCH_PR6.json)
+#   PMG_BENCH_OUT        snapshot path (default BENCH_PR7.json)
 #   PMG_BENCH_ASSERT=1   fail unless planned RAP and pattern-reuse assembly
-#                        are >= 1.5x their cold baselines and the
-#                        matrix-free fine operator is >= 2x smaller than
-#                        the assembled matrix
+#                        are >= 1.5x their cold baselines, the matrix-free
+#                        fine operator is >= 2x smaller than the assembled
+#                        matrix, its apply is <= 2x the BSR3 apply
+#                        (apply_ratio), and the k = 4 matrix-free
+#                        multi-apply is >= 1.3x faster per vector than
+#                        four single applies
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,11 +46,11 @@ echo "== criterion solve benches =="
 cargo bench --offline -p pmg-bench --bench solve
 
 echo
-echo "== bench_snapshot (PMG_THREADS=$PMG_THREADS) -> ${PMG_BENCH_OUT:-BENCH_PR6.json} =="
+echo "== bench_snapshot (PMG_THREADS=$PMG_THREADS) -> ${PMG_BENCH_OUT:-BENCH_PR7.json} =="
 # The socket data point launches a sibling spheres_rank binary; build it
 # first so bench_snapshot finds it next to itself in target/release.
 cargo build --release --offline --bin spheres_rank
 cargo run --release --offline -p pmg-bench --bin bench_snapshot
 
 echo
-echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR6.json}"
+echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR7.json}"
