@@ -26,15 +26,23 @@
 //! for CSR, BSR3, and the batched matrix-free kernels, with per-vector
 //! speedups over the single apply, plus the `apply_ratio` headline
 //! (matrix-free apply time / BSR3 apply time) of the batched element-loop
-//! rewrite.
-//! Everything lands in a hand-rolled JSON file (default `BENCH_PR7.json`,
+//! rewrite; and the PR-8 setup weak-scaling section:
+//! `RankHierarchy::build_distributed` over 1/2/4 threaded ranks at a fixed
+//! ~40k dofs per rank, with per-phase scope times (MIS, Delaunay,
+//! restriction, classification, RAP, distribution, smoother) and
+//! wall-clock / per-phase weak-scaling efficiencies relative to the
+//! 1-rank point.
+//! Everything lands in a hand-rolled JSON file (default `BENCH_PR8.json`,
 //! override with `PMG_BENCH_OUT`) whose `meta` block records the pool
 //! size, git SHA, and host core count so BENCH_*.json files are comparable
-//! across PRs and machines. On a single-core host the thread-scaling
-//! section is marked `"degenerate": true` and makes no speedup claims.
+//! across PRs and machines. On a single-core host the thread-scaling and
+//! setup weak-scaling sections are marked `"degenerate": true` and make no
+//! speedup claims.
 //!
 //! Knobs: `PMG_THREADS` pool size for the scaling section, `PMG_BENCH_K`
-//! ladder point (default 0 = tiny spheres), `PMG_BENCH_MS` per-measurement
+//! ladder point (default 0 = tiny spheres), `PMG_BENCH_SETUP_DOF` target
+//! dofs per rank in the setup weak-scaling section (default 40000),
+//! `PMG_BENCH_MS` per-measurement
 //! budget in milliseconds (default 200), `PMG_BENCH_ASSERT=1` exits
 //! nonzero unless planned RAP and pattern-reuse assembly are both >= 1.5x
 //! their cold baselines, the matrix-free fine operator holds >= 2x less
@@ -179,7 +187,7 @@ fn git_sha() -> String {
 fn main() {
     let k = env_usize("PMG_BENCH_K", 0);
     let budget = Duration::from_millis(env_usize("PMG_BENCH_MS", 200) as u64);
-    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
+    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
     let threads = rayon::current_num_threads();
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -429,6 +437,120 @@ fn main() {
         }
     }
 
+    // --- PR-8: distributed-setup weak scaling ---------------------------
+    // `RankHierarchy::build_distributed` over 1/2/4 threaded ranks with
+    // ~`PMG_BENCH_SETUP_DOF` dofs per rank (default 40k): a block
+    // elasticity bar that grows along x with the rank count, so the
+    // per-rank share stays fixed. Per-phase seconds are telemetry scope
+    // sums over *all* rank threads, so with perfect weak scaling the sum
+    // grows linearly with p: the recorded cpu-time efficiency is
+    // p * phase_s(1) / phase_s(p), and the wall-clock efficiency is
+    // wall_s(1) / wall_s(p). On a 1-core host the rank threads share one
+    // core and both numbers measure scheduling, not scaling — the section
+    // carries the same `degenerate` flag as thread_scaling.
+    let setup_phase_names = [
+        "coarsen",
+        "mis",
+        "delaunay",
+        "restriction",
+        "classify",
+        "rap",
+        "distribute",
+        "smoother",
+        "coarse_direct",
+    ];
+    let setup_phase_paths = [
+        "setup/coarsen",
+        "setup/coarsen/mis",
+        "setup/coarsen/delaunay",
+        "setup/coarsen/restriction",
+        "setup/coarsen/classify",
+        "setup/rap",
+        "setup/distribute",
+        "setup/smoother",
+        "setup/coarse_direct",
+    ];
+    struct SetupPoint {
+        ranks: usize,
+        ndof: usize,
+        levels: usize,
+        wall_s: f64,
+        setup_msgs: u64,
+        setup_bytes: u64,
+        phase_s: Vec<f64>,
+    }
+    let setup_dof = env_usize("PMG_BENCH_SETUP_DOF", 40_000);
+    // Vertices per edge of one rank's cube share.
+    let side = ((setup_dof as f64 / 3.0).cbrt().round() as usize).max(3);
+    let setup_points: Vec<SetupPoint> = [1usize, 2, 4]
+        .iter()
+        .map(|&p| {
+            let mesh = pmg_mesh::generators::block(
+                side * p - 1,
+                side - 1,
+                side - 1,
+                pmg_geometry::Vec3::new(p as f64, 1.0, 1.0),
+                |_| 0,
+            );
+            let sndof = mesh.num_dof();
+            let mut fem = pmg_fem::FemProblem::new(
+                mesh.clone(),
+                vec![std::sync::Arc::new(pmg_fem::LinearElastic::from_e_nu(1.0, 0.3)) as _],
+            );
+            let (kmat, _) = fem.assemble(&vec![0.0; sndof]);
+            let mut fixed = Vec::new();
+            for (v, pt) in mesh.coords.iter().enumerate() {
+                if pt.z == 0.0 {
+                    for c in 0..3 {
+                        fixed.push((3 * v as u32 + c, 0.0));
+                    }
+                }
+            }
+            let (a, _) = constrain_system(&kmat, &vec![0.0; sndof], &fixed);
+            let graph = mesh.vertex_graph();
+            let classes = prometheus::classify_mesh_parallel(&mesh, 0.7, p);
+            let mg_opts = MgOptions::default();
+
+            pmg_telemetry::reset();
+            pmg_telemetry::set_enabled(true);
+            let wall = Instant::now();
+            let levels = pmg_comm::LocalTransport::run_ranks(p, |mut t| {
+                prometheus::RankHierarchy::build_distributed(
+                    &mut t,
+                    &a,
+                    &mesh.coords,
+                    &graph,
+                    &classes,
+                    mg_opts,
+                )
+                .expect("distributed setup over threaded ranks")
+                .num_levels()
+            });
+            let wall_s = wall.elapsed().as_secs_f64();
+            let report = pmg_telemetry::snapshot();
+            pmg_telemetry::set_enabled(false);
+            assert!(levels.iter().all(|&l| l == levels[0]));
+            let phase_s = setup_phase_paths
+                .iter()
+                .map(|path| report.phase(path).map(|r| r.total_s).unwrap_or(0.0))
+                .collect();
+            let cnt = |name: &str| report.counters.get(name).copied().unwrap_or(0);
+            eprintln!(
+                "setup scaling p={p}: {sndof} dof, {} levels, {wall_s:.3}s wall",
+                levels[0]
+            );
+            SetupPoint {
+                ranks: p,
+                ndof: sndof,
+                levels: levels[0],
+                wall_s,
+                setup_msgs: cnt("comm/setup_msgs"),
+                setup_bytes: cnt("comm/setup_bytes"),
+                phase_s,
+            }
+        })
+        .collect();
+
     let rap_speedup = rap_cold / rap_planned;
     let asm_speedup = asm_cold / asm_warm;
     let spmv_speedup = spmv_csr / spmv_bsr;
@@ -630,6 +752,69 @@ fn main() {
             writeln!(j, "    \"socket\": {{ \"skipped\": true }}").unwrap();
         }
     }
+    writeln!(j, "  }},").unwrap();
+
+    // --- Setup weak scaling -> JSON --------------------------------------
+    // Efficiencies are relative to the p=1 point: wall_efficiency is
+    // wall(1)/wall(p) (ideal 1.0 — same wall time, p times the problem),
+    // phase_efficiency is p*phase(1)/phase(p) on the thread-summed scope
+    // times (ideal 1.0 — each rank spends what the single rank spent).
+    writeln!(j, "  \"setup_scaling\": {{").unwrap();
+    writeln!(j, "    \"dof_per_rank_target\": {setup_dof},").unwrap();
+    writeln!(j, "    \"degenerate\": {degenerate},").unwrap();
+    writeln!(j, "    \"points\": [").unwrap();
+    let base = &setup_points[0];
+    for (i, pt) in setup_points.iter().enumerate() {
+        writeln!(j, "      {{").unwrap();
+        writeln!(j, "        \"ranks\": {},", pt.ranks).unwrap();
+        writeln!(j, "        \"ndof\": {},", pt.ndof).unwrap();
+        writeln!(j, "        \"levels\": {},", pt.levels).unwrap();
+        writeln!(j, "        \"wall_s\": {:.9},", pt.wall_s).unwrap();
+        writeln!(j, "        \"setup_msgs\": {},", pt.setup_msgs).unwrap();
+        writeln!(j, "        \"setup_bytes\": {},", pt.setup_bytes).unwrap();
+        writeln!(
+            j,
+            "        \"wall_efficiency\": {:.3},",
+            if pt.wall_s > 0.0 {
+                base.wall_s / pt.wall_s
+            } else {
+                0.0
+            }
+        )
+        .unwrap();
+        writeln!(j, "        \"phases_s\": {{").unwrap();
+        for (n, (name, s)) in setup_phase_names.iter().zip(&pt.phase_s).enumerate() {
+            let comma = if n + 1 < setup_phase_names.len() {
+                ","
+            } else {
+                ""
+            };
+            writeln!(j, "          \"{name}\": {s:.9}{comma}").unwrap();
+        }
+        writeln!(j, "        }},").unwrap();
+        writeln!(j, "        \"phase_efficiency\": {{").unwrap();
+        for (n, (name, s)) in setup_phase_names.iter().zip(&pt.phase_s).enumerate() {
+            let eff = if *s > 0.0 && base.phase_s[n] > 0.0 {
+                pt.ranks as f64 * base.phase_s[n] / s
+            } else {
+                0.0
+            };
+            let comma = if n + 1 < setup_phase_names.len() {
+                ","
+            } else {
+                ""
+            };
+            writeln!(j, "          \"{name}\": {eff:.3}{comma}").unwrap();
+        }
+        writeln!(j, "        }}").unwrap();
+        writeln!(
+            j,
+            "      }}{}",
+            if i + 1 < setup_points.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(j, "    ]").unwrap();
     writeln!(j, "  }}").unwrap();
     writeln!(j, "}}").unwrap();
     std::fs::write(&out_path, &json).expect("write bench snapshot");
@@ -696,6 +881,17 @@ fn main() {
             100.0 * reduction(sb.halo_s, sp.halo_s),
             sb.allreduces,
             sp.allreduces
+        );
+    }
+    for pt in &setup_points {
+        println!(
+            "setup     p={} {} dof, {} levels: wall {:.3e}s (eff {:.2}){}",
+            pt.ranks,
+            pt.ndof,
+            pt.levels,
+            pt.wall_s,
+            base.wall_s / pt.wall_s,
+            if degenerate { " [degenerate host]" } else { "" }
         );
     }
     println!("wrote {out_path}");

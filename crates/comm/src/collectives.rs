@@ -159,6 +159,27 @@ pub fn allgather<T: Transport>(t: &mut T, payload: &[u8]) -> Result<Vec<Vec<u8>>
     Ok(pairs.into_iter().map(|(_, p)| p).collect())
 }
 
+/// [`allgather`] of a `u32` index list (little-endian packed): every rank
+/// contributes its list and receives all ranks' lists in rank order. The
+/// wire form of the distributed setup's ghost-list and face-ID merge
+/// collectives.
+pub fn allgather_u32s<T: Transport>(t: &mut T, vals: &[u32]) -> Result<Vec<Vec<u32>>, CommError> {
+    let mine: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let parts = allgather(t, &mine)?;
+    parts
+        .iter()
+        .map(|blob| {
+            if !blob.len().is_multiple_of(4) {
+                return Err(CommError::Invalid("allgather_u32s: ragged payload".into()));
+            }
+            Ok(blob
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect())
+        })
+        .collect()
+}
+
 /// Scatter per-rank payloads from rank 0: rank `r` receives `parts[r]`.
 /// The mirror of [`gather`] — payloads travel down the binomial broadcast
 /// tree as one coalesced message per tree edge, each intermediate rank
@@ -286,6 +307,23 @@ mod tests {
                     expect.to_bits(),
                     "rank {r} of {size}: {got:e} vs {expect:e}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_u32s_round_trips() {
+        for size in 1..=4usize {
+            let results = LocalTransport::run_ranks(size, |mut t| {
+                let mine: Vec<u32> = (0..t.rank() as u32 + 1).map(|i| i * 10 + 1).collect();
+                allgather_u32s(&mut t, &mine).unwrap()
+            });
+            for lists in &results {
+                assert_eq!(lists.len(), size);
+                for (r, l) in lists.iter().enumerate() {
+                    let want: Vec<u32> = (0..r as u32 + 1).map(|i| i * 10 + 1).collect();
+                    assert_eq!(l, &want);
+                }
             }
         }
     }

@@ -40,7 +40,8 @@ pub mod local;
 pub mod socket;
 
 pub use collectives::{
-    allgather, allreduce_many, allreduce_scalar, allreduce_sum, barrier, broadcast, gather, scatter,
+    allgather, allgather_u32s, allreduce_many, allreduce_scalar, allreduce_sum, barrier, broadcast,
+    gather, scatter,
 };
 pub use fault::{FaultConfig, FaultTransport};
 pub use halo::HaloExchange;

@@ -17,13 +17,18 @@ use pmg_partition::Graph;
 /// 0, surface 1, edge 2, corner 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum VertexClass {
+    /// Touches no boundary face.
     Interior = 0,
+    /// On exactly one face.
     Surface = 1,
+    /// On two faces (a crease between them).
     Edge = 2,
+    /// On three or more faces.
     Corner = 3,
 }
 
 impl VertexClass {
+    /// MIS ordering rank of the class (higher survives coarsening longer).
     pub fn rank(self) -> u8 {
         self as u8
     }
@@ -32,6 +37,7 @@ impl VertexClass {
 /// Classification of all vertices of one grid.
 #[derive(Clone, Debug)]
 pub struct VertexClasses {
+    /// Topological class per vertex.
     pub class: Vec<VertexClass>,
     /// Sorted face ids touching each vertex (empty for interior vertices).
     pub faces: Vec<Vec<u32>>,
@@ -46,10 +52,12 @@ impl VertexClasses {
         }
     }
 
+    /// Per-vertex MIS ranks (the §4.4 heuristic input).
     pub fn ranks(&self) -> Vec<u8> {
         self.class.iter().map(|c| c.rank()).collect()
     }
 
+    /// Number of vertices with class `c`.
     pub fn count(&self, c: VertexClass) -> usize {
         self.class.iter().filter(|&&x| x == c).count()
     }
@@ -196,6 +204,180 @@ pub fn identify_faces_parallel(
         .collect()
 }
 
+/// SPMD face identification over a real [`Transport`](pmg_comm::Transport) (§4.5): the virtual
+/// processors of [`identify_faces_parallel`] are distributed round-robin
+/// over the transport ranks (`p % size == rank`), each rank runs the
+/// per-processor BFS passes **only for its own processors**, and the
+/// per-processor id assignments plus face-id-graph edges are merged in one
+/// allgather — the paper's face-ID merge collective.
+///
+/// Why this reproduces the serial-loop result bitwise:
+///
+/// * a processor's BFS pass reads other processors' `face_id` state only
+///   to *record* `G_fid` edges, never to steer its own traversal (it
+///   assigns ids only to own-processor facets, and only its own pass
+///   writes those), so every pass is a pure function of
+///   `(facets, adjacency, tol, proc_of_facet, p)` and can run on any rank;
+/// * in the serial high→low processor loop, a cross-processor neighbor
+///   `f1` is "already identified" at processor `p`'s turn **iff**
+///   `proc_of_facet[f1] > p` — a condition computable locally from the
+///   replicated `proc_of_facet` — so each rank records the candidate pair
+///   `(f1, my_id)` for exactly those neighbors and the edge
+///   `(face_id[f1], my_id)` is completed after the allgather;
+/// * the union-find max-merge's result depends only on the edge *set*,
+///   not the order edges are processed.
+pub fn identify_faces_transport<T: pmg_comm::Transport>(
+    t: &mut T,
+    facets: &[Facet],
+    adjacency: &Graph,
+    tol: f64,
+    proc_of_facet: &[u32],
+    nproc: usize,
+) -> Result<Vec<u32>, pmg_comm::CommError> {
+    let n = facets.len();
+    assert_eq!(proc_of_facet.len(), n);
+    let (rank, size) = (t.rank(), t.size());
+    let stride = n as u32 + 1;
+
+    // Local work: the per-processor passes this rank owns. `face_id` is
+    // written only at own-processor facets, so one array serves all of
+    // this rank's processors.
+    let mut face_id = vec![0u32; n];
+    let mut assigned: Vec<(u32, u32)> = Vec::new(); // (facet, id)
+    let mut edges: Vec<(u32, u32)> = Vec::new(); // intra-processor id pairs
+    let mut candidates: Vec<(u32, u32)> = Vec::new(); // (facet f1, my_id)
+    for p in (0..nproc as u32).rev() {
+        if p as usize % size != rank {
+            continue;
+        }
+        let mut counter = 0u32;
+        for root in 0..n {
+            if proc_of_facet[root] != p || face_id[root] != 0 {
+                continue;
+            }
+            counter += 1;
+            let my_id = p * stride + counter;
+            let root_norm = facets[root].normal;
+            face_id[root] = my_id;
+            assigned.push((root as u32, my_id));
+            let mut queue = std::collections::VecDeque::from([root]);
+            while let Some(f) = queue.pop_front() {
+                let fn_ = facets[f].normal;
+                for &f1 in adjacency.neighbors(f) {
+                    let f1 = f1 as usize;
+                    let n1 = facets[f1].normal;
+                    let admissible = root_norm.dot(n1) > tol && fn_.dot(n1) > tol;
+                    if !admissible {
+                        continue;
+                    }
+                    if proc_of_facet[f1] != p {
+                        // In the serial high→low loop, f1 is already
+                        // identified at p's turn exactly when its
+                        // processor comes later, i.e. is higher.
+                        if proc_of_facet[f1] > p {
+                            candidates.push((f1 as u32, my_id));
+                        }
+                        continue;
+                    }
+                    if face_id[f1] == 0 {
+                        face_id[f1] = my_id;
+                        assigned.push((f1 as u32, my_id));
+                        queue.push_back(f1);
+                    } else if face_id[f1] != my_id {
+                        edges.push((face_id[f1], my_id));
+                    }
+                }
+            }
+        }
+    }
+
+    // The face-ID merge collective: one allgather of (assignments,
+    // intra-processor edges, cross-processor candidates).
+    let mut blob = Vec::new();
+    let put_pairs = |blob: &mut Vec<u8>, pairs: &[(u32, u32)]| {
+        blob.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+        for &(a, b) in pairs {
+            blob.extend_from_slice(&a.to_le_bytes());
+            blob.extend_from_slice(&b.to_le_bytes());
+        }
+    };
+    put_pairs(&mut blob, &assigned);
+    put_pairs(&mut blob, &edges);
+    put_pairs(&mut blob, &candidates);
+    let parts = pmg_comm::allgather(t, &blob)?;
+
+    // Reconstruct the full id assignment and edge set (identical on every
+    // rank: same parts, same rank order).
+    let mut face_id = vec![0u32; n];
+    let mut fid_edges: Vec<(u32, u32)> = Vec::new();
+    let mut all_candidates: Vec<(u32, u32)> = Vec::new();
+    for part in &parts {
+        let mut at = 0usize;
+        let take_pairs = |at: &mut usize| {
+            let cnt = u32::from_le_bytes(part[*at..*at + 4].try_into().unwrap()) as usize;
+            *at += 4;
+            let mut out = Vec::with_capacity(cnt);
+            for _ in 0..cnt {
+                let a = u32::from_le_bytes(part[*at..*at + 4].try_into().unwrap());
+                let b = u32::from_le_bytes(part[*at + 4..*at + 8].try_into().unwrap());
+                *at += 8;
+                out.push((a, b));
+            }
+            out
+        };
+        for (f, id) in take_pairs(&mut at) {
+            face_id[f as usize] = id;
+        }
+        fid_edges.extend(take_pairs(&mut at));
+        all_candidates.extend(take_pairs(&mut at));
+    }
+    for (f1, my_id) in all_candidates {
+        fid_edges.push((face_id[f1 as usize], my_id));
+    }
+
+    // Global reduction of G_fid — the same union-find max-merge as
+    // `identify_faces_parallel` (order-independent outcome).
+    let mut ids: Vec<u32> = face_id.clone();
+    ids.sort_unstable();
+    ids.dedup();
+    let index_of = |id: u32| ids.binary_search(&id).unwrap();
+    let mut parent: Vec<usize> = (0..ids.len()).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for &(a, b) in &fid_edges {
+        let (ra, rb) = (
+            find(&mut parent, index_of(a)),
+            find(&mut parent, index_of(b)),
+        );
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut max_of = vec![0u32; ids.len()];
+    for (k, &id) in ids.iter().enumerate() {
+        let r = find(&mut parent, k);
+        max_of[r] = max_of[r].max(id);
+    }
+    Ok(face_id
+        .iter()
+        .map(|&id| {
+            let r = find(&mut parent, index_of(id));
+            max_of[r]
+        })
+        .collect())
+}
+
 /// Classify vertices from facet face-ids (§4.4 item 1).
 pub fn classify_vertices(num_vertices: usize, facets: &[Facet], face_ids: &[u32]) -> VertexClasses {
     let v2f = vertex_to_facets(num_vertices, facets);
@@ -239,19 +421,38 @@ pub fn classify_mesh_parallel(mesh: &pmg_mesh::Mesh, tol: f64, nproc: usize) -> 
         let ids = identify_faces(&facets, &adj, tol);
         return classify_vertices(mesh.num_vertices(), &facets, &ids);
     }
-    let centroids: Vec<pmg_geometry::Vec3> = facets
-        .iter()
-        .map(|f| {
-            let mut c = pmg_geometry::Vec3::ZERO;
-            for &v in &f.verts {
-                c += mesh.coords[v as usize];
-            }
-            c / f.verts.len() as f64
-        })
-        .collect();
+    let centroids = pmg_mesh::facet_centroids(mesh, &facets);
     let proc = pmg_partition::recursive_coordinate_bisection(&centroids, nproc);
     let ids = identify_faces_parallel(&facets, &adj, tol, &proc, nproc);
     classify_vertices(mesh.num_vertices(), &facets, &ids)
+}
+
+/// The classification pipeline run SPMD over a real [`Transport`](pmg_comm::Transport): same
+/// facet distribution as [`classify_mesh_parallel`] (RCB of facet
+/// centroids over `nproc` virtual processors), but the per-processor
+/// face-identification passes execute on the transport ranks and merge
+/// through [`identify_faces_transport`]'s allgather. Produces the
+/// **bitwise-identical** [`VertexClasses`] on every rank — the oracle
+/// parity `RankHierarchy::build_distributed` relies on.
+pub fn classify_mesh_transport<T: pmg_comm::Transport>(
+    t: &mut T,
+    mesh: &pmg_mesh::Mesh,
+    tol: f64,
+    nproc: usize,
+) -> Result<VertexClasses, pmg_comm::CommError> {
+    let _t = pmg_telemetry::scope("classify");
+    let facets = pmg_mesh::boundary_facets(mesh);
+    let adj = facet_adjacency(&facets);
+    if nproc <= 1 || facets.is_empty() {
+        // Degenerate distribution: the serial pass is replicated (cheap,
+        // deterministic, and identical on every rank by construction).
+        let ids = identify_faces(&facets, &adj, tol);
+        return Ok(classify_vertices(mesh.num_vertices(), &facets, &ids));
+    }
+    let centroids = pmg_mesh::facet_centroids(mesh, &facets);
+    let proc = pmg_partition::recursive_coordinate_bisection(&centroids, nproc);
+    let ids = identify_faces_transport(t, &facets, &adj, tol, &proc, nproc)?;
+    Ok(classify_vertices(mesh.num_vertices(), &facets, &ids))
 }
 
 /// The modified MIS graph (§4.6): drop edges between exterior vertices
@@ -385,6 +586,51 @@ mod tests {
                 sig
             };
             assert_eq!(key(&serial), key(&par), "nproc={nproc}");
+        }
+    }
+
+    #[test]
+    fn transport_face_id_matches_serial_loop_exactly() {
+        // The distributed §4.5 merge must reproduce identify_faces_parallel
+        // bit for bit (same ids, not merely the same grouping), for any
+        // rank count and processor count.
+        let m = block(4, 3, 2, Vec3::new(4.0, 3.0, 2.0), |_| 0);
+        let facets = boundary_facets(&m);
+        let adj = facet_adjacency(&facets);
+        for nproc in [1usize, 2, 5, 7] {
+            let proc: Vec<u32> = (0..facets.len()).map(|f| (f % nproc) as u32).collect();
+            let reference = identify_faces_parallel(&facets, &adj, 0.7, &proc, nproc);
+            for nranks in [1usize, 2, 3] {
+                let facets = facets.clone();
+                let adj = adj.clone();
+                let proc = proc.clone();
+                let outs = pmg_comm::LocalTransport::run_ranks(nranks, move |mut t| {
+                    identify_faces_transport(&mut t, &facets, &adj, 0.7, &proc, nproc).unwrap()
+                });
+                for (r, ids) in outs.iter().enumerate() {
+                    assert_eq!(ids, &reference, "nproc={nproc} nranks={nranks} rank={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transport_classification_matches_parallel() {
+        // Full pipeline parity on a curved boundary (spheres): transport
+        // classification must equal classify_mesh_parallel exactly.
+        let m = pmg_mesh::sphere_in_cube(&pmg_mesh::SpheresParams::tiny());
+        for nproc in [2usize, 4] {
+            let reference = classify_mesh_parallel(&m, 0.7, nproc);
+            let outs = {
+                let m = m.clone();
+                pmg_comm::LocalTransport::run_ranks(2, move |mut t| {
+                    classify_mesh_transport(&mut t, &m, 0.7, nproc).unwrap()
+                })
+            };
+            for c in &outs {
+                assert_eq!(c.class, reference.class, "nproc={nproc}");
+                assert_eq!(c.faces, reference.faces, "nproc={nproc}");
+            }
         }
     }
 

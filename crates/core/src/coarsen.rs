@@ -2,8 +2,10 @@
 //! Delaunay remeshing of the selected set, and the restriction operator
 //! from linear tetrahedral shape functions.
 
-use crate::classify::{classify_mesh, modified_mis_graph, VertexClasses};
-use crate::mis::{parallel_mis, MisOrdering};
+use crate::classify::{
+    classify_mesh_parallel, classify_mesh_transport, modified_mis_graph, VertexClasses,
+};
+use crate::mis::{parallel_mis, parallel_mis_transport, MisOrdering};
 use pmg_geometry::{Delaunay, Vec3};
 use pmg_mesh::{ElementKind, Mesh};
 use pmg_partition::{recursive_coordinate_bisection, Graph};
@@ -61,6 +63,33 @@ pub struct CoarseLevel {
     pub lost_vertices: usize,
 }
 
+/// The MIS inputs shared by the in-process and transport coarsening paths:
+/// the (possibly §4.6-modified) selection graph, per-vertex topological
+/// ranks, the virtual-processor assignment, and the selection order. Both
+/// paths derive these identically from the replicated level geometry, so
+/// the two MIS variants see bitwise-identical inputs.
+fn mis_inputs(
+    coords: &[Vec3],
+    graph: &Graph,
+    classes: &VertexClasses,
+    opts: &CoarsenOptions,
+) -> (Graph, Vec<u8>, Vec<u32>, Vec<u32>) {
+    let n = coords.len();
+    let mgraph = if opts.modify_graph {
+        modified_mis_graph(graph, classes)
+    } else {
+        graph.clone()
+    };
+    let ranks = classes.ranks();
+    let order = opts.ordering.order_with_graph(&mgraph, &ranks);
+    let proc = if opts.nproc > 1 {
+        recursive_coordinate_bisection(coords, opts.nproc)
+    } else {
+        vec![0u32; n]
+    };
+    (mgraph, ranks, proc, order)
+}
+
 /// Coarsen one grid level.
 pub fn coarsen_level(
     coords: &[Vec3],
@@ -75,20 +104,63 @@ pub fn coarsen_level(
     // 1. MIS on the modified graph, rank = topological class.
     let sel_mask = {
         let _t = pmg_telemetry::scope("mis");
-        let mgraph = if opts.modify_graph {
-            modified_mis_graph(graph, classes)
-        } else {
-            graph.clone()
-        };
-        let ranks = classes.ranks();
-        let order = opts.ordering.order_with_graph(&mgraph, &ranks);
-        let proc = if opts.nproc > 1 {
-            recursive_coordinate_bisection(coords, opts.nproc)
-        } else {
-            vec![0u32; n]
-        };
+        let (mgraph, ranks, proc, order) = mis_inputs(coords, graph, classes, opts);
         parallel_mis(&mgraph, &ranks, &proc, &order)
     };
+    let reclassify = |mesh: &Mesh| -> Result<VertexClasses, pmg_comm::CommError> {
+        Ok(classify_mesh_parallel(mesh, opts.face_tol, opts.nproc))
+    };
+    match coarsen_from_mask(coords, graph, classes, opts, &sel_mask, reclassify) {
+        Ok(lvl) => lvl,
+        Err(e) => unreachable!("in-process reclassification cannot fail: {e}"),
+    }
+}
+
+/// [`coarsen_level`] run SPMD over a real [`pmg_comm::Transport`]: the MIS
+/// executes through [`parallel_mis_transport`] (a bitwise drop-in for
+/// [`parallel_mis`], §4.2) and the reclassification through
+/// [`classify_mesh_transport`] (the §4.5 face-ID merge collective); the
+/// remesh and restriction steps are pure functions of the replicated level
+/// geometry and the (identical) MIS mask, so every rank produces the
+/// **bitwise-identical** [`CoarseLevel`].
+///
+/// `tag` namespaces the MIS rounds' point-to-point traffic per grid level
+/// (collectives carry their own tag).
+pub fn coarsen_level_transport<T: pmg_comm::Transport>(
+    t: &mut T,
+    coords: &[Vec3],
+    graph: &Graph,
+    classes: &VertexClasses,
+    opts: &CoarsenOptions,
+    tag: u32,
+) -> Result<CoarseLevel, pmg_comm::CommError> {
+    let n = coords.len();
+    assert_eq!(graph.num_vertices(), n);
+    assert_eq!(classes.class.len(), n);
+
+    let sel_mask = {
+        let _t = pmg_telemetry::scope("mis");
+        let (mgraph, ranks, proc, order) = mis_inputs(coords, graph, classes, opts);
+        parallel_mis_transport(t, &mgraph, &ranks, &proc, &order, tag)?
+    };
+    let reclassify = |mesh: &Mesh| classify_mesh_transport(t, mesh, opts.face_tol, opts.nproc);
+    coarsen_from_mask(coords, graph, classes, opts, &sel_mask, reclassify)
+}
+
+/// Steps 2–5 of one coarsening pass (remesh, restriction, coarse graph,
+/// reclassification) from an already-computed MIS mask. Deterministic and
+/// communication-free except for the injected `reclassify` step, so the
+/// in-process and transport paths share it verbatim — the parity argument
+/// for distributed setup reduces to "same mask, same classifier output".
+fn coarsen_from_mask(
+    coords: &[Vec3],
+    graph: &Graph,
+    classes: &VertexClasses,
+    opts: &CoarsenOptions,
+    sel_mask: &[bool],
+    reclassify: impl FnOnce(&Mesh) -> Result<VertexClasses, pmg_comm::CommError>,
+) -> Result<CoarseLevel, pmg_comm::CommError> {
+    let n = coords.len();
     let selected: Vec<u32> = (0..n as u32).filter(|&v| sel_mask[v as usize]).collect();
     let nc = selected.len();
     let mut coarse_of = vec![u32::MAX; n];
@@ -192,7 +264,8 @@ pub fn coarsen_level(
     };
 
     // 5. Coarse classification: inherit, or reclassify from the coarse tet
-    // mesh geometry.
+    // mesh geometry (the injected classifier: the §4.5 parallel face
+    // identification in-process, its transport twin under SPMD).
     let classes_out = if opts.reclassify && !tets.is_empty() {
         let flat: Vec<u32> = tets.iter().flatten().copied().collect();
         let mesh = Mesh::new(
@@ -201,7 +274,7 @@ pub fn coarsen_level(
             flat,
             vec![0; tets.len()],
         );
-        classify_mesh(&mesh, opts.face_tol)
+        reclassify(&mesh)?
     } else {
         VertexClasses {
             class: selected
@@ -215,7 +288,7 @@ pub fn coarsen_level(
         }
     };
 
-    CoarseLevel {
+    Ok(CoarseLevel {
         selected,
         restriction,
         coords: coarse_coords,
@@ -223,7 +296,7 @@ pub fn coarsen_level(
         classes: classes_out,
         tets,
         lost_vertices: lost,
-    }
+    })
 }
 
 /// Find the best interpolating tet for `p`, starting from located tet `t0`:
@@ -450,6 +523,50 @@ mod tests {
             let (_, vals) = rt.row(f);
             let sum: f64 = vals.iter().sum();
             assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transport_coarsening_matches_in_process_exactly() {
+        // The distributed-setup parity cornerstone: one coarsening pass
+        // over a real transport — MIS rounds and the face-ID merge
+        // collective included — reproduces `coarsen_level` bitwise, on
+        // every rank, for several rank counts.
+        let (coords, g, c) = setup(5);
+        for nranks in [1usize, 2, 3] {
+            let opts = CoarsenOptions {
+                nproc: 4,
+                reclassify: true,
+                ..Default::default()
+            };
+            let want = coarsen_level(&coords, &g, &c, &opts);
+            let outs = {
+                let coords = coords.clone();
+                let g = g.clone();
+                let c = c.clone();
+                pmg_comm::LocalTransport::run_ranks(nranks, move |mut t| {
+                    coarsen_level_transport(&mut t, &coords, &g, &c, &opts, 0x40).unwrap()
+                })
+            };
+            for (r, got) in outs.iter().enumerate() {
+                assert_eq!(got.selected, want.selected, "ranks={nranks} r={r}");
+                assert_eq!(got.tets, want.tets, "ranks={nranks} r={r}");
+                assert_eq!(got.lost_vertices, want.lost_vertices);
+                assert_eq!(got.classes.class, want.classes.class);
+                assert_eq!(got.classes.faces, want.classes.faces);
+                assert_eq!(got.graph, want.graph, "ranks={nranks} r={r}");
+                let (gr, gw) = (&got.restriction, &want.restriction);
+                assert_eq!(gr.nrows(), gw.nrows());
+                assert_eq!(gr.nnz(), gw.nnz());
+                for row in 0..gr.nrows() {
+                    let (ci, vi) = gr.row(row);
+                    let (cj, vj) = gw.row(row);
+                    assert_eq!(ci, cj, "ranks={nranks} r={r} row {row}");
+                    for (a, b) in vi.iter().zip(vj) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "ranks={nranks} r={r}");
+                    }
+                }
+            }
         }
     }
 

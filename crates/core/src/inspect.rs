@@ -9,14 +9,20 @@ use pmg_mesh::Mesh;
 
 /// Statistics of one grid in the coarsening ladder.
 pub struct LevelInfo {
+    /// Vertices on this grid.
     pub vertices: usize,
+    /// Elements on this grid.
     pub elements: usize,
     /// Fine vertices that fell back to nearest-vertex interpolation when
     /// this grid was built (0 on the fine grid).
     pub lost: usize,
+    /// Interior-classified vertices.
     pub interior: usize,
+    /// Surface-classified vertices.
     pub surface: usize,
+    /// Edge-classified vertices.
     pub edge: usize,
+    /// Corner-classified vertices.
     pub corner: usize,
     /// OBJ model of the grid (coarse tet grids only).
     pub obj: Option<String>,

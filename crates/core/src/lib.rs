@@ -1,4 +1,5 @@
 #![allow(clippy::needless_range_loop)] // indexed loops are the clearer idiom in the numeric kernels
+#![warn(missing_docs)]
 
 //! # Prometheus-rs
 //!
@@ -39,10 +40,11 @@ pub mod solver;
 pub mod spmd;
 
 pub use classify::{
-    classify_mesh, classify_mesh_parallel, classify_vertices, identify_faces,
-    identify_faces_parallel, modified_mis_graph, VertexClass, VertexClasses,
+    classify_mesh, classify_mesh_parallel, classify_mesh_transport, classify_vertices,
+    identify_faces, identify_faces_parallel, identify_faces_transport, modified_mis_graph,
+    VertexClass, VertexClasses,
 };
-pub use coarsen::{coarsen_level, CoarseLevel, CoarsenOptions};
+pub use coarsen::{coarsen_level, coarsen_level_transport, CoarseLevel, CoarsenOptions};
 pub use inspect::{classify_mesh_levels, tets_to_obj, LevelInfo};
 pub use mg::{CycleType, FineOperator, MgHierarchy, MgOptions};
 pub use mis::{greedy_mis, parallel_mis, parallel_mis_transport, MisOrdering};
@@ -50,5 +52,6 @@ pub use sa::{build_sa_hierarchy, SaOptions};
 pub use solver::{Prometheus, PrometheusOptions, SolveSummary};
 pub use spmd::{
     solve_threads, solve_threads_multi, solve_threads_multi_opts, solve_threads_opts, spmd_pcg,
-    spmd_pcg_multi, PhaseWaits, RankHierarchy, SpmdMultiOutcome, SpmdSolveOutcome,
+    spmd_pcg_multi, DistributedSetup, PhaseWaits, RankHierarchy, SpmdMultiOutcome,
+    SpmdSolveOutcome,
 };

@@ -31,7 +31,10 @@ pub enum SmootherType {
     BlockJacobi,
     /// Chebyshev polynomial smoothing of the given degree (no
     /// factorizations, no inner products).
-    Chebyshev { degree: usize },
+    Chebyshev {
+        /// Polynomial degree of one smoothing application.
+        degree: usize,
+    },
 }
 
 /// Which backend applies the fine-grid (level 0) operator during the
@@ -66,7 +69,9 @@ impl FineOperator {
 
 /// A smoother bound to one grid level.
 pub enum Smoother {
+    /// The paper's damped block Jacobi.
     BlockJacobi(BlockJacobi),
+    /// Chebyshev polynomial smoother.
     Chebyshev(Chebyshev),
 }
 
@@ -104,21 +109,26 @@ impl Smoother {
 /// Hierarchy construction and cycling options (paper defaults).
 #[derive(Clone, Copy, Debug)]
 pub struct MgOptions {
+    /// Maximum number of grid levels (including the fine grid).
     pub max_levels: usize,
     /// Solve directly once a grid has at most this many dofs.
     pub coarse_dof_threshold: usize,
     /// Pre/post smoothing steps (paper: one of each).
     pub pre_smooth: usize,
+    /// Post-smoothing steps per level visit.
     pub post_smooth: usize,
     /// Block-Jacobi damping.
     pub omega: f64,
     /// Paper: 6 blocks per 1000 unknowns.
     pub blocks_per_1000: f64,
+    /// V-cycle or W-cycle preconditioner.
     pub cycle: CycleType,
     /// Degrees of freedom per vertex (3 for elasticity, 1 for scalar
     /// tests).
     pub dofs_per_vertex: usize,
+    /// Smoother family; see [`SmootherType`].
     pub smoother: SmootherType,
+    /// Coarsening (MIS + remesh) options per level.
     pub coarsen: CoarsenOptions,
     /// Route 3-dof level operators through 3x3 BSR storage (numerically
     /// identical to the scalar path; off only for A/B comparisons).
@@ -154,7 +164,9 @@ impl Default for MgOptions {
 
 /// One grid of the hierarchy.
 pub struct MgLevel {
+    /// The level operator, partitioned over the virtual ranks.
     pub a: DistMatrix,
+    /// This level's smoother (factored once at setup).
     pub smoother: Smoother,
     /// Restriction to the next coarser grid (`None` on the coarsest).
     pub r: Option<DistMatrix>,
@@ -178,7 +190,9 @@ pub struct MgLevel {
 
 /// The assembled hierarchy; implements [`Precond`] as one MG cycle.
 pub struct MgHierarchy {
+    /// The grids, finest first.
     pub levels: Vec<MgLevel>,
+    /// The options the hierarchy was built with.
     pub opts: MgOptions,
     /// Per-level coarsening diagnostics (level 1..): selected counts, lost
     /// vertices.
@@ -526,6 +540,7 @@ impl MgHierarchy {
         ));
     }
 
+    /// Number of grid levels in the hierarchy.
     pub fn num_levels(&self) -> usize {
         self.levels.len()
     }

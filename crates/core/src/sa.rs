@@ -26,6 +26,7 @@ pub struct SaOptions {
     pub theta: f64,
     /// Prolongator smoothing weight numerator (ω = weight / λ_max).
     pub omega_scale: f64,
+    /// Hierarchy options shared with the geometric path.
     pub mg: MgOptions,
 }
 

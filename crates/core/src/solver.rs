@@ -15,12 +15,15 @@ use std::collections::BTreeMap;
 /// Solver configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct PrometheusOptions {
+    /// Hierarchy construction and cycling options.
     pub mg: MgOptions,
     /// Virtual ranks of the simulated machine.
     pub nranks: usize,
+    /// BSP machine model the simulated ranks are charged against.
     pub model: MachineModel,
     /// Face identification tolerance for the fine-grid classification.
     pub face_tol: f64,
+    /// Krylov iteration cap.
     pub max_iters: usize,
 }
 
@@ -39,14 +42,19 @@ impl Default for PrometheusOptions {
 /// Summary of one linear solve.
 #[derive(Clone, Debug)]
 pub struct SolveSummary {
+    /// Krylov iterations taken.
     pub iterations: usize,
+    /// Whether the relative-residual tolerance was reached.
     pub converged: bool,
+    /// Final preconditioned relative residual.
     pub rel_residual: f64,
 }
 
 /// The solver: a multigrid hierarchy bound to a simulated machine.
 pub struct Prometheus {
+    /// The simulated parallel machine (virtual ranks + BSP accounting).
     pub sim: Sim,
+    /// The multigrid hierarchy the setup built.
     pub mg: MgHierarchy,
     opts: PrometheusOptions,
     /// Dedicated thread pool when `MgOptions::threads` is `Some(n)`;

@@ -18,11 +18,16 @@
 //! statement — so the solution and the residual history match the simulated
 //! solve bit for bit, at any rank count, on any transport.
 
-use crate::mg::{CycleType, MgHierarchy, Smoother};
+use crate::classify::VertexClasses;
+use crate::coarsen::coarsen_level_transport;
+use crate::mg::MgOptions;
+use crate::mg::{expand_restriction, CycleType, FineOperator, MgHierarchy, Smoother, SmootherType};
 use pmg_comm::{bytes_to_f64s, f64s_to_bytes, CommError, CommStats, LocalTransport, Transport};
-use pmg_parallel::{Layout, MfRankOp, OverlapInfo, RankOp};
-use pmg_solver::{CoarseDirect, PcgOptions, PcgResult, RankSmoother};
-use pmg_sparse::vector;
+use pmg_geometry::Vec3;
+use pmg_parallel::{Layout, MfRankOp, OverlapInfo, RankMatrix, RankOp};
+use pmg_partition::{recursive_coordinate_bisection, Graph};
+use pmg_solver::{CoarseDirect, PcgOptions, PcgResult, RankJacobi, RankSmoother};
+use pmg_sparse::{vector, CsrMatrix, RapPlan};
 use std::sync::Arc;
 
 /// Real time (seconds) a rank spent blocked on each communication phase,
@@ -182,6 +187,234 @@ fn tags(lvl: usize) -> (u32, u32, u32) {
     (base, base + 1, base + 2)
 }
 
+/// Setup-phase point-to-point tag space: far above the solve's
+/// `tags(lvl)` so MIS rounds of any level can never alias solve traffic
+/// (collectives carry their own fixed tag).
+fn setup_tag(lvl: usize) -> u32 {
+    0x5000 + 16 * lvl as u32
+}
+
+/// One grid level of a distributed setup: this rank's **owned** share of
+/// the operator, restriction, and prolongation, its block-Jacobi factors,
+/// and (on the coarsest grid) the replicated direct factor.
+struct DistLevel {
+    a: RankMatrix,
+    r: Option<RankMatrix>,
+    p: Option<RankMatrix>,
+    smoother: RankJacobi,
+    /// The coarsest-grid factor. It is built from the (replicated,
+    /// constant-size, §5) coarse operator on *every* rank so the level
+    /// marker and the root's gather-solve-scatter need no special cases;
+    /// only rank 0's copy ever solves.
+    coarse: Option<CoarseDirect>,
+    layout: Arc<Layout>,
+}
+
+/// A multigrid hierarchy built **by** the SPMD ranks themselves — the
+/// owning counterpart of [`RankHierarchy`], which borrows a replicated
+/// [`MgHierarchy`].
+///
+/// Produced by [`RankHierarchy::build_distributed`]: every rank runs the
+/// same setup loop as [`MgHierarchy::build`], but the MIS executes as the
+/// §4.2 rounds over the transport, the reclassification merges face ids
+/// through the §4.5 collective, each rank assembles only its own operator
+/// blocks (ghost columns resolved by one ghost-list allgather per
+/// operator), and the Galerkin product computes only owned coarse rows
+/// through the per-rank [`RapPlan`] before one value-segment allgather
+/// rebuilds the (replicated) coarse matrix for the next level.
+///
+/// Call [`DistributedSetup::rank_hierarchy`] to borrow the solve view;
+/// its shares are **bitwise identical** to
+/// `RankHierarchy::extract(&MgHierarchy::build(..), rank)` on the same
+/// inputs — the parity the `distributed_setup_matches_extract_oracle`
+/// tests pin on every transport.
+///
+/// # Example
+///
+/// Distributed setup + solve on two SPMD rank threads (a scalar graph
+/// Laplacian on a structured cube mesh):
+///
+/// ```
+/// use pmg_comm::LocalTransport;
+/// use pmg_solver::PcgOptions;
+/// use pmg_sparse::CooBuilder;
+/// use prometheus::{classify_mesh, spmd::RankHierarchy, spmd_pcg, MgOptions};
+///
+/// let mesh = pmg_mesh::generators::cube(5);
+/// let graph = mesh.vertex_graph();
+/// let n = mesh.num_vertices();
+/// let mut b = CooBuilder::new(n, n);
+/// for v in 0..n {
+///     b.push(v, v, graph.degree(v) as f64 + 1.0);
+///     for &w in graph.neighbors(v) {
+///         b.push(v, w as usize, -1.0);
+///     }
+/// }
+/// let a = b.build();
+/// let classes = classify_mesh(&mesh, 0.7);
+/// let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+/// let opts = MgOptions {
+///     dofs_per_vertex: 1,
+///     coarse_dof_threshold: 40,
+///     ..Default::default()
+/// };
+///
+/// let converged = LocalTransport::run_ranks(2, |mut t| {
+///     // Every rank builds its own hierarchy over the transport ...
+///     let setup = RankHierarchy::build_distributed(
+///         &mut t, &a, &mesh.coords, &graph, &classes, opts,
+///     )
+///     .unwrap();
+///     // ... scatters the global right-hand side into its owned slice ...
+///     let layout = setup.fine_layout().clone();
+///     let b_local: Vec<f64> = layout
+///         .owned(setup.rank())
+///         .iter()
+///         .map(|&g| rhs[g as usize])
+///         .collect();
+///     let mut x_local = vec![0.0; b_local.len()];
+///     // ... and solves SPMD with the FMG-preconditioned CG.
+///     let h = setup.rank_hierarchy();
+///     let pcg_opts = PcgOptions { rtol: 1e-8, max_iters: 60, ..Default::default() };
+///     let (res, _waits) = spmd_pcg(&mut t, &h, &b_local, &mut x_local, pcg_opts).unwrap();
+///     res.converged
+/// });
+/// assert!(converged.into_iter().all(|c| c));
+/// ```
+pub struct DistributedSetup {
+    levels: Vec<DistLevel>,
+    cycle: CycleType,
+    pre_smooth: usize,
+    post_smooth: usize,
+    rank: usize,
+}
+
+impl DistributedSetup {
+    /// Number of grid levels (fine to coarsest).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The rank that built (and is served by) this setup.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Global rows of level `lvl`'s operator.
+    pub fn level_rows(&self, lvl: usize) -> usize {
+        self.levels[lvl].layout.num_global()
+    }
+
+    /// Rows of level `lvl` owned by this rank.
+    pub fn level_rows_local(&self, lvl: usize) -> usize {
+        self.levels[lvl].layout.local_len(self.rank)
+    }
+
+    /// Nonzeros of this rank's share of level `lvl` (diag + off blocks).
+    pub fn level_nnz_local(&self, lvl: usize) -> usize {
+        self.levels[lvl].a.nnz_local()
+    }
+
+    /// The fine-grid dof layout (for scattering a global right-hand side
+    /// into this rank's owned slice and gathering the solution back).
+    pub fn fine_layout(&self) -> &Arc<Layout> {
+        &self.levels[0].layout
+    }
+
+    /// Borrow this rank's solve view: the same [`RankHierarchy`] the
+    /// extract path produces, ready for [`spmd_pcg`].
+    pub fn rank_hierarchy(&self) -> RankHierarchy<'_> {
+        let levels = self
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(lvl, level)| {
+                let (ta, tr, tp) = tags(lvl);
+                RankLevel {
+                    a: LevelOp::Mat(level.a.rank_op(ta)),
+                    r: level.r.as_ref().map(|m| LevelOp::Mat(m.rank_op(tr))),
+                    p: level.p.as_ref().map(|m| LevelOp::Mat(m.rank_op(tp))),
+                    smoother: level.smoother.view(),
+                    coarse: level.coarse.as_ref(),
+                    layout: &level.layout,
+                }
+            })
+            .collect();
+        RankHierarchy {
+            levels,
+            cycle: self.cycle,
+            pre_smooth: self.pre_smooth,
+            post_smooth: self.post_smooth,
+            overlap: true,
+        }
+    }
+}
+
+/// Allgather every rank's ghost-column list and install the halo plan:
+/// the setup's halo-column-ghosting collective. Each rank contributes the
+/// ascending global ids its off-block references; every rank then derives
+/// the identical exchange plan from the identical lists.
+fn exchange_ghosts<T: Transport>(t: &mut T, m: &mut RankMatrix) -> Result<(), CommError> {
+    let lists = pmg_comm::allgather_u32s(t, m.ghosts())?;
+    m.install_plan(&lists);
+    Ok(())
+}
+
+/// Distribute one (replicated) global operator: build this rank's owned
+/// blocks, optionally promote to BSR3, and run the ghost-list collective.
+/// Mirrors `make_da` in [`MgHierarchy::build`] share for share.
+fn distribute_mat<T: Transport>(
+    t: &mut T,
+    a: &CsrMatrix,
+    row_layout: &Arc<Layout>,
+    col_layout: &Arc<Layout>,
+    promote_block3: bool,
+) -> Result<RankMatrix, CommError> {
+    let mut m = RankMatrix::from_owned_rows(a, row_layout.clone(), col_layout.clone(), t.rank());
+    if promote_block3 {
+        m.try_block3();
+    }
+    exchange_ghosts(t, &mut m)?;
+    Ok(m)
+}
+
+/// Build the coarsest [`DistLevel`]: operator share, smoother factors, and
+/// the (replicated) direct factor.
+fn build_bottom_level<T: Transport>(
+    t: &mut T,
+    a: &CsrMatrix,
+    layout: &Arc<Layout>,
+    promote: bool,
+    opts: &MgOptions,
+) -> Result<DistLevel, CommError> {
+    let ra = {
+        let _t = pmg_telemetry::scope("distribute");
+        distribute_mat(
+            t,
+            a,
+            layout,
+            layout,
+            promote && opts.dofs_per_vertex == 3 && opts.block3,
+        )?
+    };
+    let smoother = {
+        let _t = pmg_telemetry::scope("smoother");
+        RankJacobi::new(ra.local_block(), opts.blocks_per_1000, opts.omega)
+    };
+    let coarse = {
+        let _t = pmg_telemetry::scope("coarse_direct");
+        CoarseDirect::from_csr(a)
+    };
+    Ok(DistLevel {
+        a: ra,
+        r: None,
+        p: None,
+        smoother,
+        coarse: Some(coarse),
+        layout: layout.clone(),
+    })
+}
+
 impl<'a> RankHierarchy<'a> {
     /// Borrow rank `rank`'s share of every level.
     ///
@@ -226,6 +459,215 @@ impl<'a> RankHierarchy<'a> {
             post_smooth: mg.opts.post_smooth,
             overlap: true,
         }
+    }
+
+    /// Run the **setup** pipeline SPMD over a real transport: every rank
+    /// executes the same level loop as [`MgHierarchy::build`], with the
+    /// communicating stages distributed —
+    ///
+    /// * the MIS runs as the §4.2 BSP rounds
+    ///   ([`crate::mis::parallel_mis_transport`]),
+    /// * reclassification merges per-processor face ids through the §4.5
+    ///   collective ([`crate::classify::identify_faces_transport`]),
+    /// * each rank assembles only its own operator/R/P blocks from its
+    ///   owned rows, resolving ghost columns with one ghost-list
+    ///   allgather per operator,
+    /// * the Galerkin triple product computes only this rank's owned
+    ///   coarse rows through the per-rank [`RapPlan`]
+    ///   ([`RapPlan::execute_rows`]) and rebuilds the coarse operator
+    ///   from one value-segment allgather,
+    ///
+    /// while the stages that are pure functions of replicated level
+    /// geometry (RCB layouts, Delaunay remesh, restriction weights, MIS
+    /// ordering) are computed redundantly on every rank — deterministic,
+    /// so identical everywhere. The coarsest direct factor is replicated
+    /// too: it is constant-size as the problem scales (§5) and only rank
+    /// 0's copy solves.
+    ///
+    /// The resulting per-rank shares are **bitwise identical** to
+    /// `RankHierarchy::extract(&MgHierarchy::build(..), t.rank())` on the
+    /// same inputs, on every transport — the parity contract the
+    /// distributed-setup oracle tests pin.
+    ///
+    /// Telemetry: the whole build runs under a `setup` scope with the
+    /// same child phases as the orchestrated path (`coarsen` with
+    /// `mis`/`delaunay`/`restriction`/`classify`, `rap`, `smoother`,
+    /// `coarse_direct`) plus the distribution phase `distribute`; rank 0
+    /// additionally records the real transport traffic of the build as
+    /// `comm/setup_msgs` / `comm/setup_bytes` counters and the
+    /// `comm/setup_wait_s` gauge.
+    ///
+    /// Panics if `opts` asks for the Chebyshev smoother or the
+    /// matrix-free fine operator — the SPMD path supports the paper's
+    /// block-Jacobi smoother and the assembled fine grid.
+    pub fn build_distributed<T: Transport>(
+        t: &mut T,
+        a_fine: &CsrMatrix,
+        coords: &[Vec3],
+        graph: &Graph,
+        classes: &VertexClasses,
+        opts: MgOptions,
+    ) -> Result<DistributedSetup, CommError> {
+        assert!(
+            matches!(opts.smoother, SmootherType::BlockJacobi),
+            "distributed setup supports the block-Jacobi smoother only"
+        );
+        assert_eq!(
+            opts.fine_operator,
+            FineOperator::Assembled,
+            "distributed setup supports the assembled fine operator only"
+        );
+        let _setup_scope = pmg_telemetry::scope("setup");
+        let stats0 = t.stats();
+        let nranks = t.size();
+        let rank = t.rank();
+        let dofs = opts.dofs_per_vertex;
+        assert_eq!(a_fine.nrows(), coords.len() * dofs);
+
+        // Returns the dof layout for a grid plus the vertex-partition load
+        // imbalance (max part over ideal share; 1.0 = perfectly balanced).
+        let make_layout = |coords: &[Vec3]| -> (Arc<Layout>, f64) {
+            let part = recursive_coordinate_bisection(coords, nranks);
+            let imbalance = pmg_partition::part_imbalance(&part, nranks);
+            let vlayout = Layout::from_part(part, nranks);
+            (Layout::expand_dofs(&vlayout, dofs), imbalance)
+        };
+
+        let mut levels: Vec<DistLevel> = Vec::new();
+        let fine_nnz = a_fine.nnz();
+        let mut total_nnz = 0usize;
+
+        let mut cur_a = a_fine.clone();
+        let mut cur_coords = coords.to_vec();
+        let mut cur_graph = graph.clone();
+        let mut cur_classes = classes.clone();
+        let (mut cur_layout, mut cur_imbalance) = make_layout(&cur_coords);
+
+        loop {
+            let n = cur_a.nrows();
+            let lvl_index = levels.len();
+            let promote = lvl_index != 0 || opts.fine_operator == FineOperator::Assembled;
+            total_nnz += cur_a.nnz();
+            if rank == 0 && pmg_telemetry::enabled() {
+                pmg_telemetry::gauge_set(&format!("mg/level{lvl_index}/rows"), n as f64);
+                pmg_telemetry::gauge_set(&format!("mg/level{lvl_index}/nnz"), cur_a.nnz() as f64);
+                pmg_telemetry::gauge_set(&format!("mg/level{lvl_index}/imbalance"), cur_imbalance);
+            }
+            let at_bottom = n <= opts.coarse_dof_threshold
+                || lvl_index + 1 >= opts.max_levels
+                || cur_coords.len() < 24;
+
+            if at_bottom {
+                levels.push(build_bottom_level(t, &cur_a, &cur_layout, promote, &opts)?);
+                break;
+            }
+
+            // Coarsen the grid: distributed MIS + face-ID merge.
+            let mut copts = opts.coarsen;
+            copts.nproc = nranks;
+            // Paper: reclassify the third and subsequent grids.
+            copts.reclassify = lvl_index >= 1;
+            let cl = {
+                let _t = pmg_telemetry::scope("coarsen");
+                coarsen_level_transport(
+                    t,
+                    &cur_coords,
+                    &cur_graph,
+                    &cur_classes,
+                    &copts,
+                    setup_tag(lvl_index),
+                )?
+            };
+            let nc = cl.selected.len();
+
+            if nc * 100 >= cur_coords.len() * 95 || nc < 4 {
+                // Coarsening stalled: finish with a direct solve here.
+                levels.push(build_bottom_level(t, &cur_a, &cur_layout, promote, &opts)?);
+                break;
+            }
+
+            // Distributed Galerkin product: every rank carries the same
+            // symbolic plan, computes only its owned coarse rows, and the
+            // value segments merge in one allgather. Per entry this is
+            // bitwise `plan.execute(&cur_a)` — the partition test in
+            // `pmg_sparse::plan` pins it.
+            let r_dof = expand_restriction(&cl.restriction, dofs);
+            let (coarse_layout, coarse_imbalance) = make_layout(&cl.coords);
+            let a_coarse = {
+                let _t = pmg_telemetry::scope("rap");
+                let mut plan = RapPlan::new(&cur_a, &r_dof);
+                let mine = plan.execute_rows(&cur_a, coarse_layout.owned(rank));
+                let parts = pmg_comm::allgather(t, &f64s_to_bytes(&mine))?;
+                let mut vals = vec![0.0; plan.coarse_nnz()];
+                for (rk, blob) in parts.iter().enumerate() {
+                    let seg = bytes_to_f64s(blob);
+                    let mut at = 0usize;
+                    for &c in coarse_layout.owned(rk) {
+                        let range = plan.coarse_row_range(c as usize);
+                        let len = range.len();
+                        vals[range].copy_from_slice(&seg[at..at + len]);
+                        at += len;
+                    }
+                }
+                plan.coarse_from_values(vals)
+            };
+
+            // Distribute this level's operators (owned blocks + halo
+            // plans from the ghost-list collective).
+            let (ra, rr, rp) = {
+                let _t = pmg_telemetry::scope("distribute");
+                let ra = distribute_mat(
+                    t,
+                    &cur_a,
+                    &cur_layout,
+                    &cur_layout,
+                    promote && dofs == 3 && opts.block3,
+                )?;
+                let rr = distribute_mat(t, &r_dof, &coarse_layout, &cur_layout, false)?;
+                let rp = distribute_mat(t, &r_dof.transpose(), &cur_layout, &coarse_layout, false)?;
+                (ra, rr, rp)
+            };
+            let smoother = {
+                let _t = pmg_telemetry::scope("smoother");
+                RankJacobi::new(ra.local_block(), opts.blocks_per_1000, opts.omega)
+            };
+
+            levels.push(DistLevel {
+                a: ra,
+                r: Some(rr),
+                p: Some(rp),
+                smoother,
+                coarse: None,
+                layout: cur_layout.clone(),
+            });
+
+            cur_a = a_coarse;
+            cur_coords = cl.coords;
+            cur_graph = cl.graph;
+            cur_classes = cl.classes;
+            cur_layout = coarse_layout;
+            cur_imbalance = coarse_imbalance;
+        }
+
+        if rank == 0 && pmg_telemetry::enabled() {
+            pmg_telemetry::gauge_set("mg/levels", levels.len() as f64);
+            pmg_telemetry::gauge_set(
+                "mg/operator_complexity",
+                total_nnz as f64 / fine_nnz.max(1) as f64,
+            );
+            let ds = t.stats();
+            pmg_telemetry::counter_add("comm/setup_msgs", ds.msgs - stats0.msgs);
+            pmg_telemetry::counter_add("comm/setup_bytes", ds.bytes - stats0.bytes);
+            pmg_telemetry::gauge_set("comm/setup_wait_s", ds.wait_s - stats0.wait_s);
+        }
+
+        Ok(DistributedSetup {
+            levels,
+            cycle: opts.cycle,
+            pre_smooth: opts.pre_smooth,
+            post_smooth: opts.post_smooth,
+            rank,
+        })
     }
 
     /// Apply the preconditioner (one MG cycle), mirroring
@@ -1034,6 +1476,145 @@ mod tests {
                 "p={p}: overlap row accounting must tick"
             );
             assert_eq!(blocking.waits[0].interior_rows, 0, "p={p}");
+        }
+    }
+
+    /// 3-dof expansion of the scalar cube problem: each scalar entry
+    /// becomes `v·I₃`, so the matrix is SPD, vertex-aligned, and exercises
+    /// the BSR3 promotion on every level.
+    fn vector_problem(n: usize) -> (CsrMatrix, Vec<pmg_geometry::Vec3>, pmg_partition::Graph) {
+        let (a, coords, g) = scalar_problem(n);
+        let mut b = CooBuilder::new(3 * a.nrows(), 3 * a.ncols());
+        for (i, j, v) in a.iter() {
+            for d in 0..3 {
+                b.push(3 * i + d, 3 * j + d, v);
+            }
+        }
+        (b.build(), coords, g)
+    }
+
+    #[test]
+    fn distributed_setup_matches_extract_oracle() {
+        // The PR's acceptance bar: every rank building its own hierarchy
+        // over a real transport — distributed MIS, face-ID merge, per-rank
+        // RAP, ghost-list collectives — holds shares bitwise identical to
+        // extracting from the replicated `MgHierarchy::build`, and the
+        // solve over those shares reproduces the oracle solve bitwise.
+        for (dofs, n) in [(1usize, 7usize), (3, 5)] {
+            let (a, coords, g) = if dofs == 1 {
+                scalar_problem(n)
+            } else {
+                vector_problem(n)
+            };
+            let m = pmg_mesh::generators::cube(n);
+            let classes = classify_mesh(&m, 0.7);
+            let nv = a.nrows();
+            let bg: Vec<f64> = (0..nv).map(|i| (i as f64 * 0.23).sin()).collect();
+            let opts = PcgOptions {
+                rtol: 1e-8,
+                max_iters: 60,
+                ..Default::default()
+            };
+            for p in [1usize, 2, 4] {
+                let mut sim = Sim::new(p, MachineModel::default());
+                let mg_opts = MgOptions {
+                    dofs_per_vertex: dofs,
+                    coarse_dof_threshold: 60 * dofs,
+                    ..Default::default()
+                };
+                let mg = MgHierarchy::build(&mut sim, &a, &coords, &g, &classes, mg_opts);
+                let oracle = solve_threads(&mg, &bg, opts).unwrap();
+                let layout = mg.levels[0].a.row_layout().clone();
+
+                let mg_ref = &mg;
+                let a_ref = &a;
+                let coords_ref = &coords;
+                let g_ref = &g;
+                let classes_ref = &classes;
+                let bg_ref = &bg;
+                let layout_ref = &layout;
+                let per_rank = LocalTransport::run_ranks(p, move |mut t| {
+                    let rank = t.rank();
+                    let setup = RankHierarchy::build_distributed(
+                        &mut t,
+                        a_ref,
+                        coords_ref,
+                        g_ref,
+                        classes_ref,
+                        mg_opts,
+                    )?;
+                    // Structural parity: every level's owned blocks match
+                    // the extract oracle's bit for bit.
+                    assert_eq!(setup.num_levels(), mg_ref.levels.len(), "p={p} rank={rank}");
+                    for (lvl, dl) in setup.levels.iter().enumerate() {
+                        let ml = &mg_ref.levels[lvl];
+                        assert_eq!(
+                            dl.a.bsr3_routed(),
+                            ml.a.bsr3_routed(),
+                            "p={p} rank={rank} lvl={lvl} bsr3"
+                        );
+                        assert_eq!(dl.coarse.is_some(), ml.coarse.is_some());
+                        let pairs = [
+                            (Some(dl.a.local_block()), Some(ml.a.local_block(rank))),
+                            (
+                                dl.r.as_ref().map(|m| m.local_block()),
+                                ml.r.as_ref().map(|m| m.local_block(rank)),
+                            ),
+                            (
+                                dl.p.as_ref().map(|m| m.local_block()),
+                                ml.p.as_ref().map(|m| m.local_block(rank)),
+                            ),
+                        ];
+                        for (got, want) in pairs {
+                            match (got, want) {
+                                (Some(x), Some(y)) => {
+                                    assert_eq!(x.nrows(), y.nrows(), "p={p} lvl={lvl}");
+                                    assert_eq!(x.nnz(), y.nnz(), "p={p} lvl={lvl}");
+                                    for (u, v) in x.vals().iter().zip(y.vals()) {
+                                        assert_eq!(
+                                            u.to_bits(),
+                                            v.to_bits(),
+                                            "p={p} rank={rank} lvl={lvl} values"
+                                        );
+                                    }
+                                }
+                                (None, None) => {}
+                                _ => panic!("p={p} lvl={lvl}: R/P presence diverged"),
+                            }
+                        }
+                    }
+                    // End-to-end: the solve over the self-built shares is
+                    // the oracle solve, bit for bit.
+                    let h = setup.rank_hierarchy();
+                    let bl: Vec<f64> = layout_ref
+                        .owned(rank)
+                        .iter()
+                        .map(|&gi| bg_ref[gi as usize])
+                        .collect();
+                    let mut xl = vec![0.0; bl.len()];
+                    let (result, _w) = spmd_pcg(&mut t, &h, &bl, &mut xl, opts)?;
+                    Ok::<_, CommError>((xl, result))
+                });
+
+                let mut x = vec![0.0; layout.num_global()];
+                for (rank, out) in per_rank.into_iter().enumerate() {
+                    let (xl, res) = out.unwrap();
+                    for (&gi, &v) in layout.owned(rank).iter().zip(&xl) {
+                        x[gi as usize] = v;
+                    }
+                    assert_eq!(
+                        res.iterations, oracle.result.iterations,
+                        "p={p} dofs={dofs}"
+                    );
+                    assert_eq!(res.converged, oracle.result.converged);
+                    for (u, v) in res.residuals.iter().zip(&oracle.result.residuals) {
+                        assert_eq!(u.to_bits(), v.to_bits(), "p={p} dofs={dofs} residuals");
+                    }
+                }
+                for (u, v) in x.iter().zip(&oracle.x) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "p={p} dofs={dofs} solution");
+                }
+            }
         }
     }
 

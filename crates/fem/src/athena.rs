@@ -126,6 +126,74 @@ pub fn redundancy_factor(subs: &[SubMesh]) -> f64 {
     total as f64 / distinct.len().max(1) as f64
 }
 
+/// One rank's persistent assembly context: a [`FemProblem`] over the
+/// sub-domain whose sparsity pattern and scatter map are built once and
+/// reused across every re-assembly (Newton iterations, load steps). Each
+/// call to [`RankAssembly::assemble_owned`] produces only the rows this
+/// rank owns, with **global** column ids — the form
+/// `pmg_parallel::RankMatrix` ingests — so no rank ever materializes the
+/// global operator.
+pub struct RankAssembly {
+    fem: FemProblem,
+    global_vertices: Vec<u32>,
+    num_owned: usize,
+}
+
+impl RankAssembly {
+    /// Build the persistent per-rank problem (pattern + scatter map built
+    /// here, reused by every subsequent assembly).
+    pub fn new(sub: &SubMesh, materials: &[Arc<dyn Material>]) -> RankAssembly {
+        RankAssembly {
+            fem: FemProblem::new(sub.mesh.clone(), materials.to_vec()),
+            global_vertices: sub.global_vertices.clone(),
+            num_owned: sub.num_owned(),
+        }
+    }
+
+    /// Global dof ids of the owned rows, ascending (owned vertices come
+    /// first in the local numbering and are sorted by global id, so this
+    /// matches `pmg_parallel::Layout`'s owned ordering).
+    pub fn owned_rows(&self) -> Vec<u32> {
+        self.global_vertices[..self.num_owned]
+            .iter()
+            .flat_map(|&g| (0..3).map(move |c| 3 * g + c))
+            .collect()
+    }
+
+    /// Re-assemble at the global displacement `u_global` (only the entries
+    /// of vertices in this sub-domain are read) and return the owned rows:
+    /// one CSR row per owned global dof with global column ids, plus the
+    /// owned entries of the internal force. The pattern is reused — the
+    /// `assembly/pattern_reuse` counter ticks once per call.
+    pub fn assemble_owned(&mut self, u_global: &[f64]) -> (CsrMatrix, Vec<f64>) {
+        let u_local: Vec<f64> = self
+            .global_vertices
+            .iter()
+            .flat_map(|&g| (0..3).map(move |c| u_global[3 * g as usize + c]))
+            .collect();
+        let (k, f) = self.fem.assemble(&u_local);
+        let mut b = CooBuilder::new(3 * self.num_owned, u_global.len());
+        let mut f_owned = vec![0.0; 3 * self.num_owned];
+        for lv in 0..self.num_owned {
+            for c in 0..3 {
+                let li = 3 * lv + c;
+                f_owned[li] = f[li];
+                let (cols, vals) = k.row(li);
+                for (&lj, &v) in cols.iter().zip(vals) {
+                    let gj = 3 * self.global_vertices[lj / 3] as usize + lj % 3;
+                    b.push(li, gj, v);
+                }
+            }
+        }
+        (b.build(), f_owned)
+    }
+
+    /// Commit the trial Gauss-point history after a converged step.
+    pub fn commit(&mut self) {
+        self.fem.commit();
+    }
+}
+
 /// Assemble the global operator rank by rank: each rank assembles its full
 /// sub-domain (no communication) and contributes only the rows of its
 /// owned vertices. Equals the serial assembly of the global mesh.
@@ -255,6 +323,52 @@ mod tests {
                 }
                 assert!((f_serial[i] - f_dist[i]).abs() < 1e-12, "residual {i}");
             }
+        }
+    }
+
+    #[test]
+    fn rank_assembly_owned_rows_match_serial() {
+        let mesh = two_material_mesh();
+        let ndof = mesh.num_dof();
+        let u: Vec<f64> = (0..ndof)
+            .map(|i| 1e-3 * ((i * 31 % 17) as f64 - 8.0))
+            .collect();
+        let mut serial = FemProblem::new(mesh.clone(), mats());
+        let (k_serial, f_serial) = serial.assemble(&u);
+
+        for p in [2usize, 3] {
+            let part = recursive_coordinate_bisection(&mesh.coords, p);
+            let subs = partition_mesh(&mesh, &part, p);
+            let mut seen = vec![false; ndof];
+            for sub in &subs {
+                let mut ra = RankAssembly::new(sub, &mats());
+                let rows = ra.owned_rows();
+                // Re-assemble twice: the second pass reuses the pattern and
+                // must reproduce the first bitwise.
+                let (k1, f1) = ra.assemble_owned(&u);
+                let (k2, f2) = ra.assemble_owned(&u);
+                assert_eq!(f1, f2);
+                for li in 0..k1.nrows() {
+                    let (c1, v1) = k1.row(li);
+                    let (c2, v2) = k2.row(li);
+                    assert_eq!(c1, c2);
+                    assert_eq!(v1, v2);
+                }
+                assert_eq!(k1.nrows(), rows.len());
+                for (li, &gi) in rows.iter().enumerate() {
+                    let gi = gi as usize;
+                    assert!(!seen[gi], "row {gi} owned twice");
+                    seen[gi] = true;
+                    let (cg, vg) = k_serial.row(gi);
+                    let (cl, vl) = k1.row(li);
+                    assert_eq!(cg, cl, "row {gi} pattern (p={p})");
+                    for (a, b) in vg.iter().zip(vl) {
+                        assert!((a - b).abs() < 1e-12, "row {gi} values (p={p})");
+                    }
+                    assert!((f_serial[gi] - f1[li]).abs() < 1e-12, "residual {gi}");
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "owned rows cover all dofs");
         }
     }
 

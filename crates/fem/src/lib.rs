@@ -33,7 +33,7 @@ pub mod rediscretize;
 pub mod shape;
 
 pub use assembly::FemProblem;
-pub use athena::{assemble_distributed, partition_mesh, SubMesh};
+pub use athena::{assemble_distributed, partition_mesh, RankAssembly, SubMesh};
 pub use bc::DirichletBc;
 pub use mass::{consistent_mass, lumped_mass};
 pub use material::{J2Plasticity, LinearElastic, Material, NeoHookean};

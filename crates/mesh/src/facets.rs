@@ -134,6 +134,24 @@ pub fn facet_adjacency(facets: &[Facet]) -> Graph {
     Graph::from_edges(facets.len(), edges)
 }
 
+/// Centroid of each facet (mean of its vertex coordinates, mid-edge nodes
+/// included). The §4.5 pipeline partitions facets by RCB over exactly
+/// these points, so the serial, simulated-parallel, and transport
+/// classification paths must all derive them from this one definition to
+/// stay bitwise comparable.
+pub fn facet_centroids(mesh: &Mesh, facets: &[Facet]) -> Vec<Vec3> {
+    facets
+        .iter()
+        .map(|f| {
+            let mut c = Vec3::ZERO;
+            for &v in &f.verts {
+                c += mesh.coords[v as usize];
+            }
+            c / f.verts.len() as f64
+        })
+        .collect()
+}
+
 /// For each vertex, the list of facet ids touching it.
 pub fn vertex_to_facets(num_vertices: usize, facets: &[Facet]) -> Vec<Vec<u32>> {
     let mut v2f = vec![Vec::new(); num_vertices];
@@ -212,6 +230,26 @@ mod tests {
         // On a cube, every face is adjacent to 4 others.
         for i in 0..6 {
             assert_eq!(g.degree(i), 4);
+        }
+    }
+
+    #[test]
+    fn centroids_sit_on_face_planes() {
+        let m = block(1, 1, 1, Vec3::splat(1.0), |_| 0);
+        let f = boundary_facets(&m);
+        let c = facet_centroids(&m, &f);
+        assert_eq!(c.len(), f.len());
+        // Each unit-cube face centroid is the face center: two coordinates
+        // at 0.5, one at 0 or 1 (along the facet normal).
+        for (facet, ctr) in f.iter().zip(&c) {
+            let comps = [ctr.x, ctr.y, ctr.z];
+            assert_eq!(
+                comps.iter().filter(|&&v| (v - 0.5).abs() < 1e-14).count(),
+                2
+            );
+            let n = facet.normal;
+            let along = ctr.x * n.x.abs() + ctr.y * n.y.abs() + ctr.z * n.z.abs();
+            assert!(along.abs() < 1e-14 || (along - 1.0).abs() < 1e-14);
         }
     }
 

@@ -19,7 +19,7 @@ pub mod io;
 pub mod mesh;
 pub mod spheres;
 
-pub use facets::{boundary_facets, facet_adjacency, Facet};
+pub use facets::{boundary_facets, facet_adjacency, facet_centroids, Facet};
 pub use flatfile::{read_flat, read_flat_slice, write_flat};
 pub use io::to_vtk;
 pub use mesh::{ElementKind, Mesh};

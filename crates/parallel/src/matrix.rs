@@ -62,6 +62,119 @@ pub struct DistMatrix {
     spmv_traffic: Vec<(u64, u64)>,
 }
 
+/// Build rank `r`'s share of a row-distributed matrix: split its owned
+/// rows into the diagonal (owned-column) and off-diagonal (ghost-column)
+/// blocks and classify rows for the communication/computation overlap.
+///
+/// This is the one construction path for per-rank operator blocks — both
+/// the orchestrated [`DistMatrix::from_global`] and the SPMD distributed
+/// setup ([`RankMatrix::from_owned_rows`]) call it, which is what makes
+/// the two bitwise identical by construction: only the owned rows of `a`
+/// are ever read.
+fn build_rank_mat(a: &CsrMatrix, row_layout: &Layout, col_layout: &Layout, r: usize) -> RankMat {
+    let rows = row_layout.owned(r);
+    // Collect ghost columns.
+    let mut ghosts: Vec<u32> = Vec::new();
+    for &g in rows {
+        let (cols, _) = a.row(g as usize);
+        for &j in cols {
+            if col_layout.owner(j) as usize != r {
+                ghosts.push(j as u32);
+            }
+        }
+    }
+    ghosts.sort_unstable();
+    ghosts.dedup();
+    let ghost_local: std::collections::HashMap<u32, usize> =
+        ghosts.iter().enumerate().map(|(l, &g)| (g, l)).collect();
+
+    let nlocal = rows.len();
+    let mut diag = CooBuilder::new(nlocal, col_layout.local_len(r));
+    let mut off = CooBuilder::new(nlocal, ghosts.len());
+    for (li, &g) in rows.iter().enumerate() {
+        let (cols, vals) = a.row(g as usize);
+        for (&j, &v) in cols.iter().zip(vals) {
+            if col_layout.owner(j) as usize == r {
+                diag.push(li, col_layout.local_index(j) as usize, v);
+            } else {
+                off.push(li, ghost_local[&(j as u32)], v);
+            }
+        }
+    }
+    let off = off.build();
+    // Classify rows once: a row with any ghost-column entry is
+    // boundary, the rest are interior and can be computed while
+    // the halo messages are in flight.
+    let mut interior = Vec::new();
+    let mut boundary = Vec::new();
+    for li in 0..nlocal {
+        if off.row(li).0.is_empty() {
+            interior.push(li as u32);
+        } else {
+            boundary.push(li as u32);
+        }
+    }
+    RankMat {
+        diag: diag.build(),
+        off,
+        diag_bsr: None,
+        off_bsr: None,
+        ghost_pad: Vec::new(),
+        ghosts,
+        interior,
+        boundary,
+        interior_b: Vec::new(),
+        boundary_b: Vec::new(),
+    }
+}
+
+/// Structural BSR3 eligibility — computable from the (replicated) layouts
+/// alone, with no communication: global dimensions are multiples of 3 and
+/// every rank's owned rows/columns come in vertex-aligned triples.
+fn block3_eligible(row_layout: &Layout, col_layout: &Layout) -> bool {
+    let nranks = row_layout.num_ranks();
+    row_layout.num_global().is_multiple_of(3)
+        && col_layout.num_global().is_multiple_of(3)
+        && (0..nranks)
+            .all(|r| aligned_triples(row_layout.owned(r)) && aligned_triples(col_layout.owned(r)))
+}
+
+/// Promote one rank's blocks to BSR3 storage (shared by
+/// [`DistMatrix::try_block3`] and [`RankMatrix::try_block3`]; the caller
+/// has already checked [`block3_eligible`]).
+fn promote_block3(m: &mut RankMat) {
+    m.diag_bsr = Some(Bsr3Matrix::from_csr(&m.diag));
+    // Remap ghost columns onto whole vertex blocks, then block the
+    // padded off-diagonal part. Ghosts are ascending, so padded
+    // columns are ascending too and the scalar accumulation order
+    // is preserved.
+    let mut blocks: Vec<u32> = m.ghosts.iter().map(|&g| g / 3).collect();
+    blocks.dedup();
+    m.ghost_pad = m
+        .ghosts
+        .iter()
+        .map(|&g| {
+            let b = blocks.partition_point(|&w| w < g / 3) as u32;
+            3 * b + g % 3
+        })
+        .collect();
+    let mut pad = CooBuilder::new(m.off.nrows(), 3 * blocks.len());
+    for (i, j, v) in m.off.iter() {
+        pad.push(i, m.ghost_pad[j] as usize, v);
+    }
+    m.off_bsr = Some(Bsr3Matrix::from_csr(&pad.build()));
+    // Block-row classes: a block row is boundary when any of its
+    // three scalar rows references a ghost. `boundary` is
+    // ascending, so mapping to block ids and deduplicating keeps
+    // the ascending order.
+    let mut bb: Vec<u32> = m.boundary.iter().map(|&r| r / 3).collect();
+    bb.dedup();
+    m.interior_b = (0..(m.diag.nrows() / 3) as u32)
+        .filter(|br| bb.binary_search(br).is_err())
+        .collect();
+    m.boundary_b = bb;
+}
+
 impl DistMatrix {
     /// Distribute a global CSR matrix.
     pub fn from_global(
@@ -76,62 +189,7 @@ impl DistMatrix {
 
         let ranks: Vec<RankMat> = (0..nranks)
             .into_par_iter()
-            .map(|r| {
-                let rows = row_layout.owned(r);
-                // Collect ghost columns.
-                let mut ghosts: Vec<u32> = Vec::new();
-                for &g in rows {
-                    let (cols, _) = a.row(g as usize);
-                    for &j in cols {
-                        if col_layout.owner(j) as usize != r {
-                            ghosts.push(j as u32);
-                        }
-                    }
-                }
-                ghosts.sort_unstable();
-                ghosts.dedup();
-                let ghost_local: std::collections::HashMap<u32, usize> =
-                    ghosts.iter().enumerate().map(|(l, &g)| (g, l)).collect();
-
-                let nlocal = rows.len();
-                let mut diag = CooBuilder::new(nlocal, col_layout.local_len(r));
-                let mut off = CooBuilder::new(nlocal, ghosts.len());
-                for (li, &g) in rows.iter().enumerate() {
-                    let (cols, vals) = a.row(g as usize);
-                    for (&j, &v) in cols.iter().zip(vals) {
-                        if col_layout.owner(j) as usize == r {
-                            diag.push(li, col_layout.local_index(j) as usize, v);
-                        } else {
-                            off.push(li, ghost_local[&(j as u32)], v);
-                        }
-                    }
-                }
-                let off = off.build();
-                // Classify rows once: a row with any ghost-column entry is
-                // boundary, the rest are interior and can be computed while
-                // the halo messages are in flight.
-                let mut interior = Vec::new();
-                let mut boundary = Vec::new();
-                for li in 0..nlocal {
-                    if off.row(li).0.is_empty() {
-                        interior.push(li as u32);
-                    } else {
-                        boundary.push(li as u32);
-                    }
-                }
-                RankMat {
-                    diag: diag.build(),
-                    off,
-                    diag_bsr: None,
-                    off_bsr: None,
-                    ghost_pad: Vec::new(),
-                    ghosts,
-                    interior,
-                    boundary,
-                    interior_b: Vec::new(),
-                    boundary_b: Vec::new(),
-                }
-            })
+            .map(|r| build_rank_mat(a, &row_layout, &col_layout, r))
             .collect();
 
         // Persistent exchange plan: the Sim charges exactly the plan's
@@ -190,48 +248,10 @@ impl DistMatrix {
     /// identical to the scalar one: blocks materialize explicit zeros and
     /// preserve the per-row accumulation order.
     pub fn try_block3(&mut self) -> bool {
-        let nranks = self.row_layout.num_ranks();
-        let eligible = self.row_layout.num_global().is_multiple_of(3)
-            && self.col_layout.num_global().is_multiple_of(3)
-            && (0..nranks).all(|r| {
-                aligned_triples(self.row_layout.owned(r))
-                    && aligned_triples(self.col_layout.owned(r))
-            });
-        if !eligible {
+        if !block3_eligible(&self.row_layout, &self.col_layout) {
             return false;
         }
-        self.ranks.par_iter_mut().for_each(|m| {
-            m.diag_bsr = Some(Bsr3Matrix::from_csr(&m.diag));
-            // Remap ghost columns onto whole vertex blocks, then block the
-            // padded off-diagonal part. Ghosts are ascending, so padded
-            // columns are ascending too and the scalar accumulation order
-            // is preserved.
-            let mut blocks: Vec<u32> = m.ghosts.iter().map(|&g| g / 3).collect();
-            blocks.dedup();
-            m.ghost_pad = m
-                .ghosts
-                .iter()
-                .map(|&g| {
-                    let b = blocks.partition_point(|&w| w < g / 3) as u32;
-                    3 * b + g % 3
-                })
-                .collect();
-            let mut pad = CooBuilder::new(m.off.nrows(), 3 * blocks.len());
-            for (i, j, v) in m.off.iter() {
-                pad.push(i, m.ghost_pad[j] as usize, v);
-            }
-            m.off_bsr = Some(Bsr3Matrix::from_csr(&pad.build()));
-            // Block-row classes: a block row is boundary when any of its
-            // three scalar rows references a ghost. `boundary` is
-            // ascending, so mapping to block ids and deduplicating keeps
-            // the ascending order.
-            let mut bb: Vec<u32> = m.boundary.iter().map(|&r| r / 3).collect();
-            bb.dedup();
-            m.interior_b = (0..(m.diag.nrows() / 3) as u32)
-                .filter(|br| bb.binary_search(br).is_err())
-                .collect();
-            m.boundary_b = bb;
-        });
+        self.ranks.par_iter_mut().for_each(promote_block3);
         pmg_telemetry::counter_add("spmv/bsr3_promoted", 1);
         true
     }
@@ -397,6 +417,139 @@ impl DistMatrix {
             }
         }
         b.build()
+    }
+}
+
+/// **One** rank's owned share of a distributed matrix — the SPMD-setup
+/// counterpart of [`DistMatrix`], which holds *all* ranks' shares.
+///
+/// Built by the distributed setup pipeline, where each rank constructs
+/// only its own operator blocks from the rows it owns (reading nothing of
+/// other ranks' rows beyond the replicated layout). The construction goes
+/// through the same `build_rank_mat` path as [`DistMatrix::from_global`],
+/// so for the same layouts and the same global values the per-rank blocks
+/// are **bitwise identical** to the orchestrated distribution — the parity
+/// the `RankHierarchy::extract` oracle tests pin.
+///
+/// Construction is two-phase because the halo-exchange plan needs every
+/// rank's ghost list: build locally ([`RankMatrix::from_owned_rows`]),
+/// exchange [`RankMatrix::ghosts`] over a transport collective, then
+/// [`RankMatrix::install_plan`] with all ranks' lists (each rank builds the
+/// identical plan from the identical inputs, cached on the layout).
+#[derive(Clone, Debug)]
+pub struct RankMatrix {
+    rank: usize,
+    row_layout: Arc<Layout>,
+    col_layout: Arc<Layout>,
+    mat: RankMat,
+    plan: Option<Arc<HaloPlan>>,
+}
+
+impl RankMatrix {
+    /// Build this rank's diagonal/off-diagonal blocks from its owned rows
+    /// of `a`. Only `row_layout.owned(rank)` rows of `a` are read.
+    pub fn from_owned_rows(
+        a: &CsrMatrix,
+        row_layout: Arc<Layout>,
+        col_layout: Arc<Layout>,
+        rank: usize,
+    ) -> RankMatrix {
+        assert_eq!(a.nrows(), row_layout.num_global());
+        assert_eq!(a.ncols(), col_layout.num_global());
+        let mat = build_rank_mat(a, &row_layout, &col_layout, rank);
+        RankMatrix {
+            rank,
+            row_layout,
+            col_layout,
+            mat,
+            plan: None,
+        }
+    }
+
+    /// This rank's ghost-column global ids (ascending) — the payload each
+    /// rank contributes to the setup's ghost-list allgather.
+    pub fn ghosts(&self) -> &[u32] {
+        &self.mat.ghosts
+    }
+
+    /// Install the halo-exchange plan from **all** ranks' ghost lists (as
+    /// returned by the allgather of [`RankMatrix::ghosts`]). Every rank
+    /// derives the identical plan from the identical replicated inputs;
+    /// the layout's fingerprint cache dedupes plan construction.
+    pub fn install_plan(&mut self, ghost_lists: &[Vec<u32>]) {
+        assert_eq!(ghost_lists.len(), self.col_layout.num_ranks());
+        assert_eq!(ghost_lists[self.rank], self.mat.ghosts);
+        self.plan = Some(self.col_layout.halo_plan(ghost_lists));
+    }
+
+    /// Promote this rank's blocks to BSR3 storage when the layouts are
+    /// vertex-aligned (same structural test as [`DistMatrix::try_block3`],
+    /// evaluated on the replicated layouts — no communication). Returns
+    /// whether promotion happened.
+    pub fn try_block3(&mut self) -> bool {
+        if !block3_eligible(&self.row_layout, &self.col_layout) {
+            return false;
+        }
+        promote_block3(&mut self.mat);
+        if self.rank == 0 {
+            pmg_telemetry::counter_add("spmv/bsr3_promoted", 1);
+        }
+        true
+    }
+
+    /// Whether products run through the 3x3-blocked path.
+    pub fn bsr3_routed(&self) -> bool {
+        self.mat.diag_bsr.is_some()
+    }
+
+    /// The rank this share belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Row ownership layout (replicated).
+    pub fn row_layout(&self) -> &Arc<Layout> {
+        &self.row_layout
+    }
+
+    /// Column ownership layout (replicated).
+    pub fn col_layout(&self) -> &Arc<Layout> {
+        &self.col_layout
+    }
+
+    /// The local (owned-rows × owned-columns) block — what the block-Jacobi
+    /// smoother factors.
+    pub fn local_block(&self) -> &CsrMatrix {
+        &self.mat.diag
+    }
+
+    /// Stored nonzeros of this rank's share (diag + off).
+    pub fn nnz_local(&self) -> usize {
+        self.mat.diag.nnz() + self.mat.off.nnz()
+    }
+
+    /// This rank's operator view for SPMD execution, bound to message tag
+    /// `tag`. Panics if [`RankMatrix::install_plan`] has not run.
+    pub fn rank_op(&self, tag: u32) -> RankOp<'_> {
+        let plan = self
+            .plan
+            .as_ref()
+            .expect("RankMatrix::rank_op before install_plan (halo plan missing)");
+        let m = &self.mat;
+        RankOp {
+            diag: &m.diag,
+            off: &m.off,
+            diag_bsr: m.diag_bsr.as_ref(),
+            off_bsr: m.off_bsr.as_ref(),
+            ghost_pad: &m.ghost_pad,
+            nghosts: m.ghosts.len(),
+            interior: &m.interior,
+            boundary: &m.boundary,
+            interior_b: &m.interior_b,
+            boundary_b: &m.boundary_b,
+            halo: &plan.ranks[self.rank],
+            tag,
+        }
     }
 }
 
@@ -617,6 +770,57 @@ mod tests {
         let l17 = Layout::block(17, 2);
         let mut m17 = DistMatrix::from_global(&a17, l17.clone(), l17);
         assert!(!m17.try_block3());
+    }
+
+    #[test]
+    fn rank_matrix_matches_dist_matrix_shares() {
+        // The SPMD-setup path (each rank builds only its own share) must
+        // produce exactly the orchestrated distribution's per-rank blocks,
+        // plans, and BSR3 promotion — the bitwise-parity foundation of
+        // RankHierarchy::build_distributed.
+        let nb = 9;
+        let a = block_laplacian(nb);
+        let p = 3;
+        let mut owner = vec![0u32; 3 * nb];
+        for v in 0..nb {
+            for c in 0..3 {
+                owner[3 * v + c] = (v % p) as u32;
+            }
+        }
+        let l = Layout::from_part(owner, p);
+        let dist = DistMatrix::from_global_blocked(&a, l.clone(), l.clone());
+        assert!(dist.bsr3_routed());
+
+        // Each "rank" builds locally, then the ghost lists are exchanged
+        // (here: collected in a plain Vec, standing in for the allgather).
+        let mut shares: Vec<RankMatrix> = (0..p)
+            .map(|r| RankMatrix::from_owned_rows(&a, l.clone(), l.clone(), r))
+            .collect();
+        let ghost_lists: Vec<Vec<u32>> = shares.iter().map(|s| s.ghosts().to_vec()).collect();
+        for s in &mut shares {
+            s.install_plan(&ghost_lists);
+            assert!(s.try_block3());
+        }
+
+        for (r, s) in shares.iter().enumerate() {
+            let m = &dist.ranks[r];
+            assert_eq!(s.mat.diag, m.diag, "rank {r} diag");
+            assert_eq!(s.mat.off, m.off, "rank {r} off");
+            assert_eq!(s.mat.ghosts, m.ghosts, "rank {r} ghosts");
+            assert_eq!(s.mat.ghost_pad, m.ghost_pad, "rank {r} ghost_pad");
+            assert_eq!(s.mat.interior, m.interior, "rank {r} interior");
+            assert_eq!(s.mat.boundary, m.boundary, "rank {r} boundary");
+            assert_eq!(s.mat.interior_b, m.interior_b, "rank {r} interior_b");
+            assert_eq!(s.mat.boundary_b, m.boundary_b, "rank {r} boundary_b");
+            // The plan is structurally the same object contents.
+            let sp = s.plan.as_ref().unwrap();
+            assert_eq!(sp.ranks.len(), dist.plan.ranks.len());
+            assert_eq!(
+                sp.ranks[r].recv.len(),
+                dist.plan.ranks[r].recv.len(),
+                "rank {r} recv manifest"
+            );
+        }
     }
 
     #[test]

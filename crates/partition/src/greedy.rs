@@ -147,6 +147,27 @@ pub fn parts_to_groups(part: &[u32], nparts: usize) -> Vec<Vec<u32>> {
     groups
 }
 
+/// Per-part vertex counts of an assignment.
+pub fn part_counts(part: &[u32], nparts: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; nparts];
+    for &p in part {
+        counts[p as usize] += 1;
+    }
+    counts
+}
+
+/// Load imbalance of an assignment: largest part size over the ideal share
+/// `len/nparts`. 1.0 is perfectly balanced; the paper's weak-scaling
+/// efficiency degrades roughly with this factor on the heaviest rank.
+/// Returns 0.0 for an empty assignment.
+pub fn part_imbalance(part: &[u32], nparts: usize) -> f64 {
+    if part.is_empty() || nparts == 0 {
+        return 0.0;
+    }
+    let max = part_counts(part, nparts).into_iter().max().unwrap_or(0);
+    max as f64 * nparts as f64 / part.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +245,21 @@ mod tests {
         let groups = parts_to_groups(&part, 2);
         assert_eq!(groups[0].len() + groups[1].len(), 6);
         assert!(!groups[0].is_empty() && !groups[1].is_empty());
+    }
+
+    #[test]
+    fn imbalance_metrics() {
+        // Perfectly balanced 2-way split.
+        let part: Vec<u32> = (0..8).map(|v| (v % 2) as u32).collect();
+        assert_eq!(part_counts(&part, 2), vec![4, 4]);
+        assert!((part_imbalance(&part, 2) - 1.0).abs() < 1e-15);
+        // Skewed 6/2 split: imbalance = 6 / (8/2) = 1.5.
+        let part: Vec<u32> = (0..8).map(|v| u32::from(v >= 6)).collect();
+        assert_eq!(part_counts(&part, 2), vec![6, 2]);
+        assert!((part_imbalance(&part, 2) - 1.5).abs() < 1e-15);
+        // Degenerate inputs.
+        assert_eq!(part_imbalance(&[], 2), 0.0);
+        assert_eq!(part_counts(&[], 2), vec![0, 0]);
     }
 
     #[test]

@@ -17,6 +17,6 @@ pub mod order;
 pub mod rcb;
 
 pub use graph::Graph;
-pub use greedy::{partition_graph, refine_kl};
+pub use greedy::{part_counts, part_imbalance, partition_graph, refine_kl};
 pub use order::{cuthill_mckee, random_permutation, reverse_cuthill_mckee};
 pub use rcb::recursive_coordinate_bisection;

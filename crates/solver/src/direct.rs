@@ -24,22 +24,44 @@ pub struct CoarseDirect {
     gather_traffic: Vec<(u64, u64)>,
 }
 
+/// Factor a global coarse operator: Cholesky when symmetric (it only reads
+/// the lower triangle, so it is guarded by a symmetry check), pivoted LU
+/// otherwise. Shared by [`CoarseDirect::new`] and [`CoarseDirect::from_csr`]
+/// so the orchestrated and distributed setups factor identically.
+fn factor_csr(global_csr: &pmg_sparse::CsrMatrix) -> (Factor, usize) {
+    let symmetric = global_csr.is_symmetric(1e-12);
+    let global = global_csr.to_dense();
+    let n = global.nrows();
+    let factor = match Some(())
+        .filter(|_| symmetric)
+        .and_then(|_| Cholesky::factor(&global))
+    {
+        Some(c) => Factor::Chol(c),
+        None => Factor::Lu(Lu::factor(&global).expect("coarse operator is singular")),
+    };
+    (factor, n)
+}
+
 impl CoarseDirect {
+    /// Factor a coarse operator already available as a global CSR — the
+    /// SPMD distributed setup's root-rank constructor (only the root ever
+    /// calls [`CoarseDirect::solve_global`] in the SPMD coarse apply). The
+    /// factorization is identical to [`CoarseDirect::new`] on a
+    /// distribution of the same matrix.
+    pub fn from_csr(a: &pmg_sparse::CsrMatrix) -> CoarseDirect {
+        let (factor, n) = factor_csr(a);
+        CoarseDirect {
+            factor,
+            n,
+            nranks: 1,
+            gather_traffic: vec![(0, 0)],
+        }
+    }
+
     /// Factor the (global) matrix of `a`. Panics if the matrix is singular.
     pub fn new(a: &DistMatrix) -> CoarseDirect {
         let global_csr = a.to_global();
-        let symmetric = global_csr.is_symmetric(1e-12);
-        let global = global_csr.to_dense();
-        let n = global.nrows();
-        // Cholesky only reads the lower triangle, so guard it behind a
-        // symmetry check; fall back to pivoted LU otherwise.
-        let factor = match Some(())
-            .filter(|_| symmetric)
-            .and_then(|_| Cholesky::factor(&global))
-        {
-            Some(c) => Factor::Chol(c),
-            None => Factor::Lu(Lu::factor(&global).expect("coarse operator is singular")),
-        };
+        let (factor, n) = factor_csr(&global_csr);
         let layout = a.row_layout();
         let nranks = layout.num_ranks();
         // Gather: every non-root rank sends its local values to rank 0.

@@ -31,4 +31,4 @@ pub use gmres::{gmres, GmresOptions, GmresResult};
 pub use lanczos::{lanczos_spectrum, SpectrumEstimate};
 pub use pcg::{pcg, pcg_multi, PcgOptions, PcgResult};
 pub use precond::{IdentityPrecond, JacobiPrecond, Precond};
-pub use smoother::{BlockJacobi, RankSmoother};
+pub use smoother::{BlockJacobi, RankJacobi, RankSmoother};

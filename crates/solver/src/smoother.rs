@@ -98,6 +98,96 @@ fn csr_graph(a: &CsrMatrix) -> Graph {
     Graph::from_edges(a.nrows(), edges)
 }
 
+/// Partition one rank's local block into METIS-style sub-domains and
+/// factor each densely. The single per-rank build both the orchestrated
+/// [`BlockJacobi::new`] and the SPMD-setup [`RankJacobi::new`] run — the
+/// factorizations depend only on this rank's local block, so the two paths
+/// are bitwise identical by construction.
+fn build_rank_blocks(local: &CsrMatrix, blocks_per_1000: f64) -> RankBlocks {
+    let n = local.nrows();
+    if n == 0 {
+        return RankBlocks {
+            blocks: Vec::new(),
+            factors: Vec::new(),
+            apply_flops: 0,
+        };
+    }
+    let nblocks = ((blocks_per_1000 * n as f64 / 1000.0).round() as usize).clamp(1, n);
+    let g = csr_graph(local);
+    let part = partition_graph(&g, nblocks);
+    let mut blocks = vec![Vec::new(); nblocks];
+    for (v, &p) in part.iter().enumerate() {
+        blocks[p as usize].push(v as u32);
+    }
+    blocks.retain(|b| !b.is_empty());
+    let factors: Vec<BlockFactor> = blocks
+        .iter()
+        .map(|blk| {
+            let idx: Vec<usize> = blk.iter().map(|&v| v as usize).collect();
+            let sub = local.principal_submatrix(&idx).to_dense();
+            if let Some(c) = Cholesky::factor(&sub) {
+                BlockFactor::Chol(c)
+            } else if let Some(l) = Lu::factor(&sub) {
+                BlockFactor::Lu(l)
+            } else {
+                let d: Vec<f64> = (0..sub.nrows())
+                    .map(|i| {
+                        let v = sub[(i, i)];
+                        if v != 0.0 {
+                            1.0 / v
+                        } else {
+                            1.0
+                        }
+                    })
+                    .collect();
+                BlockFactor::Diag(d)
+            }
+        })
+        .collect();
+    let apply_flops = factors.iter().map(|f| f.solve_flops()).sum();
+    RankBlocks {
+        blocks,
+        factors,
+        apply_flops,
+    }
+}
+
+/// **One** rank's owned block-Jacobi smoother — the SPMD-setup counterpart
+/// of [`BlockJacobi`], which factors every rank's blocks. Block Jacobi is
+/// purely rank-local, so the distributed setup builds exactly this rank's
+/// sub-domain factorizations from its local operator block and nothing
+/// else; [`RankJacobi::view`] yields the same [`RankSmoother`] kernel the
+/// borrowed path uses.
+pub struct RankJacobi {
+    blocks: RankBlocks,
+    omega: f64,
+}
+
+impl RankJacobi {
+    /// Factor this rank's blocks from its local (owned × owned) operator
+    /// block at the paper's `blocks_per_1000` density.
+    pub fn new(local: &CsrMatrix, blocks_per_1000: f64, omega: f64) -> RankJacobi {
+        RankJacobi {
+            blocks: build_rank_blocks(local, blocks_per_1000),
+            omega,
+        }
+    }
+
+    /// Number of sub-domain blocks (diagnostics).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.blocks.len()
+    }
+
+    /// The per-rank application kernel (same type the borrowed
+    /// [`BlockJacobi::rank_view`] returns).
+    pub fn view(&self) -> RankSmoother<'_> {
+        RankSmoother {
+            blocks: &self.blocks,
+            omega: self.omega,
+        }
+    }
+}
+
 impl BlockJacobi {
     /// Build with the paper's density of `blocks_per_1000` blocks per 1000
     /// local unknowns and damping `omega`.
@@ -105,55 +195,7 @@ impl BlockJacobi {
         let nranks = a.row_layout().num_ranks();
         let ranks: Vec<RankBlocks> = (0..nranks)
             .into_par_iter()
-            .map(|r| {
-                let local = a.local_block(r);
-                let n = local.nrows();
-                if n == 0 {
-                    return RankBlocks {
-                        blocks: Vec::new(),
-                        factors: Vec::new(),
-                        apply_flops: 0,
-                    };
-                }
-                let nblocks = ((blocks_per_1000 * n as f64 / 1000.0).round() as usize).clamp(1, n);
-                let g = csr_graph(local);
-                let part = partition_graph(&g, nblocks);
-                let mut blocks = vec![Vec::new(); nblocks];
-                for (v, &p) in part.iter().enumerate() {
-                    blocks[p as usize].push(v as u32);
-                }
-                blocks.retain(|b| !b.is_empty());
-                let factors: Vec<BlockFactor> = blocks
-                    .iter()
-                    .map(|blk| {
-                        let idx: Vec<usize> = blk.iter().map(|&v| v as usize).collect();
-                        let sub = local.principal_submatrix(&idx).to_dense();
-                        if let Some(c) = Cholesky::factor(&sub) {
-                            BlockFactor::Chol(c)
-                        } else if let Some(l) = Lu::factor(&sub) {
-                            BlockFactor::Lu(l)
-                        } else {
-                            let d: Vec<f64> = (0..sub.nrows())
-                                .map(|i| {
-                                    let v = sub[(i, i)];
-                                    if v != 0.0 {
-                                        1.0 / v
-                                    } else {
-                                        1.0
-                                    }
-                                })
-                                .collect();
-                            BlockFactor::Diag(d)
-                        }
-                    })
-                    .collect();
-                let apply_flops = factors.iter().map(|f| f.solve_flops()).sum();
-                RankBlocks {
-                    blocks,
-                    factors,
-                    apply_flops,
-                }
-            })
+            .map(|r| build_rank_blocks(a.local_block(r), blocks_per_1000))
             .collect();
         let apply_flops = ranks.iter().map(|r| r.apply_flops).collect();
         BlockJacobi {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Perf snapshot of the hot kernels: runs the criterion kernel + solve
 # microbenches (quick mode by default) and the bench_snapshot binary, which
-# writes BENCH_PR7.json with spmv/rap/assemble timings, the cold-vs-planned
+# writes BENCH_PR8.json with spmv/rap/assemble timings, the cold-vs-planned
 # speedups, the multi-vector (SpMM / batched matrix-free) kernel timings at
 # k = 1/4/8 with per-vector speedups, the fine-operator A/B (assembled
 # CSR/BSR3 bytes vs the batched element-kernel matrix-free operator,
@@ -10,12 +10,15 @@
 # hosts), the plan/pattern reuse counters, the comm section comparing the
 # same spheres solve over simulated ranks, 2 threaded ranks (in-process
 # transport), and 2 socket ranks (separate processes under pmg-launch)
-# with real measured message counts and per-phase wait times, and the
+# with real measured message counts and per-phase wait times, the
 # overlap section running the threaded and socket solves A/B with the
 # comm/compute overlap off vs on (blocked halo wait, hidden window,
-# interior/boundary row split, allreduce fusion). The meta block records
-# the pool size, git SHA, and host core count so snapshots are comparable
-# across machines.
+# interior/boundary row split, allreduce fusion), and the setup
+# weak-scaling section: RankHierarchy::build_distributed over 1/2/4
+# threaded ranks at ~40k dofs per rank with per-phase times and
+# weak-scaling efficiencies (marked degenerate on 1-core hosts). The meta
+# block records the pool size, git SHA, and host core count so snapshots
+# are comparable across machines.
 #
 # Knobs:
 #   PMG_THREADS          pool size for the thread-scaling section
@@ -24,7 +27,9 @@
 #   CRITERION_SAMPLE_MS  per-benchmark criterion budget (default 50 here)
 #   PMG_BENCH_MS         per-measurement budget in bench_snapshot (ms)
 #   PMG_BENCH_K          spheres ladder point (default 0 = tiny)
-#   PMG_BENCH_OUT        snapshot path (default BENCH_PR7.json)
+#   PMG_BENCH_SETUP_DOF  target dofs per rank in the setup weak-scaling
+#                        section (default 40000; CI uses a small value)
+#   PMG_BENCH_OUT        snapshot path (default BENCH_PR8.json)
 #   PMG_BENCH_ASSERT=1   fail unless planned RAP and pattern-reuse assembly
 #                        are >= 1.5x their cold baselines, the matrix-free
 #                        fine operator is >= 2x smaller than the assembled
@@ -46,11 +51,11 @@ echo "== criterion solve benches =="
 cargo bench --offline -p pmg-bench --bench solve
 
 echo
-echo "== bench_snapshot (PMG_THREADS=$PMG_THREADS) -> ${PMG_BENCH_OUT:-BENCH_PR7.json} =="
+echo "== bench_snapshot (PMG_THREADS=$PMG_THREADS) -> ${PMG_BENCH_OUT:-BENCH_PR8.json} =="
 # The socket data point launches a sibling spheres_rank binary; build it
 # first so bench_snapshot finds it next to itself in target/release.
 cargo build --release --offline --bin spheres_rank
 cargo run --release --offline -p pmg-bench --bin bench_snapshot
 
 echo
-echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR7.json}"
+echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR8.json}"

@@ -2,12 +2,16 @@
 //!
 //! Spawned `n` at a time by `pmg-launch` (which sets `PMG_COMM_RANK`,
 //! `PMG_COMM_SIZE`, and `PMG_COMM_DIR`), each process builds the tiny
-//! spheres first-solve system and its multigrid hierarchy deterministically
-//! — the setup is replicated, only the solve runs distributed — then solves
-//! over the Unix-domain-socket transport. Rank 0 gathers the solution and,
-//! when `--out PATH` (or `PMG_OUT`) is given, writes the iteration count,
-//! convergence flag, and the solution / residual-history bit patterns for
-//! the parity test to compare against the simulated solve.
+//! spheres first-solve system and its multigrid hierarchy deterministically,
+//! then solves over the Unix-domain-socket transport. By default the setup
+//! is replicated (each process runs the full in-process build and extracts
+//! its rank's share); `PMG_DIST_SETUP=1` instead runs the distributed setup
+//! pipeline — transport MIS, face-ID merge, per-rank Galerkin rows, and the
+//! ghost-list collectives — which is bitwise-identical by construction.
+//! Rank 0 gathers the solution and, when `--out PATH` (or `PMG_OUT`) is
+//! given, writes the iteration count, convergence flag, and the solution /
+//! residual-history bit patterns for the parity test to compare against the
+//! simulated solve.
 //!
 //! `PMG_OVERLAP=0` disables the communication/computation overlap (and the
 //! fused PCG allreduce) for A/B wait-time measurements; the solve is
@@ -47,35 +51,69 @@ fn main() -> ExitCode {
         .map(|v| v != "0")
         .unwrap_or(true);
 
+    let dist_setup = std::env::var("PMG_DIST_SETUP")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+
     let sys = pmg_bench::spheres_first_solve(0);
     let opts = pmg_bench::parity_options(t.size());
-    // `PMG_FINE_OP=matrixfree` swaps the fine-grid apply for the
-    // element-loop kernels; the setup stays replicated and deterministic.
-    let solver = pmg_bench::parity_solver(&sys, opts);
-    let layout = solver.mg.levels[0].a.row_layout().clone();
-    let mut h = RankHierarchy::extract(&solver.mg, t.rank());
-    h.overlap = overlap;
+    let solve_opts = PcgOptions {
+        rtol: pmg_bench::PARITY_RTOL,
+        max_iters: 200,
+        ..Default::default()
+    };
 
-    let bl: Vec<f64> = layout
-        .owned(t.rank())
-        .iter()
-        .map(|&g| sys.rhs[g as usize])
-        .collect();
-    let mut xl = vec![0.0; bl.len()];
-    let solve_start = std::time::Instant::now();
-    let (res, waits) = spmd_pcg(
-        &mut t,
-        &h,
-        &bl,
-        &mut xl,
-        PcgOptions {
-            rtol: pmg_bench::PARITY_RTOL,
-            max_iters: 200,
-            ..Default::default()
-        },
-    )
-    .expect("SPMD solve over sockets");
-    let solve_s = solve_start.elapsed().as_secs_f64();
+    let (layout, res, waits, xl, solve_s) = if dist_setup {
+        // Distributed setup: the fine classification and every setup phase
+        // (MIS, face-ID merge, Galerkin rows, ghost lists) run over the
+        // socket transport. `PMG_FINE_OP` does not apply here — the
+        // distributed pipeline distributes the assembled operator.
+        let graph = sys.mesh.vertex_graph();
+        let nproc = t.size();
+        let classes = prometheus::classify_mesh_transport(&mut t, &sys.mesh, opts.face_tol, nproc)
+            .expect("transport classification");
+        let setup = RankHierarchy::build_distributed(
+            &mut t,
+            &sys.matrix,
+            &sys.mesh.coords,
+            &graph,
+            &classes,
+            opts.mg,
+        )
+        .expect("distributed setup over sockets");
+        let layout = setup.fine_layout().clone();
+        let mut h = setup.rank_hierarchy();
+        h.overlap = overlap;
+
+        let bl: Vec<f64> = layout
+            .owned(t.rank())
+            .iter()
+            .map(|&g| sys.rhs[g as usize])
+            .collect();
+        let mut xl = vec![0.0; bl.len()];
+        let solve_start = std::time::Instant::now();
+        let (res, waits) =
+            spmd_pcg(&mut t, &h, &bl, &mut xl, solve_opts).expect("SPMD solve over sockets");
+        (layout, res, waits, xl, solve_start.elapsed().as_secs_f64())
+    } else {
+        // `PMG_FINE_OP=matrixfree` swaps the fine-grid apply for the
+        // element-loop kernels; the setup stays replicated and deterministic.
+        let solver = pmg_bench::parity_solver(&sys, opts);
+        let layout = solver.mg.levels[0].a.row_layout().clone();
+        let mut h = RankHierarchy::extract(&solver.mg, t.rank());
+        h.overlap = overlap;
+
+        let bl: Vec<f64> = layout
+            .owned(t.rank())
+            .iter()
+            .map(|&g| sys.rhs[g as usize])
+            .collect();
+        let mut xl = vec![0.0; bl.len()];
+        let solve_start = std::time::Instant::now();
+        let (res, waits) =
+            spmd_pcg(&mut t, &h, &bl, &mut xl, solve_opts).expect("SPMD solve over sockets");
+        (layout, res, waits, xl, solve_start.elapsed().as_secs_f64())
+    };
     let stats = t.stats(); // snapshot before the result gather adds traffic
 
     let gathered = pmg_comm::gather(&mut t, &f64s_to_bytes(&xl)).expect("gather solution");

@@ -247,6 +247,49 @@ fn spheres_solve_bitwise_identical_across_transports() {
 }
 
 #[test]
+fn spheres_distributed_setup_bitwise_identical_over_sockets() {
+    // PR 8's acceptance bar: `PMG_DIST_SETUP=1` routes the worker through
+    // `RankHierarchy::build_distributed` — transport MIS, face-ID merge,
+    // per-rank Galerkin rows, ghost-list collectives — and the resulting
+    // 2-process solve must still reproduce the in-process replicated-setup
+    // solve bitwise.
+    let sys = pmg_bench::spheres_first_solve(0);
+    let opts = pmg_bench::parity_options(2);
+    let mut solver = prometheus::Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
+    let (x_ref, res_ref) = solver.solve(&sys.rhs, None, pmg_bench::PARITY_RTOL);
+    assert!(res_ref.converged, "{res_ref:?}");
+
+    let dir = std::env::temp_dir().join(format!("pmg-dist-setup-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("rank0.out");
+    let exits = pmg_comm::launch::launch_with_env(
+        2,
+        std::path::Path::new(env!("CARGO_BIN_EXE_spheres_rank")),
+        &["--out", out.to_str().unwrap()],
+        None,
+        &[("PMG_DIST_SETUP", "1"), ("PMG_FINE_OP", "assembled")],
+    )
+    .expect("launch 2 socket ranks with distributed setup");
+    assert!(
+        exits.iter().all(|e| e.status.success()),
+        "distributed-setup socket ranks failed: {exits:?}"
+    );
+    let (iters, converged, x_bits, res_bits, _) =
+        parse_rank_out(&std::fs::read_to_string(&out).unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(converged);
+    assert_eq!(iters, res_ref.iterations, "distributed-setup iterations");
+    assert_eq!(x_bits.len(), x_ref.len());
+    for (got, want) in x_bits.iter().zip(&x_ref) {
+        assert_eq!(*got, want.to_bits(), "distributed-setup solution bits");
+    }
+    assert_eq!(res_bits.len(), res_ref.residuals.len());
+    for (got, want) in res_bits.iter().zip(&res_ref.residuals) {
+        assert_eq!(*got, want.to_bits(), "distributed-setup residual bits");
+    }
+}
+
+#[test]
 fn machine_model_latency_dominates_small_messages() {
     // Sanity of the BSP model: for tiny payloads the modeled comm time is
     // ~latency * messages; for large payloads bandwidth dominates.

@@ -16,6 +16,8 @@
 use pmg_bench::spheres_first_solve;
 use pmg_telemetry::{JsonLinesSink, Report, Sink};
 use prometheus::{MgOptions, Prometheus, PrometheusOptions};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
 
 /// Recorded band for the tiny spheres first solve at rtol 1e-6 (measured:
 /// 13 iterations). The problem, seed, and machine model are fixed, so a
@@ -130,4 +132,87 @@ fn spheres_solve_emits_full_telemetry_report() {
     let text = String::from_utf8(buf).unwrap();
     let parsed = Report::from_json_lines(&text).unwrap();
     assert_eq!(parsed, report);
+}
+
+/// Scrape the counter/gauge names emitted by `src` into `out`. Handles
+/// multi-line call sites and `&format!(...)` names; `format!` placeholders
+/// are normalised to `{N}` to match the docs spelling
+/// (`mg/level{lvl_index}/rows` -> `mg/level{N}/rows`).
+fn scrape_emitted_names(src: &str, out: &mut BTreeSet<String>) {
+    for needle in ["counter_add(", "gauge_set("] {
+        let mut at = 0;
+        while let Some(pos) = src[at..].find(needle) {
+            at += pos + needle.len();
+            let mut rest = src[at..].trim_start();
+            if let Some(stripped) = rest.strip_prefix("&format!(") {
+                rest = stripped.trim_start();
+            }
+            // Skip non-literal names (function definitions, name variables).
+            let Some(body) = rest.strip_prefix('"') else {
+                continue;
+            };
+            let Some(end) = body.find('"') else { continue };
+            let mut name = String::new();
+            let mut chars = body[..end].chars();
+            while let Some(c) = chars.next() {
+                if c == '{' {
+                    for d in chars.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                    }
+                    name.push_str("{N}");
+                } else {
+                    name.push(c);
+                }
+            }
+            out.insert(name);
+        }
+    }
+}
+
+/// Counter and gauge names are stable API: every name production code can
+/// emit must have a row in `docs/telemetry.md`. Scrapes all
+/// `counter_add`/`gauge_set` call sites in the workspace sources —
+/// excluding test/bench trees and the telemetry crate itself, whose unit
+/// tests use throwaway names — and looks each name up in the docs text.
+#[test]
+fn emitted_counter_and_gauge_names_are_documented() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let docs = std::fs::read_to_string(root.join("docs/telemetry.md")).unwrap();
+
+    let mut names = BTreeSet::new();
+    let mut stack = vec![root.join("crates"), root.join("src")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let base = path.file_name().unwrap().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if base == "tests" || base == "benches" || base == "telemetry" || base == "shims" {
+                    continue;
+                }
+                stack.push(path);
+            } else if base.ends_with(".rs") {
+                scrape_emitted_names(&std::fs::read_to_string(&path).unwrap(), &mut names);
+            }
+        }
+    }
+
+    // Sanity: the scraper actually sees the stack's emissions (a silent
+    // zero-name pass would make the documentation assert vacuous).
+    for expected in ["pcg/iterations", "comm/setup_msgs", "mg/level{N}/imbalance"] {
+        assert!(
+            names.contains(expected),
+            "scraper lost a known name {expected}; scraped: {names:?}"
+        );
+    }
+
+    let undocumented: Vec<&String> = names
+        .iter()
+        .filter(|n| !docs.contains(n.as_str()))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "telemetry names emitted in code but missing from docs/telemetry.md: {undocumented:?}"
+    );
 }
