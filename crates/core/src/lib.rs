@@ -32,6 +32,7 @@
 
 pub mod classify;
 pub mod coarsen;
+pub mod fingerprint;
 pub mod inspect;
 pub mod mg;
 pub mod mis;
@@ -45,6 +46,7 @@ pub use classify::{
     VertexClass, VertexClasses,
 };
 pub use coarsen::{coarsen_level, coarsen_level_transport, CoarseLevel, CoarsenOptions};
+pub use fingerprint::{fingerprint_hex, parse_fingerprint_hex, solver_fingerprint};
 pub use inspect::{classify_mesh_levels, tets_to_obj, LevelInfo};
 pub use mg::{CycleType, FineOperator, MgHierarchy, MgOptions};
 pub use mis::{greedy_mis, parallel_mis, parallel_mis_transport, MisOrdering};

@@ -1,0 +1,386 @@
+//! The dispatcher: one thread that owns every solver and turns the
+//! request queue into blocked solves.
+//!
+//! Connection threads never touch a hierarchy — they submit jobs
+//! over a **bounded** channel (the bound *is* the admission control: a
+//! full queue rejects with `busy` at the connection layer) and block on
+//! a per-request reply channel. The dispatcher pulls one solve job,
+//! then lingers briefly collecting concurrent jobs with the **same
+//! batch key** into one blocked PCG solve via
+//! [`prometheus::Prometheus::solve_multi`] — each column keeps its own
+//! tolerance and recurrence, so every client receives exactly the bits
+//! an unbatched solve would have produced. Jobs with a different key
+//! seen during the linger window are stashed, never mixed: two
+//! fingerprints never share a batch.
+
+use crate::cache::{hierarchy_bytes, solver_cache_key, CacheEntry, WarmCache};
+use crate::protocol::{ProblemSpec, Response, SolveReply, SolveRequest, SolveTarget, StatsReply};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Counters incremented outside the dispatcher (at the connection
+/// layer), merged into `stats` replies.
+#[derive(Default)]
+pub(crate) struct SharedCounters {
+    /// Admission-control rejections (queue full → `busy`).
+    pub rejected: AtomicU64,
+    /// Connections dropped mid-message.
+    pub disconnects: AtomicU64,
+}
+
+/// A queued unit of work.
+pub(crate) enum Job {
+    /// A solve, with its reply channel.
+    Solve(SolveJob),
+    /// An explicit warm-up.
+    Warm(ProblemSpec, mpsc::Sender<Response>),
+    /// A stats snapshot.
+    Stats(mpsc::Sender<Response>),
+}
+
+/// A solve request as it travels the queue.
+pub(crate) struct SolveJob {
+    pub req: SolveRequest,
+    /// Pre-setup coalescing key: canonical spec string or fingerprint
+    /// hex. Only jobs with equal keys may share a batch.
+    pub batch_key: String,
+    pub enqueued: Instant,
+    pub reply: mpsc::Sender<Response>,
+}
+
+/// Dispatcher tuning (subset of the server config).
+pub(crate) struct BatchConfig {
+    pub max_batch: usize,
+    pub linger: Duration,
+    pub cache_bytes: usize,
+    /// Test/bench knob: sleep this long inside each batch, making
+    /// queue-full (`busy`) and batch-coalescing timings deterministic.
+    pub hold_ms: u64,
+}
+
+pub(crate) struct Dispatcher {
+    rx: mpsc::Receiver<Job>,
+    /// Jobs seen during a linger window that don't match the batch
+    /// being collected; processed before the channel is polled again.
+    stash: VecDeque<Job>,
+    cache: WarmCache,
+    cfg: BatchConfig,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<SharedCounters>,
+    requests: u64,
+    batched: u64,
+    warm: u64,
+    lat_queue: Vec<f64>,
+    lat_setup: Vec<f64>,
+    lat_solve: Vec<f64>,
+}
+
+impl Dispatcher {
+    pub fn new(
+        rx: mpsc::Receiver<Job>,
+        cfg: BatchConfig,
+        shutdown: Arc<AtomicBool>,
+        shared: Arc<SharedCounters>,
+    ) -> Dispatcher {
+        let cache = WarmCache::new(cfg.cache_bytes);
+        Dispatcher {
+            rx,
+            stash: VecDeque::new(),
+            cache,
+            cfg,
+            shutdown,
+            shared,
+            requests: 0,
+            batched: 0,
+            warm: 0,
+            lat_queue: Vec::new(),
+            lat_setup: Vec::new(),
+            lat_solve: Vec::new(),
+        }
+    }
+
+    /// Run until shutdown is requested *and* the queue has drained, or
+    /// every submitter has hung up. In-flight jobs always complete: a
+    /// shutdown never abandons a request that was admitted.
+    pub fn run(mut self) {
+        while let Some(job) = self.next_job() {
+            match job {
+                Job::Warm(spec, reply) => {
+                    self.warm += 1;
+                    pmg_telemetry::counter_add("serve/warm", 1);
+                    let resp = self.handle_warm(&spec);
+                    let _ = reply.send(resp);
+                }
+                Job::Stats(reply) => {
+                    let _ = reply.send(Response::Stats(self.stats_reply()));
+                }
+                Job::Solve(first) => {
+                    let batch = self.collect_batch(first);
+                    self.process_batch(batch);
+                }
+            }
+        }
+        self.publish_gauges();
+    }
+
+    /// Stashed jobs first, then the channel; `None` ends the loop.
+    fn next_job(&mut self) -> Option<Job> {
+        if let Some(j) = self.stash.pop_front() {
+            return Some(j);
+        }
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(j) => return Some(j),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return None;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
+    /// Collect up to `max_batch` same-key solves within the linger
+    /// window. Non-matching jobs (different key, warms, stats) are
+    /// stashed for afterwards — a batch holds one key only.
+    fn collect_batch(&mut self, first: SolveJob) -> Vec<SolveJob> {
+        let mut batch = vec![first];
+        // Same-key solves stashed during an earlier window join first —
+        // without this, concurrent requests that arrived while a
+        // different key was lingering would each solve alone.
+        let mut i = 0;
+        while i < self.stash.len() && batch.len() < self.cfg.max_batch {
+            let matches =
+                matches!(&self.stash[i], Job::Solve(j) if j.batch_key == batch[0].batch_key);
+            if matches {
+                if let Some(Job::Solve(j)) = self.stash.remove(i) {
+                    batch.push(j);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        let deadline = Instant::now() + self.cfg.linger;
+        while batch.len() < self.cfg.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(Job::Solve(j)) if j.batch_key == batch[0].batch_key => batch.push(j),
+                Ok(other) => self.stash.push_back(other),
+                Err(_) => break,
+            }
+        }
+        batch
+    }
+
+    /// Build the hierarchy for `spec` (or find it warm). Returns the
+    /// cache key, whether it was a hit, and the setup seconds (0 on hit).
+    fn ensure_spec(&mut self, spec: &ProblemSpec) -> Result<(u64, bool, f64), String> {
+        if let Some(key) = self.cache.key_for_spec(&spec.canon()) {
+            if self.cache.get_mut(key).is_some() {
+                pmg_telemetry::counter_add("serve/cache_hit", 1);
+                return Ok((key, true, 0.0));
+            }
+            pmg_telemetry::counter_add("serve/cache_miss", 1);
+            // Known spec, evicted entry: rebuild below under the same key.
+        }
+        if spec.name != "spheres" {
+            return Err(format!("unknown problem family {:?}", spec.name));
+        }
+        let t0 = Instant::now();
+        let sys = pmg_bench::spheres_first_solve(spec.k);
+        let opts = pmg_bench::parity_options(spec.nranks);
+        let key = solver_cache_key(&sys, &opts);
+        let solver = pmg_bench::parity_solver(&sys, opts);
+        let setup_s = t0.elapsed().as_secs_f64();
+        let bytes = hierarchy_bytes(&solver) + sys.rhs.len() * 8;
+        if self.cache.key_for_spec(&spec.canon()).is_none() {
+            // First sight of this spec: the alias lookup above already
+            // counted nothing, so count the miss here.
+            pmg_telemetry::counter_add("serve/cache_miss", 1);
+            self.cache.get_mut(key); // records the miss in cache stats
+        }
+        let evicted = self.cache.insert(
+            key,
+            CacheEntry {
+                solver,
+                spec: spec.clone(),
+                default_rhs: sys.rhs,
+                setup_s,
+                bytes,
+            },
+        );
+        if !evicted.is_empty() {
+            pmg_telemetry::counter_add("serve/cache_evict", evicted.len() as u64);
+        }
+        Ok((key, false, setup_s))
+    }
+
+    fn handle_warm(&mut self, spec: &ProblemSpec) -> Response {
+        match self.ensure_spec(spec) {
+            Ok((fingerprint, cache_hit, setup_s)) => Response::Warmed {
+                fingerprint,
+                cache_hit,
+                setup_s,
+            },
+            Err(msg) => Response::Error(msg),
+        }
+    }
+
+    /// Resolve the batch's hierarchy, run one blocked solve, demux the
+    /// columns back to their reply channels.
+    fn process_batch(&mut self, batch: Vec<SolveJob>) {
+        let picked_up = Instant::now();
+        let k = batch.len();
+        self.requests += k as u64;
+        pmg_telemetry::counter_add("serve/requests", k as u64);
+        if k > 1 {
+            self.batched += k as u64;
+            pmg_telemetry::counter_add("serve/batched", k as u64);
+        }
+
+        // All jobs in a batch share one key, so the first job's target
+        // resolves the hierarchy for all of them.
+        let resolved = match &batch[0].req.target {
+            SolveTarget::Spec(spec) => self.ensure_spec(spec),
+            SolveTarget::Fingerprint(fp) => {
+                if self.cache.get_mut(*fp).is_some() {
+                    pmg_telemetry::counter_add("serve/cache_hit", 1);
+                    Ok((*fp, true, 0.0))
+                } else {
+                    pmg_telemetry::counter_add("serve/cache_miss", 1);
+                    Err(format!(
+                        "no warm hierarchy {}; send a problem spec or warm first",
+                        prometheus::fingerprint_hex(*fp)
+                    ))
+                }
+            }
+        };
+        let (key, cache_hit, setup_s) = match resolved {
+            Ok(r) => r,
+            Err(msg) => {
+                for job in batch {
+                    let _ = job.reply.send(Response::Error(msg.clone()));
+                }
+                return;
+            }
+        };
+
+        if self.cfg.hold_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.cfg.hold_ms));
+        }
+
+        let entry = self
+            .cache
+            .peek_mut(key)
+            .expect("resolved entry is resident");
+        let ndof = entry.default_rhs.len();
+
+        // Partition out jobs whose RHS has the wrong length; they error
+        // individually without poisoning the batch.
+        let mut jobs = Vec::with_capacity(k);
+        let mut bs: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let mut rtols = Vec::with_capacity(k);
+        for job in batch {
+            match &job.req.rhs {
+                Some(r) if r.len() != ndof => {
+                    let _ = job.reply.send(Response::Error(format!(
+                        "rhs has {} entries, problem has {ndof} dofs",
+                        r.len()
+                    )));
+                }
+                Some(r) => {
+                    bs.push(r.clone());
+                    rtols.push(job.req.rtol);
+                    jobs.push(job);
+                }
+                None => {
+                    bs.push(entry.default_rhs.clone());
+                    rtols.push(job.req.rtol);
+                    jobs.push(job);
+                }
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+
+        let t0 = Instant::now();
+        let results = entry.solver.solve_multi(&bs, &rtols);
+        let solve_s = t0.elapsed().as_secs_f64();
+
+        let batched = jobs.len();
+        for (job, (x, res)) in jobs.into_iter().zip(results) {
+            let queue_s = picked_up.duration_since(job.enqueued).as_secs_f64();
+            self.lat_queue.push(queue_s);
+            self.lat_setup.push(setup_s);
+            self.lat_solve.push(solve_s);
+            let _ = job.reply.send(Response::Solved(SolveReply {
+                id: job.req.id,
+                fingerprint: key,
+                cache_hit,
+                batched,
+                iterations: res.iterations,
+                converged: res.converged,
+                queue_s,
+                setup_s,
+                solve_s,
+                x,
+            }));
+        }
+    }
+
+    fn stats_reply(&mut self) -> StatsReply {
+        self.publish_gauges();
+        let c = self.cache.stats();
+        let mut latency = Vec::new();
+        for (phase, samples) in [
+            ("queue", &self.lat_queue),
+            ("setup", &self.lat_setup),
+            ("solve", &self.lat_solve),
+        ] {
+            for (q, frac) in pmg_telemetry::stats::SUMMARY_QUANTILES {
+                if let Some(v) = pmg_telemetry::stats::percentile(samples, frac) {
+                    latency.push((format!("{phase}_p{q}"), v));
+                }
+            }
+        }
+        StatsReply {
+            requests: self.requests,
+            batched: self.batched,
+            cache_hit: c.hits,
+            cache_miss: c.misses,
+            cache_evict: c.evictions,
+            rejected: self.shared.rejected.load(Ordering::SeqCst),
+            disconnects: self.shared.disconnects.load(Ordering::SeqCst),
+            warm: self.warm,
+            cache_entries: c.entries as u64,
+            cache_bytes: c.bytes as u64,
+            latency,
+        }
+    }
+
+    /// Publish cache residency and latency percentiles as telemetry
+    /// gauges (`serve/cache_*`, `serve/latency/{phase}_p{q}`).
+    fn publish_gauges(&self) {
+        let c = self.cache.stats();
+        pmg_telemetry::gauge_set("serve/cache_entries", c.entries as f64);
+        pmg_telemetry::gauge_set("serve/cache_bytes", c.bytes as f64);
+        for (phase, samples) in [
+            ("queue", &self.lat_queue),
+            ("setup", &self.lat_setup),
+            ("solve", &self.lat_solve),
+        ] {
+            for (q, frac) in pmg_telemetry::stats::SUMMARY_QUANTILES {
+                if let Some(v) = pmg_telemetry::stats::percentile(samples, frac) {
+                    pmg_telemetry::gauge_set(&format!("serve/latency/{phase}_p{q}"), v);
+                }
+            }
+        }
+    }
+}

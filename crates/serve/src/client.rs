@@ -1,0 +1,192 @@
+//! A blocking client for the daemon protocol — used by the bench
+//! driver, the integration tests, and anything else that wants solves
+//! from a warm daemon without linking the solver stack.
+
+use crate::protocol::{
+    parse_response, read_frame, render_request, write_frame, ProblemSpec, Request, Response,
+    SolveReply, SolveRequest, SolveTarget, StatsReply,
+};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(io::Error),
+    /// The daemon rejected the request under admission control; retry
+    /// after backing off.
+    Busy,
+    /// The daemon reported an error.
+    Server(String),
+    /// The response didn't parse or wasn't the kind the call expected.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Busy => write!(f, "server busy"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+enum Stream {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a daemon. Requests are serial per client; open
+/// more clients for concurrency.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connect over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client {
+            stream: Stream::Unix(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Connect over TCP.
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        Ok(Client {
+            stream: Stream::Tcp(TcpStream::connect(addr)?),
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, render_request(req).as_bytes())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("server closed without replying".into()))?;
+        parse_response(&payload).map_err(ClientError::Protocol)
+    }
+
+    fn solve(&mut self, req: SolveRequest) -> Result<SolveReply, ClientError> {
+        match self.roundtrip(&Request::Solve(req))? {
+            Response::Solved(r) => Ok(r),
+            Response::Busy => Err(ClientError::Busy),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Solve by inline problem spec. `rhs = None` solves the problem's
+    /// canonical first-solve RHS.
+    pub fn solve_spec(
+        &mut self,
+        spec: &ProblemSpec,
+        rhs: Option<Vec<f64>>,
+        rtol: f64,
+        id: &str,
+    ) -> Result<SolveReply, ClientError> {
+        self.solve(SolveRequest {
+            id: id.to_string(),
+            target: SolveTarget::Spec(spec.clone()),
+            rhs,
+            rtol,
+        })
+    }
+
+    /// Solve on an already-warm hierarchy by fingerprint.
+    pub fn solve_fingerprint(
+        &mut self,
+        fingerprint: u64,
+        rhs: Option<Vec<f64>>,
+        rtol: f64,
+        id: &str,
+    ) -> Result<SolveReply, ClientError> {
+        self.solve(SolveRequest {
+            id: id.to_string(),
+            target: SolveTarget::Fingerprint(fingerprint),
+            rhs,
+            rtol,
+        })
+    }
+
+    /// Build the hierarchy now. Returns `(fingerprint, was_already_warm,
+    /// setup_seconds)`.
+    pub fn warm(&mut self, spec: &ProblemSpec) -> Result<(u64, bool, f64), ClientError> {
+        match self.roundtrip(&Request::Warm(spec.clone()))? {
+            Response::Warmed {
+                fingerprint,
+                cache_hit,
+                setup_s,
+            } => Ok((fingerprint, cache_hit, setup_s)),
+            Response::Busy => Err(ClientError::Busy),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Snapshot the daemon's counters, cache state, and latency
+    /// percentiles.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Busy => Err(ClientError::Busy),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Ask the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Write raw bytes on the connection — for tests that deliberately
+    /// violate the framing (e.g. a partial frame before disconnecting).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+}

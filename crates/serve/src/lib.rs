@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! `pmg-serve`: a persistent solver daemon over the multigrid stack.
+//!
+//! Setting up a multigrid hierarchy (classify → MIS → Delaunay remesh →
+//! `R A Rᵀ` → smoother factorization) costs far more than one solve, so
+//! a process that answers one request and exits wastes almost all of
+//! its work. This crate keeps the hierarchy **warm**: a daemon listens
+//! on a Unix and/or TCP socket, caches built hierarchies by
+//! mesh/options fingerprint (LRU under a byte budget), and coalesces
+//! concurrent requests against the same hierarchy into one blocked PCG
+//! solve through [`prometheus::Prometheus::solve_multi`].
+//!
+//! The load-bearing invariant is **bitwise transparency**: whatever the
+//! daemon does to a request — cache-hit it, batch it with seven
+//! strangers, queue it behind a warm-up — the solution bits returned
+//! are exactly what a standalone offline solve of that system produces.
+//! Batching is safe to enable because it is unobservable in the answer.
+//!
+//! Architecture (one dispatcher owns all solvers; see [`batch`]):
+//!
+//! ```text
+//!   clients ── unix/tcp ──► conn threads ── bounded queue ──► dispatcher
+//!                            (frame/parse)    (admission:        (warm cache,
+//!                                             full = busy)        batched solves)
+//! ```
+//!
+//! The protocol, cache keying, batching semantics, and backpressure
+//! behaviour are documented in `docs/server.md`; the `serve/*`
+//! telemetry schema in `docs/telemetry.md`.
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{hierarchy_bytes, solver_cache_key, CacheStats, WarmCache};
+pub use client::{Client, ClientError};
+pub use protocol::{ProblemSpec, Request, Response, SolveReply, SolveTarget, StatsReply};
+pub use server::{serve, ServeConfig, ServerHandle};

@@ -135,8 +135,31 @@ pub fn pcg_multi(
     xs: &mut [DistVec],
     opts: PcgOptions,
 ) -> Vec<PcgResult> {
+    pcg_multi_each(sim, a, m, bs, xs, &vec![opts; bs.len()])
+}
+
+/// [`pcg_multi`] with per-column options: column `c` runs under
+/// `opts[c]`'s tolerances and iteration cap. This is the ragged-batch
+/// entry the solver daemon feeds — concurrent requests for the same
+/// operator may each carry their own `rtol` — and it keeps the blocked
+/// guarantee: column `c` is **bitwise identical** to an independent
+/// [`pcg`] call with `opts[c]`. Columns whose cap is below the batch
+/// maximum simply freeze early and ride along.
+pub fn pcg_multi_each(
+    sim: &mut Sim,
+    a: &dyn SimOperator,
+    m: &dyn Precond,
+    bs: &[DistVec],
+    xs: &mut [DistVec],
+    opts: &[PcgOptions],
+) -> Vec<PcgResult> {
     let k = bs.len();
     assert_eq!(xs.len(), k, "pcg_multi needs matching b/x counts");
+    assert_eq!(
+        opts.len(),
+        k,
+        "pcg_multi_each needs one PcgOptions per column"
+    );
     if k == 0 {
         return Vec::new();
     }
@@ -165,7 +188,7 @@ pub fn pcg_multi(
     let mut rz = vec![0.0f64; k];
     for c in 0..k {
         pmg_telemetry::series_push("pcg/residuals", rnorms[c]);
-        if rnorms[c] <= opts.rtol * bnorms[c] || rnorms[c] <= opts.atol {
+        if rnorms[c] <= opts[c].rtol * bnorms[c] || rnorms[c] <= opts[c].atol {
             converged[c] = true;
         } else {
             active[c] = true;
@@ -175,7 +198,15 @@ pub fn pcg_multi(
         }
     }
 
-    for it in 1..=opts.max_iters {
+    let it_cap = opts.iter().map(|o| o.max_iters).max().unwrap_or(0);
+    for it in 1..=it_cap {
+        // A column past its own cap freezes exactly where an independent
+        // solve would have returned (converged = false, iterations = cap).
+        for c in 0..k {
+            if active[c] && it > opts[c].max_iters {
+                active[c] = false;
+            }
+        }
         if !active.iter().any(|&a| a) {
             break;
         }
@@ -200,7 +231,7 @@ pub fn pcg_multi(
             rnorms[c] = rs[c].norm2(sim);
             residuals[c].push(rnorms[c]);
             pmg_telemetry::series_push("pcg/residuals", rnorms[c]);
-            if rnorms[c] <= opts.rtol * bnorms[c] || rnorms[c] <= opts.atol {
+            if rnorms[c] <= opts[c].rtol * bnorms[c] || rnorms[c] <= opts[c].atol {
                 converged[c] = true;
                 active[c] = false;
                 continue;
@@ -428,6 +459,59 @@ mod tests {
             multi.iter().any(|r| r.iterations != multi[0].iterations)
                 || multi.iter().all(|r| r.converged),
         );
+    }
+
+    #[test]
+    fn pcg_multi_each_matches_independent_solves_per_column() {
+        // Ragged options: every column carries its own rtol and iteration
+        // cap, and each must land on exactly the bits of an independent
+        // pcg call under those options — including a column whose cap is
+        // hit before convergence.
+        let n = 40;
+        let a = laplacian(n);
+        let l = Layout::block(n, 2);
+        let da = pmg_parallel::DistMatrix::from_global(&a, l.clone(), l.clone());
+        let opts_each = [
+            PcgOptions {
+                rtol: 1e-10,
+                max_iters: 200,
+                ..Default::default()
+            },
+            PcgOptions {
+                rtol: 1e-4,
+                max_iters: 200,
+                ..Default::default()
+            },
+            PcgOptions {
+                rtol: 1e-12,
+                max_iters: 3, // cap hit: freezes unconverged
+                ..Default::default()
+            },
+        ];
+        let bs: Vec<DistVec> = (0..3)
+            .map(|c| {
+                let b: Vec<f64> = (0..n).map(|i| ((i + 7 * c) as f64 * 0.31).cos()).collect();
+                DistVec::from_global(l.clone(), &b)
+            })
+            .collect();
+        let jac = JacobiPrecond::new(&da);
+        let mut sim = Sim::new(2, MachineModel::default());
+        let mut xs: Vec<DistVec> = (0..3).map(|_| DistVec::zeros(l.clone())).collect();
+        let multi = pcg_multi_each(&mut sim, &da, &jac, &bs, &mut xs, &opts_each);
+        for c in 0..3 {
+            let mut sim1 = Sim::new(2, MachineModel::default());
+            let mut x1 = DistVec::zeros(l.clone());
+            let single = pcg(&mut sim1, &da, &jac, &bs[c], &mut x1, opts_each[c]);
+            assert_eq!(multi[c].iterations, single.iterations, "c={c}");
+            assert_eq!(multi[c].converged, single.converged, "c={c}");
+            assert_eq!(multi[c].residuals, single.residuals, "c={c}");
+            for (a, b) in xs[c].to_global().iter().zip(x1.to_global()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "c={c}");
+            }
+        }
+        // The capped column really did freeze unconverged.
+        assert!(!multi[2].converged);
+        assert_eq!(multi[2].iterations, 3);
     }
 
     #[test]

@@ -1,21 +1,32 @@
-//! Minimal JSON support for the JSON-lines sink — writer and parser for
-//! exactly the subset the sink emits: flat objects of strings, numbers,
-//! and arrays of numbers. No external dependencies.
+//! Minimal dependency-free JSON: a writer and a parser shared by the
+//! JSON-lines sink and the `pmg-serve` wire protocol.
+//!
+//! Numbers round-trip **exactly**: [`write_num`] uses Rust's
+//! shortest-round-trip `f64` `Display`, so a solution vector serialized
+//! here and parsed back is bitwise identical — the property the solver
+//! daemon's "same bits as an offline solve" guarantee rests on.
 
 use std::fmt::Write as _;
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Value {
+    /// JSON `null` (also what non-finite numbers serialize to).
     Null,
+    /// JSON `true` / `false`.
     Bool(bool),
+    /// A JSON number; always held as `f64`.
     Num(f64),
+    /// A JSON string.
     Str(String),
+    /// A JSON array.
     Arr(Vec<Value>),
+    /// A JSON object, in insertion order (duplicate keys keep the first).
     Obj(Vec<(String, Value)>),
 }
 
 impl Value {
+    /// Look up `key` in an object; `None` for missing keys or non-objects.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
             Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
@@ -23,6 +34,7 @@ impl Value {
         }
     }
 
+    /// The numeric value, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
@@ -30,6 +42,7 @@ impl Value {
         }
     }
 
+    /// The string contents, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -68,6 +81,7 @@ pub fn write_num(out: &mut String, v: f64) {
     }
 }
 
+/// Append an integer to `out` (no exponent form, exact at any magnitude).
 pub fn write_u64(out: &mut String, v: u64) {
     let _ = write!(out, "{v}");
 }

@@ -50,9 +50,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-mod json;
+pub mod json;
 mod report;
 mod sink;
+pub mod stats;
 
 pub use report::{PhaseRecord, Report, SimPhaseRecord};
 pub use sink::{sink_from_env, JsonLinesSink, NoopSink, Sink, TableSink};

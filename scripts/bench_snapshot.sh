@@ -30,6 +30,14 @@
 #   PMG_BENCH_SETUP_DOF  target dofs per rank in the setup weak-scaling
 #                        section (default 40000; CI uses a small value)
 #   PMG_BENCH_OUT        snapshot path (default BENCH_PR8.json)
+#   PMG_SERVE_BENCH_OUT  serve-section snapshot path (default BENCH_PR9.json)
+#   PMG_SERVE_BENCH_REQUESTS
+#                        requests per concurrency level in the serve
+#                        saturation sweep (default 16)
+#   PMG_BENCH_ASSERT_SERVE=1
+#                        turn on just the (deterministic) serve floors:
+#                        warm-cache hits skip setup, daemon answers are
+#                        bitwise the offline solves, hit rate >= 0.9
 #   PMG_BENCH_ASSERT=1   fail unless planned RAP and pattern-reuse assembly
 #                        are >= 1.5x their cold baselines, the matrix-free
 #                        fine operator is >= 2x smaller than the assembled
@@ -58,4 +66,21 @@ cargo build --release --offline --bin spheres_rank
 cargo run --release --offline -p pmg-bench --bin bench_snapshot
 
 echo
-echo "done; snapshot in ${PMG_BENCH_OUT:-BENCH_PR8.json}"
+echo "== pmg-serve saturation (in-process daemon) -> ${PMG_SERVE_BENCH_OUT:-BENCH_PR9.json} =="
+# Warm-hierarchy daemon bench: spawns an in-process pmg-serve on a
+# private Unix socket, warms the spheres hierarchy once, then sweeps
+# offered concurrency 1/2/4/8/16 with closed-loop clients. Records
+# client-observed latency percentiles, throughput, busy rejections, the
+# batch-size histogram, and the cache hit rate into BENCH_PR9.json.
+# PMG_BENCH_ASSERT_SERVE=1 (or PMG_BENCH_ASSERT=1) turns on the serve
+# floors, which are deterministic even on noisy hosts: warm-cache
+# requests report setup_s == 0 (hits skip setup entirely), every daemon
+# answer is bitwise the offline solve, and the single-spec sweep hits
+# the warm cache on >= 90% of batches.
+cargo build --release --offline --bin pmg_bench_client
+PMG_BENCH_OUT="${PMG_SERVE_BENCH_OUT:-BENCH_PR9.json}" \
+PMG_BENCH_ASSERT="${PMG_BENCH_ASSERT_SERVE:-${PMG_BENCH_ASSERT:-}}" \
+  target/release/pmg_bench_client --requests "${PMG_SERVE_BENCH_REQUESTS:-16}"
+
+echo
+echo "done; snapshots in ${PMG_BENCH_OUT:-BENCH_PR8.json} and ${PMG_SERVE_BENCH_OUT:-BENCH_PR9.json}"

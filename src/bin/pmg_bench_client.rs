@@ -1,0 +1,481 @@
+//! `pmg_bench_client` — driver and correctness harness for the
+//! `pmg_serve` daemon.
+//!
+//! Two modes:
+//!
+//! - `--smoke`: the CI gate. Fires 8 concurrent requests across two
+//!   fingerprints at a running daemon, checks every answer **bitwise**
+//!   against offline in-process solves of the same systems (the same
+//!   construction path the `spheres_rank` parity artifacts pin), checks
+//!   the warm cache was hit, then requests shutdown and confirms the
+//!   daemon drains. Exits nonzero on any failure.
+//! - default (bench): spawns an in-process daemon (or targets a running
+//!   one via `--connect-*`), warms the hierarchy, then sweeps offered
+//!   concurrency 1/2/4/8/16 recording a saturation curve — client-side
+//!   latency percentiles, throughput, busy rejections, the batch-size
+//!   histogram — into `BENCH_PR9.json` (override `PMG_BENCH_OUT`).
+//!   `PMG_BENCH_ASSERT=1` enforces the warm-cache floor: every
+//!   post-warm request must report `setup_s == 0` (hits skip setup) and
+//!   every solution must match the offline bits.
+//!
+//! ```text
+//! pmg_bench_client [--smoke] [--connect-unix PATH | --connect-tcp ADDR]
+//!                  [--requests N]
+//! ```
+
+use pmg_serve::{serve, Client, ClientError, ProblemSpec, ServeConfig, SolveReply};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+enum Target {
+    Unix(String),
+    Tcp(String),
+}
+
+fn connect(target: &Target) -> std::io::Result<Client> {
+    match target {
+        Target::Unix(p) => Client::connect_unix(p),
+        Target::Tcp(a) => Client::connect_tcp(a),
+    }
+}
+
+/// Solve with bounded busy-retry; returns the reply and how many times
+/// admission control pushed back.
+fn solve_retry(
+    client: &mut Client,
+    spec: &ProblemSpec,
+    rtol: f64,
+    id: &str,
+) -> Result<(SolveReply, u64), ClientError> {
+    let mut busy = 0;
+    loop {
+        match client.solve_spec(spec, None, rtol, id) {
+            Ok(r) => return Ok((r, busy)),
+            Err(ClientError::Busy) => {
+                busy += 1;
+                if busy > 1000 {
+                    return Err(ClientError::Busy);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The offline oracle: the same system solved in-process through the
+/// transport-parity construction (`parity_solver` + `parity_options`),
+/// which the repo's consistency tests pin bitwise against the
+/// `spheres_rank` socket artifacts. Daemon answers must equal these
+/// bits exactly.
+fn offline_bits(k: usize, nranks: usize, rtol: f64) -> Vec<f64> {
+    let sys = pmg_bench::spheres_first_solve(k);
+    let mut solver = pmg_bench::parity_solver(&sys, pmg_bench::parity_options(nranks));
+    let (x, res) = solver.solve(&sys.rhs, None, rtol);
+    assert!(res.converged, "offline oracle solve diverged");
+    x
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// CI smoke: 8 concurrent requests, two fingerprints, bitwise vs
+/// offline, warm-cache hit, graceful drain.
+fn smoke(target: &Target) {
+    let rtol = pmg_bench::PARITY_RTOL;
+    let spec_a = ProblemSpec {
+        name: "spheres".into(),
+        k: 0,
+        nranks: 2,
+    };
+    let spec_b = ProblemSpec {
+        name: "spheres".into(),
+        k: 0,
+        nranks: 3,
+    };
+    eprintln!("smoke: computing offline oracle solves");
+    let oracle_a = offline_bits(0, 2, rtol);
+    let oracle_b = offline_bits(0, 3, rtol);
+
+    // Warm A so the concurrent wave sees at least one guaranteed hit.
+    let (fp_a, _, setup_s) = connect(target)
+        .expect("connect for warm")
+        .warm(&spec_a)
+        .expect("warm spec A");
+    eprintln!(
+        "smoke: warmed {} in {setup_s:.3}s",
+        prometheus::fingerprint_hex(fp_a)
+    );
+
+    // 8 concurrent requests: 5 on A (one by fingerprint), 3 on B.
+    let replies: Vec<(usize, SolveReply)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let (spec_a, spec_b) = (&spec_a, &spec_b);
+                let target = &target;
+                scope.spawn(move || {
+                    let mut c = connect(target).expect("connect worker");
+                    let id = format!("smoke-{i}");
+                    let reply = if i == 4 {
+                        // One request addresses the warm hierarchy by
+                        // fingerprint instead of by spec.
+                        c.solve_fingerprint(fp_a, None, rtol, &id)
+                            .expect("fingerprint solve")
+                    } else {
+                        let spec = if i < 5 { spec_a } else { spec_b };
+                        solve_retry(&mut c, spec, rtol, &id).expect("solve").0
+                    };
+                    (i, reply)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut failures = 0;
+    for (i, r) in &replies {
+        let (oracle, name) = if *i < 5 {
+            (&oracle_a, "A")
+        } else {
+            (&oracle_b, "B")
+        };
+        if !r.converged {
+            eprintln!("FAIL smoke-{i}: did not converge");
+            failures += 1;
+        }
+        if bits_equal(&r.x, oracle) {
+            eprintln!(
+                "ok   smoke-{i} [{name}] {} iters, batched {}, cache {}, bitwise == offline",
+                r.iterations,
+                r.batched,
+                if r.cache_hit { "hit" } else { "miss" }
+            );
+        } else {
+            eprintln!("FAIL smoke-{i} [{name}]: solution differs from offline bits");
+            failures += 1;
+        }
+        if r.cache_hit && r.setup_s != 0.0 {
+            eprintln!("FAIL smoke-{i}: cache hit but setup_s = {}", r.setup_s);
+            failures += 1;
+        }
+    }
+
+    let stats = connect(target)
+        .expect("connect for stats")
+        .stats()
+        .expect("stats");
+    eprintln!(
+        "smoke: stats requests={} batched={} cache_hit={} cache_miss={} rejected={}",
+        stats.requests, stats.batched, stats.cache_hit, stats.cache_miss, stats.rejected
+    );
+    if stats.cache_hit == 0 {
+        eprintln!("FAIL smoke: expected serve/cache_hit > 0 (hierarchy was pre-warmed)");
+        failures += 1;
+    }
+    if stats.requests < 8 {
+        eprintln!(
+            "FAIL smoke: daemon counted {} requests, expected >= 8",
+            stats.requests
+        );
+        failures += 1;
+    }
+
+    // Graceful drain: shutdown must be acknowledged and the listener
+    // must actually go away.
+    connect(target)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown ack");
+    let gone = (0..100).any(|_| {
+        std::thread::sleep(Duration::from_millis(100));
+        connect(target).is_err()
+    });
+    if !gone {
+        eprintln!("FAIL smoke: daemon still accepting connections 10s after shutdown");
+        failures += 1;
+    } else {
+        eprintln!("smoke: daemon drained and closed its listeners");
+    }
+
+    if failures > 0 {
+        eprintln!("smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("smoke: PASS (8 requests, 2 fingerprints, bitwise == offline, graceful drain)");
+}
+
+struct SweepPoint {
+    concurrency: usize,
+    requests: usize,
+    elapsed_s: f64,
+    p50_s: f64,
+    p90_s: f64,
+    p99_s: f64,
+    busy: u64,
+    bitwise_ok: bool,
+    max_hit_setup_s: f64,
+}
+
+/// Saturation bench: closed-loop clients at increasing concurrency.
+fn bench(target: &Target, requests_per_level: usize) {
+    let rtol = pmg_bench::PARITY_RTOL;
+    let spec = ProblemSpec {
+        name: "spheres".into(),
+        k: 0,
+        nranks: 2,
+    };
+    eprintln!("bench: computing offline oracle");
+    let oracle = offline_bits(0, 2, rtol);
+
+    let (fp, already_warm, setup_miss_s) = connect(target)
+        .expect("connect for warm")
+        .warm(&spec)
+        .expect("warm");
+    eprintln!(
+        "bench: hierarchy {} {} in {setup_miss_s:.3}s",
+        prometheus::fingerprint_hex(fp),
+        if already_warm {
+            "already warm"
+        } else {
+            "built"
+        }
+    );
+    // A second warm must hit with zero setup — the warm-cache floor.
+    let (_, hit, warm_hit_setup_s) = connect(target)
+        .expect("connect for rewarm")
+        .warm(&spec)
+        .expect("rewarm");
+    assert!(hit, "second warm of the same spec missed the cache");
+
+    let mut batch_histogram: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut points = Vec::new();
+    for concurrency in [1usize, 2, 4, 8, 16] {
+        let t0 = Instant::now();
+        let per_thread = requests_per_level.div_ceil(concurrency);
+        let results: Vec<(Vec<f64>, Vec<SolveReply>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|t| {
+                    let spec = &spec;
+                    let oracle = &oracle;
+                    let target = &target;
+                    scope.spawn(move || {
+                        let mut c = connect(target).expect("connect bench worker");
+                        let mut lats = Vec::new();
+                        let mut replies = Vec::new();
+                        let mut busy = 0;
+                        for i in 0..per_thread {
+                            let id = format!("bench-c{concurrency}-t{t}-{i}");
+                            let rt0 = Instant::now();
+                            let (r, b) = solve_retry(&mut c, spec, rtol, &id).expect("solve");
+                            lats.push(rt0.elapsed().as_secs_f64());
+                            busy += b;
+                            assert!(
+                                bits_equal(&r.x, oracle),
+                                "{id}: daemon bits differ from offline"
+                            );
+                            replies.push(r);
+                        }
+                        (lats, replies, busy)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let elapsed_s = t0.elapsed().as_secs_f64();
+
+        let mut lats = Vec::new();
+        let mut busy = 0;
+        let mut bitwise_ok = true;
+        let mut max_hit_setup_s: f64 = 0.0;
+        for (l, replies, b) in &results {
+            lats.extend_from_slice(l);
+            busy += b;
+            for r in replies {
+                *batch_histogram.entry(r.batched).or_insert(0) += 1;
+                bitwise_ok &= r.converged;
+                if r.cache_hit {
+                    max_hit_setup_s = max_hit_setup_s.max(r.setup_s);
+                }
+            }
+        }
+        let pct = |q: f64| pmg_telemetry::stats::percentile(&lats, q).unwrap_or(0.0);
+        let point = SweepPoint {
+            concurrency,
+            requests: lats.len(),
+            elapsed_s,
+            p50_s: pct(0.50),
+            p90_s: pct(0.90),
+            p99_s: pct(0.99),
+            busy,
+            bitwise_ok,
+            max_hit_setup_s,
+        };
+        eprintln!(
+            "bench: c={concurrency:<2} {} reqs in {elapsed_s:.3}s ({:.1} rps)  \
+             p50 {:.4}s  p99 {:.4}s  busy {busy}",
+            point.requests,
+            point.requests as f64 / elapsed_s,
+            point.p50_s,
+            point.p99_s,
+        );
+        points.push(point);
+    }
+
+    let stats = connect(target)
+        .expect("connect for stats")
+        .stats()
+        .expect("stats");
+    let hit_rate = if stats.cache_hit + stats.cache_miss > 0 {
+        stats.cache_hit as f64 / (stats.cache_hit + stats.cache_miss) as f64
+    } else {
+        0.0
+    };
+
+    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut j = String::new();
+    writeln!(j, "{{").unwrap();
+    writeln!(j, "  \"meta\": {{").unwrap();
+    writeln!(j, "    \"k\": 0,").unwrap();
+    writeln!(j, "    \"nranks\": 2,").unwrap();
+    writeln!(j, "    \"rtol\": {rtol:e},").unwrap();
+    writeln!(j, "    \"host_cores\": {host_cores},").unwrap();
+    writeln!(j, "    \"git_sha\": \"{}\"", git_sha()).unwrap();
+    writeln!(j, "  }},").unwrap();
+    writeln!(j, "  \"serve\": {{").unwrap();
+    writeln!(j, "    \"setup_miss_s\": {setup_miss_s:.6},").unwrap();
+    writeln!(j, "    \"warm_hit_setup_s\": {warm_hit_setup_s:.6},").unwrap();
+    writeln!(j, "    \"saturation\": [").unwrap();
+    for (i, p) in points.iter().enumerate() {
+        writeln!(j, "      {{").unwrap();
+        writeln!(j, "        \"concurrency\": {},", p.concurrency).unwrap();
+        writeln!(j, "        \"requests\": {},", p.requests).unwrap();
+        writeln!(j, "        \"elapsed_s\": {:.6},", p.elapsed_s).unwrap();
+        writeln!(
+            j,
+            "        \"throughput_rps\": {:.3},",
+            p.requests as f64 / p.elapsed_s
+        )
+        .unwrap();
+        writeln!(j, "        \"p50_s\": {:.6},", p.p50_s).unwrap();
+        writeln!(j, "        \"p90_s\": {:.6},", p.p90_s).unwrap();
+        writeln!(j, "        \"p99_s\": {:.6},", p.p99_s).unwrap();
+        writeln!(j, "        \"busy\": {},", p.busy).unwrap();
+        writeln!(j, "        \"max_hit_setup_s\": {:.6}", p.max_hit_setup_s).unwrap();
+        writeln!(j, "      }}{}", if i + 1 < points.len() { "," } else { "" }).unwrap();
+    }
+    writeln!(j, "    ],").unwrap();
+    writeln!(j, "    \"cache\": {{").unwrap();
+    writeln!(j, "      \"hit\": {},", stats.cache_hit).unwrap();
+    writeln!(j, "      \"miss\": {},", stats.cache_miss).unwrap();
+    writeln!(j, "      \"evict\": {},", stats.cache_evict).unwrap();
+    writeln!(j, "      \"hit_rate\": {hit_rate:.4}").unwrap();
+    writeln!(j, "    }},").unwrap();
+    writeln!(j, "    \"batch_histogram\": {{").unwrap();
+    let n_hist = batch_histogram.len();
+    for (i, (size, count)) in batch_histogram.iter().enumerate() {
+        writeln!(
+            j,
+            "      \"{size}\": {count}{}",
+            if i + 1 < n_hist { "," } else { "" }
+        )
+        .unwrap();
+    }
+    writeln!(j, "    }},").unwrap();
+    let bitwise_all = points.iter().all(|p| p.bitwise_ok);
+    writeln!(j, "    \"bitwise_vs_offline\": {bitwise_all},").unwrap();
+    writeln!(j, "    \"rejected\": {},", stats.rejected).unwrap();
+    writeln!(j, "    \"batched\": {}", stats.batched).unwrap();
+    writeln!(j, "  }}").unwrap();
+    writeln!(j, "}}").unwrap();
+    std::fs::write(&out_path, &j).expect("write bench output");
+    println!(
+        "bench: cache hit rate {hit_rate:.2}, {} requests batched, wrote {out_path}",
+        stats.batched
+    );
+
+    if std::env::var("PMG_BENCH_ASSERT").as_deref() == Ok("1") {
+        assert!(
+            bitwise_all,
+            "a daemon answer differed from the offline bits"
+        );
+        let max_hit_setup = points.iter().fold(0.0_f64, |m, p| m.max(p.max_hit_setup_s));
+        assert!(
+            max_hit_setup == 0.0 && warm_hit_setup_s == 0.0,
+            "warm-cache requests must skip setup entirely (saw setup_s up to \
+             {max_hit_setup}, warm hit {warm_hit_setup_s})"
+        );
+        assert!(
+            hit_rate >= 0.9,
+            "single-spec sweep should hit the warm cache almost always, got {hit_rate:.2}"
+        );
+    }
+}
+
+fn main() {
+    let mut smoke_mode = false;
+    let mut target: Option<Target> = None;
+    let mut requests = 24usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--smoke" => smoke_mode = true,
+            "--connect-unix" => target = Some(Target::Unix(value())),
+            "--connect-tcp" => target = Some(Target::Tcp(value())),
+            "--requests" => requests = value().parse().expect("--requests N"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Without --connect-*, run an in-process daemon on a private socket.
+    let (target, local) = match target {
+        Some(t) => (t, None),
+        None => {
+            let path = std::env::temp_dir().join(format!("pmg-serve-{}.sock", std::process::id()));
+            let config = ServeConfig {
+                unix_path: Some(path.clone()),
+                ..Default::default()
+            };
+            let handle = serve(config).expect("start in-process daemon");
+            (
+                Target::Unix(path.to_string_lossy().into_owned()),
+                Some(handle),
+            )
+        }
+    };
+
+    if smoke_mode {
+        smoke(&target);
+    } else {
+        bench(&target, requests);
+        if local.is_some() {
+            // Shut the private daemon down so wait() below returns.
+            let _ = connect(&target).and_then(|mut c| {
+                c.shutdown()
+                    .map_err(|e| std::io::Error::other(e.to_string()))
+            });
+        }
+    }
+    if let Some(handle) = local {
+        handle.wait();
+    }
+}
