@@ -1,0 +1,282 @@
+//! Memory-scaling snapshot of the partition-at-ingest setup path →
+//! `BENCH_PR10.json`.
+//!
+//! Weak-scales a cube graph-Laplacian problem at a fixed per-rank size
+//! (`PMG_MEM_DOF` dofs per rank, default 40000) over p = 1/2/4 in-process
+//! ranks, building each hierarchy through `plan_ingest` +
+//! `RankHierarchy::build_from_shards`, and records the per-rank resident
+//! operator footprint per level. Two numbers carry the claims:
+//!
+//! * `coarse.owned_ratio` — the worst rank's owned coarse-level share
+//!   (levels ≥ 1, estimated CSR cost) over the **replicated baseline**:
+//!   the global coarse operators at the same cost model, which is what
+//!   every rank held before coarse levels were demoted to owned shares.
+//! * `fine.bytes_per_row` — the worst rank's fine-level share per owned
+//!   row; ~flat across p means the ingest path ships each rank only its
+//!   own elements + ghost closure, not the global problem.
+//!
+//! `PMG_BENCH_ASSERT=1` turns the claims into floors: at p = 4 the owned
+//! coarse share must be ≤ 0.6× the replicated baseline, and per-rank
+//! fine bytes per owned row must stay within 1.5× of the p = 1 value.
+//! Both are deterministic byte counts — safe on noisy CI hosts.
+
+use pmg_comm::{LocalTransport, Transport};
+use pmg_parallel::Layout;
+use pmg_sparse::CooBuilder;
+use prometheus::{classify_mesh, plan_ingest, MgOptions, RankHierarchy};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Short git SHA of the working tree, or "unknown" outside a checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+struct Point {
+    ranks: usize,
+    nv: usize,
+    dofs_per_rank: usize,
+    levels: usize,
+    setup_wall_s: f64,
+    /// Worst rank's exact fine-level resident bytes.
+    fine_max_rank_bytes: usize,
+    /// Worst rank's fine bytes per owned row (exact bytes / owned rows).
+    fine_bytes_per_row: f64,
+    /// Worst rank's estimated owned coarse bytes (levels >= 1).
+    coarse_max_rank_bytes: usize,
+    /// Replicated baseline: global coarse operators at the same cost.
+    coarse_replicated_bytes: usize,
+    /// coarse_max_rank_bytes / coarse_replicated_bytes.
+    coarse_owned_ratio: f64,
+    /// Per-level (global rows, worst-rank exact bytes).
+    per_level: Vec<(usize, usize)>,
+}
+
+/// Estimated CSR cost of `nnz` nonzeros over `rows` rows — the same
+/// model `pmg_serve::hierarchy_bytes` uses, applied identically to the
+/// owned shares and the replicated baseline so the ratio is
+/// apples-to-apples.
+fn csr_cost(nnz: usize, rows: usize) -> usize {
+    nnz * 12 + rows * 32
+}
+
+fn measure(target_dof: usize, p: usize, opts: MgOptions) -> Point {
+    // Cube with ~target_dof * p vertices (scalar problem: dofs == nv).
+    let n = ((target_dof * p) as f64).cbrt().round().max(4.0) as usize;
+    let mesh = pmg_mesh::generators::cube(n);
+    let graph = mesh.vertex_graph();
+    let nv = mesh.num_vertices();
+    let classes = classify_mesh(&mesh, 0.7);
+    let plan = plan_ingest(&mesh.coords, &graph, &classes, &[], p, &opts);
+    let layout = Layout::from_part(plan.part().to_vec(), p);
+
+    let t0 = Instant::now();
+    let setups = LocalTransport::run_ranks(p, |mut t| {
+        let rank = t.rank();
+        let owned = layout.owned(rank);
+        let mut b = CooBuilder::new(owned.len(), nv);
+        for (i, &g) in owned.iter().enumerate() {
+            let g = g as usize;
+            b.push(i, g, graph.degree(g) as f64 + 1.0);
+            for &w in graph.neighbors(g) {
+                b.push(i, w as usize, -1.0);
+            }
+        }
+        let a_owned = b.build();
+        RankHierarchy::build_from_shards(&mut t, &plan.seeds[rank], &a_owned, opts)
+            .expect("sharded setup")
+    });
+    let setup_wall_s = t0.elapsed().as_secs_f64();
+
+    let levels = setups[0].num_levels();
+    let fine_max_rank_bytes = setups
+        .iter()
+        .map(|s| s.level_operator_bytes(0))
+        .max()
+        .unwrap();
+    let fine_bytes_per_row = setups
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| !layout.owned(*r).is_empty())
+        .map(|(r, s)| s.level_operator_bytes(0) as f64 / layout.owned(r).len() as f64)
+        .fold(0.0_f64, f64::max);
+
+    let coarse_max_rank_bytes = setups
+        .iter()
+        .map(|s| {
+            (1..s.num_levels())
+                .map(|l| csr_cost(s.level_nnz_local(l), s.level_rows_local(l)))
+                .sum::<usize>()
+        })
+        .max()
+        .unwrap();
+    // Global coarse sizes: every rank's share sums to the global level.
+    let coarse_replicated_bytes = (1..levels)
+        .map(|l| {
+            let nnz: usize = setups.iter().map(|s| s.level_nnz_local(l)).sum();
+            csr_cost(nnz, setups[0].level_rows(l))
+        })
+        .sum::<usize>();
+    let coarse_owned_ratio = if coarse_replicated_bytes > 0 {
+        coarse_max_rank_bytes as f64 / coarse_replicated_bytes as f64
+    } else {
+        1.0
+    };
+    let per_level = (0..levels)
+        .map(|l| {
+            let worst = setups
+                .iter()
+                .map(|s| s.level_operator_bytes(l))
+                .max()
+                .unwrap();
+            (setups[0].level_rows(l), worst)
+        })
+        .collect();
+
+    Point {
+        ranks: p,
+        nv,
+        dofs_per_rank: nv / p,
+        levels,
+        setup_wall_s,
+        fine_max_rank_bytes,
+        fine_bytes_per_row,
+        coarse_max_rank_bytes,
+        coarse_replicated_bytes,
+        coarse_owned_ratio,
+        per_level,
+    }
+}
+
+fn main() {
+    let out_path = std::env::var("PMG_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
+    let target_dof: usize = std::env::var("PMG_MEM_DOF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000);
+    let assert_floors = std::env::var("PMG_BENCH_ASSERT")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let opts = MgOptions {
+        dofs_per_vertex: 1,
+        coarse_dof_threshold: 400,
+        ..Default::default()
+    };
+
+    let points: Vec<Point> = [1usize, 2, 4]
+        .iter()
+        .map(|&p| {
+            let pt = measure(target_dof, p, opts);
+            println!(
+                "p={}: nv={} ({} dof/rank), {} levels, fine {} B/rank ({:.1} B/row), \
+                 coarse owned {} B vs replicated {} B (ratio {:.3}), setup {:.3}s",
+                pt.ranks,
+                pt.nv,
+                pt.dofs_per_rank,
+                pt.levels,
+                pt.fine_max_rank_bytes,
+                pt.fine_bytes_per_row,
+                pt.coarse_max_rank_bytes,
+                pt.coarse_replicated_bytes,
+                pt.coarse_owned_ratio,
+                pt.setup_wall_s,
+            );
+            pt
+        })
+        .collect();
+
+    let sha = git_sha();
+    let mut json = String::new();
+    let j = &mut json;
+    writeln!(j, "{{").unwrap();
+    writeln!(j, "  \"meta\": {{").unwrap();
+    writeln!(j, "    \"target_dof_per_rank\": {target_dof},").unwrap();
+    writeln!(j, "    \"git_sha\": \"{sha}\"").unwrap();
+    writeln!(j, "  }},").unwrap();
+    writeln!(j, "  \"memory_scaling\": {{").unwrap();
+    writeln!(j, "    \"points\": [").unwrap();
+    for (i, pt) in points.iter().enumerate() {
+        writeln!(j, "      {{").unwrap();
+        writeln!(j, "        \"ranks\": {},", pt.ranks).unwrap();
+        writeln!(j, "        \"nv\": {},", pt.nv).unwrap();
+        writeln!(j, "        \"dofs_per_rank\": {},", pt.dofs_per_rank).unwrap();
+        writeln!(j, "        \"levels\": {},", pt.levels).unwrap();
+        writeln!(j, "        \"setup_wall_s\": {:.6},", pt.setup_wall_s).unwrap();
+        writeln!(j, "        \"fine\": {{").unwrap();
+        writeln!(
+            j,
+            "          \"max_rank_bytes\": {},",
+            pt.fine_max_rank_bytes
+        )
+        .unwrap();
+        writeln!(
+            j,
+            "          \"bytes_per_row\": {:.3}",
+            pt.fine_bytes_per_row
+        )
+        .unwrap();
+        writeln!(j, "        }},").unwrap();
+        writeln!(j, "        \"coarse\": {{").unwrap();
+        writeln!(
+            j,
+            "          \"max_rank_owned_bytes\": {},",
+            pt.coarse_max_rank_bytes
+        )
+        .unwrap();
+        writeln!(
+            j,
+            "          \"replicated_bytes\": {},",
+            pt.coarse_replicated_bytes
+        )
+        .unwrap();
+        writeln!(j, "          \"owned_ratio\": {:.4}", pt.coarse_owned_ratio).unwrap();
+        writeln!(j, "        }},").unwrap();
+        writeln!(j, "        \"level_bytes\": [").unwrap();
+        for (k, (rows, bytes)) in pt.per_level.iter().enumerate() {
+            writeln!(
+                j,
+                "          {{\"rows\": {rows}, \"max_rank_bytes\": {bytes}}}{}",
+                if k + 1 == pt.per_level.len() { "" } else { "," }
+            )
+            .unwrap();
+        }
+        writeln!(j, "        ]").unwrap();
+        writeln!(
+            j,
+            "      }}{}",
+            if i + 1 == points.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    writeln!(j, "    ]").unwrap();
+    writeln!(j, "  }}").unwrap();
+    writeln!(j, "}}").unwrap();
+    std::fs::write(&out_path, &json).expect("write memory snapshot");
+    println!("wrote {out_path}");
+
+    if assert_floors {
+        let p1 = &points[0];
+        let p4 = points.iter().find(|p| p.ranks == 4).unwrap();
+        assert!(
+            p4.coarse_owned_ratio <= 0.6,
+            "owned coarse share at p=4 is {:.3}x the replicated baseline (floor: 0.6x)",
+            p4.coarse_owned_ratio
+        );
+        let flatness = p4.fine_bytes_per_row / p1.fine_bytes_per_row;
+        assert!(
+            flatness <= 1.5,
+            "per-rank fine bytes/row grew {flatness:.3}x from p=1 to p=4 (floor: 1.5x)"
+        );
+        println!(
+            "floors ok: coarse owned ratio {:.3} <= 0.6, fine bytes/row flatness {:.3} <= 1.5",
+            p4.coarse_owned_ratio, flatness
+        );
+    }
+}

@@ -33,6 +33,7 @@
 pub mod classify;
 pub mod coarsen;
 pub mod fingerprint;
+pub mod ingest;
 pub mod inspect;
 pub mod mg;
 pub mod mis;
@@ -47,6 +48,9 @@ pub use classify::{
 };
 pub use coarsen::{coarsen_level, coarsen_level_transport, CoarseLevel, CoarsenOptions};
 pub use fingerprint::{fingerprint_hex, parse_fingerprint_hex, solver_fingerprint};
+pub use ingest::{
+    plan_ingest, plan_ingest_with_part, scatter_seeds, CoarseSeed, IngestPlan, RankSeed,
+};
 pub use inspect::{classify_mesh_levels, tets_to_obj, LevelInfo};
 pub use mg::{CycleType, FineOperator, MgHierarchy, MgOptions};
 pub use mis::{greedy_mis, parallel_mis, parallel_mis_transport, MisOrdering};

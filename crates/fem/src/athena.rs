@@ -17,7 +17,7 @@
 
 use crate::assembly::FemProblem;
 use crate::material::Material;
-use pmg_mesh::Mesh;
+use pmg_mesh::{Mesh, MeshShard};
 use pmg_sparse::{CooBuilder, CsrMatrix};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -150,6 +150,28 @@ impl RankAssembly {
         }
     }
 
+    /// Build the per-rank problem directly from a partition-at-ingest
+    /// [`MeshShard`] — the path where no rank ever saw the global mesh.
+    /// The shard's sub-domain construction matches [`partition_mesh`]'s, so
+    /// the assembled rows are bitwise identical to the [`SubMesh`] route.
+    pub fn from_shard(shard: &MeshShard, materials: &[Arc<dyn Material>]) -> RankAssembly {
+        RankAssembly {
+            fem: FemProblem::new(shard.mesh.clone(), materials.to_vec()),
+            global_vertices: shard.global_vertices.clone(),
+            num_owned: shard.num_owned(),
+        }
+    }
+
+    /// Global vertex id per local vertex (owned first).
+    pub fn global_vertices(&self) -> &[u32] {
+        &self.global_vertices
+    }
+
+    /// Local dof count (3 per local vertex, owned + ghost).
+    pub fn num_local_dof(&self) -> usize {
+        3 * self.global_vertices.len()
+    }
+
     /// Global dof ids of the owned rows, ascending (owned vertices come
     /// first in the local numbering and are sorted by global id, so this
     /// matches `pmg_parallel::Layout`'s owned ordering).
@@ -171,8 +193,23 @@ impl RankAssembly {
             .iter()
             .flat_map(|&g| (0..3).map(move |c| u_global[3 * g as usize + c]))
             .collect();
-        let (k, f) = self.fem.assemble(&u_local);
-        let mut b = CooBuilder::new(3 * self.num_owned, u_global.len());
+        self.assemble_owned_local(&u_local, u_global.len())
+    }
+
+    /// Like [`RankAssembly::assemble_owned`], but taking the *local*
+    /// displacement (3 dofs per local vertex, owned then ghost) — the
+    /// sharded-ingest form where no global-length vector exists on any
+    /// rank. `num_global_dof` only sizes the column space of the returned
+    /// rows. Bitwise identical to `assemble_owned` at the gathered
+    /// displacement.
+    pub fn assemble_owned_local(
+        &mut self,
+        u_local: &[f64],
+        num_global_dof: usize,
+    ) -> (CsrMatrix, Vec<f64>) {
+        assert_eq!(u_local.len(), 3 * self.global_vertices.len());
+        let (k, f) = self.fem.assemble(u_local);
+        let mut b = CooBuilder::new(3 * self.num_owned, num_global_dof);
         let mut f_owned = vec![0.0; 3 * self.num_owned];
         for lv in 0..self.num_owned {
             for c in 0..3 {
@@ -369,6 +406,52 @@ mod tests {
                 }
             }
             assert!(seen.iter().all(|&s| s), "owned rows cover all dofs");
+        }
+    }
+
+    #[test]
+    fn from_shard_assembles_bitwise_vs_submesh_route() {
+        let mesh = two_material_mesh();
+        let ndof = mesh.num_dof();
+        let u: Vec<f64> = (0..ndof)
+            .map(|i| 1e-3 * ((i * 31 % 17) as f64 - 8.0))
+            .collect();
+        for p in [1usize, 2, 4] {
+            let part = recursive_coordinate_bisection(&mesh.coords, p);
+            let subs = partition_mesh(&mesh, &part, p);
+            let shards = pmg_mesh::shard_mesh(&mesh, &part, p);
+            for (sub, shard) in subs.iter().zip(&shards) {
+                // The shard's local numbering must agree with the SubMesh's.
+                assert_eq!(shard.global_vertices, sub.global_vertices);
+                assert_eq!(shard.num_owned(), sub.num_owned());
+                assert_eq!(shard.mesh.elem_verts, sub.mesh.elem_verts);
+
+                let mut via_sub = RankAssembly::new(sub, &mats());
+                let mut via_shard = RankAssembly::from_shard(shard, &mats());
+                assert_eq!(via_shard.owned_rows(), via_sub.owned_rows());
+                let (k_sub, f_sub) = via_sub.assemble_owned(&u);
+                // The shard route gathers only the local displacement —
+                // round-trip through a codec-shipped shard, no global
+                // vector on the "remote" side.
+                let shipped = MeshShard::decode(&shard.encode()).unwrap();
+                assert_eq!(shipped.global_vertices, shard.global_vertices);
+                let u_ref = &u;
+                let u_local: Vec<f64> = shipped
+                    .global_vertices
+                    .iter()
+                    .flat_map(|&g| (0..3).map(move |c| u_ref[3 * g as usize + c]))
+                    .collect();
+                assert_eq!(u_local.len(), via_shard.num_local_dof());
+                let (k_shard, f_shard) = via_shard.assemble_owned_local(&u_local, ndof);
+                assert_eq!(f_sub, f_shard, "residual bits (p={p})");
+                assert_eq!(k_sub.nrows(), k_shard.nrows());
+                for li in 0..k_sub.nrows() {
+                    let (c1, v1) = k_sub.row(li);
+                    let (c2, v2) = k_shard.row(li);
+                    assert_eq!(c1, c2, "row {li} pattern (p={p})");
+                    assert_eq!(v1, v2, "row {li} bits (p={p})");
+                }
+            }
         }
     }
 

@@ -53,6 +53,22 @@ fn kind_from_name(s: &str) -> Option<ElementKind> {
 /// Write `mesh` as a flat file.
 pub fn write_flat(mesh: &Mesh, path: &Path) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_flat_to(mesh, &mut f)?;
+    f.flush()
+}
+
+/// Serialize `mesh` in the flat-file format into a byte buffer (the form
+/// the serve `ingest` frame uploads — same bytes as [`write_flat`] puts on
+/// disk).
+pub fn write_flat_bytes(mesh: &Mesh) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(
+        64 + VERTEX_RECORD * mesh.num_vertices() + elem_record_len(mesh.kind) * mesh.num_elements(),
+    );
+    write_flat_to(mesh, &mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+fn write_flat_to<W: Write>(mesh: &Mesh, f: &mut W) -> std::io::Result<()> {
     // Header with a placeholder offsets line of fixed width.
     let header = format!(
         "pmgmesh 1\nkind {}\ncounts {} {}\n",
@@ -85,7 +101,7 @@ pub fn write_flat(mesh: &Mesh, path: &Path) -> std::io::Result<()> {
         rec[erl - 1] = b'\n';
         f.write_all(&rec)?;
     }
-    f.flush()
+    Ok(())
 }
 
 /// Parsed header of a flat file.
@@ -102,6 +118,10 @@ pub struct FlatHeader {
 pub fn read_header(path: &Path) -> std::io::Result<FlatHeader> {
     let f = std::fs::File::open(path)?;
     let mut r = BufReader::new(f);
+    parse_header(&mut r)
+}
+
+fn parse_header<R: BufRead>(r: &mut R) -> std::io::Result<FlatHeader> {
     let mut line = String::new();
     let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
     r.read_line(&mut line)?;
@@ -176,12 +196,86 @@ fn block_range(n: usize, rank: usize, nranks: usize) -> (usize, usize) {
     (lo, hi)
 }
 
+fn bad_data(m: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string())
+}
+
+/// Parse `n` fixed-width vertex records from `buf`.
+fn parse_vertices(buf: &[u8], n: usize) -> std::io::Result<Vec<Vec3>> {
+    if buf.len() < VERTEX_RECORD * n {
+        return Err(bad_data("truncated vertex section"));
+    }
+    let mut coords = Vec::with_capacity(n);
+    for rec in buf[..VERTEX_RECORD * n].chunks(VERTEX_RECORD) {
+        let s = std::str::from_utf8(rec).map_err(|_| bad_data("utf8"))?;
+        let mut it = s.split_whitespace();
+        let x: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad_data("x"))?;
+        let y: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad_data("y"))?;
+        let z: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad_data("z"))?;
+        coords.push(Vec3::new(x, y, z));
+    }
+    Ok(coords)
+}
+
+/// Parse `n` fixed-width element records from `buf`.
+fn parse_elems(buf: &[u8], kind: ElementKind, n: usize) -> std::io::Result<(Vec<u32>, Vec<u32>)> {
+    let erl = elem_record_len(kind);
+    if buf.len() < erl * n {
+        return Err(bad_data("truncated element section"));
+    }
+    let mut elem_verts = Vec::with_capacity(n * kind.nodes());
+    let mut materials = Vec::with_capacity(n);
+    for rec in buf[..erl * n].chunks(erl) {
+        let s = std::str::from_utf8(rec).map_err(|_| bad_data("utf8"))?;
+        let mut it = s.split_whitespace();
+        materials.push(
+            it.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad_data("mat"))?,
+        );
+        for _ in 0..kind.nodes() {
+            elem_verts.push(
+                it.next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| bad_data("v"))?,
+            );
+        }
+    }
+    Ok((elem_verts, materials))
+}
+
+/// Parse a whole mesh from an in-memory flat-file image (the serve
+/// `ingest` path: uploaded bytes, never touching the filesystem).
+pub fn read_flat_bytes(bytes: &[u8]) -> std::io::Result<Mesh> {
+    let mut cur = std::io::Cursor::new(bytes);
+    let header = parse_header(&mut cur)?;
+    let voff = header.vertex_off as usize;
+    let eoff = header.elem_off as usize;
+    if voff > bytes.len() || eoff > bytes.len() {
+        return Err(bad_data("section offsets past end of buffer"));
+    }
+    let coords = parse_vertices(&bytes[voff..], header.num_vertices)?;
+    let (elem_verts, materials) = parse_elems(&bytes[eoff..], header.kind, header.num_elements)?;
+    if elem_verts.iter().any(|&v| v as usize >= coords.len()) {
+        return Err(bad_data("element vertex id out of range"));
+    }
+    Ok(Mesh::new(coords, header.kind, elem_verts, materials))
+}
+
 /// Read only rank `rank`'s share of the file: seeks straight to its vertex
 /// and element byte ranges (no other bytes are read).
 pub fn read_flat_slice(path: &Path, rank: usize, nranks: usize) -> std::io::Result<FlatSlice> {
     let header = read_header(path)?;
     let mut f = std::fs::File::open(path)?;
-    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
 
     let (v_lo, v_hi) = block_range(header.num_vertices, rank, nranks);
     f.seek(SeekFrom::Start(
@@ -189,48 +283,14 @@ pub fn read_flat_slice(path: &Path, rank: usize, nranks: usize) -> std::io::Resu
     ))?;
     let mut buf = vec![0u8; VERTEX_RECORD * (v_hi - v_lo)];
     f.read_exact(&mut buf)?;
-    let mut coords = Vec::with_capacity(v_hi - v_lo);
-    for rec in buf.chunks(VERTEX_RECORD) {
-        let s = std::str::from_utf8(rec).map_err(|_| bad("utf8"))?;
-        let mut it = s.split_whitespace();
-        let x: f64 = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| bad("x"))?;
-        let y: f64 = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| bad("y"))?;
-        let z: f64 = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| bad("z"))?;
-        coords.push(Vec3::new(x, y, z));
-    }
+    let coords = parse_vertices(&buf, v_hi - v_lo)?;
 
     let erl = elem_record_len(header.kind);
     let (e_lo, e_hi) = block_range(header.num_elements, rank, nranks);
     f.seek(SeekFrom::Start(header.elem_off + (erl * e_lo) as u64))?;
     let mut buf = vec![0u8; erl * (e_hi - e_lo)];
     f.read_exact(&mut buf)?;
-    let mut elem_verts = Vec::with_capacity((e_hi - e_lo) * header.kind.nodes());
-    let mut materials = Vec::with_capacity(e_hi - e_lo);
-    for rec in buf.chunks(erl) {
-        let s = std::str::from_utf8(rec).map_err(|_| bad("utf8"))?;
-        let mut it = s.split_whitespace();
-        materials.push(
-            it.next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| bad("mat"))?,
-        );
-        for _ in 0..header.kind.nodes() {
-            elem_verts.push(
-                it.next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| bad("v"))?,
-            );
-        }
-    }
+    let (elem_verts, materials) = parse_elems(&buf, header.kind, e_hi - e_lo)?;
     Ok(FlatSlice {
         header,
         vertex_start: v_lo,
@@ -334,5 +394,33 @@ mod tests {
         std::fs::write(&path, "not a mesh\n").unwrap();
         assert!(read_header(&path).is_err());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bytes_roundtrip_matches_file_roundtrip() {
+        let m = block(3, 2, 2, Vec3::new(3.0, 2.0, 2.0), |c| u32::from(c.x > 1.5));
+        let bytes = write_flat_bytes(&m);
+        // The in-memory image is byte-identical to what write_flat puts on
+        // disk, so uploaded meshes and file meshes share one format.
+        let path = tmp("bytes");
+        write_flat(&m, &path).unwrap();
+        assert_eq!(bytes, std::fs::read(&path).unwrap());
+        std::fs::remove_file(path).ok();
+
+        let back = read_flat_bytes(&bytes).unwrap();
+        assert_eq!(back.kind, m.kind);
+        assert_eq!(back.elem_verts, m.elem_verts);
+        assert_eq!(back.materials, m.materials);
+        for (a, b) in back.coords.iter().zip(&m.coords) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bytes_reader_rejects_truncation() {
+        let m = block(2, 2, 2, Vec3::splat(1.0), |_| 0);
+        let bytes = write_flat_bytes(&m);
+        assert!(read_flat_bytes(&bytes[..bytes.len() - 40]).is_err());
+        assert!(read_flat_bytes(b"not a mesh\n").is_err());
     }
 }

@@ -17,10 +17,12 @@ pub mod flatfile;
 pub mod generators;
 pub mod io;
 pub mod mesh;
+pub mod shard;
 pub mod spheres;
 
 pub use facets::{boundary_facets, facet_adjacency, facet_centroids, Facet};
-pub use flatfile::{read_flat, read_flat_slice, write_flat};
+pub use flatfile::{read_flat, read_flat_bytes, read_flat_slice, write_flat, write_flat_bytes};
 pub use io::to_vtk;
 pub use mesh::{ElementKind, Mesh};
+pub use shard::{element_imbalance, shard_mesh, MeshShard};
 pub use spheres::{sphere_in_cube, SpheresParams};

@@ -128,6 +128,74 @@ fn build_rank_mat(a: &CsrMatrix, row_layout: &Layout, col_layout: &Layout, r: us
     }
 }
 
+/// Twin of [`build_rank_mat`] reading an **owned-rows** CSR instead of a
+/// global one: `a_local` has one row per owned global row (row `li` is
+/// global row `row_layout.owned(r)[li]`, column ids global). The iteration
+/// order — ghost collection, then the diag/off split — is identical to
+/// [`build_rank_mat`] on a global matrix whose owned rows equal
+/// `a_local`'s, so the resulting blocks are **bitwise identical**; this is
+/// what lets the sharded ingest path build rank shares without any rank
+/// materializing a global CSR.
+fn build_rank_mat_local(
+    a_local: &CsrMatrix,
+    row_layout: &Layout,
+    col_layout: &Layout,
+    r: usize,
+) -> RankMat {
+    let rows = row_layout.owned(r);
+    assert_eq!(a_local.nrows(), rows.len(), "one local row per owned row");
+    // Collect ghost columns.
+    let mut ghosts: Vec<u32> = Vec::new();
+    for li in 0..rows.len() {
+        let (cols, _) = a_local.row(li);
+        for &j in cols {
+            if col_layout.owner(j) as usize != r {
+                ghosts.push(j as u32);
+            }
+        }
+    }
+    ghosts.sort_unstable();
+    ghosts.dedup();
+    let ghost_local: std::collections::HashMap<u32, usize> =
+        ghosts.iter().enumerate().map(|(l, &g)| (g, l)).collect();
+
+    let nlocal = rows.len();
+    let mut diag = CooBuilder::new(nlocal, col_layout.local_len(r));
+    let mut off = CooBuilder::new(nlocal, ghosts.len());
+    for li in 0..nlocal {
+        let (cols, vals) = a_local.row(li);
+        for (&j, &v) in cols.iter().zip(vals) {
+            if col_layout.owner(j) as usize == r {
+                diag.push(li, col_layout.local_index(j) as usize, v);
+            } else {
+                off.push(li, ghost_local[&(j as u32)], v);
+            }
+        }
+    }
+    let off = off.build();
+    let mut interior = Vec::new();
+    let mut boundary = Vec::new();
+    for li in 0..nlocal {
+        if off.row(li).0.is_empty() {
+            interior.push(li as u32);
+        } else {
+            boundary.push(li as u32);
+        }
+    }
+    RankMat {
+        diag: diag.build(),
+        off,
+        diag_bsr: None,
+        off_bsr: None,
+        ghost_pad: Vec::new(),
+        ghosts,
+        interior,
+        boundary,
+        interior_b: Vec::new(),
+        boundary_b: Vec::new(),
+    }
+}
+
 /// Structural BSR3 eligibility — computable from the (replicated) layouts
 /// alone, with no communication: global dimensions are multiples of 3 and
 /// every rank's owned rows/columns come in vertex-aligned triples.
@@ -466,6 +534,49 @@ impl RankMatrix {
         }
     }
 
+    /// Build this rank's blocks from an **owned-rows** CSR: one row per
+    /// owned global row (row `li` = global row `row_layout.owned(rank)[li]`,
+    /// columns global), as produced by per-rank assembly or the sharded
+    /// Galerkin kernel. Bitwise identical to [`RankMatrix::from_owned_rows`]
+    /// on a global matrix with the same owned rows — but no rank ever holds
+    /// that global matrix.
+    pub fn from_local_rows(
+        a_local: &CsrMatrix,
+        row_layout: Arc<Layout>,
+        col_layout: Arc<Layout>,
+        rank: usize,
+    ) -> RankMatrix {
+        assert_eq!(a_local.ncols(), col_layout.num_global());
+        let mat = build_rank_mat_local(a_local, &row_layout, &col_layout, rank);
+        RankMatrix {
+            rank,
+            row_layout,
+            col_layout,
+            mat,
+            plan: None,
+        }
+    }
+
+    /// Resident bytes of this rank's share: scalar diag/off CSR blocks plus
+    /// any promoted BSR3 copies (which keep the scalar blocks alive — the
+    /// block-Jacobi smoother factors `diag` directly) and the ghost-column
+    /// map. Feeds the `mem/level{N}/operator_bytes` gauges of the sharded
+    /// setup path.
+    pub fn memory_bytes(&self) -> u64 {
+        use pmg_sparse::Operator;
+        let m = &self.mat;
+        let mut bytes = m.diag.memory_bytes() + m.off.memory_bytes();
+        if let Some(b) = &m.diag_bsr {
+            bytes += b.memory_bytes();
+        }
+        if let Some(b) = &m.off_bsr {
+            bytes += b.memory_bytes();
+        }
+        bytes += (m.ghosts.len() * 4 + m.ghost_pad.len() * 4) as u64;
+        bytes += ((m.interior.len() + m.boundary.len()) * 4) as u64;
+        bytes
+    }
+
     /// This rank's ghost-column global ids (ascending) — the payload each
     /// rank contributes to the setup's ghost-list allgather.
     pub fn ghosts(&self) -> &[u32] {
@@ -709,6 +820,41 @@ mod tests {
         // Bitwise equal: blocks preserve per-row accumulation order and
         // explicit zeros only add 0.0.
         assert_eq!(y1.to_global(), y2.to_global());
+    }
+
+    #[test]
+    fn from_local_rows_is_bitwise_from_owned_rows() {
+        // The sharded-ingest construction contract: building from an
+        // owned-rows CSR (no global matrix in sight) reproduces the
+        // global-matrix construction bit for bit, including the BSR3
+        // promotion decision.
+        let nb = 9;
+        let a = block_laplacian(nb);
+        let n = 3 * nb;
+        for p in [1usize, 2, 4] {
+            let l = Layout::block(n, p);
+            for rank in 0..p {
+                let mut global = RankMatrix::from_owned_rows(&a, l.clone(), l.clone(), rank);
+                let local_rows = a.extract_rows(l.owned(rank));
+                let mut sharded =
+                    RankMatrix::from_local_rows(&local_rows, l.clone(), l.clone(), rank);
+                assert_eq!(sharded.ghosts(), global.ghosts(), "p={p} rank={rank}");
+                assert_eq!(sharded.nnz_local(), global.nnz_local());
+                let (gd, sd) = (global.local_block(), sharded.local_block());
+                assert_eq!(sd.row_ptr(), gd.row_ptr());
+                assert_eq!(sd.col_idx(), gd.col_idx());
+                for (x, y) in sd.vals().iter().zip(gd.vals()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                // Same structural promotion decision (layouts only), same
+                // resident accounting afterward.
+                assert_eq!(sharded.try_block3(), global.try_block3());
+                assert_eq!(sharded.memory_bytes(), global.memory_bytes());
+                if rank < p.min(l.local_len(rank)) {
+                    assert!(sharded.memory_bytes() > 0);
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,8 +13,17 @@
 //! seen during the linger window are stashed, never mixed: two
 //! fingerprints never share a batch.
 
-use crate::cache::{hierarchy_bytes, solver_cache_key, CacheEntry, WarmCache};
-use crate::protocol::{ProblemSpec, Response, SolveReply, SolveRequest, SolveTarget, StatsReply};
+use crate::cache::{
+    hierarchy_bytes, ingest_cache_key, ingest_options, sharded_bytes, solver_cache_key, CacheEntry,
+    ShardedWarm, WarmCache, WarmSolver,
+};
+use crate::protocol::{
+    IngestReply, IngestRequest, ProblemSpec, Response, SolveReply, SolveRequest, SolveTarget,
+    StatsReply,
+};
+use pmg_comm::{LocalTransport, Transport};
+use pmg_sparse::CooBuilder;
+use prometheus::RankHierarchy;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -36,6 +45,8 @@ pub(crate) enum Job {
     Solve(SolveJob),
     /// An explicit warm-up.
     Warm(ProblemSpec, mpsc::Sender<Response>),
+    /// A mesh upload: partition at ingest, warm the sharded hierarchy.
+    Ingest(IngestRequest, mpsc::Sender<Response>),
     /// A stats snapshot.
     Stats(mpsc::Sender<Response>),
 }
@@ -72,6 +83,7 @@ pub(crate) struct Dispatcher {
     requests: u64,
     batched: u64,
     warm: u64,
+    ingest: u64,
     lat_queue: Vec<f64>,
     lat_setup: Vec<f64>,
     lat_solve: Vec<f64>,
@@ -95,6 +107,7 @@ impl Dispatcher {
             requests: 0,
             batched: 0,
             warm: 0,
+            ingest: 0,
             lat_queue: Vec::new(),
             lat_setup: Vec::new(),
             lat_solve: Vec::new(),
@@ -111,6 +124,12 @@ impl Dispatcher {
                     self.warm += 1;
                     pmg_telemetry::counter_add("serve/warm", 1);
                     let resp = self.handle_warm(&spec);
+                    let _ = reply.send(resp);
+                }
+                Job::Ingest(req, reply) => {
+                    self.ingest += 1;
+                    pmg_telemetry::counter_add("serve/ingest", 1);
+                    let resp = self.handle_ingest(&req);
                     let _ = reply.send(resp);
                 }
                 Job::Stats(reply) => {
@@ -208,11 +227,12 @@ impl Dispatcher {
         let evicted = self.cache.insert(
             key,
             CacheEntry {
-                solver,
+                solver: WarmSolver::Replicated(Box::new(solver)),
                 spec: spec.clone(),
                 default_rhs: sys.rhs,
                 setup_s,
                 bytes,
+                element_imbalance: 0.0,
             },
         );
         if !evicted.is_empty() {
@@ -230,6 +250,112 @@ impl Dispatcher {
             },
             Err(msg) => Response::Error(msg),
         }
+    }
+
+    /// Partition-at-ingest for an uploaded mesh: decode the flat bytes,
+    /// fingerprint them, and on a miss run the sharded setup pipeline —
+    /// RCB on the fine connectivity, per-rank ingest seeds, and
+    /// `build_from_shards` over an in-process transport machine. Each
+    /// rank assembles only its owned rows of the mesh's scalar graph
+    /// Laplacian straight from the vertex graph; the global fine CSR is
+    /// never formed. The warm entry is then fingerprint-addressable by
+    /// ordinary `solve` requests.
+    fn handle_ingest(&mut self, req: &IngestRequest) -> Response {
+        let mesh = match pmg_mesh::read_flat_bytes(&req.mesh) {
+            Ok(m) => m,
+            Err(e) => return Response::Error(format!("bad mesh payload: {e}")),
+        };
+        let opts = ingest_options(req.nranks);
+        let key = ingest_cache_key(&mesh, &opts.mg, req.nranks);
+        if let Some(entry) = self.cache.get_mut(key) {
+            pmg_telemetry::counter_add("serve/cache_hit", 1);
+            return Response::Ingested(IngestReply {
+                fingerprint: key,
+                cache_hit: true,
+                setup_s: 0.0,
+                dofs: entry.default_rhs.len(),
+                element_imbalance: entry.element_imbalance,
+            });
+        }
+        pmg_telemetry::counter_add("serve/cache_miss", 1);
+
+        let t0 = Instant::now();
+        let graph = mesh.vertex_graph();
+        let classes = prometheus::classify_mesh_parallel(&mesh, opts.face_tol, req.nranks);
+        let part = pmg_partition::recursive_coordinate_bisection(&mesh.coords, req.nranks);
+        let shards = pmg_mesh::shard_mesh(&mesh, &part, req.nranks);
+        let elem_counts: Vec<u32> = shards
+            .iter()
+            .map(|s| s.mesh.num_elements() as u32)
+            .collect();
+        drop(shards);
+        let element_imbalance = pmg_mesh::element_imbalance(
+            &elem_counts.iter().map(|&c| c as usize).collect::<Vec<_>>(),
+        );
+        let plan = prometheus::plan_ingest_with_part(
+            &mesh.coords,
+            &graph,
+            &classes,
+            &elem_counts,
+            part,
+            req.nranks,
+            &opts.mg,
+        );
+        let n = mesh.num_vertices();
+        let layout = pmg_parallel::Layout::from_part(plan.part().to_vec(), req.nranks);
+        let results = LocalTransport::run_ranks(req.nranks, |mut t| {
+            let rank = t.rank();
+            let owned = layout.owned(rank);
+            let mut b = CooBuilder::new(owned.len(), n);
+            for (i, &g) in owned.iter().enumerate() {
+                let g = g as usize;
+                b.push(i, g, graph.degree(g) as f64 + 1.0);
+                for &w in graph.neighbors(g) {
+                    b.push(i, w as usize, -1.0);
+                }
+            }
+            let a_owned = b.build();
+            RankHierarchy::build_from_shards(&mut t, &plan.seeds[rank], &a_owned, opts.mg)
+        });
+        let mut setups = Vec::with_capacity(req.nranks);
+        for r in results {
+            match r {
+                Ok(s) => setups.push(s),
+                Err(e) => return Response::Error(format!("sharded setup failed: {e}")),
+            }
+        }
+        let setup_s = t0.elapsed().as_secs_f64();
+
+        let default_rhs = vec![1.0; n];
+        let bytes = sharded_bytes(&setups) + default_rhs.len() * 8;
+        let spec = ProblemSpec {
+            // Synthetic spec: the name embeds the fingerprint so every
+            // ingested mesh gets its own alias entry.
+            name: format!("ingest-{}", prometheus::fingerprint_hex(key)),
+            k: 0,
+            nranks: req.nranks,
+        };
+        let evicted = self.cache.insert(
+            key,
+            CacheEntry {
+                solver: WarmSolver::Sharded(ShardedWarm { setups }),
+                spec,
+                default_rhs,
+                setup_s,
+                bytes,
+                element_imbalance,
+            },
+        );
+        if !evicted.is_empty() {
+            pmg_telemetry::counter_add("serve/cache_evict", evicted.len() as u64);
+        }
+        Response::Ingested(IngestReply {
+            fingerprint: key,
+            cache_hit: false,
+            setup_s,
+            dofs: n,
+            element_imbalance,
+        })
     }
 
     /// Resolve the batch's hierarchy, run one blocked solve, demux the
@@ -359,6 +485,7 @@ impl Dispatcher {
             rejected: self.shared.rejected.load(Ordering::SeqCst),
             disconnects: self.shared.disconnects.load(Ordering::SeqCst),
             warm: self.warm,
+            ingest: self.ingest,
             cache_entries: c.entries as u64,
             cache_bytes: c.bytes as u64,
             latency,

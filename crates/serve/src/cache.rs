@@ -11,30 +11,147 @@
 //! rank counts must never share a hierarchy.
 
 use crate::protocol::ProblemSpec;
-use prometheus::Prometheus;
+use pmg_comm::{LocalTransport, Transport};
+use pmg_solver::{PcgOptions, PcgResult};
+use prometheus::{spmd_pcg, DistributedSetup, Prometheus};
 use std::collections::BTreeMap;
 
-/// Mix `nranks` into the mesh/options fingerprint with the same FNV-1a
-/// step, producing the daemon's cache key. Rank count lives outside
+/// Mix `nranks` into a mesh/options fingerprint with the same FNV-1a
+/// step the fingerprint itself uses. Rank count lives outside
 /// [`prometheus::MgOptions`] but changes the answer bitwise (different
-/// halo exchange and reduction orders), so it must widen the key.
-pub fn solver_cache_key(
-    sys: &pmg_bench::FirstSolveSystem,
-    opts: &prometheus::PrometheusOptions,
-) -> u64 {
-    let mut h = prometheus::solver_fingerprint(&sys.mesh, &opts.mg);
-    for b in (opts.nranks as u64).to_le_bytes() {
+/// halo exchange and reduction orders), so it must widen every cache key.
+fn mix_nranks(mut h: u64, nranks: usize) -> u64 {
+    for b in (nranks as u64).to_le_bytes() {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100000001b3);
     }
     h
 }
 
+/// The daemon's cache key for a spec-built (replicated) hierarchy: the
+/// mesh/options fingerprint widened by the virtual rank count.
+pub fn solver_cache_key(
+    sys: &pmg_bench::FirstSolveSystem,
+    opts: &prometheus::PrometheusOptions,
+) -> u64 {
+    mix_nranks(
+        prometheus::solver_fingerprint(&sys.mesh, &opts.mg),
+        opts.nranks,
+    )
+}
+
+/// The cache key for an ingested mesh: same fingerprint family as
+/// [`solver_cache_key`], so an ingested hierarchy is addressable by
+/// fingerprint exactly like a spec-built one.
+pub fn ingest_cache_key(mesh: &pmg_mesh::Mesh, opts: &prometheus::MgOptions, nranks: usize) -> u64 {
+    mix_nranks(prometheus::solver_fingerprint(mesh, opts), nranks)
+}
+
+/// The solver options every `ingest` build uses. Ingested meshes solve
+/// the mesh's scalar graph Laplacian `L + I` (the repo's canonical
+/// mesh-only operator — one dof per vertex, no material data on the
+/// wire) under the same coarsening knobs as the parity problems. Tests
+/// reconstruct the offline oracle from these exact options.
+pub fn ingest_options(nranks: usize) -> prometheus::PrometheusOptions {
+    prometheus::PrometheusOptions {
+        nranks,
+        mg: prometheus::MgOptions {
+            dofs_per_vertex: 1,
+            coarse_dof_threshold: 200,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// A hierarchy built by partition-at-ingest: one [`DistributedSetup`]
+/// per rank, each holding only that rank's owned level shares (the
+/// coarsest-grid direct factor lives on rank 0 alone). Solves run the
+/// real SPMD program over a [`LocalTransport`] machine, so the answer
+/// bits are the sharded-path bits — which the setup-parity suite pins
+/// bitwise to the replicated/simulated paths for RCB partitions.
+pub struct ShardedWarm {
+    /// Rank-indexed setups from `RankHierarchy::build_from_shards`.
+    pub setups: Vec<DistributedSetup>,
+}
+
+impl ShardedWarm {
+    /// Solve the columns one at a time. Sharded entries gain nothing
+    /// from blocking (each solve already spans every rank thread), but
+    /// every column's bits equal its unbatched solve by construction —
+    /// the daemon's batching-transparency invariant holds trivially.
+    pub fn solve_multi(&self, bs: &[Vec<f64>], rtols: &[f64]) -> Vec<(Vec<f64>, PcgResult)> {
+        bs.iter()
+            .zip(rtols)
+            .map(|(b, &rtol)| self.solve_one(b, rtol))
+            .collect()
+    }
+
+    fn solve_one(&self, b: &[f64], rtol: f64) -> (Vec<f64>, PcgResult) {
+        // Mirror `Prometheus::solve`: rtol from the request, the
+        // standard iteration cap, default atol.
+        let opts = PcgOptions {
+            rtol,
+            max_iters: 200,
+            ..Default::default()
+        };
+        let parts = LocalTransport::run_ranks(self.setups.len(), |mut t| {
+            let setup = &self.setups[t.rank()];
+            let h = setup.rank_hierarchy();
+            let bl: Vec<f64> = setup
+                .fine_layout()
+                .owned(t.rank())
+                .iter()
+                .map(|&g| b[g as usize])
+                .collect();
+            let mut xl = vec![0.0; bl.len()];
+            let (res, _waits) =
+                spmd_pcg(&mut t, &h, &bl, &mut xl, opts).expect("in-process transport solve");
+            (xl, res)
+        });
+        let layout = self.setups[0].fine_layout();
+        let mut x = vec![0.0; layout.num_global()];
+        let mut result = None;
+        for (rank, (xl, res)) in parts.into_iter().enumerate() {
+            for (&g, &v) in layout.owned(rank).iter().zip(&xl) {
+                x[g as usize] = v;
+            }
+            if rank == 0 {
+                result = Some(res);
+            }
+        }
+        (x, result.expect("rank 0 always reports"))
+    }
+}
+
+/// The two warm-hierarchy shapes the daemon serves: spec-built
+/// replicated solvers (simulated machine, blocked multi-RHS solves) and
+/// ingested sharded setups (owned level shares per rank).
+pub enum WarmSolver {
+    /// A spec-built hierarchy over the simulated machine (boxed: a
+    /// `Prometheus` is hundreds of bytes and entries live in a map).
+    Replicated(Box<Prometheus>),
+    /// A partitioned-at-ingest hierarchy of per-rank owned shares.
+    Sharded(ShardedWarm),
+}
+
+impl WarmSolver {
+    /// Solve `k` systems; column `c` is bitwise what an unbatched solve
+    /// of `bs[c]` at `rtols[c]` produces, whichever shape serves it.
+    pub fn solve_multi(&mut self, bs: &[Vec<f64>], rtols: &[f64]) -> Vec<(Vec<f64>, PcgResult)> {
+        match self {
+            WarmSolver::Replicated(s) => s.solve_multi(bs, rtols),
+            WarmSolver::Sharded(s) => s.solve_multi(bs, rtols),
+        }
+    }
+}
+
 /// One warm hierarchy and everything needed to solve on it.
 pub struct CacheEntry {
-    /// The built solver (hierarchy + simulated machine).
-    pub solver: Prometheus,
-    /// The spec it was built from.
+    /// The built solver (replicated hierarchy or sharded setups).
+    pub solver: WarmSolver,
+    /// The spec it was built from (ingested entries carry a synthetic
+    /// spec whose name embeds their fingerprint, keeping aliases unique).
     pub spec: ProblemSpec,
     /// The problem's canonical first-solve RHS (used when a request
     /// omits `rhs`; it is the vector the offline parity artifacts solve).
@@ -43,6 +160,9 @@ pub struct CacheEntry {
     pub setup_s: f64,
     /// Estimated resident bytes (operator nonzeros across all levels).
     pub bytes: usize,
+    /// Element imbalance of the ingest partition (0 when not measured —
+    /// spec-built entries never shard a mesh).
+    pub element_imbalance: f64,
 }
 
 /// Estimate the resident bytes of a built hierarchy: every level's
@@ -55,6 +175,21 @@ pub fn hierarchy_bytes(solver: &Prometheus) -> usize {
         .levels
         .iter()
         .map(|l| l.a.nnz() * 12 + l.a.row_layout().num_global() * 32)
+        .sum()
+}
+
+/// [`hierarchy_bytes`] for a sharded entry: every rank's owned nonzeros
+/// and rows at the same estimated CSR cost. The sum across ranks is the
+/// daemon's resident cost — the shares partition the levels, so this is
+/// roughly one replicated hierarchy, not `nranks` of them.
+pub fn sharded_bytes(setups: &[DistributedSetup]) -> usize {
+    setups
+        .iter()
+        .map(|s| {
+            (0..s.num_levels())
+                .map(|l| s.level_nnz_local(l) * 12 + s.level_rows_local(l) * 32)
+                .sum::<usize>()
+        })
         .sum()
 }
 
@@ -179,7 +314,7 @@ mod tests {
         let sys = pmg_bench::spheres_first_solve(0);
         let opts = pmg_bench::parity_options(1);
         CacheEntry {
-            solver: pmg_bench::parity_solver(&sys, opts),
+            solver: WarmSolver::Replicated(Box::new(pmg_bench::parity_solver(&sys, opts))),
             spec: ProblemSpec {
                 name: "spheres".into(),
                 k,
@@ -188,6 +323,7 @@ mod tests {
             default_rhs: sys.rhs,
             setup_s: 0.0,
             bytes,
+            element_imbalance: 0.0,
         }
     }
 

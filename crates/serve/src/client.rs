@@ -3,8 +3,8 @@
 //! from a warm daemon without linking the solver stack.
 
 use crate::protocol::{
-    parse_response, read_frame, render_request, write_frame, ProblemSpec, Request, Response,
-    SolveReply, SolveRequest, SolveTarget, StatsReply,
+    parse_response, read_frame, render_request, write_frame, IngestReply, IngestRequest,
+    ProblemSpec, Request, Response, SolveReply, SolveRequest, SolveTarget, StatsReply,
 };
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -158,6 +158,28 @@ impl Client {
                 cache_hit,
                 setup_s,
             } => Ok((fingerprint, cache_hit, setup_s)),
+            Response::Busy => Err(ClientError::Busy),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Upload a mesh (bytes from [`pmg_mesh::write_flat_bytes`]'s flat
+    /// format) and warm its partitioned-at-ingest hierarchy over
+    /// `nranks` ranks. Solve it afterwards by the reply's fingerprint.
+    pub fn ingest(
+        &mut self,
+        mesh: &[u8],
+        nranks: usize,
+        id: &str,
+    ) -> Result<IngestReply, ClientError> {
+        let req = Request::Ingest(IngestRequest {
+            id: id.to_string(),
+            mesh: mesh.to_vec(),
+            nranks,
+        });
+        match self.roundtrip(&req)? {
+            Response::Ingested(r) => Ok(r),
             Response::Busy => Err(ClientError::Busy),
             Response::Error(m) => Err(ClientError::Server(m)),
             other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),

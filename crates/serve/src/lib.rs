@@ -35,7 +35,12 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{hierarchy_bytes, solver_cache_key, CacheStats, WarmCache};
+pub use cache::{
+    hierarchy_bytes, ingest_cache_key, ingest_options, sharded_bytes, solver_cache_key, CacheStats,
+    ShardedWarm, WarmCache, WarmSolver,
+};
 pub use client::{Client, ClientError};
-pub use protocol::{ProblemSpec, Request, Response, SolveReply, SolveTarget, StatsReply};
+pub use protocol::{
+    IngestReply, IngestRequest, ProblemSpec, Request, Response, SolveReply, SolveTarget, StatsReply,
+};
 pub use server::{serve, ServeConfig, ServerHandle};

@@ -9,7 +9,10 @@
 //! serialization.
 //!
 //! Requests: `solve` (by inline problem spec or by fingerprint of an
-//! already-warm hierarchy), `warm` (setup only), `stats`, `shutdown`.
+//! already-warm hierarchy), `warm` (setup only), `ingest` (upload raw
+//! mesh bytes; the daemon partitions them at ingest and warms a sharded
+//! hierarchy addressable by the returned fingerprint), `stats`,
+//! `shutdown`.
 //! Responses mirror them; failures are `{"ok": false, "error": ...}`,
 //! with admission-control rejections using the distinguished error
 //! string `"busy"`.
@@ -137,6 +140,39 @@ pub struct SolveRequest {
     pub rtol: f64,
 }
 
+/// An `ingest` request: raw mesh bytes in the `pmg_mesh` flat format,
+/// hex-encoded on the wire. The daemon fingerprints the decoded mesh
+/// with [`prometheus::solver_fingerprint`], partitions it at ingest
+/// (RCB on the fine connectivity, before any assembly), and builds the
+/// sharded hierarchy through `RankHierarchy::build_from_shards` — the
+/// global fine operator is never materialized. Later `solve` requests
+/// address the warm hierarchy by the returned fingerprint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IngestRequest {
+    /// Caller-chosen request ID (echoed in telemetry, not the reply).
+    pub id: String,
+    /// The mesh, as written by [`pmg_mesh::write_flat_bytes`].
+    pub mesh: Vec<u8>,
+    /// Ranks to shard the mesh over.
+    pub nranks: usize,
+}
+
+/// A completed `ingest`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IngestReply {
+    /// Cache key of the (now warm) sharded hierarchy.
+    pub fingerprint: u64,
+    /// Whether this exact mesh × rank count was already warm.
+    pub cache_hit: bool,
+    /// Partition + sharded-setup seconds (0 on a hit).
+    pub setup_s: f64,
+    /// Degrees of freedom of the ingested system.
+    pub dofs: usize,
+    /// Element imbalance of the ingest partition (max/mean owned
+    /// elements across ranks; 1.0 is perfectly balanced).
+    pub element_imbalance: f64,
+}
+
 /// A parsed request frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -145,6 +181,8 @@ pub enum Request {
     Solve(SolveRequest),
     /// Build the hierarchy now so later solves hit the warm cache.
     Warm(ProblemSpec),
+    /// Upload a mesh and warm its partitioned-at-ingest hierarchy.
+    Ingest(IngestRequest),
     /// Snapshot the daemon counters, cache state, and latency summaries.
     Stats,
     /// Stop accepting work, drain in-flight requests, exit.
@@ -195,6 +233,8 @@ pub struct StatsReply {
     pub disconnects: u64,
     /// Explicit `warm` requests served.
     pub warm: u64,
+    /// `ingest` requests served (hits and builds alike).
+    pub ingest: u64,
     /// Hierarchies currently cached.
     pub cache_entries: u64,
     /// Estimated bytes held by cached hierarchies.
@@ -217,6 +257,8 @@ pub enum Response {
         /// Hierarchy construction seconds (0 on a hit).
         setup_s: f64,
     },
+    /// A completed `ingest`: the uploaded mesh's hierarchy is warm.
+    Ingested(IngestReply),
     /// A `stats` snapshot.
     Stats(StatsReply),
     /// Shutdown acknowledged; the daemon is draining.
@@ -251,6 +293,36 @@ fn f64_array(v: &Value) -> Result<Vec<f64>, String> {
             .collect(),
         _ => Err("expected an array of numbers".into()),
     }
+}
+
+/// Hex-encode bytes as a JSON string (hex needs no JSON escaping, so the
+/// quotes can be written directly).
+fn write_hex(out: &mut String, bytes: &[u8]) {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    out.push('"');
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xf) as usize] as char);
+    }
+    out.push('"');
+}
+
+fn parse_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("hex payload has odd length".into());
+    }
+    let nibble = |c: u8| -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(format!("bad hex digit {:?}", c as char)),
+        }
+    };
+    s.as_bytes()
+        .chunks(2)
+        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
+        .collect()
 }
 
 fn write_f64_array(out: &mut String, xs: &[f64]) {
@@ -292,6 +364,15 @@ pub fn render_request(req: &Request) -> String {
         Request::Warm(spec) => {
             out.push_str("{\"op\":\"warm\",\"problem\":");
             spec.to_json(&mut out);
+            out.push('}');
+        }
+        Request::Ingest(r) => {
+            out.push_str("{\"op\":\"ingest\",\"id\":");
+            json::write_str(&mut out, &r.id);
+            out.push_str(",\"nranks\":");
+            json::write_u64(&mut out, r.nranks as u64);
+            out.push_str(",\"mesh\":");
+            write_hex(&mut out, &r.mesh);
             out.push('}');
         }
         Request::Stats => out.push_str("{\"op\":\"stats\"}"),
@@ -342,6 +423,26 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
             let p = v.get("problem").ok_or("warm needs a problem")?;
             Ok(Request::Warm(ProblemSpec::from_json(p)?))
         }
+        "ingest" => {
+            let id = v
+                .get("id")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string();
+            let nranks = get_usize(&v, "nranks").ok_or("ingest.nranks missing")?;
+            if nranks == 0 || nranks > 4096 {
+                return Err(format!("ingest.nranks {nranks} out of range"));
+            }
+            let hex = v
+                .get("mesh")
+                .and_then(Value::as_str)
+                .ok_or("ingest needs hex mesh bytes")?;
+            let mesh = parse_hex(hex)?;
+            if mesh.is_empty() {
+                return Err("ingest mesh payload is empty".into());
+            }
+            Ok(Request::Ingest(IngestRequest { id, mesh, nranks }))
+        }
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
@@ -388,6 +489,19 @@ pub fn render_response(resp: &Response) -> String {
             json::write_num(&mut out, *setup_s);
             out.push('}');
         }
+        Response::Ingested(r) => {
+            out.push_str("{\"ok\":true,\"op\":\"ingest\",\"fingerprint\":");
+            json::write_str(&mut out, &prometheus::fingerprint_hex(r.fingerprint));
+            out.push_str(",\"cache\":");
+            json::write_str(&mut out, if r.cache_hit { "hit" } else { "miss" });
+            out.push_str(",\"setup_s\":");
+            json::write_num(&mut out, r.setup_s);
+            out.push_str(",\"dofs\":");
+            json::write_u64(&mut out, r.dofs as u64);
+            out.push_str(",\"element_imbalance\":");
+            json::write_num(&mut out, r.element_imbalance);
+            out.push('}');
+        }
         Response::Stats(s) => {
             out.push_str("{\"ok\":true,\"op\":\"stats\"");
             for (key, val) in [
@@ -399,6 +513,7 @@ pub fn render_response(resp: &Response) -> String {
                 ("rejected", s.rejected),
                 ("disconnects", s.disconnects),
                 ("warm", s.warm),
+                ("ingest", s.ingest),
                 ("cache_entries", s.cache_entries),
                 ("cache_bytes", s.cache_bytes),
             ] {
@@ -475,6 +590,13 @@ pub fn parse_response(payload: &[u8]) -> Result<Response, String> {
             cache_hit: v.get("cache").and_then(Value::as_str) == Some("hit"),
             setup_s: get_f64(&v, "setup_s").unwrap_or(0.0),
         }),
+        "ingest" => Ok(Response::Ingested(IngestReply {
+            fingerprint: fingerprint(&v)?,
+            cache_hit: v.get("cache").and_then(Value::as_str) == Some("hit"),
+            setup_s: get_f64(&v, "setup_s").unwrap_or(0.0),
+            dofs: get_usize(&v, "dofs").ok_or("dofs missing")?,
+            element_imbalance: get_f64(&v, "element_imbalance").unwrap_or(0.0),
+        })),
         "stats" => {
             let mut s = StatsReply {
                 requests: get_u64(&v, "requests"),
@@ -485,6 +607,7 @@ pub fn parse_response(payload: &[u8]) -> Result<Response, String> {
                 rejected: get_u64(&v, "rejected"),
                 disconnects: get_u64(&v, "disconnects"),
                 warm: get_u64(&v, "warm"),
+                ingest: get_u64(&v, "ingest"),
                 cache_entries: get_u64(&v, "cache_entries"),
                 cache_bytes: get_u64(&v, "cache_bytes"),
                 latency: Vec::new(),
@@ -565,6 +688,11 @@ mod tests {
                 k: 1,
                 nranks: 4,
             }),
+            Request::Ingest(IngestRequest {
+                id: "up1".into(),
+                mesh: vec![0x00, 0x7f, 0x80, 0xff, 0x0a],
+                nranks: 4,
+            }),
             Request::Stats,
             Request::Shutdown,
         ];
@@ -611,6 +739,13 @@ mod tests {
                 cache_hit: false,
                 setup_s: 1.25,
             },
+            Response::Ingested(IngestReply {
+                fingerprint: 0xfeed,
+                cache_hit: false,
+                setup_s: 0.5,
+                dofs: 8000,
+                element_imbalance: 1.125,
+            }),
             Response::Stats(StatsReply {
                 requests: 10,
                 batched: 4,
@@ -620,6 +755,7 @@ mod tests {
                 rejected: 3,
                 disconnects: 1,
                 warm: 2,
+                ingest: 5,
                 cache_entries: 2,
                 cache_bytes: 123456,
                 latency: vec![("queue_p50".into(), 0.001), ("solve_p99".into(), 0.5)],
@@ -647,6 +783,11 @@ mod tests {
             "{\"op\":\"solve\",\"problem\":{\"name\":\"s\",\"k\":0,\"nranks\":2},\"fingerprint\":\"0000000000000000\"}",
             "{\"op\":\"nope\"}",
             "not json",
+            "{\"op\":\"ingest\",\"nranks\":2}",
+            "{\"op\":\"ingest\",\"nranks\":2,\"mesh\":\"\"}",
+            "{\"op\":\"ingest\",\"nranks\":2,\"mesh\":\"abc\"}",
+            "{\"op\":\"ingest\",\"nranks\":2,\"mesh\":\"zz\"}",
+            "{\"op\":\"ingest\",\"nranks\":0,\"mesh\":\"ff\"}",
         ] {
             assert!(parse_request(bad.as_bytes()).is_err(), "{bad}");
         }

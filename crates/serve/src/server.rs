@@ -396,6 +396,7 @@ fn serve_conn<S: ConnStream>(
             }
             Request::Stats => submit(tx, shared, Job::Stats),
             Request::Warm(spec) => submit(tx, shared, |reply| Job::Warm(spec, reply)),
+            Request::Ingest(req) => submit(tx, shared, |reply| Job::Ingest(req, reply)),
             Request::Solve(req) => {
                 if shutdown.load(Ordering::SeqCst) {
                     Response::Error("shutting down".into())

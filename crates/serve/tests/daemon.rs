@@ -328,3 +328,95 @@ fn tcp_transport_serves_and_drains() {
     c.shutdown().expect("shutdown ack");
     handle.wait();
 }
+
+/// Uploading a mesh through the `ingest` frame warms a
+/// partitioned-at-ingest hierarchy that later fingerprint-addressed
+/// solves hit — and the answer bits are exactly what an offline
+/// replicated solve of the same system produces (the sharded setup is
+/// pinned bitwise to the replicated one for RCB partitions by the
+/// setup-parity suite; this test closes the loop over the wire).
+#[test]
+fn ingested_mesh_solves_match_the_offline_oracle_bitwise() {
+    let path = sock("ingest");
+    let handle = serve(ServeConfig {
+        unix_path: Some(path.clone()),
+        ..Default::default()
+    })
+    .expect("start daemon");
+
+    let mesh = pmg_mesh::generators::cube(8);
+    let bytes = pmg_mesh::write_flat_bytes(&mesh);
+    let nranks = 2;
+    let rtol = pmg_bench::PARITY_RTOL;
+
+    // The offline oracle: the same scalar graph Laplacian `L + I` the
+    // daemon assembles for ingested meshes, built replicated under the
+    // published ingest options.
+    let g = mesh.vertex_graph();
+    let nv = mesh.num_vertices();
+    let mut b = pmg_sparse::CooBuilder::new(nv, nv);
+    for v in 0..nv {
+        b.push(v, v, g.degree(v) as f64 + 1.0);
+        for &w in g.neighbors(v) {
+            b.push(v, w as usize, -1.0);
+        }
+    }
+    let a = b.build();
+    let mut oracle =
+        prometheus::Prometheus::from_mesh(&mesh, &a, pmg_serve::ingest_options(nranks));
+    let ones = vec![1.0; nv];
+    let (ox, ores) = oracle.solve(&ones, None, rtol);
+    assert!(ores.converged, "offline oracle must converge");
+
+    let mut c = Client::connect_unix(&path).expect("connect");
+    let up = c.ingest(&bytes, nranks, "up1").expect("ingest");
+    assert!(!up.cache_hit, "first ingest must build");
+    assert!(up.setup_s > 0.0);
+    assert_eq!(up.dofs, nv);
+    assert!(
+        up.element_imbalance >= 1.0,
+        "imbalance is max/mean, bounded below by 1"
+    );
+
+    // Re-uploading the identical bytes hits the warm entry.
+    let again = c.ingest(&bytes, nranks, "up2").expect("re-ingest");
+    assert!(again.cache_hit);
+    assert_eq!(again.fingerprint, up.fingerprint);
+    assert_eq!(again.setup_s, 0.0, "cache hits skip setup entirely");
+    assert_eq!(again.element_imbalance, up.element_imbalance);
+
+    // Default RHS (all-ones): bitwise the offline bits.
+    let solved = c
+        .solve_fingerprint(up.fingerprint, None, rtol, "s-default")
+        .expect("solve ingested hierarchy");
+    assert!(solved.converged);
+    assert!(solved.cache_hit);
+    assert!(
+        bits_equal(&solved.x, &ox),
+        "ingested solve bits differ from the offline oracle"
+    );
+
+    // A caller-supplied RHS takes the same path.
+    let rhs: Vec<f64> = (0..nv)
+        .map(|i| if i % 3 == 0 { 2.0 } else { -0.5 })
+        .collect();
+    let (ox2, ores2) = oracle.solve(&rhs, None, rtol);
+    assert!(ores2.converged);
+    let solved2 = c
+        .solve_fingerprint(up.fingerprint, Some(rhs), rtol, "s-custom")
+        .expect("solve custom rhs");
+    assert!(bits_equal(&solved2.x, &ox2));
+
+    // Garbage bytes are a server error, not a daemon crash.
+    match c.ingest(b"definitely not a flat mesh", nranks, "bad") {
+        Err(ClientError::Server(msg)) => assert!(msg.contains("bad mesh payload"), "{msg}"),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.ingest, 3, "hits, builds, and failures all count");
+    assert!(stats.cache_entries >= 1);
+
+    c.shutdown().expect("shutdown ack");
+    handle.wait();
+}

@@ -205,6 +205,25 @@ impl CsrMatrix {
         &mut self.vals
     }
 
+    /// Copy a subset of rows, in the given order, into a new matrix over
+    /// the same column space. Each output row is a verbatim copy (same
+    /// column order, same value bits) of the source row — the row-shipping
+    /// primitive of the sharded setup path, where operator and restriction
+    /// rows travel between ranks as self-contained row sets.
+    pub fn extract_rows(&self, rows: &[u32]) -> CsrMatrix {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        for &g in rows {
+            let (cols, vs) = self.row(g as usize);
+            col_idx.extend_from_slice(cols);
+            vals.extend_from_slice(vs);
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_parts(rows.len(), self.ncols(), row_ptr, col_idx, vals)
+    }
+
     /// Value at `(i, j)`, or 0 if not stored.
     pub fn get(&self, i: usize, j: usize) -> f64 {
         let (cols, vals) = self.row(i);

@@ -347,6 +347,150 @@ impl RapPlan {
     }
 }
 
+/// Owned Galerkin rows from purely **local** row sets — the kernel of the
+/// sharded setup path, where no rank ever holds the full `A` or `R`.
+///
+/// Inputs are row subsets with *global* column ids:
+///
+/// * `r_rows` — the owned coarse rows of the restriction `R` (one local
+///   row per owned coarse row, in owned order; `ncols` = global fine).
+/// * `a_row_ids` / `a_rows` — the fine operator rows this rank holds
+///   (owned plus fetched), ids strictly ascending, one CSR row per id.
+///   Every fine column of `r_rows` must appear in `a_row_ids`.
+/// * `rt_row_ids` / `rt_rows` — rows of the **full** transpose `Rᵀ` (each
+///   carrying every coarse row touching that fine row, ascending — not
+///   just this rank's), ids strictly ascending. Every fine column of the
+///   held `A` rows reachable from `r_rows` must appear; a superset is
+///   fine, unused rows are ignored.
+///
+/// Returns the owned coarse rows of `R·A·Rᵀ` (`ncols` = global coarse).
+///
+/// # Bitwise contract
+///
+/// Each output row runs the exact [`RapPlan`] machinery on the local row
+/// sets: the stage-1/stage-2 contribution buffers are filled in the same
+/// order as [`RapPlan::new`] (`R` row columns ascending × `A` row entries
+/// in stored order, then `RA` entries ascending × `Rᵀ` row entries in
+/// stored order), grouped by the same unstable sort (whose permutation
+/// depends only on the — identical — output-column sequence), and
+/// accumulated in the same order as [`RapPlan::execute_rows`]. The output
+/// values are therefore **bitwise identical** to the corresponding row
+/// segments of the full planned product; the partition tests and the
+/// ownership-map proptest below pin this.
+pub fn rap_local_rows(
+    r_rows: &CsrMatrix,
+    a_row_ids: &[u32],
+    a_rows: &CsrMatrix,
+    rt_row_ids: &[u32],
+    rt_rows: &CsrMatrix,
+) -> CsrMatrix {
+    assert_eq!(a_rows.nrows(), a_row_ids.len(), "one A row per id");
+    assert_eq!(rt_rows.nrows(), rt_row_ids.len(), "one Rᵀ row per id");
+    assert_eq!(r_rows.ncols(), a_rows.ncols(), "R columns must match A");
+    debug_assert!(a_row_ids.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(rt_row_ids.windows(2).all(|w| w[0] < w[1]));
+
+    let nl = r_rows.nrows();
+    let a_row_ptr = a_rows.row_ptr();
+    let a_col_idx = a_rows.col_idx();
+    let a_vals = a_rows.vals();
+
+    let mut out_row_ptr = Vec::with_capacity(nl + 1);
+    out_row_ptr.push(0usize);
+    let mut out_cols: Vec<usize> = Vec::new();
+    let mut out_vals: Vec<f64> = Vec::new();
+
+    // Per-row scratch, cleared between rows: the same shapes RapPlan's
+    // symbolic stages use, so flush_row sees the identical contribution
+    // sequence per row.
+    let mut buf: Vec<(usize, f64, u32)> = Vec::new();
+    let mut s_cols: Vec<usize> = Vec::new();
+    let mut s_offsets: Vec<usize> = Vec::new();
+    let mut s_coeff: Vec<f64> = Vec::new();
+    let mut s_src: Vec<u32> = Vec::new();
+    let mut ra_vals: Vec<f64> = Vec::new();
+    let mut contribs = 0u64;
+
+    for lc in 0..nl {
+        // Stage 1 symbolic: R row columns ascending, then that A row's
+        // entries in stored order; src indexes this rank's flat A values.
+        buf.clear();
+        s_cols.clear();
+        s_offsets.clear();
+        s_offsets.push(0);
+        s_coeff.clear();
+        s_src.clear();
+        let (rcols, rvals) = r_rows.row(lc);
+        for (&k, &rv) in rcols.iter().zip(rvals) {
+            let lk = a_row_ids
+                .binary_search(&(k as u32))
+                .unwrap_or_else(|_| panic!("rap_local_rows: A row {k} not held locally"));
+            for p in a_row_ptr[lk]..a_row_ptr[lk + 1] {
+                buf.push((a_col_idx[p], rv, p as u32));
+            }
+        }
+        flush_row(
+            &mut buf,
+            &mut s_cols,
+            &mut s_offsets,
+            &mut s_coeff,
+            &mut s_src,
+        );
+
+        // Stage 1 numeric: this row's RA values, in output-entry order.
+        ra_vals.clear();
+        for t in 0..s_cols.len() {
+            let mut acc = 0.0;
+            for p in s_offsets[t]..s_offsets[t + 1] {
+                acc += s_coeff[p] * a_vals[s_src[p] as usize];
+            }
+            ra_vals.push(acc);
+            contribs += (s_offsets[t + 1] - s_offsets[t]) as u64;
+        }
+        let s1_cols: Vec<usize> = s_cols.clone();
+
+        // Stage 2 symbolic: RA entries ascending × full Rᵀ rows in stored
+        // order; src indexes this row's stage-1 output.
+        buf.clear();
+        s_cols.clear();
+        s_offsets.clear();
+        s_offsets.push(0);
+        s_coeff.clear();
+        s_src.clear();
+        for (t, &k) in s1_cols.iter().enumerate() {
+            let lk = rt_row_ids
+                .binary_search(&(k as u32))
+                .unwrap_or_else(|_| panic!("rap_local_rows: Rᵀ row {k} not held locally"));
+            let (tcols, tvals) = rt_rows.row(lk);
+            for (&j, &rv) in tcols.iter().zip(tvals) {
+                buf.push((j, rv, t as u32));
+            }
+        }
+        flush_row(
+            &mut buf,
+            &mut s_cols,
+            &mut s_offsets,
+            &mut s_coeff,
+            &mut s_src,
+        );
+
+        // Stage 2 numeric straight into the output row.
+        for t in 0..s_cols.len() {
+            let mut acc = 0.0;
+            for p in s_offsets[t]..s_offsets[t + 1] {
+                acc += s_coeff[p] * ra_vals[s_src[p] as usize];
+            }
+            out_vals.push(acc);
+            contribs += (s_offsets[t + 1] - s_offsets[t]) as u64;
+        }
+        out_cols.extend_from_slice(&s_cols);
+        out_row_ptr.push(out_cols.len());
+    }
+    flops::add(2 * contribs);
+    pmg_telemetry::counter_add("rap/local_rows", nl as u64);
+    CsrMatrix::from_parts(nl, rt_rows.ncols(), out_row_ptr, out_cols, out_vals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,7 +618,132 @@ mod tests {
         }
     }
 
+    /// Assemble the local-row-set inputs of [`rap_local_rows`] for a rank
+    /// owning coarse rows `owned` (global `a`, `r` in hand — test-side
+    /// only; the production path ships the rows instead).
+    fn local_inputs(
+        a: &CsrMatrix,
+        r: &CsrMatrix,
+        rt: &CsrMatrix,
+        owned: &[u32],
+    ) -> (CsrMatrix, Vec<u32>, CsrMatrix, Vec<u32>, CsrMatrix) {
+        let r_rows = r.extract_rows(owned);
+        let mut a_ids: Vec<u32> = r_rows.col_idx().iter().map(|&k| k as u32).collect();
+        a_ids.sort_unstable();
+        a_ids.dedup();
+        let a_rows = a.extract_rows(&a_ids);
+        let mut rt_ids: Vec<u32> = a_rows.col_idx().iter().map(|&k| k as u32).collect();
+        rt_ids.sort_unstable();
+        rt_ids.dedup();
+        let rt_rows = rt.extract_rows(&rt_ids);
+        (r_rows, a_ids, a_rows, rt_ids, rt_rows)
+    }
+
+    #[test]
+    fn local_rows_are_bitwise_execute_rows() {
+        // The sharded-RAP contract: a rank holding only its owned R rows,
+        // the referenced A rows, and the referenced full Rᵀ rows computes
+        // exactly the value segments plan.execute_rows produces.
+        let a = random_sym(50, 4, 17);
+        let r = random_restriction(18, 50, 18);
+        let rt = r.transpose();
+        let mut plan = RapPlan::new(&a, &r);
+        let full = plan.execute(&a);
+        for nparts in [1usize, 2, 3, 5] {
+            for part in 0..nparts {
+                let owned: Vec<u32> = (0..r.nrows() as u32)
+                    .filter(|c| *c as usize % nparts == part)
+                    .collect();
+                let seg = plan.execute_rows(&a, &owned);
+                let (r_rows, a_ids, a_rows, rt_ids, rt_rows) = local_inputs(&a, &r, &rt, &owned);
+                let local = rap_local_rows(&r_rows, &a_ids, &a_rows, &rt_ids, &rt_rows);
+                assert_eq!(local.nrows(), owned.len());
+                assert_eq!(local.ncols(), r.nrows());
+                // Values bitwise == the planned segments, pattern == the
+                // full product's rows.
+                let mut at = 0usize;
+                for (lc, &c) in owned.iter().enumerate() {
+                    let (gcols, _) = full.row(c as usize);
+                    let (lcols, lvals) = local.row(lc);
+                    assert_eq!(lcols, gcols, "row {c} pattern (nparts={nparts})");
+                    for &v in lvals {
+                        assert_eq!(v.to_bits(), seg[at].to_bits(), "row {c}");
+                        at += 1;
+                    }
+                }
+                assert_eq!(at, seg.len());
+            }
+        }
+    }
+
+    #[test]
+    fn local_rows_empty_rank_is_empty() {
+        let a = random_sym(30, 3, 5);
+        let r = random_restriction(10, 30, 6);
+        let rt = r.transpose();
+        let (r_rows, a_ids, a_rows, rt_ids, rt_rows) = local_inputs(&a, &r, &rt, &[]);
+        let local = rap_local_rows(&r_rows, &a_ids, &a_rows, &rt_ids, &rt_rows);
+        assert_eq!(local.nrows(), 0);
+        assert_eq!(local.nnz(), 0);
+    }
+
+    #[test]
+    fn local_rows_tolerate_superset_row_sets() {
+        // Extra A / Rᵀ rows beyond the needed closure must not change a
+        // single bit (the ingest path ships an adjacency superset).
+        let a = random_sym(40, 4, 9);
+        let r = random_restriction(14, 40, 10);
+        let rt = r.transpose();
+        let mut plan = RapPlan::new(&a, &r);
+        let owned: Vec<u32> = vec![2, 3, 7, 11];
+        let seg = plan.execute_rows(&a, &owned);
+        let r_rows = r.extract_rows(&owned);
+        let all: Vec<u32> = (0..40).collect();
+        let a_rows = a.extract_rows(&all);
+        let rt_rows = rt.extract_rows(&all);
+        let local = rap_local_rows(&r_rows, &all, &a_rows, &all, &rt_rows);
+        let flat: Vec<f64> = local.vals().to_vec();
+        assert_eq!(flat.len(), seg.len());
+        for (x, y) in flat.iter().zip(&seg) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_local_rows_cover_full_product(
+            seed in 0u64..1000,
+            owner in proptest::collection::vec(0u32..4, 12),
+        ) {
+            // Arbitrary ownership maps — including ranks owning nothing —
+            // tile the full planned product bitwise.
+            let a = random_sym(36, 3, seed);
+            let r = random_restriction(12, 36, seed.wrapping_add(1));
+            let rt = r.transpose();
+            let mut plan = RapPlan::new(&a, &r);
+            let full = plan.execute(&a);
+            let mut seen = vec![false; full.nnz()];
+            for rank in 0..4u32 {
+                let owned: Vec<u32> = (0..12u32)
+                    .filter(|c| owner[*c as usize] == rank)
+                    .collect();
+                let (r_rows, a_ids, a_rows, rt_ids, rt_rows) =
+                    local_inputs(&a, &r, &rt, &owned);
+                let local = rap_local_rows(&r_rows, &a_ids, &a_rows, &rt_ids, &rt_rows);
+                for (lc, &c) in owned.iter().enumerate() {
+                    let rng = plan.coarse_row_range(c as usize);
+                    let (lcols, lvals) = local.row(lc);
+                    let (gcols, _) = full.row(c as usize);
+                    prop_assert_eq!(lcols, gcols);
+                    for (k, &v) in rng.clone().zip(lvals) {
+                        prop_assert_eq!(v.to_bits(), full.vals()[k].to_bits());
+                        seen[k] = true;
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s), "ownership map must tile all rows");
+        }
+
         #[test]
         fn prop_plan_equals_rap(
             entries in proptest::collection::vec(

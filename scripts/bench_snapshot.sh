@@ -31,6 +31,9 @@
 #                        section (default 40000; CI uses a small value)
 #   PMG_BENCH_OUT        snapshot path (default BENCH_PR8.json)
 #   PMG_SERVE_BENCH_OUT  serve-section snapshot path (default BENCH_PR9.json)
+#   PMG_MEM_BENCH_OUT    memory-scaling snapshot path (default BENCH_PR10.json)
+#   PMG_MEM_DOF          target dofs per rank in the memory-scaling
+#                        section (default 40000; CI uses a small value)
 #   PMG_SERVE_BENCH_REQUESTS
 #                        requests per concurrency level in the serve
 #                        saturation sweep (default 16)
@@ -38,13 +41,19 @@
 #                        turn on just the (deterministic) serve floors:
 #                        warm-cache hits skip setup, daemon answers are
 #                        bitwise the offline solves, hit rate >= 0.9
+#   PMG_BENCH_ASSERT_MEM=1
+#                        turn on just the (deterministic) memory-scaling
+#                        floors without the timing-sensitive PR8 ones
 #   PMG_BENCH_ASSERT=1   fail unless planned RAP and pattern-reuse assembly
 #                        are >= 1.5x their cold baselines, the matrix-free
 #                        fine operator is >= 2x smaller than the assembled
 #                        matrix, its apply is <= 2x the BSR3 apply
-#                        (apply_ratio), and the k = 4 matrix-free
+#                        (apply_ratio), the k = 4 matrix-free
 #                        multi-apply is >= 1.3x faster per vector than
-#                        four single applies
+#                        four single applies, and (memory-scaling floors,
+#                        deterministic byte counts) the p = 4 owned coarse
+#                        share is <= 0.6x the replicated baseline with
+#                        per-rank fine bytes/row within 1.5x of p = 1
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -83,4 +92,18 @@ PMG_BENCH_ASSERT="${PMG_BENCH_ASSERT_SERVE:-${PMG_BENCH_ASSERT:-}}" \
   target/release/pmg_bench_client --requests "${PMG_SERVE_BENCH_REQUESTS:-16}"
 
 echo
-echo "done; snapshots in ${PMG_BENCH_OUT:-BENCH_PR8.json} and ${PMG_SERVE_BENCH_OUT:-BENCH_PR9.json}"
+echo "== memory scaling (partition-at-ingest) -> ${PMG_MEM_BENCH_OUT:-BENCH_PR10.json} =="
+# Weak-scales the sharded-ingest setup over 1/2/4 in-process ranks at a
+# fixed per-rank problem size and records the per-rank resident operator
+# bytes per level. The headline numbers: the worst rank's owned
+# coarse-level share vs the replicated baseline (what every rank held
+# before coarse levels were demoted to owned shares), and the per-rank
+# fine bytes per owned row, which stays ~flat when ingest ships each rank
+# only its own share. Both are deterministic byte counts, so the
+# PMG_BENCH_ASSERT floors hold even on noisy hosts.
+PMG_BENCH_OUT="${PMG_MEM_BENCH_OUT:-BENCH_PR10.json}" \
+PMG_BENCH_ASSERT="${PMG_BENCH_ASSERT_MEM:-${PMG_BENCH_ASSERT:-}}" \
+  cargo run --release --offline -p pmg-bench --bin mem_snapshot
+
+echo
+echo "done; snapshots in ${PMG_BENCH_OUT:-BENCH_PR8.json}, ${PMG_SERVE_BENCH_OUT:-BENCH_PR9.json}, and ${PMG_MEM_BENCH_OUT:-BENCH_PR10.json}"

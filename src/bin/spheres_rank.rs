@@ -55,6 +55,10 @@ fn main() -> ExitCode {
         .map(|v| v == "1")
         .unwrap_or(false);
 
+    let shard_ingest = std::env::var("PMG_SHARD_INGEST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+
     let sys = pmg_bench::spheres_first_solve(0);
     let opts = pmg_bench::parity_options(t.size());
     let solve_opts = PcgOptions {
@@ -63,7 +67,59 @@ fn main() -> ExitCode {
         ..Default::default()
     };
 
-    let (layout, res, waits, xl, solve_s) = if dist_setup {
+    let (layout, res, waits, xl, solve_s) = if shard_ingest {
+        // Partition-at-ingest: rank 0 plans the seeds (RCB partition,
+        // owned level-0 restriction rows, replicated coarse geometry) and
+        // scatters each rank its share; the hierarchy then grows through
+        // `build_from_shards` — no coarse value allgather, direct factor
+        // on rank 0 only. Every process still *builds* the global spheres
+        // system here (this harness checks parity, not footprint — the
+        // counting-allocator test owns the memory claim), but the setup
+        // consumes only this rank's owned rows of it.
+        let nranks = t.size();
+        let rank = t.rank();
+        let plan = if rank == 0 {
+            let graph = sys.mesh.vertex_graph();
+            let classes = prometheus::classify_mesh_parallel(&sys.mesh, opts.face_tol, nranks);
+            let part = pmg_partition::recursive_coordinate_bisection(&sys.mesh.coords, nranks);
+            let shards = pmg_mesh::shard_mesh(&sys.mesh, &part, nranks);
+            let elem_counts: Vec<u32> = shards
+                .iter()
+                .map(|s| s.mesh.num_elements() as u32)
+                .collect();
+            Some(prometheus::plan_ingest_with_part(
+                &sys.mesh.coords,
+                &graph,
+                &classes,
+                &elem_counts,
+                part,
+                nranks,
+                &opts.mg,
+            ))
+        } else {
+            None
+        };
+        let seed = prometheus::scatter_seeds(&mut t, plan.as_ref()).expect("seed scatter");
+        let vlayout = pmg_parallel::Layout::from_part(seed.part.clone(), nranks);
+        let layout = pmg_parallel::Layout::expand_dofs(&vlayout, opts.mg.dofs_per_vertex);
+        let a_owned = sys.matrix.extract_rows(layout.owned(rank));
+        let setup = RankHierarchy::build_from_shards(&mut t, &seed, &a_owned, opts.mg)
+            .expect("sharded setup over sockets");
+        let layout = setup.fine_layout().clone();
+        let mut h = setup.rank_hierarchy();
+        h.overlap = overlap;
+
+        let bl: Vec<f64> = layout
+            .owned(rank)
+            .iter()
+            .map(|&g| sys.rhs[g as usize])
+            .collect();
+        let mut xl = vec![0.0; bl.len()];
+        let solve_start = std::time::Instant::now();
+        let (res, waits) =
+            spmd_pcg(&mut t, &h, &bl, &mut xl, solve_opts).expect("SPMD solve over sockets");
+        (layout, res, waits, xl, solve_start.elapsed().as_secs_f64())
+    } else if dist_setup {
         // Distributed setup: the fine classification and every setup phase
         // (MIS, face-ID merge, Galerkin rows, ghost lists) run over the
         // socket transport. `PMG_FINE_OP` does not apply here — the

@@ -290,6 +290,56 @@ fn spheres_distributed_setup_bitwise_identical_over_sockets() {
 }
 
 #[test]
+fn spheres_sharded_ingest_bitwise_identical_over_sockets() {
+    // PR 10's acceptance bar: `PMG_SHARD_INGEST=1` routes the workers
+    // through partition-at-ingest — rank 0 plans and scatters per-rank
+    // seeds, each rank assembles only its owned fine rows, the Galerkin
+    // rows come from p2p-fetched A rows with no coarse value allgather,
+    // and the coarsest factor lives on rank 0 alone. The resulting 2- and
+    // 4-process solves must reproduce the in-process replicated-setup
+    // solve bitwise.
+    let sys = pmg_bench::spheres_first_solve(0);
+    for p in [2usize, 4] {
+        let opts = pmg_bench::parity_options(p);
+        let mut solver = prometheus::Prometheus::from_mesh(&sys.mesh, &sys.matrix, opts);
+        let (x_ref, res_ref) = solver.solve(&sys.rhs, None, pmg_bench::PARITY_RTOL);
+        assert!(res_ref.converged, "p={p}: {res_ref:?}");
+
+        let dir = std::env::temp_dir().join(format!("pmg-shard-ingest-{p}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("rank0.out");
+        let exits = pmg_comm::launch::launch_with_env(
+            p,
+            std::path::Path::new(env!("CARGO_BIN_EXE_spheres_rank")),
+            &["--out", out.to_str().unwrap()],
+            None,
+            &[("PMG_SHARD_INGEST", "1"), ("PMG_FINE_OP", "assembled")],
+        )
+        .expect("launch socket ranks with sharded ingest");
+        assert!(
+            exits.iter().all(|e| e.status.success()),
+            "sharded-ingest socket ranks failed (p={p}): {exits:?}"
+        );
+        let (iters, converged, x_bits, res_bits, _) =
+            parse_rank_out(&std::fs::read_to_string(&out).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(converged);
+        assert_eq!(
+            iters, res_ref.iterations,
+            "sharded-ingest iterations (p={p})"
+        );
+        assert_eq!(x_bits.len(), x_ref.len());
+        for (got, want) in x_bits.iter().zip(&x_ref) {
+            assert_eq!(*got, want.to_bits(), "sharded-ingest solution bits (p={p})");
+        }
+        assert_eq!(res_bits.len(), res_ref.residuals.len());
+        for (got, want) in res_bits.iter().zip(&res_ref.residuals) {
+            assert_eq!(*got, want.to_bits(), "sharded-ingest residual bits (p={p})");
+        }
+    }
+}
+
+#[test]
 fn machine_model_latency_dominates_small_messages() {
     // Sanity of the BSP model: for tiny payloads the modeled comm time is
     // ~latency * messages; for large payloads bandwidth dominates.
